@@ -1,0 +1,58 @@
+"""Ablation: changelog batch size vs deployment latency and changelogs.
+
+§3.1.1/§4.4: the shared session emits a changelog per `batch_size`
+requests or per timeout.  Small batches mean many changelogs (each a
+marker every operator must process); large batches amortise them — the
+paper's 100 q/s → 1000 qp beating 1 q/s → 20 qp per query (Figure 11)
+is this effect.
+"""
+
+from repro.harness.report import FigureResult
+from repro.harness.runner import RunnerConfig, run_scenario
+
+
+def _run(batch_size: int):
+    return run_scenario(
+        RunnerConfig(
+            input_rate_tps=200.0,
+            duration_s=8.0,
+            engine_overrides={
+                "changelog_batch_size": batch_size,
+                "changelog_timeout_ms": 2_000,
+            },
+        ),
+        scenario="sc1",
+        queries_per_second=16.0,
+        query_parallelism=64,
+        kind="agg",
+    )
+
+
+def bench_ablation_batchsize(benchmark, record_figure):
+    result = FigureResult(
+        figure_id="Ablation batch-size",
+        title="Changelog batch size under 16 q/s (64 queries)",
+        columns=("batch_size", "changelogs", "mean_deploy_s", "service_tps"),
+        paper_expectation=(
+            "Fewer changelog generations per query lower the per-query "
+            "deployment cost (Figure 11's 100q/s < 1q/s effect)."
+        ),
+    )
+
+    def run_all():
+        return {size: _run(size) for size in (1, 8, 64)}
+
+    metrics = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    changelog_counts = {}
+    for size, run in metrics.items():
+        count = len(run.engine.session.flushed_changelogs)
+        changelog_counts[size] = count
+        result.add(
+            batch_size=size,
+            changelogs=count,
+            mean_deploy_s=run.mean_deployment_latency_ms / 1000.0,
+            service_tps=run.report.service_rate_tps,
+        )
+    record_figure(result)
+    # Bigger batches generate strictly fewer changelogs.
+    assert changelog_counts[1] > changelog_counts[8] > changelog_counts[64]

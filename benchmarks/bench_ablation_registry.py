@@ -1,0 +1,56 @@
+"""Ablation: slot reuse (Figure 3c) vs append-only indices (Figure 3b).
+
+Under SC2-style churn the append-only policy grows the query-set width
+without bound, making every bitset operation and changelog-set wider;
+slot reuse keeps the width at the live population size.
+"""
+
+from repro.core.registry import SlotPolicy
+from repro.harness.report import FigureResult
+from repro.harness.runner import RunnerConfig, run_scenario
+
+
+def _run(policy: SlotPolicy):
+    return run_scenario(
+        RunnerConfig(
+            input_rate_tps=300.0,
+            duration_s=10.0,
+            engine_overrides={"slot_policy": policy},
+        ),
+        scenario="sc2",
+        queries_per_batch=8,
+        batch_interval_s=2,
+        batches=5,
+        kind="join",
+    )
+
+
+def bench_ablation_registry(benchmark, record_figure):
+    result = FigureResult(
+        figure_id="Ablation registry",
+        title="Slot reuse vs append-only query indices under SC2 churn",
+        columns=("policy", "final_width", "active_queries", "service_tps"),
+        paper_expectation=(
+            "Figure 3: append-only indices leave big, sparse query-sets; "
+            "AStream reuses deleted queries' bits to stay compact."
+        ),
+    )
+
+    def run_both():
+        return {policy: _run(policy) for policy in SlotPolicy}
+
+    metrics = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    widths = {}
+    for policy, run in metrics.items():
+        width = run.engine.session.registry.width
+        widths[policy] = width
+        result.add(
+            policy=policy.value,
+            final_width=width,
+            active_queries=run.report.active_queries_final,
+            service_tps=run.report.service_rate_tps,
+        )
+    record_figure(result)
+    # 5 batches x 8 queries: append-only burns 40 positions, reuse ~8.
+    assert widths[SlotPolicy.APPEND_ONLY] == 40
+    assert widths[SlotPolicy.REUSE] <= 10

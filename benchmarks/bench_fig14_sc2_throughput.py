@@ -1,0 +1,26 @@
+"""Figure 14: SC2 slowest and overall data throughput.
+
+Paper shape: the slowest per-query throughput under churn stays above
+SC1's at comparable query counts, and the overall throughput grows with
+the batch size; 8 nodes scale ≈ √2 over 4.
+"""
+
+from repro.harness.figures import fig14_sc2_throughput
+
+
+def bench_fig14(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig14_sc2_throughput, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    assert all(row["slowest_tps"] > 0 for row in result.rows)
+    for kind in ("join", "agg"):
+        four = [r for r in result.rows if r["nodes"] == 4 and r["kind"] == kind]
+        eight = [r for r in result.rows if r["nodes"] == 8 and r["kind"] == kind]
+        # Aggregate node-scaling shape: 8 nodes beat 4 on average.
+        assert sum(r["slowest_tps"] for r in eight) > sum(
+            r["slowest_tps"] for r in four
+        ) * 1.1
+        # Overall throughput exceeds slowest throughput (multi-query).
+        for row in four + eight:
+            assert row["overall_tps"] >= row["slowest_tps"]

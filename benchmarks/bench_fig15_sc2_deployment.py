@@ -1,0 +1,21 @@
+"""Figure 15: SC2 query deployment latency.
+
+Paper shape: continuous creation/deletion keeps generating changelogs,
+so SC2's per-query deployment latency exceeds SC1's steady state, while
+remaining bounded (unlike the baseline's unbounded queueing).
+"""
+
+from repro.harness.figures import fig15_sc2_deployment
+
+
+def bench_fig15(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig15_sc2_deployment, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    for row in result.rows:
+        # Bounded: mean within the cold start + batching envelope.
+        assert row["mean_deploy_s"] < 10
+        assert row["max_deploy_s"] < 12
+        # Churn keeps generating changelogs: deployments are never free.
+        assert row["mean_deploy_s"] > 0

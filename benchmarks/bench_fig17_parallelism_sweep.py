@@ -1,0 +1,33 @@
+"""Figure 17: slowest data throughput vs query parallelism (log-log).
+
+Paper shape: monotone decline whose slope flattens as the probability
+of sharing a tuple rises with the query count.
+"""
+
+import math
+
+from repro.harness.figures import fig17_parallelism_sweep
+
+
+def bench_fig17(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig17_parallelism_sweep, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    for nodes in (4, 8):
+        for kind in ("join", "agg"):
+            rows = [
+                row
+                for row in result.rows
+                if row["nodes"] == nodes and row["kind"] == kind
+            ]
+            rates = [row["slowest_tps"] for row in rows]
+            parallelisms = [row["query_parallelism"] for row in rows]
+            # Monotone decline with query count.
+            assert rates == sorted(rates, reverse=True)
+            # Sub-linear decline: doubling queries costs less than 2x.
+            # (log-log slope magnitude < 1 = sharing amortises work)
+            slope = (math.log(rates[-1]) - math.log(rates[0])) / (
+                math.log(parallelisms[-1]) - math.log(parallelisms[0])
+            )
+            assert -1.0 < slope < 0.0, (nodes, kind, slope)

@@ -1,0 +1,30 @@
+"""Figure 18: AStream overhead — component shares and total.
+
+Paper shape (18a): roughly balanced components at low query counts, the
+router's per-query data copy growing dominant with many queries.
+Paper shape (18b): total sharing overhead vs unshared execution is
+single-digit percent for one query and vanishes (sharing *wins*) with
+more queries.
+"""
+
+from repro.harness.figures import fig18_overhead
+
+
+def bench_fig18(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig18_overhead, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    assert result.rows
+    first, last = result.rows[0], result.rows[-1]
+    for row in result.rows:
+        share_sum = (
+            row["queryset_gen_pct"]
+            + row["bitset_ops_pct"]
+            + row["router_copy_pct"]
+        )
+        assert abs(share_sum - 100.0) < 0.1
+    # Sharing pays off at scale: the overhead vs unshared execution hits
+    # zero once several queries share the pipeline.
+    assert last["total_overhead_pct"] <= first["total_overhead_pct"] + 1e-9
+    assert last["total_overhead_pct"] < 5.0

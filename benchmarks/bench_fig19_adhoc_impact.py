@@ -1,0 +1,38 @@
+"""Figure 19: effect of ad-hoc join queries on standing queries.
+
+Paper shape: with many standing queries, an ad-hoc burst barely moves
+the slowest throughput; small standing populations feel it more, and
+SC1 more than SC2.
+"""
+
+from repro.harness.figures import fig19_adhoc_impact
+
+
+def bench_fig19(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig19_adhoc_impact, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    def relative_drop(scenario, standing):
+        rows = sorted(
+            (
+                row
+                for row in result.rows
+                if row["scenario"] == scenario and row["standing"] == standing
+            ),
+            key=lambda row: row["adhoc"],
+        )
+        baseline = rows[0]["slowest_tps"]
+        worst = min(row["slowest_tps"] for row in rows)
+        return (baseline - worst) / baseline
+
+    standing_counts = sorted({row["standing"] for row in result.rows})
+    # Large standing populations are less affected than tiny ones in
+    # relative terms (sharing probability already high).
+    small_drop = relative_drop("SC1", standing_counts[0])
+    large_drop = relative_drop("SC1", standing_counts[-1])
+    assert large_drop <= small_drop + 0.25  # allow measurement noise
+    # No configuration collapses: ad-hoc bursts never starve standing
+    # queries outright.
+    assert all(row["slowest_tps"] > 0 for row in result.rows)

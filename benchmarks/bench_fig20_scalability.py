@@ -1,0 +1,24 @@
+"""Figure 20: sustainable ad-hoc query count vs cluster size.
+
+Paper shape: the number of sustainable queries grows with the node
+count for both scenarios; SC2 tends to scale better (its churn keeps
+the active set and bitsets small).
+"""
+
+from repro.harness.figures import fig20_scalability
+
+
+def bench_fig20(benchmark, quick, record_figure):
+    result = benchmark.pedantic(
+        fig20_scalability, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    record_figure(result)
+    for scenario in ("SC1", "SC2"):
+        rows = sorted(
+            (row for row in result.rows if row["scenario"] == scenario),
+            key=lambda row: row["nodes"],
+        )
+        counts = [row["sustainable_queries"] for row in rows]
+        # Scaling: the largest cluster sustains more than the smallest.
+        assert counts[-1] > counts[0], (scenario, counts)
+        assert all(count > 0 for count in counts)

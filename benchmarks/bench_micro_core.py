@@ -1,0 +1,167 @@
+"""Micro-benchmarks of AStream's core primitives.
+
+These isolate the per-operation costs behind Figure 18's component
+breakdown: query-set generation (predicate evaluation + bit assembly),
+changelog-set lookup (the Equation 1 DP), dynamic slice-bounds
+computation, and a slice-pair join.
+"""
+
+import random
+
+from repro.core.changelog import (
+    Changelog,
+    ChangelogTable,
+    QueryActivation,
+    QueryDeactivation,
+)
+from repro.core.query import Comparison, FieldPredicate, SelectionQuery, WindowSpec
+from repro.core.selection import SharedSelectionOperator
+from repro.core.slicing import SliceManager
+from repro.core.storage import GroupedStore, ListStore
+from repro.minispe.record import ChangelogMarker, Record
+from repro.workloads.datagen import DataGenerator
+
+
+def bench_queryset_generation_64_queries(benchmark):
+    """Tagging one tuple against 64 active selection predicates."""
+    operator = SharedSelectionOperator("A")
+    rng = random.Random(1)
+    created = tuple(
+        QueryActivation(
+            SelectionQuery(
+                stream="A",
+                predicate=FieldPredicate(
+                    rng.randrange(5), Comparison.GE, rng.randrange(100)
+                ),
+                query_id=f"q{slot}",
+            ),
+            slot,
+            0,
+        )
+        for slot in range(64)
+    )
+    changelog = Changelog(
+        sequence=1, timestamp_ms=0, created=created, width_after=64
+    )
+    operator.set_collector(lambda element: None)
+    operator.on_marker(ChangelogMarker(timestamp=0, changelog=changelog))
+    generator = DataGenerator(seed=2)
+    records = [
+        Record(timestamp=100 + index, value=generator.next_tuple(), key=index)
+        for index in range(256)
+    ]
+
+    def tag_batch():
+        for record in records:
+            operator.process(record)
+
+    benchmark(tag_batch)
+
+
+def _deep_table(epochs: int = 64) -> ChangelogTable:
+    table = ChangelogTable()
+    for sequence in range(1, epochs + 1):
+        slot = sequence % 8
+        table.append(
+            Changelog(
+                sequence=sequence,
+                timestamp_ms=sequence,
+                created=(
+                    QueryActivation(
+                        SelectionQuery(
+                            stream="A",
+                            predicate=FieldPredicate(0, Comparison.GE, 1),
+                            query_id=f"c{sequence}",
+                        ),
+                        slot,
+                        sequence,
+                    ),
+                ),
+                deleted=(QueryDeactivation(f"d{sequence}", slot),),
+                width_after=8,
+            )
+        )
+    return table
+
+
+def bench_changelog_dp_cold(benchmark):
+    """Equation 1 over 64 epochs, uncached (fresh table per round)."""
+
+    def query_all():
+        table = _deep_table()
+        return table.cl_set(table.current_epoch, 0)
+
+    benchmark(query_all)
+
+
+def bench_changelog_dp_memoised(benchmark):
+    """Equation 1 lookups after warm-up (the operator hot path)."""
+    table = _deep_table()
+    table.cl_set(table.current_epoch, 0)  # warm the memo
+
+    def query_range():
+        total = 0
+        for j in range(0, table.current_epoch):
+            total += table.cl_set(table.current_epoch, j)
+        return total
+
+    benchmark(query_range)
+
+
+def bench_slice_bounds_32_queries(benchmark):
+    """Dynamic slice-bounds lookup with 32 active windowed queries."""
+    manager = SliceManager()
+    rng = random.Random(3)
+    for slot in range(32):
+        length = rng.randint(1, 5) * 1_000
+        slide = rng.randint(1, length // 1_000) * 1_000
+        manager.register_query(
+            slot, WindowSpec.sliding(length, slide), rng.randint(0, 4) * 500
+        )
+    manager.on_epoch(1, 0)
+    timestamps = [rng.randrange(60_000) for _ in range(512)]
+
+    def lookup_all():
+        total = 0
+        for ts in timestamps:
+            total += manager.slice_bounds(ts)[0]
+        return total
+
+    benchmark(lookup_all)
+
+
+def _filled(store, tuples=256, queries=8):
+    rng = random.Random(4)
+    for index in range(tuples):
+        store.add(
+            index % 16,
+            (f"v{index}", index),
+            rng.randrange(1, 1 << queries),
+        )
+    return store
+
+
+def bench_store_probe_grouped(benchmark):
+    """Per-key probes against a grouped slice store."""
+    store = _filled(GroupedStore())
+
+    def probe():
+        hits = 0
+        for key in range(16):
+            hits += len(store.items_for_key(key))
+        return hits
+
+    benchmark(probe)
+
+
+def bench_store_probe_list(benchmark):
+    """Per-key probes against a flat-list slice store."""
+    store = _filled(ListStore())
+
+    def probe():
+        hits = 0
+        for key in range(16):
+            hits += len(store.items_for_key(key))
+        return hits
+
+    benchmark(probe)

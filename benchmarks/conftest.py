@@ -1,0 +1,48 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_figXX_*.py`` module regenerates one evaluation figure of the
+paper at simulation scale, prints the rows the paper's figure reports,
+and saves them under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Set ``REPRO_FULL=1`` to run paper-scale query counts (minutes per
+figure) instead of the quick defaults.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.report import FigureResult, render_csv, render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def is_full_scale() -> bool:
+    """True when paper-scale runs are requested via REPRO_FULL=1."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def quick() -> bool:
+    """Quick-scale unless REPRO_FULL=1."""
+    return not is_full_scale()
+
+
+@pytest.fixture
+def record_figure():
+    """Print a figure's table and persist it under benchmarks/results/."""
+
+    def _record(result: FigureResult) -> FigureResult:
+        table = render_table(result)
+        print()
+        print(table)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = result.figure_id.lower().replace(" ", "")
+        (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+        (RESULTS_DIR / f"{slug}.csv").write_text(render_csv(result))
+        return result
+
+    return _record

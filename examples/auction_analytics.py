@@ -1,0 +1,95 @@
+"""NEXMark-flavoured auction analytics with ad-hoc query churn.
+
+An online marketplace streams bids and auction listings; analysts attach
+ad-hoc questions — hot items, big-ticket bids, per-category revenue,
+winning bids — to the shared topology and detach them when answered.
+
+Run with::
+
+    python examples/auction_analytics.py
+"""
+
+from repro import AStreamEngine, EngineConfig
+from repro.workloads.nexmark import (
+    AUCTIONS,
+    BIDS,
+    PRICE,
+    RESERVE,
+    NexmarkConfig,
+    NexmarkGenerator,
+    category_revenue,
+    currency_filter,
+    hot_items,
+    winning_bids,
+)
+
+
+def main() -> None:
+    engine = AStreamEngine(EngineConfig(streams=(BIDS, AUCTIONS)))
+    generator = NexmarkGenerator(NexmarkConfig(auctions=50, seed=20))
+
+    # Standing analytics, live from the start.
+    hot = hot_items(window_s=4, slide_s=2, query_id="hot-items")
+    wins = winning_bids(window_s=4, query_id="winning-bids")
+    engine.submit(hot, now_ms=0)
+    engine.submit(wins, now_ms=0)
+    engine.flush_session(0)
+
+    def feed(from_ms, to_ms):
+        for ts, listing in generator.timestamped_auctions(
+            (to_ms - from_ms) // 500, from_ms, 2
+        ):
+            engine.push(AUCTIONS, ts, listing)
+        for ts, bid in generator.timestamped_bids(
+            (to_ms - from_ms) // 20, from_ms, 50
+        ):
+            engine.push(BIDS, ts, bid)
+        engine.watermark(to_ms)
+
+    feed(0, 8_000)
+
+    # An analyst drops in ad-hoc: premium bids and category-7 revenue.
+    premium = currency_filter(min_price=800, query_id="premium-bids")
+    revenue = category_revenue(category=7, window_s=4, query_id="cat7-revenue")
+    engine.submit(premium, now_ms=8_000)
+    engine.submit(revenue, now_ms=8_000)
+    engine.flush_session(8_000)
+    feed(8_000, 16_000)
+
+    # Questions answered: the ad-hoc queries leave, the standing ones stay.
+    engine.stop("premium-bids", now_ms=16_000)
+    engine.stop("cat7-revenue", now_ms=16_000)
+    engine.flush_session(16_000)
+    feed(16_000, 20_000)
+    engine.watermark(30_000)
+
+    hottest = {}
+    for output in engine.results("hot-items"):
+        result = output.value
+        hottest[result.key] = max(hottest.get(result.key, 0), result.value)
+    top = sorted(hottest.items(), key=lambda item: -item[1])[:3]
+    print("hottest auctions (max bids in any 4s window):")
+    for auction_id, count in top:
+        print(f"  auction {auction_id}: {count} bids")
+
+    winners = [
+        output
+        for output in engine.results("winning-bids")
+        if output.value.parts[0].fields[PRICE]
+        >= output.value.parts[1].fields[RESERVE]
+    ]
+    print(f"\nbids meeting the reserve: {len(winners)} "
+          f"(of {engine.result_count('winning-bids')} joined)")
+
+    print(f"premium (≥800) bids while watched: "
+          f"{engine.result_count('premium-bids')}")
+    revenue_total = sum(
+        output.value.value for output in engine.results("cat7-revenue")
+    )
+    print(f"category-7 windowed revenue while watched: {revenue_total}")
+    print(f"\nactive queries at shutdown: {engine.active_query_count}")
+    engine.shutdown()
+
+
+if __name__ == "__main__":
+    main()

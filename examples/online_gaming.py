@@ -1,0 +1,134 @@
+"""The paper's motivating scenario (Figure 1): online gaming analytics.
+
+Two input streams:
+
+* ``ads`` — advertisements shown to players.  Field layout:
+  ``f0`` = price, ``f1`` = length (seconds), ``f2`` = geo (0=DE, 1=US, …).
+* ``purchases`` — game-pack purchases.  Field layout:
+  ``f0`` = price, ``f1`` = age, ``f2`` = level (99 = pro).
+
+Three teams run ad-hoc queries against the *same* shared topology:
+
+* **Q1 (marketing, short-living)**: German ads joined with purchases over
+  50 — submitted, inspected, shut down.
+* **Q2 (psychology, long-running)**: long ads joined with purchases by
+  under-18 players — monitors continuously.
+* **Q3 (system, session-based)**: per-player session spend of pro-level
+  players (session window), created and deleted by the system.
+
+Run with::
+
+    python examples/online_gaming.py
+"""
+
+import random
+
+from repro import (
+    AggregationQuery,
+    AggregationSpec,
+    AStreamEngine,
+    EngineConfig,
+    JoinQuery,
+    WindowSpec,
+)
+from repro.core.query import (
+    AggregationKind,
+    CallablePredicate,
+    Comparison,
+    FieldPredicate,
+)
+from repro.workloads.datagen import DataTuple
+
+GEO_DE = 0
+
+
+def _ad(player: int, price: int, length: int, geo: int) -> DataTuple:
+    return DataTuple(key=player, fields=(price, length, geo, 0, 0))
+
+
+def _purchase(player: int, price: int, age: int, level: int) -> DataTuple:
+    return DataTuple(key=player, fields=(price, age, level, 0, 0))
+
+
+def main() -> None:
+    engine = AStreamEngine(EngineConfig(streams=("ads", "purchases")))
+    rng = random.Random(7)
+
+    def feed(from_ms: int, to_ms: int) -> None:
+        for ts in range(from_ms, to_ms, 20):
+            player = rng.randrange(50)
+            engine.push(
+                "ads", ts,
+                _ad(player, rng.randrange(30), rng.randrange(120),
+                    rng.randrange(3)),
+            )
+            if rng.random() < 0.4:
+                engine.push(
+                    "purchases", ts,
+                    _purchase(player, rng.randrange(100), 12 + rng.randrange(40),
+                              99 if rng.random() < 0.2 else rng.randrange(98)),
+                )
+        engine.watermark(to_ms)
+
+    # --- t=0: marketing's short-living Q1 and psychology's Q2 ----------
+    q1 = JoinQuery(
+        left_stream="ads", right_stream="purchases",
+        left_predicate=FieldPredicate(2, Comparison.EQ, GEO_DE),   # A.geo = DE
+        right_predicate=FieldPredicate(0, Comparison.GT, 50),      # P.price > 50
+        window_spec=WindowSpec.tumbling(2_000),
+        query_id="q1-marketing-de",
+    )
+    q2 = JoinQuery(
+        left_stream="ads", right_stream="purchases",
+        left_predicate=FieldPredicate(1, Comparison.GT, 60),       # A.length > 60
+        right_predicate=FieldPredicate(1, Comparison.LT, 18),      # P.age < 18
+        window_spec=WindowSpec.sliding(4_000, 2_000),
+        query_id="q2-psychology-minors",
+    )
+    engine.submit(q1, now_ms=0)
+    engine.submit(q2, now_ms=0)
+    engine.flush_session(0)
+    print("t=0s   Q1 (marketing) and Q2 (psychology) deployed ad-hoc")
+
+    feed(0, 6_000)
+    print(f"t=6s   Q1 matched {engine.result_count('q1-marketing-de')} "
+          f"DE-ad/purchase pairs — marketing got its numbers")
+
+    # --- t=6s: marketing shuts Q1 down; the system starts Q3 -----------
+    engine.stop("q1-marketing-de", now_ms=6_000)
+    q3 = AggregationQuery(
+        stream="purchases",
+        predicate=CallablePredicate(
+            lambda purchase: purchase.fields[2] == 99, "P.level = Pro"
+        ),
+        window_spec=WindowSpec.session(1_000),
+        aggregation=AggregationSpec(AggregationKind.SUM, field_index=0),
+        query_id="q3-pro-loyalty",
+    )
+    engine.submit(q3, now_ms=6_000)
+    engine.flush_session(6_000)
+    print("t=6s   Q1 stopped, Q3 (pro-player session spend) started — "
+          "no topology restart, one changelog")
+
+    feed(6_000, 14_000)
+    engine.watermark(20_000)
+
+    print(f"t=14s  Q2 kept running: "
+          f"{engine.result_count('q2-psychology-minors')} matches so far")
+    sessions = engine.results("q3-pro-loyalty")
+    print(f"t=14s  Q3 closed {len(sessions)} pro-player sessions; sample:")
+    for output in sessions[:3]:
+        result = output.value
+        print(f"        player {result.key}: spent {result.value} in "
+              f"[{result.window.start}ms, {result.window.end}ms)")
+
+    deployments = engine.deployment_events
+    print("\ndeployment latencies (ms):")
+    for event in deployments:
+        print(f"  {event.kind:6s} {event.query_id:24s} "
+              f"{event.deployment_latency_ms}")
+    engine.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Reproduction of *AStream: Ad-hoc Shared Stream Processing* (SIGMOD 2019).
+
+Layout:
+
+* :mod:`repro.minispe` — the substrate: a from-scratch mini stream
+  processing engine standing in for Apache Flink (event time, windows,
+  state, checkpointing, simulated cluster).
+* :mod:`repro.core` — AStream itself: query-set bitsets, changelogs,
+  shared selection/join/aggregation with dynamic window slicing, router,
+  and the :class:`~repro.core.engine.AStreamEngine` facade.
+* :mod:`repro.baseline` — a Flink-like query-at-a-time engine (one
+  topology per query) used as the comparison baseline.
+* :mod:`repro.workloads` — the paper's data/query generators, the SC1 and
+  SC2 scenarios, and the driver with FIFO queues and ACK backpressure.
+* :mod:`repro.harness` — metrics, the experiment runner, and one
+  experiment per evaluation figure (9–20).
+
+Quickstart::
+
+    from repro import AStreamEngine, EngineConfig, JoinQuery, WindowSpec
+    from repro.core.query import FieldPredicate, Comparison
+
+    engine = AStreamEngine(EngineConfig(streams=("ads", "purchases")))
+    query = JoinQuery(
+        left_stream="ads",
+        right_stream="purchases",
+        left_predicate=FieldPredicate(0, Comparison.GT, 10),
+        right_predicate=FieldPredicate(1, Comparison.LE, 50),
+        window_spec=WindowSpec.tumbling(5_000),
+    )
+    engine.submit(query, now_ms=0)
+    engine.tick(now_ms=1_000)            # changelog flush -> query live
+    ...
+"""
+
+from repro.core import (
+    AggregationQuery,
+    AggregationSpec,
+    AStreamEngine,
+    ComplexQuery,
+    EngineConfig,
+    FieldPredicate,
+    JoinQuery,
+    QuerySet,
+    SelectionQuery,
+    SqlError,
+    WindowSpec,
+    parse_query,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AStreamEngine",
+    "AggregationQuery",
+    "AggregationSpec",
+    "ClusterSpec",
+    "ComplexQuery",
+    "EngineConfig",
+    "FieldPredicate",
+    "JoinQuery",
+    "QuerySet",
+    "SelectionQuery",
+    "SimulatedCluster",
+    "SqlError",
+    "WindowSpec",
+    "__version__",
+    "parse_query",
+]

@@ -1,0 +1,26 @@
+"""Query-at-a-time baseline: the Flink model without sharing.
+
+The paper's baseline SUT is Apache Flink 1.5.2 driven one query per job:
+every ad-hoc query submits a *new* streaming topology, the input stream
+is forked to each job (the "fork via message bus + add resources"
+best practice of §1), and no computation or state is shared.  This
+package reimplements that model on the same :mod:`repro.minispe`
+substrate so that the comparison isolates exactly AStream's sharing and
+on-the-fly query management:
+
+* :mod:`repro.baseline.deployment` — the per-job deployment cost model
+  (job submission, operator placement, slot allocation) that produces
+  Figure 10a's unbounded deployment queueing;
+* :mod:`repro.baseline.engine` — :class:`QueryAtATimeEngine`, which runs
+  one independent pipeline per query and processes each input tuple once
+  *per query*.
+"""
+
+from repro.baseline.deployment import BaselineDeploymentModel
+from repro.baseline.engine import QueryAtATimeEngine, UnsustainableWorkload
+
+__all__ = [
+    "BaselineDeploymentModel",
+    "QueryAtATimeEngine",
+    "UnsustainableWorkload",
+]

@@ -1,0 +1,670 @@
+"""The AStream engine facade (Figure 2).
+
+:class:`AStreamEngine` wires the shared operators into **one** dataflow
+topology that is deployed once and never restarted: ad-hoc queries attach
+and detach purely through changelog markers woven into the streams, which
+is where AStream's deployment-latency advantage over query-at-a-time
+engines comes from (§4.5: "AStream avoids deploying a new streaming
+topology for each query.  Instead, it creates and deletes user queries
+on-the-fly without affecting the running topology").
+
+Topology layout for streams ``S0 .. Sn`` (each vertex with the cluster's
+operator parallelism; R = router)::
+
+    source:Si ──▶ select:Si ──▶ R                      (selection queries)
+                     │
+                     ├────────▶ agg:Si ──▶ R           (aggregation queries)
+                     │
+                     └──▶ join:S0~S1 ──▶ R             (join queries)
+                              │
+                              ├──▶ agg:S0~S1 ──▶ R     (complex queries)
+                              └──▶ join:S0~S1~S2 …     (deeper cascades)
+
+All stage names follow :meth:`repro.core.query.Query.stages`, which is
+how a submitted query finds its operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.changelog import Changelog
+from repro.core.query import Query
+from repro.core.registry import QueryRegistry, SlotPolicy
+from repro.core.router import QueryChannels, QueryOutput, RouterOperator
+from repro.core.selection import SharedSelectionOperator
+from repro.core.session import QueryRequest, SharedSession
+from repro.core.statistics import SharingStatistics
+from repro.core.shared_aggregation import SharedAggregationOperator
+from repro.core.shared_join import SharedJoinOperator
+from repro.minispe.cluster import SimulatedCluster
+from repro.minispe.graph import JobGraph, Partitioning
+from repro.minispe.record import (
+    ChangelogMarker,
+    CheckpointBarrier,
+    Record,
+    Watermark,
+)
+from repro.minispe.runtime import JobRuntime
+
+
+@dataclass
+class EngineConfig:
+    """Tunable knobs of an AStream deployment."""
+
+    streams: Tuple[str, ...] = ("A", "B")
+    max_join_arity: int = 1
+    """Binary-join cascade depth: 1 supports A⋈B, 4 supports 5-way joins."""
+    changelog_batch_size: int = 100
+    changelog_timeout_ms: int = 1_000
+    parallelism: Optional[int] = None
+    """Operator parallelism; default: one instance per cluster node."""
+    slot_policy: SlotPolicy = SlotPolicy.REUSE
+    group_size_threshold: float = 2.0
+    storage_query_threshold: int = 10
+    retain_results: bool = True
+    profile: bool = False
+    enable_slicing: bool = True
+    """Ablation switch: False forces per-query windows (no slice sharing)."""
+    dedup_predicates: bool = True
+    """Evaluate predicates shared by several queries once (selection-level
+    sharing; ablation switch)."""
+    log_inputs: bool = False
+    """Keep an input log so :meth:`AStreamEngine.checkpoint` /
+    :meth:`AStreamEngine.recover` provide exactly-once fault tolerance
+    (§3.3: deterministic replay of tuples and changelog markers)."""
+    collect_sharing_stats: bool = False
+    """Collect runtime query-overlap statistics (§7 future work); read
+    them via :meth:`AStreamEngine.sharing_report`."""
+
+    def __post_init__(self) -> None:
+        if len(self.streams) < 1:
+            raise ValueError("the engine needs at least one input stream")
+        if self.max_join_arity < 1:
+            raise ValueError(
+                f"max_join_arity must be >= 1, got {self.max_join_arity}"
+            )
+
+    @property
+    def effective_join_arity(self) -> int:
+        """Cascade depth actually buildable with the configured streams."""
+        return min(self.max_join_arity, max(len(self.streams) - 1, 0))
+
+
+@dataclass
+class EngineCheckpoint:
+    """One completed whole-engine checkpoint (state + log offset)."""
+
+    checkpoint_id: int
+    log_offset: int
+    runtime_state: Dict[str, Dict[int, Any]] = field(repr=False, default_factory=dict)
+    channels_state: dict = field(repr=False, default_factory=dict)
+    session_state: Any = field(repr=False, default=None)
+    last_watermark_ms: int = -1
+    stream_watermarks: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class DeploymentEvent:
+    """Bookkeeping for one query creation/deletion, for QoS metrics."""
+
+    query_id: str
+    kind: str  # "create" | "delete"
+    requested_at_ms: int
+    changelog_at_ms: int
+    ready_at_ms: int
+
+    @property
+    def deployment_latency_ms(self) -> int:
+        """Request enqueue → query live (§4.3)."""
+        return self.ready_at_ms - self.requested_at_ms
+
+
+class AStreamEngine:
+    """Ad-hoc shared stream processing on the minispe substrate.
+
+    Typical use::
+
+        engine = AStreamEngine(EngineConfig(streams=("A", "B")))
+        engine.submit(query, now_ms=0)
+        engine.tick(now_ms=1_000)         # flush the session -> changelog
+        engine.push("A", ts, tuple_)
+        engine.watermark(ts)
+        engine.results(query.query_id)
+    """
+
+    JOB_NAME = "astream"
+
+    def __init__(
+        self,
+        config: EngineConfig = None,
+        cluster: Optional[SimulatedCluster] = None,
+        on_deliver: Optional[Callable[[str, Record], None]] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.cluster = cluster or SimulatedCluster()
+        self.channels = QueryChannels(
+            retain_results=self.config.retain_results, on_deliver=on_deliver
+        )
+        self.session = SharedSession(
+            registry=QueryRegistry(self.config.slot_policy),
+            batch_size=self.config.changelog_batch_size,
+            timeout_ms=self.config.changelog_timeout_ms,
+        )
+        self._parallelism = (
+            self.config.parallelism
+            if self.config.parallelism is not None
+            else self.cluster.parallelism_for()
+        )
+        self._sharing_stats: Dict[str, SharingStatistics] = (
+            {stream: SharingStatistics() for stream in self.config.streams}
+            if self.config.collect_sharing_stats
+            else {}
+        )
+        self._selections: Dict[str, List[SharedSelectionOperator]] = {}
+        self._joins: Dict[str, List[SharedJoinOperator]] = {}
+        self._aggregations: Dict[str, List[SharedAggregationOperator]] = {}
+        self._routers: Dict[str, List[RouterOperator]] = {}
+        self._stage_names: set = set()
+        self.graph = self._build_graph()
+        self.runtime = JobRuntime(self.graph)
+        self.cluster.allocate(self.JOB_NAME, self.graph.total_instances())
+        self.deployment_events: List[DeploymentEvent] = []
+        self._topology_deployed = False
+        self._last_watermark_ms = -1
+        self._stream_watermarks: Dict[str, int] = {}
+        self._pending_requests: List[QueryRequest] = []
+        # Exactly-once support (config.log_inputs): a replayable log of
+        # everything that entered the dataflow, plus completed checkpoints.
+        self._input_log: List[Tuple[str, Any]] = []
+        self._next_checkpoint_id = 1
+        self._checkpoints: List[EngineCheckpoint] = []
+
+    # -- topology ------------------------------------------------------------
+
+    def _build_graph(self) -> JobGraph:
+        config = self.config
+        graph = JobGraph(self.JOB_NAME)
+        parallelism = self._parallelism
+
+        def register(holder: Dict[str, list], key: str, operator):
+            holder.setdefault(key, []).append(operator)
+            return operator
+
+        def add_router(graph: JobGraph, upstream_vertex: str, stage_key: str):
+            name = f"router:{stage_key}"
+            graph.add_operator(
+                name,
+                lambda sk=stage_key: register(
+                    self._routers,
+                    sk,
+                    RouterOperator(sk, self.channels, profile=config.profile),
+                ),
+                parallelism=parallelism,
+            )
+            graph.connect(upstream_vertex, name, Partitioning.FORWARD)
+
+        for stream in config.streams:
+            graph.add_source(f"source:{stream}")
+            select_key = f"select:{stream}"
+            graph.add_operator(
+                select_key,
+                lambda s=stream: register(
+                    self._selections,
+                    s,
+                    SharedSelectionOperator(
+                        s,
+                        profile=config.profile,
+                        dedup_predicates=config.dedup_predicates,
+                        sharing_stats=self._sharing_stats.get(s),
+                    ),
+                ),
+                parallelism=parallelism,
+            )
+            graph.connect(f"source:{stream}", select_key, Partitioning.REBALANCE)
+            self._stage_names.add(select_key)
+            add_router(graph, select_key, select_key)
+
+            agg_key = f"agg:{stream}"
+            graph.add_operator(
+                agg_key,
+                lambda k=agg_key: register(
+                    self._aggregations,
+                    k,
+                    SharedAggregationOperator(k, profile=config.profile),
+                ),
+                parallelism=parallelism,
+            )
+            graph.connect(select_key, agg_key, Partitioning.HASH)
+            self._stage_names.add(agg_key)
+            add_router(graph, agg_key, agg_key)
+
+        # Left-deep binary-join cascade over the stream order.
+        if len(config.streams) >= 2:
+            alias = config.streams[0]
+            upstream_vertex = f"select:{config.streams[0]}"
+            for depth in range(config.effective_join_arity):
+                right_stream = config.streams[depth + 1]
+                alias = f"{alias}~{right_stream}"
+                join_key = f"join:{alias}"
+                graph.add_operator(
+                    join_key,
+                    lambda k=join_key: register(
+                        self._joins,
+                        k,
+                        SharedJoinOperator(
+                            k,
+                            group_size_threshold=config.group_size_threshold,
+                            storage_query_threshold=config.storage_query_threshold,
+                            profile=config.profile,
+                            enable_history=config.enable_slicing,
+                        ),
+                    ),
+                    parallelism=parallelism,
+                )
+                graph.connect(
+                    upstream_vertex, join_key, Partitioning.HASH, input_index=0
+                )
+                graph.connect(
+                    f"select:{right_stream}",
+                    join_key,
+                    Partitioning.HASH,
+                    input_index=1,
+                )
+                self._stage_names.add(join_key)
+                add_router(graph, join_key, join_key)
+
+                cascade_agg_key = f"agg:{alias}"
+                graph.add_operator(
+                    cascade_agg_key,
+                    lambda k=cascade_agg_key: register(
+                        self._aggregations,
+                        k,
+                        SharedAggregationOperator(k, profile=config.profile),
+                    ),
+                    parallelism=parallelism,
+                )
+                graph.connect(join_key, cascade_agg_key, Partitioning.HASH)
+                self._stage_names.add(cascade_agg_key)
+                add_router(graph, cascade_agg_key, cascade_agg_key)
+
+                upstream_vertex = join_key
+        return graph
+
+    # -- query control -----------------------------------------------------------
+
+    def submit(self, query: Query, now_ms: int) -> str:
+        """Enqueue a query-creation request; returns the query id.
+
+        The query becomes live at the next changelog (see :meth:`tick`).
+        """
+        self._validate_query(query)
+        request = self.session.submit(query, now_ms)
+        self._pending_requests.append(request)
+        self.tick(now_ms)
+        return query.query_id
+
+    def stop(self, query_id: str, now_ms: int) -> None:
+        """Enqueue a query-deletion request."""
+        request = self.session.stop(query_id, now_ms)
+        self._pending_requests.append(request)
+        self.tick(now_ms)
+
+    def _validate_query(self, query: Query) -> None:
+        for stage in query.stages():
+            if stage.operator not in self._stage_names:
+                raise ValueError(
+                    f"query {query.query_id!r} needs stage "
+                    f"{stage.operator!r}, which this engine was not "
+                    f"configured with (streams={self.config.streams}, "
+                    f"max_join_arity={self.config.max_join_arity})"
+                )
+
+    def tick(self, now_ms: int) -> Optional[Changelog]:
+        """Advance session time: flush a changelog if batch/timeout is due."""
+        changelog = self.session.maybe_flush(now_ms)
+        if changelog is not None:
+            self._apply_changelog(changelog, now_ms)
+        return changelog
+
+    def flush_session(self, now_ms: int) -> List[Changelog]:
+        """Force all pending requests into changelogs immediately."""
+        changelogs = []
+        while True:
+            changelog = self.session.flush(now_ms)
+            if changelog is None:
+                break
+            self._apply_changelog(changelog, now_ms)
+            changelogs.append(changelog)
+        return changelogs
+
+    def _apply_changelog(self, changelog: Changelog, now_ms: int) -> None:
+        marker = ChangelogMarker(timestamp=now_ms, changelog=changelog)
+        if self.config.log_inputs:
+            self._input_log.append(("marker", marker))
+        for stream in self.config.streams:
+            self.runtime.push(f"source:{stream}", marker)
+        ready_at = now_ms + self._deployment_cost_ms(changelog)
+        completed = [
+            request
+            for request in self._pending_requests
+            if request.changelog_sequence == changelog.sequence
+        ]
+        self._pending_requests = [
+            request
+            for request in self._pending_requests
+            if request.changelog_sequence != changelog.sequence
+        ]
+        for request in completed:
+            self.deployment_events.append(
+                DeploymentEvent(
+                    query_id=request.target_id,
+                    kind=request.kind.value,
+                    requested_at_ms=request.enqueued_at_ms,
+                    changelog_at_ms=now_ms,
+                    ready_at_ms=ready_at,
+                )
+            )
+
+    def _deployment_cost_ms(self, changelog: Changelog) -> int:
+        cost_model = self.cluster.cost_model
+        cost = cost_model.changelog_ms(changelog.change_count)
+        if not self._topology_deployed:
+            # The very first changelog pays the physical topology
+            # deployment (Figure 10b's tall first bar).
+            cost += cost_model.cold_deploy_ms(
+                self.graph.total_instances(), self.cluster.spec.nodes
+            )
+            self._topology_deployed = True
+        return cost
+
+    # -- data path -----------------------------------------------------------------
+
+    def push(
+        self, stream: str, timestamp: int, value: Any, key: Any = None
+    ) -> None:
+        """Inject one data tuple into ``stream``."""
+        if key is None:
+            key = getattr(value, "key", None)
+        record = Record(timestamp=timestamp, value=value, key=key)
+        if self.config.log_inputs:
+            self._input_log.append(("record", (stream, record)))
+        self.runtime.push(f"source:{stream}", record)
+
+    def watermark(self, timestamp: int, stream: Optional[str] = None) -> None:
+        """Advance event time (fires due windows).
+
+        With ``stream`` given, only that source's watermark advances —
+        modelling skewed sources; binary operators hold their event-time
+        clock at the minimum across inputs, so a lagging stream delays
+        joint window fires (the standard alignment rule).  Without it,
+        every stream advances together.
+        """
+        if stream is None:
+            if timestamp <= self._last_watermark_ms:
+                return
+            self._last_watermark_ms = timestamp
+            targets = self.config.streams
+        else:
+            if stream not in self.config.streams:
+                raise KeyError(f"unknown stream {stream!r}")
+            if timestamp <= self._stream_watermarks.get(stream, -1):
+                return
+            targets = (stream,)
+        watermark = Watermark(timestamp=timestamp)
+        if self.config.log_inputs:
+            self._input_log.append(("watermark", (targets, watermark)))
+        for target in targets:
+            self._stream_watermarks[target] = max(
+                self._stream_watermarks.get(target, -1), timestamp
+            )
+            self.runtime.push(f"source:{target}", watermark)
+
+    # -- fault tolerance ----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Take a consistent engine checkpoint; returns its id.
+
+        Requires ``config.log_inputs``.  A barrier traverses all sources
+        (aligned snapshots of every operator instance); channel contents
+        and the shared-session state are captured alongside, and the
+        input-log offset is recorded so :meth:`recover` can replay the
+        suffix (§3.3).
+        """
+        import copy
+
+        if not self.config.log_inputs:
+            raise RuntimeError(
+                "checkpointing needs EngineConfig(log_inputs=True)"
+            )
+        checkpoint_id = self._next_checkpoint_id
+        self._next_checkpoint_id += 1
+        barrier = CheckpointBarrier(timestamp=0, checkpoint_id=checkpoint_id)
+        for stream in self.config.streams:
+            self.runtime.push(f"source:{stream}", barrier)
+        state = self.runtime.completed_checkpoint(checkpoint_id)
+        if state is None:
+            raise RuntimeError(
+                f"checkpoint {checkpoint_id} did not complete on all instances"
+            )
+        self._checkpoints.append(
+            EngineCheckpoint(
+                checkpoint_id=checkpoint_id,
+                log_offset=len(self._input_log),
+                runtime_state=state,
+                channels_state=self.channels.snapshot(),
+                session_state=copy.deepcopy(self.session),
+                last_watermark_ms=self._last_watermark_ms,
+                stream_watermarks=dict(self._stream_watermarks),
+            )
+        )
+        return checkpoint_id
+
+    def recover(self) -> None:
+        """Simulate failure + recovery: redeploy, restore, replay.
+
+        The running topology is discarded; a fresh one is deployed from
+        the same graph, operator state is restored from the latest
+        completed checkpoint (or empty, if none), and the input log's
+        suffix — records, watermarks, *and* changelog markers, in their
+        original interleaving — is replayed.  Outputs equal those of an
+        uninterrupted run (exactly-once).
+        """
+        import copy
+
+        if not self.config.log_inputs:
+            raise RuntimeError("recovery needs EngineConfig(log_inputs=True)")
+        # Fresh instances: clear operator registries so introspection and
+        # component stats point at the recovered topology only.
+        self._selections.clear()
+        self._joins.clear()
+        self._aggregations.clear()
+        self._routers.clear()
+        self.runtime = JobRuntime(self.graph)
+        checkpoint = self._checkpoints[-1] if self._checkpoints else None
+        if checkpoint is not None:
+            self.runtime.restore_checkpoint(checkpoint.runtime_state)
+            self.channels.restore(checkpoint.channels_state)
+            self.session = copy.deepcopy(checkpoint.session_state)
+            self._last_watermark_ms = checkpoint.last_watermark_ms
+            self._stream_watermarks = dict(checkpoint.stream_watermarks)
+            offset = checkpoint.log_offset
+        else:
+            self.channels.restore({"counts": {}, "results": {}})
+            self._last_watermark_ms = -1
+            self._stream_watermarks = {}
+            offset = 0
+        # Watermark alignment state is channel-local and dies with the old
+        # runtime: re-inject the per-stream watermarks known at the
+        # checkpoint so the fresh instances' event-time clocks resume
+        # where they were (window refires are impossible — the restored
+        # firing schedules already advanced past them).
+        for stream, watermark_ms in self._stream_watermarks.items():
+            if watermark_ms >= 0:
+                self.runtime.push(
+                    f"source:{stream}", Watermark(timestamp=watermark_ms)
+                )
+        # Replay the suffix in original global order.
+        replay = list(self._input_log[offset:])
+        for kind, payload in replay:
+            if kind == "record":
+                stream, record = payload
+                self.runtime.push(f"source:{stream}", record)
+            elif kind == "watermark":
+                targets, element = payload
+                for stream in targets:
+                    self.runtime.push(f"source:{stream}", element)
+                    self._stream_watermarks[stream] = max(
+                        self._stream_watermarks.get(stream, -1),
+                        element.timestamp,
+                    )
+                if tuple(targets) == tuple(self.config.streams):
+                    self._last_watermark_ms = max(
+                        self._last_watermark_ms, element.timestamp
+                    )
+            else:  # marker
+                for stream in self.config.streams:
+                    self.runtime.push(f"source:{stream}", payload)
+
+    @property
+    def completed_checkpoints(self) -> int:
+        """Number of completed engine checkpoints."""
+        return len(self._checkpoints)
+
+    # -- results & stats ---------------------------------------------------------------
+
+    def results(self, query_id: str) -> List[QueryOutput]:
+        """Results delivered to a query's channel so far."""
+        return self.channels.results(query_id)
+
+    def result_count(self, query_id: str) -> int:
+        """Number of results delivered to a query."""
+        return self.channels.count(query_id)
+
+    @property
+    def active_query_count(self) -> int:
+        """Queries currently live (post-changelog)."""
+        return self.session.registry.active_count
+
+    def component_stats(self) -> Dict[str, float]:
+        """Aggregate per-component counters (Figure 18's breakdown)."""
+        stats = {
+            "predicate_evaluations": 0,
+            "selection_dropped": 0,
+            "bitset_ops": 0,
+            "router_copies": 0,
+            "join_pairs_computed": 0,
+            "join_pairs_reused": 0,
+            "results_emitted": 0,
+            "late_records_dropped": 0,
+            "selection_ns": 0,
+            "shared_op_ns": 0,
+            "router_ns": 0,
+        }
+        for operators in self._selections.values():
+            for op in operators:
+                stats["predicate_evaluations"] += op.predicate_evaluations
+                stats["selection_dropped"] += op.records_dropped
+                stats["selection_ns"] += op.profile_ns
+        for operators in self._joins.values():
+            for op in operators:
+                stats["bitset_ops"] += op.bitset_ops
+                stats["join_pairs_computed"] += op.pairs_computed
+                stats["join_pairs_reused"] += op.pairs_reused
+                stats["results_emitted"] += op.results_emitted
+                stats["late_records_dropped"] += op.late_records_dropped
+                stats["shared_op_ns"] += op.profile_ns
+        for operators in self._aggregations.values():
+            for op in operators:
+                stats["bitset_ops"] += op.bitset_ops
+                stats["results_emitted"] += op.results_emitted
+                stats["late_records_dropped"] += op.late_records_dropped
+                stats["shared_op_ns"] += op.profile_ns
+        for operators in self._routers.values():
+            for op in operators:
+                stats["router_copies"] += op.copies
+                stats["router_ns"] += op.profile_ns
+        return stats
+
+    def sharing_report(
+        self, limit: int = 10, min_jaccard: float = 0.0
+    ) -> List[Tuple[str, str, str, float]]:
+        """Most-overlapping query pairs: ``(stream, id_a, id_b, jaccard)``.
+
+        Requires ``config.collect_sharing_stats``.  This is the runtime
+        signal the paper's future-work optimizer would group queries by;
+        pairs whose slots no longer resolve to live queries are skipped.
+        """
+        if not self._sharing_stats:
+            raise RuntimeError(
+                "sharing statistics need "
+                "EngineConfig(collect_sharing_stats=True)"
+            )
+        registry = self.session.registry
+        report: List[Tuple[str, str, str, float]] = []
+        for stream, stats in self._sharing_stats.items():
+            for entry in stats.top_pairs(limit=limit, min_jaccard=min_jaccard):
+                query_a = registry.by_slot(entry.slot_a)
+                query_b = registry.by_slot(entry.slot_b)
+                if query_a is None or query_b is None:
+                    continue
+                report.append(
+                    (
+                        stream,
+                        query_a.query.query_id,
+                        query_b.query.query_id,
+                        entry.jaccard,
+                    )
+                )
+        report.sort(key=lambda row: -row[3])
+        return report[:limit]
+
+    def selection_operators(self, stream: str) -> List[SharedSelectionOperator]:
+        """Live shared-selection instances for a stream."""
+        return self._selections.get(stream, [])
+
+    def join_operators(self, join_key: str) -> List[SharedJoinOperator]:
+        """Live shared-join instances for a cascade stage."""
+        return self._joins.get(join_key, [])
+
+    def aggregation_operators(self, agg_key: str) -> List[SharedAggregationOperator]:
+        """Live shared-aggregation instances for a stage."""
+        return self._aggregations.get(agg_key, [])
+
+    def describe(self) -> str:
+        """Human-readable topology and query-population summary."""
+        lines = [
+            f"AStream topology ({len(self.graph.vertices)} vertices, "
+            f"parallelism {self._parallelism}, "
+            f"{self.graph.total_instances()} instances on "
+            f"{self.cluster.spec.nodes} nodes)",
+        ]
+        for name in self.graph.topological_order():
+            vertex = self.graph.vertices[name]
+            if vertex.is_source:
+                lines.append(f"  {name}  (source)")
+                continue
+            inputs = ", ".join(
+                f"{edge.source}[{edge.partitioning.value}]"
+                for edge in self.graph.in_edges(name)
+            )
+            lines.append(f"  {name}  <- {inputs}")
+        active = self.session.registry.active()
+        lines.append(
+            f"queries: {len(active)} active, "
+            f"width {self.session.registry.width}, "
+            f"{self.session.pending_count} pending"
+        )
+        for entry in active:
+            lines.append(
+                f"  slot {entry.slot}: {entry.query.query_id} "
+                f"({type(entry.query).__name__}, "
+                f"created t={entry.created_at_ms}ms)"
+            )
+        return "\n".join(lines)
+
+    def shutdown(self) -> None:
+        """Release cluster slots and close operators."""
+        self.runtime.close()
+        self.cluster.release(self.JOB_NAME)

@@ -1,0 +1,132 @@
+"""Query-slot allocation (paper §2.1.2, Figure 3).
+
+Every active query occupies one bit position — a *slot* — in all
+query-sets.  When a query is deleted its slot becomes reusable; AStream
+assigns freed slots to new queries to keep query-sets compact
+(Figure 3c).  The naive alternative — append-only indices, never reusing
+a deleted query's position (Figure 3b) — is kept as
+:attr:`SlotPolicy.APPEND_ONLY` for the ablation benchmark: it produces
+ever-wider, sparse bitsets whose bitwise operations slow down over time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.query import Query
+
+
+class SlotPolicy(enum.Enum):
+    """How slots of deleted queries are handled."""
+
+    REUSE = "reuse"
+    """AStream's policy: lowest freed slot first (Figure 3c)."""
+
+    APPEND_ONLY = "append_only"
+    """Naive policy: every query gets a fresh index (Figure 3b)."""
+
+
+@dataclass
+class ActiveQuery:
+    """Registry entry for one running query."""
+
+    query: Query
+    slot: int
+    created_at_ms: int
+    created_epoch: int
+    """Index of the changelog epoch that created this query."""
+
+
+class QueryRegistry:
+    """Tracks active queries and their slot assignments.
+
+    The registry lives client-side in the shared session; shared operators
+    receive its updates through changelog markers and mirror the relevant
+    subset.
+    """
+
+    def __init__(self, policy: SlotPolicy = SlotPolicy.REUSE) -> None:
+        self.policy = policy
+        self._by_slot: Dict[int, ActiveQuery] = {}
+        self._by_id: Dict[str, ActiveQuery] = {}
+        self._free_slots: List[int] = []
+        self._width = 0
+
+    # -- allocation ----------------------------------------------------------
+
+    def register(
+        self, query: Query, created_at_ms: int, created_epoch: int
+    ) -> ActiveQuery:
+        """Allocate a slot for ``query`` and mark it active."""
+        if query.query_id in self._by_id:
+            raise ValueError(f"query {query.query_id!r} is already registered")
+        slot = self._allocate_slot()
+        entry = ActiveQuery(
+            query=query,
+            slot=slot,
+            created_at_ms=created_at_ms,
+            created_epoch=created_epoch,
+        )
+        self._by_slot[slot] = entry
+        self._by_id[query.query_id] = entry
+        return entry
+
+    def unregister(self, query_id: str) -> ActiveQuery:
+        """Remove a query; its slot becomes reusable under REUSE policy."""
+        entry = self._by_id.pop(query_id, None)
+        if entry is None:
+            raise KeyError(f"query {query_id!r} is not registered")
+        del self._by_slot[entry.slot]
+        if self.policy is SlotPolicy.REUSE:
+            self._free_slots.append(entry.slot)
+            self._free_slots.sort(reverse=True)  # pop() yields the lowest
+        return entry
+
+    def _allocate_slot(self) -> int:
+        if self.policy is SlotPolicy.REUSE and self._free_slots:
+            return self._free_slots.pop()
+        slot = self._width
+        self._width += 1
+        return slot
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of slots ever allocated (the query-set width)."""
+        return self._width
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently active queries."""
+        return len(self._by_id)
+
+    def by_slot(self, slot: int) -> Optional[ActiveQuery]:
+        """The active query at ``slot``, or None."""
+        return self._by_slot.get(slot)
+
+    def by_id(self, query_id: str) -> Optional[ActiveQuery]:
+        """The active query named ``query_id``, or None."""
+        return self._by_id.get(query_id)
+
+    def active(self) -> List[ActiveQuery]:
+        """All active queries, ordered by slot."""
+        return [self._by_slot[slot] for slot in sorted(self._by_slot)]
+
+    def active_mask(self) -> int:
+        """Bitset of currently occupied slots."""
+        mask = 0
+        for slot in self._by_slot:
+            mask |= 1 << slot
+        return mask
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._by_id
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryRegistry(policy={self.policy.value}, "
+            f"active={self.active_count}, width={self._width})"
+        )

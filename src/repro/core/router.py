@@ -1,0 +1,194 @@
+"""The router: fanning results out to per-query channels (§3.1.6).
+
+Routing information is encoded in each result tuple's query-set: the
+router copies the tuple to the output channel of every query whose bit is
+set *and* whose final plan stage is the upstream operator.  This is the
+only place AStream copies data (§3.2.2) — intermediate results flowing to
+downstream shared joins are forwarded by reference on a separate edge —
+and with many concurrent queries this copy becomes the dominant overhead
+component (Figure 18a).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.changelog import Changelog
+from repro.core.selection import QS_TAG
+from repro.minispe.operators import Operator
+from repro.minispe.record import ChangelogMarker, Record, Watermark
+
+
+@dataclass
+class QueryOutput:
+    """One delivered result on a query's channel."""
+
+    timestamp: int
+    value: Any
+
+
+class QueryChannels:
+    """Per-query output channels shared by all router instances.
+
+    The harness wires ``on_deliver`` to timestamp deliveries for
+    event-time latency (§3.4 extends Flink's latency markers the same
+    way: sample tuples at the sink and report to the job manager).
+    """
+
+    def __init__(
+        self,
+        retain_results: bool = True,
+        on_deliver: Optional[Callable[[str, Record], None]] = None,
+    ) -> None:
+        self.retain_results = retain_results
+        self.on_deliver = on_deliver
+        self._results: Dict[str, List[QueryOutput]] = {}
+        self._counts: Dict[str, int] = {}
+
+    def open_channel(self, query_id: str) -> None:
+        """Create the channel for a newly deployed query."""
+        self._results.setdefault(query_id, [])
+        self._counts.setdefault(query_id, 0)
+
+    def close_channel(self, query_id: str) -> None:
+        """Stop delivering to a deleted query (results stay readable)."""
+        # Counts and results are retained so the harness can read them
+        # after the query stopped; new deliveries simply stop arriving
+        # because the router drops the slot mapping.
+
+    def deliver(self, query_id: str, timestamp: int, value: Any) -> None:
+        """Copy one result tuple onto a query's channel."""
+        self._counts[query_id] = self._counts.get(query_id, 0) + 1
+        if self.retain_results:
+            self._results.setdefault(query_id, []).append(
+                QueryOutput(timestamp=timestamp, value=value)
+            )
+        if self.on_deliver is not None:
+            self.on_deliver(query_id, timestamp)
+
+    def results(self, query_id: str) -> List[QueryOutput]:
+        """All results delivered to ``query_id`` so far."""
+        return self._results.get(query_id, [])
+
+    def count(self, query_id: str) -> int:
+        """Number of results delivered to ``query_id``."""
+        return self._counts.get(query_id, 0)
+
+    def total_delivered(self) -> int:
+        """Results delivered across all queries."""
+        return sum(self._counts.values())
+
+    def query_ids(self) -> List[str]:
+        """All channels ever opened."""
+        return list(self._counts.keys())
+
+    def snapshot(self) -> dict:
+        """Channel state for an engine checkpoint."""
+        return {
+            "counts": dict(self._counts),
+            "results": {
+                query_id: list(outputs)
+                for query_id, outputs in self._results.items()
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset channels to a checkpointed state (recovery)."""
+        self._counts = dict(snapshot["counts"])
+        self._results = {
+            query_id: list(outputs)
+            for query_id, outputs in snapshot["results"].items()
+        }
+
+
+class RouterOperator(Operator):
+    """Routes tagged result tuples from one shared operator to channels.
+
+    ``upstream_key`` is the stage whose outputs this router serves; only
+    queries whose *output* stage is that operator are routed here, so
+    intermediate join results heading to downstream shared operators are
+    not copied (§3.2.2).
+    """
+
+    def __init__(
+        self,
+        upstream_key: str,
+        channels: QueryChannels,
+        profile: bool = False,
+    ) -> None:
+        super().__init__(f"router:{upstream_key}")
+        self.upstream_key = upstream_key
+        self.channels = channels
+        self.profile = profile
+        self._slot_to_query: Dict[int, str] = {}
+        self._output_slots = 0
+        self.copies = 0
+        self.profile_ns = 0
+
+    # -- changelog handling ----------------------------------------------------
+
+    def on_marker(self, marker: ChangelogMarker) -> None:
+        changelog: Changelog = marker.changelog
+        for deactivation in changelog.deleted:
+            if deactivation.slot in self._slot_to_query:
+                del self._slot_to_query[deactivation.slot]
+                self._output_slots &= ~(1 << deactivation.slot)
+                self.channels.close_channel(deactivation.query_id)
+        for activation in changelog.created:
+            if self._is_output_here(activation):
+                self._slot_to_query[activation.slot] = activation.query.query_id
+                self._output_slots |= 1 << activation.slot
+                self.channels.open_channel(activation.query.query_id)
+        self.output(marker)
+
+    def _is_output_here(self, activation) -> bool:
+        for stage in activation.query.stages():
+            if stage.operator == self.upstream_key:
+                return stage.is_output
+        return False
+
+    # -- data path -----------------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        bits = record.tags.get(QS_TAG, 0) & self._output_slots
+        if not bits:
+            return
+        started = time.perf_counter_ns() if self.profile else 0
+        deliver = self.channels.deliver
+        slot_to_query = self._slot_to_query
+        timestamp = record.timestamp
+        value = record.value
+        slot = 0
+        while bits:
+            if bits & 1:
+                # Ship a copy to the query's own channel: physically
+                # different channels require one copy per query (§3.2.2).
+                deliver(slot_to_query[slot], timestamp, value)
+                self.copies += 1
+            bits >>= 1
+            slot += 1
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        # Routers are terminal vertices; nothing to forward.
+        pass
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def routed_query_count(self) -> int:
+        """Queries currently routed by this instance."""
+        return len(self._slot_to_query)
+
+    def snapshot(self) -> Any:
+        return {
+            "slot_to_query": dict(self._slot_to_query),
+            "output_slots": self._output_slots,
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._slot_to_query = dict(snapshot["slot_to_query"])
+        self._output_slots = snapshot["output_slots"]

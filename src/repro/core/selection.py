@@ -1,0 +1,220 @@
+"""Shared selection: tagging tuples with query-sets (§3.1.2).
+
+One shared selection operator serves *all* queries reading a stream.  For
+each tuple it evaluates every active query's predicate once, assembles
+the resulting query-set bitset, and appends it to the tuple (as the
+record tag ``"qs"``).  Tuples no query is interested in are dropped right
+here, which avoids redundant shuffling downstream (§3.2.2).
+
+Consistency with ad-hoc changes is event-time based: a changelog marker
+carries the event time of the query change, and a tuple is tagged with
+the query view of the epoch *its own timestamp* falls into — even when
+bounded out-of-orderness delivers it after a newer changelog.  The
+operator therefore keeps a short history of epoch views.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.core.changelog import Changelog
+from repro.core.query import Predicate
+from repro.minispe.operators import Operator
+from repro.minispe.record import ChangelogMarker, Record
+
+QS_TAG = "qs"
+"""Record tag holding the query-set bits."""
+
+EPOCH_TAG = "epoch"
+"""Record tag holding the changelog epoch the tuple was tagged under."""
+
+
+@dataclass
+class _EpochView:
+    """The queries watching this stream during one epoch.
+
+    ``predicates`` maps each *distinct* predicate to the bitset of slots
+    that use it: queries sharing a predicate are evaluated once and
+    their bits OR-ed in together (the sharing-statistics optimisation
+    the paper's future work sketches — grouping similar queries).
+    """
+
+    start_ms: int
+    sequence: int
+    predicates: List[Tuple[Predicate, int]]
+    """(predicate, slots-bitset) pairs, one entry per distinct predicate."""
+
+
+class SharedSelectionOperator(Operator):
+    """Tags records of one stream with query-set bitsets.
+
+    ``stream`` names the input this operator serves; a query's predicate
+    is looked up via ``query.predicate_for(stream)``.
+    """
+
+    VIEW_RETENTION_MS = 60_000
+    """Epoch views older than this behind the watermark are pruned; it
+    bounds metadata growth while leaving generous room for late records."""
+
+    def __init__(
+        self,
+        stream: str,
+        profile: bool = False,
+        dedup_predicates: bool = True,
+        sharing_stats=None,
+    ) -> None:
+        super().__init__(f"shared_select:{stream}")
+        self.stream = stream
+        self.sharing_stats = sharing_stats
+        """Optional :class:`repro.core.statistics.SharingStatistics`
+        collector (shared across this stream's parallel instances)."""
+        self.dedup_predicates = dedup_predicates
+        """Evaluate a predicate shared by several queries only once.
+
+        This is the paper's future-work sharing optimisation at the
+        selection stage; disable for the ablation benchmark."""
+        self._slot_predicates: Dict[int, Predicate] = {}
+        self._views: List[_EpochView] = [
+            _EpochView(start_ms=0, sequence=0, predicates=[])
+        ]
+        self._view_starts: List[int] = [0]
+        self.profile = profile
+        self.predicate_evaluations = 0
+        self.records_dropped = 0
+        self.profile_ns = 0
+
+    # -- changelog handling ----------------------------------------------------
+
+    def on_marker(self, marker: ChangelogMarker) -> None:
+        self._apply_changelog(marker.changelog, marker.timestamp)
+        self.output(marker)
+
+    def _apply_changelog(self, changelog: Changelog, timestamp_ms: int) -> None:
+        for deactivation in changelog.deleted:
+            self._slot_predicates.pop(deactivation.slot, None)
+            if self.sharing_stats is not None:
+                self.sharing_stats.forget_slot(deactivation.slot)
+        for activation in changelog.created:
+            if self.stream in activation.query.streams:
+                self._slot_predicates[activation.slot] = (
+                    activation.query.predicate_for(self.stream)
+                )
+            else:
+                # A created query that ignores this stream still voids the
+                # slot's previous meaning here; deletion above handled the
+                # reuse case, so nothing to add.
+                self._slot_predicates.pop(activation.slot, None)
+        view = _EpochView(
+            start_ms=timestamp_ms,
+            sequence=changelog.sequence,
+            predicates=self._group_predicates(),
+        )
+        self._views.append(view)
+        self._view_starts.append(timestamp_ms)
+
+    def _group_predicates(self) -> List[Tuple[Predicate, int]]:
+        """Group slots by distinct predicate (identity for UDFs).
+
+        Hashable value-predicates (the generated ``FieldPredicate`` and
+        ``TruePredicate`` dataclasses) deduplicate by value; unhashable
+        black-box predicates fall back to one group per slot.
+        """
+        if not self.dedup_predicates:
+            return [
+                (predicate, 1 << slot)
+                for slot, predicate in sorted(self._slot_predicates.items())
+            ]
+        groups: Dict[Any, Tuple[Predicate, int]] = {}
+        for slot, predicate in sorted(self._slot_predicates.items()):
+            try:
+                key = (type(predicate), hash(predicate), predicate)
+            except TypeError:
+                key = ("id", id(predicate))
+            existing = groups.get(key)
+            if existing is None:
+                groups[key] = (predicate, 1 << slot)
+            else:
+                groups[key] = (existing[0], existing[1] | (1 << slot))
+        return list(groups.values())
+
+    # -- tagging ---------------------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        started = time.perf_counter_ns() if self.profile else 0
+        view = self._view_for(record.timestamp)
+        bits = 0
+        value = record.value
+        for predicate, slots_mask in view.predicates:
+            self.predicate_evaluations += 1
+            if predicate.evaluate(value):
+                bits |= slots_mask
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+        if bits == 0:
+            self.records_dropped += 1
+            return
+        if self.sharing_stats is not None:
+            self.sharing_stats.observe(bits)
+        new_tags = dict(record.tags)
+        new_tags[QS_TAG] = bits
+        new_tags[EPOCH_TAG] = view.sequence
+        self.output(
+            Record(
+                timestamp=record.timestamp,
+                value=value,
+                key=record.key,
+                tags=new_tags,
+            )
+        )
+
+    def _view_for(self, timestamp_ms: int) -> _EpochView:
+        """The epoch view covering ``timestamp_ms`` (event-time lookup)."""
+        index = bisect_right(self._view_starts, timestamp_ms) - 1
+        return self._views[index]
+
+    # -- maintenance -------------------------------------------------------------
+
+    def on_watermark(self, watermark) -> None:
+        self.prune_views_before(watermark.timestamp - self.VIEW_RETENTION_MS)
+        self.output(watermark)
+
+    def prune_views_before(self, timestamp_ms: int) -> int:
+        """Drop epoch views fully superseded before ``timestamp_ms``.
+
+        Keeps at least the view in force at ``timestamp_ms`` so late
+        records within the allowed lateness still resolve.  Returns the
+        number of views dropped.
+        """
+        keep_from = max(0, bisect_right(self._view_starts, timestamp_ms) - 1)
+        dropped = keep_from
+        if dropped:
+            self._views = self._views[keep_from:]
+            self._view_starts = self._view_starts[keep_from:]
+        return dropped
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def active_query_count(self) -> int:
+        """Queries currently watching this stream."""
+        return len(self._slot_predicates)
+
+    def snapshot(self) -> Any:
+        return {
+            "slot_predicates": dict(self._slot_predicates),
+            "views": [
+                (view.start_ms, view.sequence, list(view.predicates))
+                for view in self._views
+            ],
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._slot_predicates = dict(snapshot["slot_predicates"])
+        self._views = [
+            _EpochView(start_ms=start, sequence=sequence, predicates=list(preds))
+            for start, sequence, preds in snapshot["views"]
+        ]
+        self._view_starts = [view.start_ms for view in self._views]

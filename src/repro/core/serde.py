@@ -1,0 +1,273 @@
+"""JSON (de)serialization for queries and workload schedules.
+
+Lets workloads live as data: a reviewer can export the exact ad-hoc
+schedule an experiment ran (`schedule_to_dict`), commit it as JSON, and
+replay it byte-identically later (`schedule_from_dict`) — or author
+query populations by hand without writing Python.
+
+Supported predicate forms are the paper's generated ones
+(:class:`FieldPredicate`, :class:`TruePredicate`) plus the SQL
+front-end's conjunction; black-box callables are rejected with a clear
+error (code is not data).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.query import (
+    AggregationKind,
+    AggregationQuery,
+    AggregationSpec,
+    Comparison,
+    ComplexQuery,
+    FieldPredicate,
+    JoinQuery,
+    Predicate,
+    Query,
+    SelectionQuery,
+    TruePredicate,
+    WindowKind,
+    WindowSpec,
+)
+from repro.core.sql import ConjunctionPredicate
+from repro.workloads.scenarios import ScheduledRequest, WorkloadSchedule
+
+
+class SerdeError(ValueError):
+    """Raised for unserialisable objects or malformed documents."""
+
+
+# -- predicates ---------------------------------------------------------------
+
+def predicate_to_dict(predicate: Predicate) -> Dict[str, Any]:
+    """Serialise a value predicate (rejects black-box callables)."""
+    if isinstance(predicate, TruePredicate):
+        return {"type": "true"}
+    if isinstance(predicate, FieldPredicate):
+        return {
+            "type": "field",
+            "field_index": predicate.field_index,
+            "op": predicate.op.value,
+            "constant": predicate.constant,
+        }
+    if isinstance(predicate, ConjunctionPredicate):
+        return {
+            "type": "and",
+            "conjuncts": [
+                predicate_to_dict(conjunct) for conjunct in predicate.conjuncts
+            ],
+        }
+    raise SerdeError(
+        f"predicate {predicate!r} is not serialisable (black-box callables "
+        f"are code, not data)"
+    )
+
+
+def predicate_from_dict(document: Dict[str, Any]) -> Predicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    kind = document.get("type")
+    if kind == "true":
+        return TruePredicate()
+    if kind == "field":
+        return FieldPredicate(
+            document["field_index"],
+            Comparison(document["op"]),
+            document["constant"],
+        )
+    if kind == "and":
+        return ConjunctionPredicate(
+            tuple(
+                predicate_from_dict(conjunct)
+                for conjunct in document["conjuncts"]
+            )
+        )
+    raise SerdeError(f"unknown predicate type {kind!r}")
+
+
+# -- windows -----------------------------------------------------------------------
+
+def window_to_dict(spec: WindowSpec) -> Dict[str, Any]:
+    """Serialise a window spec."""
+    if spec.is_session:
+        return {"kind": "session", "gap_ms": spec.gap_ms}
+    return {
+        "kind": spec.kind.value,
+        "length_ms": spec.length_ms,
+        "slide_ms": spec.slide_ms,
+    }
+
+
+def window_from_dict(document: Dict[str, Any]) -> WindowSpec:
+    """Inverse of :func:`window_to_dict`."""
+    kind = document.get("kind")
+    if kind == "session":
+        return WindowSpec.session(document["gap_ms"])
+    if kind in (WindowKind.TUMBLING.value, WindowKind.SLIDING.value):
+        return WindowSpec.sliding(document["length_ms"], document["slide_ms"])
+    raise SerdeError(f"unknown window kind {kind!r}")
+
+
+def _aggregation_to_dict(spec: AggregationSpec) -> Dict[str, Any]:
+    return {"kind": spec.kind.value, "field_index": spec.field_index}
+
+
+def _aggregation_from_dict(document: Dict[str, Any]) -> AggregationSpec:
+    return AggregationSpec(
+        AggregationKind(document["kind"]), document["field_index"]
+    )
+
+
+# -- queries ------------------------------------------------------------------------
+
+def query_to_dict(query: Query) -> Dict[str, Any]:
+    """Serialise any supported query to a plain dict."""
+    if isinstance(query, SelectionQuery):
+        return {
+            "type": "selection",
+            "query_id": query.query_id,
+            "stream": query.stream,
+            "predicate": predicate_to_dict(query.predicate),
+        }
+    if isinstance(query, AggregationQuery):
+        return {
+            "type": "aggregation",
+            "query_id": query.query_id,
+            "stream": query.stream,
+            "predicate": predicate_to_dict(query.predicate),
+            "window": window_to_dict(query.window_spec),
+            "aggregation": _aggregation_to_dict(query.aggregation),
+        }
+    if isinstance(query, JoinQuery):
+        return {
+            "type": "join",
+            "query_id": query.query_id,
+            "left_stream": query.left_stream,
+            "right_stream": query.right_stream,
+            "left_predicate": predicate_to_dict(query.left_predicate),
+            "right_predicate": predicate_to_dict(query.right_predicate),
+            "window": window_to_dict(query.window_spec),
+        }
+    if isinstance(query, ComplexQuery):
+        return {
+            "type": "complex",
+            "query_id": query.query_id,
+            "join_streams": list(query.join_streams),
+            "predicates": [
+                predicate_to_dict(predicate) for predicate in query.predicates
+            ],
+            "join_window": window_to_dict(query.join_window),
+            "aggregation_window": window_to_dict(query.aggregation_window),
+            "aggregation": _aggregation_to_dict(query.aggregation),
+        }
+    raise SerdeError(f"unsupported query type {type(query).__name__}")
+
+
+def query_from_dict(document: Dict[str, Any]) -> Query:
+    """Inverse of :func:`query_to_dict`."""
+    kind = document.get("type")
+    if kind == "selection":
+        return SelectionQuery(
+            stream=document["stream"],
+            predicate=predicate_from_dict(document["predicate"]),
+            query_id=document["query_id"],
+        )
+    if kind == "aggregation":
+        return AggregationQuery(
+            stream=document["stream"],
+            predicate=predicate_from_dict(document["predicate"]),
+            window_spec=window_from_dict(document["window"]),
+            aggregation=_aggregation_from_dict(document["aggregation"]),
+            query_id=document["query_id"],
+        )
+    if kind == "join":
+        return JoinQuery(
+            left_stream=document["left_stream"],
+            right_stream=document["right_stream"],
+            left_predicate=predicate_from_dict(document["left_predicate"]),
+            right_predicate=predicate_from_dict(document["right_predicate"]),
+            window_spec=window_from_dict(document["window"]),
+            query_id=document["query_id"],
+        )
+    if kind == "complex":
+        return ComplexQuery(
+            join_streams=tuple(document["join_streams"]),
+            predicates=tuple(
+                predicate_from_dict(predicate)
+                for predicate in document["predicates"]
+            ),
+            join_window=window_from_dict(document["join_window"]),
+            aggregation_window=window_from_dict(document["aggregation_window"]),
+            aggregation=_aggregation_from_dict(document["aggregation"]),
+            query_id=document["query_id"],
+        )
+    raise SerdeError(f"unknown query type {kind!r}")
+
+
+# -- schedules -----------------------------------------------------------------------
+
+def schedule_to_dict(schedule: WorkloadSchedule) -> Dict[str, Any]:
+    """Serialise a workload schedule (creations carry full queries)."""
+    requests: List[Dict[str, Any]] = []
+    for request in schedule.sorted():
+        if request.kind == "create":
+            requests.append(
+                {
+                    "at_ms": request.at_ms,
+                    "kind": "create",
+                    "query": query_to_dict(request.query),
+                }
+            )
+        else:
+            requests.append(
+                {
+                    "at_ms": request.at_ms,
+                    "kind": "delete",
+                    "query_id": request.query_id,
+                }
+            )
+    return {"name": schedule.name, "requests": requests}
+
+
+def schedule_from_dict(document: Dict[str, Any]) -> WorkloadSchedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    requests = []
+    for entry in document.get("requests", []):
+        if entry["kind"] == "create":
+            requests.append(
+                ScheduledRequest(
+                    at_ms=entry["at_ms"],
+                    kind="create",
+                    query=query_from_dict(entry["query"]),
+                )
+            )
+        elif entry["kind"] == "delete":
+            requests.append(
+                ScheduledRequest(
+                    at_ms=entry["at_ms"],
+                    kind="delete",
+                    query_id=entry["query_id"],
+                )
+            )
+        else:
+            raise SerdeError(f"unknown request kind {entry.get('kind')!r}")
+    return WorkloadSchedule(name=document.get("name", "schedule"),
+                            requests=requests)
+
+
+def save_schedule(schedule: WorkloadSchedule, path) -> None:
+    """Write a schedule as JSON to ``path`` (str or Path)."""
+    import json
+    from pathlib import Path
+
+    Path(path).write_text(
+        json.dumps(schedule_to_dict(schedule), indent=2) + "\n"
+    )
+
+
+def load_schedule(path) -> WorkloadSchedule:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    import json
+    from pathlib import Path
+
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,184 @@
+"""The shared session: batching ad-hoc query requests into changelogs (§3.1.1).
+
+The shared session is AStream's client module.  User requests (query
+creations and deletions) are buffered and turned into a single
+:class:`~repro.core.changelog.Changelog` when either
+
+* ``batch_size`` requests have accumulated, or
+* ``timeout_ms`` of (virtual) time passed since the first pending request.
+
+If there is no user request, no changelog is generated.  The paper's
+experiments configure ``batch_size=100`` and ``timeout_ms=1000`` (§4.4);
+Figure 11's counter-intuitive result — 100 q/s with 1000 queries deploys
+*faster* per query than 1 q/s with 20 — falls out of this batching: the
+former needs only 10 changelog generations, the latter 20.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.changelog import (
+    Changelog,
+    QueryActivation,
+    QueryDeactivation,
+)
+from repro.core.query import Query
+from repro.core.registry import QueryRegistry
+
+
+class RequestKind(enum.Enum):
+    """User request types."""
+
+    CREATE = "create"
+    DELETE = "delete"
+
+
+@dataclass
+class QueryRequest:
+    """One user request, timestamped for deployment-latency accounting."""
+
+    kind: RequestKind
+    enqueued_at_ms: int
+    query: Optional[Query] = None
+    query_id: Optional[str] = None
+    changelog_sequence: Optional[int] = None
+    """Filled when the request is flushed into a changelog."""
+
+    def __post_init__(self) -> None:
+        if self.kind is RequestKind.CREATE and self.query is None:
+            raise ValueError("CREATE requests need a query")
+        if self.kind is RequestKind.DELETE and self.query_id is None:
+            raise ValueError("DELETE requests need a query_id")
+
+    @property
+    def target_id(self) -> str:
+        """The query id this request refers to."""
+        if self.kind is RequestKind.CREATE:
+            return self.query.query_id
+        return self.query_id
+
+
+class SharedSession:
+    """Buffers user requests and generates changelogs.
+
+    The session owns the :class:`QueryRegistry` — slot assignment happens
+    at flush time, in request arrival order, so a slot freed by a deletion
+    earlier in the batch is immediately reusable by a later creation
+    (Figure 4a at T5: Q3's slot goes to Q6; Q7 gets a fresh position).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[QueryRegistry] = None,
+        batch_size: int = 100,
+        timeout_ms: int = 1_000,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be positive, got {timeout_ms}")
+        self.registry = registry or QueryRegistry()
+        self.batch_size = batch_size
+        self.timeout_ms = timeout_ms
+        self._pending: List[QueryRequest] = []
+        self._first_pending_at_ms: Optional[int] = None
+        self._next_sequence = 1
+        self.flushed_changelogs: List[Changelog] = []
+
+    # -- request intake ----------------------------------------------------
+
+    def submit(self, query: Query, now_ms: int) -> QueryRequest:
+        """Enqueue a query-creation request."""
+        request = QueryRequest(RequestKind.CREATE, now_ms, query=query)
+        self._enqueue(request, now_ms)
+        return request
+
+    def stop(self, query_id: str, now_ms: int) -> QueryRequest:
+        """Enqueue a query-deletion request."""
+        request = QueryRequest(RequestKind.DELETE, now_ms, query_id=query_id)
+        self._enqueue(request, now_ms)
+        return request
+
+    def _enqueue(self, request: QueryRequest, now_ms: int) -> None:
+        self._pending.append(request)
+        if self._first_pending_at_ms is None:
+            self._first_pending_at_ms = now_ms
+
+    @property
+    def pending_count(self) -> int:
+        """Requests waiting for the next changelog."""
+        return len(self._pending)
+
+    # -- flushing ------------------------------------------------------------
+
+    def should_flush(self, now_ms: int) -> bool:
+        """True when batch-size or timeout demands a changelog now."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.batch_size:
+            return True
+        return now_ms - self._first_pending_at_ms >= self.timeout_ms
+
+    def maybe_flush(self, now_ms: int) -> Optional[Changelog]:
+        """Flush if due; return the changelog or None."""
+        if not self.should_flush(now_ms):
+            return None
+        return self.flush(now_ms)
+
+    def flush(self, now_ms: int) -> Optional[Changelog]:
+        """Force a changelog from all pending requests (None if idle)."""
+        if not self._pending:
+            return None
+        batch = self._pending[: self.batch_size]
+        self._pending = self._pending[self.batch_size :]
+        sequence = self._next_sequence
+        self._next_sequence += 1
+
+        created: List[QueryActivation] = []
+        deleted: List[QueryDeactivation] = []
+        for request in batch:
+            request.changelog_sequence = sequence
+            if request.kind is RequestKind.CREATE:
+                entry = self.registry.register(
+                    request.query, created_at_ms=now_ms, created_epoch=sequence
+                )
+                created.append(
+                    QueryActivation(
+                        query=entry.query,
+                        slot=entry.slot,
+                        created_at_ms=now_ms,
+                    )
+                )
+            else:
+                entry = self.registry.unregister(request.query_id)
+                deleted.append(
+                    QueryDeactivation(query_id=request.target_id, slot=entry.slot)
+                )
+
+        changelog = Changelog(
+            sequence=sequence,
+            timestamp_ms=now_ms,
+            created=tuple(created),
+            deleted=tuple(deleted),
+            width_after=self.registry.width,
+        )
+        self.flushed_changelogs.append(changelog)
+        if self._pending:
+            # Remaining requests start a fresh batch timed from now.
+            self._first_pending_at_ms = now_ms
+        else:
+            self._first_pending_at_ms = None
+        return changelog
+
+    def drain(self, now_ms: int) -> List[Changelog]:
+        """Flush repeatedly until no request is pending."""
+        changelogs = []
+        while self._pending:
+            changelog = self.flush(now_ms)
+            if changelog is None:
+                break
+            changelogs.append(changelog)
+        return changelogs

@@ -1,0 +1,312 @@
+"""Shared windowed aggregation (§3.1.5).
+
+The shared aggregation is the unary sibling of the shared join.  Instead
+of materialising input tuples, each window slice keeps *intermediate
+aggregation results* per subscribed query and grouping key: a tuple with
+query-set ``101`` is folded into Q1's and Q3's partials and discarded.
+When a query window completes, the slice partials covering it are merged
+— partials shared by overlapping windows of different (or sliding)
+queries are thus computed once.
+
+Unlike the join, the aggregation's output cannot be shared with further
+downstream shared aggregations (§3.1.5), so results go to the router
+only.
+
+Session windows are supported here (the paper: "time- and session-based
+windows", §3.1.3): tuples are still tagged and routed once, and the
+operator keeps per-query per-key session accumulators merged on the gap
+rule, fired when the watermark passes a session's end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.changelog import Changelog, ChangelogTable
+from repro.core.query import AggregationSpec, WindowSpec
+from repro.core.selection import QS_TAG
+from repro.core.slicing import SliceIndex, SliceManager
+from repro.minispe.operators import Operator
+from repro.minispe.record import ChangelogMarker, Record, Watermark
+from repro.minispe.windows import Window
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """One fired window's aggregate for one key and one query."""
+
+    key: Any
+    window: Window
+    value: Any
+
+
+@dataclass
+class _SessionState:
+    """Per-(slot, key) session windows with accumulators."""
+
+    sessions: List[Tuple[int, int, Any]]
+    """(start, end, accumulator), kept merged and sorted."""
+
+
+class SharedAggregationOperator(Operator):
+    """Ad-hoc shared windowed aggregation over one tagged stream."""
+
+    def __init__(self, operator_key: str, profile: bool = False) -> None:
+        super().__init__(operator_key)
+        self.operator_key = operator_key
+        self.profile = profile
+
+        self._slicer = SliceManager()
+        self._slices = SliceIndex()
+        self._changelogs = ChangelogTable()
+        self._specs: Dict[int, AggregationSpec] = {}
+        self._subscribed = 0  # bitset of subscribed slots (time windows)
+
+        # Session-window state, per slot.
+        self._session_specs: Dict[int, Tuple[WindowSpec, AggregationSpec]] = {}
+        self._session_state: Dict[Tuple[int, Any], _SessionState] = {}
+
+        self.bitset_ops = 0
+        self.partial_updates = 0
+        self.results_emitted = 0
+        self.late_records_dropped = 0
+        self.profile_ns = 0
+        self._last_watermark_ms = -1
+
+    # -- changelog handling ----------------------------------------------------
+
+    def on_marker(self, marker: ChangelogMarker) -> None:
+        changelog: Changelog = marker.changelog
+        self._changelogs.append(changelog)
+        for deactivation in changelog.deleted:
+            slot = deactivation.slot
+            self._slicer.unregister_query(slot)
+            self._specs.pop(slot, None)
+            self._subscribed &= ~(1 << slot)
+            if slot in self._session_specs:
+                del self._session_specs[slot]
+                stale = [key for key in self._session_state if key[0] == slot]
+                for key in stale:
+                    del self._session_state[key]
+        for activation in changelog.created:
+            spec = self._window_for(activation)
+            if spec is None:
+                continue
+            agg_spec = activation.query.aggregation
+            if spec.is_session:
+                self._session_specs[activation.slot] = (spec, agg_spec)
+                self._subscribed |= 1 << activation.slot
+            else:
+                self._slicer.register_query(
+                    activation.slot, spec, activation.created_at_ms
+                )
+                self._specs[activation.slot] = agg_spec
+                self._subscribed |= 1 << activation.slot
+        self._slicer.on_epoch(changelog.sequence, marker.timestamp)
+        self.output(marker)
+
+    def _window_for(self, activation) -> Optional[WindowSpec]:
+        for stage in activation.query.stages():
+            if stage.operator == self.operator_key:
+                agg_window = getattr(activation.query, "aggregation_window", None)
+                if agg_window is not None:
+                    return agg_window
+                return activation.query.window
+        return None
+
+    # -- data path -----------------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        query_set = record.tags.get(QS_TAG, 0)
+        relevant = query_set & self._subscribed
+        self.bitset_ops += 1
+        if not relevant:
+            return
+        started = time.perf_counter_ns() if self.profile else 0
+        time_window_bits = relevant & ~self._session_bits()
+        if time_window_bits:
+            self._fold_time_windows(record, time_window_bits)
+        session_bits = relevant & self._session_bits()
+        if session_bits:
+            self._fold_sessions(record, session_bits)
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+
+    def _session_bits(self) -> int:
+        bits = 0
+        for slot in self._session_specs:
+            bits |= 1 << slot
+        return bits
+
+    def _fold_time_windows(self, record: Record, bits: int) -> None:
+        if record.timestamp <= self._last_watermark_ms - self._slicer.max_retention_ms:
+            # Beyond any window that could still fire: observable drop.
+            self.late_records_dropped += 1
+            return
+        start, end, epoch = self._slicer.slice_bounds(record.timestamp)
+        slice_ = self._slices.get_or_create(start, end, epoch)
+        if slice_.store is None:
+            slice_.store = {}  # slot -> key -> accumulator
+        store: Dict[int, Dict[Any, Any]] = slice_.store
+        slot = 0
+        value = record.value
+        while bits:
+            if bits & 1:
+                spec = self._specs.get(slot)
+                if spec is not None:
+                    per_key = store.setdefault(slot, {})
+                    acc = per_key.get(record.key)
+                    if acc is None:
+                        acc = spec.initial()
+                    per_key[record.key] = spec.add(acc, value)
+                    self.partial_updates += 1
+            bits >>= 1
+            slot += 1
+
+    def _fold_sessions(self, record: Record, bits: int) -> None:
+        slot = 0
+        while bits:
+            if bits & 1:
+                window_spec, agg_spec = self._session_specs[slot]
+                self._merge_session(
+                    slot, record.key, record.timestamp, record.value,
+                    window_spec, agg_spec,
+                )
+                self.partial_updates += 1
+            bits >>= 1
+            slot += 1
+
+    def _merge_session(
+        self,
+        slot: int,
+        key: Any,
+        timestamp: int,
+        value: Any,
+        window_spec: WindowSpec,
+        agg_spec: AggregationSpec,
+    ) -> None:
+        state = self._session_state.get((slot, key))
+        if state is None:
+            state = _SessionState(sessions=[])
+            self._session_state[(slot, key)] = state
+        proto_start = timestamp
+        proto_end = timestamp + window_spec.gap_ms
+        acc = agg_spec.add(agg_spec.initial(), value)
+        merged: List[Tuple[int, int, Any]] = []
+        for start, end, existing in state.sessions:
+            if start <= proto_end and proto_start <= end:
+                proto_start = min(proto_start, start)
+                proto_end = max(proto_end, end)
+                acc = agg_spec.merge(acc, existing)
+            else:
+                merged.append((start, end, existing))
+        merged.append((proto_start, proto_end, acc))
+        merged.sort()
+        state.sessions = merged
+
+    # -- firing ------------------------------------------------------------------
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        started = time.perf_counter_ns() if self.profile else 0
+        self._last_watermark_ms = watermark.timestamp
+        for slot, start, end in self._slicer.due_windows(watermark.timestamp):
+            self._fire_time_window(slot, start, end)
+        self._fire_sessions(watermark.timestamp)
+        horizon = watermark.timestamp - self._slicer.max_retention_ms
+        self._slices.expire_before(horizon)
+        # Bound metadata growth (see SharedJoinOperator._expire).
+        if self._slicer.prune_before(horizon):
+            oldest_epoch = self._slicer.timeline.epoch_for(horizon)[0]
+            self._changelogs.prune_memo_before(oldest_epoch)
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+        self.output(watermark)
+
+    def _fire_time_window(self, slot: int, start: int, end: int) -> None:
+        spec = self._specs.get(slot)
+        if spec is None:
+            return
+        current_epoch = self._changelogs.current_epoch
+        merged: Dict[Any, Any] = {}
+        for slice_ in self._slices.overlapping(start, end):
+            validity = self._changelogs.cl_set(current_epoch, slice_.epoch)
+            self.bitset_ops += 1
+            if not (validity >> slot) & 1:
+                continue
+            store = slice_.store or {}
+            for key, acc in store.get(slot, {}).items():
+                existing = merged.get(key)
+                merged[key] = acc if existing is None else spec.merge(existing, acc)
+        window = Window(start, end)
+        for key in sorted(merged, key=repr):
+            self._emit(slot, key, window, spec.finish(merged[key]))
+
+    def _fire_sessions(self, watermark_ms: int) -> None:
+        for (slot, key), state in list(self._session_state.items()):
+            window_spec, agg_spec = self._session_specs.get(slot, (None, None))
+            if window_spec is None:
+                continue
+            remaining = []
+            for start, end, acc in state.sessions:
+                if end - 1 <= watermark_ms:
+                    self._emit(
+                        slot, key, Window(start, end), agg_spec.finish(acc)
+                    )
+                else:
+                    remaining.append((start, end, acc))
+            if remaining:
+                state.sessions = remaining
+            else:
+                del self._session_state[(slot, key)]
+
+    def _emit(self, slot: int, key: Any, window: Window, value: Any) -> None:
+        self.results_emitted += 1
+        self.output(
+            Record(
+                timestamp=window.max_timestamp(),
+                value=AggregationResult(key=key, window=window, value=value),
+                key=key,
+                tags={QS_TAG: 1 << slot},
+            )
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def active_query_count(self) -> int:
+        """Queries currently subscribed to this aggregation."""
+        return len(self._specs) + len(self._session_specs)
+
+    @property
+    def live_slices(self) -> int:
+        """Slices currently retained."""
+        return len(self._slices)
+
+    def snapshot(self) -> Any:
+        import copy
+
+        return copy.deepcopy(
+            {
+                "slicer": self._slicer,
+                "slices": self._slices,
+                "changelogs": self._changelogs,
+                "specs": self._specs,
+                "subscribed": self._subscribed,
+                "session_specs": self._session_specs,
+                "session_state": self._session_state,
+            }
+        )
+
+    def restore(self, snapshot: Any) -> None:
+        import copy
+
+        state = copy.deepcopy(snapshot)
+        self._slicer = state["slicer"]
+        self._slices = state["slices"]
+        self._changelogs = state["changelogs"]
+        self._specs = state["specs"]
+        self._subscribed = state["subscribed"]
+        self._session_specs = state["session_specs"]
+        self._session_state = state["session_state"]

@@ -1,0 +1,164 @@
+"""Per-slice tuple stores: grouped-by-query-set vs flat list (§3.1.4, §3.2.3).
+
+Inside a slice, the shared join can store tuples in two layouts:
+
+* **Grouped** (:class:`GroupedStore`) — tuples grouped by their query-set.
+  Joining two slices can then skip whole group pairs whose query-sets
+  share no query, which prunes work when few queries overlap.  The
+  downside: the number of distinct query-sets grows exponentially with
+  the number of concurrent queries, and once most groups hold a single
+  tuple the grouping is pure overhead.
+* **List** (:class:`ListStore`) — a flat per-key list of ``(value,
+  query-set)`` pairs.  No group pruning, but no group bookkeeping either;
+  the paper found this faster beyond roughly ten concurrent queries.
+
+The switch heuristic (§3.1.4): monitor the mean group size; when it drops
+below two — most groups hold a single tuple — switch to list storage.
+The engine can also broadcast a storage marker so all slices convert at a
+consistent point (§3.2.3); :func:`convert_store` performs the conversion.
+
+Both stores are keyed by the join/partitioning key, so the equi-join only
+ever pairs tuples with equal keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Iterator, List, Tuple
+
+
+class StoreKind(enum.Enum):
+    """Slice storage layouts."""
+
+    GROUPED = "grouped"
+    LIST = "list"
+
+
+class TupleStore:
+    """Common interface of the two slice layouts."""
+
+    kind: StoreKind
+
+    def add(self, key: Any, value: Any, query_set: int) -> None:
+        """Insert one tuple (saved exactly once per slice — §3.2.2)."""
+        raise NotImplementedError
+
+    @property
+    def tuple_count(self) -> int:
+        """Number of tuples stored."""
+        raise NotImplementedError
+
+    @property
+    def group_count(self) -> int:
+        """Number of distinct query-set groups (1 per key-list for LIST)."""
+        raise NotImplementedError
+
+    def items_for_key(self, key: Any) -> List[Tuple[Any, int]]:
+        """All ``(value, query_set)`` pairs stored under ``key``."""
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[Any]:
+        """All keys with at least one tuple."""
+        raise NotImplementedError
+
+    def mean_group_size(self) -> float:
+        """Average tuples per query-set group (the switch heuristic input)."""
+        groups = self.group_count
+        if groups == 0:
+            return 0.0
+        return self.tuple_count / groups
+
+
+class GroupedStore(TupleStore):
+    """Tuples grouped by query-set, then by key."""
+
+    kind = StoreKind.GROUPED
+
+    def __init__(self) -> None:
+        # query_set -> key -> [values]
+        self._groups: Dict[int, Dict[Any, List[Any]]] = {}
+        self._count = 0
+
+    def add(self, key: Any, value: Any, query_set: int) -> None:
+        per_key = self._groups.setdefault(query_set, {})
+        per_key.setdefault(key, []).append(value)
+        self._count += 1
+
+    @property
+    def tuple_count(self) -> int:
+        return self._count
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> Iterator[Tuple[int, Dict[Any, List[Any]]]]:
+        """Iterate ``(query_set, {key: [values]})`` groups."""
+        return iter(self._groups.items())
+
+    def items_for_key(self, key: Any) -> List[Tuple[Any, int]]:
+        items = []
+        for query_set, per_key in self._groups.items():
+            for value in per_key.get(key, ()):
+                items.append((value, query_set))
+        return items
+
+    def keys(self) -> Iterator[Any]:
+        seen = set()
+        for per_key in self._groups.values():
+            for key in per_key:
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+
+class ListStore(TupleStore):
+    """Flat per-key lists of ``(value, query_set)`` pairs."""
+
+    kind = StoreKind.LIST
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Any, List[Tuple[Any, int]]] = {}
+        self._count = 0
+
+    def add(self, key: Any, value: Any, query_set: int) -> None:
+        self._by_key.setdefault(key, []).append((value, query_set))
+        self._count += 1
+
+    @property
+    def tuple_count(self) -> int:
+        return self._count
+
+    @property
+    def group_count(self) -> int:
+        # A list store has no query-set grouping; treat each tuple as its
+        # own group so the heuristic never flips back spuriously.
+        return self._count
+
+    def items_for_key(self, key: Any) -> List[Tuple[Any, int]]:
+        return self._by_key.get(key, [])
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._by_key.keys())
+
+
+def make_store(kind: StoreKind) -> TupleStore:
+    """Create an empty store of the requested layout."""
+    if kind is StoreKind.GROUPED:
+        return GroupedStore()
+    return ListStore()
+
+
+def convert_store(store: TupleStore, kind: StoreKind) -> TupleStore:
+    """Rebuild ``store`` in the target layout (no-op if already there).
+
+    Used when the storage marker flips all slices of a shared join
+    (§3.2.3): the operator converts every live slice and resumes.
+    """
+    if store.kind is kind:
+        return store
+    converted = make_store(kind)
+    for key in list(store.keys()):
+        for value, query_set in store.items_for_key(key):
+            converted.add(key, value, query_set)
+    return converted

@@ -1,0 +1,34 @@
+"""Experiment harness: metrics, runner, and one experiment per figure.
+
+* :mod:`repro.harness.metrics` — the §4.3 metric definitions (slowest /
+  overall data throughput, query throughput, deployment latency,
+  event-time latency) as computed views over driver reports;
+* :mod:`repro.harness.runner` — builds SUTs, runs scenarios, searches
+  for sustainable query counts;
+* :mod:`repro.harness.figures` — experiment definitions for Figures
+  9–20 of the paper, each returning a :class:`~repro.harness.report.FigureResult`;
+* :mod:`repro.harness.report` — ASCII-table rendering and the
+  EXPERIMENTS.md row format.
+
+Scale note: experiments run at simulation scale (seconds of virtual
+time, 10³–10⁵ tuples) — the shapes reproduce, the absolute numbers are a
+single Python process, not a 4/8-node JVM cluster.  Multi-node numbers
+are derived via the calibrated cluster speed-up model.
+"""
+
+from repro.harness.metrics import ScenarioMetrics
+from repro.harness.report import FigureResult, render_table
+from repro.harness.runner import (
+    RunnerConfig,
+    run_scenario,
+    sustainable_query_search,
+)
+
+__all__ = [
+    "FigureResult",
+    "RunnerConfig",
+    "ScenarioMetrics",
+    "render_table",
+    "run_scenario",
+    "sustainable_query_search",
+]

@@ -1,0 +1,123 @@
+"""Metric views over driver reports (paper §4.3).
+
+The paper evaluates SUTs on:
+
+* **Event-time latency** — tuple event time → emission from the SUT,
+  including time queued in the driver's tuple FIFO;
+* **Sustainable throughput** — the highest input rate the SUT can serve
+  without ever-growing queues;
+* **Query deployment latency** — user request → query actually live;
+* **Slowest data throughput** — the minimum sustainable throughput among
+  active queries (a cloud owner's minimum-QoS view);
+* **Overall data throughput** — the sum over active queries;
+* **Query throughput** — query creations/deletions per second served
+  with bounded deployment latency.
+
+:class:`ScenarioMetrics` derives all of these from a
+:class:`~repro.workloads.driver.RunReport` plus the cluster's speed-up
+factor, so figure code never recomputes formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.workloads.driver import RunReport
+
+
+@dataclass
+class ScenarioMetrics:
+    """§4.3 metrics computed from one run."""
+
+    report: RunReport
+    speedup: float = 1.0
+    """Cluster scaling multiplier relative to the in-process measurement."""
+    engine: Any = None
+    """The SUT engine, for component-level introspection (Figure 18)."""
+    qos: Any = None
+    """The QoS monitor, for latency-timeline figures (Figure 16)."""
+
+    # -- data throughput -------------------------------------------------------
+
+    @property
+    def slowest_data_throughput_tps(self) -> float:
+        """Minimum sustainable per-query input rate.
+
+        Every active query observes the full input stream, so the slowest
+        query's sustainable rate equals the measured end-to-end service
+        rate of the shared (or forked) pipeline.
+        """
+        return self.report.slowest_throughput_tps(self.speedup)
+
+    @property
+    def overall_data_throughput_tps(self) -> float:
+        """Sum of all active queries' data throughputs."""
+        return self.report.overall_throughput_tps(self.speedup)
+
+    # -- latency --------------------------------------------------------------------
+
+    @property
+    def mean_event_time_latency_ms(self) -> float:
+        """Mean event-time latency including modelled queue waiting."""
+        return self.report.total_latency_ms()
+
+    @property
+    def engine_latency_ms(self) -> float:
+        """In-engine event-time latency (window residence + processing)."""
+        return self.report.mean_event_latency_ms
+
+    @property
+    def p99_event_time_latency_ms(self) -> float:
+        """99th percentile of sampled in-engine latency."""
+        return self.report.p99_event_latency_ms
+
+    # -- deployment ---------------------------------------------------------------------
+
+    @property
+    def mean_deployment_latency_ms(self) -> float:
+        """Average create-request deployment latency."""
+        return self.report.mean_deployment_latency_ms()
+
+    @property
+    def max_deployment_latency_ms(self) -> float:
+        """Worst create-request deployment latency."""
+        if not self.report.deployment_latencies_ms:
+            return 0.0
+        return max(self.report.deployment_latencies_ms)
+
+    @property
+    def total_deployment_latency_ms(self) -> float:
+        """Sum over requests (the paper quotes 910 s for Flink, Fig. 10)."""
+        return sum(self.report.deployment_latencies_ms)
+
+    def deployment_timeline(self) -> List[Tuple[int, float]]:
+        """(request time, deployment latency) pairs — Figure 10's series."""
+        return list(self.report.deployment_series)
+
+    # -- query throughput -----------------------------------------------------------------
+
+    @property
+    def query_throughput_qps(self) -> float:
+        """Query creations served per second of virtual run time."""
+        duration_s = self._duration_s()
+        if duration_s <= 0:
+            return 0.0
+        return len(self.report.deployment_latencies_ms) / duration_s
+
+    # -- sustainability ------------------------------------------------------------------------
+
+    @property
+    def sustained(self) -> bool:
+        """True when the run stayed within queueing bounds and no failure."""
+        return self.report.sustained
+
+    @property
+    def failure(self) -> Optional[str]:
+        """Failure description for unsustainable runs."""
+        return self.report.failure
+
+    def _duration_s(self) -> float:
+        if not self.report.active_queries_series:
+            return 0.0
+        return self.report.active_queries_series[-1][0] / 1_000.0

@@ -1,0 +1,104 @@
+"""Figure results and table rendering.
+
+Each experiment in :mod:`repro.harness.figures` returns a
+:class:`FigureResult`; :func:`render_table` prints it the way the
+benchmark harness and EXPERIMENTS.md consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: rows of measurements plus context."""
+
+    figure_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper_expectation: str = ""
+    """The shape the paper's figure shows, for EXPERIMENTS.md."""
+    notes: str = ""
+
+    def add(self, **row: Any) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if abs(value) >= 1_000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(result: FigureResult) -> str:
+    """Render a figure result as a fixed-width ASCII table."""
+    columns = list(result.columns)
+    header = [column for column in columns]
+    body = [
+        [_format_cell(row.get(column)) for column in columns]
+        for row in result.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    divider = "-+-".join("-" * width for width in widths)
+    lines = [
+        f"{result.figure_id}: {result.title}",
+        " | ".join(header[i].ljust(widths[i]) for i in range(len(columns))),
+        divider,
+    ]
+    for line in body:
+        lines.append(
+            " | ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        )
+    if result.paper_expectation:
+        lines.append(f"paper: {result.paper_expectation}")
+    if result.notes:
+        lines.append(f"notes: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_csv(result: FigureResult) -> str:
+    """Render a figure result as CSV (for external plotting tools).
+
+    Cells are rendered raw (no thousands separators); commas or quotes
+    inside values are quoted per RFC 4180.
+    """
+    import csv
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow([row.get(column) for column in result.columns])
+    return buffer.getvalue()
+
+
+def render_series(
+    title: str, series: List, value_label: str = "value", bins: int = 12
+) -> str:
+    """Render a (time, value) series as a coarse ASCII sparkline table."""
+    if not series:
+        return f"{title}: (empty)"
+    lines = [title]
+    step = max(1, len(series) // bins)
+    for index in range(0, len(series), step):
+        time_ms, value = series[index]
+        lines.append(f"  t={time_ms / 1000.0:7.1f}s  {value_label}={value:,.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Experiment runner: build SUTs, run scenarios, search sustainability.
+
+Every figure experiment funnels through :func:`run_scenario`, which
+wires a generator, a schedule, an engine (one of three SUT kinds), the
+QoS monitor, and the driver together:
+
+* ``"astream"`` — the shared engine with the full deployment model;
+* ``"flink"`` — the query-at-a-time baseline with its real (queued,
+  multi-second) deployment model — this is the paper's Flink;
+* ``"flink-free"`` — the baseline with deployment costs zeroed out.
+  The paper cannot measure multi-query Flink data throughput because
+  Flink fails outright; this SUT isolates the *data-path* sharing
+  benefit for the overhead analyses (Figures 17–19) by letting every
+  baseline query start instantly.
+
+Engines run with operator ``parallelism=1`` in-process; multi-node
+throughput is derived through the calibrated cluster speed-up
+(√(nodes/4), matching the paper's own 4→8-node ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.baseline import BaselineDeploymentModel, QueryAtATimeEngine
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.qos import QoSMonitor
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.harness.metrics import ScenarioMetrics
+from repro.workloads.driver import (
+    AStreamAdapter,
+    BaselineAdapter,
+    Driver,
+    DriverConfig,
+)
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import WorkloadSchedule, sc1_schedule, sc2_schedule
+
+
+@dataclass
+class RunnerConfig:
+    """One scenario run's full parameterisation."""
+
+    sut: str = "astream"  # astream | flink | flink-free
+    nodes: int = 4
+    streams: Tuple[str, ...] = ("A", "B")
+    max_join_arity: int = 1
+    input_rate_tps: float = 1_000.0
+    duration_s: float = 12.0
+    step_ms: int = 250
+    watermark_interval_ms: int = 500
+    latency_sample_every: int = 64
+    seed: int = 1
+    window_max_seconds: int = 3
+    profile: bool = False
+    retain_results: bool = False
+    """Figures only need counts; retaining payloads wastes memory."""
+    engine_overrides: dict = field(default_factory=dict)
+
+    def cluster(self) -> SimulatedCluster:
+        """A fresh simulated cluster for this run."""
+        return SimulatedCluster(ClusterSpec(nodes=self.nodes))
+
+    def generator(self) -> QueryGenerator:
+        """A fresh deterministic query generator for this run."""
+        return QueryGenerator(
+            streams=self.streams,
+            seed=self.seed,
+            window_max_seconds=self.window_max_seconds,
+        )
+
+    def driver_config(self) -> DriverConfig:
+        """The matching driver configuration."""
+        return DriverConfig(
+            input_rate_tps=self.input_rate_tps,
+            duration_s=self.duration_s,
+            step_ms=self.step_ms,
+            watermark_interval_ms=self.watermark_interval_ms,
+            latency_sample_every=self.latency_sample_every,
+        )
+
+
+def build_sut(config: RunnerConfig, qos: QoSMonitor):
+    """Construct the engine + adapter pair for a runner config."""
+    cluster = config.cluster()
+    if config.sut == "astream":
+        engine = AStreamEngine(
+            EngineConfig(
+                streams=config.streams,
+                max_join_arity=config.max_join_arity,
+                parallelism=1,
+                retain_results=config.retain_results,
+                profile=config.profile,
+                **config.engine_overrides,
+            ),
+            cluster=cluster,
+            on_deliver=qos.on_deliver,
+        )
+        return engine, AStreamAdapter(engine)
+    if config.sut == "flink":
+        engine = QueryAtATimeEngine(
+            cluster=cluster,
+            parallelism=1,
+            on_deliver=qos.on_deliver,
+            retain_results=config.retain_results,
+        )
+        return engine, BaselineAdapter(engine)
+    if config.sut == "flink-free":
+        # Generous cluster + zero deployment cost: pure data-path baseline.
+        engine = QueryAtATimeEngine(
+            cluster=SimulatedCluster(ClusterSpec(nodes=max(config.nodes, 64))),
+            deployment=BaselineDeploymentModel(
+                cold_start_ms=0,
+                job_submit_ms=0,
+                job_stop_ms=0,
+                per_instance_ms=0,
+            ),
+            parallelism=1,
+            on_deliver=qos.on_deliver,
+            retain_results=config.retain_results,
+        )
+        return engine, BaselineAdapter(engine)
+    raise ValueError(f"unknown SUT kind {config.sut!r}")
+
+
+def run_scenario(
+    config: RunnerConfig,
+    schedule: Optional[WorkloadSchedule] = None,
+    scenario: str = "sc1",
+    queries_per_second: float = 1.0,
+    query_parallelism: int = 10,
+    queries_per_batch: int = 10,
+    batch_interval_s: int = 10,
+    batches: int = 3,
+    kind: str = "join",
+) -> ScenarioMetrics:
+    """Run one scenario and return its §4.3 metrics.
+
+    Pass an explicit ``schedule`` or let the runner build SC1/SC2/single
+    from the keyword parameters.
+    """
+    generator = config.generator()
+    if schedule is None:
+        if scenario == "sc1":
+            schedule = sc1_schedule(
+                generator, queries_per_second, query_parallelism, kind
+            )
+        elif scenario == "sc2":
+            schedule = sc2_schedule(
+                generator, queries_per_batch, batch_interval_s, batches, kind
+            )
+        elif scenario == "single":
+            schedule = sc1_schedule(generator, 1.0, 1, kind)
+        else:
+            raise ValueError(f"unknown scenario {scenario!r}")
+    qos = QoSMonitor(sample_every=config.latency_sample_every)
+    engine, adapter = build_sut(config, qos)
+    driver = Driver(
+        adapter,
+        schedule,
+        config.streams,
+        config.driver_config(),
+        qos=qos,
+    )
+    report = driver.run()
+    metrics = ScenarioMetrics(
+        report=report, speedup=(config.nodes / 4) ** 0.5
+    )
+    metrics.engine = engine  # expose for component-level figures
+    metrics.qos = qos        # expose for latency-timeline figures
+    return metrics
+
+
+def sustainable_query_search(
+    config: RunnerConfig,
+    scenario: str = "sc1",
+    kind: str = "join",
+    low: int = 1,
+    high: int = 256,
+    min_throughput_tps: float = 200.0,
+) -> int:
+    """Largest query count the SUT sustains at the configured input rate.
+
+    Binary search over query parallelism (SC1) or batch size (SC2): a
+    count *sustains* when the run finishes without failure and the
+    scaled service rate still covers the input rate (Figure 20's
+    methodology: constant data throughput, grow the ad-hoc query count
+    until the SUT falls over).
+    """
+
+    def sustains(count: int) -> bool:
+        try:
+            if scenario == "sc1":
+                # Fast ramp: the full population is active almost the
+                # whole run, so the measurement reflects `count`
+                # simultaneously active long-running queries.
+                metrics = run_scenario(
+                    config,
+                    scenario="sc1",
+                    queries_per_second=float(count),
+                    query_parallelism=count,
+                    kind=kind,
+                )
+            else:
+                metrics = run_scenario(
+                    config,
+                    scenario="sc2",
+                    queries_per_batch=count,
+                    batch_interval_s=3,
+                    batches=max(2, int(config.duration_s) // 3),
+                    kind=kind,
+                )
+        except Exception:
+            return False
+        if not metrics.sustained:
+            return False
+        return metrics.slowest_data_throughput_tps >= min_throughput_tps
+
+    if not sustains(low):
+        return 0
+    while low < high:
+        middle = (low + high + 1) // 2
+        if sustains(middle):
+            low = middle
+        else:
+            high = middle - 1
+    return low

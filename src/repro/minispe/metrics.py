@@ -1,0 +1,150 @@
+"""Metrics primitives: counters, gauges, and reservoir histograms.
+
+AStream extends Flink's latency-marker metrics (§3.4): the sink of every
+query periodically samples a tuple and measures end-to-end latency, and
+results are collected centrally.  The harness builds those QoS metrics out
+of these primitives; they are dependency-free so benchmarks pay minimal
+overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increase the counter (``amount`` must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    def __init__(self, name: str = "gauge", initial: float = 0.0) -> None:
+        self.name = name
+        self.value = initial
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Record samples; report count/mean/min/max/percentiles.
+
+    Keeps all samples (experiments here are bounded); ``max_samples``
+    enables simple reservoir-free truncation for long benchmark runs.
+    """
+
+    def __init__(self, name: str = "histogram", max_samples: int = 1_000_000) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._dropped = 0
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        if len(self._samples) >= self._max_samples:
+            self._dropped += 1
+            return
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples (excluding dropped)."""
+        return len(self._samples)
+
+    @property
+    def dropped(self) -> int:
+        """Samples dropped after hitting ``max_samples``."""
+        return self._dropped
+
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        """Smallest sample (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    def maximum(self) -> float:
+        """Largest sample (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (nearest-rank; 0 <= p <= 100)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def samples(self) -> List[float]:
+        """A copy of the raw samples."""
+        return list(self._samples)
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+        self._dropped = 0
+
+
+class MetricRegistry:
+    """Named metric lookup with lazy creation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counter_value(self, name: str) -> Optional[int]:
+        """The counter's value, or None if it was never created."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else None
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat name → value view (histograms report their mean)."""
+        view: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            view[name] = counter.value
+        for name, gauge in self._gauges.items():
+            view[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            view[f"{name}.mean"] = histogram.mean()
+        return view

@@ -1,0 +1,195 @@
+"""Operator framework: the extension point AStream builds on.
+
+An :class:`Operator` is a user-defined, stateful dataflow vertex.  The
+runtime instantiates one copy per parallel instance, calls
+:meth:`Operator.open` with an :class:`OperatorContext`, and then feeds it
+stream elements:
+
+* :meth:`Operator.process` for data records,
+* :meth:`Operator.on_watermark` when the *aligned* watermark (the minimum
+  over all input channels) advances,
+* :meth:`Operator.on_marker` for changelog markers, and
+* :meth:`Operator.snapshot` / :meth:`Operator.restore` for checkpoints.
+
+Operators emit downstream by calling :meth:`Operator.output`.  This mirrors
+the low-level operator API that the paper's Flink implementation extends
+(custom triggers, evictors, and window functions — §5) and that PyFlink
+does not expose, which is why this substrate exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.minispe.record import (
+    ChangelogMarker,
+    Record,
+    StreamElement,
+    Watermark,
+)
+
+
+class OperatorContext:
+    """Per-instance runtime context handed to :meth:`Operator.open`."""
+
+    def __init__(
+        self,
+        operator_name: str,
+        instance_index: int,
+        parallelism: int,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        self.operator_name = operator_name
+        self.instance_index = instance_index
+        self.parallelism = parallelism
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorContext({self.operator_name!r}, "
+            f"{self.instance_index}/{self.parallelism})"
+        )
+
+
+class Operator:
+    """Base class for one-input operators."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self._collector: Optional[Callable[[StreamElement], None]] = None
+        self.context: Optional[OperatorContext] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, context: OperatorContext) -> None:
+        """Called once before any element is processed."""
+        self.context = context
+
+    def close(self) -> None:
+        """Called once after the last element; flush any pending output."""
+
+    # -- element handling --------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        """Handle one data record (override)."""
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        """Handle an aligned watermark.  Default: forward it."""
+        self.output(watermark)
+
+    def on_marker(self, marker: ChangelogMarker) -> None:
+        """Handle a changelog marker.  Default: forward it."""
+        self.output(marker)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Any:
+        """Return this instance's state for a checkpoint (default: none)."""
+        return None
+
+    def restore(self, snapshot: Any) -> None:
+        """Restore this instance's state from :meth:`snapshot` output."""
+
+    # -- emission ----------------------------------------------------------
+
+    def set_collector(self, collector: Callable[[StreamElement], None]) -> None:
+        """Wire the downstream collector (runtime-internal)."""
+        self._collector = collector
+
+    def output(self, element: StreamElement) -> None:
+        """Emit ``element`` to the downstream edge(s)."""
+        if self._collector is None:
+            raise RuntimeError(
+                f"operator {self.name!r} emitted before being wired to a job"
+            )
+        self._collector(element)
+
+
+class TwoInputOperator(Operator):
+    """Base class for binary operators (e.g. stream joins).
+
+    The runtime routes elements from input 0 to :meth:`process_left` and
+    from input 1 to :meth:`process_right`; watermarks and markers are
+    aligned across *both* inputs before the ``on_*`` hooks fire.
+    """
+
+    def process(self, record: Record) -> None:
+        raise RuntimeError(
+            "two-input operators receive records via process_left/process_right"
+        )
+
+    def process_left(self, record: Record) -> None:
+        """Handle one record from the first input (override)."""
+        raise NotImplementedError
+
+    def process_right(self, record: Record) -> None:
+        """Handle one record from the second input (override)."""
+        raise NotImplementedError
+
+
+class MapOperator(Operator):
+    """Apply ``fn`` to each record value, preserving timestamp and key."""
+
+    def __init__(self, fn: Callable[[Any], Any], name: str = "map") -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def process(self, record: Record) -> None:
+        self.output(
+            Record(
+                timestamp=record.timestamp,
+                value=self._fn(record.value),
+                key=record.key,
+                tags=dict(record.tags),
+            )
+        )
+
+
+class FilterOperator(Operator):
+    """Keep only records whose value satisfies ``predicate``."""
+
+    def __init__(self, predicate: Callable[[Any], bool], name: str = "filter") -> None:
+        super().__init__(name)
+        self._predicate = predicate
+
+    def process(self, record: Record) -> None:
+        if self._predicate(record.value):
+            self.output(record)
+
+
+class KeyByOperator(Operator):
+    """Re-key records with ``key_fn`` (the shuffle happens on the edge)."""
+
+    def __init__(self, key_fn: Callable[[Any], Any], name: str = "key_by") -> None:
+        super().__init__(name)
+        self._key_fn = key_fn
+
+    def process(self, record: Record) -> None:
+        self.output(
+            Record(
+                timestamp=record.timestamp,
+                value=record.value,
+                key=self._key_fn(record.value),
+                tags=dict(record.tags),
+            )
+        )
+
+
+class FlatMapOperator(Operator):
+    """Apply ``fn`` returning an iterable of values; emit one record each."""
+
+    def __init__(self, fn: Callable[[Any], List[Any]], name: str = "flat_map") -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def process(self, record: Record) -> None:
+        for value in self._fn(record.value):
+            self.output(
+                Record(
+                    timestamp=record.timestamp,
+                    value=value,
+                    key=record.key,
+                    tags=dict(record.tags),
+                )
+            )

@@ -1,0 +1,126 @@
+"""Stream element model: records, watermarks, markers, and barriers.
+
+Everything that flows through a dataflow edge is a :class:`StreamElement`.
+Four concrete kinds exist:
+
+* :class:`Record` — a data tuple with an event-time timestamp and an
+  optional partitioning key.
+* :class:`Watermark` — an assertion that no record with a smaller event
+  time will arrive on this channel (the Flink/Dataflow watermark model).
+* :class:`ChangelogMarker` — AStream's query-changelog woven into the
+  stream.  Markers are event-time-stamped so replays are deterministic
+  (paper §3.3): the changelog timestamp is the time at which the query
+  change was performed by the user, not a system clock reading.
+* :class:`CheckpointBarrier` — a barrier injected by the checkpoint
+  coordinator; operators snapshot their state when a barrier has been
+  received on all input channels (barrier alignment).
+
+:class:`Record` is the hottest allocation in the engine (every operator
+emission creates one), so it is a plain ``__slots__`` class rather than a
+dataclass; treat instances as immutable by convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+class StreamElement:
+    """Base class for everything flowing through a stream channel."""
+
+    __slots__ = ()
+
+    timestamp: int
+
+
+_EMPTY_TAGS: dict = {}
+
+
+class Record(StreamElement):
+    """A data tuple.
+
+    ``value`` holds the payload (for generated workloads a
+    :class:`repro.workloads.datagen.DataTuple`); ``key`` is the hash
+    partitioning key.  A record may carry extra per-engine metadata in
+    ``tags`` — AStream stores the query-set bitset there so the substrate
+    does not need to know about query sharing.  Records are immutable by
+    convention; derive new ones with :meth:`with_tag`.
+    """
+
+    __slots__ = ("timestamp", "value", "key", "tags")
+
+    def __init__(
+        self,
+        timestamp: int,
+        value: Any,
+        key: Any = None,
+        tags: Optional[dict] = None,
+    ) -> None:
+        self.timestamp = timestamp
+        self.value = value
+        self.key = key
+        self.tags = tags if tags is not None else _EMPTY_TAGS
+
+    def with_tag(self, name: str, tag_value: Any) -> "Record":
+        """Return a copy of this record with ``tags[name]`` set."""
+        new_tags = dict(self.tags)
+        new_tags[name] = tag_value
+        return Record(self.timestamp, self.value, self.key, new_tags)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self.timestamp == other.timestamp
+            and self.value == other.value
+            and self.key == other.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.timestamp, self.value, self.key))
+
+    def __repr__(self) -> str:
+        return (
+            f"Record(timestamp={self.timestamp}, value={self.value!r}, "
+            f"key={self.key!r}, tags={self.tags!r})"
+        )
+
+
+@dataclass(frozen=True)
+class Watermark(StreamElement):
+    """Event-time watermark: no record with ``timestamp`` < this will follow."""
+
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class ChangelogMarker(StreamElement):
+    """A query changelog woven into the data stream.
+
+    ``changelog`` is a :class:`repro.core.changelog.Changelog`.  The marker
+    is broadcast to every downstream operator instance so all shared
+    operators observe query creations/deletions at the same event-time
+    position in the stream.
+    """
+
+    timestamp: int
+    changelog: Any = None
+
+
+@dataclass(frozen=True)
+class CheckpointBarrier(StreamElement):
+    """Checkpoint barrier for exactly-once snapshots (Chandy-Lamport style)."""
+
+    timestamp: int
+    checkpoint_id: int = 0
+
+
+def is_data(element: StreamElement) -> bool:
+    """Return True if ``element`` carries user data (is a :class:`Record`)."""
+    return isinstance(element, Record)
+
+
+def is_control(element: StreamElement) -> bool:
+    """Return True for control elements (watermarks, markers, barriers)."""
+    return not isinstance(element, Record)

@@ -1,0 +1,356 @@
+"""Deterministic push-based job runtime with simulated parallelism.
+
+The runtime deploys a :class:`~repro.minispe.graph.JobGraph`: every
+operator vertex becomes ``parallelism`` live operator instances, each with
+private state, connected by in-process channels.  Execution is synchronous
+and depth-first — pushing one element into a source drives it (and
+everything it triggers) all the way to the sinks before ``push`` returns —
+which makes runs bit-for-bit deterministic and easy to test.
+
+Distributed-systems behaviour that matters for correctness is modelled
+faithfully:
+
+* **Hash partitioning** routes records to instances by a stable hash of
+  the record key, so per-key state is always on one instance.
+* **Watermark alignment**: an instance only advances its event-time clock
+  to the *minimum* watermark over all its input channels (exactly Flink's
+  rule), which is what makes out-of-order processing and binary joins
+  correct.
+* **Marker/barrier alignment**: changelog markers and checkpoint barriers
+  are broadcast on every edge and delivered to the wrapped operator only
+  once all input channels have seen them, so every shared operator
+  observes a query changelog at one consistent stream position (§2.1.2)
+  and checkpoints are consistent cuts (§3.3).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.minispe.graph import Edge, JobGraph, Partitioning, Vertex
+from repro.minispe.operators import Operator, OperatorContext, TwoInputOperator
+from repro.minispe.record import (
+    ChangelogMarker,
+    CheckpointBarrier,
+    Record,
+    StreamElement,
+    Watermark,
+)
+
+
+def stable_hash(key: Any) -> int:
+    """A hash that is stable across processes (unlike ``hash(str)``)."""
+    if isinstance(key, int):
+        return key
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+ChannelId = Tuple[int, int]
+"""(edge index in the graph, upstream instance index)."""
+
+
+class _InstanceInputs:
+    """Alignment bookkeeping for one operator instance's input channels."""
+
+    def __init__(self, channels: List[Tuple[ChannelId, int]]) -> None:
+        # channel id -> input index (0/1) it feeds.
+        self.input_index: Dict[ChannelId, int] = dict(channels)
+        self.watermarks: Dict[ChannelId, int] = {
+            channel: -1 for channel, _ in channels
+        }
+        self._aligned_watermark = -1
+        self._marker_counts: Dict[Any, int] = {}
+        self._barrier_counts: Dict[int, int] = {}
+
+    @property
+    def channel_count(self) -> int:
+        return len(self.input_index)
+
+    def advance_watermark(self, channel: ChannelId, timestamp: int) -> Optional[int]:
+        """Record a per-channel watermark; return the new aligned value if
+        the minimum over all channels advanced, else None."""
+        if timestamp > self.watermarks[channel]:
+            self.watermarks[channel] = timestamp
+        aligned = min(self.watermarks.values())
+        if aligned > self._aligned_watermark:
+            self._aligned_watermark = aligned
+            return aligned
+        return None
+
+    def marker_complete(self, marker_key: Any) -> bool:
+        """Count one marker arrival; True once all channels delivered it."""
+        count = self._marker_counts.get(marker_key, 0) + 1
+        if count >= self.channel_count:
+            self._marker_counts.pop(marker_key, None)
+            return True
+        self._marker_counts[marker_key] = count
+        return False
+
+    def barrier_complete(self, checkpoint_id: int) -> bool:
+        """Count one barrier arrival; True once the barrier is aligned."""
+        count = self._barrier_counts.get(checkpoint_id, 0) + 1
+        if count >= self.channel_count:
+            self._barrier_counts.pop(checkpoint_id, None)
+            return True
+        self._barrier_counts[checkpoint_id] = count
+        return False
+
+
+def _marker_key(marker: ChangelogMarker) -> Any:
+    """Alignment identity of a changelog marker."""
+    sequence = getattr(marker.changelog, "sequence", None)
+    if sequence is not None:
+        return sequence
+    return ("ts", marker.timestamp)
+
+
+class DeployedInstance:
+    """One live parallel instance of an operator vertex."""
+
+    def __init__(
+        self,
+        vertex: Vertex,
+        index: int,
+        operator: Operator,
+        inputs: _InstanceInputs,
+        route: Callable[[str, int, StreamElement], None],
+    ) -> None:
+        self.vertex = vertex
+        self.index = index
+        self.operator = operator
+        self.inputs = inputs
+        self.records_processed = 0
+        operator.set_collector(
+            lambda element: route(vertex.name, index, element)
+        )
+        operator.open(OperatorContext(vertex.name, index, vertex.parallelism))
+
+    def deliver(self, channel: ChannelId, element: StreamElement) -> None:
+        """Feed one element arriving on ``channel`` into the operator."""
+        if isinstance(element, Record):
+            self.records_processed += 1
+            if isinstance(self.operator, TwoInputOperator):
+                if self.inputs.input_index[channel] == 0:
+                    self.operator.process_left(element)
+                else:
+                    self.operator.process_right(element)
+            else:
+                self.operator.process(element)
+        elif isinstance(element, Watermark):
+            aligned = self.inputs.advance_watermark(channel, element.timestamp)
+            if aligned is not None:
+                self.operator.on_watermark(Watermark(aligned))
+        elif isinstance(element, ChangelogMarker):
+            if self.inputs.marker_complete(_marker_key(element)):
+                self.operator.on_marker(element)
+        elif isinstance(element, CheckpointBarrier):
+            if self.inputs.barrier_complete(element.checkpoint_id):
+                self._on_barrier(element)
+        else:
+            raise TypeError(f"unknown stream element {element!r}")
+
+    def _on_barrier(self, barrier: CheckpointBarrier) -> None:
+        # Snapshot-on-barrier is orchestrated by the runtime so the
+        # coordinator sees a consistent cut; the instance just records it.
+        runtime = self._runtime
+        if runtime is not None:
+            runtime._record_snapshot(self, barrier)
+        self.operator.output(barrier)
+
+    _runtime: Optional["JobRuntime"] = None
+
+
+class JobRuntime:
+    """Deploys and drives a job graph.
+
+    Typical use::
+
+        runtime = JobRuntime(graph)
+        runtime.push("source_a", Record(timestamp=0, value=..., key=1))
+        runtime.push("source_a", Watermark(timestamp=10_000))
+        runtime.close()
+    """
+
+    def __init__(self, graph: JobGraph) -> None:
+        graph.validate()
+        self.graph = graph
+        self._instances: Dict[str, List[DeployedInstance]] = {}
+        self._rebalance_counters: Dict[int, int] = {}
+        self._pending_snapshots: Dict[int, Dict[str, Dict[int, Any]]] = {}
+        self._completed_snapshots: Dict[int, Dict[str, Dict[int, Any]]] = {}
+        self._edge_index = {id(edge): i for i, edge in enumerate(graph.edges)}
+        self._deploy()
+        # Hot-path adjacency: vertex -> [(edge, edge_idx, target instances)].
+        self._out: Dict[str, List[Tuple[Edge, int, List[DeployedInstance]]]] = {
+            name: [
+                (edge, self._edge_index[id(edge)], self._instances[edge.target])
+                for edge in graph.out_edges(name)
+            ]
+            for name in graph.vertices
+        }
+
+    # -- deployment --------------------------------------------------------
+
+    def _deploy(self) -> None:
+        for name in self.graph.topological_order():
+            vertex = self.graph.vertices[name]
+            if vertex.is_source:
+                continue
+            channels: List[Tuple[ChannelId, int]] = []
+            for edge in self.graph.in_edges(name):
+                edge_idx = self._edge_index[id(edge)]
+                upstream = self.graph.vertices[edge.source]
+                upstream_parallelism = (
+                    1 if upstream.is_source else upstream.parallelism
+                )
+                if edge.partitioning is Partitioning.FORWARD:
+                    # channel from same-index upstream instance only; the
+                    # per-instance channel set is resolved below.
+                    for up_index in range(upstream_parallelism):
+                        channels.append(((edge_idx, up_index), edge.input_index))
+                else:
+                    for up_index in range(upstream_parallelism):
+                        channels.append(((edge_idx, up_index), edge.input_index))
+            instances = []
+            for index in range(vertex.parallelism):
+                instance_channels = self._channels_for_instance(
+                    name, index, channels
+                )
+                operator = vertex.operator_factory()
+                instance = DeployedInstance(
+                    vertex,
+                    index,
+                    operator,
+                    _InstanceInputs(instance_channels),
+                    self._route,
+                )
+                instance._runtime = self
+                instances.append(instance)
+            self._instances[name] = instances
+
+    def _channels_for_instance(
+        self,
+        vertex_name: str,
+        index: int,
+        all_channels: List[Tuple[ChannelId, int]],
+    ) -> List[Tuple[ChannelId, int]]:
+        """Restrict forward-edge channels to the same-index upstream."""
+        result = []
+        for (edge_idx, up_index), input_index in all_channels:
+            edge = self.graph.edges[edge_idx]
+            if edge.partitioning is Partitioning.FORWARD and up_index != index:
+                continue
+            result.append(((edge_idx, up_index), input_index))
+        return result
+
+    # -- driving -----------------------------------------------------------
+
+    def push(self, source_name: str, element: StreamElement) -> None:
+        """Inject an element into a source and run it to completion."""
+        vertex = self.graph.vertices.get(source_name)
+        if vertex is None or not vertex.is_source:
+            raise KeyError(f"{source_name!r} is not a source of this job")
+        self._route(source_name, 0, element)
+
+    def close(self) -> None:
+        """Close all operator instances (flushes pending output)."""
+        for name in self.graph.topological_order():
+            for instance in self._instances.get(name, []):
+                instance.operator.close()
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(
+        self, from_vertex: str, from_index: int, element: StreamElement
+    ) -> None:
+        for edge, edge_idx, targets in self._out[from_vertex]:
+            channel = (edge_idx, from_index)
+            if isinstance(element, Record):
+                self._route_record(
+                    edge, edge_idx, channel, targets, from_index, element
+                )
+            else:
+                # Control elements are broadcast on every edge.
+                if edge.partitioning is Partitioning.FORWARD:
+                    targets[from_index].deliver(channel, element)
+                else:
+                    for target in targets:
+                        target.deliver(channel, element)
+
+    def _route_record(
+        self,
+        edge: Edge,
+        edge_idx: int,
+        channel: ChannelId,
+        targets: List[DeployedInstance],
+        from_index: int,
+        record: Record,
+    ) -> None:
+        if edge.partitioning is Partitioning.HASH:
+            if len(targets) == 1:
+                targets[0].deliver(channel, record)
+            else:
+                index = stable_hash(record.key) % len(targets)
+                targets[index].deliver(channel, record)
+        elif edge.partitioning is Partitioning.FORWARD:
+            targets[from_index].deliver(channel, record)
+        elif edge.partitioning is Partitioning.BROADCAST:
+            for target in targets:
+                target.deliver(channel, record)
+        elif edge.partitioning is Partitioning.REBALANCE:
+            counter = self._rebalance_counters.get(edge_idx, 0)
+            targets[counter % len(targets)].deliver(channel, record)
+            self._rebalance_counters[edge_idx] = counter + 1
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown partitioning {edge.partitioning}")
+
+    # -- introspection -----------------------------------------------------
+
+    def instances(self, vertex_name: str) -> List[DeployedInstance]:
+        """Live instances of an operator vertex."""
+        return self._instances[vertex_name]
+
+    def operators(self, vertex_name: str) -> List[Operator]:
+        """The operator objects backing a vertex's instances."""
+        return [instance.operator for instance in self._instances[vertex_name]]
+
+    def records_processed(self) -> Dict[str, int]:
+        """Records processed per vertex (summed over instances)."""
+        return {
+            name: sum(instance.records_processed for instance in instances)
+            for name, instances in self._instances.items()
+        }
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _record_snapshot(
+        self, instance: DeployedInstance, barrier: CheckpointBarrier
+    ) -> None:
+        per_checkpoint = self._pending_snapshots.setdefault(
+            barrier.checkpoint_id, {}
+        )
+        per_vertex = per_checkpoint.setdefault(instance.vertex.name, {})
+        per_vertex[instance.index] = instance.operator.snapshot()
+        if self._checkpoint_is_complete(barrier.checkpoint_id):
+            self._completed_snapshots[barrier.checkpoint_id] = (
+                self._pending_snapshots.pop(barrier.checkpoint_id)
+            )
+
+    def _checkpoint_is_complete(self, checkpoint_id: int) -> bool:
+        snapshot = self._pending_snapshots.get(checkpoint_id, {})
+        for name, instances in self._instances.items():
+            taken = snapshot.get(name, {})
+            if len(taken) != len(instances):
+                return False
+        return True
+
+    def completed_checkpoint(self, checkpoint_id: int) -> Optional[Dict]:
+        """The snapshot for ``checkpoint_id`` if all instances reported."""
+        return self._completed_snapshots.get(checkpoint_id)
+
+    def restore_checkpoint(self, snapshot: Dict[str, Dict[int, Any]]) -> None:
+        """Restore every instance's state from a completed snapshot."""
+        for name, per_index in snapshot.items():
+            for index, state in per_index.items():
+                self._instances[name][index].operator.restore(state)

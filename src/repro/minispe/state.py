@@ -1,0 +1,99 @@
+"""Operator state backends with snapshot/restore support.
+
+Two kinds of state mirror Flink's model:
+
+* :class:`KeyedState` — a per-key map scoped to the record key currently
+  being processed.  Shared operators use it for per-partition slice stores.
+* :class:`OperatorState` — a single value per operator instance (e.g. the
+  set of active queries inside a shared operator).
+
+Both support :meth:`snapshot` / :meth:`restore` used by the checkpoint
+coordinator.  Snapshots are deep copies so later mutation of live state
+cannot corrupt a completed checkpoint.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+
+class KeyedState:
+    """A per-key state map with a default factory.
+
+    Example::
+
+        state = KeyedState(default_factory=list)
+        state.get(key).append(tuple_)
+    """
+
+    def __init__(self, default_factory: Optional[Callable[[], Any]] = None) -> None:
+        self._entries: Dict[Any, Any] = {}
+        self._default_factory = default_factory
+
+    def get(self, key: Any) -> Any:
+        """Return the state for ``key``, creating it via the factory if absent."""
+        if key not in self._entries:
+            if self._default_factory is None:
+                return None
+            self._entries[key] = self._default_factory()
+        return self._entries[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        """Set the state for ``key``."""
+        self._entries[key] = value
+
+    def contains(self, key: Any) -> bool:
+        """Return True if state exists for ``key``."""
+        return key in self._entries
+
+    def remove(self, key: Any) -> None:
+        """Drop the state for ``key`` (no-op if absent)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all per-key state."""
+        self._entries.clear()
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over keys that currently hold state."""
+        return iter(list(self._entries.keys()))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over ``(key, state)`` pairs."""
+        return iter(list(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def snapshot(self) -> Dict[Any, Any]:
+        """Return a deep copy of all entries for checkpointing."""
+        return copy.deepcopy(self._entries)
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        """Replace the entries with a deep copy of ``snapshot``."""
+        self._entries = copy.deepcopy(snapshot)
+
+
+class OperatorState:
+    """A single mutable value per operator instance."""
+
+    def __init__(self, initial: Any = None) -> None:
+        self._value = initial
+
+    @property
+    def value(self) -> Any:
+        """The current state value."""
+        return self._value
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self._value = new_value
+
+    def snapshot(self) -> Any:
+        """Return a deep copy of the value for checkpointing."""
+        return copy.deepcopy(self._value)
+
+    def restore(self, snapshot: Any) -> None:
+        """Replace the value with a deep copy of ``snapshot``."""
+        self._value = copy.deepcopy(snapshot)

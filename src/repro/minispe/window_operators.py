@@ -1,0 +1,237 @@
+"""Per-query (non-shared) windowed operators.
+
+These are the substrate's standard window operators — the ones a
+query-at-a-time engine deploys once *per query*.  They implement the same
+semantics as AStream's shared operators but without slicing, query-sets,
+or cross-query sharing, so they double as the *reference implementation*
+the property tests compare the shared operators against.
+
+Outputs carry the timestamp ``window.max_timestamp()`` (the Flink
+convention), so downstream windows and latency measurements see the
+event-time at which the result became complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.minispe.operators import Operator, TwoInputOperator
+from repro.minispe.record import Record, Watermark
+from repro.minispe.windows import (
+    EventTimeTrigger,
+    Trigger,
+    Window,
+    WindowAssigner,
+    merge_session_windows,
+)
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One fired window's output for one key."""
+
+    key: Any
+    window: Window
+    value: Any
+
+
+class WindowedAggregateOperator(Operator):
+    """Keyed windowed aggregation (e.g. ``SUM(field) GROUP BY key``).
+
+    ``init`` produces a fresh accumulator, ``add(acc, value)`` folds one
+    tuple in, ``merge(acc, acc)`` combines two accumulators (needed for
+    session-window merges), and ``finish(acc)`` extracts the result.
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        init: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        merge: Optional[Callable[[Any, Any], Any]] = None,
+        finish: Callable[[Any], Any] = lambda acc: acc,
+        trigger: Optional[Trigger] = None,
+        name: str = "window_agg",
+    ) -> None:
+        super().__init__(name)
+        self._assigner = assigner
+        self._init = init
+        self._add = add
+        self._merge = merge
+        self._finish = finish
+        self._trigger = trigger or EventTimeTrigger()
+        if assigner.is_session() and merge is None:
+            raise ValueError("session windows require a merge function")
+        # (key, window) -> accumulator; for sessions windows get merged.
+        self._accumulators: Dict[Tuple[Any, Window], Any] = {}
+
+    def process(self, record: Record) -> None:
+        for window in self._assigner.assign(record.timestamp):
+            if self._assigner.is_session():
+                window = self._merge_session(record.key, window)
+            state_key = (record.key, window)
+            acc = self._accumulators.get(state_key)
+            if acc is None:
+                acc = self._init()
+            self._accumulators[state_key] = self._add(acc, record.value)
+            if self._trigger.on_element(record, window):
+                self._fire(state_key)
+
+    def _merge_session(self, key: Any, proto: Window) -> Window:
+        """Merge ``proto`` with this key's overlapping session windows."""
+        overlapping = [
+            window
+            for (existing_key, window) in self._accumulators
+            if existing_key == key and window.intersects(proto)
+        ]
+        if not overlapping:
+            return proto
+        merged = merge_session_windows(overlapping + [proto])[0]
+        acc = self._init()
+        for window in overlapping:
+            acc = self._merge(acc, self._accumulators.pop((key, window)))
+        self._accumulators[(key, merged)] = acc
+        return merged
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        ready = [
+            state_key
+            for state_key in self._accumulators
+            if self._trigger.on_watermark(watermark, state_key[1])
+        ]
+        # Deterministic emission order: by window, then key representation.
+        for state_key in sorted(ready, key=lambda sk: (sk[1], repr(sk[0]))):
+            self._fire(state_key)
+        self.output(watermark)
+
+    def _fire(self, state_key: Tuple[Any, Window]) -> None:
+        key, window = state_key
+        acc = self._accumulators.pop(state_key, None)
+        if acc is None:
+            return
+        self.output(
+            Record(
+                timestamp=window.max_timestamp(),
+                value=WindowResult(key=key, window=window, value=self._finish(acc)),
+                key=key,
+            )
+        )
+
+    def snapshot(self) -> Any:
+        return dict(self._accumulators)
+
+    def restore(self, snapshot: Any) -> None:
+        self._accumulators = dict(snapshot)
+
+    def pending_windows(self) -> int:
+        """Number of (key, window) accumulators currently buffered."""
+        return len(self._accumulators)
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """One joined pair emitted by a windowed join."""
+
+    key: Any
+    window: Window
+    left: Any
+    right: Any
+
+
+class WindowedJoinOperator(TwoInputOperator):
+    """Keyed windowed equi-join (``A.KEY = B.KEY`` within a window).
+
+    Both inputs are buffered per ``(key, window)``; when the watermark
+    closes a window the per-key cross product is emitted.  Session windows
+    are not supported for joins (the paper's join template, Figure 7, uses
+    RANGE/SLICE windows).
+    """
+
+    def __init__(
+        self,
+        assigner: WindowAssigner,
+        trigger: Optional[Trigger] = None,
+        result_fn: Callable[[Any, Any, Any, Window], Any] = None,
+        name: str = "window_join",
+    ) -> None:
+        super().__init__(name)
+        if assigner.is_session():
+            raise ValueError("windowed join does not support session windows")
+        self._assigner = assigner
+        self._trigger = trigger or EventTimeTrigger()
+        self._forwarded_watermark_ms = -1
+        self._result_fn = result_fn or (
+            lambda key, left, right, window: JoinResult(
+                key=key, window=window, left=left, right=right
+            )
+        )
+        # window -> key -> ([left values], [right values])
+        self._buffers: Dict[Window, Dict[Any, Tuple[List[Any], List[Any]]]] = {}
+
+    def process_left(self, record: Record) -> None:
+        self._buffer(record, side=0)
+
+    def process_right(self, record: Record) -> None:
+        self._buffer(record, side=1)
+
+    def _buffer(self, record: Record, side: int) -> None:
+        for window in self._assigner.assign(record.timestamp):
+            per_key = self._buffers.setdefault(window, {})
+            sides = per_key.setdefault(record.key, ([], []))
+            sides[side].append((record.value, record.timestamp))
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        ready = [
+            window
+            for window in self._buffers
+            if self._trigger.on_watermark(watermark, window)
+        ]
+        for window in sorted(ready):
+            self._fire(window)
+        # Hold the forwarded watermark back by the window length: results
+        # carry the newest component timestamp, which can be that much
+        # older than the input watermark (see the shared join).
+        held_back = watermark.timestamp - self._assigner.max_window_length()
+        if held_back > self._forwarded_watermark_ms:
+            self._forwarded_watermark_ms = held_back
+            self.output(Watermark(held_back))
+
+    def _fire(self, window: Window) -> None:
+        per_key = self._buffers.pop(window, None)
+        if per_key is None:
+            return
+        for key in sorted(per_key, key=repr):
+            left_values, right_values = per_key[key]
+            for left, left_ts in left_values:
+                for right, right_ts in right_values:
+                    # Result event time = newest contributing tuple, the
+                    # same convention as the shared join, so latency
+                    # comparisons between the SUTs are apples-to-apples.
+                    self.output(
+                        Record(
+                            timestamp=max(left_ts, right_ts),
+                            value=self._result_fn(key, left, right, window),
+                            key=key,
+                        )
+                    )
+
+    def snapshot(self) -> Any:
+        return {
+            window: {key: (list(l), list(r)) for key, (l, r) in per_key.items()}
+            for window, per_key in self._buffers.items()
+        }
+
+    def restore(self, snapshot: Any) -> None:
+        self._buffers = {
+            window: {key: (list(l), list(r)) for key, (l, r) in per_key.items()}
+            for window, per_key in snapshot.items()
+        }
+
+    def buffered_tuples(self) -> int:
+        """Total tuples currently buffered across windows and keys."""
+        return sum(
+            len(left) + len(right)
+            for per_key in self._buffers.values()
+            for left, right in per_key.values()
+        )

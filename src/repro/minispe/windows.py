@@ -1,0 +1,229 @@
+"""Window assigners, triggers, and evictors.
+
+The paper's workloads use time windows with per-query length/slide (join
+and aggregation templates, Figures 7 and 8) plus session windows with a
+per-query gap.  AStream implements its window operators "by customizing
+triggers, evictors, and window functions to be dynamic and updatable at
+runtime" (§5); this module provides those extension points on the
+substrate side.
+
+A :class:`Window` is a half-open event-time interval ``[start, end)``.
+Window identity is purely a function of the record timestamp and the
+assigner parameters, so replays assign records to the same windows
+(deterministic recovery, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.minispe.record import Record, Watermark
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """A half-open event-time interval ``[start, end)`` in milliseconds."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty window [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        """Window length in milliseconds."""
+        return self.end - self.start
+
+    def contains(self, timestamp: int) -> bool:
+        """Return True if ``timestamp`` falls inside this window."""
+        return self.start <= timestamp < self.end
+
+    def intersects(self, other: "Window") -> bool:
+        """Return True if the two intervals overlap."""
+        return self.start < other.end and other.start < self.end
+
+    def max_timestamp(self) -> int:
+        """The largest timestamp belonging to this window."""
+        return self.end - 1
+
+
+class WindowAssigner:
+    """Maps a record timestamp to the set of windows it belongs to."""
+
+    def assign(self, timestamp: int) -> List[Window]:
+        """Return the windows that contain ``timestamp``."""
+        raise NotImplementedError
+
+    def is_session(self) -> bool:
+        """Session windows need merge handling downstream."""
+        return False
+
+    def max_window_length(self) -> int:
+        """Upper bound on window length (used for state retention)."""
+        raise NotImplementedError
+
+
+class TumblingWindows(WindowAssigner):
+    """Fixed-length, non-overlapping windows aligned to the epoch."""
+
+    def __init__(self, length_ms: int) -> None:
+        if length_ms <= 0:
+            raise ValueError(f"window length must be positive, got {length_ms}")
+        self.length_ms = length_ms
+
+    def assign(self, timestamp: int) -> List[Window]:
+        start = (timestamp // self.length_ms) * self.length_ms
+        return [Window(start, start + self.length_ms)]
+
+    def max_window_length(self) -> int:
+        return self.length_ms
+
+    def __repr__(self) -> str:
+        return f"TumblingWindows({self.length_ms}ms)"
+
+
+class SlidingWindows(WindowAssigner):
+    """Overlapping windows of ``length_ms`` sliding every ``slide_ms``."""
+
+    def __init__(self, length_ms: int, slide_ms: int) -> None:
+        if length_ms <= 0:
+            raise ValueError(f"window length must be positive, got {length_ms}")
+        if slide_ms <= 0:
+            raise ValueError(f"window slide must be positive, got {slide_ms}")
+        if slide_ms > length_ms:
+            raise ValueError(
+                f"slide {slide_ms} larger than length {length_ms} would drop tuples"
+            )
+        self.length_ms = length_ms
+        self.slide_ms = slide_ms
+
+    def assign(self, timestamp: int) -> List[Window]:
+        windows = []
+        last_start = (timestamp // self.slide_ms) * self.slide_ms
+        start = last_start
+        while start > timestamp - self.length_ms:
+            windows.append(Window(start, start + self.length_ms))
+            start -= self.slide_ms
+        windows.reverse()
+        return windows
+
+    def max_window_length(self) -> int:
+        return self.length_ms
+
+    def __repr__(self) -> str:
+        return f"SlidingWindows({self.length_ms}ms, slide={self.slide_ms}ms)"
+
+
+class SessionWindows(WindowAssigner):
+    """Gap-based session windows.
+
+    A record initially opens a proto-window ``[t, t + gap)``; the window
+    operator merges overlapping proto-windows per key (standard session
+    merge semantics).
+    """
+
+    def __init__(self, gap_ms: int) -> None:
+        if gap_ms <= 0:
+            raise ValueError(f"session gap must be positive, got {gap_ms}")
+        self.gap_ms = gap_ms
+
+    def assign(self, timestamp: int) -> List[Window]:
+        return [Window(timestamp, timestamp + self.gap_ms)]
+
+    def is_session(self) -> bool:
+        return True
+
+    def max_window_length(self) -> int:
+        return self.gap_ms
+
+    def __repr__(self) -> str:
+        return f"SessionWindows(gap={self.gap_ms}ms)"
+
+
+def merge_session_windows(windows: Iterable[Window]) -> List[Window]:
+    """Merge overlapping/touching proto-windows into maximal sessions.
+
+    Standard interval merge: sort by start, coalesce while the next window
+    starts at or before the current end.
+    """
+    ordered = sorted(windows)
+    if not ordered:
+        return []
+    merged = [ordered[0]]
+    for window in ordered[1:]:
+        last = merged[-1]
+        if window.start <= last.end:
+            if window.end > last.end:
+                merged[-1] = Window(last.start, window.end)
+        else:
+            merged.append(window)
+    return merged
+
+
+class Trigger:
+    """Decides when a window's contents are emitted.
+
+    Returning True from either hook fires the window.  The default —
+    :class:`EventTimeTrigger` — fires when the watermark passes the end of
+    the window, which is what the paper's queries use.
+    """
+
+    def on_element(self, record: Record, window: Window) -> bool:
+        """Called for each record added to ``window``."""
+        return False
+
+    def on_watermark(self, watermark: Watermark, window: Window) -> bool:
+        """Called when a watermark arrives; True fires the window."""
+        raise NotImplementedError
+
+
+class EventTimeTrigger(Trigger):
+    """Fire when the watermark reaches the window end (the default)."""
+
+    def on_watermark(self, watermark: Watermark, window: Window) -> bool:
+        return watermark.timestamp >= window.max_timestamp()
+
+
+class CountTrigger(Trigger):
+    """Fire every ``count`` elements (used in tests and ablations)."""
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = count
+        self._seen: dict = {}
+
+    def on_element(self, record: Record, window: Window) -> bool:
+        seen = self._seen.get(window, 0) + 1
+        self._seen[window] = seen
+        if seen >= self.count:
+            self._seen[window] = 0
+            return True
+        return False
+
+    def on_watermark(self, watermark: Watermark, window: Window) -> bool:
+        return False
+
+
+class Evictor:
+    """Optionally drops elements from a window's buffer before emission."""
+
+    def evict(self, elements: List[Record], window: Window) -> List[Record]:
+        """Return the elements to keep."""
+        return elements
+
+
+class TimeEvictor(Evictor):
+    """Keep only elements within ``keep_ms`` of the window max timestamp."""
+
+    def __init__(self, keep_ms: int) -> None:
+        if keep_ms <= 0:
+            raise ValueError(f"keep_ms must be positive, got {keep_ms}")
+        self.keep_ms = keep_ms
+
+    def evict(self, elements: List[Record], window: Window) -> List[Record]:
+        cutoff = window.max_timestamp() - self.keep_ms
+        return [element for element in elements if element.timestamp > cutoff]

@@ -1,0 +1,41 @@
+"""Workload generation and the experiment driver (paper §4.1–§4.4).
+
+* :mod:`repro.workloads.datagen` — the data generator of §4.2.1:
+  round-robin keys over 1000 distinct values, five uniformly random
+  fields per tuple;
+* :mod:`repro.workloads.querygen` — random selection predicates (§4.2.2),
+  join and aggregation query templates (Figures 7 and 8), and the complex
+  queries of §4.7 (selection + n-ary join + aggregation);
+* :mod:`repro.workloads.scenarios` — the two workload scenarios of
+  Figure 6: SC1 (many long-running parallel queries, ramp-up then steady)
+  and SC2 (high query churn, short-running queries);
+* :mod:`repro.workloads.driver` — the driver of Figure 5: two FIFO
+  queues (user requests and input tuples), batch submission with ACK
+  backpressure, and the latency bookkeeping built on them.
+"""
+
+from repro.workloads.datagen import DataGenerator, DataTuple
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import (
+    ScheduledRequest,
+    WorkloadSchedule,
+    sc1_schedule,
+    sc2_schedule,
+)
+from repro.workloads.driver import Driver, DriverConfig, RunReport
+from repro.workloads.traces import read_csv_stream, write_csv_stream
+
+__all__ = [
+    "DataGenerator",
+    "DataTuple",
+    "Driver",
+    "DriverConfig",
+    "QueryGenerator",
+    "RunReport",
+    "ScheduledRequest",
+    "WorkloadSchedule",
+    "read_csv_stream",
+    "sc1_schedule",
+    "sc2_schedule",
+    "write_csv_stream",
+]

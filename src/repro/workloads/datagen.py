@@ -1,0 +1,90 @@
+"""Data generation (paper §4.2.1).
+
+Each generated input tuple has six fields: a ``key`` and an array of five
+``fields``.  Keys are assigned round-robin — ``key ← key++ % key_max`` —
+which balances the distribution across partitions (the paper uses 1000
+distinct keys, uniform).  The other fields are uniform random integers in
+``[0, fields_max)``.
+
+The generator is deterministic under a seed and attaches event-time
+timestamps at a configurable tuple rate, so two SUTs can be driven with
+byte-identical streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+DEFAULT_KEY_MAX = 1_000
+DEFAULT_FIELDS_MAX = 100
+FIELD_COUNT = 5
+
+
+@dataclass(frozen=True)
+class DataTuple:
+    """One generated input tuple: a key plus five numeric fields."""
+
+    key: int
+    fields: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.fields) != FIELD_COUNT:
+            raise ValueError(
+                f"tuples carry exactly {FIELD_COUNT} fields, "
+                f"got {len(self.fields)}"
+            )
+
+
+class DataGenerator:
+    """Deterministic round-robin-key tuple source for one stream."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        key_max: int = DEFAULT_KEY_MAX,
+        fields_max: int = DEFAULT_FIELDS_MAX,
+    ) -> None:
+        if key_max <= 0:
+            raise ValueError(f"key_max must be positive, got {key_max}")
+        if fields_max <= 0:
+            raise ValueError(f"fields_max must be positive, got {fields_max}")
+        self.key_max = key_max
+        self.fields_max = fields_max
+        self._random = random.Random(seed)
+        self._next_key = 0
+
+    def next_tuple(self) -> DataTuple:
+        """Generate one tuple (round-robin key, random fields)."""
+        key = self._next_key
+        self._next_key = (self._next_key + 1) % self.key_max
+        fields = tuple(
+            self._random.randrange(self.fields_max) for _ in range(FIELD_COUNT)
+        )
+        return DataTuple(key=key, fields=fields)
+
+    def tuples(self, count: int) -> List[DataTuple]:
+        """Generate ``count`` tuples."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.next_tuple() for _ in range(count)]
+
+    def timestamped(
+        self, count: int, start_ms: int, rate_per_second: float
+    ) -> Iterator[Tuple[int, DataTuple]]:
+        """Yield ``(event_time_ms, tuple)`` at a fixed virtual rate.
+
+        Timestamps are spaced ``1000 / rate`` ms apart starting at
+        ``start_ms``; at high rates multiple tuples share a millisecond,
+        mirroring a bursty real feed.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if rate_per_second <= 0:
+            raise ValueError(
+                f"rate must be positive, got {rate_per_second}"
+            )
+        interval = 1_000.0 / rate_per_second
+        for index in range(count):
+            yield start_ms + int(index * interval), self.next_tuple()

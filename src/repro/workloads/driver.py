@@ -1,0 +1,397 @@
+"""The experiment driver (paper §4.1, Figure 5).
+
+The driver maintains two FIFO queues:
+
+* a **request queue** of query creations/deletions.  Requests are sent to
+  the SUT in batches; the driver waits for the SUT's ACK before sending
+  the next batch, a backpressure mechanism — the longer a request waits,
+  the higher its *deployment latency*.  For the query-at-a-time baseline
+  the ACK arrives only when the job manager finished deploying the
+  topology (several seconds), so the queue grows under modest request
+  rates (Figure 10a).  For AStream the ACK is the changelog flush.
+* a **tuple queue** filled by the data generators.  The driver pulls
+  tuples and sends them to the SUT; the longer a tuple waits, the higher
+  its *event-time latency*.  Queue waiting is modelled from the measured
+  service rate versus the configured input rate (sustainable-throughput
+  methodology).
+
+The driver runs on a virtual clock (event time) while measuring the real
+wall-clock cost of the data path, so deployment/queueing dynamics are
+deterministic and throughput numbers are real measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import AStreamEngine
+from repro.core.qos import QoSMonitor
+from repro.minispe.cluster import ClusterCapacityError
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.scenarios import ScheduledRequest, WorkloadSchedule
+
+
+@dataclass
+class DriverConfig:
+    """Knobs of one driver run."""
+
+    input_rate_tps: float = 2_000.0
+    """Virtual tuples per second *per stream*."""
+    duration_s: float = 20.0
+    """Virtual run length."""
+    step_ms: int = 250
+    """Simulation step: tuples are generated and pushed per step."""
+    watermark_interval_ms: int = 500
+    lateness_ms: int = 0
+    """Watermark lag behind generated event time."""
+    disorder_ms: int = 0
+    """Shuffle event times within this bound before sending (emulates
+    out-of-order arrival; pair with ``lateness_ms >= disorder_ms`` so
+    watermarks stay truthful and nothing is dropped as late)."""
+    disorder_seed: int = 99
+    latency_sample_every: int = 64
+    data_seed: int = 7
+    backlog_unsustainable_wait_ms: float = 5_000.0
+    """A final queue wait beyond this marks the run unsustainable."""
+
+    def __post_init__(self) -> None:
+        if self.disorder_ms < 0:
+            raise ValueError(f"disorder_ms must be >= 0, got {self.disorder_ms}")
+        if self.disorder_ms and self.lateness_ms < self.disorder_ms:
+            raise ValueError(
+                f"lateness_ms ({self.lateness_ms}) must cover disorder_ms "
+                f"({self.disorder_ms}) or disordered tuples would arrive "
+                f"behind the watermark"
+            )
+
+
+@dataclass
+class RunReport:
+    """Everything a figure needs from one driver run."""
+
+    name: str
+    tuples_pushed: int = 0
+    wall_seconds: float = 0.0
+    input_rate_tps: float = 0.0
+    active_queries_final: int = 0
+    active_queries_series: List[Tuple[int, int]] = field(default_factory=list)
+    mean_event_latency_ms: float = 0.0
+    p99_event_latency_ms: float = 0.0
+    queue_wait_final_ms: float = 0.0
+    queue_wait_series: List[Tuple[int, float]] = field(default_factory=list)
+    step_rate_series: List[Tuple[int, float]] = field(default_factory=list)
+    """(virtual time ms, measured tuples per wall-second in that step)."""
+    deployment_latencies_ms: List[float] = field(default_factory=list)
+    deployment_series: List[Tuple[int, float]] = field(default_factory=list)
+    per_query_results: Dict[str, int] = field(default_factory=dict)
+    sustained: bool = True
+    failure: Optional[str] = None
+
+    @property
+    def service_rate_tps(self) -> float:
+        """Measured data-path capacity: tuples per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tuples_pushed / self.wall_seconds
+
+    def slowest_throughput_tps(self, speedup: float = 1.0) -> float:
+        """Per-query sustainable input rate (every query sees the stream)."""
+        return self.service_rate_tps * speedup
+
+    def overall_throughput_tps(self, speedup: float = 1.0) -> float:
+        """Sum of active queries' throughputs (§4.3)."""
+        return self.slowest_throughput_tps(speedup) * max(
+            1, self.active_queries_final
+        )
+
+    def mean_deployment_latency_ms(self) -> float:
+        """Average query deployment latency over the run."""
+        if not self.deployment_latencies_ms:
+            return 0.0
+        return sum(self.deployment_latencies_ms) / len(self.deployment_latencies_ms)
+
+    def total_latency_ms(self) -> float:
+        """Event-time latency including modelled queue waiting."""
+        return self.mean_event_latency_ms + self.queue_wait_final_ms
+
+
+class SUTAdapter:
+    """Uniform driver-facing interface over both engines."""
+
+    name = "sut"
+
+    def submit(self, request: ScheduledRequest, now_ms: int) -> None:
+        """Apply one create/delete request to the SUT."""
+        raise NotImplementedError
+
+    def on_step(self, now_ms: int) -> None:
+        """Called once per driver step (session timeouts etc.)."""
+
+    def push(self, stream: str, timestamp: int, value) -> None:
+        """Send one data tuple to the SUT."""
+        raise NotImplementedError
+
+    def watermark(self, timestamp: int) -> None:
+        """Advance the SUT's event time on every stream."""
+        raise NotImplementedError
+
+    def deployment_latencies(self) -> List[Tuple[int, float]]:
+        """(requested_at_ms, latency_ms) pairs for create requests."""
+        raise NotImplementedError
+
+    def active_query_count(self) -> int:
+        """Queries currently live on the SUT."""
+        raise NotImplementedError
+
+    def result_counts(self) -> Dict[str, int]:
+        """Results delivered so far, per query id."""
+        raise NotImplementedError
+
+
+class AStreamAdapter(SUTAdapter):
+    """Drives an :class:`AStreamEngine`."""
+
+    def __init__(self, engine: AStreamEngine) -> None:
+        self.engine = engine
+        self.name = "astream"
+
+    def submit(self, request: ScheduledRequest, now_ms: int) -> None:
+        if request.kind == "create":
+            self.engine.submit(request.query, now_ms)
+        else:
+            self.engine.stop(request.query_id, now_ms)
+
+    def on_step(self, now_ms: int) -> None:
+        self.engine.tick(now_ms)
+
+    def push(self, stream: str, timestamp: int, value) -> None:
+        self.engine.push(stream, timestamp, value)
+
+    def watermark(self, timestamp: int) -> None:
+        self.engine.watermark(timestamp)
+
+    def deployment_latencies(self) -> List[Tuple[int, float]]:
+        return [
+            (event.requested_at_ms, float(event.deployment_latency_ms))
+            for event in self.engine.deployment_events
+            if event.kind == "create"
+        ]
+
+    def active_query_count(self) -> int:
+        return self.engine.active_query_count
+
+    def result_counts(self) -> Dict[str, int]:
+        return {
+            query_id: self.engine.channels.count(query_id)
+            for query_id in self.engine.channels.query_ids()
+        }
+
+
+class BaselineAdapter(SUTAdapter):
+    """Drives a :class:`~repro.baseline.engine.QueryAtATimeEngine`.
+
+    Models the job manager as a single server: deployments are serviced
+    one at a time, so requests queue while a deployment is in flight —
+    the mechanism behind Figure 10a's climbing latencies.
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.name = "flink"
+        self._busy_until_ms = 0
+
+    def submit(self, request: ScheduledRequest, now_ms: int) -> None:
+        start = max(now_ms, self._busy_until_ms)
+        if request.kind == "create":
+            cost = self.engine.deploy_cost_ms(request.query)
+            self.engine.submit(request.query, now_ms=start)
+        else:
+            cost = self.engine.deployment.stop_ms()
+            self.engine.stop(request.query_id, now_ms=start)
+        self._busy_until_ms = start + cost
+        event = self.engine.deployment_events[-1]
+        event.requested_at_ms = now_ms
+        event.ready_at_ms = self._busy_until_ms
+
+    def push(self, stream: str, timestamp: int, value) -> None:
+        self.engine.push(stream, timestamp, value)
+
+    def watermark(self, timestamp: int) -> None:
+        self.engine.watermark(timestamp)
+
+    def deployment_latencies(self) -> List[Tuple[int, float]]:
+        return [
+            (event.requested_at_ms, float(event.deployment_latency_ms))
+            for event in self.engine.deployment_events
+            if event.kind == "create"
+        ]
+
+    def active_query_count(self) -> int:
+        return self.engine.active_query_count
+
+    def result_counts(self) -> Dict[str, int]:
+        return {
+            query_id: self.engine.channels.count(query_id)
+            for query_id in self.engine.channels.query_ids()
+        }
+
+
+class Driver:
+    """Runs one schedule against one SUT and produces a :class:`RunReport`."""
+
+    def __init__(
+        self,
+        adapter: SUTAdapter,
+        schedule: WorkloadSchedule,
+        streams: Tuple[str, ...],
+        config: DriverConfig = None,
+        qos: Optional[QoSMonitor] = None,
+    ) -> None:
+        self.adapter = adapter
+        self.schedule = schedule
+        self.streams = streams
+        self.config = config or DriverConfig()
+        self._now_ms = 0
+        self._delayed: List = []  # jitter-buffer heap for disorder_ms
+        self._jitter = random.Random(self.config.disorder_seed)
+        self._sequence = itertools.count()  # heap tiebreaker
+        self.qos = qos or QoSMonitor(
+            now_fn=lambda: self._now_ms,
+            sample_every=self.config.latency_sample_every,
+        )
+
+    def run(self) -> RunReport:
+        """Execute the schedule and data feed; return the report."""
+        config = self.config
+        report = RunReport(
+            name=f"{self.adapter.name}:{self.schedule.name}",
+            input_rate_tps=config.input_rate_tps * len(self.streams),
+        )
+        generators = {
+            stream: DataGenerator(seed=config.data_seed + index)
+            for index, stream in enumerate(self.streams)
+        }
+        requests = self.schedule.sorted()
+        request_index = 0
+        duration_ms = int(config.duration_s * 1_000)
+        per_step = config.input_rate_tps * config.step_ms / 1_000.0
+        credit = 0.0
+        next_watermark_ms = config.watermark_interval_ms
+        started_wall = time.perf_counter()
+        try:
+            while self._now_ms < duration_ms:
+                now = self._now_ms
+                self.qos.now_ms = now
+                while (
+                    request_index < len(requests)
+                    and requests[request_index].at_ms <= now
+                ):
+                    self.adapter.submit(requests[request_index], now)
+                    request_index += 1
+                self.adapter.on_step(now)
+
+                credit += per_step
+                count = int(credit)
+                credit -= count
+                step_started = time.perf_counter()
+                if count:
+                    interval = config.step_ms / count
+                    for stream in self.streams:
+                        generator = generators[stream]
+                        for index in range(count):
+                            timestamp = now + int(index * interval)
+                            value = generator.next_tuple()
+                            if config.disorder_ms:
+                                # Jitter buffer: the tuple keeps its event
+                                # time but arrives up to disorder_ms later.
+                                release = now + self._jitter.randrange(
+                                    config.disorder_ms + 1
+                                )
+                                heappush(
+                                    self._delayed,
+                                    (release, next(self._sequence),
+                                     stream, timestamp, value),
+                                )
+                            else:
+                                self.adapter.push(stream, timestamp, value)
+                                report.tuples_pushed += 1
+                    while self._delayed and self._delayed[0][0] <= now:
+                        _, _, stream, timestamp, value = heappop(self._delayed)
+                        self.adapter.push(stream, timestamp, value)
+                        report.tuples_pushed += 1
+                self._now_ms += config.step_ms
+                # Watermarks fire at the post-step instant: results they
+                # release are emitted "now" for latency sampling.
+                self.qos.now_ms = self._now_ms
+                while next_watermark_ms <= self._now_ms:
+                    self.adapter.watermark(
+                        next_watermark_ms - config.lateness_ms
+                    )
+                    next_watermark_ms += config.watermark_interval_ms
+                step_wall = time.perf_counter() - step_started
+                if count and step_wall > 0:
+                    report.step_rate_series.append(
+                        (self._now_ms, count * len(self.streams) / step_wall)
+                    )
+                report.active_queries_series.append(
+                    (self._now_ms, self.adapter.active_query_count())
+                )
+        except ClusterCapacityError as error:
+            report.sustained = False
+            report.failure = f"cluster capacity exhausted: {error}"
+        report.wall_seconds = time.perf_counter() - started_wall
+        # Drain the jitter buffer, then close remaining windows.
+        while self._delayed:
+            _, _, stream, timestamp, value = heappop(self._delayed)
+            self.adapter.push(stream, timestamp, value)
+            report.tuples_pushed += 1
+        self.qos.now_ms = self._now_ms
+        self.adapter.watermark(self._now_ms)
+
+        report.active_queries_final = self.adapter.active_query_count()
+        report.mean_event_latency_ms = self.qos.latency.mean()
+        report.p99_event_latency_ms = self.qos.latency.percentile(99)
+        latencies = self.adapter.deployment_latencies()
+        report.deployment_series = latencies
+        report.deployment_latencies_ms = [latency for _, latency in latencies]
+        report.per_query_results = self.adapter.result_counts()
+        self._queue_model(report)
+        return report
+
+    def _queue_model(self, report: RunReport) -> None:
+        """D/D/1 backlog of the tuple FIFO: arrivals vs measured capacity.
+
+        The SUT's virtual-time capacity is its measured wall-clock service
+        rate (the sustainable-throughput methodology: one second of SUT
+        compute serves ``service_rate`` tuples).  If the configured input
+        rate exceeds it, the queue — and with it event-time latency —
+        grows without bound.
+        """
+        capacity = report.service_rate_tps
+        arrival = report.input_rate_tps
+        if capacity <= 0 or report.tuples_pushed == 0:
+            return
+        step_s = self.config.step_ms / 1_000.0
+        backlog = 0.0
+        duration_ms = int(self.config.duration_s * 1_000)
+        for now_ms in range(0, duration_ms, self.config.step_ms):
+            backlog = max(0.0, backlog + (arrival - capacity) * step_s)
+            report.queue_wait_series.append(
+                (now_ms, 1_000.0 * backlog / capacity)
+            )
+        report.queue_wait_final_ms = (
+            report.queue_wait_series[-1][1] if report.queue_wait_series else 0.0
+        )
+        if report.queue_wait_final_ms > self.config.backlog_unsustainable_wait_ms:
+            report.sustained = False
+            if report.failure is None:
+                report.failure = (
+                    f"input rate {arrival:.0f} t/s exceeds measured capacity "
+                    f"{capacity:.0f} t/s: queue wait reached "
+                    f"{report.queue_wait_final_ms:.0f} ms"
+                )

@@ -1,0 +1,163 @@
+"""Random query generation (paper §4.2.2, §4.2.3, §4.7).
+
+* **Selection predicates** (§4.2.2): pick a random field index, a random
+  constant, and a random comparison among ``<, >, ==, <=, >=``.
+* **Join queries** (Figure 7): ``SELECT * FROM A, B [RANGE l] [SLICE s]
+  WHERE A.KEY = B.KEY AND <pred(A)> AND <pred(B)>`` with random window
+  length and ``slide = random(1, length)``.
+* **Aggregation queries** (Figure 8): ``SELECT SUM(A.FIELD1) FROM A
+  [RANGE l] [SLICE s] WHERE <pred(A)> GROUP BY A.KEY``.
+* **Complex queries** (§4.7): a random pipeline of selection predicates,
+  an n-ary windowed join with 1 ≤ n ≤ 5, and a windowed aggregation.
+
+Window lengths are drawn in whole seconds up to ``window_max_seconds``;
+slides in whole seconds up to the length — matching the templates'
+``VALn`` random integers.  Everything is deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.query import (
+    AggregationQuery,
+    AggregationSpec,
+    Comparison,
+    ComplexQuery,
+    FieldPredicate,
+    JoinQuery,
+    SelectionQuery,
+    WindowSpec,
+)
+from repro.workloads.datagen import DEFAULT_FIELDS_MAX, FIELD_COUNT
+
+_OPERATORS = (
+    Comparison.LT,
+    Comparison.GT,
+    Comparison.EQ,
+    Comparison.LE,
+    Comparison.GE,
+)
+
+
+class QueryGenerator:
+    """Deterministic random query source following the paper's templates."""
+
+    def __init__(
+        self,
+        streams: Sequence[str] = ("A", "B"),
+        seed: int = 0,
+        fields_max: int = DEFAULT_FIELDS_MAX,
+        window_max_seconds: int = 5,
+        max_join_arity: int = 5,
+        selective_fraction: float = 0.5,
+    ) -> None:
+        if len(streams) < 1:
+            raise ValueError("need at least one stream")
+        if window_max_seconds < 1:
+            raise ValueError(
+                f"window_max_seconds must be >= 1, got {window_max_seconds}"
+            )
+        if not 0.0 <= selective_fraction <= 1.0:
+            raise ValueError("selective_fraction must be in [0, 1]")
+        self.streams = tuple(streams)
+        self.fields_max = fields_max
+        self.window_max_seconds = window_max_seconds
+        self.max_join_arity = max_join_arity
+        self.selective_fraction = selective_fraction
+        self._random = random.Random(seed)
+
+    # -- §4.2.2: selection predicate generation ------------------------------
+
+    def random_predicate(self) -> FieldPredicate:
+        """``o(field[i], VAL)`` with random field, operator, constant.
+
+        Equality predicates are heavily selective on uniform data; the
+        generator draws the constant so that a ``selective_fraction`` of
+        predicates are range-style (matching a sizeable subset), keeping
+        result streams non-degenerate at simulation scale.
+        """
+        field_index = self._random.randrange(FIELD_COUNT)
+        op = self._random.choice(_OPERATORS)
+        if op is Comparison.EQ and self._random.random() < self.selective_fraction:
+            # Re-draw equality into a range op half the time; pure
+            # random-equality predicates match ~1 % of tuples each.
+            op = self._random.choice((Comparison.LE, Comparison.GE))
+        constant = self._random.randrange(self.fields_max)
+        return FieldPredicate(field_index, op, constant)
+
+    # -- window generation -------------------------------------------------------
+
+    def random_window(self) -> WindowSpec:
+        """``length = random(1, window_max)``, ``slide = random(1, length)``."""
+        length_s = self._random.randint(1, self.window_max_seconds)
+        slide_s = self._random.randint(1, length_s)
+        return WindowSpec.sliding(length_s * 1_000, slide_s * 1_000)
+
+    def random_session_window(self, gap_max_seconds: int = 3) -> WindowSpec:
+        """A session window with a random gap."""
+        gap_s = self._random.randint(1, gap_max_seconds)
+        return WindowSpec.session(gap_s * 1_000)
+
+    # -- query templates ------------------------------------------------------------
+
+    def selection_query(self, stream: Optional[str] = None) -> SelectionQuery:
+        """A pure filter query on one stream."""
+        stream = stream or self._random.choice(self.streams)
+        return SelectionQuery(stream=stream, predicate=self.random_predicate())
+
+    def join_query(self) -> JoinQuery:
+        """Figure 7: binary windowed equi-join with per-stream predicates."""
+        if len(self.streams) < 2:
+            raise ValueError("join queries need two streams")
+        return JoinQuery(
+            left_stream=self.streams[0],
+            right_stream=self.streams[1],
+            left_predicate=self.random_predicate(),
+            right_predicate=self.random_predicate(),
+            window_spec=self.random_window(),
+        )
+
+    def aggregation_query(self, stream: Optional[str] = None) -> AggregationQuery:
+        """Figure 8: SUM(FIELD1) over a window, grouped by key."""
+        stream = stream or self.streams[0]
+        return AggregationQuery(
+            stream=stream,
+            predicate=self.random_predicate(),
+            window_spec=self.random_window(),
+            aggregation=AggregationSpec(field_index=0),
+        )
+
+    def complex_query(self) -> ComplexQuery:
+        """§4.7: selection + n-ary join (1 ≤ n ≤ 5) + aggregation.
+
+        The join fan is capped by the streams the engine was built with;
+        joined streams are the canonical prefix so the cascade of shared
+        binary joins lines up across queries.
+        """
+        max_joins = min(self.max_join_arity, len(self.streams) - 1)
+        if max_joins < 1:
+            raise ValueError("complex queries need at least two streams")
+        joins = self._random.randint(1, max_joins)
+        join_streams = self.streams[: joins + 1]
+        predicates = tuple(self.random_predicate() for _ in join_streams)
+        return ComplexQuery(
+            join_streams=join_streams,
+            predicates=predicates,
+            join_window=self.random_window(),
+            aggregation_window=self.random_window(),
+            aggregation=AggregationSpec(field_index=0),
+        )
+
+    def query(self, kind: str):
+        """Dispatch by kind name: selection | join | aggregation | complex."""
+        if kind == "selection":
+            return self.selection_query()
+        if kind == "join":
+            return self.join_query()
+        if kind in ("aggregation", "agg"):
+            return self.aggregation_query()
+        if kind == "complex":
+            return self.complex_query()
+        raise ValueError(f"unknown query kind {kind!r}")

@@ -1,0 +1,147 @@
+"""The two ad-hoc workload scenarios of Figure 6.
+
+* **SC1** — many users, many parallel queries: queries are created at a
+  fixed rate (``n`` queries per second) until a target parallelism
+  (``m`` active queries) is reached, then run long ("1 q/s 20 qp",
+  "10 q/s 60 qp", "100 q/s 1000 qp" in the paper's figures).  Few or no
+  deletions.
+* **SC2** — high churn, short-running queries: every ``m`` seconds a
+  batch of ``n`` queries is submitted and the previous batch is stopped
+  ("10q/10s", "30q/10s", "50q/10s").
+
+A scenario compiles to a :class:`WorkloadSchedule` — a time-ordered list
+of create/delete requests the driver feeds through its request FIFO
+(Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.query import Query
+from repro.workloads.querygen import QueryGenerator
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One pre-planned user request."""
+
+    at_ms: int
+    kind: str  # "create" | "delete"
+    query: Optional[Query] = None
+    query_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "create" and self.query is None:
+            raise ValueError("create requests carry the query")
+        if self.kind == "delete" and self.query_id is None:
+            raise ValueError("delete requests carry the query id")
+
+
+@dataclass
+class WorkloadSchedule:
+    """A time-ordered request sequence plus scenario metadata."""
+
+    name: str
+    requests: List[ScheduledRequest] = field(default_factory=list)
+
+    def sorted(self) -> List[ScheduledRequest]:
+        """Requests in submission order (stable on ties)."""
+        return sorted(self.requests, key=lambda request: request.at_ms)
+
+    @property
+    def peak_parallelism(self) -> int:
+        """Maximum concurrently active queries under this schedule."""
+        active = 0
+        peak = 0
+        for request in self.sorted():
+            if request.kind == "create":
+                active += 1
+                peak = max(peak, active)
+            else:
+                active -= 1
+        return peak
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def sc1_schedule(
+    generator: QueryGenerator,
+    queries_per_second: float,
+    query_parallelism: int,
+    kind: str = "join",
+    start_ms: int = 0,
+) -> WorkloadSchedule:
+    """SC1: create ``queries_per_second`` per second up to the target.
+
+    ``n q/s m qp`` in the paper's notation: the ramp lasts ``m / n``
+    seconds, after which the query population is stable and long-running.
+    """
+    if queries_per_second <= 0:
+        raise ValueError("queries_per_second must be positive")
+    if query_parallelism < 1:
+        raise ValueError("query_parallelism must be >= 1")
+    interval_ms = 1_000.0 / queries_per_second
+    requests = [
+        ScheduledRequest(
+            at_ms=start_ms + int(index * interval_ms),
+            kind="create",
+            query=generator.query(kind),
+        )
+        for index in range(query_parallelism)
+    ]
+    name = f"SC1 {queries_per_second:g}q/s {query_parallelism}qp {kind}"
+    return WorkloadSchedule(name=name, requests=requests)
+
+
+def sc2_schedule(
+    generator: QueryGenerator,
+    queries_per_batch: int,
+    batch_interval_s: int,
+    batches: int,
+    kind: str = "join",
+    start_ms: int = 0,
+) -> WorkloadSchedule:
+    """SC2: every ``batch_interval_s`` submit a batch, stop the previous.
+
+    ``n q/m s`` in the paper's notation: ``n`` queries are submitted and
+    ``n`` stopped every ``m`` seconds, so at steady state exactly ``n``
+    short-running queries are active and the changelog carries up to
+    ``2 n`` changes per batch boundary.
+    """
+    if queries_per_batch < 1:
+        raise ValueError("queries_per_batch must be >= 1")
+    if batch_interval_s < 1:
+        raise ValueError("batch_interval_s must be >= 1")
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    requests: List[ScheduledRequest] = []
+    previous_batch: List[Query] = []
+    for batch_index in range(batches):
+        at_ms = start_ms + batch_index * batch_interval_s * 1_000
+        for query in previous_batch:
+            requests.append(
+                ScheduledRequest(at_ms=at_ms, kind="delete", query_id=query.query_id)
+            )
+        current_batch = [generator.query(kind) for _ in range(queries_per_batch)]
+        for query in current_batch:
+            requests.append(
+                ScheduledRequest(at_ms=at_ms, kind="create", query=query)
+            )
+        previous_batch = current_batch
+    name = f"SC2 {queries_per_batch}q/{batch_interval_s}s x{batches} {kind}"
+    return WorkloadSchedule(name=name, requests=requests)
+
+
+def single_query_schedule(
+    generator: QueryGenerator, kind: str = "join", at_ms: int = 0
+) -> WorkloadSchedule:
+    """The single-query deployment used as the sharing-overhead baseline."""
+    return WorkloadSchedule(
+        name=f"single {kind}",
+        requests=[
+            ScheduledRequest(at_ms=at_ms, kind="create", query=generator.query(kind))
+        ],
+    )

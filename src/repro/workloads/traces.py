@@ -1,0 +1,101 @@
+"""Ingesting external traces: CSV → timestamped tuple streams.
+
+The generated workloads reproduce the paper; a downstream user will want
+to replay *their own* data.  :func:`read_csv_stream` maps a CSV file
+onto the engine's tuple model — one column is the event timestamp, one
+the partitioning key, and up to five numeric columns become the tuple
+fields (missing ones pad with zero, matching the fixed five-field layout
+of §4.2.1).
+
+Rows are yielded in file order; pair with the driver's ``disorder_ms``/
+``lateness_ms`` when the file is not timestamp-sorted, or sort it first
+with :func:`sorted_by_time`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.workloads.datagen import FIELD_COUNT, DataTuple
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def read_csv_stream(
+    path,
+    timestamp_column: str,
+    key_column: str,
+    field_columns: Sequence[str] = (),
+) -> Iterator[Tuple[int, DataTuple]]:
+    """Yield ``(event_time_ms, tuple)`` pairs from a CSV file.
+
+    ``timestamp_column`` must hold integer milliseconds; ``key_column``
+    and ``field_columns`` must hold numbers.  At most five field columns
+    are supported (the engine's tuple layout); fewer are zero-padded.
+    """
+    if len(field_columns) > FIELD_COUNT:
+        raise TraceError(
+            f"at most {FIELD_COUNT} field columns, got {len(field_columns)}"
+        )
+    with open(Path(path), newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise TraceError(f"{path}: empty file (no header)")
+        missing = [
+            column
+            for column in (timestamp_column, key_column, *field_columns)
+            if column not in reader.fieldnames
+        ]
+        if missing:
+            raise TraceError(
+                f"{path}: missing columns {missing}; header has "
+                f"{reader.fieldnames}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                timestamp = int(row[timestamp_column])
+                key = _number(row[key_column])
+                fields = [_number(row[column]) for column in field_columns]
+            except (TypeError, ValueError) as error:
+                raise TraceError(
+                    f"{path}:{line_number}: {error}"
+                ) from error
+            fields.extend([0] * (FIELD_COUNT - len(fields)))
+            yield timestamp, DataTuple(key=key, fields=tuple(fields))
+
+
+def _number(text: str):
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def sorted_by_time(
+    stream: Iterator[Tuple[int, DataTuple]]
+) -> List[Tuple[int, DataTuple]]:
+    """Materialise and sort a trace by event time (stable)."""
+    return sorted(stream, key=lambda pair: pair[0])
+
+
+def write_csv_stream(
+    path,
+    stream: Sequence[Tuple[int, DataTuple]],
+    field_names: Sequence[str] = ("f0", "f1", "f2", "f3", "f4"),
+) -> None:
+    """Write ``(event_time_ms, tuple)`` pairs as CSV (inverse reader).
+
+    Useful for exporting a generated workload so other systems can
+    replay the identical stream.
+    """
+    if len(field_names) != FIELD_COUNT:
+        raise TraceError(
+            f"exactly {FIELD_COUNT} field names required, got {len(field_names)}"
+        )
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp_ms", "key", *field_names])
+        for timestamp, value in stream:
+            writer.writerow([timestamp, value.key, *value.fields])

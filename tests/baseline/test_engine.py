@@ -1,0 +1,191 @@
+"""Tests for the query-at-a-time baseline engine."""
+
+import pytest
+
+from repro.baseline import BaselineDeploymentModel, QueryAtATimeEngine
+from repro.core.query import (
+    AggregationQuery,
+    ComplexQuery,
+    Comparison,
+    FieldPredicate,
+    JoinQuery,
+    SelectionQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from repro.minispe.cluster import ClusterCapacityError, ClusterSpec, SimulatedCluster
+from tests.conftest import field_tuple
+
+
+def _engine(nodes=4, parallelism=1, **kwargs) -> QueryAtATimeEngine:
+    return QueryAtATimeEngine(
+        cluster=SimulatedCluster(ClusterSpec(nodes=nodes)),
+        parallelism=parallelism,
+        **kwargs,
+    )
+
+
+class TestDeployment:
+    def test_each_query_occupies_slots(self):
+        engine = _engine()
+        engine.submit(
+            SelectionQuery(stream="A", predicate=TruePredicate()), now_ms=0
+        )
+        first_usage = engine.used_slots
+        engine.submit(
+            SelectionQuery(stream="A", predicate=TruePredicate()), now_ms=0
+        )
+        assert engine.used_slots == 2 * first_usage
+
+    def test_capacity_exhaustion(self):
+        engine = _engine(nodes=1)
+        with pytest.raises(ClusterCapacityError):
+            for index in range(100):
+                engine.submit(
+                    SelectionQuery(stream="A", predicate=TruePredicate()),
+                    now_ms=0,
+                )
+
+    def test_stop_releases_slots(self):
+        engine = _engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(query, now_ms=0)
+        engine.stop(query.query_id, now_ms=100)
+        assert engine.used_slots == 0
+        assert engine.active_query_count == 0
+
+    def test_stop_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            _engine().stop("ghost", now_ms=0)
+
+    def test_first_deploy_pays_cold_start(self):
+        engine = _engine()
+        q1 = SelectionQuery(stream="A", predicate=TruePredicate())
+        q2 = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(q1, now_ms=0)
+        engine.submit(q2, now_ms=0)
+        first, second = engine.deployment_events
+        assert first.deployment_latency_ms > second.deployment_latency_ms
+        assert (
+            first.deployment_latency_ms - second.deployment_latency_ms
+            == engine.deployment.cold_start_ms
+        )
+
+    def test_deploy_cost_ms_is_side_effect_free(self):
+        engine = _engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        cost = engine.deploy_cost_ms(query)
+        assert cost > 0
+        assert engine.used_slots == 0
+
+
+class TestDataPath:
+    def test_selection_query(self):
+        engine = _engine()
+        query = SelectionQuery(
+            stream="A", predicate=FieldPredicate(0, Comparison.GT, 5)
+        )
+        engine.submit(query, now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=9))
+        engine.push("A", 200, field_tuple(key=1, f0=1))
+        assert engine.result_count(query.query_id) == 1
+
+    def test_tuples_before_creation_not_delivered(self):
+        """A baseline job attaches at the latest offset."""
+        engine = _engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(query, now_ms=1_000)
+        engine.push("A", 500, field_tuple(key=1))
+        engine.push("A", 1_500, field_tuple(key=1))
+        assert engine.result_count(query.query_id) == 1
+
+    def test_tuple_forked_to_every_matching_job(self):
+        engine = _engine()
+        queries = [
+            SelectionQuery(stream="A", predicate=TruePredicate())
+            for _ in range(3)
+        ]
+        for query in queries:
+            engine.submit(query, now_ms=0)
+        engine.push("A", 100, field_tuple(key=1))
+        for query in queries:
+            assert engine.result_count(query.query_id) == 1
+
+    def test_join_query(self):
+        engine = _engine()
+        query = JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=TruePredicate(), right_predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        engine.submit(query, now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=1))
+        engine.push("B", 200, field_tuple(key=1, f1=2))
+        engine.push("B", 300, field_tuple(key=2, f1=3))
+        engine.watermark(5_000)
+        assert engine.result_count(query.query_id) == 1
+
+    def test_aggregation_query(self):
+        engine = _engine()
+        query = AggregationQuery(
+            stream="A",
+            predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        engine.submit(query, now_ms=0)
+        for ts in (100, 300, 500):
+            engine.push("A", ts, field_tuple(key=1, f0=2))
+        engine.watermark(4_000)
+        outputs = engine.results(query.query_id)
+        assert len(outputs) == 1
+        assert outputs[0].value.value == 6
+
+    def test_complex_query_cascade(self):
+        engine = _engine()
+        query = ComplexQuery(
+            join_streams=("A", "B", "C"),
+            predicates=(TruePredicate(),) * 3,
+            join_window=WindowSpec.tumbling(2_000),
+            aggregation_window=WindowSpec.tumbling(2_000),
+        )
+        engine.submit(query, now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=4))
+        engine.push("B", 200, field_tuple(key=1))
+        engine.push("C", 300, field_tuple(key=1))
+        engine.watermark(8_000)
+        outputs = engine.results(query.query_id)
+        assert len(outputs) == 1
+        assert outputs[0].value.value == 4
+
+    def test_unsupported_query_type_rejected(self):
+        class Unknown:
+            query_id = "u"
+            streams = ("A",)
+
+        with pytest.raises(TypeError):
+            _engine().submit(Unknown(), now_ms=0)
+
+    def test_shutdown_stops_everything(self):
+        engine = _engine()
+        for _ in range(3):
+            engine.submit(
+                SelectionQuery(stream="A", predicate=TruePredicate()), now_ms=0
+            )
+        engine.shutdown()
+        assert engine.active_query_count == 0
+        assert engine.used_slots == 0
+
+
+class TestDeploymentModel:
+    def test_deploy_costs(self):
+        model = BaselineDeploymentModel()
+        first = model.deploy_ms(8, 4, first=True)
+        later = model.deploy_ms(8, 4, first=False)
+        assert first - later == model.cold_start_ms
+        assert model.stop_ms() == model.job_stop_ms
+
+    def test_placement_parallel_across_nodes(self):
+        model = BaselineDeploymentModel(per_instance_ms=100)
+        assert model.deploy_ms(8, 8, first=False) < model.deploy_ms(
+            8, 1, first=False
+        )

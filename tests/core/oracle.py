@@ -1,0 +1,180 @@
+"""Brute-force reference semantics ("oracle") for shared operators.
+
+The shared join/aggregation operators are checked against these direct
+implementations of the ad-hoc query semantics:
+
+* a query created at time ``c`` owns windows ``[c + k*slide,
+  c + k*slide + length)``;
+* a window fires once the watermark reaches ``end - 1`` while the query
+  is still active;
+* a join window emits every cross pair of predicate-passing, key-equal
+  tuples whose timestamps fall inside the window (once per window — a
+  pair inside two overlapping sliding windows is emitted twice);
+* an aggregation window folds predicate-passing tuples per key.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, List, Tuple
+
+from repro.core.query import AggregationQuery, JoinQuery
+
+TimedTuple = Tuple[int, Any]
+
+
+def fired_windows(
+    spec, created_at_ms: int, watermark_ms: int, limit: int = 1_000
+) -> List[Tuple[int, int]]:
+    """All creation-anchored windows complete at ``watermark_ms``."""
+    windows = []
+    for index in range(limit):
+        start = created_at_ms + index * spec.slide_ms
+        end = start + spec.length_ms
+        if end - 1 > watermark_ms:
+            break
+        windows.append((start, end))
+    return windows
+
+
+def expected_join_multiset(
+    query: JoinQuery,
+    created_at_ms: int,
+    left: Iterable[TimedTuple],
+    right: Iterable[TimedTuple],
+    watermark_ms: int,
+) -> Counter:
+    """Multiset of (key, left fields, right fields) the query must emit."""
+    results: Counter = Counter()
+    left_passing = [
+        (ts, value)
+        for ts, value in left
+        if ts >= created_at_ms and query.left_predicate.evaluate(value)
+    ]
+    right_passing = [
+        (ts, value)
+        for ts, value in right
+        if ts >= created_at_ms and query.right_predicate.evaluate(value)
+    ]
+    for start, end in fired_windows(query.window_spec, created_at_ms, watermark_ms):
+        for l_ts, l_value in left_passing:
+            if not start <= l_ts < end:
+                continue
+            for r_ts, r_value in right_passing:
+                if not start <= r_ts < end:
+                    continue
+                if l_value.key != r_value.key:
+                    continue
+                results[(l_value.key, l_value.fields, r_value.fields)] += 1
+    return results
+
+
+def expected_agg_multiset(
+    query: AggregationQuery,
+    created_at_ms: int,
+    tuples: Iterable[TimedTuple],
+    watermark_ms: int,
+) -> Counter:
+    """Multiset of (key, window start, window end, value) to emit."""
+    results: Counter = Counter()
+    passing = [
+        (ts, value)
+        for ts, value in tuples
+        if ts >= created_at_ms and query.predicate.evaluate(value)
+    ]
+    spec = query.aggregation
+    for start, end in fired_windows(query.window_spec, created_at_ms, watermark_ms):
+        per_key = {}
+        for ts, value in passing:
+            if not start <= ts < end:
+                continue
+            acc = per_key.get(value.key)
+            if acc is None:
+                acc = spec.initial()
+            per_key[value.key] = spec.add(acc, value)
+        for key, acc in per_key.items():
+            results[(key, start, end, spec.finish(acc))] += 1
+    return results
+
+
+def join_outputs_multiset(outputs) -> Counter:
+    """Normalise engine join outputs for comparison with the oracle."""
+    results: Counter = Counter()
+    for output in outputs:
+        joined = output.value
+        left, right = joined.parts
+        results[(joined.key, left.fields, right.fields)] += 1
+    return results
+
+
+def agg_outputs_multiset(outputs) -> Counter:
+    """Normalise engine aggregation outputs for oracle comparison."""
+    results: Counter = Counter()
+    for output in outputs:
+        result = output.value
+        results[
+            (result.key, result.window.start, result.window.end, result.value)
+        ] += 1
+    return results
+
+
+def expected_complex_multiset(
+    query,
+    created_at_ms: int,
+    streams: dict,
+    watermark_ms: int,
+) -> Counter:
+    """Oracle for §4.7 complex queries (n-ary join + aggregation).
+
+    ``streams`` maps stream name -> [(ts, tuple)].  Semantics mirror the
+    engine's cascade: each join window (creation-anchored) produces
+    joined tuples timestamped at the newest component; the aggregation
+    then windows those joined tuples (also creation-anchored) and folds
+    the *leading* component's field per key.
+    """
+    # Stage 1: per-stream predicate filtering.
+    passing = {}
+    for name, predicate in zip(query.join_streams, query.predicates):
+        passing[name] = [
+            (ts, value)
+            for ts, value in streams[name]
+            if ts >= created_at_ms and predicate.evaluate(value)
+        ]
+    # Stage 2: cascade of windowed equi-joins.  Joined intermediates are
+    # (timestamp, parts) with timestamp = max of the components'.
+    joined = [(ts, (value,)) for ts, value in passing[query.join_streams[0]]]
+    for stream in query.join_streams[1:]:
+        next_joined = []
+        for start, end in fired_windows(
+            query.join_window, created_at_ms, watermark_ms
+        ):
+            for l_ts, l_parts in joined:
+                if not start <= l_ts < end:
+                    continue
+                for r_ts, r_value in passing[stream]:
+                    if not start <= r_ts < end:
+                        continue
+                    if l_parts[0].key != r_value.key:
+                        continue
+                    next_joined.append(
+                        (max(l_ts, r_ts), l_parts + (r_value,))
+                    )
+        joined = next_joined
+    # Stage 3: windowed aggregation over the leading component.
+    spec = query.aggregation
+    results: Counter = Counter()
+    for start, end in fired_windows(
+        query.aggregation_window, created_at_ms, watermark_ms
+    ):
+        per_key = {}
+        for ts, parts in joined:
+            if not start <= ts < end:
+                continue
+            key = parts[0].key
+            acc = per_key.get(key)
+            if acc is None:
+                acc = spec.initial()
+            per_key[key] = spec.add(acc, parts[0])
+        for key, acc in per_key.items():
+            results[(key, start, end, spec.finish(acc))] += 1
+    return results

@@ -1,0 +1,191 @@
+"""Tests for changelogs and the Equation 1 dynamic program."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.changelog import (
+    Changelog,
+    ChangelogTable,
+    QueryActivation,
+    QueryDeactivation,
+)
+from repro.core.query import SelectionQuery, TruePredicate
+
+
+def _query(name: str) -> SelectionQuery:
+    return SelectionQuery(stream="A", predicate=TruePredicate(), query_id=name)
+
+
+def _changelog(sequence, created=(), deleted=(), width=0, ts=0) -> Changelog:
+    return Changelog(
+        sequence=sequence,
+        timestamp_ms=ts,
+        created=tuple(
+            QueryActivation(_query(f"q{sequence}-{slot}"), slot, ts)
+            for slot in created
+        ),
+        deleted=tuple(
+            QueryDeactivation(f"d{sequence}-{slot}", slot) for slot in deleted
+        ),
+        width_after=width,
+    )
+
+
+class TestChangelog:
+    def test_changelog_set_figure_3c(self):
+        """Q2 deleted, Q3 created in its slot: changelog-set is 10."""
+        changelog = _changelog(1, created=[1], deleted=[1], width=2)
+        assert changelog.to_paper_string() == "10"
+
+    def test_changed_slots_deduplicated(self):
+        changelog = _changelog(1, created=[1], deleted=[1], width=2)
+        assert changelog.changed_slots == [1]
+        assert changelog.change_count == 2
+
+    def test_sequence_validation(self):
+        with pytest.raises(ValueError):
+            _changelog(0)
+
+    def test_unchanged_positions_set(self):
+        changelog = _changelog(1, created=[2], width=4)
+        assert changelog.changelog_set == 0b1011
+
+
+class TestChangelogTableFigure4:
+    """Reproduces Figure 4b/4c exactly."""
+
+    def _figure4_table(self) -> ChangelogTable:
+        table = ChangelogTable()
+        # T1: Q1+, Q2+ -> width 2 but paper shows 3-wide sets from T1 on
+        # (Q3 arrives at T2); we follow the actual widths.
+        table.append(_changelog(1, created=[0, 1], width=2, ts=1))
+        # T2: Q3+ (slot 2).
+        table.append(_changelog(2, created=[2], width=3, ts=2))
+        # T3: Q4+ (slot 3), Q2- (slot 1).
+        table.append(_changelog(3, created=[3], deleted=[1], width=4, ts=3))
+        # T4: Q4-, Q5+ reuses slot 3.
+        table.append(_changelog(4, created=[3], deleted=[3], width=4, ts=4))
+        # T5: Q3- (slot 2), Q6+ takes slot 2, Q7+ new slot 4.
+        table.append(_changelog(5, created=[2, 4], deleted=[2], width=5, ts=5))
+        return table
+
+    def test_adjacent_changelog_sets_match_figure_4b(self):
+        table = self._figure4_table()
+        # Paper strings are slot-0-leftmost.
+        assert table.changelog_starting(2).to_paper_string() == "110"
+        assert table.changelog_starting(3).to_paper_string() == "1010"
+        assert table.changelog_starting(4).to_paper_string() == "1110"
+        assert table.changelog_starting(5).to_paper_string() == "11010"
+
+    def test_non_adjacent_sets_match_figure_4c(self):
+        table = self._figure4_table()
+
+        def paper(i, j, width):
+            mask = table.cl_set(i, j)
+            return "".join("1" if (mask >> s) & 1 else "0" for s in range(width))
+
+        # CL[3][1]: changes at T2 (slot 2 created) and T3 (slots 1, 3).
+        assert paper(3, 1, 4) == "1000"
+        # CL[4][3]: only T4's change (slot 3).
+        assert paper(4, 3, 4) == "1110"
+        # CL[4][2]: T3 and T4 changes: slots 1, 3.
+        assert paper(4, 2, 4) == "1010"
+        # CL[5][4]: T5 changes slots 2 and 4.
+        assert paper(5, 4, 5) == "11010"
+
+    def test_same_epoch_is_all_ones(self):
+        table = self._figure4_table()
+        assert table.cl_set(3, 3) == (1 << 4) - 1
+
+    def test_symmetry(self):
+        table = self._figure4_table()
+        assert table.cl_set(4, 1) == table.cl_set(1, 4)
+
+    def test_matches_brute_force(self):
+        table = self._figure4_table()
+        for i in range(6):
+            for j in range(i + 1):
+                assert table.cl_set(i, j) == table.cl_set_brute_force(i, j), (i, j)
+
+    def test_shares_queries(self):
+        table = self._figure4_table()
+        assert table.shares_queries(5, 1)  # slot 0 (Q1) lives throughout
+
+    def test_out_of_order_append_rejected(self):
+        table = ChangelogTable()
+        with pytest.raises(ValueError):
+            table.append(_changelog(2, width=1))
+
+    def test_range_validation(self):
+        table = self._figure4_table()
+        with pytest.raises(IndexError):
+            table.cl_set(99, 0)
+        with pytest.raises(IndexError):
+            table.cl_set(0, -1)
+
+    def test_prune_memo(self):
+        table = self._figure4_table()
+        table.cl_set(5, 1)
+        dropped = table.prune_memo_before(3)
+        assert dropped > 0
+        # Post-prune queries still correct (recomputed).
+        assert table.cl_set(5, 1) == table.cl_set_brute_force(5, 1)
+
+
+@st.composite
+def _changelog_sequences(draw):
+    """Random consistent changelog sequences (slot reuse included)."""
+    steps = draw(st.integers(min_value=1, max_value=12))
+    width = 0
+    free: list = []
+    changelogs = []
+    for sequence in range(1, steps + 1):
+        created = []
+        deleted = []
+        # Delete up to 2 occupied slots.
+        occupied = [s for s in range(width) if s not in free and s not in deleted]
+        for slot in draw(
+            st.lists(st.sampled_from(occupied or [0]), max_size=2, unique=True)
+        ) if occupied else []:
+            deleted.append(slot)
+            free.append(slot)
+        # Create up to 2 queries, reusing freed slots first.
+        for _ in range(draw(st.integers(0, 2))):
+            if free:
+                slot = min(free)
+                free.remove(slot)
+            else:
+                slot = width
+                width += 1
+            created.append(slot)
+        changelogs.append(
+            _changelog(sequence, created=created, deleted=deleted,
+                       width=width, ts=sequence)
+        )
+    return changelogs
+
+
+class TestDynamicProgramProperties:
+    @given(_changelog_sequences())
+    def test_dp_equals_brute_force_everywhere(self, changelogs):
+        table = ChangelogTable()
+        for changelog in changelogs:
+            table.append(changelog)
+        epochs = table.current_epoch
+        for i in range(epochs + 1):
+            for j in range(i + 1):
+                assert table.cl_set(i, j) == table.cl_set_brute_force(i, j)
+
+    @given(_changelog_sequences())
+    def test_cl_set_is_monotone_in_range(self, changelogs):
+        """Widening the epoch range can only clear bits, never set them."""
+        table = ChangelogTable()
+        for changelog in changelogs:
+            table.append(changelog)
+        epochs = table.current_epoch
+        for i in range(epochs + 1):
+            for j in range(i, -1, -1):
+                wide = table.cl_set(i, j)
+                if j < i:
+                    narrower = table.cl_set(i, j + 1)
+                    assert wide & ~narrower == 0

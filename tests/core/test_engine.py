@@ -1,0 +1,225 @@
+"""Tests for the AStream engine facade."""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.query import (
+    ComplexQuery,
+    JoinQuery,
+    SelectionQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from tests.conftest import field_tuple, go_live, make_engine
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.streams == ("A", "B")
+        assert config.effective_join_arity == 1
+
+    def test_arity_clamped_to_streams(self):
+        config = EngineConfig(streams=("A", "B", "C"), max_join_arity=5)
+        assert config.effective_join_arity == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(streams=())
+        with pytest.raises(ValueError):
+            EngineConfig(max_join_arity=0)
+
+
+class TestTopology:
+    def test_stage_vertices_exist(self):
+        engine = make_engine(streams=("A", "B", "C"), max_join_arity=2)
+        names = set(engine.graph.vertices)
+        for expected in (
+            "source:A", "select:A", "agg:A", "router:select:A",
+            "join:A~B", "agg:A~B", "join:A~B~C", "agg:A~B~C",
+            "router:join:A~B~C",
+        ):
+            assert expected in names
+
+    def test_slots_allocated_once(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        engine = make_engine(cluster=cluster)
+        assert cluster.used_slots == engine.graph.total_instances()
+        engine.shutdown()
+        assert cluster.used_slots == 0
+
+    def test_unsupported_stage_rejected(self):
+        engine = make_engine(streams=("A", "B"))
+        bad = SelectionQuery(stream="Z", predicate=TruePredicate())
+        with pytest.raises(ValueError, match="select:Z"):
+            engine.submit(bad, now_ms=0)
+
+    def test_deep_join_rejected_when_not_configured(self):
+        engine = make_engine(streams=("A", "B"), max_join_arity=1)
+        deep = ComplexQuery(
+            join_streams=("A", "B", "C"),
+            predicates=(TruePredicate(),) * 3,
+            join_window=WindowSpec.tumbling(1_000),
+            aggregation_window=WindowSpec.tumbling(1_000),
+        )
+        with pytest.raises(ValueError):
+            engine.submit(deep, now_ms=0)
+
+
+class TestQueryLifecycle:
+    def test_query_not_live_until_changelog(self):
+        engine = make_engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(query, now_ms=0)
+        assert engine.active_query_count == 0
+        engine.push("A", 100, field_tuple(key=1))
+        assert engine.result_count(query.query_id) == 0
+        # The changelog timeout fires on tick.
+        engine.tick(now_ms=1_000)
+        assert engine.active_query_count == 1
+        engine.push("A", 1_100, field_tuple(key=1))
+        assert engine.result_count(query.query_id) == 1
+
+    def test_deployment_events_recorded(self):
+        engine = make_engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(query, now_ms=200)
+        engine.tick(now_ms=1_500)
+        events = engine.deployment_events
+        assert len(events) == 1
+        assert events[0].kind == "create"
+        assert events[0].requested_at_ms == 200
+        assert events[0].changelog_at_ms == 1_500
+        assert events[0].deployment_latency_ms > 1_300  # includes cold start
+
+    def test_first_changelog_pays_cold_start(self):
+        engine = make_engine()
+        first = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(first, now_ms=0)
+        engine.flush_session(0)
+        second = SelectionQuery(stream="A", predicate=TruePredicate())
+        engine.submit(second, now_ms=10)
+        engine.flush_session(10)
+        latencies = [e.deployment_latency_ms for e in engine.deployment_events]
+        assert latencies[0] > 5_000
+        assert latencies[1] < 1_000
+
+    def test_stop_records_delete_event(self):
+        engine = make_engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        go_live(engine, [query], now_ms=0)
+        engine.stop(query.query_id, now_ms=100)
+        engine.flush_session(100)
+        assert engine.deployment_events[-1].kind == "delete"
+        assert engine.active_query_count == 0
+
+    def test_watermark_monotone(self):
+        engine = make_engine()
+        engine.watermark(1_000)
+        engine.watermark(500)  # silently ignored
+        engine.watermark(1_000)  # idempotent
+        assert engine._last_watermark_ms == 1_000
+
+
+class TestSelectionQueries:
+    def test_selection_results_flow_to_channel(self):
+        engine = make_engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        go_live(engine, [query], now_ms=0)
+        for ts in range(100, 600, 100):
+            engine.push("A", ts, field_tuple(key=ts))
+        assert engine.result_count(query.query_id) == 5
+
+    def test_results_carry_timestamps(self):
+        engine = make_engine()
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        go_live(engine, [query], now_ms=0)
+        engine.push("A", 123, field_tuple(key=1))
+        assert engine.results(query.query_id)[0].timestamp == 123
+
+
+class TestComplexQueries:
+    def test_three_way_join_with_aggregation(self):
+        engine = make_engine(streams=("A", "B", "C"), max_join_arity=2)
+        query = ComplexQuery(
+            join_streams=("A", "B", "C"),
+            predicates=(TruePredicate(),) * 3,
+            join_window=WindowSpec.tumbling(2_000),
+            aggregation_window=WindowSpec.tumbling(2_000),
+            query_id="cx",
+        )
+        go_live(engine, [query], now_ms=0)
+        # One matching triple on key 1 (f0 of the A tuple aggregates).
+        engine.push("A", 100, field_tuple(key=1, f0=5))
+        engine.push("B", 200, field_tuple(key=1))
+        engine.push("C", 300, field_tuple(key=1))
+        # Key 2 misses stream C: no triple.
+        engine.push("A", 150, field_tuple(key=2, f0=9))
+        engine.push("B", 250, field_tuple(key=2))
+        engine.watermark(8_000)
+        outputs = engine.results("cx")
+        assert len(outputs) == 1
+        assert outputs[0].value.key == 1
+        assert outputs[0].value.value == 5
+
+    def test_cascade_cross_product_counts(self):
+        engine = make_engine(streams=("A", "B", "C"), max_join_arity=2)
+        query = ComplexQuery(
+            join_streams=("A", "B", "C"),
+            predicates=(TruePredicate(),) * 3,
+            join_window=WindowSpec.tumbling(2_000),
+            aggregation_window=WindowSpec.tumbling(2_000),
+            query_id="cx",
+        )
+        go_live(engine, [query], now_ms=0)
+        # 2 x 3 x 1 = 6 triples for key 1; COUNT-like via SUM of f0=1.
+        for ts in (100, 200):
+            engine.push("A", ts, field_tuple(key=1, f0=1))
+        for ts in (110, 210, 310):
+            engine.push("B", ts, field_tuple(key=1))
+        engine.push("C", 400, field_tuple(key=1))
+        engine.watermark(8_000)
+        outputs = engine.results("cx")
+        assert len(outputs) == 1
+        assert outputs[0].value.value == 6
+
+
+class TestComponentStats:
+    def test_stats_accumulate(self):
+        engine = make_engine()
+        query = JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=TruePredicate(), right_predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        go_live(engine, [query], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1))
+        engine.push("B", 200, field_tuple(key=1))
+        engine.watermark(4_000)
+        stats = engine.component_stats()
+        assert stats["predicate_evaluations"] == 2
+        assert stats["router_copies"] == 1
+        assert stats["join_pairs_computed"] >= 1
+        assert stats["results_emitted"] == 1
+
+
+class TestDescribe:
+    def test_describe_lists_topology_and_queries(self):
+        engine = make_engine()
+        query = SelectionQuery(
+            stream="A", predicate=TruePredicate(), query_id="desc-q"
+        )
+        go_live(engine, [query], now_ms=500)
+        text = engine.describe()
+        assert "source:A" in text
+        assert "join:A~B" in text
+        assert "select:A[hash" in text or "select:A[" in text
+        assert "desc-q" in text
+        assert "1 active" in text
+        assert "created t=500ms" in text
+
+    def test_describe_empty_population(self):
+        engine = make_engine()
+        text = engine.describe()
+        assert "0 active" in text

@@ -1,0 +1,84 @@
+"""Tests for out-of-order and late-record handling in shared operators."""
+
+from repro.core.query import (
+    AggregationQuery,
+    JoinQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from tests.conftest import field_tuple, go_live, make_engine
+
+
+def _join(name="late-join", length=2_000):
+    return JoinQuery(
+        left_stream="A", right_stream="B",
+        left_predicate=TruePredicate(), right_predicate=TruePredicate(),
+        window_spec=WindowSpec.tumbling(length), query_id=name,
+    )
+
+
+def _agg(name="late-agg", length=2_000):
+    return AggregationQuery(
+        stream="A", predicate=TruePredicate(),
+        window_spec=WindowSpec.tumbling(length), query_id=name,
+    )
+
+
+class TestOutOfOrderWithinBound:
+    def test_join_accepts_reordered_records(self):
+        engine = make_engine()
+        go_live(engine, [_join()], now_ms=0)
+        # Out of order but ahead of the watermark: all joined.
+        for ts in (900, 100, 500):
+            engine.push("A", ts, field_tuple(key=1, f0=ts))
+        engine.push("B", 700, field_tuple(key=1, f1=7))
+        engine.watermark(5_000)
+        assert engine.result_count("late-join") == 3
+
+    def test_agg_accepts_record_behind_watermark_within_retention(self):
+        engine = make_engine()
+        go_live(engine, [_agg(length=4_000)], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=1))
+        engine.watermark(1_000)  # window [0,4000) still open
+        engine.push("A", 500, field_tuple(key=1, f0=2))  # behind watermark
+        engine.watermark(10_000)
+        outputs = engine.results("late-agg")
+        assert outputs[0].value.value == 3
+
+
+class TestLateDrops:
+    def test_join_drops_beyond_retention_and_counts(self):
+        engine = make_engine()
+        go_live(engine, [_join(length=1_000)], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=1))
+        engine.push("B", 200, field_tuple(key=1, f1=2))
+        engine.watermark(10_000)
+        produced = engine.result_count("late-join")
+        # Hours late: the window fired long ago.
+        engine.push("A", 150, field_tuple(key=1, f0=9))
+        engine.watermark(11_000)
+        assert engine.result_count("late-join") == produced
+        stats = engine.component_stats()
+        assert stats["late_records_dropped"] == 1
+
+    def test_agg_drops_beyond_retention_and_counts(self):
+        engine = make_engine()
+        go_live(engine, [_agg(length=1_000)], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=5))
+        engine.watermark(10_000)
+        engine.push("A", 200, field_tuple(key=1, f0=7))
+        engine.watermark(11_000)
+        outputs = engine.results("late-agg")
+        assert len(outputs) == 1
+        assert outputs[0].value.value == 5
+        assert engine.component_stats()["late_records_dropped"] >= 1
+
+    def test_late_drop_does_not_corrupt_open_windows(self):
+        engine = make_engine()
+        go_live(engine, [_agg(length=1_000)], now_ms=0)
+        engine.watermark(10_000)
+        engine.push("A", 50, field_tuple(key=1, f0=3))  # dropped
+        engine.push("A", 10_500, field_tuple(key=1, f0=4))  # current window
+        engine.watermark(20_000)
+        values = [output.value.value for output in engine.results("late-agg")]
+        assert values == [4]

@@ -1,0 +1,68 @@
+"""Tests for the QoS monitor."""
+
+import pytest
+
+from repro.core.qos import QoSMonitor, QoSThresholds
+
+
+class TestSampling:
+    def test_samples_every_nth_delivery(self):
+        monitor = QoSMonitor(sample_every=3)
+        monitor.now_ms = 1_000
+        for _ in range(9):
+            monitor.on_deliver("q", 400)
+        assert monitor.latency.count == 3
+        assert monitor.mean_latency_ms() == 600
+
+    def test_per_query_counters(self):
+        monitor = QoSMonitor(sample_every=1)
+        monitor.on_deliver("a", 0)
+        monitor.on_deliver("a", 0)
+        monitor.on_deliver("b", 0)
+        assert monitor.per_query_delivered == {"a": 2, "b": 1}
+        assert monitor.slowest_query() == "b"
+        assert monitor.overall_delivered() == 3
+
+    def test_custom_now_fn(self):
+        clock = {"now": 500}
+        monitor = QoSMonitor(now_fn=lambda: clock["now"], sample_every=1)
+        monitor.on_deliver("q", 100)
+        assert monitor.latency.mean() == 400
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSMonitor(sample_every=0)
+
+    def test_slowest_query_empty(self):
+        assert QoSMonitor().slowest_query() is None
+
+
+class TestViolations:
+    def test_no_violations_by_default(self):
+        monitor = QoSMonitor(sample_every=1)
+        monitor.on_deliver("q", 0)
+        assert monitor.violations() == []
+
+    def test_latency_violation(self):
+        monitor = QoSMonitor(
+            sample_every=1,
+            thresholds=QoSThresholds(max_event_time_latency_ms=100),
+        )
+        monitor.now_ms = 1_000
+        monitor.on_deliver("q", 0)
+        assert any("latency" in problem for problem in monitor.violations())
+
+    def test_deployment_violation(self):
+        monitor = QoSMonitor(
+            thresholds=QoSThresholds(max_deployment_latency_ms=1_000),
+        )
+        problems = monitor.violations(deployment_latencies_ms=[500, 5_000])
+        assert any("deployments exceed" in problem for problem in problems)
+
+    def test_throughput_violation(self):
+        monitor = QoSMonitor(
+            sample_every=1,
+            thresholds=QoSThresholds(min_query_throughput=5),
+        )
+        monitor.on_deliver("starved", 0)
+        assert any("minimum result rate" in p for p in monitor.violations())

@@ -1,0 +1,227 @@
+"""Tests for query specifications: predicates, windows, plans."""
+
+import pytest
+
+from repro.core.query import (
+    AggregationKind,
+    AggregationQuery,
+    AggregationSpec,
+    CallablePredicate,
+    Comparison,
+    ComplexQuery,
+    FieldPredicate,
+    JoinQuery,
+    SelectionQuery,
+    TruePredicate,
+    WindowKind,
+    WindowSpec,
+)
+from tests.conftest import field_tuple
+
+
+class TestComparison:
+    def test_all_operators(self):
+        assert Comparison.LT.apply(1, 2)
+        assert Comparison.GT.apply(2, 1)
+        assert Comparison.EQ.apply(2, 2)
+        assert Comparison.LE.apply(2, 2)
+        assert Comparison.GE.apply(2, 2)
+        assert not Comparison.LT.apply(2, 2)
+
+
+class TestPredicates:
+    def test_field_predicate(self):
+        predicate = FieldPredicate(2, Comparison.GT, 10)
+        assert predicate.evaluate(field_tuple(0, f2=11))
+        assert not predicate.evaluate(field_tuple(0, f2=10))
+
+    def test_field_predicate_validation(self):
+        with pytest.raises(ValueError):
+            FieldPredicate(-1, Comparison.GT, 0)
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(object())
+
+    def test_callable_predicate(self):
+        predicate = CallablePredicate(lambda v: v.key == 3, "key==3")
+        assert predicate.evaluate(field_tuple(3))
+        assert str(predicate) == "key==3"
+
+    def test_str(self):
+        assert str(FieldPredicate(1, Comparison.LE, 5)) == "fields[1] <= 5"
+
+
+class TestWindowSpec:
+    def test_tumbling(self):
+        spec = WindowSpec.tumbling(2_000)
+        assert spec.kind is WindowKind.TUMBLING
+        assert spec.slide_ms == spec.length_ms == 2_000
+
+    def test_sliding_collapses_to_tumbling(self):
+        assert WindowSpec.sliding(1_000, 1_000).kind is WindowKind.TUMBLING
+
+    def test_sliding(self):
+        spec = WindowSpec.sliding(3_000, 1_000)
+        assert spec.kind is WindowKind.SLIDING
+
+    def test_session(self):
+        spec = WindowSpec.session(500)
+        assert spec.is_session
+        assert spec.retention_ms() == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowSpec.tumbling(0)
+        with pytest.raises(ValueError):
+            WindowSpec.sliding(1_000, 2_000)
+        with pytest.raises(ValueError):
+            WindowSpec.session(0)
+
+    def test_windows_for_anchored_at_creation(self):
+        spec = WindowSpec.sliding(3_000, 1_000)
+        assert spec.windows_for(500, 0) == (500, 3_500)
+        assert spec.windows_for(500, 2) == (2_500, 5_500)
+
+    def test_windows_for_session_rejected(self):
+        with pytest.raises(ValueError):
+            WindowSpec.session(100).windows_for(0, 0)
+
+    def test_make_assigner_kinds(self):
+        from repro.minispe.windows import (
+            SessionWindows,
+            SlidingWindows,
+            TumblingWindows,
+        )
+
+        assert isinstance(WindowSpec.tumbling(1_000).make_assigner(), TumblingWindows)
+        assert isinstance(
+            WindowSpec.sliding(2_000, 500).make_assigner(), SlidingWindows
+        )
+        assert isinstance(WindowSpec.session(100).make_assigner(), SessionWindows)
+
+
+class TestAggregationSpec:
+    def test_sum(self):
+        spec = AggregationSpec(AggregationKind.SUM, field_index=1)
+        acc = spec.add(spec.initial(), field_tuple(0, f1=4))
+        acc = spec.add(acc, field_tuple(0, f1=6))
+        assert spec.finish(acc) == 10
+
+    def test_count(self):
+        spec = AggregationSpec(AggregationKind.COUNT)
+        acc = spec.add(spec.add(spec.initial(), None), None)
+        assert spec.finish(acc) == 2
+
+    def test_min_max(self):
+        low = AggregationSpec(AggregationKind.MIN, field_index=0)
+        high = AggregationSpec(AggregationKind.MAX, field_index=0)
+        values = [field_tuple(0, f0=v) for v in (5, 2, 9)]
+        acc_low, acc_high = low.initial(), high.initial()
+        for value in values:
+            acc_low = low.add(acc_low, value)
+            acc_high = high.add(acc_high, value)
+        assert low.finish(acc_low) == 2
+        assert high.finish(acc_high) == 9
+
+    def test_avg(self):
+        spec = AggregationSpec(AggregationKind.AVG, field_index=0)
+        acc = spec.initial()
+        for v in (2, 4):
+            acc = spec.add(acc, field_tuple(0, f0=v))
+        assert spec.finish(acc) == 3.0
+        assert spec.finish(spec.initial()) == 0.0
+
+    def test_merge(self):
+        spec = AggregationSpec(AggregationKind.MIN, field_index=0)
+        assert spec.merge(None, 5) == 5
+        assert spec.merge(3, None) == 3
+        assert spec.merge(3, 5) == 3
+
+
+class TestQueryPlans:
+    def test_selection_stages(self):
+        query = SelectionQuery(stream="A", predicate=TruePredicate())
+        stages = query.stages()
+        assert [stage.operator for stage in stages] == ["select:A"]
+        assert stages[0].is_output
+
+    def test_aggregation_stages(self):
+        query = AggregationQuery(
+            stream="B", predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        assert [s.operator for s in query.stages()] == ["select:B", "agg:B"]
+        assert query.stages()[-1].is_output
+
+    def test_join_stages(self):
+        query = JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=TruePredicate(), right_predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        assert [s.operator for s in query.stages()] == [
+            "select:A", "select:B", "join:A~B",
+        ]
+
+    def test_join_validation(self):
+        with pytest.raises(ValueError, match="self-joins"):
+            JoinQuery(
+                left_stream="A", right_stream="A",
+                left_predicate=TruePredicate(),
+                right_predicate=TruePredicate(),
+                window_spec=WindowSpec.tumbling(1_000),
+            )
+        with pytest.raises(ValueError, match="time windows"):
+            JoinQuery(
+                left_stream="A", right_stream="B",
+                left_predicate=TruePredicate(),
+                right_predicate=TruePredicate(),
+                window_spec=WindowSpec.session(1_000),
+            )
+
+    def test_complex_stages_cascade(self):
+        query = ComplexQuery(
+            join_streams=("A", "B", "C"),
+            predicates=(TruePredicate(),) * 3,
+            join_window=WindowSpec.tumbling(1_000),
+            aggregation_window=WindowSpec.tumbling(2_000),
+        )
+        assert [s.operator for s in query.stages()] == [
+            "select:A", "select:B", "select:C",
+            "join:A~B", "join:A~B~C", "agg:A~B~C",
+        ]
+        assert query.join_arity == 2
+        assert query.stages()[-1].is_output
+
+    def test_complex_validation(self):
+        with pytest.raises(ValueError, match="at least two"):
+            ComplexQuery(
+                join_streams=("A",),
+                predicates=(TruePredicate(),),
+                join_window=WindowSpec.tumbling(1_000),
+                aggregation_window=WindowSpec.tumbling(1_000),
+            )
+        with pytest.raises(ValueError, match="one predicate per stream"):
+            ComplexQuery(
+                join_streams=("A", "B"),
+                predicates=(TruePredicate(),),
+                join_window=WindowSpec.tumbling(1_000),
+                aggregation_window=WindowSpec.tumbling(1_000),
+            )
+
+    def test_predicate_for(self):
+        left, right = FieldPredicate(0, Comparison.GT, 1), TruePredicate()
+        query = JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=left, right_predicate=right,
+            window_spec=WindowSpec.tumbling(1_000),
+        )
+        assert query.predicate_for("A") is left
+        assert query.predicate_for("B") is right
+        with pytest.raises(KeyError):
+            query.predicate_for("C")
+
+    def test_query_ids_unique(self):
+        first = SelectionQuery(stream="A", predicate=TruePredicate())
+        second = SelectionQuery(stream="A", predicate=TruePredicate())
+        assert first.query_id != second.query_id

@@ -1,0 +1,115 @@
+"""Tests for query-slot allocation — the Figure 3 data-model behaviours."""
+
+import pytest
+
+from repro.core.query import SelectionQuery, TruePredicate
+from repro.core.registry import QueryRegistry, SlotPolicy
+
+
+def _query(name: str) -> SelectionQuery:
+    return SelectionQuery(stream="A", predicate=TruePredicate(), query_id=name)
+
+
+class TestReusePolicy:
+    def test_sequential_allocation(self):
+        registry = QueryRegistry()
+        q1 = registry.register(_query("q1"), 0, 1)
+        q2 = registry.register(_query("q2"), 0, 1)
+        assert (q1.slot, q2.slot) == (0, 1)
+        assert registry.width == 2
+
+    def test_figure_3c_slot_reuse(self):
+        """Q2 deleted; Q3 takes its position; width stays compact."""
+        registry = QueryRegistry()
+        registry.register(_query("Q1"), 0, 1)
+        q2 = registry.register(_query("Q2"), 0, 1)
+        registry.unregister("Q2")
+        q3 = registry.register(_query("Q3"), 10, 2)
+        assert q3.slot == q2.slot
+        assert registry.width == 2
+
+    def test_lowest_free_slot_first(self):
+        registry = QueryRegistry()
+        for name in ("a", "b", "c"):
+            registry.register(_query(name), 0, 1)
+        registry.unregister("c")
+        registry.unregister("a")
+        fresh = registry.register(_query("d"), 0, 2)
+        assert fresh.slot == 0
+        fresh2 = registry.register(_query("e"), 0, 2)
+        assert fresh2.slot == 2
+
+    def test_figure_4a_t5(self):
+        """Two creations and one deletion: the deleted slot goes to the
+        first new query, the second gets a fresh position."""
+        registry = QueryRegistry()
+        for name in ("Q1", "Q3", "Q4", "Q5"):
+            registry.register(_query(name), 0, 1)
+        registry.unregister("Q3")
+        q6 = registry.register(_query("Q6"), 0, 2)
+        q7 = registry.register(_query("Q7"), 0, 2)
+        assert q6.slot == 1  # Q3's old slot
+        assert q7.slot == 4  # brand new position
+        assert registry.width == 5
+
+
+class TestAppendOnlyPolicy:
+    def test_figure_3b_no_reuse(self):
+        """The naive approach: deleted positions stay permanently zero."""
+        registry = QueryRegistry(SlotPolicy.APPEND_ONLY)
+        registry.register(_query("Q1"), 0, 1)
+        registry.register(_query("Q2"), 0, 1)
+        registry.unregister("Q2")
+        q3 = registry.register(_query("Q3"), 0, 2)
+        assert q3.slot == 2  # fresh index, bitsets grow sparse
+        assert registry.width == 3
+
+    def test_width_grows_without_bound_under_churn(self):
+        registry = QueryRegistry(SlotPolicy.APPEND_ONLY)
+        for index in range(10):
+            registry.register(_query(f"q{index}"), 0, 1)
+            registry.unregister(f"q{index}")
+        assert registry.width == 10
+        assert registry.active_count == 0
+
+
+class TestLookupsAndErrors:
+    def test_duplicate_rejected(self):
+        registry = QueryRegistry()
+        registry.register(_query("q"), 0, 1)
+        with pytest.raises(ValueError):
+            registry.register(_query("q"), 0, 1)
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            QueryRegistry().unregister("ghost")
+
+    def test_lookups(self):
+        registry = QueryRegistry()
+        entry = registry.register(_query("q"), 5, 1)
+        assert registry.by_slot(entry.slot).query.query_id == "q"
+        assert registry.by_id("q").created_at_ms == 5
+        assert registry.by_slot(99) is None
+        assert "q" in registry
+
+    def test_active_ordered_by_slot(self):
+        registry = QueryRegistry()
+        for name in ("a", "b", "c"):
+            registry.register(_query(name), 0, 1)
+        registry.unregister("b")
+        assert [entry.query.query_id for entry in registry.active()] == ["a", "c"]
+
+    def test_active_mask(self):
+        registry = QueryRegistry()
+        for name in ("a", "b", "c"):
+            registry.register(_query(name), 0, 1)
+        registry.unregister("b")
+        assert registry.active_mask() == 0b101
+
+
+def test_repr_smoke():
+    registry = QueryRegistry()
+    registry.register(_query("r1"), 0, 1)
+    text = repr(registry)
+    assert "reuse" in text
+    assert "active=1" in text

@@ -1,0 +1,213 @@
+"""Tests for the shared selection operator."""
+
+from typing import List
+
+from repro.core.changelog import Changelog, QueryActivation, QueryDeactivation
+from repro.core.query import (
+    Comparison,
+    FieldPredicate,
+    SelectionQuery,
+    TruePredicate,
+)
+from repro.core.selection import EPOCH_TAG, QS_TAG, SharedSelectionOperator
+from repro.minispe.record import ChangelogMarker, Record
+from tests.conftest import field_tuple
+
+
+def _selection_query(name: str, stream="A", predicate=None) -> SelectionQuery:
+    return SelectionQuery(
+        stream=stream, predicate=predicate or TruePredicate(), query_id=name
+    )
+
+
+def _marker(sequence, ts, created=(), deleted=(), width=0) -> ChangelogMarker:
+    changelog = Changelog(
+        sequence=sequence,
+        timestamp_ms=ts,
+        created=tuple(
+            QueryActivation(query, slot, ts) for query, slot in created
+        ),
+        deleted=tuple(QueryDeactivation(qid, slot) for qid, slot in deleted),
+        width_after=width,
+    )
+    return ChangelogMarker(timestamp=ts, changelog=changelog)
+
+
+def _wired(stream="A") -> (SharedSelectionOperator, List):
+    operator = SharedSelectionOperator(stream)
+    out: List = []
+    operator.set_collector(out.append)
+    return operator, out
+
+
+class TestTagging:
+    def test_no_queries_drops_everything(self):
+        operator, out = _wired()
+        operator.process(Record(timestamp=10, value=field_tuple(1), key=1))
+        assert out == []
+        assert operator.records_dropped == 1
+
+    def test_tags_matching_queries(self):
+        operator, out = _wired()
+        gt = _selection_query("gt", predicate=FieldPredicate(0, Comparison.GT, 5))
+        le = _selection_query("le", predicate=FieldPredicate(0, Comparison.LE, 5))
+        operator.on_marker(_marker(1, 100, created=[(gt, 0), (le, 1)], width=2))
+        operator.process(Record(timestamp=100, value=field_tuple(1, f0=9), key=1))
+        operator.process(Record(timestamp=101, value=field_tuple(1, f0=3), key=1))
+        records = [element for element in out if isinstance(element, Record)]
+        assert records[0].tags[QS_TAG] == 0b01  # gt only
+        assert records[1].tags[QS_TAG] == 0b10  # le only
+        assert records[0].tags[EPOCH_TAG] == 1
+
+    def test_queries_for_other_streams_ignored(self):
+        operator, out = _wired(stream="A")
+        other = _selection_query("other", stream="B")
+        operator.on_marker(_marker(1, 0, created=[(other, 0)], width=1))
+        assert operator.active_query_count == 0
+
+    def test_marker_forwarded(self):
+        operator, out = _wired()
+        operator.on_marker(_marker(1, 0, width=0))
+        assert len(out) == 1
+
+    def test_deletion_stops_tagging(self):
+        operator, out = _wired()
+        query = _selection_query("q")
+        operator.on_marker(_marker(1, 0, created=[(query, 0)], width=1))
+        operator.on_marker(_marker(2, 100, deleted=[("q", 0)], width=1))
+        operator.process(Record(timestamp=150, value=field_tuple(1), key=1))
+        assert [e for e in out if isinstance(e, Record)] == []
+
+    def test_slot_reuse_changes_predicate(self):
+        operator, out = _wired()
+        old = _selection_query("old", predicate=FieldPredicate(0, Comparison.GT, 50))
+        operator.on_marker(_marker(1, 0, created=[(old, 0)], width=1))
+        new = _selection_query("new", predicate=FieldPredicate(0, Comparison.LE, 50))
+        operator.on_marker(
+            _marker(2, 100, created=[(new, 0)], deleted=[("old", 0)], width=1)
+        )
+        operator.process(Record(timestamp=150, value=field_tuple(1, f0=10), key=1))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].tags[QS_TAG] == 0b1  # new predicate matched
+
+
+class TestEventTimeEpochs:
+    def test_late_record_tagged_under_its_epoch(self):
+        """A record older than the newest changelog uses the query view
+        that was in force at its own event time."""
+        operator, out = _wired()
+        query = _selection_query("q")
+        operator.on_marker(_marker(1, 1_000, created=[(query, 0)], width=1))
+        operator.on_marker(_marker(2, 2_000, deleted=[("q", 0)], width=1))
+        # Late record from the [1000, 2000) epoch: q was active then.
+        operator.process(Record(timestamp=1_500, value=field_tuple(1), key=1))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].tags[QS_TAG] == 0b1
+        assert records[0].tags[EPOCH_TAG] == 1
+
+    def test_record_before_first_changelog_dropped(self):
+        operator, out = _wired()
+        query = _selection_query("q")
+        operator.on_marker(_marker(1, 1_000, created=[(query, 0)], width=1))
+        operator.process(Record(timestamp=500, value=field_tuple(1), key=1))
+        assert [e for e in out if isinstance(e, Record)] == []
+
+    def test_prune_views(self):
+        operator, _ = _wired()
+        query = _selection_query("q")
+        operator.on_marker(_marker(1, 1_000, created=[(query, 0)], width=1))
+        operator.on_marker(_marker(2, 2_000, deleted=[("q", 0)], width=1))
+        dropped = operator.prune_views_before(2_500)
+        assert dropped == 2  # epoch 0 and epoch 1 views gone
+        # The view in force at 2500 must survive.
+        assert operator._view_for(2_500).sequence == 2
+
+
+class TestSnapshot:
+    def test_round_trip(self):
+        operator, _ = _wired()
+        query = _selection_query("q")
+        operator.on_marker(_marker(1, 100, created=[(query, 0)], width=1))
+        snapshot = operator.snapshot()
+        restored, out = _wired()
+        restored.restore(snapshot)
+        restored.process(Record(timestamp=150, value=field_tuple(1), key=1))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].tags[QS_TAG] == 0b1
+
+
+class TestPredicateDeduplication:
+    """Selection-level sharing: identical predicates evaluated once."""
+
+    def test_shared_predicate_single_evaluation(self):
+        operator, out = _wired()
+        shared = FieldPredicate(0, Comparison.GT, 5)
+        q1 = _selection_query("q1", predicate=shared)
+        q2 = _selection_query("q2", predicate=FieldPredicate(0, Comparison.GT, 5))
+        q3 = _selection_query("q3", predicate=FieldPredicate(0, Comparison.LE, 5))
+        operator.on_marker(
+            _marker(1, 0, created=[(q1, 0), (q2, 1), (q3, 2)], width=3)
+        )
+        operator.process(Record(timestamp=10, value=field_tuple(1, f0=9), key=1))
+        # Two distinct predicates -> two evaluations for three queries.
+        assert operator.predicate_evaluations == 2
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].tags[QS_TAG] == 0b011  # q1 and q2 both match
+
+    def test_dedup_disabled_evaluates_per_query(self):
+        operator = SharedSelectionOperator("A", dedup_predicates=False)
+        collected = []
+        operator.set_collector(collected.append)
+        predicate = FieldPredicate(0, Comparison.GT, 5)
+        q1 = _selection_query("q1", predicate=predicate)
+        q2 = _selection_query("q2", predicate=predicate)
+        operator.on_marker(_marker(1, 0, created=[(q1, 0), (q2, 1)], width=2))
+        operator.process(Record(timestamp=10, value=field_tuple(1, f0=9), key=1))
+        assert operator.predicate_evaluations == 2
+
+    def test_unhashable_udf_predicates_not_merged(self):
+        from repro.core.query import CallablePredicate
+
+        operator, out = _wired()
+        first = CallablePredicate(lambda v: v.fields[0] > 5)
+        second = CallablePredicate(lambda v: v.fields[0] > 5)
+        q1 = _selection_query("q1", predicate=first)
+        q2 = _selection_query("q2", predicate=second)
+        operator.on_marker(_marker(1, 0, created=[(q1, 0), (q2, 1)], width=2))
+        operator.process(Record(timestamp=10, value=field_tuple(1, f0=9), key=1))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].tags[QS_TAG] == 0b11
+
+    def test_dedup_results_identical_to_undeduped(self):
+        def run(dedup):
+            operator = SharedSelectionOperator("A", dedup_predicates=dedup)
+            collected = []
+            operator.set_collector(collected.append)
+            queries = [
+                _selection_query(
+                    f"q{i}", predicate=FieldPredicate(i % 2, Comparison.GE, 50)
+                )
+                for i in range(6)
+            ]
+            operator.on_marker(
+                _marker(
+                    1, 0,
+                    created=[(q, i) for i, q in enumerate(queries)],
+                    width=6,
+                )
+            )
+            for ts in range(10, 500, 37):
+                operator.process(
+                    Record(
+                        timestamp=ts,
+                        value=field_tuple(1, f0=ts % 100, f1=(ts * 3) % 100),
+                        key=1,
+                    )
+                )
+            return [
+                (e.timestamp, e.tags[QS_TAG])
+                for e in collected
+                if isinstance(e, Record)
+            ]
+
+        assert run(True) == run(False)

@@ -1,0 +1,216 @@
+"""Tests for query/schedule JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import (
+    AggregationKind,
+    AggregationQuery,
+    AggregationSpec,
+    CallablePredicate,
+    Comparison,
+    ComplexQuery,
+    FieldPredicate,
+    JoinQuery,
+    SelectionQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from repro.core.serde import (
+    SerdeError,
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+    window_from_dict,
+    window_to_dict,
+)
+from repro.core.sql import ConjunctionPredicate, parse_query
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc2_schedule
+
+
+class TestPredicates:
+    def test_round_trips(self):
+        predicates = [
+            TruePredicate(),
+            FieldPredicate(2, Comparison.GE, 42),
+            ConjunctionPredicate(
+                (FieldPredicate(0, Comparison.LT, 1),
+                 FieldPredicate(1, Comparison.EQ, 2))
+            ),
+        ]
+        for predicate in predicates:
+            assert predicate_from_dict(predicate_to_dict(predicate)) == predicate
+
+    def test_callable_rejected(self):
+        with pytest.raises(SerdeError, match="black-box"):
+            predicate_to_dict(CallablePredicate(lambda v: True))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerdeError):
+            predicate_from_dict({"type": "regex"})
+
+
+class TestWindows:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            WindowSpec.tumbling(2_000),
+            WindowSpec.sliding(3_000, 1_000),
+            WindowSpec.session(750),
+        ],
+    )
+    def test_round_trips(self, spec):
+        assert window_from_dict(window_to_dict(spec)) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerdeError):
+            window_from_dict({"kind": "hopping"})
+
+
+class TestQueries:
+    def _samples(self):
+        return [
+            SelectionQuery(stream="A", predicate=TruePredicate(),
+                           query_id="s1"),
+            AggregationQuery(
+                stream="B",
+                predicate=FieldPredicate(1, Comparison.LE, 9),
+                window_spec=WindowSpec.session(500),
+                aggregation=AggregationSpec(AggregationKind.AVG, 2),
+                query_id="a1",
+            ),
+            JoinQuery(
+                left_stream="A", right_stream="B",
+                left_predicate=FieldPredicate(0, Comparison.GT, 1),
+                right_predicate=TruePredicate(),
+                window_spec=WindowSpec.sliding(4_000, 2_000),
+                query_id="j1",
+            ),
+            ComplexQuery(
+                join_streams=("A", "B", "C"),
+                predicates=(TruePredicate(),) * 3,
+                join_window=WindowSpec.tumbling(1_000),
+                aggregation_window=WindowSpec.tumbling(2_000),
+                aggregation=AggregationSpec(AggregationKind.MAX, 4),
+                query_id="c1",
+            ),
+        ]
+
+    def test_round_trips(self):
+        for query in self._samples():
+            restored = query_from_dict(query_to_dict(query))
+            assert restored == query
+            assert restored.query_id == query.query_id
+
+    def test_json_safe(self):
+        for query in self._samples():
+            text = json.dumps(query_to_dict(query))
+            assert query_from_dict(json.loads(text)) == query
+
+    def test_sql_parsed_query_round_trips(self):
+        query = parse_query(
+            "SELECT SUM(A.F0) FROM A RANGE 2 "
+            "WHERE A.F1 > 3 AND A.F2 <= 9 GROUP BY KEY"
+        )
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_unknown_query_type_rejected(self):
+        with pytest.raises(SerdeError):
+            query_from_dict({"type": "cube"})
+
+    def test_unsupported_object_rejected(self):
+        with pytest.raises(SerdeError):
+            query_to_dict(object())
+
+
+class TestSchedules:
+    def test_sc2_schedule_round_trips_through_json(self):
+        schedule = sc2_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 3, 5, 3, kind="join"
+        )
+        document = json.loads(json.dumps(schedule_to_dict(schedule)))
+        restored = schedule_from_dict(document)
+        assert restored.name == schedule.name
+        assert len(restored) == len(schedule)
+        original = schedule.sorted()
+        for left, right in zip(original, restored.sorted()):
+            assert left.at_ms == right.at_ms
+            assert left.kind == right.kind
+            if left.kind == "create":
+                assert right.query == left.query
+            else:
+                assert right.query_id == left.query_id
+
+    def test_restored_schedule_is_runnable(self):
+        from repro.harness.runner import RunnerConfig, run_scenario
+
+        schedule = sc2_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 2, 2, 2, kind="agg"
+        )
+        restored = schedule_from_dict(
+            json.loads(json.dumps(schedule_to_dict(schedule)))
+        )
+        metrics = run_scenario(
+            RunnerConfig(input_rate_tps=100.0, duration_s=5.0),
+            schedule=restored,
+        )
+        assert metrics.report.tuples_pushed > 0
+        assert metrics.report.active_queries_final == 2
+
+    def test_unknown_request_kind_rejected(self):
+        with pytest.raises(SerdeError):
+            schedule_from_dict(
+                {"name": "x", "requests": [{"kind": "pause", "at_ms": 0}]}
+            )
+
+
+@st.composite
+def _random_field_queries(draw):
+    return JoinQuery(
+        left_stream="A", right_stream="B",
+        left_predicate=FieldPredicate(
+            draw(st.integers(0, 4)),
+            draw(st.sampled_from(list(Comparison))),
+            draw(st.integers(-100, 100)),
+        ),
+        right_predicate=FieldPredicate(
+            draw(st.integers(0, 4)),
+            draw(st.sampled_from(list(Comparison))),
+            draw(st.integers(-100, 100)),
+        ),
+        window_spec=WindowSpec.sliding(
+            draw(st.integers(1, 10)) * 1_000,
+            draw(st.integers(1, 10)) * 100,
+        ),
+    )
+
+
+class TestProperties:
+    @given(_random_field_queries())
+    def test_arbitrary_join_queries_round_trip(self, query):
+        assert query_from_dict(
+            json.loads(json.dumps(query_to_dict(query)))
+        ) == query
+
+
+class TestFileHelpers:
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.core.serde import load_schedule, save_schedule
+
+        schedule = sc2_schedule(
+            QueryGenerator(streams=("A", "B"), seed=8), 2, 3, 2, kind="join"
+        )
+        target = tmp_path / "schedule.json"
+        save_schedule(schedule, target)
+        restored = load_schedule(target)
+        assert restored.name == schedule.name
+        assert len(restored) == len(schedule)
+        assert [r.kind for r in restored.sorted()] == [
+            r.kind for r in schedule.sorted()
+        ]

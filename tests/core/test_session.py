@@ -1,0 +1,126 @@
+"""Tests for the shared session's batching and changelog generation."""
+
+import pytest
+
+from repro.core.query import SelectionQuery, TruePredicate
+from repro.core.session import QueryRequest, RequestKind, SharedSession
+
+
+def _query(name: str) -> SelectionQuery:
+    return SelectionQuery(stream="A", predicate=TruePredicate(), query_id=name)
+
+
+class TestRequestValidation:
+    def test_create_needs_query(self):
+        with pytest.raises(ValueError):
+            QueryRequest(RequestKind.CREATE, 0)
+
+    def test_delete_needs_id(self):
+        with pytest.raises(ValueError):
+            QueryRequest(RequestKind.DELETE, 0)
+
+    def test_target_id(self):
+        create = QueryRequest(RequestKind.CREATE, 0, query=_query("q"))
+        delete = QueryRequest(RequestKind.DELETE, 0, query_id="q")
+        assert create.target_id == "q"
+        assert delete.target_id == "q"
+
+
+class TestBatching:
+    def test_no_requests_no_changelog(self):
+        session = SharedSession()
+        assert session.flush(0) is None
+        assert session.maybe_flush(10_000) is None
+
+    def test_timeout_triggers_flush(self):
+        session = SharedSession(batch_size=100, timeout_ms=1_000)
+        session.submit(_query("q"), now_ms=0)
+        assert not session.should_flush(999)
+        assert session.should_flush(1_000)
+        changelog = session.maybe_flush(1_000)
+        assert changelog is not None
+        assert changelog.sequence == 1
+        assert len(changelog.created) == 1
+
+    def test_batch_size_triggers_flush(self):
+        session = SharedSession(batch_size=3, timeout_ms=60_000)
+        for index in range(3):
+            session.submit(_query(f"q{index}"), now_ms=0)
+        assert session.should_flush(0)
+
+    def test_flush_caps_at_batch_size(self):
+        session = SharedSession(batch_size=2, timeout_ms=1_000)
+        for index in range(5):
+            session.submit(_query(f"q{index}"), now_ms=0)
+        changelog = session.flush(0)
+        assert len(changelog.created) == 2
+        assert session.pending_count == 3
+
+    def test_drain(self):
+        session = SharedSession(batch_size=2, timeout_ms=1_000)
+        for index in range(5):
+            session.submit(_query(f"q{index}"), now_ms=0)
+        changelogs = session.drain(0)
+        assert [len(c.created) for c in changelogs] == [2, 2, 1]
+        assert session.pending_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedSession(batch_size=0)
+        with pytest.raises(ValueError):
+            SharedSession(timeout_ms=0)
+
+
+class TestChangelogContents:
+    def test_mixed_batch_reuses_slot_in_order(self):
+        """A deletion earlier in the batch frees its slot for a later
+        creation (the Figure 4a T5 behaviour)."""
+        session = SharedSession(batch_size=100, timeout_ms=1_000)
+        session.submit(_query("q1"), now_ms=0)
+        session.submit(_query("q2"), now_ms=0)
+        session.flush(0)
+        session.stop("q1", now_ms=5)
+        session.submit(_query("q3"), now_ms=6)
+        changelog = session.flush(1_100)
+        assert changelog.sequence == 2
+        assert changelog.deleted[0].slot == 0
+        assert changelog.created[0].slot == 0
+        assert changelog.width_after == 2
+
+    def test_requests_tagged_with_sequence(self):
+        session = SharedSession()
+        request = session.submit(_query("q"), now_ms=0)
+        session.flush(0)
+        assert request.changelog_sequence == 1
+
+    def test_changelog_timestamp_is_flush_time(self):
+        session = SharedSession()
+        session.submit(_query("q"), now_ms=100)
+        changelog = session.flush(2_345)
+        assert changelog.timestamp_ms == 2_345
+
+    def test_created_at_is_flush_time(self):
+        """Query windows anchor at the changelog (event) time, not at
+        request submission."""
+        session = SharedSession()
+        session.submit(_query("q"), now_ms=100)
+        changelog = session.flush(1_500)
+        assert changelog.created[0].created_at_ms == 1_500
+
+    def test_sequences_increase(self):
+        session = SharedSession()
+        session.submit(_query("a"), now_ms=0)
+        first = session.flush(0)
+        session.submit(_query("b"), now_ms=10)
+        second = session.flush(10)
+        assert (first.sequence, second.sequence) == (1, 2)
+
+    def test_timeout_restarts_for_leftover_requests(self):
+        session = SharedSession(batch_size=2, timeout_ms=1_000)
+        for name in ("a", "b", "c"):
+            session.submit(_query(name), now_ms=0)
+        session.flush(500)  # flushes "a" and "b" (batch size 2)
+        assert session.pending_count == 1
+        # The leftover batch times from the flush, not from t=0.
+        assert not session.should_flush(1_400)
+        assert session.should_flush(1_500)

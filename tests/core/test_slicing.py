@@ -1,0 +1,279 @@
+"""Tests and property tests for dynamic window slicing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.query import WindowSpec
+from repro.core.slicing import (
+    EpochTimeline,
+    Slice,
+    SliceIndex,
+    SliceManager,
+)
+
+
+class TestEpochTimeline:
+    def test_initial_epoch(self):
+        timeline = EpochTimeline()
+        assert timeline.epoch_for(0) == (0, 0, None)
+        assert timeline.current_sequence == 0
+
+    def test_epoch_lookup(self):
+        timeline = EpochTimeline()
+        timeline.append(1, 1_000)
+        timeline.append(2, 3_000)
+        assert timeline.epoch_for(500) == (0, 0, 1_000)
+        assert timeline.epoch_for(1_000) == (1, 1_000, 3_000)
+        assert timeline.epoch_for(9_999) == (2, 3_000, None)
+
+    def test_out_of_order_rejected(self):
+        timeline = EpochTimeline()
+        with pytest.raises(ValueError):
+            timeline.append(2, 0)
+        timeline.append(1, 1_000)
+        with pytest.raises(ValueError):
+            timeline.append(2, 500)
+
+
+class TestSlice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Slice(start=5, end=5, epoch=0)
+
+    def test_covers_and_id(self):
+        slice_ = Slice(start=10, end=20, epoch=3)
+        assert slice_.covers(10)
+        assert not slice_.covers(20)
+        assert slice_.id == (3, 10)
+
+
+class TestSliceIndex:
+    def test_get_or_create_idempotent(self):
+        index = SliceIndex()
+        first = index.get_or_create(0, 10, 0)
+        second = index.get_or_create(0, 10, 0)
+        assert first is second
+        assert index.created_total == 1
+
+    def test_overlapping(self):
+        index = SliceIndex()
+        for start in (0, 10, 20, 30):
+            index.get_or_create(start, start + 10, 0)
+        overlapping = index.overlapping(5, 25)
+        assert [s.start for s in overlapping] == [0, 10, 20]
+
+    def test_expire_before(self):
+        index = SliceIndex()
+        for start in (0, 10, 20):
+            index.get_or_create(start, start + 10, 0)
+        expired = index.expire_before(20)
+        assert [s.start for s in expired] == [0, 10]
+        assert len(index) == 1
+        assert index.expired_total == 2
+
+    def test_iteration_in_time_order(self):
+        index = SliceIndex()
+        index.get_or_create(20, 30, 0)
+        index.get_or_create(0, 10, 0)
+        assert [s.start for s in index] == [0, 20]
+
+
+class TestSliceManager:
+    def test_session_windows_rejected(self):
+        manager = SliceManager()
+        with pytest.raises(ValueError):
+            manager.register_query(0, WindowSpec.session(1_000), 0)
+
+    def test_slice_bounds_from_single_query(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(2_000), 1_000)
+        manager.on_epoch(1, 1_000)
+        start, end, epoch = manager.slice_bounds(1_500)
+        assert (start, end, epoch) == (1_000, 3_000, 1)
+        start, end, _ = manager.slice_bounds(3_100)
+        assert (start, end) == (3_000, 5_000)
+
+    def test_overlapping_queries_create_finer_slices(self):
+        """Figure 4e: window edges of all active queries cut slices."""
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(3_000), 0)
+        manager.register_query(1, WindowSpec.tumbling(2_000), 0)
+        manager.on_epoch(1, 0)
+        # Edges: {0, 3000, 6000...} and {0, 2000, 4000...}.
+        assert manager.slice_bounds(500)[:2] == (0, 2_000)
+        assert manager.slice_bounds(2_500)[:2] == (2_000, 3_000)
+        assert manager.slice_bounds(3_500)[:2] == (3_000, 4_000)
+
+    def test_changelog_is_a_slice_edge(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(10_000), 0)
+        manager.on_epoch(1, 0)
+        manager.on_epoch(2, 4_000)
+        assert manager.slice_bounds(3_999)[:2] == (0, 4_000)
+        assert manager.slice_bounds(4_000)[0] == 4_000
+
+    def test_late_record_uses_its_epochs_view(self):
+        """A query registered at epoch 2 must not re-slice epoch-1 data."""
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(4_000), 0)
+        manager.on_epoch(1, 0)
+        manager.register_query(1, WindowSpec.tumbling(1_000), 4_000)
+        manager.on_epoch(2, 4_000)
+        # Late record at 2500 (epoch 1): only slot 0's edges apply.
+        assert manager.slice_bounds(2_500)[:2] == (0, 4_000)
+        # Record in epoch 2 sees both queries' edges.
+        assert manager.slice_bounds(4_500)[:2] == (4_000, 5_000)
+
+    def test_unregistered_query_stops_cutting_new_epochs(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(1_000), 0)
+        manager.on_epoch(1, 0)
+        manager.unregister_query(0)
+        manager.on_epoch(2, 5_000)
+        start, end, epoch = manager.slice_bounds(6_500)
+        assert epoch == 2
+        assert end - start >= 1_000  # no 1s edges anymore
+
+    def test_max_retention(self):
+        manager = SliceManager()
+        assert manager.max_retention_ms == 0
+        manager.register_query(0, WindowSpec.sliding(5_000, 1_000), 0)
+        manager.register_query(1, WindowSpec.tumbling(2_000), 0)
+        assert manager.max_retention_ms == 5_000
+
+
+class TestDueWindows:
+    def test_windows_anchored_at_creation(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(2_000), 1_000)
+        manager.on_epoch(1, 1_000)
+        assert manager.due_windows(2_999) == [(0, 1_000, 3_000)]
+        assert manager.due_windows(2_999) == []  # fired once
+        assert manager.due_windows(7_000) == [
+            (0, 3_000, 5_000), (0, 5_000, 7_000),
+        ]
+
+    def test_sliding_windows_fire_per_slide(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.sliding(2_000, 1_000), 0)
+        manager.on_epoch(1, 0)
+        due = manager.due_windows(3_999)
+        assert due == [(0, 0, 2_000), (0, 1_000, 3_000), (0, 2_000, 4_000)]
+
+    def test_deleted_queries_stop_firing(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(1_000), 0)
+        manager.on_epoch(1, 0)
+        manager.unregister_query(0)
+        assert manager.due_windows(10_000) == []
+
+
+@st.composite
+def _query_populations(draw):
+    count = draw(st.integers(1, 5))
+    queries = []
+    for slot in range(count):
+        length = draw(st.integers(1, 5)) * 1_000
+        slide = draw(st.integers(1, length // 1_000)) * 1_000
+        created = draw(st.integers(0, 4)) * 500
+        queries.append((slot, WindowSpec.sliding(length, slide), created))
+    return queries
+
+
+class TestSlicingProperties:
+    @settings(max_examples=60)
+    @given(_query_populations(), st.integers(0, 20_000))
+    def test_slice_contains_timestamp_and_no_edge_inside(self, queries, ts):
+        """The slice covering ts contains ts, and no query window edge
+        falls strictly inside the slice."""
+        manager = SliceManager()
+        for slot, spec, created in queries:
+            manager.register_query(slot, spec, created)
+        manager.on_epoch(1, 0)
+        start, end, _ = manager.slice_bounds(ts)
+        assert start <= ts < end
+        for slot, spec, created in queries:
+            for offset in (0, spec.length_ms):
+                anchor = created + offset
+                edge = anchor
+                while edge < end:
+                    if edge > start:
+                        assert edge >= end or edge <= start, (
+                            f"edge {edge} inside slice [{start}, {end})"
+                        )
+                    edge += spec.slide_ms
+
+    @settings(max_examples=60)
+    @given(_query_populations())
+    def test_slices_tile_the_timeline(self, queries):
+        """Walking slice bounds covers the timeline without gaps/overlap."""
+        manager = SliceManager()
+        for slot, spec, created in queries:
+            manager.register_query(slot, spec, created)
+        manager.on_epoch(1, 0)
+        cursor = 0
+        for _ in range(50):
+            start, end, _ = manager.slice_bounds(cursor)
+            assert start <= cursor < end
+            cursor = end
+            if cursor > 30_000:
+                break
+
+    @settings(max_examples=60)
+    @given(_query_populations())
+    def test_windows_are_unions_of_whole_slices(self, queries):
+        """Every query window's edges are slice boundaries."""
+        manager = SliceManager()
+        for slot, spec, created in queries:
+            manager.register_query(slot, spec, created)
+        manager.on_epoch(1, 0)
+        for slot, spec, created in queries:
+            for fire_index in range(3):
+                w_start, w_end = spec.windows_for(created, fire_index)
+                # The slice starting at w_start must begin exactly there.
+                assert manager.slice_bounds(w_start)[0] == w_start
+                # The slice containing w_end - 1 must close exactly at w_end.
+                assert manager.slice_bounds(w_end - 1)[1] == w_end
+
+
+class TestPruning:
+    def test_timeline_prune_keeps_covering_epoch(self):
+        timeline = EpochTimeline()
+        timeline.append(1, 1_000)
+        timeline.append(2, 2_000)
+        timeline.append(3, 3_000)
+        dropped = timeline.prune_before(2_500)
+        assert dropped == 2  # epochs 0 and 1 gone
+        # Lookups at and after the horizon still resolve.
+        assert timeline.epoch_for(2_500)[0] == 2
+        assert timeline.epoch_for(9_999)[0] == 3
+
+    def test_timeline_prune_noop_before_first(self):
+        timeline = EpochTimeline()
+        timeline.append(1, 1_000)
+        assert timeline.prune_before(500) == 0
+        assert len(timeline) == 2
+
+    def test_manager_prune_drops_views_in_lockstep(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(1_000), 0)
+        manager.on_epoch(1, 0)
+        manager.unregister_query(0)
+        manager.on_epoch(2, 5_000)
+        manager.register_query(1, WindowSpec.tumbling(2_000), 9_000)
+        manager.on_epoch(3, 9_000)
+        dropped = manager.prune_before(9_500)
+        assert dropped == 3
+        # Bounds after pruning still come from the surviving view.
+        start, end, epoch = manager.slice_bounds(10_000)
+        assert epoch == 3
+        assert end - start <= 2_000
+
+    def test_prune_then_bounds_at_horizon(self):
+        manager = SliceManager()
+        manager.register_query(0, WindowSpec.tumbling(1_000), 0)
+        manager.on_epoch(1, 0)
+        manager.on_epoch(2, 4_000)
+        manager.prune_before(4_000)
+        # The epoch covering the horizon survives and still slices.
+        assert manager.slice_bounds(4_500)[2] == 2

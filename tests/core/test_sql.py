@@ -1,0 +1,199 @@
+"""Tests for the SQL front-end over the paper's query templates."""
+
+import pytest
+
+from repro.core.query import (
+    AggregationKind,
+    AggregationQuery,
+    Comparison,
+    ComplexQuery,
+    JoinQuery,
+    SelectionQuery,
+    TruePredicate,
+    WindowKind,
+)
+from repro.core.sql import ConjunctionPredicate, SqlError, parse_query
+from tests.conftest import field_tuple
+
+
+class TestSelectionQueries:
+    def test_plain_selection(self):
+        query = parse_query("SELECT * FROM A WHERE A.F0 > 10")
+        assert isinstance(query, SelectionQuery)
+        assert query.stream == "A"
+        assert query.predicate.field_index == 0
+        assert query.predicate.op is Comparison.GT
+
+    def test_selection_without_where(self):
+        query = parse_query("SELECT * FROM A")
+        assert isinstance(query.predicate, TruePredicate)
+
+    def test_conjunction(self):
+        query = parse_query("SELECT * FROM A WHERE A.F0 > 10 AND A.F1 <= 5")
+        assert isinstance(query.predicate, ConjunctionPredicate)
+        assert query.predicate.evaluate(field_tuple(1, f0=11, f1=5))
+        assert not query.predicate.evaluate(field_tuple(1, f0=11, f1=6))
+
+
+class TestAggregationQueries:
+    def test_figure8_template(self):
+        query = parse_query(
+            "SELECT SUM(A.FIELD1) FROM A RANGE 3 SLICE 1 "
+            "WHERE A.FIELD3 >= 7 GROUP BY A.KEY"
+        )
+        assert isinstance(query, AggregationQuery)
+        assert query.aggregation.kind is AggregationKind.SUM
+        assert query.aggregation.field_index == 0  # FIELD1 is 1-based
+        assert query.window_spec.kind is WindowKind.SLIDING
+        assert query.window_spec.length_ms == 3_000
+        assert query.window_spec.slide_ms == 1_000
+        assert query.predicate.field_index == 2  # FIELD3
+
+    def test_zero_based_field_shorthand(self):
+        query = parse_query(
+            "SELECT MAX(A.F4) FROM A RANGE 2 GROUP BY KEY"
+        )
+        assert query.aggregation.kind is AggregationKind.MAX
+        assert query.aggregation.field_index == 4
+
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM A RANGE 1 GROUP BY KEY")
+        assert query.aggregation.kind is AggregationKind.COUNT
+
+    def test_session_window(self):
+        query = parse_query("SELECT SUM(A.F0) FROM A SESSION 2 GROUP BY KEY")
+        assert query.window_spec.is_session
+        assert query.window_spec.gap_ms == 2_000
+
+    def test_millisecond_durations(self):
+        query = parse_query(
+            "SELECT SUM(A.F0) FROM A RANGE 1500ms SLICE 500ms GROUP BY KEY"
+        )
+        assert query.window_spec.length_ms == 1_500
+        assert query.window_spec.slide_ms == 500
+
+    def test_range_equals_slide_is_tumbling(self):
+        query = parse_query("SELECT SUM(A.F0) FROM A RANGE 2 GROUP BY KEY")
+        assert query.window_spec.kind is WindowKind.TUMBLING
+
+
+class TestJoinQueries:
+    def test_figure7_template(self):
+        query = parse_query(
+            "SELECT * FROM A, B RANGE 3 SLICE 1 "
+            "WHERE A.KEY = B.KEY AND A.F1 > 10 AND B.F2 <= 5"
+        )
+        assert isinstance(query, JoinQuery)
+        assert query.left_stream == "A"
+        assert query.right_stream == "B"
+        assert query.left_predicate.field_index == 1
+        assert query.right_predicate.field_index == 2
+        assert query.window_spec.length_ms == 3_000
+
+    def test_join_without_predicates(self):
+        query = parse_query("SELECT * FROM A, B RANGE 1 WHERE A.KEY = B.KEY")
+        assert isinstance(query.left_predicate, TruePredicate)
+        assert isinstance(query.right_predicate, TruePredicate)
+
+    def test_key_join_order_insensitive(self):
+        query = parse_query(
+            "SELECT * FROM A, B RANGE 1 WHERE B.KEY = A.KEY AND A.F0 > 1"
+        )
+        assert isinstance(query, JoinQuery)
+
+
+class TestComplexQueries:
+    def test_three_way_with_aggregate(self):
+        query = parse_query(
+            "SELECT SUM(A.F0) FROM A, B, C RANGE 2 SLICE 1 "
+            "AGGREGATE RANGE 4 "
+            "WHERE A.KEY = B.KEY AND A.F0 > 1 AND C.F2 < 9 GROUP BY KEY"
+        )
+        assert isinstance(query, ComplexQuery)
+        assert query.join_streams == ("A", "B", "C")
+        assert query.join_window.length_ms == 2_000
+        assert query.aggregation_window.length_ms == 4_000
+        assert str(query.predicates[2]) == "fields[2] < 9"
+
+    def test_aggregate_window_defaults_to_join_window(self):
+        query = parse_query(
+            "SELECT SUM(A.F0) FROM A, B RANGE 2 "
+            "WHERE A.KEY = B.KEY GROUP BY KEY"
+        )
+        assert query.aggregation_window == query.join_window
+
+
+class TestParsedQueriesRun:
+    def test_parsed_join_executes(self):
+        from tests.conftest import go_live, make_engine
+
+        engine = make_engine()
+        query = parse_query(
+            "SELECT * FROM A, B RANGE 2 WHERE A.KEY = B.KEY AND A.F0 >= 0"
+        )
+        go_live(engine, [query], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=3))
+        engine.push("B", 200, field_tuple(key=1))
+        engine.watermark(5_000)
+        assert engine.result_count(query.query_id) == 1
+
+    def test_parsed_aggregation_executes(self):
+        from tests.conftest import go_live, make_engine
+
+        engine = make_engine()
+        query = parse_query(
+            "SELECT SUM(A.FIELD1) FROM A RANGE 1 GROUP BY A.KEY"
+        )
+        go_live(engine, [query], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=4))
+        engine.push("A", 200, field_tuple(key=1, f0=5))
+        engine.watermark(4_000)
+        assert engine.results(query.query_id)[0].value.value == 9
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "statement,message",
+        [
+            ("", "empty"),
+            ("SELECT", "unexpected end"),
+            ("UPDATE A SET x", "expected SELECT"),
+            ("SELECT * FROM A RANGE 2", "pure selection"),
+            ("SELECT SUM(A.F0) FROM A GROUP BY KEY", "RANGE or SESSION"),
+            ("SELECT SUM(A.F0) FROM A RANGE 1", "GROUP BY"),
+            ("SELECT * FROM A, B RANGE 1", "A.KEY = B.KEY"),
+            ("SELECT * FROM A, B WHERE A.KEY = B.KEY", "RANGE"),
+            ("SELECT * FROM A, B, C RANGE 1 WHERE A.KEY = B.KEY", "exactly two"),
+            ("SELECT * FROM A, A RANGE 1 WHERE A.KEY = A.KEY", "duplicate"),
+            ("SELECT SUM(A.F9) FROM A RANGE 1 GROUP BY KEY", "out of range"),
+            ("SELECT AVG(*) FROM A RANGE 1 GROUP BY KEY", "not supported"),
+            (
+                "SELECT SUM(B.F0) FROM A, B RANGE 1 WHERE A.KEY = B.KEY "
+                "GROUP BY KEY",
+                "leading stream",
+            ),
+            ("SELECT * FROM A WHERE A.F0 > 1 OR A.F1 < 2", "trailing input"),
+            ("SELECT * FROM A, B SESSION 2 WHERE A.KEY = B.KEY", "one-stream"),
+            ("SELECT * FROM A WHERE Z.F0 > 1", "not in FROM"),
+            ("SELECT * FROM A WHERE A.F0 > abc", "numeric constant"),
+        ],
+    )
+    def test_rejections(self, statement, message):
+        with pytest.raises(SqlError, match=message):
+            parse_query(statement)
+
+    def test_tokenizer_error(self):
+        with pytest.raises(SqlError, match="tokenize"):
+            parse_query("SELECT * FROM A WHERE A.F0 > #")
+
+
+class TestConjunctionPredicate:
+    def test_hashable_for_dedup(self):
+        first = parse_query(
+            "SELECT * FROM A WHERE A.F0 > 10 AND A.F1 <= 5"
+        ).predicate
+        second = parse_query(
+            "SELECT * FROM A WHERE A.F0 > 10 AND A.F1 <= 5"
+        ).predicate
+        assert first == second
+        assert hash(first) == hash(second)

@@ -1,0 +1,127 @@
+"""Tests for runtime sharing statistics (§7 future work)."""
+
+import pytest
+
+from repro.core.query import (
+    Comparison,
+    FieldPredicate,
+    SelectionQuery,
+    WindowSpec,
+)
+from repro.core.statistics import SharingStatistics
+from tests.conftest import field_tuple, go_live, make_engine
+
+
+class TestSharingStatistics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharingStatistics(sample_every=0)
+        with pytest.raises(ValueError):
+            SharingStatistics(max_pairs=0)
+
+    def test_identical_sets_jaccard_one(self):
+        stats = SharingStatistics(sample_every=1)
+        for _ in range(10):
+            stats.observe(0b11)
+        assert stats.jaccard(0, 1) == 1.0
+
+    def test_disjoint_sets_jaccard_zero(self):
+        stats = SharingStatistics(sample_every=1)
+        for _ in range(5):
+            stats.observe(0b01)
+            stats.observe(0b10)
+        assert stats.jaccard(0, 1) == 0.0
+
+    def test_partial_overlap(self):
+        stats = SharingStatistics(sample_every=1)
+        for _ in range(2):
+            stats.observe(0b11)  # both
+        for _ in range(2):
+            stats.observe(0b01)  # only slot 0
+        # |A∩B|=2, |A|=4, |B|=2 -> union 4 -> 0.5
+        assert stats.jaccard(0, 1) == pytest.approx(0.5)
+
+    def test_self_similarity(self):
+        assert SharingStatistics().jaccard(3, 3) == 1.0
+
+    def test_sampling(self):
+        stats = SharingStatistics(sample_every=4)
+        for _ in range(8):
+            stats.observe(0b1)
+        assert stats.sampled_tuples == 2
+        assert stats.match_rate(0) == 1.0
+
+    def test_forget_slot(self):
+        stats = SharingStatistics(sample_every=1)
+        stats.observe(0b11)
+        stats.forget_slot(1)
+        assert stats.jaccard(0, 1) == 0.0
+        assert stats.match_rate(1) == 0.0
+
+    def test_pair_cap(self):
+        stats = SharingStatistics(sample_every=1, max_pairs=1)
+        stats.observe(0b011)  # tracks pair (0, 1)
+        stats.observe(0b110)  # pair (1, 2) dropped: table full
+        assert stats.jaccard(0, 1) > 0
+        assert stats.jaccard(1, 2) == 0.0
+
+    def test_top_pairs_sorted(self):
+        stats = SharingStatistics(sample_every=1)
+        for _ in range(4):
+            stats.observe(0b011)
+        stats.observe(0b101)
+        stats.observe(0b001)
+        top = stats.top_pairs()
+        assert (top[0].slot_a, top[0].slot_b) == (0, 1)
+        assert top[0].jaccard > top[-1].jaccard
+
+
+class TestEngineSharingReport:
+    def test_report_identifies_identical_queries(self):
+        engine = make_engine(collect_sharing_stats=True)
+        same_a = SelectionQuery(
+            stream="A",
+            predicate=FieldPredicate(0, Comparison.GE, 50),
+            query_id="twin-1",
+        )
+        same_b = SelectionQuery(
+            stream="A",
+            predicate=FieldPredicate(0, Comparison.GE, 50),
+            query_id="twin-2",
+        )
+        other = SelectionQuery(
+            stream="A",
+            predicate=FieldPredicate(0, Comparison.LT, 50),
+            query_id="loner",
+        )
+        go_live(engine, [same_a, same_b, other], now_ms=0)
+        for ts in range(0, 2_000, 10):
+            engine.push("A", ts, field_tuple(key=1, f0=ts % 100))
+        report = engine.sharing_report(limit=3)
+        assert report
+        stream, id_a, id_b, jaccard = report[0]
+        assert stream == "A"
+        assert {id_a, id_b} == {"twin-1", "twin-2"}
+        assert jaccard == 1.0
+
+    def test_report_requires_config(self):
+        engine = make_engine()
+        with pytest.raises(RuntimeError, match="collect_sharing_stats"):
+            engine.sharing_report()
+
+    def test_deleted_queries_leave_the_report(self):
+        engine = make_engine(collect_sharing_stats=True)
+        twins = [
+            SelectionQuery(
+                stream="A",
+                predicate=FieldPredicate(0, Comparison.GE, 0),
+                query_id=f"rm-{i}",
+            )
+            for i in range(2)
+        ]
+        go_live(engine, twins, now_ms=0)
+        for ts in range(0, 1_000, 10):
+            engine.push("A", ts, field_tuple(key=1, f0=1))
+        engine.stop("rm-1", now_ms=1_000)
+        engine.flush_session(1_000)
+        assert engine.sharing_report() == []

@@ -1,0 +1,107 @@
+"""Tests for the per-slice tuple stores and the adaptive conversion."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.storage import (
+    GroupedStore,
+    ListStore,
+    StoreKind,
+    convert_store,
+    make_store,
+)
+
+
+class TestGroupedStore:
+    def test_add_and_lookup(self):
+        store = GroupedStore()
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b10)
+        store.add("j", "v3", 0b01)
+        assert store.tuple_count == 3
+        assert store.group_count == 2
+        assert sorted(store.items_for_key("k")) == [("v1", 0b01), ("v2", 0b10)]
+
+    def test_groups_iteration(self):
+        store = GroupedStore()
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b01)
+        groups = dict(store.groups())
+        assert groups[0b01]["k"] == ["v1", "v2"]
+
+    def test_keys_deduplicated(self):
+        store = GroupedStore()
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b10)
+        assert list(store.keys()) == ["k"]
+
+    def test_mean_group_size(self):
+        store = GroupedStore()
+        assert store.mean_group_size() == 0.0
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b01)
+        store.add("k", "v3", 0b10)
+        assert store.mean_group_size() == 1.5
+
+
+class TestListStore:
+    def test_add_and_lookup(self):
+        store = ListStore()
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b11)
+        assert store.tuple_count == 2
+        assert store.items_for_key("k") == [("v1", 0b01), ("v2", 0b11)]
+        assert store.items_for_key("missing") == []
+
+    def test_group_count_equals_tuples(self):
+        """Lists report one group per tuple so the adaptive heuristic
+        never flips back spuriously."""
+        store = ListStore()
+        store.add("k", "v1", 0b01)
+        store.add("k", "v2", 0b01)
+        assert store.group_count == 2
+        assert store.mean_group_size() == 1.0
+
+
+class TestConversion:
+    def test_make_store(self):
+        assert make_store(StoreKind.GROUPED).kind is StoreKind.GROUPED
+        assert make_store(StoreKind.LIST).kind is StoreKind.LIST
+
+    def test_convert_is_noop_for_same_kind(self):
+        store = GroupedStore()
+        assert convert_store(store, StoreKind.GROUPED) is store
+
+    def test_grouped_to_list_preserves_content(self):
+        grouped = GroupedStore()
+        grouped.add("k", "v1", 0b01)
+        grouped.add("j", "v2", 0b10)
+        flat = convert_store(grouped, StoreKind.LIST)
+        assert flat.kind is StoreKind.LIST
+        assert flat.tuple_count == 2
+        assert flat.items_for_key("k") == [("v1", 0b01)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),            # key
+                st.integers(0, 100),          # value
+                st.integers(1, 2**6 - 1),     # query-set
+            ),
+            max_size=40,
+        )
+    )
+    def test_conversion_round_trip_preserves_multiset(self, tuples):
+        grouped = GroupedStore()
+        for key, value, query_set in tuples:
+            grouped.add(key, value, query_set)
+        flat = convert_store(grouped, StoreKind.LIST)
+        back = convert_store(flat, StoreKind.GROUPED)
+        for store in (flat, back):
+            assert store.tuple_count == len(tuples)
+            for key in {key for key, _, _ in tuples}:
+                expected = sorted(
+                    (value, query_set)
+                    for tuple_key, value, query_set in tuples
+                    if tuple_key == key
+                )
+                assert sorted(store.items_for_key(key)) == expected

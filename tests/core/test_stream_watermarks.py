@@ -1,0 +1,86 @@
+"""Tests for per-stream (skewed) watermarks."""
+
+import pytest
+
+from repro.core.query import (
+    AggregationQuery,
+    JoinQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from tests.conftest import field_tuple, go_live, make_engine
+
+
+def _join(name="skew-join"):
+    return JoinQuery(
+        left_stream="A", right_stream="B",
+        left_predicate=TruePredicate(), right_predicate=TruePredicate(),
+        window_spec=WindowSpec.tumbling(1_000), query_id=name,
+    )
+
+
+class TestSkewedStreams:
+    def test_lagging_stream_holds_back_join_windows(self):
+        engine = make_engine()
+        go_live(engine, [_join()], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=1))
+        engine.push("B", 200, field_tuple(key=1, f1=2))
+        # A's watermark races ahead; B lags: nothing may fire yet.
+        engine.watermark(5_000, stream="A")
+        assert engine.result_count("skew-join") == 0
+        # B catches up: the joint event-time clock advances, windows fire.
+        engine.watermark(5_000, stream="B")
+        assert engine.result_count("skew-join") == 1
+
+    def test_unary_operator_follows_its_own_stream(self):
+        engine = make_engine()
+        agg = AggregationQuery(
+            stream="A", predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000), query_id="skew-agg",
+        )
+        go_live(engine, [agg], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1, f0=3))
+        # Only stream B advances: A's aggregation must not fire.
+        engine.watermark(5_000, stream="B")
+        assert engine.result_count("skew-agg") == 0
+        engine.watermark(5_000, stream="A")
+        assert engine.result_count("skew-agg") == 1
+
+    def test_unknown_stream_rejected(self):
+        engine = make_engine()
+        with pytest.raises(KeyError):
+            engine.watermark(1_000, stream="Z")
+
+    def test_per_stream_watermark_monotone(self):
+        """Lateness is judged against the *aligned* (minimum) watermark:
+        while B lags, data older than A's own watermark is still on time
+        for the join."""
+        engine = make_engine()
+        go_live(engine, [_join("skew-mono")], now_ms=0)
+        engine.watermark(2_000, stream="A")
+        engine.watermark(1_000, stream="A")  # regression ignored
+        engine.push("A", 100, field_tuple(key=1))
+        engine.push("B", 100, field_tuple(key=1))
+        engine.watermark(2_000, stream="B")
+        assert engine.result_count("skew-mono") == 1
+
+    def test_global_watermark_still_works_after_per_stream(self):
+        engine = make_engine()
+        go_live(engine, [_join("skew-mix")], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1))
+        engine.push("B", 100, field_tuple(key=1))
+        engine.watermark(500, stream="A")
+        engine.watermark(5_000)  # global catch-up
+        assert engine.result_count("skew-mix") == 1
+
+    def test_skewed_watermarks_survive_recovery(self):
+        engine = make_engine(log_inputs=True)
+        go_live(engine, [_join("skew-ft")], now_ms=0)
+        engine.push("A", 100, field_tuple(key=1))
+        engine.watermark(5_000, stream="A")
+        engine.checkpoint()
+        engine.push("B", 200, field_tuple(key=1))
+        engine.recover()
+        assert engine.result_count("skew-ft") == 0
+        engine.watermark(5_000, stream="B")
+        assert engine.result_count("skew-ft") == 1

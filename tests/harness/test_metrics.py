@@ -1,0 +1,71 @@
+"""Tests for the §4.3 metric views."""
+
+from repro.harness.metrics import ScenarioMetrics
+from repro.workloads.driver import RunReport
+
+
+def _report(**overrides) -> RunReport:
+    report = RunReport(name="r")
+    report.tuples_pushed = 2_000
+    report.wall_seconds = 2.0
+    report.active_queries_final = 4
+    report.mean_event_latency_ms = 100.0
+    report.p99_event_latency_ms = 500.0
+    report.queue_wait_final_ms = 50.0
+    report.deployment_latencies_ms = [1_000.0, 3_000.0]
+    report.deployment_series = [(0, 1_000.0), (1_000, 3_000.0)]
+    report.active_queries_series = [(1_000, 2), (10_000, 4)]
+    for name, value in overrides.items():
+        setattr(report, name, value)
+    return report
+
+
+class TestThroughputViews:
+    def test_slowest_is_service_rate_scaled(self):
+        metrics = ScenarioMetrics(_report(), speedup=2.0)
+        assert metrics.slowest_data_throughput_tps == 2_000
+
+    def test_overall_multiplies_by_active_queries(self):
+        metrics = ScenarioMetrics(_report())
+        assert metrics.overall_data_throughput_tps == 4_000
+
+
+class TestLatencyViews:
+    def test_total_latency_includes_queue_wait(self):
+        metrics = ScenarioMetrics(_report())
+        assert metrics.mean_event_time_latency_ms == 150.0
+        assert metrics.engine_latency_ms == 100.0
+        assert metrics.p99_event_time_latency_ms == 500.0
+
+
+class TestDeploymentViews:
+    def test_aggregates(self):
+        metrics = ScenarioMetrics(_report())
+        assert metrics.mean_deployment_latency_ms == 2_000
+        assert metrics.max_deployment_latency_ms == 3_000
+        assert metrics.total_deployment_latency_ms == 4_000
+        assert metrics.deployment_timeline() == [(0, 1_000.0), (1_000, 3_000.0)]
+
+    def test_empty_deployments(self):
+        metrics = ScenarioMetrics(_report(deployment_latencies_ms=[]))
+        assert metrics.max_deployment_latency_ms == 0.0
+
+
+class TestQueryThroughput:
+    def test_rate_over_duration(self):
+        metrics = ScenarioMetrics(_report())
+        assert metrics.query_throughput_qps == 0.2  # 2 creates / 10 s
+
+    def test_empty_series(self):
+        metrics = ScenarioMetrics(_report(active_queries_series=[]))
+        assert metrics.query_throughput_qps == 0.0
+
+
+class TestSustainability:
+    def test_flags_pass_through(self):
+        report = _report()
+        report.sustained = False
+        report.failure = "boom"
+        metrics = ScenarioMetrics(report)
+        assert not metrics.sustained
+        assert metrics.failure == "boom"

@@ -1,0 +1,66 @@
+"""Tests for figure result rendering."""
+
+from repro.harness.report import FigureResult, render_series, render_table
+
+
+def _result() -> FigureResult:
+    result = FigureResult(
+        figure_id="Figure X",
+        title="demo",
+        columns=("name", "value", "flag"),
+        paper_expectation="goes up",
+        notes="tiny run",
+    )
+    result.add(name="a", value=1234.5, flag=True)
+    result.add(name="b", value=0.5, flag=False)
+    result.add(name="c", value=None, flag=True)
+    return result
+
+
+class TestFigureResult:
+    def test_add_and_column(self):
+        result = _result()
+        assert result.column("name") == ["a", "b", "c"]
+        assert result.column("missing") == [None, None, None]
+
+
+class TestRenderTable:
+    def test_contains_all_parts(self):
+        text = render_table(_result())
+        assert "Figure X: demo" in text
+        assert "1,234" in text      # thousands formatting
+        assert "0.50" in text       # small float formatting
+        assert "yes" in text and "no" in text
+        assert "-" in text          # None cell
+        assert "paper: goes up" in text
+        assert "notes: tiny run" in text
+
+    def test_empty_rows(self):
+        result = FigureResult("F", "empty", columns=("a",))
+        text = render_table(result)
+        assert "F: empty" in text
+
+
+class TestRenderSeries:
+    def test_bins(self):
+        series = [(i * 1_000, float(i)) for i in range(100)]
+        text = render_series("timeline", series, value_label="tps", bins=5)
+        assert "timeline" in text
+        assert text.count("t=") <= 100 // (100 // 5) + 1
+
+    def test_empty(self):
+        assert "(empty)" in render_series("x", [])
+
+
+class TestRenderCsv:
+    def test_csv_round_trips(self):
+        import csv
+        import io
+
+        from repro.harness.report import render_csv
+
+        text = render_csv(_result())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["name", "value", "flag"]
+        assert rows[1] == ["a", "1234.5", "True"]
+        assert rows[3] == ["c", "", "True"]  # None -> empty cell

@@ -1,0 +1,191 @@
+"""Property test: ad-hoc consistency of the shared engine vs the oracle.
+
+Hypothesis generates random ad-hoc schedules — queries with random
+windows and predicates created and deleted at random changelog points —
+over a random data stream.  Every query's delivered results must equal
+the brute-force oracle's, regardless of slot reuse, slicing layout, or
+storage switching.  This is the paper's consistency requirement (§1.2 R2)
+as an executable property.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.query import (
+    Comparison,
+    FieldPredicate,
+    JoinQuery,
+    WindowSpec,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from tests.conftest import field_tuple
+from tests.core.oracle import expected_join_multiset, join_outputs_multiset
+
+PHASE_MS = 1_000
+PHASES = 6
+
+
+@st.composite
+def _schedules(draw):
+    """Random per-phase create/delete actions plus per-phase data."""
+    actions = []
+    live = []
+    for phase in range(PHASES):
+        # Maybe delete one live query.
+        if live and draw(st.booleans()):
+            victim = draw(st.sampled_from(live))
+            live.remove(victim)
+            actions.append((phase, "delete", victim))
+        # Maybe create up to 2 queries.
+        for _ in range(draw(st.integers(0, 2))):
+            length = draw(st.integers(1, 3)) * PHASE_MS
+            slide = draw(st.integers(1, length // PHASE_MS)) * PHASE_MS
+            predicate_constant = draw(st.integers(0, 100))
+            op = draw(st.sampled_from([Comparison.LT, Comparison.GE]))
+            name = f"q{phase}-{len(actions)}"
+            actions.append(
+                (phase, "create", (name, length, slide, op, predicate_constant))
+            )
+            live.append(name)
+    data = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, PHASES * PHASE_MS - 1),  # timestamp
+                st.integers(0, 3),                      # key
+                st.integers(0, 100),                    # field value
+            ),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    return actions, data
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_schedules())
+def test_random_adhoc_schedule_matches_oracle(schedule):
+    actions, data = schedule
+    engine = AStreamEngine(
+        EngineConfig(streams=("A", "B"), parallelism=2),
+        cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+    )
+    queries = {}
+    created_at = {}
+    deleted_watermark = {}
+    pushed = {"A": [], "B": []}
+    last_watermark = 0
+
+    by_phase = {}
+    for phase, kind, payload in actions:
+        by_phase.setdefault(phase, []).append((kind, payload))
+
+    for phase in range(PHASES):
+        now = phase * PHASE_MS
+        # Apply this phase's query changes at the phase boundary.
+        for kind, payload in by_phase.get(phase, []):
+            if kind == "create":
+                name, length, slide, op, constant = payload
+                query = JoinQuery(
+                    left_stream="A", right_stream="B",
+                    left_predicate=FieldPredicate(0, op, constant),
+                    right_predicate=FieldPredicate(1, op, constant),
+                    window_spec=WindowSpec.sliding(length, slide),
+                    query_id=name,
+                )
+                queries[name] = query
+                created_at[name] = now
+                engine.submit(query, now)
+            else:
+                deleted_watermark[payload] = last_watermark
+                engine.stop(payload, now)
+        engine.flush_session(now)
+        # Push this phase's data (event times within the phase).
+        for ts, key, field_value in data:
+            if now <= ts < now + PHASE_MS:
+                left = field_tuple(key=key, f0=field_value)
+                right = field_tuple(key=key, f1=field_value)
+                pushed["A"].append((ts, left))
+                pushed["B"].append((ts, right))
+                engine.push("A", ts, left)
+                engine.push("B", ts, right)
+        last_watermark = now + PHASE_MS
+        engine.watermark(last_watermark)
+
+    final_watermark = PHASES * PHASE_MS + 10_000
+    engine.watermark(final_watermark)
+
+    for name, query in queries.items():
+        effective = deleted_watermark.get(name, final_watermark)
+        expected = expected_join_multiset(
+            query, created_at[name], pushed["A"], pushed["B"], effective
+        )
+        actual = join_outputs_multiset(engine.results(name))
+        assert actual == expected, name
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_schedules())
+def test_random_adhoc_aggregations_match_oracle(schedule):
+    """The same property for shared aggregations (§3.1.5)."""
+    from repro.core.query import AggregationQuery
+    from tests.core.oracle import agg_outputs_multiset, expected_agg_multiset
+
+    actions, data = schedule
+    engine = AStreamEngine(
+        EngineConfig(streams=("A", "B"), parallelism=2),
+        cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+    )
+    queries = {}
+    created_at = {}
+    deleted_watermark = {}
+    pushed = []
+    last_watermark = 0
+
+    by_phase = {}
+    for phase, kind, payload in actions:
+        by_phase.setdefault(phase, []).append((kind, payload))
+
+    for phase in range(PHASES):
+        now = phase * PHASE_MS
+        for kind, payload in by_phase.get(phase, []):
+            if kind == "create":
+                name, length, slide, op, constant = payload
+                query = AggregationQuery(
+                    stream="A",
+                    predicate=FieldPredicate(0, op, constant),
+                    window_spec=WindowSpec.sliding(length, slide),
+                    query_id=name,
+                )
+                queries[name] = query
+                created_at[name] = now
+                engine.submit(query, now)
+            else:
+                deleted_watermark[payload] = last_watermark
+                engine.stop(payload, now)
+        engine.flush_session(now)
+        for ts, key, field_value in data:
+            if now <= ts < now + PHASE_MS:
+                value = field_tuple(key=key, f0=field_value)
+                pushed.append((ts, value))
+                engine.push("A", ts, value)
+        last_watermark = now + PHASE_MS
+        engine.watermark(last_watermark)
+
+    final_watermark = PHASES * PHASE_MS + 10_000
+    engine.watermark(final_watermark)
+
+    for name, query in queries.items():
+        effective = deleted_watermark.get(name, final_watermark)
+        expected = expected_agg_multiset(
+            query, created_at[name], pushed, effective
+        )
+        actual = agg_outputs_multiset(engine.results(name))
+        assert actual == expected, name

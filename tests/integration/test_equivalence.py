@@ -1,0 +1,223 @@
+"""Cross-engine equivalence: AStream vs the query-at-a-time baseline.
+
+For queries created at time 0 with tumbling windows, creation-anchored
+(AStream) and epoch-aligned (baseline) windows coincide, so both engines
+must produce identical per-query result multisets — the strongest
+correctness check: two completely different execution paths, one answer.
+"""
+
+from collections import Counter
+
+from repro.baseline import BaselineDeploymentModel, QueryAtATimeEngine
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.query import (
+    AggregationKind,
+    AggregationQuery,
+    AggregationSpec,
+    Comparison,
+    FieldPredicate,
+    JoinQuery,
+    TruePredicate,
+    WindowSpec,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.datagen import DataGenerator
+
+
+def _engines():
+    astream = AStreamEngine(
+        EngineConfig(streams=("A", "B"), parallelism=2),
+        cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+    )
+    baseline = QueryAtATimeEngine(
+        cluster=SimulatedCluster(ClusterSpec(nodes=16)),
+        deployment=BaselineDeploymentModel(),
+        parallelism=1,
+    )
+    return astream, baseline
+
+
+def _drive(engine, queries, is_astream: bool):
+    for query in queries:
+        engine.submit(query, now_ms=0)
+    if is_astream:
+        engine.flush_session(0)
+    gen_a = DataGenerator(seed=21, key_max=5)
+    gen_b = DataGenerator(seed=22, key_max=5)
+    for ts in range(0, 6_000, 75):
+        engine.push("A", ts, gen_a.next_tuple())
+        engine.push("B", ts, gen_b.next_tuple())
+    engine.watermark(12_000)
+
+
+def _join_multiset(engine, query_id) -> Counter:
+    counts: Counter = Counter()
+    for output in engine.results(query_id):
+        value = output.value
+        if hasattr(value, "parts"):  # AStream JoinedTuple
+            left, right = value.parts
+        else:  # baseline JoinResult
+            left, right = value.left, value.right
+        counts[(value.key, left.fields, right.fields, output.timestamp)] += 1
+    return counts
+
+
+def _agg_multiset(engine, query_id) -> Counter:
+    counts: Counter = Counter()
+    for output in engine.results(query_id):
+        result = output.value
+        counts[
+            (result.key, result.window.start, result.window.end, result.value)
+        ] += 1
+    return counts
+
+
+def test_join_queries_agree():
+    queries = [
+        JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=TruePredicate(),
+            right_predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(2_000), query_id="eq-j1",
+        ),
+        JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=FieldPredicate(0, Comparison.GE, 40),
+            right_predicate=FieldPredicate(1, Comparison.LT, 60),
+            window_spec=WindowSpec.tumbling(1_000), query_id="eq-j2",
+        ),
+    ]
+    astream, baseline = _engines()
+    _drive(astream, queries, is_astream=True)
+    _drive(baseline, queries, is_astream=False)
+    for query in queries:
+        assert _join_multiset(astream, query.query_id) == _join_multiset(
+            baseline, query.query_id
+        ), query.query_id
+        assert astream.result_count(query.query_id) > 0
+
+
+def test_aggregation_queries_agree():
+    queries = [
+        AggregationQuery(
+            stream="A", predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(1_000), query_id="eq-a1",
+        ),
+        AggregationQuery(
+            stream="A",
+            predicate=FieldPredicate(2, Comparison.LE, 50),
+            window_spec=WindowSpec.tumbling(3_000),
+            aggregation=AggregationSpec(AggregationKind.MAX, field_index=1),
+            query_id="eq-a2",
+        ),
+    ]
+    astream, baseline = _engines()
+    _drive(astream, queries, is_astream=True)
+    _drive(baseline, queries, is_astream=False)
+    for query in queries:
+        assert _agg_multiset(astream, query.query_id) == _agg_multiset(
+            baseline, query.query_id
+        ), query.query_id
+        assert astream.result_count(query.query_id) > 0
+
+
+def test_mixed_population_agrees():
+    queries = [
+        JoinQuery(
+            left_stream="A", right_stream="B",
+            left_predicate=FieldPredicate(0, Comparison.LT, 70),
+            right_predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(2_000), query_id="mx-j",
+        ),
+        AggregationQuery(
+            stream="B", predicate=TruePredicate(),
+            window_spec=WindowSpec.tumbling(2_000), query_id="mx-a",
+        ),
+    ]
+    astream, baseline = _engines()
+    _drive(astream, queries, is_astream=True)
+    _drive(baseline, queries, is_astream=False)
+    assert _join_multiset(astream, "mx-j") == _join_multiset(baseline, "mx-j")
+    assert _agg_multiset(astream, "mx-a") == _agg_multiset(baseline, "mx-a")
+
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+
+@st.composite
+def _tumbling_populations(draw):
+    """Random mixed query populations with tumbling windows at t=0
+    (the regime where both engines' window semantics coincide)."""
+    population = []
+    for index in range(draw(st.integers(1, 4))):
+        kind = draw(st.sampled_from(["join", "agg"]))
+        length = draw(st.integers(1, 3)) * 1_000
+        field_index = draw(st.integers(0, 4))
+        op = draw(st.sampled_from([Comparison.LT, Comparison.GE]))
+        constant = draw(st.integers(0, 100))
+        population.append((index, kind, length, field_index, op, constant))
+    return population
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_tumbling_populations(), st.integers(0, 2**16))
+def test_random_populations_agree_across_engines(population, data_seed):
+    import itertools
+
+    run_tag = next(_tag_counter)
+    queries = []
+    for index, kind, length, field_index, op, constant in population:
+        name = f"hx-{run_tag}-{index}"
+        if kind == "join":
+            queries.append(
+                JoinQuery(
+                    left_stream="A", right_stream="B",
+                    left_predicate=FieldPredicate(field_index, op, constant),
+                    right_predicate=TruePredicate(),
+                    window_spec=WindowSpec.tumbling(length),
+                    query_id=name,
+                )
+            )
+        else:
+            queries.append(
+                AggregationQuery(
+                    stream="A",
+                    predicate=FieldPredicate(field_index, op, constant),
+                    window_spec=WindowSpec.tumbling(length),
+                    query_id=name,
+                )
+            )
+
+    def drive(engine, is_astream):
+        for query in queries:
+            engine.submit(query, now_ms=0)
+        if is_astream:
+            engine.flush_session(0)
+        gen_a = DataGenerator(seed=data_seed, key_max=4)
+        gen_b = DataGenerator(seed=data_seed + 1, key_max=4)
+        for ts in range(0, 3_000, 130):
+            engine.push("A", ts, gen_a.next_tuple())
+            engine.push("B", ts, gen_b.next_tuple())
+        engine.watermark(12_000)
+
+    astream, baseline = _engines()
+    drive(astream, True)
+    drive(baseline, False)
+    for query in queries:
+        if isinstance(query, JoinQuery):
+            assert _join_multiset(astream, query.query_id) == _join_multiset(
+                baseline, query.query_id
+            ), query.query_id
+        else:
+            assert _agg_multiset(astream, query.query_id) == _agg_multiset(
+                baseline, query.query_id
+            ), query.query_id
+
+
+import itertools as _itertools
+
+_tag_counter = _itertools.count()

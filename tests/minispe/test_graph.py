@@ -1,0 +1,130 @@
+"""Tests for the job graph."""
+
+import pytest
+
+from repro.minispe.graph import JobGraph, Partitioning
+from repro.minispe.operators import MapOperator
+
+
+def _op():
+    return MapOperator(lambda value: value)
+
+
+class TestConstruction:
+    def test_duplicate_vertex_rejected(self):
+        graph = JobGraph().add_source("src")
+        with pytest.raises(ValueError):
+            graph.add_source("src")
+
+    def test_unknown_edge_endpoints_rejected(self):
+        graph = JobGraph().add_source("src")
+        with pytest.raises(KeyError):
+            graph.connect("src", "nope")
+        with pytest.raises(KeyError):
+            graph.connect("nope", "src")
+
+    def test_invalid_input_index(self):
+        graph = JobGraph().add_source("a").add_operator("b", _op)
+        with pytest.raises(ValueError):
+            graph.connect("a", "b", input_index=2)
+
+    def test_zero_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            JobGraph().add_operator("op", _op, parallelism=0)
+
+
+class TestValidation:
+    def test_no_source_rejected(self):
+        graph = JobGraph().add_operator("op", _op)
+        with pytest.raises(ValueError, match="no source"):
+            graph.validate()
+
+    def test_orphan_operator_rejected(self):
+        graph = JobGraph().add_source("src").add_operator("op", _op)
+        with pytest.raises(ValueError, match="no inputs"):
+            graph.validate()
+
+    def test_forward_parallelism_mismatch_rejected(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("op", _op, parallelism=2)
+            .connect("src", "op", Partitioning.FORWARD)
+        )
+        with pytest.raises(ValueError, match="forward edge"):
+            graph.validate()
+
+    def test_cycle_rejected(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("a", _op)
+            .add_operator("b", _op)
+            .connect("src", "a", Partitioning.REBALANCE)
+            .connect("a", "b", Partitioning.REBALANCE)
+            .connect("b", "a", Partitioning.REBALANCE)
+        )
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate()
+
+    def test_valid_graph_passes(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("op", _op, parallelism=3)
+            .connect("src", "op", Partitioning.HASH)
+        )
+        graph.validate()
+
+
+class TestQueries:
+    def _diamond(self) -> JobGraph:
+        return (
+            JobGraph("diamond")
+            .add_source("src")
+            .add_operator("left", _op)
+            .add_operator("right", _op)
+            .add_operator("sink", _op)
+            .connect("src", "left", Partitioning.REBALANCE)
+            .connect("src", "right", Partitioning.REBALANCE)
+            .connect("left", "sink", Partitioning.REBALANCE)
+            .connect("right", "sink", Partitioning.REBALANCE)
+        )
+
+    def test_topological_order(self):
+        order = self._diamond().topological_order()
+        assert order[0] == "src"
+        assert order[-1] == "sink"
+        assert set(order) == {"src", "left", "right", "sink"}
+
+    def test_in_out_edges(self):
+        graph = self._diamond()
+        assert {edge.target for edge in graph.out_edges("src")} == {"left", "right"}
+        assert {edge.source for edge in graph.in_edges("sink")} == {"left", "right"}
+
+    def test_total_instances_excludes_sources(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("a", _op, parallelism=3)
+            .add_operator("b", _op, parallelism=2)
+            .connect("src", "a", Partitioning.REBALANCE)
+            .connect("a", "b", Partitioning.REBALANCE)
+        )
+        assert graph.total_instances() == 5
+
+    def test_sources(self):
+        graph = self._diamond()
+        assert [vertex.name for vertex in graph.sources()] == ["src"]
+
+
+def test_repr_smoke():
+    graph = (
+        JobGraph("pretty")
+        .add_source("src")
+        .add_operator("op", _op)
+        .connect("src", "op", Partitioning.REBALANCE)
+    )
+    text = repr(graph)
+    assert "pretty" in text
+    assert "vertices=2" in text

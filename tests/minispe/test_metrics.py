@@ -1,0 +1,95 @@
+"""Tests for metrics primitives."""
+
+import pytest
+
+from repro.minispe.metrics import Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_empty_stats(self):
+        histogram = Histogram()
+        assert histogram.mean() == 0.0
+        assert histogram.percentile(99) == 0.0
+        assert histogram.minimum() == 0.0
+        assert histogram.maximum() == 0.0
+
+    def test_basic_stats(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 4):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.mean() == 2.5
+        assert histogram.minimum() == 1
+        assert histogram.maximum() == 4
+
+    def test_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(99) == 99
+        assert histogram.percentile(100) == 100
+        assert histogram.percentile(0) == 1
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+
+    def test_max_samples_drops(self):
+        histogram = Histogram(max_samples=2)
+        for value in range(5):
+            histogram.record(value)
+        assert histogram.count == 2
+        assert histogram.dropped == 3
+
+    def test_reset(self):
+        histogram = Histogram()
+        histogram.record(1)
+        histogram.reset()
+        assert histogram.count == 0
+
+
+class TestMetricRegistry:
+    def test_lazy_creation_and_reuse(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        assert registry.counter("c").value == 1
+
+    def test_counter_value_missing(self):
+        assert MetricRegistry().counter_value("nope") is None
+
+    def test_snapshot(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(10)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == 2
+        assert snapshot["g"] == 1.5
+        assert snapshot["h.mean"] == 10

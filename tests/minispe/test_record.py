@@ -1,0 +1,81 @@
+"""Tests for the stream element model."""
+
+import pytest
+
+from repro.minispe.record import (
+    ChangelogMarker,
+    CheckpointBarrier,
+    Record,
+    Watermark,
+    is_control,
+    is_data,
+)
+
+
+class TestRecord:
+    def test_basic_fields(self):
+        record = Record(timestamp=5, value="v", key=3)
+        assert record.timestamp == 5
+        assert record.value == "v"
+        assert record.key == 3
+        assert record.tags == {}
+
+    def test_positional_construction_matches_hot_path_usage(self):
+        record = Record(5, "v", 3, {"qs": 1})
+        assert record.tags["qs"] == 1
+
+    def test_with_tag_copies(self):
+        record = Record(timestamp=1, value="v")
+        tagged = record.with_tag("qs", 0b101)
+        assert tagged.tags == {"qs": 0b101}
+        assert record.tags == {}
+        assert tagged.timestamp == record.timestamp
+
+    def test_with_tag_does_not_share_dict(self):
+        record = Record(timestamp=1, value="v", tags={"a": 1})
+        tagged = record.with_tag("b", 2)
+        assert record.tags == {"a": 1}
+        assert tagged.tags == {"a": 1, "b": 2}
+
+    def test_default_tags_are_not_shared_mutable_state(self):
+        first = Record(timestamp=1, value="x")
+        second = Record(timestamp=2, value="y")
+        # Records with default tags share one immutable-by-convention
+        # empty dict; with_tag must not leak writes between them.
+        assert first.with_tag("k", 1).tags != second.tags
+
+    def test_equality_ignores_tags(self):
+        left = Record(timestamp=1, value="v", key=2, tags={"qs": 1})
+        right = Record(timestamp=1, value="v", key=2, tags={"qs": 9})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality(self):
+        assert Record(timestamp=1, value="v") != Record(timestamp=2, value="v")
+        assert Record(timestamp=1, value="v") != Record(timestamp=1, value="w")
+
+
+class TestControlElements:
+    def test_watermark_frozen(self):
+        watermark = Watermark(timestamp=10)
+        with pytest.raises(Exception):
+            watermark.timestamp = 20
+
+    def test_marker_carries_changelog(self):
+        marker = ChangelogMarker(timestamp=3, changelog="payload")
+        assert marker.changelog == "payload"
+
+    def test_barrier_checkpoint_id(self):
+        barrier = CheckpointBarrier(timestamp=0, checkpoint_id=7)
+        assert barrier.checkpoint_id == 7
+
+    def test_is_data_is_control(self):
+        assert is_data(Record(timestamp=0, value=None))
+        assert not is_control(Record(timestamp=0, value=None))
+        for element in (
+            Watermark(timestamp=0),
+            ChangelogMarker(timestamp=0),
+            CheckpointBarrier(timestamp=0),
+        ):
+            assert is_control(element)
+            assert not is_data(element)

@@ -1,0 +1,364 @@
+"""Tests for the push-based runtime: routing, alignment, determinism."""
+
+from typing import List
+
+import pytest
+
+from repro.minispe.graph import JobGraph, Partitioning
+from repro.minispe.operators import (
+    FilterOperator,
+    MapOperator,
+    Operator,
+    TwoInputOperator,
+)
+from repro.minispe.record import (
+    ChangelogMarker,
+    Record,
+    StreamElement,
+    Watermark,
+)
+from repro.minispe.runtime import JobRuntime, stable_hash
+from repro.minispe.sinks import CollectSink
+
+
+class _Probe(Operator):
+    """Records everything delivered to it."""
+
+    def __init__(self):
+        super().__init__("probe")
+        self.records: List[Record] = []
+        self.watermarks: List[int] = []
+        self.markers: List[ChangelogMarker] = []
+
+    def process(self, record):
+        self.records.append(record)
+        self.output(record)
+
+    def on_watermark(self, watermark):
+        self.watermarks.append(watermark.timestamp)
+        self.output(watermark)
+
+    def on_marker(self, marker):
+        self.markers.append(marker)
+        self.output(marker)
+
+
+class _TwoInputProbe(TwoInputOperator):
+    def __init__(self):
+        super().__init__("join_probe")
+        self.left: List[Record] = []
+        self.right: List[Record] = []
+        self.watermarks: List[int] = []
+
+    def process_left(self, record):
+        self.left.append(record)
+
+    def process_right(self, record):
+        self.right.append(record)
+
+    def on_watermark(self, watermark):
+        self.watermarks.append(watermark.timestamp)
+        self.output(watermark)
+
+
+def _simple_runtime(parallelism: int = 2):
+    probes: List[_Probe] = []
+
+    def make_probe():
+        probe = _Probe()
+        probes.append(probe)
+        return probe
+
+    graph = (
+        JobGraph()
+        .add_source("src")
+        .add_operator("probe", make_probe, parallelism=parallelism)
+        .connect("src", "probe", Partitioning.HASH)
+    )
+    return JobRuntime(graph), probes
+
+
+class TestStableHash:
+    def test_int_identity(self):
+        assert stable_hash(42) == 42
+
+    def test_string_stable(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_distinct_strings_usually_differ(self):
+        assert stable_hash("abc") != stable_hash("abd")
+
+
+class TestRouting:
+    def test_hash_partitioning_keeps_keys_together(self):
+        runtime, probes = _simple_runtime(parallelism=3)
+        for index in range(30):
+            runtime.push("src", Record(timestamp=index, value=index, key=index % 5))
+        for probe in probes:
+            keys = {record.key for record in probe.records}
+            for other in probes:
+                if other is not probe:
+                    assert keys.isdisjoint(
+                        {record.key for record in other.records}
+                    )
+
+    def test_push_to_non_source_rejected(self):
+        runtime, _ = _simple_runtime()
+        with pytest.raises(KeyError):
+            runtime.push("probe", Record(timestamp=0, value=0))
+
+    def test_broadcast_reaches_all_instances(self):
+        probes = []
+
+        def make_probe():
+            probe = _Probe()
+            probes.append(probe)
+            return probe
+
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("probe", make_probe, parallelism=3)
+            .connect("src", "probe", Partitioning.BROADCAST)
+        )
+        runtime = JobRuntime(graph)
+        runtime.push("src", Record(timestamp=0, value="x", key=1))
+        assert all(len(probe.records) == 1 for probe in probes)
+
+    def test_rebalance_round_robins(self):
+        probes = []
+
+        def make_probe():
+            probe = _Probe()
+            probes.append(probe)
+            return probe
+
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("probe", make_probe, parallelism=2)
+            .connect("src", "probe", Partitioning.REBALANCE)
+        )
+        runtime = JobRuntime(graph)
+        for index in range(4):
+            runtime.push("src", Record(timestamp=index, value=index))
+        assert [len(probe.records) for probe in probes] == [2, 2]
+
+
+class TestWatermarkAlignment:
+    def test_watermark_broadcast_to_parallel_instances(self):
+        runtime, probes = _simple_runtime(parallelism=2)
+        runtime.push("src", Watermark(timestamp=100))
+        assert all(probe.watermarks == [100] for probe in probes)
+
+    def test_two_input_alignment_uses_minimum(self):
+        join_holder = []
+
+        def make_join():
+            join = _TwoInputProbe()
+            join_holder.append(join)
+            return join
+
+        graph = (
+            JobGraph()
+            .add_source("a")
+            .add_source("b")
+            .add_operator("join", make_join)
+            .connect("a", "join", Partitioning.HASH, input_index=0)
+            .connect("b", "join", Partitioning.HASH, input_index=1)
+        )
+        runtime = JobRuntime(graph)
+        runtime.push("a", Watermark(timestamp=100))
+        assert join_holder[0].watermarks == []  # b still at -inf
+        runtime.push("b", Watermark(timestamp=50))
+        assert join_holder[0].watermarks == [50]
+        runtime.push("b", Watermark(timestamp=200))
+        assert join_holder[0].watermarks == [50, 100]
+
+    def test_regressing_watermark_ignored(self):
+        runtime, probes = _simple_runtime(parallelism=1)
+        runtime.push("src", Watermark(timestamp=100))
+        runtime.push("src", Watermark(timestamp=50))
+        assert probes[0].watermarks == [100]
+
+
+class TestMarkerAlignment:
+    def test_marker_delivered_once_per_instance_with_two_inputs(self):
+        class _Changelog:
+            sequence = 1
+
+        join_holder = []
+
+        def make_join():
+            probe = _Probe()
+            join_holder.append(probe)
+            return probe
+
+        graph = (
+            JobGraph()
+            .add_source("a")
+            .add_source("b")
+            .add_operator("merge", make_join)
+            .connect("a", "merge", Partitioning.HASH)
+            .connect("b", "merge", Partitioning.HASH)
+        )
+        runtime = JobRuntime(graph)
+        marker = ChangelogMarker(timestamp=0, changelog=_Changelog())
+        runtime.push("a", marker)
+        assert join_holder[0].markers == []  # waiting for input b
+        runtime.push("b", marker)
+        assert len(join_holder[0].markers) == 1
+
+    def test_two_input_routing(self):
+        join_holder = []
+
+        def make_join():
+            join = _TwoInputProbe()
+            join_holder.append(join)
+            return join
+
+        graph = (
+            JobGraph()
+            .add_source("a")
+            .add_source("b")
+            .add_operator("join", make_join)
+            .connect("a", "join", Partitioning.HASH, input_index=0)
+            .connect("b", "join", Partitioning.HASH, input_index=1)
+        )
+        runtime = JobRuntime(graph)
+        runtime.push("a", Record(timestamp=0, value="left", key=1))
+        runtime.push("b", Record(timestamp=0, value="right", key=1))
+        join = join_holder[0]
+        assert [record.value for record in join.left] == ["left"]
+        assert [record.value for record in join.right] == ["right"]
+
+
+class TestPipelines:
+    def test_map_filter_chain(self):
+        sink_holder = []
+
+        def make_sink():
+            sink = CollectSink()
+            sink_holder.append(sink)
+            return sink
+
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("double", lambda: MapOperator(lambda v: v * 2))
+            .add_operator("big", lambda: FilterOperator(lambda v: v >= 6))
+            .add_operator("sink", make_sink)
+            .connect("src", "double", Partitioning.REBALANCE)
+            .connect("double", "big", Partitioning.FORWARD)
+            .connect("big", "sink", Partitioning.FORWARD)
+        )
+        runtime = JobRuntime(graph)
+        for value in range(5):
+            runtime.push("src", Record(timestamp=value, value=value))
+        assert sink_holder[0].values() == [6, 8]
+
+    def test_records_processed_counts(self):
+        runtime, _ = _simple_runtime(parallelism=2)
+        for index in range(10):
+            runtime.push("src", Record(timestamp=index, value=index, key=index))
+        assert runtime.records_processed()["probe"] == 10
+
+    def test_determinism_same_inputs_same_outputs(self):
+        def run_once():
+            sink_holder = []
+
+            def make_sink():
+                sink = CollectSink()
+                sink_holder.append(sink)
+                return sink
+
+            graph = (
+                JobGraph()
+                .add_source("src")
+                .add_operator("map", lambda: MapOperator(lambda v: v + 1), 2)
+                .add_operator("sink", make_sink)
+                .connect("src", "map", Partitioning.HASH)
+                .connect("map", "sink", Partitioning.REBALANCE)
+            )
+            runtime = JobRuntime(graph)
+            for index in range(20):
+                runtime.push(
+                    "src", Record(timestamp=index, value=index, key=index % 3)
+                )
+            return [record.value for record in sink_holder[0].collected]
+
+        assert run_once() == run_once()
+
+
+class TestForwardChains:
+    def test_forward_preserves_instance_affinity(self):
+        """A forward chain keeps each key on one instance end to end."""
+        probes_a, probes_b = [], []
+
+        def make_a():
+            probe = _Probe()
+            probes_a.append(probe)
+            return probe
+
+        def make_b():
+            probe = _Probe()
+            probes_b.append(probe)
+            return probe
+
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("first", make_a, parallelism=2)
+            .add_operator("second", make_b, parallelism=2)
+            .connect("src", "first", Partitioning.HASH)
+            .connect("first", "second", Partitioning.FORWARD)
+        )
+        runtime = JobRuntime(graph)
+        for index in range(20):
+            runtime.push("src", Record(timestamp=index, value=index, key=index))
+        for probe_a, probe_b in zip(probes_a, probes_b):
+            assert [r.value for r in probe_a.records] == [
+                r.value for r in probe_b.records
+            ]
+
+    def test_rebalance_counters_are_per_edge(self):
+        probes_x, probes_y = [], []
+
+        def make_x():
+            probe = _Probe()
+            probes_x.append(probe)
+            return probe
+
+        def make_y():
+            probe = _Probe()
+            probes_y.append(probe)
+            return probe
+
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("x", make_x, parallelism=2)
+            .add_operator("y", make_y, parallelism=2)
+            .connect("src", "x", Partitioning.REBALANCE)
+            .connect("src", "y", Partitioning.REBALANCE)
+        )
+        runtime = JobRuntime(graph)
+        for index in range(4):
+            runtime.push("src", Record(timestamp=index, value=index))
+        # Each edge round-robins independently: both fan-outs are even.
+        assert [len(p.records) for p in probes_x] == [2, 2]
+        assert [len(p.records) for p in probes_y] == [2, 2]
+
+
+class TestStableHashDistribution:
+    def test_int_keys_spread_over_instances(self):
+        counts = [0, 0, 0]
+        for key in range(999):
+            counts[stable_hash(key) % 3] += 1
+        assert min(counts) > 250  # roughly uniform
+
+    def test_string_keys_spread_over_instances(self):
+        counts = [0, 0, 0]
+        for key in range(999):
+            counts[stable_hash(f"user-{key}") % 3] += 1
+        assert min(counts) > 250

@@ -1,0 +1,107 @@
+"""Tests for source helpers and sink operators."""
+
+import pytest
+
+from repro.minispe.record import Record, Watermark
+from repro.minispe.sinks import CallbackSink, CollectSink, CountingSink
+from repro.minispe.sources import (
+    ReplayableSource,
+    final_watermark,
+    records_from,
+    with_periodic_watermarks,
+)
+
+
+class TestRecordsFrom:
+    def test_uses_value_key_attribute(self):
+        class Value:
+            key = 7
+
+        records = list(records_from([(10, Value())]))
+        assert records[0].key == 7
+        assert records[0].timestamp == 10
+
+    def test_key_fn_override(self):
+        records = list(records_from([(1, "abc")], key_fn=len))
+        assert records[0].key == 3
+
+
+class TestPeriodicWatermarks:
+    def test_watermarks_interleaved(self):
+        records = [Record(timestamp=ts, value=ts) for ts in (100, 600, 1_200)]
+        elements = list(with_periodic_watermarks(records, interval_ms=500))
+        kinds = [type(element).__name__ for element in elements]
+        assert kinds == ["Record", "Watermark", "Record", "Watermark", "Record"]
+        watermarks = [e.timestamp for e in elements if isinstance(e, Watermark)]
+        assert watermarks == [500, 1_000]
+
+    def test_lateness_delays_watermarks(self):
+        records = [Record(timestamp=ts, value=ts) for ts in (600, 1_200)]
+        elements = list(
+            with_periodic_watermarks(records, interval_ms=500, lateness_ms=300)
+        )
+        watermarks = [e.timestamp for e in elements if isinstance(e, Watermark)]
+        assert watermarks == [500]  # 1200-300=900 < 1000, second held back
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(with_periodic_watermarks([], interval_ms=0))
+        with pytest.raises(ValueError):
+            list(with_periodic_watermarks([], interval_ms=10, lateness_ms=-1))
+
+    def test_final_watermark(self):
+        assert final_watermark(99).timestamp == 99
+
+
+class TestReplayableSource:
+    def test_log_and_replay(self):
+        source = ReplayableSource("src")
+        elements = [Record(timestamp=i, value=i) for i in range(5)]
+        for element in elements:
+            source.record(element)
+        assert source.position == 5
+        assert list(source.replay_from(3)) == elements[3:]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            list(ReplayableSource("src").replay_from(-1))
+
+
+class TestSinks:
+    def test_collect_sink(self):
+        sink = CollectSink()
+        sink.process(Record(timestamp=1, value="x"))
+        assert sink.values() == ["x"]
+        snapshot = sink.snapshot()
+        sink.process(Record(timestamp=2, value="y"))
+        sink.restore(snapshot)
+        assert sink.values() == ["x"]
+
+    def test_callback_sink(self):
+        seen = []
+        sink = CallbackSink(seen.append)
+        record = Record(timestamp=1, value="x")
+        sink.process(record)
+        assert seen == [record]
+
+    def test_callback_sink_watermark_hook(self):
+        marks = []
+        sink = CallbackSink(lambda record: None, watermark_callback=marks.append)
+        sink.on_watermark(Watermark(timestamp=9))
+        assert marks[0].timestamp == 9
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        for index in range(3):
+            sink.process(Record(timestamp=index, value=index))
+        assert sink.count == 3
+        snapshot = sink.snapshot()
+        sink.process(Record(timestamp=9, value=9))
+        sink.restore(snapshot)
+        assert sink.count == 3
+
+    def test_sinks_swallow_control_elements(self):
+        # Terminal operators must not forward (they have no collector).
+        for sink in (CollectSink(), CountingSink()):
+            sink.on_watermark(Watermark(timestamp=1))
+            sink.on_marker(None)

@@ -1,0 +1,45 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.minispe.time import MS_PER_SECOND, VirtualClock, seconds
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ms == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_ms=500).now_ms == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ms=-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(250) == 250
+        assert clock.advance(250) == 500
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(1_000)
+        assert clock.now_ms == 1_000
+
+    def test_advance_to_backwards_rejected(self):
+        clock = VirtualClock(start_ms=100)
+        with pytest.raises(ValueError):
+            clock.advance_to(99)
+
+    def test_advance_to_same_time_allowed(self):
+        clock = VirtualClock(start_ms=100)
+        assert clock.advance_to(100) == 100
+
+
+def test_seconds_helper():
+    assert seconds(2) == 2 * MS_PER_SECOND
+    assert seconds(0.5) == 500

@@ -1,0 +1,156 @@
+"""Tests and property tests for window assigners, triggers, evictors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.minispe.record import Record, Watermark
+from repro.minispe.windows import (
+    CountTrigger,
+    EventTimeTrigger,
+    SessionWindows,
+    SlidingWindows,
+    TimeEvictor,
+    TumblingWindows,
+    Window,
+    merge_session_windows,
+)
+
+
+class TestWindow:
+    def test_contains(self):
+        window = Window(0, 10)
+        assert window.contains(0)
+        assert window.contains(9)
+        assert not window.contains(10)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5, 5)
+
+    def test_intersects(self):
+        assert Window(0, 10).intersects(Window(9, 20))
+        assert not Window(0, 10).intersects(Window(10, 20))
+
+    def test_length_and_max_timestamp(self):
+        window = Window(100, 250)
+        assert window.length == 150
+        assert window.max_timestamp() == 249
+
+    def test_ordering(self):
+        assert Window(0, 5) < Window(1, 2)
+
+
+class TestTumblingWindows:
+    def test_alignment(self):
+        assigner = TumblingWindows(1_000)
+        assert assigner.assign(0) == [Window(0, 1_000)]
+        assert assigner.assign(999) == [Window(0, 1_000)]
+        assert assigner.assign(1_000) == [Window(1_000, 2_000)]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            TumblingWindows(0)
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(1, 10_000))
+    def test_exactly_one_window_containing_timestamp(self, ts, length):
+        windows = TumblingWindows(length).assign(ts)
+        assert len(windows) == 1
+        assert windows[0].contains(ts)
+
+
+class TestSlidingWindows:
+    def test_overlap_count(self):
+        assigner = SlidingWindows(3_000, 1_000)
+        windows = assigner.assign(5_500)
+        assert len(windows) == 3
+        for window in windows:
+            assert window.contains(5_500)
+
+    def test_slide_larger_than_length_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindows(1_000, 2_000)
+
+    @given(
+        st.integers(min_value=0, max_value=10**8),
+        st.integers(1, 5_000),
+        st.integers(1, 5_000),
+    )
+    def test_every_assigned_window_contains_timestamp(self, ts, length, slide):
+        if slide > length:
+            length, slide = slide, length
+        assigner = SlidingWindows(length, slide)
+        windows = assigner.assign(ts)
+        assert windows, "a timestamp always belongs to at least one window"
+        assert len(windows) == len(set(windows))
+        for window in windows:
+            assert window.contains(ts)
+        # Count matches ceil(length / slide) up to boundary effects.
+        assert len(windows) <= -(-length // slide)
+
+
+class TestSessionWindows:
+    def test_proto_window(self):
+        assigner = SessionWindows(2_000)
+        assert assigner.assign(500) == [Window(500, 2_500)]
+        assert assigner.is_session()
+
+    def test_merge_overlapping(self):
+        merged = merge_session_windows(
+            [Window(0, 10), Window(5, 20), Window(30, 40)]
+        )
+        assert merged == [Window(0, 20), Window(30, 40)]
+
+    def test_merge_touching(self):
+        merged = merge_session_windows([Window(0, 10), Window(10, 15)])
+        assert merged == [Window(0, 15)]
+
+    def test_merge_empty(self):
+        assert merge_session_windows([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1_000), st.integers(1, 100)), max_size=20
+        )
+    )
+    def test_merge_produces_disjoint_sorted_cover(self, raw):
+        windows = [Window(start, start + length) for start, length in raw]
+        merged = merge_session_windows(windows)
+        for earlier, later in zip(merged, merged[1:]):
+            assert earlier.end < later.start
+        # Every original window is covered by some merged window.
+        for window in windows:
+            assert any(
+                merged_window.start <= window.start
+                and window.end <= merged_window.end
+                for merged_window in merged
+            )
+
+
+class TestTriggers:
+    def test_event_time_trigger(self):
+        trigger = EventTimeTrigger()
+        window = Window(0, 1_000)
+        assert not trigger.on_watermark(Watermark(timestamp=998), window)
+        assert trigger.on_watermark(Watermark(timestamp=999), window)
+
+    def test_count_trigger(self):
+        trigger = CountTrigger(2)
+        window = Window(0, 10)
+        record = Record(timestamp=1, value=None)
+        assert not trigger.on_element(record, window)
+        assert trigger.on_element(record, window)
+        # Counter resets after firing.
+        assert not trigger.on_element(record, window)
+
+    def test_count_trigger_validates(self):
+        with pytest.raises(ValueError):
+            CountTrigger(0)
+
+
+class TestTimeEvictor:
+    def test_evicts_old_elements(self):
+        evictor = TimeEvictor(keep_ms=100)
+        window = Window(0, 1_000)
+        old = Record(timestamp=800, value="old")
+        new = Record(timestamp=950, value="new")
+        assert evictor.evict([old, new], window) == [new]

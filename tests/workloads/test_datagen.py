@@ -1,0 +1,81 @@
+"""Tests for the §4.2.1 data generator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.datagen import (
+    DEFAULT_FIELDS_MAX,
+    DEFAULT_KEY_MAX,
+    FIELD_COUNT,
+    DataGenerator,
+    DataTuple,
+)
+
+
+class TestDataTuple:
+    def test_field_count_enforced(self):
+        with pytest.raises(ValueError):
+            DataTuple(key=0, fields=(1, 2, 3))
+
+    def test_frozen(self):
+        value = DataTuple(key=0, fields=(0,) * FIELD_COUNT)
+        with pytest.raises(Exception):
+            value.key = 1
+
+
+class TestGenerator:
+    def test_round_robin_keys(self):
+        generator = DataGenerator(key_max=3)
+        keys = [generator.next_tuple().key for _ in range(7)]
+        assert keys == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_fields_within_range(self):
+        generator = DataGenerator(seed=1, fields_max=10)
+        for value in generator.tuples(200):
+            assert len(value.fields) == FIELD_COUNT
+            assert all(0 <= field < 10 for field in value.fields)
+
+    def test_deterministic_under_seed(self):
+        assert DataGenerator(seed=5).tuples(50) == DataGenerator(seed=5).tuples(50)
+
+    def test_different_seeds_differ(self):
+        assert DataGenerator(seed=1).tuples(50) != DataGenerator(seed=2).tuples(50)
+
+    def test_defaults_match_paper(self):
+        assert DEFAULT_KEY_MAX == 1_000
+        assert FIELD_COUNT == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataGenerator(key_max=0)
+        with pytest.raises(ValueError):
+            DataGenerator(fields_max=0)
+        with pytest.raises(ValueError):
+            DataGenerator().tuples(-1)
+
+
+class TestTimestamped:
+    def test_rate_spacing(self):
+        generator = DataGenerator()
+        stamped = list(generator.timestamped(5, start_ms=1_000, rate_per_second=4))
+        assert [ts for ts, _ in stamped] == [1_000, 1_250, 1_500, 1_750, 2_000]
+
+    def test_high_rate_shares_milliseconds(self):
+        generator = DataGenerator()
+        stamped = list(
+            generator.timestamped(4, start_ms=0, rate_per_second=4_000)
+        )
+        assert [ts for ts, _ in stamped] == [0, 0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(DataGenerator().timestamped(1, 0, rate_per_second=0))
+        with pytest.raises(ValueError):
+            list(DataGenerator().timestamped(-1, 0, rate_per_second=1))
+
+    @given(st.integers(1, 200), st.floats(min_value=0.5, max_value=5_000))
+    def test_timestamps_monotone(self, count, rate):
+        stamped = list(DataGenerator().timestamped(count, 0, rate))
+        timestamps = [ts for ts, _ in stamped]
+        assert timestamps == sorted(timestamps)
+        assert len(stamped) == count

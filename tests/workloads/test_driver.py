@@ -1,0 +1,166 @@
+"""Tests for the Figure 5 driver."""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.qos import QoSMonitor
+from repro.baseline import QueryAtATimeEngine
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.driver import (
+    AStreamAdapter,
+    BaselineAdapter,
+    Driver,
+    DriverConfig,
+    RunReport,
+)
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule, sc2_schedule
+
+
+def _astream_driver(schedule, config=None, qos=None):
+    qos = qos or QoSMonitor(sample_every=8)
+    engine = AStreamEngine(
+        EngineConfig(streams=("A", "B"), parallelism=1),
+        cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+        on_deliver=qos.on_deliver,
+    )
+    return Driver(
+        AStreamAdapter(engine),
+        schedule,
+        ("A", "B"),
+        config or DriverConfig(input_rate_tps=200, duration_s=6.0),
+        qos=qos,
+    )
+
+
+class TestDriverRuns:
+    def test_sc1_run_produces_report(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 3, kind="join"
+        )
+        report = _astream_driver(schedule).run()
+        assert report.tuples_pushed > 0
+        assert report.wall_seconds > 0
+        assert report.service_rate_tps > 0
+        assert report.active_queries_final == 3
+        assert len(report.deployment_latencies_ms) == 3
+        assert report.sustained
+
+    def test_sc2_run_deletes_queries(self):
+        schedule = sc2_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 2, 2, 3, kind="agg"
+        )
+        report = _astream_driver(schedule).run()
+        assert report.active_queries_final == 2  # last batch only
+
+    def test_active_queries_series_monotone_under_sc1(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 3, kind="agg"
+        )
+        report = _astream_driver(schedule).run()
+        counts = [count for _, count in report.active_queries_series]
+        assert counts == sorted(counts)
+
+    def test_latency_sampled(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 2, 2, kind="agg"
+        )
+        report = _astream_driver(schedule).run()
+        assert report.mean_event_latency_ms >= 0
+
+    def test_step_rate_series_populated(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 2, kind="agg"
+        )
+        report = _astream_driver(schedule).run()
+        assert report.step_rate_series
+        assert all(rate > 0 for _, rate in report.step_rate_series)
+
+
+class TestBaselineAdapter:
+    def test_deployment_queueing(self):
+        """Requests serialise on the job manager: latencies climb."""
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 4, kind="join"
+        )
+        qos = QoSMonitor(sample_every=8)
+        engine = QueryAtATimeEngine(
+            cluster=SimulatedCluster(ClusterSpec(nodes=8)),
+            parallelism=1,
+            on_deliver=qos.on_deliver,
+        )
+        driver = Driver(
+            BaselineAdapter(engine),
+            schedule,
+            ("A", "B"),
+            DriverConfig(input_rate_tps=100, duration_s=6.0),
+            qos=qos,
+        )
+        report = driver.run()
+        latencies = report.deployment_latencies_ms
+        assert latencies == sorted(latencies)
+        assert latencies[-1] - latencies[0] > 5_000
+
+    def test_capacity_failure_recorded(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 10, 50, kind="join"
+        )
+        engine = QueryAtATimeEngine(
+            cluster=SimulatedCluster(ClusterSpec(nodes=1, cores_per_node=8)),
+            parallelism=1,
+        )
+        driver = Driver(
+            BaselineAdapter(engine),
+            schedule,
+            ("A", "B"),
+            DriverConfig(input_rate_tps=50, duration_s=8.0),
+        )
+        report = driver.run()
+        assert not report.sustained
+        assert "capacity" in report.failure
+
+
+class TestQueueModel:
+    def test_overload_marks_unsustainable(self):
+        report = RunReport(name="synthetic", input_rate_tps=1_000_000.0)
+        report.tuples_pushed = 10_000
+        report.wall_seconds = 10.0  # capacity = 1_000 t/s << arrival
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 1
+        )
+        driver = _astream_driver(
+            schedule, DriverConfig(input_rate_tps=500_000, duration_s=4.0)
+        )
+        driver._queue_model(report)
+        assert not report.sustained
+        assert "exceeds measured capacity" in report.failure
+        assert report.queue_wait_final_ms > 0
+
+    def test_underload_stays_sustained(self):
+        report = RunReport(name="synthetic", input_rate_tps=100.0)
+        report.tuples_pushed = 10_000
+        report.wall_seconds = 1.0  # capacity 10k >> arrival
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 1
+        )
+        driver = _astream_driver(schedule)
+        driver._queue_model(report)
+        assert report.sustained
+        assert report.queue_wait_final_ms == 0
+
+
+class TestReportDerivedMetrics:
+    def test_throughput_views(self):
+        report = RunReport(name="r")
+        report.tuples_pushed = 1_000
+        report.wall_seconds = 2.0
+        report.active_queries_final = 10
+        assert report.service_rate_tps == 500
+        assert report.slowest_throughput_tps(speedup=2.0) == 1_000
+        assert report.overall_throughput_tps(speedup=1.0) == 5_000
+
+    def test_empty_report_safe(self):
+        report = RunReport(name="empty")
+        assert report.service_rate_tps == 0.0
+        assert report.mean_deployment_latency_ms() == 0.0
+        assert report.total_latency_ms() == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the NEXMark-flavoured workload."""
+
+import pytest
+
+from repro.workloads.nexmark import (
+    AUCTIONS,
+    BIDS,
+    CATEGORY,
+    CATEGORY_COUNT,
+    PRICE,
+    RESERVE,
+    NexmarkConfig,
+    NexmarkGenerator,
+    category_revenue,
+    currency_filter,
+    hot_items,
+    winning_bids,
+)
+from tests.conftest import go_live, make_engine
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = [NexmarkGenerator(NexmarkConfig(seed=5)).bid() for _ in range(1)]
+        second = [NexmarkGenerator(NexmarkConfig(seed=5)).bid() for _ in range(1)]
+        assert first == second
+
+    def test_auction_attributes_stable_per_id(self):
+        generator = NexmarkGenerator(NexmarkConfig(auctions=3))
+        listings = [generator.auction() for _ in range(6)]
+        assert listings[0] == listings[3]
+        assert listings[1] == listings[4]
+
+    def test_bid_fields_in_range(self):
+        generator = NexmarkGenerator(NexmarkConfig(auctions=10, seed=2))
+        for _ in range(200):
+            bid = generator.bid()
+            assert 0 <= bid.key < 10
+            assert bid.fields[PRICE] >= 1
+            assert 0 <= bid.fields[CATEGORY] < CATEGORY_COUNT
+
+    def test_bid_category_matches_auction(self):
+        generator = NexmarkGenerator(NexmarkConfig(auctions=5, seed=1))
+        catalogue = {listing.key: listing for listing in
+                     (generator.auction() for _ in range(5))}
+        for _ in range(100):
+            bid = generator.bid()
+            assert bid.fields[CATEGORY] == catalogue[bid.key].fields[CATEGORY]
+
+    def test_timestamped_streams(self):
+        generator = NexmarkGenerator()
+        stamped = list(generator.timestamped_bids(4, 1_000, 2))
+        assert [ts for ts, _ in stamped] == [1_000, 1_500, 2_000, 2_500]
+
+
+class TestQueriesOnEngine:
+    def _engine_with(self, queries):
+        engine = make_engine(streams=(BIDS, AUCTIONS))
+        go_live(engine, queries, now_ms=0)
+        return engine
+
+    def test_currency_filter(self):
+        query = currency_filter(min_price=500, query_id="nx-filter")
+        engine = self._engine_with([query])
+        generator = NexmarkGenerator(NexmarkConfig(seed=3))
+        prices = []
+        for ts, bid in generator.timestamped_bids(200, 0, 100):
+            prices.append(bid.fields[PRICE])
+            engine.push(BIDS, ts, bid)
+        expected = sum(1 for price in prices if price >= 500)
+        assert engine.result_count("nx-filter") == expected > 0
+
+    def test_hot_items_counts_bids_per_auction(self):
+        query = hot_items(window_s=2, slide_s=2, query_id="nx-hot")
+        engine = self._engine_with([query])
+        generator = NexmarkGenerator(NexmarkConfig(auctions=4, seed=4))
+        bids_in_window = 0
+        for ts, bid in generator.timestamped_bids(100, 0, 50):
+            engine.push(BIDS, ts, bid)
+            if ts < 2_000:
+                bids_in_window += 1
+        engine.watermark(10_000)
+        outputs = [
+            output
+            for output in engine.results("nx-hot")
+            if output.value.window.start == 0
+        ]
+        assert sum(output.value.value for output in outputs) == bids_in_window
+
+    def test_winning_bids_join(self):
+        query = winning_bids(min_price=0, window_s=5, query_id="nx-win")
+        engine = self._engine_with([query])
+        generator = NexmarkGenerator(NexmarkConfig(auctions=6, seed=5))
+        for ts, listing in generator.timestamped_auctions(6, 0, 10):
+            engine.push(AUCTIONS, ts, listing)
+        for ts, bid in generator.timestamped_bids(50, 0, 20):
+            engine.push(BIDS, ts, bid)
+        engine.watermark(20_000)
+        outputs = engine.results("nx-win")
+        assert outputs
+        for output in outputs:
+            bid, listing = output.value.parts
+            assert bid.key == listing.key == output.value.key
+        winners = [
+            output
+            for output in outputs
+            if output.value.parts[0].fields[PRICE]
+            >= output.value.parts[1].fields[RESERVE]
+        ]
+        assert winners  # somebody met a reserve
+
+    def test_category_revenue(self):
+        query = category_revenue(category=3, window_s=4, query_id="nx-rev")
+        engine = self._engine_with([query])
+        generator = NexmarkGenerator(NexmarkConfig(auctions=30, seed=6))
+        expected = 0
+        for ts, bid in generator.timestamped_bids(300, 0, 100):
+            engine.push(BIDS, ts, bid)
+            if ts < 4_000 and bid.fields[CATEGORY] == 3:
+                expected += bid.fields[PRICE]
+        engine.watermark(30_000)
+        first_window = [
+            output
+            for output in engine.results("nx-rev")
+            if output.value.window.start == 0
+        ]
+        assert sum(output.value.value for output in first_window) == expected

@@ -1,0 +1,99 @@
+"""Tests for the query generator templates."""
+
+import pytest
+
+from repro.core.query import (
+    AggregationQuery,
+    ComplexQuery,
+    JoinQuery,
+    SelectionQuery,
+    WindowKind,
+)
+from repro.workloads.datagen import FIELD_COUNT
+from repro.workloads.querygen import QueryGenerator
+
+
+class TestPredicateGeneration:
+    def test_field_indices_in_range(self):
+        generator = QueryGenerator(seed=3)
+        for _ in range(100):
+            predicate = generator.random_predicate()
+            assert 0 <= predicate.field_index < FIELD_COUNT
+            assert 0 <= predicate.constant < generator.fields_max
+
+    def test_deterministic(self):
+        first = [QueryGenerator(seed=9).random_predicate() for _ in range(10)]
+        second = [QueryGenerator(seed=9).random_predicate() for _ in range(10)]
+        assert first == second
+
+
+class TestWindowGeneration:
+    def test_lengths_within_bounds(self):
+        generator = QueryGenerator(seed=1, window_max_seconds=4)
+        for _ in range(100):
+            spec = generator.random_window()
+            assert 1_000 <= spec.length_ms <= 4_000
+            assert 1_000 <= spec.slide_ms <= spec.length_ms
+            assert spec.length_ms % 1_000 == 0
+
+    def test_session_window(self):
+        spec = QueryGenerator(seed=1).random_session_window(gap_max_seconds=2)
+        assert spec.kind is WindowKind.SESSION
+        assert 1_000 <= spec.gap_ms <= 2_000
+
+
+class TestQueryTemplates:
+    def test_join_query_shape(self):
+        query = QueryGenerator(streams=("A", "B"), seed=2).join_query()
+        assert isinstance(query, JoinQuery)
+        assert query.streams == ("A", "B")
+
+    def test_join_needs_two_streams(self):
+        with pytest.raises(ValueError):
+            QueryGenerator(streams=("A",)).join_query()
+
+    def test_aggregation_query_shape(self):
+        query = QueryGenerator(seed=2).aggregation_query()
+        assert isinstance(query, AggregationQuery)
+        assert query.aggregation.field_index == 0  # SUM(A.FIELD1)
+
+    def test_selection_query_shape(self):
+        query = QueryGenerator(seed=2).selection_query(stream="B")
+        assert isinstance(query, SelectionQuery)
+        assert query.stream == "B"
+
+    def test_complex_query_arity_bounds(self):
+        generator = QueryGenerator(
+            streams=("A", "B", "C", "D", "E", "F"), seed=4, max_join_arity=5
+        )
+        arities = {generator.complex_query().join_arity for _ in range(50)}
+        assert arities <= {1, 2, 3, 4, 5}
+        assert len(arities) > 1  # randomised
+
+    def test_complex_query_uses_prefix_streams(self):
+        generator = QueryGenerator(streams=("A", "B", "C"), seed=4)
+        for _ in range(20):
+            query = generator.complex_query()
+            assert query.join_streams == generator.streams[: len(query.join_streams)]
+
+    def test_complex_needs_two_streams(self):
+        with pytest.raises(ValueError):
+            QueryGenerator(streams=("A",)).complex_query()
+
+    def test_dispatch(self):
+        generator = QueryGenerator(streams=("A", "B"), seed=1)
+        assert isinstance(generator.query("join"), JoinQuery)
+        assert isinstance(generator.query("agg"), AggregationQuery)
+        assert isinstance(generator.query("aggregation"), AggregationQuery)
+        assert isinstance(generator.query("selection"), SelectionQuery)
+        assert isinstance(generator.query("complex"), ComplexQuery)
+        with pytest.raises(ValueError):
+            generator.query("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryGenerator(streams=())
+        with pytest.raises(ValueError):
+            QueryGenerator(window_max_seconds=0)
+        with pytest.raises(ValueError):
+            QueryGenerator(selective_fraction=2.0)

@@ -1,0 +1,106 @@
+"""Tests for SC1/SC2 workload schedules."""
+
+import pytest
+
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import (
+    ScheduledRequest,
+    WorkloadSchedule,
+    sc1_schedule,
+    sc2_schedule,
+    single_query_schedule,
+)
+
+
+def _generator():
+    return QueryGenerator(streams=("A", "B"), seed=0)
+
+
+class TestScheduledRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledRequest(at_ms=0, kind="create")
+        with pytest.raises(ValueError):
+            ScheduledRequest(at_ms=0, kind="delete")
+
+
+class TestSC1:
+    def test_request_spacing(self):
+        schedule = sc1_schedule(_generator(), queries_per_second=2, query_parallelism=4)
+        times = [request.at_ms for request in schedule.sorted()]
+        assert times == [0, 500, 1_000, 1_500]
+        assert all(request.kind == "create" for request in schedule.requests)
+
+    def test_peak_parallelism(self):
+        schedule = sc1_schedule(_generator(), 1, 10)
+        assert schedule.peak_parallelism == 10
+        assert len(schedule) == 10
+
+    def test_kind_propagated(self):
+        schedule = sc1_schedule(_generator(), 1, 3, kind="agg")
+        assert all("agg" in r.query.query_id for r in schedule.requests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sc1_schedule(_generator(), 0, 10)
+        with pytest.raises(ValueError):
+            sc1_schedule(_generator(), 1, 0)
+
+
+class TestSC2:
+    def test_batches_create_and_delete(self):
+        schedule = sc2_schedule(
+            _generator(), queries_per_batch=3, batch_interval_s=10, batches=3
+        )
+        creates = [r for r in schedule.requests if r.kind == "create"]
+        deletes = [r for r in schedule.requests if r.kind == "delete"]
+        assert len(creates) == 9
+        assert len(deletes) == 6  # first batch deleted at t=10s, second at 20s
+
+    def test_steady_state_parallelism_is_batch_size(self):
+        # Deletes of the previous batch land before the new creations at
+        # each boundary, so parallelism never exceeds the batch size.
+        schedule = sc2_schedule(_generator(), 5, 10, 4)
+        assert schedule.peak_parallelism == 5
+
+    def test_deletes_reference_previous_batch(self):
+        schedule = sc2_schedule(_generator(), 2, 10, 2)
+        first_batch_ids = {
+            r.query.query_id
+            for r in schedule.requests
+            if r.kind == "create" and r.at_ms == 0
+        }
+        deleted_ids = {r.query_id for r in schedule.requests if r.kind == "delete"}
+        assert deleted_ids == first_batch_ids
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sc2_schedule(_generator(), 0, 10, 1)
+        with pytest.raises(ValueError):
+            sc2_schedule(_generator(), 1, 0, 1)
+        with pytest.raises(ValueError):
+            sc2_schedule(_generator(), 1, 10, 0)
+
+
+class TestSingle:
+    def test_single_query(self):
+        schedule = single_query_schedule(_generator(), kind="join")
+        assert len(schedule) == 1
+        assert schedule.requests[0].kind == "create"
+
+
+class TestSorting:
+    def test_sorted_stable_on_ties(self):
+        generator = _generator()
+        first = generator.join_query()
+        second = generator.join_query()
+        schedule = WorkloadSchedule(
+            name="tie",
+            requests=[
+                ScheduledRequest(at_ms=5, kind="create", query=first),
+                ScheduledRequest(at_ms=5, kind="create", query=second),
+            ],
+        )
+        ordered = schedule.sorted()
+        assert ordered[0].query is first
+        assert ordered[1].query is second

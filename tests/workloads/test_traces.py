@@ -1,0 +1,110 @@
+"""Tests for CSV trace ingestion and export."""
+
+import pytest
+
+from repro.workloads.datagen import DataGenerator, DataTuple
+from repro.workloads.traces import (
+    TraceError,
+    read_csv_stream,
+    sorted_by_time,
+    write_csv_stream,
+)
+
+
+def _write(tmp_path, text):
+    target = tmp_path / "trace.csv"
+    target.write_text(text)
+    return target
+
+
+class TestReadCsvStream:
+    def test_basic_read(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "ts,user,price,qty\n"
+            "1000,7,19.5,3\n"
+            "1500,8,2,1\n",
+        )
+        stream = list(
+            read_csv_stream(path, "ts", "user", field_columns=("price", "qty"))
+        )
+        assert stream[0][0] == 1_000
+        assert stream[0][1] == DataTuple(key=7, fields=(19.5, 3, 0, 0, 0))
+        assert stream[1][1].key == 8
+
+    def test_no_field_columns(self, tmp_path):
+        path = _write(tmp_path, "ts,k\n5,1\n")
+        ((timestamp, value),) = read_csv_stream(path, "ts", "k")
+        assert timestamp == 5
+        assert value.fields == (0, 0, 0, 0, 0)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = _write(tmp_path, "ts,k\n5,1\n")
+        with pytest.raises(TraceError, match="missing columns"):
+            list(read_csv_stream(path, "ts", "k", field_columns=("nope",)))
+
+    def test_too_many_field_columns_rejected(self, tmp_path):
+        path = _write(tmp_path, "ts,k\n")
+        with pytest.raises(TraceError, match="at most 5"):
+            list(read_csv_stream(path, "ts", "k", field_columns=("a",) * 6))
+
+    def test_bad_value_reports_line(self, tmp_path):
+        path = _write(tmp_path, "ts,k\n5,1\nbroken,2\n")
+        with pytest.raises(TraceError, match=":3:"):
+            list(read_csv_stream(path, "ts", "k"))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = _write(tmp_path, "")
+        with pytest.raises(TraceError, match="empty file"):
+            list(read_csv_stream(path, "ts", "k"))
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        generator = DataGenerator(seed=4)
+        original = list(generator.timestamped(25, 0, 100))
+        path = tmp_path / "export.csv"
+        write_csv_stream(path, original)
+        restored = list(
+            read_csv_stream(
+                path, "timestamp_ms", "key",
+                field_columns=("f0", "f1", "f2", "f3", "f4"),
+            )
+        )
+        assert restored == original
+
+    def test_write_validates_field_names(self, tmp_path):
+        with pytest.raises(TraceError, match="exactly 5"):
+            write_csv_stream(tmp_path / "x.csv", [], field_names=("a",))
+
+
+class TestSortedByTime:
+    def test_sorts_stable(self):
+        value = DataTuple(key=1, fields=(0,) * 5)
+        other = DataTuple(key=2, fields=(0,) * 5)
+        stream = iter([(5, value), (1, other), (5, other)])
+        ordered = sorted_by_time(stream)
+        assert [ts for ts, _ in ordered] == [1, 5, 5]
+        assert ordered[1][1] is value  # stable on ties
+
+
+class TestTraceDrivesEngine:
+    def test_trace_replay_through_engine(self, tmp_path):
+        from repro.core.query import SelectionQuery, TruePredicate
+        from tests.conftest import go_live, make_engine
+
+        path = _write(
+            tmp_path,
+            "ts,k,v\n" + "".join(f"{ts},{ts % 3},{ts % 7}\n"
+                                 for ts in range(0, 1_000, 50)),
+        )
+        engine = make_engine()
+        query = SelectionQuery(
+            stream="A", predicate=TruePredicate(), query_id="trace-q"
+        )
+        go_live(engine, [query], now_ms=0)
+        count = 0
+        for timestamp, value in read_csv_stream(path, "ts", "k", ("v",)):
+            engine.push("A", timestamp, value)
+            count += 1
+        assert engine.result_count("trace-q") == count == 20
