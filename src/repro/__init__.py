@@ -14,6 +14,11 @@ Layout:
   SC2 scenarios, and the driver with FIFO queues and ACK backpressure.
 * :mod:`repro.harness` — metrics, the experiment runner, and one
   experiment per evaluation figure (9–20).
+* :mod:`repro.faults` — declarative fault injection (node crashes,
+  channel drops/duplicates/delays, operator exceptions, slow nodes)
+  plus a :class:`~repro.faults.supervisor.Supervisor` that detects
+  failures, drives checkpoint-restore + replay recovery, and reports
+  MTTR — the chaos-testing harness behind ``tests/integration/test_chaos.py``.
 
 Quickstart::
 
@@ -47,6 +52,16 @@ from repro.core import (
     WindowSpec,
     parse_query,
 )
+# Imported after repro.core: the faults package reaches back into
+# core/workloads, so it must not start the package import chain.
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    Supervisor,
+    SupervisorPolicy,
+)
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 
 __version__ = "1.0.0"
@@ -58,12 +73,18 @@ __all__ = [
     "ClusterSpec",
     "ComplexQuery",
     "EngineConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "FieldPredicate",
     "JoinQuery",
     "QuerySet",
     "SelectionQuery",
     "SimulatedCluster",
     "SqlError",
+    "Supervisor",
+    "SupervisorPolicy",
     "WindowSpec",
     "__version__",
     "parse_query",

@@ -299,6 +299,23 @@ class QueryAtATimeEngine:
         graph.connect("window_agg", "sink", Partitioning.REBALANCE)
         return graph
 
+    # -- fault tolerance ---------------------------------------------------------
+
+    def recover(self) -> int:
+        """Supervised restart after a failure: redeploy every running job.
+
+        The query-at-a-time model has no shared checkpoint/replay path:
+        each job's topology is rebuilt from scratch and its in-flight
+        window state is lost (the tuples-before-creation semantics of an
+        ad-hoc job re-attaching to the bus).  Slot allocations and result
+        channels are preserved.  Returns the number of jobs redeployed.
+        """
+        for job in self._jobs.values():
+            # No close(): a crash discards in-flight state, it does not
+            # flush pending windows.
+            job.runtime = JobRuntime(self._build_graph(job.query))
+        return len(self._jobs)
+
     # -- data path ----------------------------------------------------------------
 
     def push(self, stream: str, timestamp: int, value: Any, key: Any = None) -> None:

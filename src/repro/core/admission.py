@@ -64,7 +64,7 @@ class AdmissionController:
         self,
         engine: AStreamEngine,
         qos: QoSMonitor,
-        policy: AdmissionPolicy = None,
+        policy: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.engine = engine
         self.qos = qos
@@ -73,6 +73,21 @@ class AdmissionController:
         self.admitted_total = 0
         self.rejected_total = 0
         self.deferred_total = 0
+        self.shedding = False
+        """While True, every new creation is deferred regardless of the
+        current QoS reading — set by the fault supervisor when violations
+        persist after a recovery (§3.4's "external component")."""
+
+    # -- load shedding (supervisor escalation) -------------------------------
+
+    def enter_shedding(self) -> None:
+        """Park all new query creations until :meth:`exit_shedding`."""
+        self.shedding = True
+
+    def exit_shedding(self, now_ms: int) -> int:
+        """Resume admissions; re-runs the parked queue, returns admits."""
+        self.shedding = False
+        return self.retry_deferred(now_ms)
 
     # -- intake ---------------------------------------------------------------
 
@@ -114,6 +129,10 @@ class AdmissionController:
             and active >= policy.max_active_queries
         ):
             return AdmissionDecision.REJECT
+        if self.shedding:
+            if len(self.deferred) >= policy.max_deferred:
+                return AdmissionDecision.REJECT
+            return AdmissionDecision.DEFER
         if policy.defer_on_qos_violation and self._qos_violated():
             if len(self.deferred) >= policy.max_deferred:
                 return AdmissionDecision.REJECT

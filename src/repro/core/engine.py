@@ -106,6 +106,18 @@ class EngineCheckpoint:
 
 
 @dataclass
+class RecoveryInfo:
+    """What one :meth:`AStreamEngine.recover` call actually did."""
+
+    checkpoint_id: Optional[int]
+    """Checkpoint restored from (None = cold replay from offset 0)."""
+    replayed_elements: int
+    """Input-log entries re-pushed through the fresh runtime."""
+    restored_queries: int
+    """Queries live immediately after state restoration."""
+
+
+@dataclass
 class DeploymentEvent:
     """Bookkeeping for one query creation/deletion, for QoS metrics."""
 
@@ -138,7 +150,7 @@ class AStreamEngine:
 
     def __init__(
         self,
-        config: EngineConfig = None,
+        config: Optional[EngineConfig] = None,
         cluster: Optional[SimulatedCluster] = None,
         on_deliver: Optional[Callable[[str, Record], None]] = None,
     ) -> None:
@@ -178,6 +190,7 @@ class AStreamEngine:
         # Exactly-once support (config.log_inputs): a replayable log of
         # everything that entered the dataflow, plus completed checkpoints.
         self._input_log: List[Tuple[str, Any]] = []
+        self._input_log_base = 0
         self._next_checkpoint_id = 1
         self._checkpoints: List[EngineCheckpoint] = []
 
@@ -388,9 +401,19 @@ class AStreamEngine:
         if key is None:
             key = getattr(value, "key", None)
         record = Record(timestamp=timestamp, value=value, key=key)
-        if self.config.log_inputs:
-            self._input_log.append(("record", (stream, record)))
-        self.runtime.push(f"source:{stream}", record)
+        if not self.config.log_inputs:
+            self.runtime.push(f"source:{stream}", record)
+            return
+        self._input_log.append(("record", (stream, record)))
+        try:
+            self.runtime.push(f"source:{stream}", record)
+        except BaseException:
+            # An injected (or real) fault killed this push mid-flight: the
+            # element must not be replayed by recovery, because the caller
+            # will retry or dead-letter it.  Exactly-once accounting stays
+            # with whoever observed the exception.
+            self._input_log.pop()
+            raise
 
     def watermark(self, timestamp: int, stream: Optional[str] = None) -> None:
         """Advance event time (fires due windows).
@@ -415,11 +438,19 @@ class AStreamEngine:
         watermark = Watermark(timestamp=timestamp)
         if self.config.log_inputs:
             self._input_log.append(("watermark", (targets, watermark)))
-        for target in targets:
-            self._stream_watermarks[target] = max(
-                self._stream_watermarks.get(target, -1), timestamp
-            )
-            self.runtime.push(f"source:{target}", watermark)
+        try:
+            for target in targets:
+                self._stream_watermarks[target] = max(
+                    self._stream_watermarks.get(target, -1), timestamp
+                )
+                self.runtime.push(f"source:{target}", watermark)
+        except BaseException:
+            # A window fire triggered by this watermark hit an injected
+            # fault: un-log it so the post-recovery retry is not a
+            # duplicate (recovery restores the watermark clocks too).
+            if self.config.log_inputs:
+                self._input_log.pop()
+            raise
 
     # -- fault tolerance ----------------------------------------------------------
 
@@ -451,7 +482,7 @@ class AStreamEngine:
         self._checkpoints.append(
             EngineCheckpoint(
                 checkpoint_id=checkpoint_id,
-                log_offset=len(self._input_log),
+                log_offset=self._input_log_base + len(self._input_log),
                 runtime_state=state,
                 channels_state=self.channels.snapshot(),
                 session_state=copy.deepcopy(self.session),
@@ -461,7 +492,7 @@ class AStreamEngine:
         )
         return checkpoint_id
 
-    def recover(self) -> None:
+    def recover(self) -> RecoveryInfo:
         """Simulate failure + recovery: redeploy, restore, replay.
 
         The running topology is discarded; a fresh one is deployed from
@@ -469,10 +500,19 @@ class AStreamEngine:
         completed checkpoint (or empty, if none), and the input log's
         suffix — records, watermarks, *and* changelog markers, in their
         original interleaving — is replayed.  Outputs equal those of an
-        uninterrupted run (exactly-once).
-        """
-        import copy
+        uninterrupted run (exactly-once).  Returns a :class:`RecoveryInfo`
+        describing the restored checkpoint and replay size (the
+        supervisor's MTTR / replay metrics).
 
+        The shared session is *client-side* state (§3.1.1): it lives
+        outside the SPE, so an engine failure does not roll it back.
+        Restoring it from the checkpoint would rewind its changelog
+        sequence and re-buffer requests whose markers are already in the
+        replayed log, producing duplicate changelog sequences after
+        recovery — the live session is kept instead, and the marker
+        replay brings the fresh operators up to exactly the changelogs
+        the session has issued.
+        """
         if not self.config.log_inputs:
             raise RuntimeError("recovery needs EngineConfig(log_inputs=True)")
         # Fresh instances: clear operator registries so introspection and
@@ -486,7 +526,6 @@ class AStreamEngine:
         if checkpoint is not None:
             self.runtime.restore_checkpoint(checkpoint.runtime_state)
             self.channels.restore(checkpoint.channels_state)
-            self.session = copy.deepcopy(checkpoint.session_state)
             self._last_watermark_ms = checkpoint.last_watermark_ms
             self._stream_watermarks = dict(checkpoint.stream_watermarks)
             offset = checkpoint.log_offset
@@ -506,7 +545,12 @@ class AStreamEngine:
                     f"source:{stream}", Watermark(timestamp=watermark_ms)
                 )
         # Replay the suffix in original global order.
-        replay = list(self._input_log[offset:])
+        if offset < self._input_log_base:
+            raise RuntimeError(
+                f"input-log offset {offset} was compacted away "
+                f"(base is {self._input_log_base})"
+            )
+        replay = list(self._input_log[offset - self._input_log_base :])
         for kind, payload in replay:
             if kind == "record":
                 stream, record = payload
@@ -526,6 +570,37 @@ class AStreamEngine:
             else:  # marker
                 for stream in self.config.streams:
                     self.runtime.push(f"source:{stream}", payload)
+        return RecoveryInfo(
+            checkpoint_id=(
+                checkpoint.checkpoint_id if checkpoint is not None else None
+            ),
+            replayed_elements=len(replay),
+            restored_queries=self.active_query_count,
+        )
+
+    def compact_input_log(self) -> int:
+        """Drop log entries already covered by the latest checkpoint.
+
+        Mirrors :meth:`SourceLog.truncate` at the engine level so soak
+        runs with periodic checkpoints keep bounded memory; checkpoints
+        older than the latest become unusable and are dropped.  Returns
+        the number of reclaimed entries.
+        """
+        if not self._checkpoints:
+            return 0
+        checkpoint = self._checkpoints[-1]
+        dropped = checkpoint.log_offset - self._input_log_base
+        if dropped <= 0:
+            return 0
+        del self._input_log[:dropped]
+        self._input_log_base = checkpoint.log_offset
+        self._checkpoints = [checkpoint]
+        return dropped
+
+    @property
+    def input_log_size(self) -> int:
+        """Input-log entries currently retained (post-compaction)."""
+        return len(self._input_log)
 
     @property
     def completed_checkpoints(self) -> int:

@@ -47,7 +47,7 @@ class QoSMonitor:
         self,
         now_fn: Optional[Callable[[], int]] = None,
         sample_every: int = 100,
-        thresholds: QoSThresholds = None,
+        thresholds: Optional[QoSThresholds] = None,
     ) -> None:
         if sample_every <= 0:
             raise ValueError(f"sample_every must be positive, got {sample_every}")

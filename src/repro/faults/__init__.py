@@ -1,0 +1,25 @@
+"""Deterministic fault injection and supervised recovery.
+
+The chaos-engineering layer of the reproduction: declarative
+virtual-time fault plans (:mod:`~repro.faults.plan`), an injector that
+executes them against the minispe substrate
+(:mod:`~repro.faults.injector`), and a supervisor that detects the
+damage, drives checkpoint/replay recovery, and measures MTTR
+(:mod:`~repro.faults.supervisor`).
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord, InjectedFaultError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.supervisor import RecoveryEvent, Supervisor, SupervisorPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "InjectedFaultError",
+    "RecoveryEvent",
+    "Supervisor",
+    "SupervisorPolicy",
+]

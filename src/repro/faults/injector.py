@@ -1,0 +1,321 @@
+"""Deterministic fault injector for the minispe substrate.
+
+:class:`FaultInjector` executes a :class:`~repro.faults.plan.FaultPlan`
+against a live job:
+
+* time-based events (node crash/restore, slow-node windows) fire when
+  :meth:`FaultInjector.advance` passes their virtual timestamp;
+* channel faults arm at their timestamp and then strike the next
+  ``count`` data records crossing the matching edge, via the runtime's
+  channel hook (drop → 0 copies, duplicate → 2, delay → withheld and
+  redelivered later);
+* operator faults arm at their timestamp and raise
+  :class:`InjectedFaultError` from the deliver hook once the target
+  vertex has processed ``after_records`` further records.
+
+Everything the injector does is recorded as a :class:`FaultRecord`; the
+supervisor drains the records that require recovery
+(:meth:`FaultInjector.unhandled_failures`) and marks them handled once
+the engine has been recovered.  Because faults are driven entirely by
+virtual time and stream position, two runs with the same plan and the
+same workload produce identical fault logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.minispe.cluster import SimulatedCluster
+from repro.minispe.graph import Edge
+from repro.minispe.record import Record
+from repro.minispe.runtime import JobRuntime
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised from an operator instance by an armed operator fault."""
+
+    def __init__(self, vertex: str, index: int, event: FaultEvent) -> None:
+        super().__init__(
+            f"injected operator failure at {vertex}[{index}] "
+            f"({event.describe()})"
+        )
+        self.vertex = vertex
+        self.index = index
+        self.event = event
+
+
+@dataclass
+class FaultRecord:
+    """One fault the injector actually executed."""
+
+    event: FaultEvent
+    fired_at_ms: int
+    detail: str
+    requires_recovery: bool
+    handled: bool = False
+    strikes: int = 0
+    """Data records affected so far (channel/operator faults)."""
+
+    def describe(self) -> str:
+        """Stable line for recovery-log determinism comparisons."""
+        return f"fired@{self.fired_at_ms}ms {self.event.describe()} [{self.detail}]"
+
+
+@dataclass
+class _ArmedChannelFault:
+    event: FaultEvent
+    remaining: int
+    record: Optional[FaultRecord] = None
+
+
+@dataclass
+class _ArmedOperatorFault:
+    event: FaultEvent
+    seen: int = 0
+    remaining_raises: int = field(default=1)
+    record: Optional[FaultRecord] = None
+
+
+@dataclass
+class _SlowWindow:
+    until_ms: int
+    factor: float
+
+
+class FaultInjector:
+    """Executes a fault plan against a runtime and (optionally) a cluster.
+
+    Usage::
+
+        injector = FaultInjector(plan, cluster=cluster)
+        injector.attach(engine.runtime)
+        ...
+        injector.advance(now_ms)        # each driver step / heartbeat
+        for record in injector.unhandled_failures():
+            ...trigger recovery, then record.handled = True
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> None:
+        if cluster is None and any(
+            event.kind in (FaultKind.NODE_CRASH, FaultKind.NODE_RESTORE)
+            for event in plan.events
+        ):
+            raise ValueError("node crash/restore events need a cluster")
+        self.plan = plan
+        self.cluster = cluster
+        self.now_ms = 0
+        self.records: List[FaultRecord] = []
+        self._pending: List[FaultEvent] = plan.sorted()
+        self._armed_channels: List[_ArmedChannelFault] = []
+        self._armed_operators: List[_ArmedOperatorFault] = []
+        self._slow_windows: List[_SlowWindow] = []
+        self._delayed: List[Tuple[int, int, int, Record]] = []
+        # (due_ms, edge_idx, from_index, record), kept in due order.
+        self._runtime: Optional[JobRuntime] = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, runtime: JobRuntime) -> None:
+        """Install the channel/deliver hooks on a runtime."""
+        self._runtime = runtime
+        runtime.set_fault_hooks(
+            channel_hook=self._on_channel,
+            deliver_hook=self._on_deliver,
+        )
+
+    def detach(self) -> None:
+        """Remove the hooks and discard withheld (delayed) records.
+
+        Called around recovery: the replacement runtime replays the input
+        log fault-free, which already covers any record the injector was
+        still withholding — redelivering it afterwards would duplicate it.
+        """
+        if self._runtime is not None:
+            self._runtime.clear_fault_hooks()
+        self._runtime = None
+        self._delayed.clear()
+
+    @property
+    def attached(self) -> bool:
+        """True while hooks are installed on a runtime."""
+        return self._runtime is not None
+
+    # -- virtual time --------------------------------------------------------
+
+    def advance(self, now_ms: int) -> List[FaultRecord]:
+        """Fire every event scheduled at or before ``now_ms``.
+
+        Returns the records created by this call (node events and slow
+        windows fire here; channel/operator events only *arm* here and
+        create their records when they first strike a data record).
+        """
+        self.now_ms = max(self.now_ms, now_ms)
+        fired: List[FaultRecord] = []
+        while self._pending and self._pending[0].at_ms <= now_ms:
+            event = self._pending.pop(0)
+            record = self._fire(event)
+            if record is not None:
+                fired.append(record)
+        self._slow_windows = [
+            window for window in self._slow_windows if window.until_ms > now_ms
+        ]
+        return fired
+
+    def _fire(self, event: FaultEvent) -> Optional[FaultRecord]:
+        kind = event.kind
+        if kind is FaultKind.NODE_CRASH:
+            crashed = self.cluster.fail_node(event.node)
+            detail = (
+                f"node {event.node} down, "
+                f"{self.cluster.healthy_nodes} healthy"
+                if crashed
+                else f"node {event.node} already down"
+            )
+            return self._record(event, detail, requires_recovery=crashed)
+        if kind is FaultKind.NODE_RESTORE:
+            restored = self.cluster.restore_node(event.node)
+            detail = (
+                f"node {event.node} back, "
+                f"{self.cluster.healthy_nodes} healthy"
+                if restored
+                else f"node {event.node} was not down"
+            )
+            return self._record(event, detail, requires_recovery=False)
+        if kind is FaultKind.SLOW_NODE:
+            self._slow_windows.append(
+                _SlowWindow(
+                    until_ms=event.at_ms + event.duration_ms,
+                    factor=event.factor,
+                )
+            )
+            return self._record(
+                event,
+                f"x{event.factor:.2f} for {event.duration_ms}ms",
+                requires_recovery=False,
+            )
+        if kind is FaultKind.OPERATOR_EXCEPTION:
+            self._armed_operators.append(
+                _ArmedOperatorFault(event, remaining_raises=event.repeat)
+            )
+            return None
+        # Channel faults: drop / duplicate / delay.
+        self._armed_channels.append(_ArmedChannelFault(event, event.count))
+        return None
+
+    def _record(
+        self, event: FaultEvent, detail: str, requires_recovery: bool
+    ) -> FaultRecord:
+        record = FaultRecord(
+            event=event,
+            fired_at_ms=max(self.now_ms, event.at_ms),
+            detail=detail,
+            requires_recovery=requires_recovery,
+        )
+        self.records.append(record)
+        return record
+
+    def slow_factor(self, now_ms: int) -> float:
+        """Latency multiplier currently in effect (1.0 = healthy)."""
+        factor = 1.0
+        for window in self._slow_windows:
+            if window.until_ms > now_ms:
+                factor = max(factor, window.factor)
+        return factor
+
+    # -- data-path hooks -----------------------------------------------------
+
+    def _on_channel(self, edge: Edge, from_index: int, record: Record) -> int:
+        key = f"{edge.source}->{edge.target}"
+        for armed in self._armed_channels:
+            if armed.remaining <= 0 or armed.event.edge != key:
+                continue
+            armed.remaining -= 1
+            kind = armed.event.kind
+            if armed.record is None or armed.record.handled:
+                # A handled record means a recovery already absorbed the
+                # earlier strikes; strikes landing after it are fresh
+                # corruption and need their own detectable record.
+                requires_recovery = kind is not FaultKind.CHANNEL_DELAY
+                armed.record = self._record(
+                    armed.event, kind.value, requires_recovery
+                )
+            armed.record.strikes += 1
+            if kind is FaultKind.CHANNEL_DROP:
+                return 0
+            if kind is FaultKind.CHANNEL_DUPLICATE:
+                return 2
+            # CHANNEL_DELAY: withhold now, redeliver when due.
+            runtime = self._runtime
+            edge_idx = runtime._edge_index[id(edge)]
+            self._delayed.append(
+                (self.now_ms + armed.event.delay_ms, edge_idx, from_index, record)
+            )
+            self._delayed.sort(key=lambda entry: entry[0])
+            return 0
+        return 1
+
+    def _on_deliver(self, vertex: str, index: int, record: Record) -> None:
+        for armed in self._armed_operators:
+            if armed.remaining_raises <= 0 or armed.event.vertex != vertex:
+                continue
+            armed.seen += 1
+            if armed.seen <= armed.event.after_records:
+                continue
+            armed.remaining_raises -= 1
+            if armed.record is None or armed.record.handled:
+                armed.record = self._record(
+                    armed.event,
+                    f"raise at {vertex}[{index}]",
+                    requires_recovery=True,
+                )
+            armed.record.strikes += 1
+            raise InjectedFaultError(vertex, index, armed.event)
+
+    # -- delayed records -----------------------------------------------------
+
+    @property
+    def delayed_count(self) -> int:
+        """Records currently withheld by delay faults."""
+        return len(self._delayed)
+
+    def drain_due_redeliveries(self, now_ms: int) -> int:
+        """Redeliver withheld records whose delay expired; returns count."""
+        delivered = 0
+        while self._delayed and self._delayed[0][0] <= now_ms:
+            _, edge_idx, from_index, record = self._delayed.pop(0)
+            if self._runtime is not None:
+                self._runtime.redeliver(edge_idx, from_index, record)
+                delivered += 1
+        return delivered
+
+    # -- supervisor interface ------------------------------------------------
+
+    def unhandled_failures(self) -> List[FaultRecord]:
+        """Executed faults that corrupted state and await recovery."""
+        return [
+            record
+            for record in self.records
+            if record.requires_recovery and not record.handled
+        ]
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every planned event fired or armed-and-struck out."""
+        return (
+            not self._pending
+            and all(armed.remaining <= 0 for armed in self._armed_channels)
+            and all(
+                armed.remaining_raises <= 0 for armed in self._armed_operators
+            )
+            and not self._delayed
+        )
+
+    def log_lines(self) -> List[str]:
+        """The full fault log (stable; determinism assertions)."""
+        return [record.describe() for record in self.records]

@@ -1,0 +1,231 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a time-ordered list of :class:`FaultEvent`\\ s
+scheduled in *virtual* time, so a chaos run is exactly as reproducible as
+a fault-free one: the same plan against the same workload produces the
+same failures, the same recoveries, and the same outputs.
+
+Supported fault kinds:
+
+* ``NODE_CRASH`` / ``NODE_RESTORE`` — take a simulated cluster node down
+  (slots reclaimed, full-topology restart on the survivors) and bring it
+  back;
+* ``OPERATOR_EXCEPTION`` — raise from an operator instance when the Nth
+  data record (counted from arming) reaches a vertex;
+* ``CHANNEL_DROP`` / ``CHANNEL_DUPLICATE`` / ``CHANNEL_DELAY`` — corrupt
+  the next ``count`` data records crossing one channel (edge) of the job
+  graph;
+* ``SLOW_NODE`` — a latency multiplier over a time window, modelling a
+  straggler node (charged to queue waiting by the driver).
+
+Plans are hand-written for targeted tests or drawn from
+:meth:`FaultPlan.random` for seeded chaos runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector knows how to produce."""
+
+    NODE_CRASH = "node_crash"
+    NODE_RESTORE = "node_restore"
+    OPERATOR_EXCEPTION = "operator_exception"
+    CHANNEL_DROP = "channel_drop"
+    CHANNEL_DUPLICATE = "channel_duplicate"
+    CHANNEL_DELAY = "channel_delay"
+    SLOW_NODE = "slow_node"
+
+
+_NODE_KINDS = (FaultKind.NODE_CRASH, FaultKind.NODE_RESTORE, FaultKind.SLOW_NODE)
+_CHANNEL_KINDS = (
+    FaultKind.CHANNEL_DROP,
+    FaultKind.CHANNEL_DUPLICATE,
+    FaultKind.CHANNEL_DELAY,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Which fields matter depends on ``kind``:
+
+    * node faults use ``node`` (and ``factor``/``duration_ms`` for
+      ``SLOW_NODE``);
+    * ``OPERATOR_EXCEPTION`` uses ``vertex``, ``after_records`` (how many
+      records the vertex processes after arming before the fault fires)
+      and ``repeat`` (how many consecutive records fail — a poison tuple
+      that defeats retries needs ``repeat >= max_attempts``);
+    * channel faults use ``edge`` (``"source_vertex->target_vertex"``),
+      ``count`` (records affected) and ``delay_ms`` for ``CHANNEL_DELAY``.
+    """
+
+    at_ms: int
+    kind: FaultKind
+    node: Optional[int] = None
+    vertex: Optional[str] = None
+    edge: Optional[str] = None
+    after_records: int = 0
+    repeat: int = 1
+    count: int = 1
+    delay_ms: int = 0
+    factor: float = 1.0
+    duration_ms: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.kind in _NODE_KINDS and self.node is None:
+            raise ValueError(f"{self.kind.value} events need a node index")
+        if self.kind is FaultKind.OPERATOR_EXCEPTION and not self.vertex:
+            raise ValueError("operator_exception events need a vertex name")
+        if self.kind in _CHANNEL_KINDS:
+            if not self.edge or "->" not in self.edge:
+                raise ValueError(
+                    f"channel events need an edge like 'src->dst', "
+                    f"got {self.edge!r}"
+                )
+            if self.count < 1:
+                raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.kind is FaultKind.CHANNEL_DELAY and self.delay_ms <= 0:
+            raise ValueError("channel_delay events need delay_ms > 0")
+        if self.kind is FaultKind.SLOW_NODE:
+            if self.factor <= 1.0:
+                raise ValueError(
+                    f"slow_node factor must exceed 1.0, got {self.factor}"
+                )
+            if self.duration_ms <= 0:
+                raise ValueError("slow_node events need duration_ms > 0")
+        if self.repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {self.repeat}")
+
+    def describe(self) -> str:
+        """Stable one-line description (recovery logs, determinism tests)."""
+        target = (
+            self.edge
+            or self.vertex
+            or (f"node{self.node}" if self.node is not None else "?")
+        )
+        return f"t={self.at_ms}ms {self.kind.value} {target}"
+
+
+@dataclass
+class FaultPlan:
+    """A named, time-ordered collection of fault events."""
+
+    name: str = "fault-plan"
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+    """The seed this plan was drawn from, if randomly generated."""
+
+    def sorted(self) -> List[FaultEvent]:
+        """Events in firing order (stable on ties)."""
+        return sorted(self.events, key=lambda event: event.at_ms)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append one event (chainable)."""
+        self.events.append(event)
+        return self
+
+    def shifted(self, delta_ms: int) -> "FaultPlan":
+        """A copy with every event moved ``delta_ms`` later."""
+        return FaultPlan(
+            name=self.name,
+            events=[
+                replace(event, at_ms=event.at_ms + delta_ms)
+                for event in self.events
+            ],
+            seed=self.seed,
+        )
+
+    def count(self, kind: FaultKind) -> int:
+        """Events of one kind."""
+        return sum(1 for event in self.events if event.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_ms: int,
+        nodes: int,
+        edges: Sequence[str] = (),
+        vertices: Sequence[str] = (),
+        crashes: int = 3,
+        channel_faults: int = 2,
+        operator_faults: int = 0,
+        slow_nodes: int = 0,
+        restore_after_ms: int = 2_000,
+        channel_fault_kinds: Tuple[FaultKind, ...] = (
+            FaultKind.CHANNEL_DROP,
+            FaultKind.CHANNEL_DUPLICATE,
+        ),
+    ) -> "FaultPlan":
+        """Draw a randomized-but-seeded chaos plan.
+
+        Crashes pick a random node and schedule a matching restore
+        ``restore_after_ms`` later (so capacity returns and runs stay
+        schedulable); channel faults pick random edges and kinds from
+        ``channel_fault_kinds``; operator faults pick random vertices.
+        Identical arguments always produce the identical plan.
+        """
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if channel_faults and not edges:
+            raise ValueError("channel faults need candidate edges")
+        if operator_faults and not vertices:
+            raise ValueError("operator faults need candidate vertices")
+        rng = random.Random(seed)
+        plan = cls(name=f"chaos-seed{seed}", seed=seed)
+        for _ in range(crashes):
+            node = rng.randrange(nodes)
+            at_ms = rng.randrange(1, max(2, duration_ms - restore_after_ms))
+            plan.add(FaultEvent(at_ms=at_ms, kind=FaultKind.NODE_CRASH, node=node))
+            plan.add(
+                FaultEvent(
+                    at_ms=at_ms + restore_after_ms,
+                    kind=FaultKind.NODE_RESTORE,
+                    node=node,
+                )
+            )
+        for _ in range(channel_faults):
+            plan.add(
+                FaultEvent(
+                    at_ms=rng.randrange(1, duration_ms),
+                    kind=rng.choice(tuple(channel_fault_kinds)),
+                    edge=rng.choice(tuple(edges)),
+                    count=rng.randint(1, 3),
+                    delay_ms=rng.randrange(100, 1_000),
+                )
+            )
+        for _ in range(operator_faults):
+            plan.add(
+                FaultEvent(
+                    at_ms=rng.randrange(1, duration_ms),
+                    kind=FaultKind.OPERATOR_EXCEPTION,
+                    vertex=rng.choice(tuple(vertices)),
+                    after_records=rng.randrange(0, 50),
+                )
+            )
+        for _ in range(slow_nodes):
+            at_ms = rng.randrange(1, duration_ms)
+            plan.add(
+                FaultEvent(
+                    at_ms=at_ms,
+                    kind=FaultKind.SLOW_NODE,
+                    node=rng.randrange(nodes),
+                    factor=1.0 + rng.random() * 3.0,
+                    duration_ms=rng.randrange(500, 3_000),
+                )
+            )
+        return plan

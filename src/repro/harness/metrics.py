@@ -105,6 +105,31 @@ class ScenarioMetrics:
             return 0.0
         return len(self.report.deployment_latencies_ms) / duration_s
 
+    # -- fault tolerance ------------------------------------------------------------------
+
+    @property
+    def recovery_count(self) -> int:
+        """Supervised recoveries performed during the run."""
+        return len(self.report.recovery_events)
+
+    @property
+    def mean_mttr_ms(self) -> float:
+        """Mean time-to-recovery over the run's recovery events."""
+        events = self.report.recovery_events
+        if not events:
+            return 0.0
+        return sum(event.mttr_ms for event in events) / len(events)
+
+    @property
+    def total_replayed_elements(self) -> int:
+        """Log elements replayed across all recoveries (replay overhead)."""
+        return sum(event.replayed_elements for event in self.report.recovery_events)
+
+    @property
+    def dead_letter_count(self) -> int:
+        """Requests/tuples the driver gave up on after retries."""
+        return len(self.report.dead_letters)
+
     # -- sustainability ------------------------------------------------------------------------
 
     @property

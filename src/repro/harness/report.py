@@ -90,6 +90,36 @@ def render_csv(result: FigureResult) -> str:
     return buffer.getvalue()
 
 
+def render_recovery_log(events: List) -> str:
+    """Render a supervisor's recovery events as a readable incident log.
+
+    Takes :class:`~repro.faults.supervisor.RecoveryEvent` objects (any
+    object with the same fields works); returns one line per recovery
+    plus a summary footer, or a quiet-run marker when nothing failed.
+    """
+    if not events:
+        return "recovery log: no failures"
+    lines = ["recovery log:"]
+    for index, event in enumerate(events, start=1):
+        checkpoint = (
+            f"ckpt {event.checkpoint_id}"
+            if event.checkpoint_id is not None
+            else "full restart"
+        )
+        lines.append(
+            f"  #{index} t={event.detected_at_ms / 1000.0:.2f}s "
+            f"cause={event.cause} {checkpoint} "
+            f"replayed={event.replayed_elements} "
+            f"mttr={event.mttr_ms / 1000.0:.2f}s"
+        )
+    mean_mttr = sum(event.mttr_ms for event in events) / len(events)
+    lines.append(
+        f"  {len(events)} recoveries, mean MTTR {mean_mttr / 1000.0:.2f}s, "
+        f"{sum(event.replayed_elements for event in events)} elements replayed"
+    )
+    return "\n".join(lines)
+
+
 def render_series(
     title: str, series: List, value_label: str = "value", bins: int = 12
 ) -> str:

@@ -37,14 +37,34 @@ from repro.minispe.record import CheckpointBarrier, StreamElement
 from repro.minispe.runtime import JobRuntime
 
 
+class CheckpointFailed(RuntimeError):
+    """A triggered checkpoint was not acknowledged by every instance.
+
+    Carries the id of the dropped snapshot so supervision code can log
+    it; the coordinator's completed-checkpoint list is untouched, and
+    recovery falls back to the previous completed checkpoint.
+    """
+
+    def __init__(self, checkpoint_id: int, message: str) -> None:
+        super().__init__(message)
+        self.checkpoint_id = checkpoint_id
+
+
 class SourceLog:
-    """Globally ordered (in-memory) log of every pushed source element."""
+    """Globally ordered (in-memory) log of every pushed source element.
+
+    Long soak runs would grow the log without bound; :meth:`truncate`
+    drops the prefix already covered by a completed checkpoint while
+    keeping *global offsets stable* — ``position`` and ``replay`` keep
+    speaking pre-compaction offsets.
+    """
 
     def __init__(self, source_names: List[str]) -> None:
         if not source_names:
             raise ValueError("a job needs at least one source to log")
         self._source_names = list(source_names)
         self._entries: List[Tuple[str, StreamElement]] = []
+        self._base_offset = 0
 
     def append(self, source: str, element: StreamElement) -> None:
         """Record one pushed element in global order."""
@@ -55,13 +75,45 @@ class SourceLog:
     @property
     def position(self) -> int:
         """Current global offset (the index of the next element)."""
+        return self._base_offset + len(self._entries)
+
+    @property
+    def base_offset(self) -> int:
+        """First global offset still retained (grows with truncation)."""
+        return self._base_offset
+
+    @property
+    def retained(self) -> int:
+        """Entries currently held in memory."""
         return len(self._entries)
+
+    def truncate(self, offset: int) -> int:
+        """Drop entries before global ``offset``; returns how many.
+
+        ``offset`` must not exceed :attr:`position`.  Truncating below
+        the current base is a no-op (already compacted).
+        """
+        if offset > self.position:
+            raise ValueError(
+                f"cannot truncate to {offset}: log position is {self.position}"
+            )
+        dropped = offset - self._base_offset
+        if dropped <= 0:
+            return 0
+        del self._entries[:dropped]
+        self._base_offset = offset
+        return dropped
 
     def replay(self, offset: int) -> List[Tuple[str, StreamElement]]:
         """``(source, element)`` pairs from global ``offset`` onward."""
         if offset < 0:
             raise ValueError(f"offset must be non-negative, got {offset}")
-        return list(self._entries[offset:])
+        if offset < self._base_offset:
+            raise ValueError(
+                f"offset {offset} was compacted away "
+                f"(base offset is {self._base_offset})"
+            )
+        return list(self._entries[offset - self._base_offset :])
 
     def sources(self) -> List[str]:
         """The logged source names."""
@@ -88,9 +140,11 @@ class CheckpointCoordinator:
         self,
         runtime: JobRuntime,
         runtime_factory: Optional[Callable[[], JobRuntime]] = None,
+        auto_compact: bool = False,
     ) -> None:
         self.runtime = runtime
         self._runtime_factory = runtime_factory
+        self._auto_compact = auto_compact
         source_names = [vertex.name for vertex in runtime.graph.sources()]
         self.log = SourceLog(source_names)
         self._next_checkpoint_id = 1
@@ -108,7 +162,9 @@ class CheckpointCoordinator:
 
         Because execution is synchronous, the barrier has fully traversed
         the dataflow when this method returns, so completion is immediate
-        unless an operator failed to snapshot.
+        unless an operator failed to snapshot — in which case the snapshot
+        is dropped and :class:`CheckpointFailed` is raised so callers can
+        distinguish success from a silently missing checkpoint.
         """
         checkpoint_id = self._next_checkpoint_id
         self._next_checkpoint_id += 1
@@ -119,13 +175,36 @@ class CheckpointCoordinator:
             # recovery path re-runs from offsets instead.
             self.runtime.push(source, barrier)
         state = self.runtime.completed_checkpoint(checkpoint_id)
-        if state is not None:
-            self.completed.append(
-                CompletedCheckpoint(
-                    checkpoint_id=checkpoint_id, offset=offset, state=state
-                )
+        if state is None:
+            raise CheckpointFailed(
+                checkpoint_id,
+                f"checkpoint {checkpoint_id} was not acknowledged by all "
+                f"operator instances; the snapshot is dropped",
             )
+        self.completed.append(
+            CompletedCheckpoint(
+                checkpoint_id=checkpoint_id, offset=offset, state=state
+            )
+        )
+        if self._auto_compact:
+            self.compact()
         return checkpoint_id
+
+    def compact(self) -> int:
+        """Truncate the log up to the last completed checkpoint's offset.
+
+        Checkpoints older than the latest become unusable for recovery
+        and are dropped alongside their log prefix; returns the number of
+        log entries reclaimed.  A no-op before the first completed
+        checkpoint.
+        """
+        checkpoint = self.last_completed
+        if checkpoint is None:
+            return 0
+        dropped = self.log.truncate(checkpoint.offset)
+        if len(self.completed) > 1:
+            self.completed = [checkpoint]
+        return dropped
 
     @property
     def last_completed(self) -> Optional[CompletedCheckpoint]:

@@ -24,7 +24,7 @@ two axes the experiments depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, FrozenSet, Optional
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,12 @@ class DeploymentCostModel:
     job_stop_ms: int = 1_000
     per_instance_ms: int = 25
     changelog_apply_ms: int = 5
+    recovery_restart_ms: int = 2_000
+    """Fixed cost of a supervised recovery: failure detection fencing,
+    checkpoint fetch, and topology restart (Flink's full-restart
+    strategy, which the paper's substrate uses)."""
+    state_restore_per_instance_ms: int = 10
+    """Per-instance cost of re-loading snapshotted state on recovery."""
 
     def cold_deploy_ms(self, instances: int, nodes: int) -> int:
         """First deployment of a topology with ``instances`` instances."""
@@ -79,6 +85,21 @@ class DeploymentCostModel:
             self.job_stop_ms
             + self.job_submit_ms
             + self._placement_ms(instances, nodes)
+        )
+
+    def recovery_ms(self, instances: int, nodes: int) -> int:
+        """Supervised recovery of a failed topology on ``nodes`` survivors.
+
+        Covers restart + re-placement on the remaining healthy nodes and
+        per-instance state restoration from the latest checkpoint.  This
+        is the deployment portion of MTTR; replay of the source-log
+        suffix is charged separately by the supervisor.
+        """
+        return (
+            self.recovery_restart_ms
+            + self._placement_ms(instances, nodes)
+            + self.state_restore_per_instance_ms
+            * -(-instances // max(1, nodes))
         )
 
     def changelog_ms(self, query_changes: int) -> int:
@@ -102,13 +123,67 @@ class SimulatedCluster:
     def __init__(
         self,
         spec: ClusterSpec = ClusterSpec(),
-        cost_model: DeploymentCostModel = None,
+        cost_model: Optional[DeploymentCostModel] = None,
     ) -> None:
         self.spec = spec
         self.cost_model = cost_model or DeploymentCostModel()
         self._allocations: Dict[str, int] = {}
+        self._failed_nodes: set = set()
+
+    # -- node health (fault injection) -------------------------------------
+
+    @property
+    def healthy_nodes(self) -> int:
+        """Nodes currently alive."""
+        return self.spec.nodes - len(self._failed_nodes)
+
+    @property
+    def failed_nodes(self) -> FrozenSet[int]:
+        """Indices of nodes currently down."""
+        return frozenset(self._failed_nodes)
+
+    def fail_node(self, node: int) -> bool:
+        """Take one node down, reclaiming its task slots from capacity.
+
+        Deployed topologies keep their allocations (their instances are
+        re-placed on the survivors during supervised recovery), so
+        ``free_slots`` can go negative while the cluster is degraded.
+        Returns False when the node was already down.
+        """
+        self._check_node_index(node)
+        if node in self._failed_nodes:
+            return False
+        self._failed_nodes.add(node)
+        return True
+
+    def restore_node(self, node: int) -> bool:
+        """Bring a failed node back; its slots rejoin the capacity pool.
+
+        Returns False when the node was not down.
+        """
+        self._check_node_index(node)
+        if node not in self._failed_nodes:
+            return False
+        self._failed_nodes.discard(node)
+        return True
+
+    def recovery_cost_ms(self, instances: int) -> int:
+        """Deployment cost of recovering ``instances`` on the survivors."""
+        return self.cost_model.recovery_ms(instances, max(1, self.healthy_nodes))
+
+    def _check_node_index(self, node: int) -> None:
+        if not 0 <= node < self.spec.nodes:
+            raise ValueError(
+                f"node index {node} out of range for a "
+                f"{self.spec.nodes}-node cluster"
+            )
 
     # -- capacity ----------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        """Slots offered by the currently healthy nodes."""
+        return self.healthy_nodes * self.spec.cores_per_node
 
     @property
     def used_slots(self) -> int:
@@ -117,8 +192,8 @@ class SimulatedCluster:
 
     @property
     def free_slots(self) -> int:
-        """Slots still available."""
-        return self.spec.slots - self.used_slots
+        """Slots still available (negative while degraded by failures)."""
+        return self.total_slots - self.used_slots
 
     def allocate(self, job_name: str, instances: int) -> None:
         """Occupy ``instances`` slots for ``job_name``.
@@ -132,7 +207,7 @@ class SimulatedCluster:
         if instances > self.free_slots:
             raise ClusterCapacityError(
                 f"job {job_name!r} needs {instances} slots but only "
-                f"{self.free_slots} of {self.spec.slots} are free"
+                f"{self.free_slots} of {self.total_slots} are free"
             )
         self._allocations[job_name] = instances
 
@@ -155,7 +230,7 @@ class SimulatedCluster:
             raise ValueError("reference_nodes must be positive")
         return (self.spec.nodes / reference_nodes) ** 0.5
 
-    def parallelism_for(self, max_parallelism: int = None) -> int:
+    def parallelism_for(self, max_parallelism: Optional[int] = None) -> int:
         """Operator parallelism the scheduler would pick on this cluster.
 
         One instance per node keeps the in-process simulation cheap while

@@ -129,6 +129,12 @@ class DeployedInstance:
     def deliver(self, channel: ChannelId, element: StreamElement) -> None:
         """Feed one element arriving on ``channel`` into the operator."""
         if isinstance(element, Record):
+            runtime = self._runtime
+            if runtime is not None and runtime._deliver_hook is not None:
+                # Fault-injection point: may raise to simulate an operator
+                # failure on this record (control elements are exempt so
+                # alignment invariants survive injected faults).
+                runtime._deliver_hook(self.vertex.name, self.index, element)
             self.records_processed += 1
             if isinstance(self.operator, TwoInputOperator):
                 if self.inputs.input_index[channel] == 0:
@@ -175,6 +181,12 @@ class JobRuntime:
     def __init__(self, graph: JobGraph) -> None:
         graph.validate()
         self.graph = graph
+        self._channel_hook: Optional[
+            Callable[[Edge, int, Record], int]
+        ] = None
+        self._deliver_hook: Optional[
+            Callable[[str, int, Record], None]
+        ] = None
         self._instances: Dict[str, List[DeployedInstance]] = {}
         self._rebalance_counters: Dict[int, int] = {}
         self._pending_snapshots: Dict[int, Dict[str, Dict[int, Any]]] = {}
@@ -267,9 +279,18 @@ class JobRuntime:
         for edge, edge_idx, targets in self._out[from_vertex]:
             channel = (edge_idx, from_index)
             if isinstance(element, Record):
-                self._route_record(
-                    edge, edge_idx, channel, targets, from_index, element
-                )
+                copies = 1
+                if self._channel_hook is not None:
+                    # Fault-injection point: 0 drops the record on this
+                    # channel, 2+ duplicates it (control elements are
+                    # never faulted, preserving alignment).
+                    copies = self._channel_hook(edge, from_index, element)
+                    if copies <= 0:
+                        continue
+                for _ in range(copies):
+                    self._route_record(
+                        edge, edge_idx, channel, targets, from_index, element
+                    )
             else:
                 # Control elements are broadcast on every edge.
                 if edge.partitioning is Partitioning.FORWARD:
@@ -304,6 +325,40 @@ class JobRuntime:
             self._rebalance_counters[edge_idx] = counter + 1
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown partitioning {edge.partitioning}")
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_fault_hooks(
+        self,
+        channel_hook: Optional[Callable[[Edge, int, Record], int]] = None,
+        deliver_hook: Optional[Callable[[str, int, Record], None]] = None,
+    ) -> None:
+        """Install fault-injection hooks (see :mod:`repro.faults`).
+
+        ``channel_hook(edge, from_index, record) -> copies`` decides how
+        many copies of a data record traverse a channel (0 = drop,
+        2 = duplicate).  ``deliver_hook(vertex, index, record)`` runs
+        before an instance processes a data record and may raise to
+        simulate an operator failure.  Control elements (watermarks,
+        markers, barriers) are never passed to either hook.
+        """
+        self._channel_hook = channel_hook
+        self._deliver_hook = deliver_hook
+
+    def clear_fault_hooks(self) -> None:
+        """Remove any installed fault-injection hooks."""
+        self._channel_hook = None
+        self._deliver_hook = None
+
+    def redeliver(self, edge_idx: int, from_index: int, record: Record) -> None:
+        """Deliver a previously withheld record on one edge (channel
+        delay faults): routed like a fresh record but bypassing the
+        channel hook, so a delayed record is not re-faulted."""
+        edge = self.graph.edges[edge_idx]
+        targets = self._instances[edge.target]
+        self._route_record(
+            edge, edge_idx, (edge_idx, from_index), targets, from_index, record
+        )
 
     # -- introspection -----------------------------------------------------
 

@@ -18,6 +18,16 @@ The driver maintains two FIFO queues:
 The driver runs on a virtual clock (event time) while measuring the real
 wall-clock cost of the data path, so deployment/queueing dynamics are
 deterministic and throughput numbers are real measurements.
+
+For chaos runs the driver is hardened (all in virtual time, seeded, and
+therefore deterministic): query submissions that fail transiently are
+retried with exponential backoff + jitter under a :class:`RetryPolicy`;
+submissions that would wait on a recovering SUT beyond the ACK timeout
+are re-queued; tuples whose push raises an injected operator fault are
+retried after supervised recovery and **dead-lettered** once attempts
+are exhausted (poison tuples) — matching the at-most-once accounting of
+the engine's input-log rollback, so a dead-lettered tuple is absent from
+both the oracle-visible log and the output.
 """
 
 from __future__ import annotations
@@ -27,13 +37,19 @@ import random
 import time
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.engine import AStreamEngine
 from repro.core.qos import QoSMonitor
+from repro.faults.injector import InjectedFaultError
+from repro.faults.supervisor import Supervisor
 from repro.minispe.cluster import ClusterCapacityError
 from repro.workloads.datagen import DataGenerator
 from repro.workloads.scenarios import ScheduledRequest, WorkloadSchedule
+
+_TRANSIENT_ERRORS = (ClusterCapacityError, InjectedFaultError)
+"""Failures worth retrying: capacity frees up as queries stop or nodes
+return; injected operator faults clear after supervised recovery."""
 
 
 @dataclass
@@ -71,6 +87,47 @@ class DriverConfig:
 
 
 @dataclass
+class RetryPolicy:
+    """Driver-side resilience knobs (virtual-time, seeded, deterministic)."""
+
+    max_attempts: int = 3
+    """Tries per request/tuple before it goes to the dead-letter queue."""
+    backoff_base_ms: int = 200
+    """First-retry delay; doubles (``backoff_multiplier``) per attempt."""
+    backoff_multiplier: float = 2.0
+    jitter_ms: int = 50
+    """Uniform random extra delay per retry, drawn from ``seed``."""
+    ack_timeout_ms: int = 5_000
+    """A submission waiting on a busy (recovering) SUT longer than this
+    counts as an ACK timeout and is re-queued with backoff."""
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1.0")
+
+    def backoff_ms(self, attempt: int, rng: random.Random) -> int:
+        """Delay before retry number ``attempt`` (1-based)."""
+        base = self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1)
+        return int(base) + (rng.randrange(self.jitter_ms + 1) if self.jitter_ms else 0)
+
+
+@dataclass
+class DeadLetter:
+    """One request or tuple the driver gave up on."""
+
+    kind: str  # "request" | "tuple" | "watermark"
+    payload: Any
+    reason: str
+    at_ms: int
+    attempts: int
+
+
+@dataclass
 class RunReport:
     """Everything a figure needs from one driver run."""
 
@@ -91,6 +148,18 @@ class RunReport:
     per_query_results: Dict[str, int] = field(default_factory=dict)
     sustained: bool = True
     failure: Optional[str] = None
+    submit_retries: int = 0
+    """Query submissions re-attempted after a transient failure."""
+    tuple_retries: int = 0
+    """Data tuples re-pushed after an injected fault + recovery."""
+    ack_timeouts: int = 0
+    """Submissions re-queued because the SUT was busy recovering."""
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    recovery_events: List = field(default_factory=list)
+    """The supervisor's :class:`~repro.faults.supervisor.RecoveryEvent`
+    log for this run (empty without a supervisor)."""
+    slow_node_penalty_ms: float = 0.0
+    """Extra virtual latency accumulated inside slow-node windows."""
 
     @property
     def service_rate_tps(self) -> float:
@@ -249,16 +318,22 @@ class Driver:
         adapter: SUTAdapter,
         schedule: WorkloadSchedule,
         streams: Tuple[str, ...],
-        config: DriverConfig = None,
+        config: Optional[DriverConfig] = None,
         qos: Optional[QoSMonitor] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
         self.adapter = adapter
         self.schedule = schedule
         self.streams = streams
         self.config = config or DriverConfig()
+        self.retry = retry
+        self.supervisor = supervisor
         self._now_ms = 0
         self._delayed: List = []  # jitter-buffer heap for disorder_ms
         self._jitter = random.Random(self.config.disorder_seed)
+        self._retry_rng = random.Random(retry.seed if retry else 0)
+        self._retry_heap: List = []  # (due_ms, seq, request, attempt)
         self._sequence = itertools.count()  # heap tiebreaker
         self.qos = qos or QoSMonitor(
             now_fn=lambda: self._now_ms,
@@ -287,11 +362,19 @@ class Driver:
             while self._now_ms < duration_ms:
                 now = self._now_ms
                 self.qos.now_ms = now
+                if self.supervisor is not None:
+                    # Fires due faults, redeliveries, recoveries, and
+                    # periodic checkpoints before this step's traffic.
+                    self.supervisor.heartbeat(now)
+                    report.slow_node_penalty_ms += self._slow_penalty_ms(now)
+                while self._retry_heap and self._retry_heap[0][0] <= now:
+                    _, _, request, attempt = heappop(self._retry_heap)
+                    self._submit(request, now, report, attempt)
                 while (
                     request_index < len(requests)
                     and requests[request_index].at_ms <= now
                 ):
-                    self.adapter.submit(requests[request_index], now)
+                    self._submit(requests[request_index], now, report, attempt=1)
                     request_index += 1
                 self.adapter.on_step(now)
 
@@ -318,19 +401,17 @@ class Driver:
                                      stream, timestamp, value),
                                 )
                             else:
-                                self.adapter.push(stream, timestamp, value)
-                                report.tuples_pushed += 1
+                                self._push(stream, timestamp, value, report)
                     while self._delayed and self._delayed[0][0] <= now:
                         _, _, stream, timestamp, value = heappop(self._delayed)
-                        self.adapter.push(stream, timestamp, value)
-                        report.tuples_pushed += 1
+                        self._push(stream, timestamp, value, report)
                 self._now_ms += config.step_ms
                 # Watermarks fire at the post-step instant: results they
                 # release are emitted "now" for latency sampling.
                 self.qos.now_ms = self._now_ms
                 while next_watermark_ms <= self._now_ms:
-                    self.adapter.watermark(
-                        next_watermark_ms - config.lateness_ms
+                    self._watermark(
+                        next_watermark_ms - config.lateness_ms, report
                     )
                     next_watermark_ms += config.watermark_interval_ms
                 step_wall = time.perf_counter() - step_started
@@ -348,10 +429,23 @@ class Driver:
         # Drain the jitter buffer, then close remaining windows.
         while self._delayed:
             _, _, stream, timestamp, value = heappop(self._delayed)
-            self.adapter.push(stream, timestamp, value)
-            report.tuples_pushed += 1
+            self._push(stream, timestamp, value, report)
         self.qos.now_ms = self._now_ms
-        self.adapter.watermark(self._now_ms)
+        self._watermark(self._now_ms, report)
+        # Submissions still waiting for a retry slot never got in.
+        while self._retry_heap:
+            _, _, request, attempt = heappop(self._retry_heap)
+            report.dead_letters.append(
+                DeadLetter(
+                    kind="request",
+                    payload=request,
+                    reason="run ended before retry",
+                    at_ms=self._now_ms,
+                    attempts=attempt - 1,
+                )
+            )
+        if self.supervisor is not None:
+            report.recovery_events = list(self.supervisor.recovery_events)
 
         report.active_queries_final = self.adapter.active_query_count()
         report.mean_event_latency_ms = self.qos.latency.mean()
@@ -362,6 +456,128 @@ class Driver:
         report.per_query_results = self.adapter.result_counts()
         self._queue_model(report)
         return report
+
+    # -- hardened submission / data path ------------------------------------
+
+    def _submit(
+        self,
+        request: ScheduledRequest,
+        now: int,
+        report: RunReport,
+        attempt: int,
+    ) -> None:
+        """Submit one request; with a :class:`RetryPolicy`, transient
+        failures back off and re-queue instead of aborting the run."""
+        policy = self.retry
+        if policy is None:
+            self.adapter.submit(request, now)
+            return
+        if self.supervisor is not None:
+            wait = self.supervisor.busy_until_ms - now
+            if wait > policy.ack_timeout_ms:
+                # The SUT is deep in recovery: the ACK would time out, so
+                # re-queue rather than stall the whole feed.
+                report.ack_timeouts += 1
+                self._schedule_retry(
+                    request, now, report, attempt, f"ack timeout ({wait}ms busy)"
+                )
+                return
+        try:
+            self.adapter.submit(request, now)
+        except _TRANSIENT_ERRORS as error:
+            if self.supervisor is not None and isinstance(
+                error, InjectedFaultError
+            ):
+                self.supervisor.notify_failure(now, error)
+            self._schedule_retry(request, now, report, attempt, str(error))
+
+    def _schedule_retry(
+        self,
+        request: ScheduledRequest,
+        now: int,
+        report: RunReport,
+        attempt: int,
+        reason: str,
+    ) -> None:
+        policy = self.retry
+        if attempt >= policy.max_attempts:
+            report.dead_letters.append(
+                DeadLetter(
+                    kind="request",
+                    payload=request,
+                    reason=reason,
+                    at_ms=now,
+                    attempts=attempt,
+                )
+            )
+            return
+        report.submit_retries += 1
+        due = now + policy.backoff_ms(attempt, self._retry_rng)
+        heappush(
+            self._retry_heap, (due, next(self._sequence), request, attempt + 1)
+        )
+
+    def _push(self, stream: str, timestamp: int, value, report: RunReport) -> None:
+        """Push one tuple; injected faults trigger supervised recovery and
+        an immediate retry, then the dead-letter queue (poison tuples)."""
+        if self.retry is None and self.supervisor is None:
+            self.adapter.push(stream, timestamp, value)
+            report.tuples_pushed += 1
+            return
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                self.adapter.push(stream, timestamp, value)
+                report.tuples_pushed += 1
+                return
+            except InjectedFaultError as error:
+                # The engine un-logged the failed push, so after recovery
+                # the retry is not a duplicate.
+                if self.supervisor is not None:
+                    self.supervisor.notify_failure(self._now_ms, error)
+                if attempt < attempts:
+                    report.tuple_retries += 1
+                else:
+                    report.dead_letters.append(
+                        DeadLetter(
+                            kind="tuple",
+                            payload=(stream, timestamp, value),
+                            reason=str(error),
+                            at_ms=self._now_ms,
+                            attempts=attempt,
+                        )
+                    )
+
+    def _watermark(self, timestamp: int, report: RunReport) -> None:
+        """Advance event time; a window fire hitting an injected fault is
+        recovered and retried like a tuple push."""
+        if self.retry is None and self.supervisor is None:
+            self.adapter.watermark(timestamp)
+            return
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                self.adapter.watermark(timestamp)
+                return
+            except InjectedFaultError as error:
+                if self.supervisor is not None:
+                    self.supervisor.notify_failure(self._now_ms, error)
+                if attempt >= attempts:
+                    report.dead_letters.append(
+                        DeadLetter(
+                            kind="watermark",
+                            payload=timestamp,
+                            reason=str(error),
+                            at_ms=self._now_ms,
+                            attempts=attempt,
+                        )
+                    )
+
+    def _slow_penalty_ms(self, now: int) -> float:
+        injector = self.supervisor.injector if self.supervisor else None
+        if injector is None:
+            return 0.0
+        return (injector.slow_factor(now) - 1.0) * self.config.step_ms
 
     def _queue_model(self, report: RunReport) -> None:
         """D/D/1 backlog of the tuple FIFO: arrivals vs measured capacity.

@@ -1,0 +1,229 @@
+"""FaultInjector: channel faults, operator faults, node faults, timing."""
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectedFaultError,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.minispe.graph import JobGraph, Partitioning
+from repro.minispe.operators import FilterOperator
+from repro.minispe.record import Record
+from repro.minispe.runtime import JobRuntime
+from repro.minispe.sinks import CallbackSink
+
+
+def _pipeline(out):
+    """src -> op -> sink, collecting record values into ``out``."""
+    graph = JobGraph("fault-test")
+    graph.add_source("src")
+    graph.add_operator("op", lambda: FilterOperator(lambda value: True))
+    graph.add_operator(
+        "sink", lambda: CallbackSink(lambda record: out.append(record.value))
+    )
+    graph.connect("src", "op", Partitioning.REBALANCE)
+    graph.connect("op", "sink", Partitioning.REBALANCE)
+    return JobRuntime(graph)
+
+
+def _attach(plan, runtime, cluster=None):
+    injector = FaultInjector(plan, cluster=cluster)
+    injector.attach(runtime)
+    return injector
+
+
+class TestChannelFaults:
+    def test_drop_swallows_the_next_n_records(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DROP,
+                       edge="op->sink", count=2)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        for value in range(4):
+            runtime.push("src", Record(timestamp=value, value=value))
+        assert out == [2, 3]
+        (record,) = injector.unhandled_failures()
+        assert record.strikes == 2
+        assert record.requires_recovery
+
+    def test_duplicate_delivers_twice(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DUPLICATE,
+                       edge="op->sink", count=1)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        runtime.push("src", Record(timestamp=0, value="x"))
+        runtime.push("src", Record(timestamp=1, value="y"))
+        assert out == ["x", "x", "y"]
+        assert injector.unhandled_failures()
+
+    def test_delay_withholds_until_due(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DELAY,
+                       edge="op->sink", count=1, delay_ms=500)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        runtime.push("src", Record(timestamp=0, value="late"))
+        assert out == []
+        assert injector.delayed_count == 1
+        assert injector.drain_due_redeliveries(400) == 0
+        assert injector.drain_due_redeliveries(500) == 1
+        assert out == ["late"]
+        # Delays do not corrupt state: no recovery required.
+        assert injector.unhandled_failures() == []
+
+    def test_unarmed_fault_does_not_strike_before_its_time(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=1_000, kind=FaultKind.CHANNEL_DROP,
+                       edge="op->sink")
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(500)  # before at_ms: not armed yet
+        runtime.push("src", Record(timestamp=0, value=1))
+        assert out == [1]
+        injector.advance(1_000)
+        runtime.push("src", Record(timestamp=0, value=2))
+        assert out == [1]
+
+    def test_detach_discards_withheld_records(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DELAY,
+                       edge="op->sink", count=1, delay_ms=500)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        runtime.push("src", Record(timestamp=0, value="gone"))
+        injector.detach()
+        assert injector.delayed_count == 0
+        assert injector.drain_due_redeliveries(10_000) == 0
+        assert out == []
+
+
+class TestOperatorFaults:
+    def test_raises_after_n_records_then_clears(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.OPERATOR_EXCEPTION,
+                       vertex="op", after_records=1, repeat=1)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        runtime.push("src", Record(timestamp=0, value=1))  # seen=1: passes
+        with pytest.raises(InjectedFaultError):
+            runtime.push("src", Record(timestamp=1, value=2))
+        runtime.push("src", Record(timestamp=2, value=3))  # repeat spent
+        assert out == [1, 3]
+        (record,) = injector.unhandled_failures()
+        assert record.requires_recovery
+
+    def test_repeat_defeats_fewer_retries(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.OPERATOR_EXCEPTION,
+                       vertex="op", after_records=0, repeat=3)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        for _ in range(3):
+            with pytest.raises(InjectedFaultError):
+                runtime.push("src", Record(timestamp=0, value="poison"))
+        runtime.push("src", Record(timestamp=0, value="poison"))
+        assert out == ["poison"]
+
+
+class TestNodeFaults:
+    def test_crash_and_restore_through_the_cluster(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        plan = FaultPlan()
+        plan.add(FaultEvent(at_ms=100, kind=FaultKind.NODE_CRASH, node=2))
+        plan.add(FaultEvent(at_ms=900, kind=FaultKind.NODE_RESTORE, node=2))
+        injector = FaultInjector(plan, cluster=cluster)
+        fired = injector.advance(100)
+        assert cluster.healthy_nodes == 3
+        assert [record.event.kind for record in fired] == [FaultKind.NODE_CRASH]
+        assert injector.unhandled_failures() == fired
+        injector.advance(900)
+        assert cluster.healthy_nodes == 4
+
+    def test_node_events_require_a_cluster(self):
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.NODE_CRASH, node=0)
+        )
+        with pytest.raises(ValueError, match="cluster"):
+            FaultInjector(plan)
+
+    def test_double_crash_needs_no_second_recovery(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        plan = FaultPlan()
+        plan.add(FaultEvent(at_ms=0, kind=FaultKind.NODE_CRASH, node=1))
+        plan.add(FaultEvent(at_ms=10, kind=FaultKind.NODE_CRASH, node=1))
+        injector = FaultInjector(plan, cluster=cluster)
+        injector.advance(20)
+        recoverable = injector.unhandled_failures()
+        assert len(recoverable) == 1  # the no-op repeat does not count
+
+
+class TestSlowNodes:
+    def test_slow_window_raises_the_factor_then_expires(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=100, kind=FaultKind.SLOW_NODE, node=0,
+                       factor=3.0, duration_ms=400)
+        )
+        injector = FaultInjector(plan, cluster=cluster)
+        assert injector.slow_factor(0) == 1.0
+        injector.advance(100)
+        assert injector.slow_factor(100) == 3.0
+        assert injector.slow_factor(499) == 3.0
+        assert injector.slow_factor(500) == 1.0
+
+
+class TestDeterminism:
+    def test_same_plan_same_workload_same_log(self):
+        def run():
+            out = []
+            runtime = _pipeline(out)
+            plan = FaultPlan()
+            plan.add(FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DROP,
+                                edge="op->sink", count=2))
+            plan.add(FaultEvent(at_ms=50, kind=FaultKind.CHANNEL_DUPLICATE,
+                                edge="op->sink", count=1))
+            injector = _attach(plan, runtime)
+            for step in range(10):
+                injector.advance(step * 10)
+                runtime.push("src", Record(timestamp=step, value=step))
+            return out, injector.log_lines()
+
+        assert run() == run()
+
+    def test_exhausted_after_all_events_strike(self):
+        out = []
+        runtime = _pipeline(out)
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DROP,
+                       edge="op->sink", count=1)
+        )
+        injector = _attach(plan, runtime)
+        injector.advance(0)
+        assert not injector.exhausted
+        runtime.push("src", Record(timestamp=0, value=0))
+        assert injector.exhausted

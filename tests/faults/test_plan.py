@@ -1,0 +1,103 @@
+"""FaultPlan / FaultEvent: validation and seeded generation."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEventValidation:
+    def test_node_crash_requires_node(self):
+        with pytest.raises(ValueError, match="node index"):
+            FaultEvent(at_ms=0, kind=FaultKind.NODE_CRASH)
+
+    def test_operator_exception_requires_vertex(self):
+        with pytest.raises(ValueError, match="vertex"):
+            FaultEvent(at_ms=0, kind=FaultKind.OPERATOR_EXCEPTION)
+
+    def test_channel_fault_requires_edge_syntax(self):
+        with pytest.raises(ValueError, match="src->dst"):
+            FaultEvent(at_ms=0, kind=FaultKind.CHANNEL_DROP, edge="nonsense")
+
+    def test_delay_requires_positive_delay(self):
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultEvent(
+                at_ms=0, kind=FaultKind.CHANNEL_DELAY, edge="a->b", delay_ms=0
+            )
+
+    def test_slow_node_requires_factor_and_duration(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(at_ms=0, kind=FaultKind.SLOW_NODE, node=0, factor=1.0,
+                       duration_ms=100)
+        with pytest.raises(ValueError, match="duration_ms"):
+            FaultEvent(at_ms=0, kind=FaultKind.SLOW_NODE, node=0, factor=2.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="at_ms"):
+            FaultEvent(at_ms=-1, kind=FaultKind.NODE_CRASH, node=0)
+
+    def test_valid_events_construct(self):
+        FaultEvent(at_ms=5, kind=FaultKind.NODE_CRASH, node=2)
+        FaultEvent(at_ms=5, kind=FaultKind.CHANNEL_DROP, edge="a->b", count=3)
+        FaultEvent(
+            at_ms=5, kind=FaultKind.OPERATOR_EXCEPTION, vertex="agg:A",
+            after_records=10, repeat=2,
+        )
+
+
+class TestFaultPlan:
+    def test_sorted_orders_by_time(self):
+        plan = FaultPlan()
+        plan.add(FaultEvent(at_ms=500, kind=FaultKind.NODE_CRASH, node=1))
+        plan.add(FaultEvent(at_ms=100, kind=FaultKind.NODE_CRASH, node=0))
+        assert [event.at_ms for event in plan.sorted()] == [100, 500]
+
+    def test_shifted_moves_every_event(self):
+        plan = FaultPlan().add(
+            FaultEvent(at_ms=100, kind=FaultKind.NODE_CRASH, node=0)
+        )
+        shifted = plan.shifted(1_000)
+        assert shifted.events[0].at_ms == 1_100
+        assert plan.events[0].at_ms == 100  # original untouched
+
+    def test_count_by_kind(self):
+        plan = FaultPlan()
+        plan.add(FaultEvent(at_ms=0, kind=FaultKind.NODE_CRASH, node=0))
+        plan.add(FaultEvent(at_ms=1, kind=FaultKind.NODE_CRASH, node=1))
+        plan.add(FaultEvent(at_ms=2, kind=FaultKind.NODE_RESTORE, node=0))
+        assert plan.count(FaultKind.NODE_CRASH) == 2
+        assert plan.count(FaultKind.SLOW_NODE) == 0
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(
+            duration_ms=10_000, nodes=4, edges=("a->b", "b->c"),
+            vertices=("agg:A",), crashes=3, channel_faults=2,
+            operator_faults=1, slow_nodes=1,
+        )
+        assert FaultPlan.random(seed=7, **kwargs).events == FaultPlan.random(
+            seed=7, **kwargs
+        ).events
+
+    def test_different_seed_different_plan(self):
+        kwargs = dict(duration_ms=10_000, nodes=4, crashes=3, channel_faults=0)
+        assert (
+            FaultPlan.random(seed=1, **kwargs).events
+            != FaultPlan.random(seed=2, **kwargs).events
+        )
+
+    def test_every_crash_gets_a_restore(self):
+        plan = FaultPlan.random(seed=3, duration_ms=20_000, nodes=4, crashes=5,
+                                channel_faults=0)
+        assert plan.count(FaultKind.NODE_CRASH) == 5
+        assert plan.count(FaultKind.NODE_RESTORE) == 5
+
+    def test_channel_faults_need_edges(self):
+        with pytest.raises(ValueError, match="edges"):
+            FaultPlan.random(seed=0, duration_ms=1_000, nodes=2, crashes=0,
+                             channel_faults=1)
+
+    def test_operator_faults_need_vertices(self):
+        with pytest.raises(ValueError, match="vertices"):
+            FaultPlan.random(seed=0, duration_ms=1_000, nodes=2, crashes=0,
+                             channel_faults=0, operator_faults=1)

@@ -69,3 +69,47 @@ class TestSustainability:
         metrics = ScenarioMetrics(report)
         assert not metrics.sustained
         assert metrics.failure == "boom"
+
+
+class TestFaultToleranceViews:
+    def test_quiet_run_reports_zeroes(self):
+        metrics = ScenarioMetrics(_report())
+        assert metrics.recovery_count == 0
+        assert metrics.mean_mttr_ms == 0.0
+        assert metrics.total_replayed_elements == 0
+        assert metrics.dead_letter_count == 0
+
+    def test_recovery_aggregates(self):
+        from repro.faults import RecoveryEvent
+        from repro.workloads.driver import DeadLetter
+
+        events = [
+            RecoveryEvent(
+                cause="node crash",
+                detected_at_ms=1_000,
+                recovered_at_ms=3_000,
+                mttr_ms=2_000,
+                checkpoint_id=1,
+                replayed_elements=10,
+            ),
+            RecoveryEvent(
+                cause="channel drop",
+                detected_at_ms=5_000,
+                recovered_at_ms=9_000,
+                mttr_ms=4_000,
+                checkpoint_id=2,
+                replayed_elements=30,
+            ),
+        ]
+        letters = [
+            DeadLetter(
+                kind="tuple", payload=None, reason="poison", at_ms=1, attempts=3
+            )
+        ]
+        metrics = ScenarioMetrics(
+            _report(recovery_events=events, dead_letters=letters)
+        )
+        assert metrics.recovery_count == 2
+        assert metrics.mean_mttr_ms == 3_000.0
+        assert metrics.total_replayed_elements == 40
+        assert metrics.dead_letter_count == 1

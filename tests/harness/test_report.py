@@ -64,3 +64,40 @@ class TestRenderCsv:
         assert rows[0] == ["name", "value", "flag"]
         assert rows[1] == ["a", "1234.5", "True"]
         assert rows[3] == ["c", "", "True"]  # None -> empty cell
+
+
+class TestRenderRecoveryLog:
+    def test_empty_log_is_quiet(self):
+        from repro.harness.report import render_recovery_log
+
+        assert "no failures" in render_recovery_log([])
+
+    def test_lines_and_summary(self):
+        from repro.faults import RecoveryEvent
+        from repro.harness.report import render_recovery_log
+
+        events = [
+            RecoveryEvent(
+                cause="node crash (node 1)",
+                detected_at_ms=2_050,
+                recovered_at_ms=4_550,
+                mttr_ms=2_500,
+                checkpoint_id=3,
+                replayed_elements=17,
+            ),
+            RecoveryEvent(
+                cause="external: boom",
+                detected_at_ms=6_050,
+                recovered_at_ms=8_050,
+                mttr_ms=2_000,
+                checkpoint_id=None,
+                replayed_elements=0,
+            ),
+        ]
+        text = render_recovery_log(events)
+        assert "node crash (node 1)" in text
+        assert "ckpt 3" in text
+        assert "full restart" in text
+        assert "2 recoveries" in text
+        assert "mean MTTR 2.25s" in text
+        assert "17 elements replayed" in text

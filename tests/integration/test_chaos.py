@@ -1,0 +1,217 @@
+"""Chaos suite: scenario runs under seeded fault plans (ISSUE tentpole).
+
+Each chaos run drives a full SC1/SC2 workload through the driver with a
+:class:`FaultInjector` + :class:`Supervisor` attached, then compares
+**per-query output byte-equality** against an oracle run of the same
+seeded workload with no faults: supervised recovery (checkpoint restore
++ fault-free input-log replay) must make node crashes, channel drops,
+channel duplicates, and retried operator exceptions invisible in the
+output.  Determinism is asserted end-to-end: two runs with the same
+fault-plan seed produce identical outputs *and* identical fault/recovery
+event logs.
+"""
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.qos import QoSMonitor
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.driver import (
+    AStreamAdapter,
+    Driver,
+    DriverConfig,
+    RetryPolicy,
+)
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule, sc2_schedule
+
+STREAMS = ("A", "B")
+CONFIG = dict(input_rate_tps=100.0, duration_s=10.0, step_ms=250)
+
+
+def _sc1():
+    return sc1_schedule(
+        QueryGenerator(streams=STREAMS, seed=5), 1, 4, kind="join"
+    )
+
+
+def _sc2():
+    return sc2_schedule(
+        QueryGenerator(streams=STREAMS, seed=5), 2, 3, 3, kind="agg"
+    )
+
+
+def _sc1_fault_plan() -> FaultPlan:
+    """Three node crashes plus one drop and one duplicate, spread out so
+    each triggers its own recovery (the ISSUE acceptance scenario)."""
+    plan = FaultPlan(name="sc1-chaos")
+    for node, crash_ms in ((0, 2_000), (1, 4_500), (2, 7_000)):
+        plan.add(FaultEvent(at_ms=crash_ms, kind=FaultKind.NODE_CRASH, node=node))
+        plan.add(
+            FaultEvent(
+                at_ms=crash_ms + 1_500, kind=FaultKind.NODE_RESTORE, node=node
+            )
+        )
+    plan.add(
+        FaultEvent(at_ms=3_000, kind=FaultKind.CHANNEL_DROP,
+                   edge="select:A->join:A~B", count=2)
+    )
+    plan.add(
+        FaultEvent(at_ms=5_500, kind=FaultKind.CHANNEL_DUPLICATE,
+                   edge="select:B->join:A~B", count=2)
+    )
+    return plan
+
+
+def _sc2_fault_plan() -> FaultPlan:
+    plan = FaultPlan(name="sc2-chaos")
+    plan.add(FaultEvent(at_ms=2_500, kind=FaultKind.NODE_CRASH, node=3))
+    plan.add(FaultEvent(at_ms=4_000, kind=FaultKind.NODE_RESTORE, node=3))
+    # Fires once the selection stage has seen 50 more A-records; the
+    # driver retries the tuple after supervised recovery.
+    plan.add(
+        FaultEvent(at_ms=3_500, kind=FaultKind.OPERATOR_EXCEPTION,
+                   vertex="select:A", after_records=50, repeat=1)
+    )
+    plan.add(
+        FaultEvent(at_ms=6_000, kind=FaultKind.CHANNEL_DUPLICATE,
+                   edge="select:A->agg:A", count=3)
+    )
+    return plan
+
+
+def _run(schedule, plan: FaultPlan = None):
+    """One driver run; with a plan, the full chaos stack is attached.
+
+    Pass the *same* schedule object to the oracle and chaos runs: query
+    ids are allocated process-globally, so regenerating the schedule
+    would label identical queries differently.
+    """
+    qos = QoSMonitor(sample_every=32)
+    cluster = SimulatedCluster(ClusterSpec(nodes=4))
+    engine = AStreamEngine(
+        EngineConfig(streams=STREAMS, parallelism=1,
+                     log_inputs=plan is not None),
+        cluster=cluster,
+        on_deliver=qos.on_deliver,
+    )
+    supervisor = None
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(plan, cluster=cluster)
+        injector.attach(engine.runtime)
+        supervisor = Supervisor(
+            engine,
+            injector=injector,
+            policy=SupervisorPolicy(checkpoint_interval_ms=2_000),
+        )
+    driver = Driver(
+        AStreamAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(**CONFIG),
+        qos=qos,
+        retry=RetryPolicy() if plan is not None else None,
+        supervisor=supervisor,
+    )
+    report = driver.run()
+    outputs = {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.results(query_id)
+        ]
+        for query_id in sorted(engine.channels.query_ids())
+    }
+    return report, outputs, supervisor, injector
+
+
+class TestSC1Chaos:
+    def test_outputs_byte_equal_to_oracle_despite_faults(self):
+        schedule = _sc1()
+        _, oracle, _, _ = _run(schedule)
+        report, chaotic, supervisor, injector = _run(
+            schedule, _sc1_fault_plan()
+        )
+
+        # The plan actually executed: 3 crashes + drop + duplicate.
+        kinds = [record.event.kind for record in injector.records]
+        assert kinds.count(FaultKind.NODE_CRASH) == 3
+        assert FaultKind.CHANNEL_DROP in kinds
+        assert FaultKind.CHANNEL_DUPLICATE in kinds
+
+        # Every fault that corrupted state was recovered, with MTTR > 0.
+        assert supervisor.recovery_count >= 5
+        assert all(event.mttr_ms > 0 for event in supervisor.recovery_events)
+        assert injector.unhandled_failures() == []
+        assert report.recovery_events == supervisor.recovery_events
+
+        # Exactly-once: every query's output is byte-equal to the oracle.
+        assert set(chaotic) == set(oracle)
+        for query_id in oracle:
+            assert chaotic[query_id] == oracle[query_id], query_id
+
+    def test_same_seed_identical_outputs_and_recovery_logs(self):
+        schedule = _sc1()
+        first = _run(schedule, _sc1_fault_plan())
+        second = _run(schedule, _sc1_fault_plan())
+        assert first[1] == second[1]  # outputs
+        assert first[2].log_lines() == second[2].log_lines()  # recoveries
+        assert first[3].log_lines() == second[3].log_lines()  # faults
+
+    def test_checkpoints_bound_replay(self):
+        report, _, supervisor, _ = _run(_sc1(), _sc1_fault_plan())
+        assert supervisor.checkpoints_taken >= 3
+        # With 2s checkpoints over a 10s run, no recovery replays the
+        # whole history (compaction keeps the log to one interval).
+        total_inputs = report.tuples_pushed
+        for event in supervisor.recovery_events:
+            assert event.replayed_elements < total_inputs
+
+
+class TestSC2Chaos:
+    def test_outputs_byte_equal_under_churn_and_operator_faults(self):
+        schedule = _sc2()
+        _, oracle, _, _ = _run(schedule)
+        report, chaotic, supervisor, injector = _run(
+            schedule, _sc2_fault_plan()
+        )
+        assert supervisor.recovery_count >= 3
+        assert all(event.mttr_ms > 0 for event in supervisor.recovery_events)
+        # The operator fault fired and the driver retried the tuple.
+        assert report.tuple_retries >= 1
+        assert report.dead_letters == []  # repeat=1 < max_attempts
+        assert set(chaotic) == set(oracle)
+        for query_id in oracle:
+            assert chaotic[query_id] == oracle[query_id], query_id
+
+    def test_same_seed_identical_runs(self):
+        schedule = _sc2()
+        first = _run(schedule, _sc2_fault_plan())
+        second = _run(schedule, _sc2_fault_plan())
+        assert first[1] == second[1]
+        assert first[2].log_lines() == second[2].log_lines()
+
+
+class TestPoisonTuple:
+    def test_poison_tuple_is_dead_lettered_and_run_survives(self):
+        plan = FaultPlan(name="poison")
+        # repeat >= max_attempts: retries cannot save this tuple.
+        plan.add(
+            FaultEvent(at_ms=2_000, kind=FaultKind.OPERATOR_EXCEPTION,
+                       vertex="select:A", after_records=10, repeat=10)
+        )
+        report, outputs, supervisor, injector = _run(_sc1(), plan)
+        dead = [letter for letter in report.dead_letters
+                if letter.kind == "tuple"]
+        assert dead
+        assert dead[0].attempts == RetryPolicy().max_attempts
+        # The run itself survives and keeps producing output.
+        assert report.tuples_pushed > 0
+        assert any(outputs.values())
+        assert supervisor.recovery_count >= 1

@@ -4,7 +4,11 @@ from typing import List
 
 import pytest
 
-from repro.minispe.checkpoint import CheckpointCoordinator, SourceLog
+from repro.minispe.checkpoint import (
+    CheckpointCoordinator,
+    CheckpointFailed,
+    SourceLog,
+)
 from repro.minispe.graph import JobGraph, Partitioning
 from repro.minispe.record import Record, Watermark
 from repro.minispe.runtime import JobRuntime
@@ -217,3 +221,116 @@ class TestBarrierAlignment:
         acc_state = snapshot["agg"][0]
         total = sum(acc_state.values())
         assert total == 11
+
+class TestSourceLogCompaction:
+    def test_truncate_keeps_global_offsets_stable(self):
+        log = SourceLog(["a"])
+        for index in range(6):
+            log.append("a", Record(timestamp=index, value=index))
+        assert log.truncate(4) == 4
+        assert log.base_offset == 4
+        assert log.retained == 2
+        assert log.position == 6  # global offsets keep advancing
+        assert [record.value for _, record in log.replay(4)] == [4, 5]
+
+    def test_truncate_below_base_is_a_noop(self):
+        log = SourceLog(["a"])
+        for index in range(4):
+            log.append("a", Record(timestamp=index, value=index))
+        log.truncate(3)
+        assert log.truncate(1) == 0
+        assert log.base_offset == 3
+
+    def test_truncate_beyond_position_rejected(self):
+        log = SourceLog(["a"])
+        log.append("a", Record(timestamp=0, value=0))
+        with pytest.raises(ValueError):
+            log.truncate(2)
+
+    def test_replay_of_compacted_offset_rejected(self):
+        log = SourceLog(["a"])
+        for index in range(4):
+            log.append("a", Record(timestamp=index, value=index))
+        log.truncate(2)
+        with pytest.raises(ValueError, match="compacted"):
+            log.replay(1)
+
+    def test_coordinator_compaction_preserves_recovery(self):
+        sinks: List[CollectSink] = []
+        build = _make_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        coordinator.push("src", Record(timestamp=100, value=1, key=0))
+        coordinator.trigger_checkpoint()
+        coordinator.push("src", Record(timestamp=200, value=2, key=0))
+        coordinator.trigger_checkpoint()
+        coordinator.push("src", Record(timestamp=300, value=4, key=0))
+        dropped = coordinator.compact()
+        assert dropped == 2
+        assert coordinator.completed == [coordinator.last_completed]
+        sinks.clear()
+        coordinator.recover()
+        coordinator.push("src", Watermark(timestamp=2_000))
+        results = [record.value for sink in sinks for record in sink.collected]
+        assert results[0].value == 1 + 2 + 4  # nothing lost to compaction
+
+    def test_auto_compact_bounds_retained_entries(self):
+        sinks: List[CollectSink] = []
+        build = _make_job(sinks)
+        coordinator = CheckpointCoordinator(
+            build(), runtime_factory=build, auto_compact=True
+        )
+        for step in range(10):
+            coordinator.push("src", Record(timestamp=step, value=1, key=0))
+            coordinator.trigger_checkpoint()
+        assert coordinator.log.retained == 0
+        assert len(coordinator.completed) == 1
+
+
+class TestFailedCheckpoints:
+    def _failing(self, coordinator):
+        """Make the *current* runtime refuse to acknowledge snapshots."""
+        coordinator.runtime.completed_checkpoint = lambda checkpoint_id: None
+
+    def test_failed_checkpoint_raises_and_is_dropped(self):
+        sinks: List[CollectSink] = []
+        build = _make_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        coordinator.push("src", Record(timestamp=100, value=1, key=0))
+        first = coordinator.trigger_checkpoint()
+        self._failing(coordinator)
+        with pytest.raises(CheckpointFailed) as excinfo:
+            coordinator.trigger_checkpoint()
+        assert excinfo.value.checkpoint_id == first + 1
+        # The completed list is untouched by the failure.
+        assert [c.checkpoint_id for c in coordinator.completed] == [first]
+
+    def test_recovery_after_failed_checkpoint_uses_previous(self):
+        sinks: List[CollectSink] = []
+        build = _make_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        coordinator.push("src", Record(timestamp=100, value=1, key=0))
+        coordinator.trigger_checkpoint()
+        coordinator.push("src", Record(timestamp=200, value=2, key=0))
+        self._failing(coordinator)
+        with pytest.raises(CheckpointFailed):
+            coordinator.trigger_checkpoint()
+        sinks.clear()
+        coordinator.recover()  # falls back to checkpoint 1 + replay
+        coordinator.push("src", Watermark(timestamp=2_000))
+        results = [record.value for sink in sinks for record in sink.collected]
+        assert len(results) == 1
+        assert results[0].value == 1 + 2
+
+    def test_checkpoint_ids_advance_past_a_failure(self):
+        sinks: List[CollectSink] = []
+        build = _make_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        coordinator.push("src", Record(timestamp=100, value=1, key=0))
+        first = coordinator.trigger_checkpoint()
+        self._failing(coordinator)
+        with pytest.raises(CheckpointFailed):
+            coordinator.trigger_checkpoint()
+        coordinator.recover()  # fresh runtime: snapshots work again
+        third = coordinator.trigger_checkpoint()
+        assert third == first + 2  # the failed id is not reused
+        assert coordinator.last_completed.checkpoint_id == third

@@ -83,3 +83,49 @@ class TestDeploymentCostModel:
         assert model.changelog_ms(1) == 5
         assert model.changelog_ms(10) == 50
         assert model.changelog_ms(0) == 5  # floor: applying is never free
+
+
+class TestNodeFaults:
+    def test_fail_and_restore_adjust_capacity(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        assert cluster.fail_node(2)
+        assert cluster.healthy_nodes == 3
+        assert cluster.failed_nodes == frozenset({2})
+        assert cluster.total_slots == 3 * cluster.spec.cores_per_node
+        assert cluster.restore_node(2)
+        assert cluster.healthy_nodes == 4
+        assert cluster.failed_nodes == frozenset()
+
+    def test_repeat_fail_and_restore_are_noops(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=2))
+        assert cluster.fail_node(0)
+        assert not cluster.fail_node(0)  # already down
+        assert cluster.restore_node(0)
+        assert not cluster.restore_node(0)  # already up
+
+    def test_node_index_validated(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=2))
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.fail_node(2)
+        with pytest.raises(ValueError, match="out of range"):
+            cluster.restore_node(-1)
+
+    def test_allocations_survive_failures_free_slots_go_negative(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=2, cores_per_node=4))
+        cluster.allocate("job", 6)
+        assert cluster.free_slots == 2
+        cluster.fail_node(1)
+        # Deployed instances keep their slots while degraded.
+        assert cluster.used_slots == 6
+        assert cluster.free_slots == -2
+        cluster.restore_node(1)
+        assert cluster.free_slots == 2
+
+    def test_recovery_cost_grows_as_survivors_shrink(self):
+        cluster = SimulatedCluster(ClusterSpec(nodes=4))
+        full = cluster.recovery_cost_ms(8)
+        cluster.fail_node(0)
+        cluster.fail_node(1)
+        degraded = cluster.recovery_cost_ms(8)
+        assert degraded >= full  # fewer nodes to parallelise placement
+        assert full > 0

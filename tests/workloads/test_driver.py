@@ -1,5 +1,7 @@
 """Tests for the Figure 5 driver."""
 
+import random
+
 import pytest
 
 from repro.core.engine import AStreamEngine, EngineConfig
@@ -11,6 +13,7 @@ from repro.workloads.driver import (
     BaselineAdapter,
     Driver,
     DriverConfig,
+    RetryPolicy,
     RunReport,
 )
 from repro.workloads.querygen import QueryGenerator
@@ -164,3 +167,93 @@ class TestReportDerivedMetrics:
         assert report.service_rate_tps == 0.0
         assert report.mean_deployment_latency_ms() == 0.0
         assert report.total_latency_ms() == 0.0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_ms=100, backoff_multiplier=2.0, jitter_ms=0
+        )
+        rng = random.Random(0)
+        assert [policy.backoff_ms(a, rng) for a in (1, 2, 3)] == [100, 200, 400]
+
+    def test_jitter_is_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(backoff_base_ms=200, jitter_ms=50)
+        first = [policy.backoff_ms(1, random.Random(7)) for _ in range(5)]
+        second = [policy.backoff_ms(1, random.Random(7)) for _ in range(5)]
+        assert first == second
+        assert all(200 <= value <= 250 for value in first)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_multiplier"):
+            RetryPolicy(backoff_multiplier=0.5)
+
+
+class TestDriverResilience:
+    """Submission retry/backoff and the dead-letter queue."""
+
+    def _overloaded_baseline_driver(self, retry):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 10, 50, kind="join"
+        )
+        engine = QueryAtATimeEngine(
+            cluster=SimulatedCluster(ClusterSpec(nodes=1, cores_per_node=8)),
+            parallelism=1,
+        )
+        return Driver(
+            BaselineAdapter(engine),
+            schedule,
+            ("A", "B"),
+            DriverConfig(input_rate_tps=50, duration_s=8.0),
+            retry=retry,
+        )
+
+    def test_capacity_errors_retry_then_dead_letter(self):
+        report = self._overloaded_baseline_driver(RetryPolicy()).run()
+        # With a retry policy the run survives the capacity exhaustion...
+        assert report.failure is None
+        assert report.tuples_pushed > 0
+        # ...after backing off and re-trying each rejected submission.
+        assert report.submit_retries > 0
+        dead_requests = [
+            letter for letter in report.dead_letters if letter.kind == "request"
+        ]
+        assert dead_requests
+        exhausted = [
+            letter for letter in dead_requests
+            if letter.attempts == RetryPolicy().max_attempts
+        ]
+        assert exhausted
+        assert "slots" in exhausted[0].reason
+
+    def test_without_retry_capacity_error_aborts_the_feed(self):
+        report = self._overloaded_baseline_driver(None).run()
+        assert not report.sustained
+        assert "capacity" in report.failure
+
+    def test_retry_accounting_is_deterministic(self):
+        def counters():
+            report = self._overloaded_baseline_driver(RetryPolicy()).run()
+            return (
+                report.submit_retries,
+                report.ack_timeouts,
+                [
+                    (letter.kind, letter.at_ms, letter.attempts)
+                    for letter in report.dead_letters
+                ],
+            )
+
+        assert counters() == counters()
+
+    def test_plain_runs_unchanged_by_resilience_fields(self):
+        schedule = sc1_schedule(
+            QueryGenerator(streams=("A", "B"), seed=3), 1, 3, kind="join"
+        )
+        report = _astream_driver(schedule).run()
+        assert report.submit_retries == 0
+        assert report.tuple_retries == 0
+        assert report.ack_timeouts == 0
+        assert report.dead_letters == []
+        assert report.recovery_events == []
