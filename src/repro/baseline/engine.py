@@ -38,7 +38,7 @@ from repro.core.shared_join import JoinedTuple
 from repro.minispe.cluster import SimulatedCluster
 from repro.minispe.graph import JobGraph, Partitioning
 from repro.minispe.operators import FilterOperator
-from repro.minispe.record import Record, Watermark
+from repro.minispe.record import Record, RecordBatch, Watermark
 from repro.minispe.runtime import JobRuntime
 from repro.minispe.sinks import CallbackSink
 from repro.minispe.window_operators import (
@@ -331,6 +331,37 @@ class QueryAtATimeEngine:
             if stream in job.streams and timestamp >= job.created_at_ms:
                 source = self._source_name(job, stream)
                 job.runtime.push(source, record)
+
+    def push_many(self, stream: str, tuples: List) -> int:
+        """Fork a micro-batch of ``(timestamp, value)`` tuples to jobs.
+
+        Records are materialised once; each matching job receives the
+        sub-batch of tuples at or after its creation time (the same
+        attach-from-latest-offset rule as :meth:`push`).  Returns the
+        number of tuples injected.
+        """
+        records = [
+            Record(
+                timestamp=timestamp,
+                value=value,
+                key=getattr(value, "key", None),
+            )
+            for timestamp, value in tuples
+        ]
+        if not records:
+            return 0
+        for job in self._jobs.values():
+            if stream not in job.streams:
+                continue
+            created = job.created_at_ms
+            eligible = [r for r in records if r.timestamp >= created]
+            if not eligible:
+                continue
+            job.runtime.push(
+                self._source_name(job, stream),
+                eligible[0] if len(eligible) == 1 else RecordBatch(eligible),
+            )
+        return len(records)
 
     def watermark(self, timestamp: int) -> None:
         """Advance event time on every stream of every job."""

@@ -44,6 +44,7 @@ from repro.minispe.record import (
     ChangelogMarker,
     CheckpointBarrier,
     Record,
+    RecordBatch,
     Watermark,
 )
 from repro.minispe.runtime import JobRuntime
@@ -415,6 +416,39 @@ class AStreamEngine:
             self._input_log.pop()
             raise
 
+    def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
+        """Inject a micro-batch of ``(timestamp, value)`` tuples.
+
+        The batch traverses the dataflow as one :class:`RecordBatch`, so
+        partitioning, routing, and operator dispatch are paid once per
+        batch instead of once per tuple.  With ``log_inputs`` the whole
+        batch is one atomic input-log entry: if a fault kills the push
+        mid-batch the entry is un-logged, recovery wipes the partial
+        effects, and the caller's whole-batch retry is not a duplicate.
+        Returns the number of tuples injected.
+        """
+        records = [
+            Record(
+                timestamp=timestamp,
+                value=value,
+                key=getattr(value, "key", None),
+            )
+            for timestamp, value in tuples
+        ]
+        if not records:
+            return 0
+        element = records[0] if len(records) == 1 else RecordBatch(records)
+        if not self.config.log_inputs:
+            self.runtime.push(f"source:{stream}", element)
+            return len(records)
+        self._input_log.append(("batch", (stream, records)))
+        try:
+            self.runtime.push(f"source:{stream}", element)
+        except BaseException:
+            self._input_log.pop()
+            raise
+        return len(records)
+
     def watermark(self, timestamp: int, stream: Optional[str] = None) -> None:
         """Advance event time (fires due windows).
 
@@ -555,6 +589,12 @@ class AStreamEngine:
             if kind == "record":
                 stream, record = payload
                 self.runtime.push(f"source:{stream}", record)
+            elif kind == "batch":
+                stream, records = payload
+                self.runtime.push(
+                    f"source:{stream}",
+                    records[0] if len(records) == 1 else RecordBatch(records),
+                )
             elif kind == "watermark":
                 targets, element = payload
                 for stream in targets:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.changelog import Changelog
 from repro.core.selection import QS_TAG
@@ -49,7 +49,8 @@ class QueryChannels:
 
     def open_channel(self, query_id: str) -> None:
         """Create the channel for a newly deployed query."""
-        self._results.setdefault(query_id, [])
+        if self.retain_results:
+            self._results.setdefault(query_id, [])
         self._counts.setdefault(query_id, 0)
 
     def close_channel(self, query_id: str) -> None:
@@ -85,22 +86,33 @@ class QueryChannels:
         return list(self._counts.keys())
 
     def snapshot(self) -> dict:
-        """Channel state for an engine checkpoint."""
+        """Channel state for an engine checkpoint.
+
+        In count-only mode (``retain_results=False``) no result lists
+        exist, so the snapshot carries counts alone.
+        """
         return {
             "counts": dict(self._counts),
-            "results": {
-                query_id: list(outputs)
-                for query_id, outputs in self._results.items()
-            },
+            "results": (
+                {
+                    query_id: list(outputs)
+                    for query_id, outputs in self._results.items()
+                }
+                if self.retain_results
+                else {}
+            ),
         }
 
     def restore(self, snapshot: dict) -> None:
         """Reset channels to a checkpointed state (recovery)."""
         self._counts = dict(snapshot["counts"])
-        self._results = {
-            query_id: list(outputs)
-            for query_id, outputs in snapshot["results"].items()
-        }
+        if self.retain_results:
+            self._results = {
+                query_id: list(outputs)
+                for query_id, outputs in snapshot["results"].items()
+            }
+        else:
+            self._results = {}
 
 
 class RouterOperator(Operator):
@@ -124,6 +136,12 @@ class RouterOperator(Operator):
         self.profile = profile
         self._slot_to_query: Dict[int, str] = {}
         self._output_slots = 0
+        # Routing table: masked query-set bits -> destination channel ids.
+        # Valid for one changelog sequence; rebuilding it lazily per
+        # distinct bitset replaces the per-record bit-walk — with many
+        # queries the same bitsets recur for thousands of records between
+        # changelogs, so the walk is paid once per (epoch, bitset).
+        self._route_table: Dict[int, Tuple[str, ...]] = {}
         self.copies = 0
         self.profile_ns = 0
 
@@ -131,6 +149,7 @@ class RouterOperator(Operator):
 
     def on_marker(self, marker: ChangelogMarker) -> None:
         changelog: Changelog = marker.changelog
+        self._route_table.clear()  # slot meanings change with the changelog
         for deactivation in changelog.deleted:
             if deactivation.slot in self._slot_to_query:
                 del self._slot_to_query[deactivation.slot]
@@ -157,20 +176,58 @@ class RouterOperator(Operator):
             return
         started = time.perf_counter_ns() if self.profile else 0
         deliver = self.channels.deliver
-        slot_to_query = self._slot_to_query
         timestamp = record.timestamp
         value = record.value
-        slot = 0
-        while bits:
-            if bits & 1:
-                # Ship a copy to the query's own channel: physically
-                # different channels require one copy per query (§3.2.2).
-                deliver(slot_to_query[slot], timestamp, value)
-                self.copies += 1
-            bits >>= 1
-            slot += 1
+        queries = self._route_table.get(bits)
+        if queries is None:
+            queries = self._build_route(bits)
+        for query_id in queries:
+            # Ship a copy to the query's own channel: physically
+            # different channels require one copy per query (§3.2.2).
+            deliver(query_id, timestamp, value)
+        self.copies += len(queries)
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
+
+    def process_batch(self, records: List[Record]) -> None:
+        started = time.perf_counter_ns() if self.profile else 0
+        output_slots = self._output_slots
+        route_table = self._route_table
+        deliver = self.channels.deliver
+        build = self._build_route
+        copies = 0
+        for record in records:
+            bits = record.tags.get(QS_TAG, 0) & output_slots
+            if not bits:
+                continue
+            queries = route_table.get(bits)
+            if queries is None:
+                queries = build(bits)
+            timestamp = record.timestamp
+            value = record.value
+            for query_id in queries:
+                deliver(query_id, timestamp, value)
+            copies += len(queries)
+        self.copies += copies
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+
+    def _build_route(self, bits: int) -> Tuple[str, ...]:
+        """Resolve a masked bitset to channel ids and memoise it for the
+        current changelog sequence (slot ascending, matching the
+        per-record bit-walk order)."""
+        slot_to_query = self._slot_to_query
+        queries = []
+        remaining = bits
+        slot = 0
+        while remaining:
+            if remaining & 1:
+                queries.append(slot_to_query[slot])
+            remaining >>= 1
+            slot += 1
+        resolved = tuple(queries)
+        self._route_table[bits] = resolved
+        return resolved
 
     def on_watermark(self, watermark: Watermark) -> None:
         # Routers are terminal vertices; nothing to forward.
@@ -192,3 +249,4 @@ class RouterOperator(Operator):
     def restore(self, snapshot: Any) -> None:
         self._slot_to_query = dict(snapshot["slot_to_query"])
         self._output_slots = snapshot["output_slots"]
+        self._route_table.clear()

@@ -170,10 +170,59 @@ class SharedSelectionOperator(Operator):
             )
         )
 
+    def process_batch(self, records: List[Record]) -> None:
+        """Vectorized tagging: one epoch lookup per run of timestamps in
+        the same view, counters accumulated locally, and all surviving
+        records emitted as a single downstream batch."""
+        started = time.perf_counter_ns() if self.profile else 0
+        view_for = self._view_for
+        stats = self.sharing_stats
+        evaluations = 0
+        dropped = 0
+        out: List[Record] = []
+        view = None
+        view_low = view_high = 0  # timestamp range the cached view covers
+        for record in records:
+            timestamp = record.timestamp
+            if view is None or not (view_low <= timestamp < view_high):
+                view = view_for(timestamp)
+                view_low, view_high = self._view_span(view)
+            bits = 0
+            value = record.value
+            for predicate, slots_mask in view.predicates:
+                evaluations += 1
+                if predicate.evaluate(value):
+                    bits |= slots_mask
+            if bits == 0:
+                dropped += 1
+                continue
+            if stats is not None:
+                stats.observe(bits)
+            new_tags = dict(record.tags)
+            new_tags[QS_TAG] = bits
+            new_tags[EPOCH_TAG] = view.sequence
+            out.append(Record(timestamp, value, record.key, new_tags))
+        self.predicate_evaluations += evaluations
+        self.records_dropped += dropped
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+        self.output_batch(out)
+
     def _view_for(self, timestamp_ms: int) -> _EpochView:
         """The epoch view covering ``timestamp_ms`` (event-time lookup)."""
         index = bisect_right(self._view_starts, timestamp_ms) - 1
         return self._views[index]
+
+    def _view_span(self, view: _EpochView) -> Tuple[int, int]:
+        """Half-open timestamp interval ``view`` is in force for."""
+        starts = self._view_starts
+        index = bisect_right(starts, view.start_ms) - 1
+        high = (
+            starts[index + 1]
+            if index + 1 < len(starts)
+            else float("inf")
+        )
+        return view.start_ms, high
 
     # -- maintenance -------------------------------------------------------------
 

@@ -46,6 +46,8 @@ class AggregationResult:
 class _SessionState:
     """Per-(slot, key) session windows with accumulators."""
 
+    __slots__ = ("sessions",)
+
     sessions: List[Tuple[int, int, Any]]
     """(start, end, accumulator), kept merged and sorted."""
 
@@ -131,6 +133,33 @@ class SharedAggregationOperator(Operator):
         session_bits = relevant & self._session_bits()
         if session_bits:
             self._fold_sessions(record, session_bits)
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+
+    def process_batch(self, records: List[Record]) -> None:
+        """Vectorized fold: the subscription and session bitsets are
+        resolved once per batch instead of once per record."""
+        subscribed = self._subscribed
+        if not subscribed:
+            self.bitset_ops += len(records)
+            return
+        started = time.perf_counter_ns() if self.profile else 0
+        session_bits = self._session_bits()
+        time_mask = subscribed & ~session_bits
+        session_mask = subscribed & session_bits
+        fold_time = self._fold_time_windows
+        fold_sessions = self._fold_sessions
+        bitset_ops = 0
+        for record in records:
+            query_set = record.tags.get(QS_TAG, 0)
+            bitset_ops += 1
+            time_window_bits = query_set & time_mask
+            if time_window_bits:
+                fold_time(record, time_window_bits)
+            relevant_sessions = query_set & session_mask
+            if relevant_sessions:
+                fold_sessions(record, relevant_sessions)
+        self.bitset_ops += bitset_ops
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
 

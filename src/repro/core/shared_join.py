@@ -129,6 +129,43 @@ class SharedJoinOperator(TwoInputOperator):
     def process_right(self, record: Record) -> None:
         self._store(record, self._right)
 
+    def process_left_batch(self, records: List[Record]) -> None:
+        self._store_batch(records, self._left)
+
+    def process_right_batch(self, records: List[Record]) -> None:
+        self._store_batch(records, self._right)
+
+    def _store_batch(self, records: List[Record], side: SliceIndex) -> None:
+        """Vectorized ingest: the slice (and its store) is resolved once
+        per run of timestamps with the same slice bounds — batches are
+        near-sorted, so this collapses most per-record index lookups."""
+        late_horizon = self._last_watermark_ms - self._slicer.max_retention_ms
+        slice_bounds = self._slicer.slice_bounds
+        get_or_create = side.get_or_create
+        stored = 0
+        late = 0
+        last_bounds: Optional[Tuple[int, int, int]] = None
+        store = None
+        for record in records:
+            query_set = record.tags.get(QS_TAG, 0)
+            if not query_set:
+                continue
+            timestamp = record.timestamp
+            if timestamp <= late_horizon:
+                late += 1
+                continue
+            bounds = slice_bounds(timestamp)
+            if bounds != last_bounds:
+                slice_ = get_or_create(*bounds)
+                if slice_.store is None:
+                    slice_.store = make_store(self._store_kind)
+                store = slice_.store
+                last_bounds = bounds
+            store.add(record.key, (record.value, timestamp), query_set)
+            stored += 1
+        self.tuples_stored += stored
+        self.late_records_dropped += late
+
     def _store(self, record: Record, side: SliceIndex) -> None:
         query_set = record.tags.get(QS_TAG, 0)
         if not query_set:

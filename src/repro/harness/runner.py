@@ -56,6 +56,8 @@ class RunnerConfig:
     profile: bool = False
     retain_results: bool = False
     """Figures only need counts; retaining payloads wastes memory."""
+    batch_size: int = 1
+    """Data-path micro-batch size (see ``DriverConfig.batch_size``)."""
     engine_overrides: dict = field(default_factory=dict)
 
     def cluster(self) -> SimulatedCluster:
@@ -78,6 +80,7 @@ class RunnerConfig:
             step_ms=self.step_ms,
             watermark_interval_ms=self.watermark_interval_ms,
             latency_sample_every=self.latency_sample_every,
+            batch_size=self.batch_size,
         )
 
 

@@ -29,6 +29,7 @@ from repro.minispe.record import (
     ChangelogMarker,
     CheckpointBarrier,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "OperatorState",
     "Partitioning",
     "Record",
+    "RecordBatch",
     "SessionWindows",
     "SimulatedCluster",
     "SlidingWindows",

@@ -24,6 +24,7 @@ from typing import Any, Callable, List, Optional
 from repro.minispe.record import (
     ChangelogMarker,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -74,6 +75,19 @@ class Operator:
         """Handle one data record (override)."""
         raise NotImplementedError
 
+    def process_batch(self, records: List[Record]) -> None:
+        """Handle a micro-batch of records arriving on one channel.
+
+        The default loops over :meth:`process`, so every operator is
+        batch-correct for free; hot operators override this with a
+        vectorized implementation that amortises per-record dispatch and
+        emits whole output batches via :meth:`output_batch`.  Semantics
+        must be identical to processing the records one by one.
+        """
+        process = self.process
+        for record in records:
+            process(record)
+
     def on_watermark(self, watermark: Watermark) -> None:
         """Handle an aligned watermark.  Default: forward it."""
         self.output(watermark)
@@ -105,6 +119,24 @@ class Operator:
             )
         self._collector(element)
 
+    def output_batch(self, records: List[Record]) -> None:
+        """Emit a whole micro-batch downstream in one routing pass.
+
+        Empty batches are dropped here so downstream operators never see
+        them; single-record batches are unwrapped — the per-record path
+        is cheaper than batch dispatch for one element.
+        """
+        if not records:
+            return
+        if self._collector is None:
+            raise RuntimeError(
+                f"operator {self.name!r} emitted before being wired to a job"
+            )
+        if len(records) == 1:
+            self._collector(records[0])
+        else:
+            self._collector(RecordBatch(records))
+
 
 class TwoInputOperator(Operator):
     """Base class for binary operators (e.g. stream joins).
@@ -119,6 +151,12 @@ class TwoInputOperator(Operator):
             "two-input operators receive records via process_left/process_right"
         )
 
+    def process_batch(self, records: List[Record]) -> None:
+        raise RuntimeError(
+            "two-input operators receive batches via "
+            "process_left_batch/process_right_batch"
+        )
+
     def process_left(self, record: Record) -> None:
         """Handle one record from the first input (override)."""
         raise NotImplementedError
@@ -126,6 +164,18 @@ class TwoInputOperator(Operator):
     def process_right(self, record: Record) -> None:
         """Handle one record from the second input (override)."""
         raise NotImplementedError
+
+    def process_left_batch(self, records: List[Record]) -> None:
+        """Handle a micro-batch from the first input (default: loop)."""
+        process = self.process_left
+        for record in records:
+            process(record)
+
+    def process_right_batch(self, records: List[Record]) -> None:
+        """Handle a micro-batch from the second input (default: loop)."""
+        process = self.process_right
+        for record in records:
+            process(record)
 
 
 class MapOperator(Operator):
@@ -145,6 +195,15 @@ class MapOperator(Operator):
             )
         )
 
+    def process_batch(self, records: List[Record]) -> None:
+        fn = self._fn
+        self.output_batch(
+            [
+                Record(r.timestamp, fn(r.value), r.key, dict(r.tags))
+                for r in records
+            ]
+        )
+
 
 class FilterOperator(Operator):
     """Keep only records whose value satisfies ``predicate``."""
@@ -156,6 +215,10 @@ class FilterOperator(Operator):
     def process(self, record: Record) -> None:
         if self._predicate(record.value):
             self.output(record)
+
+    def process_batch(self, records: List[Record]) -> None:
+        predicate = self._predicate
+        self.output_batch([r for r in records if predicate(r.value)])
 
 
 class KeyByOperator(Operator):
@@ -173,6 +236,15 @@ class KeyByOperator(Operator):
                 key=self._key_fn(record.value),
                 tags=dict(record.tags),
             )
+        )
+
+    def process_batch(self, records: List[Record]) -> None:
+        key_fn = self._key_fn
+        self.output_batch(
+            [
+                Record(r.timestamp, r.value, key_fn(r.value), dict(r.tags))
+                for r in records
+            ]
         )
 
 
@@ -193,3 +265,12 @@ class FlatMapOperator(Operator):
                     tags=dict(record.tags),
                 )
             )
+
+    def process_batch(self, records: List[Record]) -> None:
+        fn = self._fn
+        out: List[Record] = []
+        for r in records:
+            timestamp, key, tags = r.timestamp, r.key, r.tags
+            for value in fn(r.value):
+                out.append(Record(timestamp, value, key, dict(tags)))
+        self.output_batch(out)

@@ -5,6 +5,11 @@ Four concrete kinds exist:
 
 * :class:`Record` — a data tuple with an event-time timestamp and an
   optional partitioning key.
+* :class:`RecordBatch` — a micro-batch of records travelling one channel
+  together.  Batches amortise the per-element Python dispatch cost
+  (isinstance chains, hook checks, router fan-out) that dominates the
+  per-record path; they carry **no** extra semantics — a batch is exactly
+  its records in order, and control elements never ride inside one.
 * :class:`Watermark` — an assertion that no record with a smaller event
   time will arrive on this channel (the Flink/Dataflow watermark model).
 * :class:`ChangelogMarker` — AStream's query-changelog woven into the
@@ -87,6 +92,47 @@ class Record(StreamElement):
         )
 
 
+class RecordBatch(StreamElement):
+    """A micro-batch of :class:`Record`\\ s flowing as one stream element.
+
+    The runtime partitions a whole batch into per-target sub-batches in
+    one pass and operators may override ``process_batch`` to amortise
+    per-record overheads.  Semantically a batch is transparent: delivering
+    ``RecordBatch([r1, r2])`` on a channel is equivalent to delivering
+    ``r1`` then ``r2``.  Watermarks, changelog markers, and checkpoint
+    barriers act as batch *flush points* — a batch never spans one, so
+    event-time semantics, marker alignment, and barrier alignment are
+    identical to the per-record path.
+
+    Treat ``records`` as immutable once the batch has been emitted; the
+    runtime may deliver the same list object to several broadcast targets.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: list) -> None:
+        self.records = records
+
+    @property
+    def timestamp(self) -> int:
+        """Event time of the first record (batches are arrival-ordered)."""
+        return self.records[0].timestamp if self.records else -1
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordBatch):
+            return NotImplemented
+        return self.records == other.records
+
+    def __repr__(self) -> str:
+        return f"RecordBatch({len(self.records)} records)"
+
+
 @dataclass(frozen=True)
 class Watermark(StreamElement):
     """Event-time watermark: no record with ``timestamp`` < this will follow."""
@@ -117,10 +163,10 @@ class CheckpointBarrier(StreamElement):
 
 
 def is_data(element: StreamElement) -> bool:
-    """Return True if ``element`` carries user data (is a :class:`Record`)."""
-    return isinstance(element, Record)
+    """Return True if ``element`` carries user data (record or batch)."""
+    return isinstance(element, (Record, RecordBatch))
 
 
 def is_control(element: StreamElement) -> bool:
     """Return True for control elements (watermarks, markers, barriers)."""
-    return not isinstance(element, Record)
+    return not isinstance(element, (Record, RecordBatch))

@@ -21,6 +21,15 @@ faithfully:
   once all input channels have seen them, so every shared operator
   observes a query changelog at one consistent stream position (§2.1.2)
   and checkpoints are consistent cuts (§3.3).
+
+The data path is **micro-batched**: callers may push
+:class:`~repro.minispe.record.RecordBatch` elements (or use
+:meth:`JobRuntime.push_many`), and the runtime partitions a whole batch
+into per-target sub-batches in one pass, delivering each with a single
+operator dispatch.  Control elements are batch flush points, so batched
+and per-record runs have identical event-time/marker/barrier semantics;
+only the cross-channel interleave of data records may differ (the same
+non-guarantee real SPE network channels have).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.minispe.record import (
     ChangelogMarker,
     CheckpointBarrier,
     Record,
+    RecordBatch,
     StreamElement,
     Watermark,
 )
@@ -52,6 +62,14 @@ ChannelId = Tuple[int, int]
 
 class _InstanceInputs:
     """Alignment bookkeeping for one operator instance's input channels."""
+
+    __slots__ = (
+        "input_index",
+        "watermarks",
+        "_aligned_watermark",
+        "_marker_counts",
+        "_barrier_counts",
+    )
 
     def __init__(self, channels: List[Tuple[ChannelId, int]]) -> None:
         # channel id -> input index (0/1) it feeds.
@@ -108,6 +126,16 @@ def _marker_key(marker: ChangelogMarker) -> Any:
 class DeployedInstance:
     """One live parallel instance of an operator vertex."""
 
+    __slots__ = (
+        "vertex",
+        "index",
+        "operator",
+        "inputs",
+        "records_processed",
+        "is_two_input",
+        "_runtime",
+    )
+
     def __init__(
         self,
         vertex: Vertex,
@@ -121,6 +149,10 @@ class DeployedInstance:
         self.operator = operator
         self.inputs = inputs
         self.records_processed = 0
+        # Hoisted out of the delivery hot path: one isinstance at deploy
+        # time instead of one per delivered element.
+        self.is_two_input = isinstance(operator, TwoInputOperator)
+        self._runtime: Optional["JobRuntime"] = None
         operator.set_collector(
             lambda element: route(vertex.name, index, element)
         )
@@ -136,13 +168,15 @@ class DeployedInstance:
                 # alignment invariants survive injected faults).
                 runtime._deliver_hook(self.vertex.name, self.index, element)
             self.records_processed += 1
-            if isinstance(self.operator, TwoInputOperator):
+            if self.is_two_input:
                 if self.inputs.input_index[channel] == 0:
                     self.operator.process_left(element)
                 else:
                     self.operator.process_right(element)
             else:
                 self.operator.process(element)
+        elif isinstance(element, RecordBatch):
+            self.deliver_batch(channel, element.records)
         elif isinstance(element, Watermark):
             aligned = self.inputs.advance_watermark(channel, element.timestamp)
             if aligned is not None:
@@ -156,6 +190,45 @@ class DeployedInstance:
         else:
             raise TypeError(f"unknown stream element {element!r}")
 
+    def deliver_batch(self, channel: ChannelId, records: List[Record]) -> None:
+        """Feed a micro-batch arriving on ``channel`` into the operator.
+
+        With a fault-injection deliver hook installed, records are handed
+        to the operator one at a time so the hook fires (and may raise)
+        *per record inside the batch*, exactly as on the per-record path;
+        without hooks the whole sub-batch goes through the operator's
+        vectorized ``process_batch``.
+        """
+        if not records:
+            return
+        operator = self.operator
+        runtime = self._runtime
+        if runtime is not None and runtime._deliver_hook is not None:
+            hook = runtime._deliver_hook
+            name = self.vertex.name
+            index = self.index
+            if self.is_two_input:
+                process = (
+                    operator.process_left
+                    if self.inputs.input_index[channel] == 0
+                    else operator.process_right
+                )
+            else:
+                process = operator.process
+            for record in records:
+                hook(name, index, record)
+                self.records_processed += 1
+                process(record)
+            return
+        self.records_processed += len(records)
+        if self.is_two_input:
+            if self.inputs.input_index[channel] == 0:
+                operator.process_left_batch(records)
+            else:
+                operator.process_right_batch(records)
+        else:
+            operator.process_batch(records)
+
     def _on_barrier(self, barrier: CheckpointBarrier) -> None:
         # Snapshot-on-barrier is orchestrated by the runtime so the
         # coordinator sees a consistent cut; the instance just records it.
@@ -163,8 +236,6 @@ class DeployedInstance:
         if runtime is not None:
             runtime._record_snapshot(self, barrier)
         self.operator.output(barrier)
-
-    _runtime: Optional["JobRuntime"] = None
 
 
 class JobRuntime:
@@ -265,6 +336,50 @@ class JobRuntime:
             raise KeyError(f"{source_name!r} is not a source of this job")
         self._route(source_name, 0, element)
 
+    def push_many(
+        self,
+        source_name: str,
+        elements,
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Inject a sequence of elements, micro-batching the records.
+
+        Consecutive :class:`Record`\\ s are grouped into
+        :class:`RecordBatch`\\ es of at most ``batch_size`` (unbounded when
+        ``None``) and routed in one partitioning pass each.  Control
+        elements (watermarks, markers, barriers) are batch *flush points*:
+        the pending batch is routed first, then the control element, so
+        the observable semantics are identical to pushing one by one.
+        Returns the number of elements injected.
+        """
+        vertex = self.graph.vertices.get(source_name)
+        if vertex is None or not vertex.is_source:
+            raise KeyError(f"{source_name!r} is not a source of this job")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        pending: List[Record] = []
+        count = 0
+        for element in elements:
+            count += 1
+            if isinstance(element, Record):
+                pending.append(element)
+                if batch_size is not None and len(pending) >= batch_size:
+                    self._route(source_name, 0, RecordBatch(pending))
+                    pending = []
+            elif isinstance(element, RecordBatch):
+                pending.extend(element.records)
+                if batch_size is not None and len(pending) >= batch_size:
+                    self._route(source_name, 0, RecordBatch(pending))
+                    pending = []
+            else:
+                if pending:
+                    self._route(source_name, 0, RecordBatch(pending))
+                    pending = []
+                self._route(source_name, 0, element)
+        if pending:
+            self._route(source_name, 0, RecordBatch(pending))
+        return count
+
     def close(self) -> None:
         """Close all operator instances (flushes pending output)."""
         for name in self.graph.topological_order():
@@ -290,6 +405,25 @@ class JobRuntime:
                 for _ in range(copies):
                     self._route_record(
                         edge, edge_idx, channel, targets, from_index, element
+                    )
+            elif isinstance(element, RecordBatch):
+                records = element.records
+                if self._channel_hook is not None:
+                    # The channel hook fires per record *inside* the batch
+                    # (drop/duplicate/delay each record independently), so
+                    # fault plans are batch-size agnostic.
+                    hook = self._channel_hook
+                    effective: List[Record] = []
+                    for record in records:
+                        copies = hook(edge, from_index, record)
+                        if copies == 1:
+                            effective.append(record)
+                        elif copies > 1:
+                            effective.extend([record] * copies)
+                    records = effective
+                if records:
+                    self._route_batch(
+                        edge, edge_idx, channel, targets, from_index, records
                     )
             else:
                 # Control elements are broadcast on every edge.
@@ -325,6 +459,64 @@ class JobRuntime:
             self._rebalance_counters[edge_idx] = counter + 1
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown partitioning {edge.partitioning}")
+
+    def _route_batch(
+        self,
+        edge: Edge,
+        edge_idx: int,
+        channel: ChannelId,
+        targets: List[DeployedInstance],
+        from_index: int,
+        records: List[Record],
+    ) -> None:
+        """Partition a whole micro-batch into per-target sub-batches in
+        one pass and deliver each sub-batch with one operator dispatch.
+
+        Per-channel record order is preserved (records for one target
+        keep their relative order), which is the same ordering guarantee
+        a real SPE's network channels give.
+        """
+        partitioning = edge.partitioning
+        if partitioning is Partitioning.FORWARD:
+            targets[from_index].deliver_batch(channel, records)
+            return
+        if partitioning is Partitioning.BROADCAST:
+            for target in targets:
+                target.deliver_batch(channel, records)
+            return
+        width = len(targets)
+        if width == 1:
+            if partitioning is Partitioning.REBALANCE:
+                self._rebalance_counters[edge_idx] = (
+                    self._rebalance_counters.get(edge_idx, 0) + len(records)
+                )
+            targets[0].deliver_batch(channel, records)
+            return
+        buckets: List[Optional[List[Record]]] = [None] * width
+        if partitioning is Partitioning.HASH:
+            for record in records:
+                index = stable_hash(record.key) % width
+                bucket = buckets[index]
+                if bucket is None:
+                    buckets[index] = [record]
+                else:
+                    bucket.append(record)
+        elif partitioning is Partitioning.REBALANCE:
+            counter = self._rebalance_counters.get(edge_idx, 0)
+            for record in records:
+                index = counter % width
+                counter += 1
+                bucket = buckets[index]
+                if bucket is None:
+                    buckets[index] = [record]
+                else:
+                    bucket.append(record)
+            self._rebalance_counters[edge_idx] = counter
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown partitioning {partitioning}")
+        for index, bucket in enumerate(buckets):
+            if bucket is not None:
+                targets[index].deliver_batch(channel, bucket)
 
     # -- fault injection ---------------------------------------------------
 

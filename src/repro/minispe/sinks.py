@@ -25,6 +25,9 @@ class CollectSink(Operator):
     def process(self, record: Record) -> None:
         self.collected.append(record)
 
+    def process_batch(self, records: List[Record]) -> None:
+        self.collected.extend(records)
+
     def values(self) -> List[Any]:
         """The collected record payloads."""
         return [record.value for record in self.collected]
@@ -59,6 +62,11 @@ class CallbackSink(Operator):
     def process(self, record: Record) -> None:
         self._callback(record)
 
+    def process_batch(self, records: List[Record]) -> None:
+        callback = self._callback
+        for record in records:
+            callback(record)
+
     def on_watermark(self, watermark: Watermark) -> None:
         if self._watermark_callback is not None:
             self._watermark_callback(watermark)
@@ -76,6 +84,9 @@ class CountingSink(Operator):
 
     def process(self, record: Record) -> None:
         self.count += 1
+
+    def process_batch(self, records: List[Record]) -> None:
+        self.count += len(records)
 
     def snapshot(self) -> Any:
         return self.count

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
-from repro.minispe.record import Record, StreamElement, Watermark
+from repro.minispe.record import Record, RecordBatch, StreamElement, Watermark
 
 
 def records_from(
@@ -58,6 +58,42 @@ def with_periodic_watermarks(
             yield Watermark(timestamp=next_emit)
             next_emit += interval_ms
         yield record
+
+
+def batched(
+    elements: Iterable[StreamElement],
+    batch_size: int,
+) -> Iterator[StreamElement]:
+    """Group consecutive records into :class:`RecordBatch` elements.
+
+    Control elements (watermarks, markers, barriers) flush the pending
+    batch first and pass through unwrapped, so event-time semantics are
+    unchanged: every record still precedes exactly the same control
+    elements it preceded in the unbatched sequence.  Incoming batches are
+    flattened and regrouped to ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    pending: List[Record] = []
+    for element in elements:
+        if isinstance(element, Record):
+            pending.append(element)
+            if len(pending) >= batch_size:
+                yield RecordBatch(pending)
+                pending = []
+        elif isinstance(element, RecordBatch):
+            for record in element.records:
+                pending.append(record)
+                if len(pending) >= batch_size:
+                    yield RecordBatch(pending)
+                    pending = []
+        else:
+            if pending:
+                yield RecordBatch(pending)
+                pending = []
+            yield element
+    if pending:
+        yield RecordBatch(pending)
 
 
 def final_watermark(max_timestamp: int) -> Watermark:

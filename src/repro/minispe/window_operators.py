@@ -78,6 +78,27 @@ class WindowedAggregateOperator(Operator):
             if self._trigger.on_element(record, window):
                 self._fire(state_key)
 
+    def process_batch(self, records: List[Record]) -> None:
+        assigner_assign = self._assigner.assign
+        is_session = self._assigner.is_session()
+        accumulators = self._accumulators
+        init = self._init
+        add = self._add
+        on_element = self._trigger.on_element
+        for record in records:
+            key = record.key
+            value = record.value
+            for window in assigner_assign(record.timestamp):
+                if is_session:
+                    window = self._merge_session(key, window)
+                state_key = (key, window)
+                acc = accumulators.get(state_key)
+                if acc is None:
+                    acc = init()
+                accumulators[state_key] = add(acc, value)
+                if on_element(record, window):
+                    self._fire(state_key)
+
     def _merge_session(self, key: Any, proto: Window) -> Window:
         """Merge ``proto`` with this key's overlapping session windows."""
         overlapping = [
@@ -175,11 +196,30 @@ class WindowedJoinOperator(TwoInputOperator):
     def process_right(self, record: Record) -> None:
         self._buffer(record, side=1)
 
+    def process_left_batch(self, records: List[Record]) -> None:
+        self._buffer_batch(records, side=0)
+
+    def process_right_batch(self, records: List[Record]) -> None:
+        self._buffer_batch(records, side=1)
+
     def _buffer(self, record: Record, side: int) -> None:
         for window in self._assigner.assign(record.timestamp):
             per_key = self._buffers.setdefault(window, {})
             sides = per_key.setdefault(record.key, ([], []))
             sides[side].append((record.value, record.timestamp))
+
+    def _buffer_batch(self, records: List[Record], side: int) -> None:
+        assign = self._assigner.assign
+        buffers = self._buffers
+        for record in records:
+            item = (record.value, record.timestamp)
+            key = record.key
+            for window in assign(record.timestamp):
+                per_key = buffers.setdefault(window, {})
+                sides = per_key.get(key)
+                if sides is None:
+                    sides = per_key[key] = ([], [])
+                sides[side].append(item)
 
     def on_watermark(self, watermark: Watermark) -> None:
         ready = [

@@ -74,8 +74,17 @@ class DriverConfig:
     data_seed: int = 7
     backlog_unsustainable_wait_ms: float = 5_000.0
     """A final queue wait beyond this marks the run unsustainable."""
+    batch_size: int = 1
+    """Tuples per micro-batch on the data path.  1 pushes per tuple (the
+    original path); larger values buffer per stream within a step and
+    send :class:`~repro.minispe.record.RecordBatch` elements via the
+    adapter's ``push_many``.  Buffers flush on batch-full and at step
+    end — before any watermark or the next step's requests — so batching
+    never reorders a tuple relative to control elements."""
 
     def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
         if self.disorder_ms < 0:
             raise ValueError(f"disorder_ms must be >= 0, got {self.disorder_ms}")
         if self.disorder_ms and self.lateness_ms < self.disorder_ms:
@@ -205,6 +214,17 @@ class SUTAdapter:
         """Send one data tuple to the SUT."""
         raise NotImplementedError
 
+    def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
+        """Send a micro-batch of ``(timestamp, value)`` tuples.
+
+        Default: loop over :meth:`push` (batch-correct for any SUT);
+        engines with a native batch path override this.  Returns the
+        number of tuples sent.
+        """
+        for timestamp, value in tuples:
+            self.push(stream, timestamp, value)
+        return len(tuples)
+
     def watermark(self, timestamp: int) -> None:
         """Advance the SUT's event time on every stream."""
         raise NotImplementedError
@@ -240,6 +260,9 @@ class AStreamAdapter(SUTAdapter):
 
     def push(self, stream: str, timestamp: int, value) -> None:
         self.engine.push(stream, timestamp, value)
+
+    def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
+        return self.engine.push_many(stream, tuples)
 
     def watermark(self, timestamp: int) -> None:
         self.engine.watermark(timestamp)
@@ -290,6 +313,9 @@ class BaselineAdapter(SUTAdapter):
     def push(self, stream: str, timestamp: int, value) -> None:
         self.engine.push(stream, timestamp, value)
 
+    def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
+        return self.engine.push_many(stream, tuples)
+
     def watermark(self, timestamp: int) -> None:
         self.engine.watermark(timestamp)
 
@@ -330,6 +356,8 @@ class Driver:
         self.retry = retry
         self.supervisor = supervisor
         self._now_ms = 0
+        self._pending: Dict[str, List[Tuple[int, Any]]] = {}
+        """Per-stream micro-batch buffers (config.batch_size > 1)."""
         self._delayed: List = []  # jitter-buffer heap for disorder_ms
         self._jitter = random.Random(self.config.disorder_seed)
         self._retry_rng = random.Random(retry.seed if retry else 0)
@@ -405,6 +433,9 @@ class Driver:
                     while self._delayed and self._delayed[0][0] <= now:
                         _, _, stream, timestamp, value = heappop(self._delayed)
                         self._push(stream, timestamp, value, report)
+                # Flush partial micro-batches before the step ends so no
+                # tuple crosses a watermark or the next step's requests.
+                self._flush_pending(report)
                 self._now_ms += config.step_ms
                 # Watermarks fire at the post-step instant: results they
                 # release are emitted "now" for latency sampling.
@@ -430,6 +461,7 @@ class Driver:
         while self._delayed:
             _, _, stream, timestamp, value = heappop(self._delayed)
             self._push(stream, timestamp, value, report)
+        self._flush_pending(report)
         self.qos.now_ms = self._now_ms
         self._watermark(self._now_ms, report)
         # Submissions still waiting for a retry slot never got in.
@@ -520,6 +552,15 @@ class Driver:
     def _push(self, stream: str, timestamp: int, value, report: RunReport) -> None:
         """Push one tuple; injected faults trigger supervised recovery and
         an immediate retry, then the dead-letter queue (poison tuples)."""
+        if self.config.batch_size > 1:
+            buffer = self._pending.get(stream)
+            if buffer is None:
+                buffer = self._pending[stream] = []
+            buffer.append((timestamp, value))
+            if len(buffer) >= self.config.batch_size:
+                self._pending[stream] = []
+                self._push_batch(stream, buffer, report)
+            return
         if self.retry is None and self.supervisor is None:
             self.adapter.push(stream, timestamp, value)
             report.tuples_pushed += 1
@@ -542,6 +583,47 @@ class Driver:
                         DeadLetter(
                             kind="tuple",
                             payload=(stream, timestamp, value),
+                            reason=str(error),
+                            at_ms=self._now_ms,
+                            attempts=attempt,
+                        )
+                    )
+
+    def _flush_pending(self, report: RunReport) -> None:
+        """Send every partially filled micro-batch buffer."""
+        if self.config.batch_size <= 1 or not self._pending:
+            return
+        for stream in self.streams:
+            buffer = self._pending.get(stream)
+            if buffer:
+                self._pending[stream] = []
+                self._push_batch(stream, buffer, report)
+
+    def _push_batch(
+        self, stream: str, items: List[Tuple[int, Any]], report: RunReport
+    ) -> None:
+        """Send one micro-batch; an injected fault retries the *whole*
+        batch — the engine logs it as one atomic entry and un-logs it on
+        failure, and supervised recovery wipes the partial effects, so
+        the retry is not a duplicate."""
+        if self.retry is None and self.supervisor is None:
+            report.tuples_pushed += self.adapter.push_many(stream, items)
+            return
+        attempts = self.retry.max_attempts if self.retry is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                report.tuples_pushed += self.adapter.push_many(stream, items)
+                return
+            except InjectedFaultError as error:
+                if self.supervisor is not None:
+                    self.supervisor.notify_failure(self._now_ms, error)
+                if attempt < attempts:
+                    report.tuple_retries += 1
+                else:
+                    report.dead_letters.append(
+                        DeadLetter(
+                            kind="tuple",
+                            payload=(stream, items),
                             reason=str(error),
                             at_ms=self._now_ms,
                             attempts=attempt,

@@ -1,0 +1,179 @@
+"""Micro-batching must be invisible in the output (ISSUE tentpole).
+
+Full SC1/SC2 scenario runs are repeated with ``batch_size`` 1, 7, and 64
+and the per-query outputs compared byte-for-byte: the vectorized batch
+path (RecordBatch routing, ``process_batch`` operators, batched driver
+pushes) is a pure encoding of the per-record element sequence.  The same
+holds under a seeded chaos :class:`FaultPlan` — whole-batch retries
+after supervised recovery must not duplicate or lose a single tuple.
+"""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.qos import QoSMonitor
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.driver import (
+    AStreamAdapter,
+    BaselineAdapter,
+    Driver,
+    DriverConfig,
+    RetryPolicy,
+)
+from repro.baseline.deployment import BaselineDeploymentModel
+from repro.baseline.engine import QueryAtATimeEngine
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule, sc2_schedule
+
+STREAMS = ("A", "B")
+BATCH_SIZES = (1, 7, 64)
+CONFIG = dict(input_rate_tps=100.0, duration_s=8.0, step_ms=250)
+
+
+def _sc1():
+    return sc1_schedule(
+        QueryGenerator(streams=STREAMS, seed=21), 1, 4, kind="join"
+    )
+
+
+def _sc2():
+    return sc2_schedule(
+        QueryGenerator(streams=STREAMS, seed=21), 2, 3, 2, kind="agg"
+    )
+
+
+def _fault_plan() -> FaultPlan:
+    plan = FaultPlan(name="batch-chaos")
+    plan.add(FaultEvent(at_ms=2_000, kind=FaultKind.NODE_CRASH, node=0))
+    plan.add(FaultEvent(at_ms=3_500, kind=FaultKind.NODE_RESTORE, node=0))
+    plan.add(
+        FaultEvent(at_ms=3_000, kind=FaultKind.CHANNEL_DROP,
+                   edge="select:A->join:A~B", count=2)
+    )
+    plan.add(
+        FaultEvent(at_ms=4_500, kind=FaultKind.CHANNEL_DUPLICATE,
+                   edge="select:B->join:A~B", count=2)
+    )
+    plan.add(
+        FaultEvent(at_ms=5_000, kind=FaultKind.OPERATOR_EXCEPTION,
+                   vertex="select:A", after_records=40, repeat=1)
+    )
+    return plan
+
+
+def _run_astream(schedule, batch_size: int, plan: FaultPlan = None):
+    qos = QoSMonitor(sample_every=32)
+    cluster = SimulatedCluster(ClusterSpec(nodes=4))
+    engine = AStreamEngine(
+        EngineConfig(streams=STREAMS, parallelism=1,
+                     log_inputs=plan is not None),
+        cluster=cluster,
+        on_deliver=qos.on_deliver,
+    )
+    supervisor = None
+    if plan is not None:
+        injector = FaultInjector(plan, cluster=cluster)
+        injector.attach(engine.runtime)
+        supervisor = Supervisor(
+            engine,
+            injector=injector,
+            policy=SupervisorPolicy(checkpoint_interval_ms=2_000),
+        )
+    report = Driver(
+        AStreamAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(batch_size=batch_size, **CONFIG),
+        qos=qos,
+        retry=RetryPolicy() if plan is not None else None,
+        supervisor=supervisor,
+    ).run()
+    outputs = {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.results(query_id)
+        ]
+        for query_id in sorted(engine.channels.query_ids())
+    }
+    return report, outputs, supervisor
+
+
+def _run_baseline(schedule, batch_size: int):
+    qos = QoSMonitor(sample_every=32)
+    engine = QueryAtATimeEngine(
+        cluster=SimulatedCluster(ClusterSpec(nodes=64)),
+        deployment=BaselineDeploymentModel(
+            cold_start_ms=0, job_submit_ms=0, job_stop_ms=0, per_instance_ms=0
+        ),
+        parallelism=1,
+        on_deliver=qos.on_deliver,
+    )
+    Driver(
+        BaselineAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(batch_size=batch_size, **CONFIG),
+        qos=qos,
+    ).run()
+    return {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.results(query_id)
+        ]
+        for query_id in sorted(engine.channels.query_ids())
+    }
+
+
+class TestAStreamBatchEquivalence:
+    @pytest.mark.parametrize("scenario", [_sc1, _sc2], ids=["sc1", "sc2"])
+    def test_outputs_byte_equal_across_batch_sizes(self, scenario):
+        schedule = scenario()
+        _, reference, _ = _run_astream(schedule, batch_size=1)
+        assert reference and any(reference.values())
+        for batch_size in BATCH_SIZES[1:]:
+            _, outputs, _ = _run_astream(schedule, batch_size=batch_size)
+            assert set(outputs) == set(reference)
+            for query_id in reference:
+                assert outputs[query_id] == reference[query_id], (
+                    f"batch_size={batch_size} diverged on {query_id}"
+                )
+
+    @pytest.mark.parametrize("scenario", [_sc1, _sc2], ids=["sc1", "sc2"])
+    def test_outputs_byte_equal_under_chaos(self, scenario):
+        schedule = scenario()
+        _, oracle, _ = _run_astream(schedule, batch_size=1)
+        for batch_size in BATCH_SIZES:
+            _, outputs, supervisor = _run_astream(
+                schedule, batch_size=batch_size, plan=_fault_plan()
+            )
+            assert supervisor.recovery_count >= 1, batch_size
+            assert set(outputs) == set(oracle)
+            for query_id in oracle:
+                assert outputs[query_id] == oracle[query_id], (
+                    f"chaos batch_size={batch_size} diverged on {query_id}"
+                )
+
+    def test_chaos_batch_runs_are_seed_deterministic(self):
+        schedule = _sc1()
+        first = _run_astream(schedule, batch_size=7, plan=_fault_plan())
+        second = _run_astream(schedule, batch_size=7, plan=_fault_plan())
+        assert first[1] == second[1]
+        assert first[2].log_lines() == second[2].log_lines()
+
+
+class TestBaselineBatchEquivalence:
+    def test_outputs_byte_equal_across_batch_sizes(self):
+        schedule = _sc1()
+        reference = _run_baseline(schedule, batch_size=1)
+        assert reference and any(reference.values())
+        for batch_size in BATCH_SIZES[1:]:
+            outputs = _run_baseline(schedule, batch_size=batch_size)
+            assert outputs == reference, f"batch_size={batch_size}"
