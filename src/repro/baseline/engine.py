@@ -385,9 +385,24 @@ class QueryAtATimeEngine:
         """Results delivered to a query so far."""
         return self.channels.results(query_id)
 
+    def canonical_results(self, query_id: str) -> List[QueryOutput]:
+        """Results in the deterministic cross-backend merge order.
+
+        Lets equivalence tests compare the baseline against either
+        AStream backend without caring about arrival order.
+        """
+        return self.channels.canonical_results(query_id)
+
     def result_count(self, query_id: str) -> int:
         """Number of results delivered to a query."""
         return self.channels.count(query_id)
+
+    def result_counts(self) -> Dict[str, int]:
+        """Delivered-result count per query (driver reporting)."""
+        return {
+            query_id: self.channels.count(query_id)
+            for query_id in self.channels.query_ids()
+        }
 
     @property
     def active_query_count(self) -> int:

@@ -26,6 +26,7 @@ the changelog that creates them clears the bit, see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Tuple
 
 from repro.core.bitset import extend_mask
@@ -67,16 +68,25 @@ class Changelog:
         if self.sequence < 1:
             raise ValueError(f"changelog sequence starts at 1, got {self.sequence}")
 
-    @property
-    def changed_slots(self) -> List[int]:
-        """Slots whose meaning changes at this changelog."""
-        slots = [activation.slot for activation in self.created]
-        slots.extend(deactivation.slot for deactivation in self.deleted)
-        return sorted(set(slots))
+    @cached_property
+    def changed_slots(self) -> Tuple[int, ...]:
+        """Slots whose meaning changes at this changelog.
 
-    @property
+        Cached: the dataclass is frozen, so the slot set is computed once
+        per changelog instead of on every marker delivery.
+        """
+        slots = {activation.slot for activation in self.created}
+        slots.update(deactivation.slot for deactivation in self.deleted)
+        return tuple(sorted(slots))
+
+    @cached_property
     def changelog_set(self) -> int:
-        """The changelog-set mask: bit set = position unchanged."""
+        """The changelog-set mask: bit set = position unchanged.
+
+        Cached for the same reason as :attr:`changed_slots` — every
+        shared operator reads this on the marker hot path, and the mask
+        of a frozen changelog can never change.
+        """
         mask = (1 << self.width_after) - 1
         for slot in self.changed_slots:
             mask &= ~(1 << slot)
@@ -109,6 +119,10 @@ class ChangelogTable:
         self._widths: List[int] = [0]  # width of epoch 0
         # (i, j) -> mask, i >= j.  Filled by the DP on demand.
         self._memo: Dict[Tuple[int, int], int] = {}
+        # (epoch, width) -> extended own mask.  The same changelog-set is
+        # extended to the same target width every time a later epoch's
+        # range crosses it, so the extension is memoized too.
+        self._own_masks: Dict[Tuple[int, int], int] = {}
 
     # -- growth --------------------------------------------------------------
 
@@ -159,17 +173,25 @@ class ChangelogTable:
         if cached is not None:
             return cached
         width_i = self._widths[i]
-        own = extend_mask(
-            self._changelogs[i - 1].changelog_set,
-            self._changelogs[i - 1].width_after,
-            width_i,
-        )
+        own = self._own_mask(i, width_i)
         previous = extend_mask(
             self.cl_set(i - 1, j), self._widths[i - 1], width_i
         )
         mask = previous & own
         self._memo[(i, j)] = mask
         return mask
+
+    def _own_mask(self, epoch: int, width: int) -> int:
+        """Changelog ``epoch``'s own set, extended to ``width`` (memoized)."""
+        key = (epoch, width)
+        cached = self._own_masks.get(key)
+        if cached is None:
+            changelog = self._changelogs[epoch - 1]
+            cached = extend_mask(
+                changelog.changelog_set, changelog.width_after, width
+            )
+            self._own_masks[key] = cached
+        return cached
 
     def cl_set_brute_force(self, i: int, j: int) -> int:
         """Reference implementation: plain AND over the range (tests)."""
@@ -199,6 +221,9 @@ class ChangelogTable:
         stale = [key for key in self._memo if key[1] < epoch]
         for key in stale:
             del self._memo[key]
+        stale_own = [key for key in self._own_masks if key[0] < epoch]
+        for key in stale_own:
+            del self._own_masks[key]
         return len(stale)
 
     def __len__(self) -> int:

@@ -181,7 +181,7 @@ class AStreamEngine:
         self._routers: Dict[str, List[RouterOperator]] = {}
         self._stage_names: set = set()
         self.graph = self._build_graph()
-        self.runtime = JobRuntime(self.graph)
+        self.runtime = self._make_runtime()
         self.cluster.allocate(self.JOB_NAME, self.graph.total_instances())
         self.deployment_events: List[DeploymentEvent] = []
         self._topology_deployed = False
@@ -196,6 +196,18 @@ class AStreamEngine:
         self._checkpoints: List[EngineCheckpoint] = []
 
     # -- topology ------------------------------------------------------------
+
+    def _make_runtime(self) -> JobRuntime:
+        """Build the execution backend for :attr:`graph`.
+
+        The default is the in-process :class:`JobRuntime`; subclasses
+        (:class:`repro.core.parallel_engine.ProcessAStreamEngine`)
+        override this seam to plug in a different
+        :class:`~repro.minispe.runtime.ExecutionBackend` without
+        touching the engine's control and data paths.  Called once at
+        construction and again by :meth:`recover` to redeploy.
+        """
+        return JobRuntime(self.graph)
 
     def _build_graph(self) -> JobGraph:
         config = self.config
@@ -555,7 +567,7 @@ class AStreamEngine:
         self._joins.clear()
         self._aggregations.clear()
         self._routers.clear()
-        self.runtime = JobRuntime(self.graph)
+        self.runtime = self._make_runtime()
         checkpoint = self._checkpoints[-1] if self._checkpoints else None
         if checkpoint is not None:
             self.runtime.restore_checkpoint(checkpoint.runtime_state)
@@ -653,9 +665,35 @@ class AStreamEngine:
         """Results delivered to a query's channel so far."""
         return self.channels.results(query_id)
 
+    def canonical_results(self, query_id: str) -> List[QueryOutput]:
+        """Results in the deterministic cross-backend order.
+
+        Use this when comparing outputs between execution backends: the
+        in-process path may emit join matches in store-insertion order,
+        and the process backend merges shard channels canonically (see
+        :func:`repro.core.router.canonical_order`).
+        """
+        return self.channels.canonical_results(query_id)
+
     def result_count(self, query_id: str) -> int:
         """Number of results delivered to a query."""
         return self.channels.count(query_id)
+
+    def result_counts(self) -> Dict[str, int]:
+        """Delivered result count per query channel."""
+        return {
+            query_id: self.channels.count(query_id)
+            for query_id in self.channels.query_ids()
+        }
+
+    def drain(self) -> None:
+        """Wait until all injected input has been fully processed.
+
+        The in-process runtime executes synchronously, so this is a
+        no-op; the process backend overrides it to flush frame buffers
+        and await worker acknowledgements.  Throughput measurements call
+        it before reading the clock so in-flight work is counted.
+        """
 
     @property
     def active_query_count(self) -> int:

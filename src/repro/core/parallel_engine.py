@@ -1,0 +1,311 @@
+"""AStream on the process-parallel sharded backend.
+
+Each worker process runs a complete single-parallelism
+:class:`~repro.core.engine.AStreamEngine` over the key range
+``stable_hash(key) % workers == shard``.  Because every shared operator
+in the engine keys its state by record key (selection is stateless per
+record, aggregation groups by key, the join matches equal keys only),
+hash-sharding the input by key partitions operator state exactly — the
+shared-nothing decomposition STRETCH uses — while each shard keeps
+serving *all* active queries for its keys, preserving inter-query
+sharing the way Shared Arrangements shards shared indexes.
+
+The coordinator-side :class:`ProcessAStreamEngine` subclasses
+:class:`AStreamEngine` and swaps the execution backend through the
+``_make_runtime`` seam: control flow (session, changelogs, input log,
+checkpoint/recover) is inherited unchanged, because
+:class:`~repro.minispe.parallel.ShardedRuntime` broadcasts control
+elements to every shard in FIFO order and collects aligned snapshots.
+Per-query results are merged deterministically (event time, then stable
+value order), making outputs byte-identical to the in-process path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.router import QueryOutput, merge_channel_snapshots
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.minispe.parallel import (
+    DEFAULT_FRAME_RECORDS,
+    DEFAULT_MAX_IN_FLIGHT,
+    Op,
+    ProcessShardPool,
+    ShardProgram,
+    ShardedRuntime,
+)
+from repro.minispe.record import Record, RecordBatch
+
+
+class AStreamShardProgram(ShardProgram):
+    """One shard's AStream engine, driven by coordinator ops.
+
+    The worker engine is a plain in-process engine with
+    ``parallelism=1`` and no input log (the coordinator owns logging and
+    replay); ops address its runtime directly, so markers, watermarks,
+    and barriers follow exactly the in-process code path within the
+    shard.
+    """
+
+    def __init__(
+        self, config: EngineConfig, shard_index: int, shard_count: int,
+        deliver_sample_every: int = 1,
+    ) -> None:
+        worker_config = dataclasses.replace(
+            config,
+            parallelism=1,
+            log_inputs=False,
+            collect_sharing_stats=False,
+        )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        # 0 disables delivery sampling entirely (no coordinator-side
+        # QoS consumer): recording and shipping samples is pure
+        # overhead then.
+        self._sample_every = max(0, deliver_sample_every)
+        self._deliver_seen = 0
+        self._deliveries: List[Tuple[str, int]] = []
+        self.engine = AStreamEngine(
+            worker_config,
+            cluster=SimulatedCluster(
+                ClusterSpec(nodes=1, cores_per_node=256), mode="process"
+            ),
+            on_deliver=(
+                self._record_delivery if self._sample_every else None
+            ),
+        )
+
+    def _record_delivery(self, query_id: str, timestamp: int) -> None:
+        self._deliver_seen += 1
+        if self._deliver_seen % self._sample_every == 0:
+            self._deliveries.append((query_id, timestamp))
+
+    def apply(self, op: Op) -> Any:
+        """Dispatch one wire op onto the shard engine.
+
+        Asynchronous ops (``push``/``batch``) return None; synchronous
+        ops (``snapshot``/``restore``/``collect``/``stats``/``drain``)
+        return a picklable reply.
+        """
+        kind = op[0]
+        if kind == "push":
+            self.engine.runtime.push(op[1], op[2])
+            return None
+        if kind == "batch":
+            records: List[Record] = op[2]
+            element = records[0] if len(records) == 1 else RecordBatch(records)
+            self.engine.runtime.push(op[1], element)
+            return None
+        if kind == "snapshot":
+            return {
+                "runtime": self.engine.runtime.completed_checkpoint(op[1]),
+                "channels": self.engine.channels.snapshot(),
+            }
+        if kind == "restore":
+            payload = op[1]
+            self.engine.runtime.restore_checkpoint(payload["runtime"])
+            self.engine.channels.restore(payload["channels"])
+            return True
+        if kind == "collect":
+            return self.engine.channels.snapshot()
+        if kind == "stats":
+            return {
+                "records_processed": self.engine.runtime.records_processed(),
+                "component_stats": self.engine.component_stats(),
+            }
+        if kind == "drain":
+            return True
+        raise ValueError(f"unknown shard op {kind!r}")
+
+    def take_deliveries(
+        self, limit: Optional[int] = None
+    ) -> List[Tuple[str, int]]:
+        """Drain up to ``limit`` sampled deliveries (all when None)."""
+        if limit is None or limit >= len(self._deliveries):
+            deliveries = self._deliveries
+            self._deliveries = []
+            return deliveries
+        deliveries = self._deliveries[:limit]
+        del self._deliveries[:limit]
+        return deliveries
+
+    def close(self) -> None:
+        """Shut the shard engine down before the worker exits."""
+        self.engine.shutdown()
+
+
+class AStreamShardFactory:
+    """Picklable factory building one :class:`AStreamShardProgram`.
+
+    Instances are handed to worker processes; keeping the factory a
+    small named class (config + sampling knob) keeps it picklable under
+    any multiprocessing start method.
+    """
+
+    def __init__(
+        self, config: EngineConfig, deliver_sample_every: int = 1
+    ) -> None:
+        self.config = config
+        self.deliver_sample_every = deliver_sample_every
+
+    def __call__(self, shard_index: int, shard_count: int) -> AStreamShardProgram:
+        """Build the program for ``shard_index`` of ``shard_count``."""
+        return AStreamShardProgram(
+            self.config,
+            shard_index,
+            shard_count,
+            deliver_sample_every=self.deliver_sample_every,
+        )
+
+
+class ProcessAStreamEngine(AStreamEngine):
+    """AStream engine whose data path runs across worker processes.
+
+    Drop-in replacement for :class:`AStreamEngine`: submit/tick/push/
+    watermark/checkpoint/recover are inherited; only the execution
+    backend differs.  Result reads trigger a deterministic merge of the
+    per-shard channels, so :meth:`canonical_results` is byte-identical
+    to the in-process engine's on the same input.
+
+    ``kill_worker`` SIGKILLs one shard for chaos testing; recovery goes
+    through the inherited :meth:`recover`, which replaces the whole pool
+    via ``_make_runtime`` and replays the coordinator's input log.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        cluster: Optional[SimulatedCluster] = None,
+        on_deliver: Optional[Callable[[str, int], None]] = None,
+        workers: int = 2,
+        frame_records: int = DEFAULT_FRAME_RECORDS,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        deliver_sample_every: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        # _make_runtime is invoked from the base constructor, so the
+        # backend knobs must exist first.
+        self.workers = workers
+        self._frame_records = frame_records
+        self._max_in_flight = max_in_flight
+        self._deliver_sample_every = deliver_sample_every
+        self._pool_on_deliver = on_deliver
+        self._merged_at_op_count = -1
+        self._shut_down = False
+        self._final_component_stats: Optional[Dict[str, float]] = None
+        super().__init__(
+            config,
+            cluster or SimulatedCluster(mode="process"),
+            on_deliver=on_deliver,
+        )
+
+    # -- backend seam ------------------------------------------------------
+
+    def _make_runtime(self) -> ShardedRuntime:
+        """Spawn a fresh worker pool (terminating any previous one)."""
+        previous = getattr(self, "runtime", None)
+        if isinstance(previous, ShardedRuntime):
+            previous.terminate()
+        pool = ProcessShardPool(
+            self.workers,
+            AStreamShardFactory(
+                self.config,
+                deliver_sample_every=(
+                    self._deliver_sample_every
+                    if self._pool_on_deliver is not None
+                    else 0
+                ),
+            ),
+            on_deliver=self._pool_on_deliver,
+            frame_records=self._frame_records,
+            max_in_flight=self._max_in_flight,
+        )
+        self._merged_at_op_count = -1
+        return ShardedRuntime(pool)
+
+    # -- results (merged from shards) --------------------------------------
+
+    def _refresh_results(self) -> None:
+        """Re-merge shard channels if new ops were submitted since."""
+        pool = self.runtime.pool
+        if pool.op_count == self._merged_at_op_count:
+            return
+        snapshots = self.runtime.collect_channels()
+        merged = merge_channel_snapshots(
+            snapshots, self.config.retain_results
+        )
+        self.channels.restore(merged)
+        self._merged_at_op_count = pool.op_count
+
+    def results(self, query_id: str) -> List[QueryOutput]:
+        """Merged results for one query, in canonical order.
+
+        Unlike the in-process engine — whose per-channel order is
+        arrival order — the process backend can only offer the
+        deterministic merge order, which is the same for every worker
+        count.  Compare backends via :meth:`canonical_results`.
+        """
+        self._refresh_results()
+        return self.channels.results(query_id)
+
+    def canonical_results(self, query_id: str) -> List[QueryOutput]:
+        """Merged results in the deterministic cross-backend order."""
+        self._refresh_results()
+        return self.channels.canonical_results(query_id)
+
+    def result_count(self, query_id: str) -> int:
+        """Merged delivered-result count for one query."""
+        self._refresh_results()
+        return self.channels.count(query_id)
+
+    def result_counts(self) -> Dict[str, int]:
+        """Merged delivered-result count per query."""
+        self._refresh_results()
+        return super().result_counts()
+
+    def drain(self) -> None:
+        """Flush frame buffers and await every worker acknowledgement."""
+        self.runtime.drain()
+
+    def component_stats(self) -> Dict[str, float]:
+        """Per-component counters summed across all shards."""
+        if self._final_component_stats is not None:
+            return dict(self._final_component_stats)
+        totals: Dict[str, float] = {}
+        for stats in self.runtime.collect_stats():
+            for name, value in stats.get("component_stats", {}).items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def shutdown(self) -> None:
+        """Merge final results, cache stats, and stop the worker pool.
+
+        Results and component stats stay readable afterwards (from the
+        coordinator-side merged channels / the cached totals), so sweeps
+        can shut each run's pool down eagerly instead of accumulating
+        live worker processes.
+        """
+        if self._shut_down:
+            return
+        self._refresh_results()
+        self._final_component_stats = self.component_stats()
+        self._shut_down = True
+        super().shutdown()
+
+    # -- chaos -------------------------------------------------------------
+
+    def kill_worker(self, shard: int) -> None:
+        """SIGKILL one shard worker (its un-checkpointed state is lost).
+
+        Follow with :meth:`recover` to rebuild the pool from the latest
+        checkpoint and the input-log suffix.
+        """
+        self.runtime.pool.kill(shard)
+
+    @property
+    def alive_workers(self) -> int:
+        """Shard workers currently healthy."""
+        return self.runtime.pool.alive_workers

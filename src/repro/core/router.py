@@ -29,6 +29,45 @@ class QueryOutput:
     value: Any
 
 
+def canonical_order(outputs: List[QueryOutput]) -> List[QueryOutput]:
+    """Results in the deterministic merge order: event time, then value.
+
+    Within one channel, ties on timestamp are broken by the stable
+    ``repr`` of the value.  Result values here are tuples of ints/strings
+    (aggregates, joined pairs), whose ``repr`` is injective, so two
+    entries compare equal only when they are the same result.  That makes
+    the canonical form independent of arrival order — the property the
+    process backend relies on to merge per-shard channels byte-identically
+    to the in-process path (which may interleave join matches in
+    store-insertion order).
+    """
+    return sorted(outputs, key=lambda output: (output.timestamp, repr(output.value)))
+
+
+def merge_channel_snapshots(snapshots: List[dict], retain_results: bool) -> dict:
+    """Merge per-shard :meth:`QueryChannels.snapshot` payloads into one.
+
+    Counts are summed per query; retained result lists are concatenated
+    and put in canonical order, so the merged snapshot is deterministic
+    regardless of shard count or collection order.
+    """
+    counts: Dict[str, int] = {}
+    results: Dict[str, List[QueryOutput]] = {}
+    for snapshot in snapshots:
+        for query_id, count in snapshot["counts"].items():
+            counts[query_id] = counts.get(query_id, 0) + count
+        if retain_results:
+            for query_id, outputs in snapshot["results"].items():
+                results.setdefault(query_id, []).extend(outputs)
+    return {
+        "counts": counts,
+        "results": {
+            query_id: canonical_order(outputs)
+            for query_id, outputs in results.items()
+        },
+    }
+
+
 class QueryChannels:
     """Per-query output channels shared by all router instances.
 
@@ -72,6 +111,14 @@ class QueryChannels:
     def results(self, query_id: str) -> List[QueryOutput]:
         """All results delivered to ``query_id`` so far."""
         return self._results.get(query_id, [])
+
+    def canonical_results(self, query_id: str) -> List[QueryOutput]:
+        """Results for ``query_id`` in the deterministic merge order.
+
+        Use this (not :meth:`results`) when comparing outputs across
+        execution backends: see :func:`canonical_order`.
+        """
+        return canonical_order(self._results.get(query_id, []))
 
     def count(self, query_id: str) -> int:
         """Number of results delivered to ``query_id``."""

@@ -42,6 +42,7 @@ class EpochTimeline:
 
     _starts: List[int] = field(default_factory=lambda: [0])
     _sequences: List[int] = field(default_factory=lambda: [0])
+    _prune_horizon_ms: int = 0
 
     def append(self, sequence: int, start_ms: int) -> None:
         """Register the start of a new epoch."""
@@ -84,7 +85,16 @@ class EpochTimeline:
         within the lateness bound still resolve.  Returns the number of
         entries dropped (long-running deployments call this from the
         watermark path to bound state).
+
+        The prune horizon is monotonic: with shard-local watermarks
+        there is no single global watermark holder, and a shard whose
+        watermark lags the others may call this with an older timestamp.
+        Such calls are cheap no-ops instead of (incorrectly) assuming
+        the caller's watermark is the furthest one seen.
         """
+        if timestamp_ms <= self._prune_horizon_ms:
+            return 0
+        self._prune_horizon_ms = timestamp_ms
         keep_from = self.index_for(timestamp_ms)
         if keep_from <= 0:
             return 0
@@ -134,6 +144,7 @@ class SliceIndex:
         self._slices: Dict[int, Slice] = {}
         self.created_total = 0
         self.expired_total = 0
+        self._expiry_horizon_ms = 0
 
     def get(self, start: int) -> Optional[Slice]:
         """The slice starting exactly at ``start``, if present."""
@@ -171,15 +182,30 @@ class SliceIndex:
         This is Figure 4f's red boxes: once no active query window can
         still cover a slice, it (and any cached results involving it) is
         deleted.
+
+        The expiry horizon is monotonic so the call is safe under
+        shard-local watermarks: a shard whose watermark regressed
+        relative to the furthest horizon already applied (no global
+        watermark holder exists in the process backend) gets a fast
+        no-op and cannot re-expire or interleave with newer slices.
+        The dropped prefix is removed with one ``del`` instead of a
+        per-slice ``pop(0)``, so expiring k of n slices is O(k + n)
+        instead of O(k·n).
         """
-        expired = []
-        while self._starts:
-            oldest = self._slices[self._starts[0]]
-            if oldest.end > timestamp_ms:
+        if timestamp_ms <= self._expiry_horizon_ms:
+            return []
+        self._expiry_horizon_ms = timestamp_ms
+        cut = 0
+        expired: List[Slice] = []
+        for start in self._starts:
+            candidate = self._slices[start]
+            if candidate.end > timestamp_ms:
                 break
-            expired.append(oldest)
-            del self._slices[self._starts[0]]
-            self._starts.pop(0)
+            expired.append(candidate)
+            del self._slices[start]
+            cut += 1
+        if cut:
+            del self._starts[:cut]
         self.expired_total += len(expired)
         return expired
 

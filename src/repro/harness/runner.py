@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 
 from repro.baseline import BaselineDeploymentModel, QueryAtATimeEngine
 from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
 from repro.core.qos import QoSMonitor
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 from repro.harness.metrics import ScenarioMetrics
@@ -43,6 +44,16 @@ class RunnerConfig:
     """One scenario run's full parameterisation."""
 
     sut: str = "astream"  # astream | flink | flink-free
+    backend: str = "inline"
+    """Execution backend for the astream SUT: ``inline`` runs operators
+    in-process; ``process`` shards them across worker processes (real
+    parallelism instead of the modelled cluster speed-up)."""
+    workers: int = 2
+    """Worker-process count for ``backend="process"``."""
+    deliver_sample_every: int = 1
+    """Process backend only: ship every Nth delivery sample over IPC for
+    QoS latency (0 disables delivery shipping entirely — throughput
+    figures that never read latency avoid the per-result IPC cost)."""
     nodes: int = 4
     streams: Tuple[str, ...] = ("A", "B")
     max_join_arity: int = 1
@@ -88,15 +99,35 @@ def build_sut(config: RunnerConfig, qos: QoSMonitor):
     """Construct the engine + adapter pair for a runner config."""
     cluster = config.cluster()
     if config.sut == "astream":
+        engine_config = EngineConfig(
+            streams=config.streams,
+            max_join_arity=config.max_join_arity,
+            parallelism=1,
+            retain_results=config.retain_results,
+            profile=config.profile,
+            **config.engine_overrides,
+        )
+        if config.backend == "process":
+            # Real worker processes: slot accounting stays on the
+            # simulated cluster, but mode="process" pins speedup() to
+            # 1.0 so the modelled scale-out never multiplies measured
+            # throughput.
+            engine = ProcessAStreamEngine(
+                engine_config,
+                cluster=SimulatedCluster(
+                    ClusterSpec(nodes=config.nodes), mode="process"
+                ),
+                on_deliver=(
+                    qos.on_deliver if config.deliver_sample_every else None
+                ),
+                workers=config.workers,
+                deliver_sample_every=config.deliver_sample_every,
+            )
+            return engine, AStreamAdapter(engine)
+        if config.backend != "inline":
+            raise ValueError(f"unknown backend {config.backend!r}")
         engine = AStreamEngine(
-            EngineConfig(
-                streams=config.streams,
-                max_join_arity=config.max_join_arity,
-                parallelism=1,
-                retain_results=config.retain_results,
-                profile=config.profile,
-                **config.engine_overrides,
-            ),
+            engine_config,
             cluster=cluster,
             on_deliver=qos.on_deliver,
         )
@@ -167,11 +198,18 @@ def run_scenario(
         qos=qos,
     )
     report = driver.run()
-    metrics = ScenarioMetrics(
-        report=report, speedup=(config.nodes / 4) ** 0.5
-    )
+    # The modelled cluster speed-up only applies to the inline backend:
+    # process runs measure real parallel wall time, so scaling them by
+    # the model would double-count (see SimulatedCluster.speedup).
+    speedup = 1.0 if config.backend == "process" else (config.nodes / 4) ** 0.5
+    metrics = ScenarioMetrics(report=report, speedup=speedup)
     metrics.engine = engine  # expose for component-level figures
     metrics.qos = qos        # expose for latency-timeline figures
+    if config.backend == "process":
+        # Stop the worker pool now; merged results and cached component
+        # stats stay readable on the engine, and sweeps don't pile up
+        # live processes.
+        engine.shutdown()
     return metrics
 
 
@@ -229,3 +267,118 @@ def sustainable_query_search(
         else:
             high = middle - 1
     return low
+
+
+def _results_dir() -> "Path":
+    """Directory for runner artefacts, next to the benchmark results."""
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[3]
+    results = repo_root / "benchmarks" / "results"
+    if not results.parent.is_dir():  # installed outside the repo tree
+        results = Path.cwd()
+    results.mkdir(parents=True, exist_ok=True)
+    return results
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line scenario runner.
+
+    Runs one SC1/SC2 scenario against a chosen SUT and backend and
+    prints the §4.3 metrics; ``--profile`` additionally captures a
+    cProfile of the whole run plus the engine's per-operator cumulative
+    counters and writes both next to the benchmark results
+    (``benchmarks/results/profile_*.txt``).
+
+    Example::
+
+        python -m repro.harness.runner --backend process --workers 4
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--sut", default="astream",
+                        choices=("astream", "flink", "flink-free"))
+    parser.add_argument("--backend", default="inline",
+                        choices=("inline", "process"),
+                        help="astream execution backend")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --backend process")
+    parser.add_argument("--scenario", default="sc1",
+                        choices=("sc1", "sc2", "single"))
+    parser.add_argument("--kind", default="agg", choices=("join", "agg"))
+    parser.add_argument("--rate", type=float, default=400.0,
+                        help="input rate (tuples/second per stream)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="run duration in virtual seconds")
+    parser.add_argument("--queries-per-second", type=float, default=4.0)
+    parser.add_argument("--query-parallelism", type=int, default=16)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=1,
+                        help="data-path micro-batch size")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the run and dump per-operator "
+                             "cumulative stats next to benchmark results")
+    args = parser.parse_args(argv)
+
+    config = RunnerConfig(
+        sut=args.sut,
+        backend=args.backend,
+        workers=args.workers,
+        nodes=args.nodes,
+        input_rate_tps=args.rate,
+        duration_s=args.duration,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        profile=args.profile,
+    )
+    scenario_kwargs = dict(
+        scenario=args.scenario,
+        queries_per_second=args.queries_per_second,
+        query_parallelism=args.query_parallelism,
+        kind=args.kind,
+    )
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    metrics = run_scenario(config, **scenario_kwargs)
+    if profiler is not None:
+        profiler.disable()
+
+    report = metrics.report
+    print(f"sut={args.sut} backend={args.backend} workers={args.workers} "
+          f"scenario={args.scenario} kind={args.kind}")
+    print(f"service_tps={report.service_rate_tps:,.0f} "
+          f"wall_s={report.wall_seconds:.2f} "
+          f"results={sum(report.per_query_results.values()):,}")
+    print(f"slowest_tps={metrics.slowest_data_throughput_tps:,.0f} "
+          f"mean_deploy_ms={metrics.mean_deployment_latency_ms:.1f} "
+          f"sustained={report.sustained}")
+
+    if profiler is not None:
+        import io
+        import pstats
+
+        out = _results_dir() / (
+            f"profile_{args.scenario}_{args.sut}_{args.backend}.txt"
+        )
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(40)
+        lines = [buffer.getvalue(), "", "# per-operator cumulative stats"]
+        engine = metrics.engine
+        if hasattr(engine, "component_stats"):
+            for name, value in sorted(engine.component_stats().items()):
+                lines.append(f"{name}: {value:,.0f}")
+        out.write_text("\n".join(lines) + "\n")
+        print(f"profile written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

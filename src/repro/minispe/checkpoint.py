@@ -37,6 +37,32 @@ from repro.minispe.record import CheckpointBarrier, StreamElement
 from repro.minispe.runtime import JobRuntime
 
 
+SHARD_STATE_KEY = "__shards__"
+"""Marker key distinguishing packed multi-shard snapshots from the plain
+``{vertex: {instance: state}}`` shape produced by a single runtime."""
+
+
+def pack_shard_states(states: List[Any]) -> Dict[str, Any]:
+    """Wrap per-shard snapshots into one checkpoint-shaped payload.
+
+    The process backend collects one snapshot per worker shard; packing
+    them under :data:`SHARD_STATE_KEY` lets the existing checkpoint
+    plumbing (``EngineCheckpoint``, supervisors, tests) carry sharded
+    state without learning a new type.
+    """
+    return {SHARD_STATE_KEY: list(states)}
+
+
+def unpack_shard_states(state: Dict[str, Any]) -> Optional[List[Any]]:
+    """Per-shard snapshots from a packed payload, or None if not packed."""
+    if not isinstance(state, dict):
+        return None
+    shards = state.get(SHARD_STATE_KEY)
+    if shards is None:
+        return None
+    return list(shards)
+
+
 class CheckpointFailed(RuntimeError):
     """A triggered checkpoint was not acknowledged by every instance.
 

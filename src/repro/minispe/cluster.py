@@ -117,6 +117,16 @@ class DeploymentCostModel:
         return self.per_instance_ms * per_node
 
 
+CLUSTER_MODES = ("modeled", "process")
+"""Valid :class:`SimulatedCluster` modes.
+
+``modeled`` scales measured single-process throughput by the calibrated
+``speedup()`` exponent (paper-figure reproduction); ``process`` means
+parallelism is *executed* by the process-sharded backend, so reported
+numbers are already real and ``speedup()`` is identity.
+"""
+
+
 class SimulatedCluster:
     """Slot accounting plus the deployment-cost model for one cluster."""
 
@@ -124,9 +134,15 @@ class SimulatedCluster:
         self,
         spec: ClusterSpec = ClusterSpec(),
         cost_model: Optional[DeploymentCostModel] = None,
+        mode: str = "modeled",
     ) -> None:
+        if mode not in CLUSTER_MODES:
+            raise ValueError(
+                f"unknown cluster mode {mode!r}; expected one of {CLUSTER_MODES}"
+            )
         self.spec = spec
         self.cost_model = cost_model or DeploymentCostModel()
+        self.mode = mode
         self._allocations: Dict[str, int] = {}
         self._failed_nodes: set = set()
 
@@ -225,9 +241,14 @@ class SimulatedCluster:
         """Throughput multiplier relative to a ``reference_nodes`` cluster.
 
         Calibrated to the paper's 4→8-node ratios (≈ √2 for doubling).
+        In ``process`` mode the multiplier is 1.0: scaling is executed by
+        the sharded backend and already present in measured throughput,
+        so applying the model on top would double-count it.
         """
         if reference_nodes <= 0:
             raise ValueError("reference_nodes must be positive")
+        if self.mode == "process":
+            return 1.0
         return (self.spec.nodes / reference_nodes) ** 0.5
 
     def parallelism_for(self, max_parallelism: Optional[int] = None) -> int:

@@ -60,6 +60,76 @@ ChannelId = Tuple[int, int]
 """(edge index in the graph, upstream instance index)."""
 
 
+class ExecutionBackend:
+    """The executor interface behind an engine's data path.
+
+    :class:`JobRuntime` is the default, in-process implementation;
+    :class:`repro.minispe.parallel.ShardedRuntime` executes the same
+    element stream across worker processes.  Engines talk only to this
+    surface, so the execution strategy is pluggable without touching the
+    operator or engine layers.
+    """
+
+    def push(self, source_name: str, element: StreamElement) -> None:
+        """Inject an element into a source and run it to completion."""
+        raise NotImplementedError
+
+    def push_many(
+        self,
+        source_name: str,
+        elements,
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Inject a sequence of elements, micro-batching the records.
+
+        Consecutive :class:`Record`\\ s are grouped into
+        :class:`RecordBatch`\\ es of at most ``batch_size`` (unbounded
+        when ``None``); control elements are batch flush points, so the
+        observable semantics equal pushing one by one.  Returns the
+        number of elements injected.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        pending: List[Record] = []
+        count = 0
+        for element in elements:
+            count += 1
+            if isinstance(element, Record):
+                pending.append(element)
+                if batch_size is not None and len(pending) >= batch_size:
+                    self.push(source_name, RecordBatch(pending))
+                    pending = []
+            elif isinstance(element, RecordBatch):
+                pending.extend(element.records)
+                if batch_size is not None and len(pending) >= batch_size:
+                    self.push(source_name, RecordBatch(pending))
+                    pending = []
+            else:
+                if pending:
+                    self.push(source_name, RecordBatch(pending))
+                    pending = []
+                self.push(source_name, element)
+        if pending:
+            self.push(source_name, RecordBatch(pending))
+        return count
+
+    def close(self) -> None:
+        """Release executor resources (flushes pending output)."""
+        raise NotImplementedError
+
+    def completed_checkpoint(self, checkpoint_id: int) -> Optional[Dict]:
+        """The aligned snapshot for ``checkpoint_id``, if complete."""
+        raise NotImplementedError
+
+    def restore_checkpoint(self, snapshot: Dict) -> None:
+        """Restore operator state from a completed snapshot."""
+        raise NotImplementedError
+
+    def records_processed(self) -> Dict[str, int]:
+        """Records processed per vertex (summed over instances)."""
+        raise NotImplementedError
+
+
 class _InstanceInputs:
     """Alignment bookkeeping for one operator instance's input channels."""
 
@@ -238,7 +308,7 @@ class DeployedInstance:
         self.operator.output(barrier)
 
 
-class JobRuntime:
+class JobRuntime(ExecutionBackend):
     """Deploys and drives a job graph.
 
     Typical use::

@@ -225,6 +225,15 @@ class SUTAdapter:
             self.push(stream, timestamp, value)
         return len(tuples)
 
+    def finish(self) -> None:
+        """Settle in-flight work before the wall clock stops.
+
+        The in-process engines are synchronous, so the default is a
+        no-op; pipelined backends (the process-sharded engine) override
+        this to flush buffers and await worker acknowledgements, which
+        keeps service throughput honest across backends.
+        """
+
     def watermark(self, timestamp: int) -> None:
         """Advance the SUT's event time on every stream."""
         raise NotImplementedError
@@ -264,6 +273,9 @@ class AStreamAdapter(SUTAdapter):
     def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
         return self.engine.push_many(stream, tuples)
 
+    def finish(self) -> None:
+        self.engine.drain()
+
     def watermark(self, timestamp: int) -> None:
         self.engine.watermark(timestamp)
 
@@ -278,10 +290,7 @@ class AStreamAdapter(SUTAdapter):
         return self.engine.active_query_count
 
     def result_counts(self) -> Dict[str, int]:
-        return {
-            query_id: self.engine.channels.count(query_id)
-            for query_id in self.engine.channels.query_ids()
-        }
+        return self.engine.result_counts()
 
 
 class BaselineAdapter(SUTAdapter):
@@ -330,10 +339,7 @@ class BaselineAdapter(SUTAdapter):
         return self.engine.active_query_count
 
     def result_counts(self) -> Dict[str, int]:
-        return {
-            query_id: self.engine.channels.count(query_id)
-            for query_id in self.engine.channels.query_ids()
-        }
+        return self.engine.result_counts()
 
 
 class Driver:
@@ -456,6 +462,10 @@ class Driver:
         except ClusterCapacityError as error:
             report.sustained = False
             report.failure = f"cluster capacity exhausted: {error}"
+        # Settle any in-flight work (pipelined backends buffer frames)
+        # before stopping the clock, so wall_seconds charges the full
+        # processing cost, not just the submission cost.
+        self.adapter.finish()
         report.wall_seconds = time.perf_counter() - started_wall
         # Drain the jitter buffer, then close remaining windows.
         while self._delayed:

@@ -39,8 +39,25 @@ class TestChangelog:
 
     def test_changed_slots_deduplicated(self):
         changelog = _changelog(1, created=[1], deleted=[1], width=2)
-        assert changelog.changed_slots == [1]
+        assert changelog.changed_slots == (1,)
         assert changelog.change_count == 2
+
+    def test_changelog_set_is_cached(self):
+        """The mask is computed once per frozen instance (marker hot path)."""
+        changelog = _changelog(1, created=[1], deleted=[1], width=2)
+        first = changelog.changelog_set
+        assert changelog.__dict__["changelog_set"] == first
+        assert changelog.changelog_set is first
+
+    def test_cached_changelog_survives_pickling(self):
+        """Shard workers receive changelogs by pickle; masks must match."""
+        import pickle
+
+        changelog = _changelog(3, created=[0, 2], deleted=[1], width=4)
+        _ = changelog.changelog_set  # populate the cache pre-pickle
+        clone = pickle.loads(pickle.dumps(changelog))
+        assert clone.changelog_set == changelog.changelog_set
+        assert clone.changed_slots == changelog.changed_slots
 
     def test_sequence_validation(self):
         with pytest.raises(ValueError):

@@ -71,6 +71,17 @@ class TestSliceIndex:
         assert len(index) == 1
         assert index.expired_total == 2
 
+    def test_expire_before_regressed_watermark_is_noop(self):
+        index = SliceIndex()
+        for start in (0, 10, 20):
+            index.get_or_create(start, start + 10, 0)
+        assert [s.start for s in index.expire_before(20)] == [0, 10]
+        # A lagging shard-local watermark must not expire anything more
+        # (and must not scan): the expiry horizon is monotonic.
+        assert index.expire_before(5) == []
+        assert len(index) == 1
+        assert [s.start for s in index.expire_before(30)] == [20]
+
     def test_iteration_in_time_order(self):
         index = SliceIndex()
         index.get_or_create(20, 30, 0)
@@ -247,6 +258,20 @@ class TestPruning:
         # Lookups at and after the horizon still resolve.
         assert timeline.epoch_for(2_500)[0] == 2
         assert timeline.epoch_for(9_999)[0] == 3
+
+    def test_timeline_prune_regressed_watermark_is_noop(self):
+        # Shard-local watermarks can lag each other; a prune call with
+        # an older timestamp than one already applied must not assume
+        # it is the global minimum and must leave the timeline alone.
+        timeline = EpochTimeline()
+        timeline.append(1, 1_000)
+        timeline.append(2, 2_000)
+        timeline.append(3, 3_000)
+        assert timeline.prune_before(2_500) == 2
+        assert timeline.prune_before(1_500) == 0
+        assert timeline.epoch_for(2_500)[0] == 2
+        # Advancing past the old horizon prunes again.
+        assert timeline.prune_before(3_500) == 1
 
     def test_timeline_prune_noop_before_first(self):
         timeline = EpochTimeline()

@@ -13,7 +13,10 @@ from repro.harness.report import render_table
 class TestRegistry:
     def test_every_paper_figure_has_an_experiment(self):
         expected = {f"fig{number:02d}" for number in range(9, 21)}
-        assert set(figures.ALL_FIGURES) == expected
+        # Companions (e.g. the measured process-backend scaling run)
+        # may extend the registry; every paper figure must be present.
+        assert expected <= set(figures.ALL_FIGURES)
+        assert "fig17_measured" in figures.ALL_FIGURES
 
     def test_all_entries_callable(self):
         for name, experiment in figures.ALL_FIGURES.items():

@@ -1,0 +1,184 @@
+"""Process-sharded execution must be invisible in the output (ISSUE 3).
+
+Full SC1/SC2 scenario runs are repeated on the process backend with 1,
+2, and 4 workers and compared byte-for-byte (canonical result order)
+against the in-process engine on the same schedule: hash-sharding keyed
+state across worker processes plus the deterministic merge is a pure
+re-encoding of the same computation.  The same must hold through a
+SIGKILLed worker followed by checkpoint-restore + input-log replay
+recovery, and repeated runs must be bit-identical (seeded determinism).
+"""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.core.qos import QoSMonitor
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.driver import AStreamAdapter, Driver, DriverConfig
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule, sc2_schedule
+
+STREAMS = ("A", "B")
+WORKER_COUNTS = (1, 2, 4)
+CONFIG = dict(input_rate_tps=100.0, duration_s=8.0, step_ms=250)
+
+
+def _sc1():
+    return sc1_schedule(
+        QueryGenerator(streams=STREAMS, seed=33), 1, 4, kind="join"
+    )
+
+
+def _sc2():
+    return sc2_schedule(
+        QueryGenerator(streams=STREAMS, seed=33), 2, 3, 2, kind="agg"
+    )
+
+
+def _canonical(engine):
+    """Per-query outputs in the deterministic cross-backend order."""
+    return {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.canonical_results(query_id)
+        ]
+        for query_id in sorted(engine.result_counts())
+    }
+
+
+def _run(schedule, workers=None, batch_size=7):
+    """Drive one scenario; ``workers=None`` runs the inline engine."""
+    qos = QoSMonitor(sample_every=32)
+    config = EngineConfig(streams=STREAMS, parallelism=1)
+    if workers is None:
+        engine = AStreamEngine(
+            config,
+            cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+            on_deliver=qos.on_deliver,
+        )
+    else:
+        engine = ProcessAStreamEngine(
+            config, on_deliver=qos.on_deliver, workers=workers
+        )
+    Driver(
+        AStreamAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(batch_size=batch_size, **CONFIG),
+        qos=qos,
+    ).run()
+    counts = engine.result_counts()
+    outputs = _canonical(engine)
+    engine.shutdown()
+    return counts, outputs
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("scenario", [_sc1, _sc2], ids=["sc1", "sc2"])
+    def test_outputs_byte_equal_across_worker_counts(self, scenario):
+        schedule = scenario()
+        reference_counts, reference = _run(schedule)
+        assert reference and any(reference.values())
+        for workers in WORKER_COUNTS:
+            counts, outputs = _run(schedule, workers=workers)
+            assert counts == reference_counts, f"workers={workers}"
+            assert set(outputs) == set(reference)
+            for query_id in reference:
+                assert outputs[query_id] == reference[query_id], (
+                    f"workers={workers} diverged on {query_id}"
+                )
+
+    def test_single_record_batches_equal_too(self):
+        # batch_size=1 exercises the ("push", ...) single-record wire
+        # path instead of the partitioned ("batch", ...) path.
+        schedule = _sc1()
+        _, reference = _run(schedule, batch_size=1)
+        _, outputs = _run(schedule, workers=2, batch_size=1)
+        assert outputs == reference
+
+    def test_process_runs_are_deterministic(self):
+        schedule = _sc2()
+        first = _run(schedule, workers=4)
+        second = _run(schedule, workers=4)
+        assert first == second
+
+
+# ---------------------------------------------------------------------------
+# Chaos: SIGKILL a shard worker mid-run, recover, compare to fault-free
+# ---------------------------------------------------------------------------
+
+CHAOS_STEPS = 24
+CHAOS_STEP_MS = 250
+
+# Built once: query ids carry a process-global counter, so comparison
+# runs must share one schedule or identical queries get different ids.
+CHAOS_SCHEDULE = sc1_schedule(
+    QueryGenerator(streams=STREAMS, seed=77), 1, 4, kind="agg"
+)
+
+
+def _chaos_run(workers=None, kill_at_step=None):
+    """Manually drive a run with periodic checkpoints and optional kill.
+
+    The driver is bypassed so the kill lands at an exact point in the
+    element sequence; both engines see the identical interleaving of
+    submissions, records, watermarks, and checkpoint barriers.
+    """
+    config = EngineConfig(streams=STREAMS, parallelism=1, log_inputs=True)
+    if workers is None:
+        engine = AStreamEngine(config)
+    else:
+        engine = ProcessAStreamEngine(config, workers=workers)
+    data = DataGenerator(seed=5)
+    events = sorted(CHAOS_SCHEDULE.requests, key=lambda event: event.at_ms)
+    index = 0
+    recovery = None
+    for step in range(CHAOS_STEPS):
+        now = step * CHAOS_STEP_MS
+        while index < len(events) and events[index].at_ms <= now:
+            event = events[index]
+            index += 1
+            if event.kind == "create":
+                engine.submit(event.query, now_ms=now)
+            else:
+                engine.stop(event.query_id, now_ms=now)
+        engine.tick(now)
+        for stream in STREAMS:
+            for offset in range(25):
+                engine.push(stream, now + offset * 10, data.next_tuple())
+        engine.watermark(now)
+        if step % 8 == 7:
+            engine.checkpoint()
+        if kill_at_step is not None and step == kill_at_step:
+            engine.kill_worker(0)
+            assert engine.alive_workers == workers - 1
+            recovery = engine.recover()
+            assert engine.alive_workers == workers
+    engine.watermark(CHAOS_STEPS * CHAOS_STEP_MS + 10_000)
+    if hasattr(engine, "drain"):
+        engine.drain()
+    outputs = _canonical(engine)
+    engine.shutdown()
+    return outputs, recovery
+
+
+class TestWorkerKillRecovery:
+    def test_kill_and_recover_is_exactly_once(self):
+        oracle, _ = _chaos_run()
+        assert oracle and any(oracle.values())
+        for workers in (2, 4):
+            clean, _ = _chaos_run(workers=workers)
+            assert clean == oracle, f"workers={workers} clean run diverged"
+            faulted, recovery = _chaos_run(workers=workers, kill_at_step=10)
+            assert recovery is not None
+            assert recovery.replayed_elements > 0
+            assert faulted == oracle, (
+                f"workers={workers} kill+recover diverged"
+            )
+
+    def test_chaos_runs_are_seed_deterministic(self):
+        first = _chaos_run(workers=2, kill_at_step=10)[0]
+        second = _chaos_run(workers=2, kill_at_step=10)[0]
+        assert first == second

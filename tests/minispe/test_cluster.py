@@ -67,6 +67,35 @@ class TestPerformanceModel:
         assert cluster.parallelism_for(max_parallelism=4) == 4
 
 
+class TestClusterModes:
+    def test_modeled_is_the_default(self):
+        assert SimulatedCluster().mode == "modeled"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(mode="threads")
+
+    def test_process_mode_pins_speedup_to_one(self):
+        # Real worker processes measure wall time directly; applying the
+        # modelled scale-out on top would double-count parallelism.
+        eight = SimulatedCluster(ClusterSpec(nodes=8), mode="process")
+        assert eight.speedup() == pytest.approx(1.0)
+        assert SimulatedCluster(
+            ClusterSpec(nodes=8), mode="modeled"
+        ).speedup() == pytest.approx(2 ** 0.5)
+
+    def test_process_mode_keeps_slot_accounting(self):
+        cluster = SimulatedCluster(
+            ClusterSpec(nodes=1, cores_per_node=4), mode="process"
+        )
+        cluster.allocate("job", 3)
+        assert cluster.free_slots == 1
+        with pytest.raises(ClusterCapacityError):
+            cluster.allocate("big", 2)
+        cluster.release("job")
+        assert cluster.free_slots == 4
+
+
 class TestDeploymentCostModel:
     def test_cold_deploy_exceeds_redeploy(self):
         model = DeploymentCostModel()

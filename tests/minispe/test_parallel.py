@@ -1,0 +1,255 @@
+"""Tests for the process-parallel shard pool and sharded runtime.
+
+These cover the transport layer with small toy programs: frame
+batching and acks, the delivery-sample cap, worker error propagation,
+chaos kills, and the hash-sharded routing / aligned snapshot collection
+of :class:`~repro.minispe.parallel.ShardedRuntime`.  Byte-equality of
+the full AStream engine across backends lives in
+``tests/integration/test_parallel_equivalence.py``.
+"""
+
+import pytest
+
+from repro.minispe.checkpoint import (
+    SHARD_STATE_KEY,
+    pack_shard_states,
+    unpack_shard_states,
+)
+from repro.minispe.parallel import (
+    ACK_DELIVERY_CAP,
+    ProcessShardPool,
+    ShardProgram,
+    ShardWorkerError,
+    ShardedRuntime,
+)
+from repro.minispe.record import Record, RecordBatch, Watermark
+from repro.minispe.runtime import stable_hash
+
+
+class EchoProgram(ShardProgram):
+    """Toy program: accumulates values, emits deliveries, can raise."""
+
+    def __init__(self, shard_index, shard_count):
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.values = []
+        self._deliveries = []
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "add":
+            self.values.append(op[1])
+            return None
+        if kind == "deliver":
+            self._deliveries.extend(("q", i) for i in range(op[1]))
+            return None
+        if kind == "values":
+            return list(self.values)
+        if kind == "ident":
+            return (self.shard_index, self.shard_count)
+        if kind == "boom":
+            raise RuntimeError("boom op")
+        raise ValueError(f"unknown op {kind!r}")
+
+    def take_deliveries(self, limit=None):
+        if limit is None or limit >= len(self._deliveries):
+            deliveries = self._deliveries
+            self._deliveries = []
+            return deliveries
+        deliveries = self._deliveries[:limit]
+        del self._deliveries[:limit]
+        return deliveries
+
+
+class KeyCollector(ShardProgram):
+    """Toy program understanding the ShardedRuntime wire ops."""
+
+    def __init__(self, shard_index, shard_count):
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.keys = []
+        self.watermarks = 0
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "push":
+            element = op[2]
+            if isinstance(element, Record):
+                self.keys.append(element.key)
+            elif isinstance(element, Watermark):
+                self.watermarks += 1
+            return None
+        if kind == "batch":
+            self.keys.extend(record.key for record in op[2])
+            return None
+        if kind == "keys":
+            return list(self.keys)
+        if kind == "watermarks":
+            return self.watermarks
+        if kind == "snapshot":
+            if not self.keys:
+                return {"runtime": None}
+            return {"runtime": {"keys": list(self.keys)}}
+        if kind == "restore":
+            self.keys = list(op[1]["runtime"]["keys"])
+            return True
+        if kind == "stats":
+            return {"records_processed": {"collector": len(self.keys)}}
+        raise ValueError(f"unknown op {kind!r}")
+
+
+@pytest.fixture
+def pool():
+    pool = ProcessShardPool(2, EchoProgram, frame_records=4)
+    yield pool
+    pool.terminate()
+
+
+class TestProcessShardPool:
+    def test_sync_reaches_every_shard_in_order(self, pool):
+        assert pool.sync(("ident",)) == [(0, 2), (1, 2)]
+
+    def test_submitted_ops_apply_in_fifo_order(self, pool):
+        for value in range(10):
+            pool.submit(value % 2, ("add", value))
+        values = pool.sync(("values",))
+        assert values[0] == [0, 2, 4, 6, 8]
+        assert values[1] == [1, 3, 5, 7, 9]
+
+    def test_broadcast_hits_all_shards(self, pool):
+        pool.broadcast(("add", "x"))
+        assert pool.sync(("values",)) == [["x"], ["x"]]
+
+    def test_frames_flush_at_frame_records(self, pool):
+        # 4 records fill a frame; the 4th submission flushes without an
+        # explicit drain, so the values arrive even before sync's flush.
+        for value in range(4):
+            pool.submit(0, ("add", value))
+        handle = pool._handles[0]
+        assert handle.buffer == []  # auto-flushed
+        assert pool.sync(("values",))[0] == [0, 1, 2, 3]
+
+    def test_regular_acks_cap_deliveries(self):
+        received = []
+        pool = ProcessShardPool(
+            1, EchoProgram, on_deliver=lambda q, t: received.append((q, t))
+        )
+        try:
+            pool.submit(0, ("deliver", 3 * ACK_DELIVERY_CAP))
+            pool.drain()
+            # One regular ack ships at most the cap; the backlog stays
+            # on the worker (deadlock avoidance: acks must stay far
+            # below the pipe buffer while frames are still flowing).
+            assert len(received) == ACK_DELIVERY_CAP
+            pool.sync(("values",))
+            # Synchronous acks flush the whole backlog.
+            assert len(received) == 3 * ACK_DELIVERY_CAP
+        finally:
+            pool.terminate()
+
+    def test_worker_exception_raises_shard_error(self, pool):
+        pool.submit(1, ("boom",))
+        with pytest.raises(ShardWorkerError) as info:
+            pool.drain()
+        assert info.value.shard == 1
+        assert "boom" in str(info.value)
+        # The worker survives an op exception and keeps serving.
+        assert pool.sync(("ident",)) == [(0, 2), (1, 2)]
+
+    def test_kill_marks_worker_down(self, pool):
+        pool.kill(0)
+        assert pool.alive_workers == 1
+        with pytest.raises(ShardWorkerError):
+            pool.submit(0, ("add", 1))
+            pool.drain()
+        # The surviving shard still answers.
+        assert pool.sync_one(1, ("ident",)) == (1, 2)
+
+    def test_close_is_graceful_and_idempotent(self):
+        pool = ProcessShardPool(2, EchoProgram)
+        pool.submit(0, ("add", 1))
+        pool.close()
+        pool.close()
+        assert all(not h.process.is_alive() for h in pool._handles)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessShardPool(0, EchoProgram)
+        with pytest.raises(ValueError):
+            ProcessShardPool(1, EchoProgram, frame_records=0)
+        with pytest.raises(ValueError):
+            ProcessShardPool(1, EchoProgram, max_in_flight=0)
+
+
+@pytest.fixture
+def runtime():
+    pool = ProcessShardPool(3, KeyCollector, frame_records=8)
+    runtime = ShardedRuntime(pool)
+    yield runtime
+    pool.terminate()
+
+
+class TestShardedRuntime:
+    KEYS = list(range(17)) + ["alpha", "beta", "gamma"]
+
+    def test_records_route_by_stable_hash(self, runtime):
+        for key in self.KEYS:
+            runtime.push("s", Record(timestamp=1, value="v", key=key))
+        per_shard = runtime.pool.sync(("keys",))
+        for shard, keys in enumerate(per_shard):
+            assert keys == [
+                key for key in self.KEYS if stable_hash(key) % 3 == shard
+            ]
+
+    def test_batch_partitioning_matches_single_pushes(self, runtime):
+        records = [
+            Record(timestamp=1, value="v", key=key) for key in self.KEYS
+        ]
+        runtime.push("s", RecordBatch(records))
+        per_shard = runtime.pool.sync(("keys",))
+        for shard, keys in enumerate(per_shard):
+            assert keys == [
+                key for key in self.KEYS if stable_hash(key) % 3 == shard
+            ]
+
+    def test_control_elements_broadcast(self, runtime):
+        runtime.push("s", Watermark(timestamp=5))
+        runtime.push("s", Watermark(timestamp=6))
+        assert runtime.pool.sync(("watermarks",)) == [2, 2, 2]
+
+    def test_records_processed_sums_shards(self, runtime):
+        for key in range(6):
+            runtime.push("s", Record(timestamp=1, value="v", key=key))
+        assert runtime.records_processed() == {"collector": 6}
+
+    def test_checkpoint_roundtrip(self, runtime):
+        for key in self.KEYS:
+            runtime.push("s", Record(timestamp=1, value="v", key=key))
+        snapshot = runtime.completed_checkpoint(1)
+        assert snapshot is not None
+        before = runtime.pool.sync(("keys",))
+        runtime.restore_checkpoint(snapshot)
+        assert runtime.pool.sync(("keys",)) == before
+
+    def test_incomplete_checkpoint_returns_none(self, runtime):
+        # Shard key-sets are empty -> every shard reports no snapshot.
+        assert runtime.completed_checkpoint(1) is None
+
+    def test_restore_validates_shape(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.restore_checkpoint({"not": "sharded"})
+        with pytest.raises(ValueError):
+            runtime.restore_checkpoint(pack_shard_states([{"runtime": {}}]))
+
+
+class TestShardStatePacking:
+    def test_roundtrip(self):
+        states = [{"runtime": 1}, {"runtime": 2}]
+        packed = pack_shard_states(states)
+        assert SHARD_STATE_KEY in packed
+        assert unpack_shard_states(packed) == states
+
+    def test_unpack_rejects_other_snapshots(self):
+        assert unpack_shard_states({"operators": {}}) is None
+        assert unpack_shard_states("blob") is None
+        assert unpack_shard_states(None) is None
