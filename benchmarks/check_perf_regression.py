@@ -13,9 +13,17 @@ Usage::
 
     python benchmarks/check_perf_regression.py            # gate (CI)
     python benchmarks/check_perf_regression.py --update   # re-baseline
+    python benchmarks/check_perf_regression.py --observe-overhead
 
 The gate fails when a gated metric drops more than ``TOLERANCE`` (20 %)
 below its committed baseline value.
+
+``--observe-overhead`` gates the telemetry subsystem (ISSUE 4) instead:
+the same SC1 workload is run in interleaved pairs with ``observe`` off
+and on, and the median on/off service-throughput ratio must stay at or
+above ``OBSERVE_FLOOR`` (telemetry may cost at most 10 % service_tps).
+The observe-off path is already covered by the default gate — telemetry
+off leaves the data path with one ``is None`` check per delivery.
 """
 
 from __future__ import annotations
@@ -31,9 +39,11 @@ BASELINE_PATH = Path(__file__).parent / "baselines" / "perf_baseline.csv"
 TOLERANCE = 0.20
 REPEATS = 4
 GATED_METRICS = ("batched_speedup_sc1_agg",)
+OBSERVE_FLOOR = 0.90
+"""Minimum observe-on / observe-off service-throughput ratio."""
 
 
-def _service_tps(batch_size: int) -> float:
+def _service_tps(batch_size: int, observe: bool = False) -> float:
     """One run's service rate for the gate's SC1 aggregation workload.
 
     Aggregation keeps per-record work small and constant, so the
@@ -49,6 +59,7 @@ def _service_tps(batch_size: int) -> float:
             input_rate_tps=2_000.0,
             duration_s=10.0,
             batch_size=batch_size,
+            observe=observe,
         ),
         scenario="sc1",
         queries_per_second=4.0,
@@ -80,6 +91,27 @@ def measure() -> dict:
         "batched_speedup_sc1_agg": median_ratio,
         "batched_service_tps_sc1_agg": best_batched,
         "unbatched_service_tps_sc1_agg": best_unbatched,
+    }
+
+
+def measure_observe_overhead() -> dict:
+    """Median observe-on / observe-off service-throughput ratio.
+
+    Pairs are interleaved for the same drift-cancelling reason as
+    :func:`measure`; telemetry runs use the default sampling cadence
+    (every 32nd push), which is what ``runner --observe`` ships.
+    """
+    _service_tps(64)  # discarded warm-up
+    pairs = [
+        (_service_tps(64), _service_tps(64, observe=True))
+        for _ in range(REPEATS)
+    ]
+    ratios = sorted(observed / plain for plain, observed in pairs if plain)
+    median_ratio = ratios[len(ratios) // 2] if ratios else 0.0
+    return {
+        "observe_overhead_ratio_sc1_agg": median_ratio,
+        "observe_on_service_tps_sc1_agg": max(on for _, on in pairs),
+        "observe_off_service_tps_sc1_agg": max(off for off, _ in pairs),
     }
 
 
@@ -122,7 +154,30 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="write the measured metrics as the new "
                              "committed baseline instead of gating")
+    parser.add_argument("--observe-overhead", action="store_true",
+                        help="gate the telemetry overhead (observe-on "
+                             "service throughput must stay within 10%% "
+                             "of observe-off) instead of the baseline "
+                             "metrics")
     args = parser.parse_args(argv)
+
+    if args.observe_overhead:
+        measured = measure_observe_overhead()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        ratio = measured["observe_overhead_ratio_sc1_agg"]
+        if ratio < OBSERVE_FLOOR:
+            print(
+                f"REGRESSION: observe-on service throughput is "
+                f"{ratio:.3f}x observe-off (floor {OBSERVE_FLOOR:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"observe overhead gate OK ({ratio:.3f}x >= "
+            f"{OBSERVE_FLOOR:.2f}x of observe-off throughput)"
+        )
+        return 0
 
     measured = measure()
     for metric, value in measured.items():

@@ -38,6 +38,13 @@ Quickstart::
     ...
 """
 
+import logging as _logging
+
+# Library contract: no handlers by default — entry points opt into
+# console logging via repro.logsetup.configure_logging (runner
+# --verbose).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
 from repro.core import (
     AggregationQuery,
     AggregationSpec,

@@ -26,6 +26,9 @@ how a submitted query finds its operators.
 
 from __future__ import annotations
 
+import logging
+import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -48,6 +51,9 @@ from repro.minispe.record import (
     Watermark,
 )
 from repro.minispe.runtime import JobRuntime
+from repro.obs import Observability
+
+logger = logging.getLogger("repro.core.engine")
 
 
 @dataclass
@@ -78,6 +84,16 @@ class EngineConfig:
     collect_sharing_stats: bool = False
     """Collect runtime query-overlap statistics (§7 future work); read
     them via :meth:`AStreamEngine.sharing_report`."""
+    observe: bool = False
+    """Enable the :mod:`repro.obs` telemetry subsystem: hierarchical
+    metrics, sampled span tracing of the tuple lifecycle, and the
+    structured control-plane event log.  Off (the default) compiles the
+    instrumentation out of the hot paths — outputs are byte-identical
+    either way."""
+    obs_sample_every: int = 32
+    """Trace every Nth source push when ``observe`` is on."""
+    obs_event_capacity: int = 65_536
+    """Event-log ring size when ``observe`` is on."""
 
     def __post_init__(self) -> None:
         if len(self.streams) < 1:
@@ -180,6 +196,14 @@ class AStreamEngine:
         self._aggregations: Dict[str, List[SharedAggregationOperator]] = {}
         self._routers: Dict[str, List[RouterOperator]] = {}
         self._stage_names: set = set()
+        self.obs: Optional[Observability] = (
+            Observability(
+                sample_every=self.config.obs_sample_every,
+                event_capacity=self.config.obs_event_capacity,
+            )
+            if self.config.observe
+            else None
+        )
         self.graph = self._build_graph()
         self.runtime = self._make_runtime()
         self.cluster.allocate(self.JOB_NAME, self.graph.total_instances())
@@ -207,7 +231,7 @@ class AStreamEngine:
         touching the engine's control and data paths.  Called once at
         construction and again by :meth:`recover` to redeploy.
         """
-        return JobRuntime(self.graph)
+        return JobRuntime(self.graph, obs=self.obs)
 
     def _build_graph(self) -> JobGraph:
         config = self.config
@@ -216,6 +240,10 @@ class AStreamEngine:
 
         def register(holder: Dict[str, list], key: str, operator):
             holder.setdefault(key, []).append(operator)
+            # Shared operators emit control-plane events (slice
+            # create/expire) when the engine observes; None keeps their
+            # watermark path unchanged.
+            operator.obs = self.obs
             return operator
 
         def add_router(graph: JobGraph, upstream_vertex: str, stage_key: str):
@@ -392,6 +420,27 @@ class AStreamEngine:
                     ready_at_ms=ready_at,
                 )
             )
+        if self.obs is not None:
+            self.obs.events.emit(
+                "changelog",
+                t_ms=now_ms,
+                sequence=changelog.sequence,
+                created=[a.query.query_id for a in changelog.created],
+                deleted=[d.query_id for d in changelog.deleted],
+                width_after=changelog.width_after,
+            )
+            for request in completed:
+                self.obs.events.emit(
+                    f"query_{request.kind.value}",
+                    t_ms=now_ms,
+                    query_id=request.target_id,
+                    sequence=changelog.sequence,
+                    requested_at_ms=request.enqueued_at_ms,
+                    ready_at_ms=ready_at,
+                )
+            self.obs.registry.histogram("deployment_latency_ms").record(
+                ready_at - now_ms
+            )
 
     def _deployment_cost_ms(self, changelog: Changelog) -> int:
         cost_model = self.cluster.cost_model
@@ -517,6 +566,7 @@ class AStreamEngine:
             )
         checkpoint_id = self._next_checkpoint_id
         self._next_checkpoint_id += 1
+        started_ns = time.perf_counter_ns() if self.obs is not None else 0
         barrier = CheckpointBarrier(timestamp=0, checkpoint_id=checkpoint_id)
         for stream in self.config.streams:
             self.runtime.push(f"source:{stream}", barrier)
@@ -525,10 +575,11 @@ class AStreamEngine:
             raise RuntimeError(
                 f"checkpoint {checkpoint_id} did not complete on all instances"
             )
+        log_offset = self._input_log_base + len(self._input_log)
         self._checkpoints.append(
             EngineCheckpoint(
                 checkpoint_id=checkpoint_id,
-                log_offset=self._input_log_base + len(self._input_log),
+                log_offset=log_offset,
                 runtime_state=state,
                 channels_state=self.channels.snapshot(),
                 session_state=copy.deepcopy(self.session),
@@ -536,6 +587,27 @@ class AStreamEngine:
                 stream_watermarks=dict(self._stream_watermarks),
             )
         )
+        if self.obs is not None:
+            duration_ms = (time.perf_counter_ns() - started_ns) / 1e6
+            size_bytes = len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+            registry = self.obs.registry
+            registry.counter("checkpoints").inc()
+            registry.histogram("checkpoint_duration_ms").record(duration_ms)
+            registry.histogram("checkpoint_size_bytes").record(size_bytes)
+            self.obs.events.emit(
+                "checkpoint",
+                checkpoint_id=checkpoint_id,
+                log_offset=log_offset,
+                size_bytes=size_bytes,
+                duration_ms=duration_ms,
+            )
+            logger.info(
+                "checkpoint %d complete: %d bytes in %.2f ms (log offset %d)",
+                checkpoint_id,
+                size_bytes,
+                duration_ms,
+                log_offset,
+            )
         return checkpoint_id
 
     def recover(self) -> RecoveryInfo:
@@ -561,6 +633,7 @@ class AStreamEngine:
         """
         if not self.config.log_inputs:
             raise RuntimeError("recovery needs EngineConfig(log_inputs=True)")
+        started_ns = time.perf_counter_ns() if self.obs is not None else 0
         # Fresh instances: clear operator registries so introspection and
         # component stats point at the recovered topology only.
         self._selections.clear()
@@ -622,13 +695,35 @@ class AStreamEngine:
             else:  # marker
                 for stream in self.config.streams:
                     self.runtime.push(f"source:{stream}", payload)
-        return RecoveryInfo(
+        info = RecoveryInfo(
             checkpoint_id=(
                 checkpoint.checkpoint_id if checkpoint is not None else None
             ),
             replayed_elements=len(replay),
             restored_queries=self.active_query_count,
         )
+        if self.obs is not None:
+            duration_ms = (time.perf_counter_ns() - started_ns) / 1e6
+            registry = self.obs.registry
+            registry.counter("recoveries").inc()
+            registry.histogram("restore_duration_ms").record(duration_ms)
+            registry.histogram("replayed_elements").record(len(replay))
+            self.obs.events.emit(
+                "restore",
+                checkpoint_id=info.checkpoint_id,
+                replayed_elements=info.replayed_elements,
+                restored_queries=info.restored_queries,
+                duration_ms=duration_ms,
+            )
+            logger.info(
+                "recovered from checkpoint %s: replayed %d elements, "
+                "%d queries restored in %.2f ms",
+                info.checkpoint_id,
+                info.replayed_elements,
+                info.restored_queries,
+                duration_ms,
+            )
+        return info
 
     def compact_input_log(self) -> int:
         """Drop log entries already covered by the latest checkpoint.
@@ -739,6 +834,90 @@ class AStreamEngine:
                 stats["router_copies"] += op.copies
                 stats["router_ns"] += op.profile_ns
         return stats
+
+    # -- observability -----------------------------------------------------------------
+
+    def _refresh_obs_gauges(self) -> None:
+        """Pull live operator/engine state into the metrics registry.
+
+        Counters on the operators are plain attributes (kept cheap for
+        the data path); snapshotting copies them into labelled gauges so
+        one registry snapshot carries the whole engine picture.  Additive
+        state merges with ``sum`` across shards; replicated facts
+        (registry width, active query count) merge with ``max``.
+        """
+        registry = self.obs.registry
+        for stream, operators in self._selections.items():
+            scope = registry.scope(operator=f"select:{stream}")
+            for op in operators:
+                scope.gauge("predicate_evaluations").set(
+                    op.predicate_evaluations
+                )
+                scope.gauge("records_dropped").set(op.records_dropped)
+                scope.gauge("active_query_count", merge="max").set(
+                    op.active_query_count
+                )
+        for join_key, operators in self._joins.items():
+            scope = registry.scope(operator=join_key)
+            for op in operators:
+                scope.gauge("slices_left").set(len(op._left))
+                scope.gauge("slices_right").set(len(op._right))
+                scope.gauge("slices_created").set(
+                    op._left.created_total + op._right.created_total
+                )
+                scope.gauge("slices_expired").set(
+                    op._left.expired_total + op._right.expired_total
+                )
+                scope.gauge("tuples_stored").set(op.tuples_stored)
+                scope.gauge("pair_cache_size").set(len(op._pair_cache))
+                scope.gauge("changelog_table_size").set(len(op._changelogs))
+                scope.gauge("pairs_computed").set(op.pairs_computed)
+                scope.gauge("pairs_reused").set(op.pairs_reused)
+                scope.gauge("results_emitted").set(op.results_emitted)
+                scope.gauge("late_records_dropped").set(
+                    op.late_records_dropped
+                )
+                scope.gauge("bitset_ops").set(op.bitset_ops)
+        for agg_key, operators in self._aggregations.items():
+            scope = registry.scope(operator=agg_key)
+            for op in operators:
+                scope.gauge("slices").set(len(op._slices))
+                scope.gauge("slices_created").set(op._slices.created_total)
+                scope.gauge("slices_expired").set(op._slices.expired_total)
+                scope.gauge("session_windows").set(len(op._session_state))
+                scope.gauge("changelog_table_size").set(len(op._changelogs))
+                scope.gauge("partial_updates").set(op.partial_updates)
+                scope.gauge("results_emitted").set(op.results_emitted)
+                scope.gauge("late_records_dropped").set(
+                    op.late_records_dropped
+                )
+                scope.gauge("bitset_ops").set(op.bitset_ops)
+        for router_key, operators in self._routers.items():
+            scope = registry.scope(operator=f"router:{router_key}")
+            for op in operators:
+                scope.gauge("copies").set(op.copies)
+                scope.gauge("fan_out").set(len(op._slot_to_query))
+        for vertex, count in self.runtime.records_processed().items():
+            registry.gauge("operator_records_in", operator=vertex).set(count)
+        registry.gauge("active_queries", merge="max").set(
+            self.active_query_count
+        )
+        registry.gauge("bitset_width", merge="max").set(
+            self.session.registry.width
+        )
+        registry.gauge("input_log_size", merge="max").set(self.input_log_size)
+        registry.gauge("completed_checkpoints", merge="max").set(
+            self.completed_checkpoints
+        )
+
+    def obs_snapshot(self) -> Dict:
+        """The engine's full telemetry snapshot (observe mode only)."""
+        if self.obs is None:
+            raise RuntimeError(
+                "telemetry needs EngineConfig(observe=True)"
+            )
+        self._refresh_obs_gauges()
+        return self.obs.snapshot()
 
     def sharing_report(
         self, limit: int = 10, min_jaccard: float = 0.0

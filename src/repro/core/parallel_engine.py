@@ -23,20 +23,27 @@ value order), making outputs byte-identical to the in-process path.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import AStreamEngine, EngineConfig
 from repro.core.router import QueryOutput, merge_channel_snapshots
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 from repro.minispe.parallel import (
+    ACK_OBS_EVENT_CAP,
     DEFAULT_FRAME_RECORDS,
     DEFAULT_MAX_IN_FLIGHT,
     Op,
     ProcessShardPool,
     ShardProgram,
+    ShardWorkerError,
     ShardedRuntime,
 )
 from repro.minispe.record import Record, RecordBatch
+from repro.obs.registry import merge_snapshots, relabel_snapshot
+from repro.obs.tracing import merge_trace_snapshots
+
+logger = logging.getLogger("repro.core.parallel_engine")
 
 
 class AStreamShardProgram(ShardProgram):
@@ -76,6 +83,14 @@ class AStreamShardProgram(ShardProgram):
                 self._record_delivery if self._sample_every else None
             ),
         )
+        # Satellite: per-worker profiling.  The coordinator fetches the
+        # formatted report with a ("profile",) sync op before shutdown.
+        self._profiler = None
+        if worker_config.profile:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
 
     def _record_delivery(self, query_id: str, timestamp: int) -> None:
         self._deliver_seen += 1
@@ -117,7 +132,53 @@ class AStreamShardProgram(ShardProgram):
             }
         if kind == "drain":
             return True
+        if kind == "obs":
+            # The telemetry payload itself rides the ack (take_obs with
+            # unlimited=True, since this is a synchronous op); the reply
+            # only confirms the shard processed the request.
+            return True
+        if kind == "profile":
+            return self._profile_report()
         raise ValueError(f"unknown shard op {kind!r}")
+
+    def _profile_report(self) -> str:
+        """Formatted cProfile stats for this worker ("" if disabled)."""
+        if self._profiler is None:
+            return ""
+        import io
+        import pstats
+
+        self._profiler.disable()
+        try:
+            buffer = io.StringIO()
+            stats = pstats.Stats(self._profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(40)
+            return buffer.getvalue()
+        finally:
+            self._profiler.enable()
+
+    def take_obs(self, unlimited: bool) -> Optional[dict]:
+        """Telemetry delta for the next ack (observe mode only).
+
+        Events ship incrementally on every ack (capped on regular acks);
+        the full registry + trace snapshot only rides unlimited
+        (synchronous) acks, where large payloads cannot deadlock the
+        pipe.
+        """
+        obs = self.engine.obs
+        if obs is None:
+            return None
+        payload: dict = {}
+        events = obs.events.take_new(
+            limit=None if unlimited else ACK_OBS_EVENT_CAP
+        )
+        if events:
+            payload["events"] = events
+        if unlimited:
+            self.engine._refresh_obs_gauges()
+            payload["registry"] = obs.registry.snapshot()
+            payload["trace"] = obs.tracer.snapshot(drain_traces=True)
+        return payload or None
 
     def take_deliveries(
         self, limit: Optional[int] = None
@@ -196,6 +257,13 @@ class ProcessAStreamEngine(AStreamEngine):
         self._merged_at_op_count = -1
         self._shut_down = False
         self._final_component_stats: Optional[Dict[str, float]] = None
+        # Observe mode: latest full per-shard telemetry (replace
+        # semantics — registries/stage totals are cumulative on the
+        # worker) plus incrementally absorbed events and drained traces.
+        self._shard_registry: Dict[int, dict] = {}
+        self._shard_trace: Dict[int, dict] = {}
+        self._worker_profiles: Dict[int, str] = {}
+        self._final_obs_snapshot: Optional[Dict] = None
         super().__init__(
             config,
             cluster or SimulatedCluster(mode="process"),
@@ -222,9 +290,52 @@ class ProcessAStreamEngine(AStreamEngine):
             on_deliver=self._pool_on_deliver,
             frame_records=self._frame_records,
             max_in_flight=self._max_in_flight,
+            on_obs=self._on_shard_obs if self.obs is not None else None,
+            on_stall=self._on_stall if self.obs is not None else None,
         )
         self._merged_at_op_count = -1
         return ShardedRuntime(pool)
+
+    # -- cross-worker telemetry --------------------------------------------
+
+    def _on_shard_obs(self, shard: int, payload: dict) -> None:
+        """Fold one worker's piggybacked telemetry into the coordinator.
+
+        Events are incremental (re-sequenced into the coordinator log
+        with a ``shard`` label); registry and stage totals are cumulative
+        worker-side, so the latest shipment replaces the previous one;
+        per-tuple trace entries are drained worker-side and accumulate
+        here.
+        """
+        events = payload.get("events")
+        if events:
+            self.obs.events.absorb(events, shard=shard)
+        registry = payload.get("registry")
+        if registry is not None:
+            self._shard_registry[shard] = registry
+        trace = payload.get("trace")
+        if trace is not None:
+            previous = self._shard_trace.get(shard)
+            if previous is None:
+                self._shard_trace[shard] = trace
+            else:
+                previous["stage_totals"] = trace["stage_totals"]
+                previous["e2e_count"] = trace["e2e_count"]
+                previous["e2e_total_ns"] = trace["e2e_total_ns"]
+                previous["traces"] = (
+                    previous.get("traces", []) + trace.get("traces", [])
+                )[:512]
+
+    def _on_stall(self, shard: int, waited_ns: int) -> None:
+        """A frame send blocked on the credit window (backpressure)."""
+        waited_ms = waited_ns / 1e6
+        self.obs.registry.counter(
+            "backpressure_stalls", shard=str(shard)
+        ).inc()
+        self.obs.registry.histogram("backpressure_stall_ms").record(waited_ms)
+        self.obs.events.emit(
+            "backpressure_stall", shard=shard, waited_ms=waited_ms
+        )
 
     # -- results (merged from shards) --------------------------------------
 
@@ -280,18 +391,110 @@ class ProcessAStreamEngine(AStreamEngine):
                 totals[name] = totals.get(name, 0) + value
         return totals
 
+    # -- telemetry (merged from shards) -------------------------------------
+
+    def _pull_shard_obs(self) -> None:
+        """Force fresh unlimited acks carrying every shard's snapshot."""
+        self.runtime.pool.sync(("obs",))
+
+    def obs_snapshot(self) -> Dict:
+        """Cluster-wide telemetry: coordinator + every shard, merged.
+
+        The combined registry keeps per-shard addressability (worker
+        entries gain a ``shard`` label) alongside the coordinator's
+        control-plane metrics, and adds ``shard_records{shard=N}`` /
+        ``straggler_skew`` gauges computed from per-shard source input
+        counts.  Trace snapshots merge across shards, so the breakdown
+        covers work wherever it ran.
+        """
+        if self.obs is None:
+            raise RuntimeError("telemetry needs EngineConfig(observe=True)")
+        if self._shut_down:
+            if self._final_obs_snapshot is None:
+                raise RuntimeError("engine shut down before a snapshot")
+            return self._final_obs_snapshot
+        self._pull_shard_obs()
+        self._refresh_obs_gauges()
+        # The selection stage sees every input record routed to its
+        # shard exactly once per stream, so per-shard select input
+        # counts measure the key-partitioning balance.
+        shard_records = {
+            shard: sum(
+                entry["value"]
+                for entry in snapshot.values()
+                if entry["name"] == "operator_records_in"
+                and entry["labels"].get("operator", "").startswith("select:")
+            )
+            for shard, snapshot in self._shard_registry.items()
+        }
+        if shard_records:
+            for shard, count in shard_records.items():
+                self.obs.registry.gauge(
+                    "shard_records", shard=str(shard)
+                ).set(count)
+            mean = sum(shard_records.values()) / len(shard_records)
+            self.obs.registry.gauge("straggler_skew").set(
+                max(shard_records.values()) / mean if mean else 0.0
+            )
+        combined = merge_snapshots(
+            [self.obs.registry.snapshot()]
+            + [
+                relabel_snapshot(snapshot, shard=str(shard))
+                for shard, snapshot in sorted(self._shard_registry.items())
+            ]
+        )
+        trace = merge_trace_snapshots(
+            [self.obs.tracer.snapshot()]
+            + [s for _, s in sorted(self._shard_trace.items())]
+        )
+        return {
+            "registry": combined,
+            "trace": trace,
+            "events_total": self.obs.events.total_emitted,
+            "events_dropped": self.obs.events.dropped,
+            "shards": {
+                str(shard): snapshot
+                for shard, snapshot in sorted(self._shard_registry.items())
+            },
+        }
+
+    def worker_profiles(self) -> Dict[int, str]:
+        """Per-worker cProfile reports (``EngineConfig(profile=True)``).
+
+        Fetched live from the workers, or from the cache captured at
+        :meth:`shutdown`.
+        """
+        if self._shut_down:
+            return dict(self._worker_profiles)
+        reports = {}
+        for shard, report in enumerate(self.runtime.pool.sync(("profile",))):
+            if report:
+                reports[shard] = report
+        self._worker_profiles = dict(reports)
+        return reports
+
     def shutdown(self) -> None:
         """Merge final results, cache stats, and stop the worker pool.
 
-        Results and component stats stay readable afterwards (from the
-        coordinator-side merged channels / the cached totals), so sweeps
-        can shut each run's pool down eagerly instead of accumulating
-        live worker processes.
+        Results, component stats, the final telemetry snapshot, and the
+        worker profiles stay readable afterwards (from coordinator-side
+        caches), so sweeps can shut each run's pool down eagerly instead
+        of accumulating live worker processes.
         """
         if self._shut_down:
             return
         self._refresh_results()
         self._final_component_stats = self.component_stats()
+        if self.config.profile:
+            try:
+                self.worker_profiles()
+            except ShardWorkerError:
+                logger.warning("worker profile collection failed", exc_info=True)
+        if self.obs is not None:
+            try:
+                self._final_obs_snapshot = self.obs_snapshot()
+            except ShardWorkerError:
+                logger.warning("final telemetry collection failed", exc_info=True)
         self._shut_down = True
         super().shutdown()
 

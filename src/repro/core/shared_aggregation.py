@@ -77,6 +77,34 @@ class SharedAggregationOperator(Operator):
         self.profile_ns = 0
         self._last_watermark_ms = -1
 
+        # Telemetry hub, attached by the owning engine when observe mode
+        # is on; slice churn is reported from the watermark path only.
+        self.obs = None
+        self._obs_slices_created = 0
+        self._obs_slices_expired = 0
+
+    def _emit_slice_events(self, watermark_ms: int) -> None:
+        created = self._slices.created_total
+        expired = self._slices.expired_total
+        if created != self._obs_slices_created:
+            self.obs.events.emit(
+                "slice_create",
+                t_ms=watermark_ms,
+                operator=self.name,
+                count=created - self._obs_slices_created,
+                live=len(self._slices),
+            )
+            self._obs_slices_created = created
+        if expired != self._obs_slices_expired:
+            self.obs.events.emit(
+                "slice_expire",
+                t_ms=watermark_ms,
+                operator=self.name,
+                count=expired - self._obs_slices_expired,
+                live=len(self._slices),
+            )
+            self._obs_slices_expired = expired
+
     # -- changelog handling ----------------------------------------------------
 
     def on_marker(self, marker: ChangelogMarker) -> None:
@@ -249,6 +277,8 @@ class SharedAggregationOperator(Operator):
         if self._slicer.prune_before(horizon):
             oldest_epoch = self._slicer.timeline.epoch_for(horizon)[0]
             self._changelogs.prune_memo_before(oldest_epoch)
+        if self.obs is not None:
+            self._emit_slice_events(watermark.timestamp)
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
         self.output(watermark)

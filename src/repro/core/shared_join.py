@@ -121,6 +121,35 @@ class SharedJoinOperator(TwoInputOperator):
         self._last_watermark_ms = -1
         self._forwarded_watermark_ms = -1
 
+        # Telemetry hub, attached by the owning engine when observe mode
+        # is on; slice churn events are emitted from the watermark path
+        # (never the per-record path) so the overhead stays off-band.
+        self.obs = None
+        self._obs_slices_created = 0
+        self._obs_slices_expired = 0
+
+    def _emit_slice_events(self, watermark_ms: int) -> None:
+        created = self._left.created_total + self._right.created_total
+        expired = self._left.expired_total + self._right.expired_total
+        if created != self._obs_slices_created:
+            self.obs.events.emit(
+                "slice_create",
+                t_ms=watermark_ms,
+                operator=self.name,
+                count=created - self._obs_slices_created,
+                live=len(self._left) + len(self._right),
+            )
+            self._obs_slices_created = created
+        if expired != self._obs_slices_expired:
+            self.obs.events.emit(
+                "slice_expire",
+                t_ms=watermark_ms,
+                operator=self.name,
+                count=expired - self._obs_slices_expired,
+                live=len(self._left) + len(self._right),
+            )
+            self._obs_slices_expired = expired
+
     # -- data path ---------------------------------------------------------
 
     def process_left(self, record: Record) -> None:
@@ -270,6 +299,8 @@ class SharedJoinOperator(TwoInputOperator):
             for (start, end), slots_mask in grouped.items():
                 self._fire_window(start, end, slots_mask)
         self._expire(watermark.timestamp)
+        if self.obs is not None:
+            self._emit_slice_events(watermark.timestamp)
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
         # Watermark holdback: join results carry the newest *component*

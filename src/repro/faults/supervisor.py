@@ -26,6 +26,7 @@ strategy on top of either engine:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -34,6 +35,8 @@ from repro.core.engine import RecoveryInfo
 from repro.core.qos import QoSMonitor
 from repro.faults.injector import FaultInjector, FaultRecord
 from repro.minispe.cluster import SimulatedCluster
+
+logger = logging.getLogger("repro.faults.supervisor")
 
 
 @dataclass
@@ -185,6 +188,36 @@ class Supervisor:
         for record in failures:
             record.handled = True
         self.recovery_events.append(event)
+        obs = getattr(self.engine, "obs", None)
+        if obs is not None:
+            for record in failures:
+                obs.registry.counter("faults_injected").inc()
+                obs.events.emit(
+                    "fault_injected",
+                    t_ms=record.fired_at_ms,
+                    fault=record.event.describe(),
+                )
+            obs.registry.counter("supervised_recoveries").inc()
+            obs.registry.histogram("mttr_ms").record(event.mttr_ms)
+            obs.registry.histogram("recovery_replayed_elements").record(
+                event.replayed_elements
+            )
+            obs.events.emit(
+                "supervised_recovery",
+                t_ms=now_ms,
+                cause=cause,
+                detected_at_ms=event.detected_at_ms,
+                recovered_at_ms=event.recovered_at_ms,
+                mttr_ms=event.mttr_ms,
+                checkpoint_id=event.checkpoint_id,
+                replayed_elements=event.replayed_elements,
+            )
+        logger.info(
+            "supervised recovery: %s (mttr=%dms, replayed=%d)",
+            cause,
+            event.mttr_ms,
+            event.replayed_elements,
+        )
         return event
 
     def _recovery_cost_ms(self) -> int:

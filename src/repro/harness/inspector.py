@@ -1,0 +1,163 @@
+"""Live pipeline inspector: render telemetry snapshots for terminals.
+
+The ISSUE 4 tentpole's presentation layer.  Input is the JSON-able
+snapshot produced by :meth:`repro.core.engine.AStreamEngine.obs_snapshot`
+(or the merged cross-shard snapshot of
+:class:`~repro.core.parallel_engine.ProcessAStreamEngine`); output is a
+plain-text dashboard:
+
+* per-operator latency breakdown — exclusive time per stage from the
+  sampled span traces, with each stage's share of the end-to-end time;
+* operator state — slice counts, changelog table sizes, join/agg
+  cardinalities, router fan-out — grouped per operator (and per shard on
+  the process backend);
+* shard balance — per-shard input records and the straggler skew gauge;
+* the tail of the structured event log.
+
+Everything renders from snapshot dicts, so the inspector works equally
+on a live engine, a merged cross-process snapshot, or a
+``obs_*_metrics.json`` artifact read back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.tracing import breakdown_from_snapshot
+
+_STATE_GAUGES = (
+    "slices",
+    "slices_left",
+    "slices_right",
+    "tuples_stored",
+    "pair_cache_size",
+    "changelog_table_size",
+    "session_windows",
+    "fan_out",
+    "active_query_count",
+)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e3:.1f}us"
+
+
+def render_breakdown(trace_snapshot: Dict, width: int = 28) -> List[str]:
+    """Per-operator latency breakdown lines from a trace snapshot."""
+    breakdown = breakdown_from_snapshot(trace_snapshot)
+    lines = [
+        f"latency breakdown ({breakdown['sampled']} sampled pushes, "
+        f"mean e2e {_fmt_ns(breakdown['e2e_mean_ns'])}, "
+        f"{breakdown['coverage']:.1%} attributed)"
+    ]
+    if not breakdown["stages"]:
+        lines.append("  (no sampled traces)")
+        return lines
+    total = breakdown["e2e_total_ns"] or 1
+    ranked = sorted(
+        breakdown["stages"].items(),
+        key=lambda item: -item[1]["total_ns"],
+    )
+    for stage, info in ranked:
+        share = info["total_ns"] / total
+        bar = "#" * max(1, round(share * 24)) if info["total_ns"] else ""
+        lines.append(
+            f"  {stage:<{width}} {_fmt_ns(info['mean_ns']):>9}/push "
+            f"{share:>6.1%} {bar}"
+        )
+    return lines
+
+
+def render_operator_state(registry: Dict[str, dict]) -> List[str]:
+    """Operator state-gauge lines grouped by (operator, shard)."""
+    grouped: Dict[str, Dict[str, object]] = {}
+    for entry in registry.values():
+        if entry["type"] != "gauge" or entry["name"] not in _STATE_GAUGES:
+            continue
+        operator = entry["labels"].get("operator")
+        if operator is None:
+            continue
+        shard = entry["labels"].get("shard")
+        group = operator if shard is None else f"{operator} [shard {shard}]"
+        grouped.setdefault(group, {})[entry["name"]] = entry["value"]
+    if not grouped:
+        return []
+    lines = ["operator state"]
+    for group in sorted(grouped):
+        parts = ", ".join(
+            f"{name}={grouped[group][name]:,}"
+            for name in _STATE_GAUGES
+            if name in grouped[group]
+        )
+        lines.append(f"  {group}: {parts}")
+    return lines
+
+
+def render_shard_balance(registry: Dict[str, dict]) -> List[str]:
+    """Per-shard record counts and straggler skew (process backend)."""
+    records = {
+        entry["labels"]["shard"]: entry["value"]
+        for entry in registry.values()
+        if entry["name"] == "shard_records" and "shard" in entry["labels"]
+    }
+    if not records:
+        return []
+    skew = next(
+        (
+            entry["value"]
+            for entry in registry.values()
+            if entry["name"] == "straggler_skew"
+        ),
+        None,
+    )
+    lines = ["shard balance" + (f" (straggler skew {skew:.2f}x)" if skew else "")]
+    peak = max(records.values()) or 1
+    for shard in sorted(records, key=int):
+        count = records[shard]
+        bar = "#" * max(1, round(count / peak * 24)) if count else ""
+        lines.append(f"  shard {shard}: {count:>10,.0f} {bar}")
+    return lines
+
+
+def render_events(events: List[Dict], limit: int = 12) -> List[str]:
+    """The tail of the structured event log, one line per event."""
+    if not events:
+        return []
+    lines = [f"events (last {min(limit, len(events))} of {len(events)})"]
+    for event in events[-limit:]:
+        fields = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(event.items())
+            if key not in ("seq", "kind", "t_ms")
+        )
+        stamp = f"t={event['t_ms']}ms " if event.get("t_ms") is not None else ""
+        lines.append(f"  [{event['seq']:>5}] {stamp}{event['kind']}: {fields}")
+    return lines
+
+
+def render_dashboard(
+    snapshot: Dict,
+    events: Optional[List[Dict]] = None,
+    title: str = "pipeline inspector",
+) -> str:
+    """The full terminal dashboard for one telemetry snapshot."""
+    registry = snapshot.get("registry", {})
+    sections = [
+        [f"== {title} =="],
+        render_breakdown(snapshot.get("trace", {})),
+        render_shard_balance(registry),
+        render_operator_state(registry),
+        render_events(events or []),
+    ]
+    body = []
+    for section in sections:
+        if not section:
+            continue
+        if body:
+            body.append("")
+        body.extend(section)
+    return "\n".join(body)

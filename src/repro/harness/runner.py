@@ -69,6 +69,12 @@ class RunnerConfig:
     """Figures only need counts; retaining payloads wastes memory."""
     batch_size: int = 1
     """Data-path micro-batch size (see ``DriverConfig.batch_size``)."""
+    observe: bool = False
+    """Enable the runtime telemetry layer (``repro.obs``): metrics
+    registry, sampled span tracing, structured event log.  Off by
+    default — the data path then pays a single ``is None`` check."""
+    obs_sample_every: int = 32
+    """Trace one source push in N when ``observe`` is on."""
     engine_overrides: dict = field(default_factory=dict)
 
     def cluster(self) -> SimulatedCluster:
@@ -105,6 +111,8 @@ def build_sut(config: RunnerConfig, qos: QoSMonitor):
             parallelism=1,
             retain_results=config.retain_results,
             profile=config.profile,
+            observe=config.observe,
+            obs_sample_every=config.obs_sample_every,
             **config.engine_overrides,
         )
         if config.backend == "process":
@@ -205,6 +213,11 @@ def run_scenario(
     metrics = ScenarioMetrics(report=report, speedup=speedup)
     metrics.engine = engine  # expose for component-level figures
     metrics.qos = qos        # expose for latency-timeline figures
+    if config.observe and getattr(engine, "obs", None) is not None:
+        # Snapshot before any shutdown so the merged cross-shard view
+        # (and the event log) survive the worker pool.
+        metrics.obs_snapshot = engine.obs_snapshot()
+        metrics.obs_events = engine.obs.events.to_jsonl()
     if config.backend == "process":
         # Stop the worker pool now; merged results and cached component
         # stats stay readable on the engine, and sweeps don't pile up
@@ -319,8 +332,26 @@ def main(argv: Optional[list] = None) -> int:
                         help="data-path micro-batch size")
     parser.add_argument("--profile", action="store_true",
                         help="cProfile the run and dump per-operator "
-                             "cumulative stats next to benchmark results")
+                             "cumulative stats next to benchmark results "
+                             "(process backend also ships per-worker "
+                             "profiles back)")
+    parser.add_argument("--observe", action="store_true",
+                        help="enable the runtime telemetry layer and "
+                             "print the pipeline-inspector dashboard")
+    parser.add_argument("--obs-out", default=None, metavar="DIR",
+                        help="directory for telemetry artifacts (metrics "
+                             "json/prom + events jsonl); defaults to "
+                             "benchmarks/results")
+    parser.add_argument("--obs-sample-every", type=int, default=32,
+                        help="trace one source push in N (with --observe)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="console logging for repro.* loggers (DEBUG)")
     args = parser.parse_args(argv)
+
+    if args.verbose:
+        from repro.logsetup import configure_logging
+
+        configure_logging(verbose=True)
 
     config = RunnerConfig(
         sut=args.sut,
@@ -332,6 +363,8 @@ def main(argv: Optional[list] = None) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         profile=args.profile,
+        observe=args.observe,
+        obs_sample_every=args.obs_sample_every,
     )
     scenario_kwargs = dict(
         scenario=args.scenario,
@@ -360,13 +393,37 @@ def main(argv: Optional[list] = None) -> int:
           f"mean_deploy_ms={metrics.mean_deployment_latency_ms:.1f} "
           f"sustained={report.sustained}")
 
+    run_tag = f"{args.scenario}_{args.sut}_{args.backend}"
+
+    if args.observe:
+        from repro.harness.inspector import render_dashboard
+        from repro.obs import write_obs_artifacts
+
+        snapshot = getattr(metrics, "obs_snapshot", None)
+        if snapshot is not None:
+            engine = metrics.engine
+            events = (
+                engine.obs.events.events()
+                if getattr(engine, "obs", None) is not None
+                else []
+            )
+            print()
+            print(render_dashboard(snapshot, events=events, title=run_tag))
+            out_dir = args.obs_out if args.obs_out else _results_dir()
+            paths = write_obs_artifacts(
+                snapshot,
+                getattr(metrics, "obs_events", ""),
+                out_dir,
+                prefix=run_tag,
+            )
+            for kind, path in sorted(paths.items()):
+                print(f"obs {kind} written to {path}")
+
     if profiler is not None:
         import io
         import pstats
 
-        out = _results_dir() / (
-            f"profile_{args.scenario}_{args.sut}_{args.backend}.txt"
-        )
+        out = _results_dir() / f"profile_{run_tag}.txt"
         buffer = io.StringIO()
         stats = pstats.Stats(profiler, stream=buffer)
         stats.sort_stats("cumulative").print_stats(40)
@@ -377,6 +434,16 @@ def main(argv: Optional[list] = None) -> int:
                 lines.append(f"{name}: {value:,.0f}")
         out.write_text("\n".join(lines) + "\n")
         print(f"profile written to {out}")
+        # Process backend: per-worker cProfile reports shipped back
+        # through the shutdown sync (cached coordinator-side).
+        worker_profiles = getattr(engine, "worker_profiles", None)
+        if worker_profiles is not None:
+            for shard, report in sorted(worker_profiles().items()):
+                worker_out = _results_dir() / (
+                    f"profile_worker{shard}_{run_tag}.txt"
+                )
+                worker_out.write_text(report)
+                print(f"worker {shard} profile written to {worker_out}")
     return 0
 
 

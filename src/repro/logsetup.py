@@ -1,0 +1,45 @@
+"""Logging configuration for the ``repro`` package (ISSUE 4 satellite).
+
+Library modules log through namespaced stdlib loggers
+(``repro.core.engine``, ``repro.minispe.parallel``, …) and never attach
+handlers themselves — the package root carries a ``NullHandler``, so
+importing ``repro`` stays silent by default (the stdlib contract for
+libraries).  Entry points (the harness runner, benchmarks) opt into
+console output with :func:`configure_logging`; ``runner --verbose``
+wires it at DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def configure_logging(
+    verbose: bool = False,
+    level: Optional[int] = None,
+    stream=None,
+) -> logging.Logger:
+    """Attach one console handler to the ``repro`` root logger.
+
+    ``level`` overrides the default (INFO, or DEBUG when ``verbose``).
+    Calling it again replaces the previous console handler instead of
+    stacking duplicates, so re-runs inside one process stay clean.
+    Returns the configured logger.
+    """
+    if level is None:
+        level = logging.DEBUG if verbose else logging.INFO
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_console", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    handler._repro_console = True
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

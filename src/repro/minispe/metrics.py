@@ -10,7 +10,7 @@ overhead.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 
 class Counter:
@@ -55,6 +55,7 @@ class Histogram:
         self._samples: List[float] = []
         self._max_samples = max_samples
         self._dropped = 0
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         """Add one sample."""
@@ -62,6 +63,14 @@ class Histogram:
             self._dropped += 1
             return
         self._samples.append(value)
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        # Sorted view cached between mutations: the dashboard reads many
+        # percentiles per snapshot and must not re-sort per call.
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -88,23 +97,58 @@ class Histogram:
         return max(self._samples) if self._samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (nearest-rank; 0 <= p <= 100)."""
+        """The ``p``-th percentile (nearest-rank; 0 <= p <= 100).
+
+        Boundary semantics are pinned explicitly: ``p=0`` is the
+        minimum, ``p=100`` is the maximum, and a single-sample
+        histogram returns that sample for every ``p`` — the nearest-rank
+        index is clamped into ``[1, n]`` so float rounding at the
+        reservoir boundaries can never index outside the samples.
+        """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
-        return ordered[rank]
+        ordered = self._ordered()
+        size = len(ordered)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = min(size, max(1, math.ceil(p / 100 * size)))
+        return ordered[rank - 1]
+
+    def quantiles(self, ps: Iterable[float]) -> List[float]:
+        """Bulk :meth:`percentile`: one sort, many read-offs."""
+        return [self.percentile(p) for p in ps]
 
     def samples(self) -> List[float]:
         """A copy of the raw samples."""
         return list(self._samples)
 
+    def reservoir(self, size: int = 64) -> List[float]:
+        """Up to ``size`` samples evenly strided across the sorted data.
+
+        A deterministic order-statistic sketch: concatenating the
+        reservoirs of several histograms and reading percentiles off the
+        union approximates the merged distribution, which is how
+        cross-process snapshots merge without shipping every sample.
+        """
+        if size < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {size}")
+        ordered = self._ordered()
+        if len(ordered) <= size:
+            return list(ordered)
+        if size == 1:
+            return [ordered[-1]]
+        step = (len(ordered) - 1) / (size - 1)
+        return [ordered[round(i * step)] for i in range(size)]
+
     def reset(self) -> None:
         """Drop all samples."""
         self._samples.clear()
         self._dropped = 0
+        self._sorted = None
 
 
 class MetricRegistry:

@@ -45,14 +45,18 @@ program).
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import signal
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.minispe.checkpoint import pack_shard_states, unpack_shard_states
 from repro.minispe.record import Record, RecordBatch, StreamElement
 from repro.minispe.runtime import ExecutionBackend, stable_hash
+
+logger = logging.getLogger("repro.minispe.parallel")
 
 Op = Tuple[Any, ...]
 """One wire operation: ``(kind, *payload)``."""
@@ -71,6 +75,14 @@ of results at once, so the worker ships at most this many delivery
 samples per ack and carries the backlog forward; synchronous ops flush
 the backlog completely, because during a sync the coordinator is
 actively receiving and arbitrarily large payloads flow.
+"""
+ACK_OBS_EVENT_CAP = 16
+"""Telemetry events piggybacked per *regular* ack (observe mode).
+
+Same pipe-deadlock reasoning as :data:`ACK_DELIVERY_CAP`: incremental
+event shipments stay tiny, and the full metric/trace snapshots only ride
+synchronous (unlimited) acks, where the coordinator is known to be
+receiving.
 """
 
 
@@ -104,6 +116,16 @@ class ShardProgram:
         deliveries (all of them when ``limit`` is None)."""
         return []
 
+    def take_obs(self, unlimited: bool) -> Optional[dict]:
+        """Telemetry delta to piggyback on the next ack, or ``None``.
+
+        ``unlimited`` acks (synchronous frames) may carry arbitrarily
+        large payloads — full registry + trace snapshots; regular acks
+        must stay small (incremental events only, capped at
+        :data:`ACK_OBS_EVENT_CAP`).
+        """
+        return None
+
     def close(self) -> None:
         """Flush and release program resources before worker exit."""
 
@@ -112,8 +134,8 @@ def _worker_main(conn, factory, shard_index: int, shard_count: int) -> None:
     """Worker process entry: build the program, serve frames until close.
 
     Each frame is unpickled, its ops applied in order, and one ack —
-    ``(replies, deliveries, error)`` — is sent back.  An op raising does
-    not kill the worker: the error travels back in the ack and the
+    ``(replies, deliveries, obs, error)`` — is sent back.  An op raising
+    does not kill the worker: the error travels back in the ack and the
     coordinator raises :class:`ShardWorkerError`.
     """
     program = factory(shard_index, shard_count)
@@ -147,7 +169,8 @@ def _worker_main(conn, factory, shard_index: int, shard_count: int) -> None:
             deliveries = program.take_deliveries(
                 limit=None if unlimited else ACK_DELIVERY_CAP
             )
-            ack = (replies, deliveries, error)
+            obs = program.take_obs(unlimited)
+            ack = (replies, deliveries, obs, error)
             conn.send_bytes(pickle.dumps(ack, protocol=pickle.HIGHEST_PROTOCOL))
             if closing:
                 break
@@ -187,6 +210,8 @@ class ProcessShardPool:
         on_deliver: Optional[Callable[[str, int], None]] = None,
         frame_records: int = DEFAULT_FRAME_RECORDS,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        on_obs: Optional[Callable[[int, dict], None]] = None,
+        on_stall: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -200,8 +225,16 @@ class ProcessShardPool:
         self.frame_records = frame_records
         self.max_in_flight = max_in_flight
         self.on_deliver = on_deliver
+        self.on_obs = on_obs
+        """Invoked as ``on_obs(shard, payload)`` for every ack carrying a
+        telemetry payload (observe mode piggybacking)."""
+        self.on_stall = on_stall
+        """Invoked as ``on_stall(shard, waited_ns)`` after a send blocked
+        on the credit window (backpressure visibility)."""
         self.op_count = 0
         """Ops submitted since the pool started (collect-staleness check)."""
+        self.stall_counts: List[int] = [0] * workers
+        """Sends that found the credit window full, per shard."""
         self._closed = False
         context = multiprocessing.get_context("fork")
         self._handles: List[_WorkerHandle] = []
@@ -216,6 +249,12 @@ class ProcessShardPool:
             process.start()
             child_conn.close()
             self._handles.append(_WorkerHandle(process, parent_conn))
+            logger.debug(
+                "started shard worker %d/%d (pid %s)",
+                shard,
+                workers,
+                process.pid,
+            )
 
     # -- submission --------------------------------------------------------
 
@@ -303,8 +342,16 @@ class ProcessShardPool:
         handle = self._handles[shard]
         if not handle.alive:
             raise ShardWorkerError(shard, "worker is down")
-        while handle.outstanding >= self.max_in_flight:
-            self._drain_one_ack(shard)
+        if handle.outstanding >= self.max_in_flight:
+            self.stall_counts[shard] += 1
+            if self.on_stall is not None:
+                started = time.perf_counter_ns()
+                while handle.outstanding >= self.max_in_flight:
+                    self._drain_one_ack(shard)
+                self.on_stall(shard, time.perf_counter_ns() - started)
+            else:
+                while handle.outstanding >= self.max_in_flight:
+                    self._drain_one_ack(shard)
         payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
         try:
             handle.conn.send_bytes(payload)
@@ -321,10 +368,12 @@ class ProcessShardPool:
             handle.alive = False
             raise ShardWorkerError(shard, f"worker died: {exc}") from exc
         handle.outstanding -= 1
-        replies, deliveries, error = pickle.loads(payload)
+        replies, deliveries, obs, error = pickle.loads(payload)
         if self.on_deliver is not None:
             for query_id, timestamp in deliveries:
                 self.on_deliver(query_id, timestamp)
+        if obs is not None and self.on_obs is not None:
+            self.on_obs(shard, obs)
         if error is not None:
             raise ShardWorkerError(shard, error)
         return replies
@@ -340,6 +389,9 @@ class ProcessShardPool:
         """
         handle = self._handles[shard]
         if handle.process.pid is not None and handle.alive:
+            logger.info(
+                "killing shard worker %d (pid %s)", shard, handle.process.pid
+            )
             try:
                 os.kill(handle.process.pid, signal.SIGKILL)
             except ProcessLookupError:

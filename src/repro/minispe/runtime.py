@@ -203,6 +203,7 @@ class DeployedInstance:
         "inputs",
         "records_processed",
         "is_two_input",
+        "batch_sizes",
         "_runtime",
     )
 
@@ -222,6 +223,10 @@ class DeployedInstance:
         # Hoisted out of the delivery hot path: one isinstance at deploy
         # time instead of one per delivered element.
         self.is_two_input = isinstance(operator, TwoInputOperator)
+        # Observability: a per-vertex batch-size histogram, installed at
+        # deploy time when the runtime carries an obs hub (None keeps
+        # the unobserved hot path at a single falsy check).
+        self.batch_sizes = None
         self._runtime: Optional["JobRuntime"] = None
         operator.set_collector(
             lambda element: route(vertex.name, index, element)
@@ -232,13 +237,31 @@ class DeployedInstance:
         """Feed one element arriving on ``channel`` into the operator."""
         if isinstance(element, Record):
             runtime = self._runtime
-            if runtime is not None and runtime._deliver_hook is not None:
-                # Fault-injection point: may raise to simulate an operator
-                # failure on this record (control elements are exempt so
-                # alignment invariants survive injected faults).
-                runtime._deliver_hook(self.vertex.name, self.index, element)
+            tracer = None
+            if runtime is not None:
+                if runtime._deliver_hook is not None:
+                    # Fault-injection point: may raise to simulate an
+                    # operator failure on this record (control elements
+                    # are exempt so alignment invariants survive
+                    # injected faults).
+                    runtime._deliver_hook(self.vertex.name, self.index, element)
+                # Non-None only while a sampled trace is live, so
+                # untraced deliveries pay one attribute check.
+                tracer = runtime._active_tracer
             self.records_processed += 1
-            if self.is_two_input:
+            if tracer is not None:
+                tracer.enter(self.vertex.name)
+                try:
+                    if self.is_two_input:
+                        if self.inputs.input_index[channel] == 0:
+                            self.operator.process_left(element)
+                        else:
+                            self.operator.process_right(element)
+                    else:
+                        self.operator.process(element)
+                finally:
+                    tracer.exit()
+            elif self.is_two_input:
                 if self.inputs.input_index[channel] == 0:
                     self.operator.process_left(element)
                 else:
@@ -250,15 +273,30 @@ class DeployedInstance:
         elif isinstance(element, Watermark):
             aligned = self.inputs.advance_watermark(channel, element.timestamp)
             if aligned is not None:
-                self.operator.on_watermark(Watermark(aligned))
+                self._invoke(self.operator.on_watermark, Watermark(aligned))
         elif isinstance(element, ChangelogMarker):
             if self.inputs.marker_complete(_marker_key(element)):
-                self.operator.on_marker(element)
+                self._invoke(self.operator.on_marker, element)
         elif isinstance(element, CheckpointBarrier):
             if self.inputs.barrier_complete(element.checkpoint_id):
-                self._on_barrier(element)
+                self._invoke(self._on_barrier, element)
         else:
             raise TypeError(f"unknown stream element {element!r}")
+
+    def _invoke(self, handler, element) -> None:
+        """Run a control-element handler, spanned when a trace is live
+        (window fires triggered by watermarks dominate some stages'
+        cost, so traced pushes must attribute them)."""
+        runtime = self._runtime
+        tracer = runtime._active_tracer if runtime is not None else None
+        if tracer is not None:
+            tracer.enter(self.vertex.name)
+            try:
+                handler(element)
+            finally:
+                tracer.exit()
+        else:
+            handler(element)
 
     def deliver_batch(self, channel: ChannelId, records: List[Record]) -> None:
         """Feed a micro-batch arriving on ``channel`` into the operator.
@@ -273,6 +311,8 @@ class DeployedInstance:
             return
         operator = self.operator
         runtime = self._runtime
+        if self.batch_sizes is not None:
+            self.batch_sizes.record(len(records))
         if runtime is not None and runtime._deliver_hook is not None:
             hook = runtime._deliver_hook
             name = self.vertex.name
@@ -291,7 +331,20 @@ class DeployedInstance:
                 process(record)
             return
         self.records_processed += len(records)
-        if self.is_two_input:
+        tracer = runtime._active_tracer if runtime is not None else None
+        if tracer is not None:
+            tracer.enter(self.vertex.name)
+            try:
+                if self.is_two_input:
+                    if self.inputs.input_index[channel] == 0:
+                        operator.process_left_batch(records)
+                    else:
+                        operator.process_right_batch(records)
+                else:
+                    operator.process_batch(records)
+            finally:
+                tracer.exit()
+        elif self.is_two_input:
             if self.inputs.input_index[channel] == 0:
                 operator.process_left_batch(records)
             else:
@@ -319,9 +372,16 @@ class JobRuntime(ExecutionBackend):
         runtime.close()
     """
 
-    def __init__(self, graph: JobGraph) -> None:
+    def __init__(self, graph: JobGraph, obs=None) -> None:
         graph.validate()
         self.graph = graph
+        # Telemetry hub (repro.obs.Observability) or None; when None the
+        # data path is identical to an unobserved build.
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        # Set to the tracer only while a sampled push is being traced;
+        # instances read it once per delivery.
+        self._active_tracer = None
         self._channel_hook: Optional[
             Callable[[Edge, int, Record], int]
         ] = None
@@ -379,6 +439,10 @@ class JobRuntime(ExecutionBackend):
                     self._route,
                 )
                 instance._runtime = self
+                if self._obs is not None:
+                    instance.batch_sizes = self._obs.registry.histogram(
+                        "operator_batch_records", operator=name
+                    )
                 instances.append(instance)
             self._instances[name] = instances
 
@@ -404,6 +468,13 @@ class JobRuntime(ExecutionBackend):
         vertex = self.graph.vertices.get(source_name)
         if vertex is None or not vertex.is_source:
             raise KeyError(f"{source_name!r} is not a source of this job")
+        if self._tracer is not None:
+            # Sampled span trace: execution is synchronous depth-first,
+            # so everything this element triggers completes (and is
+            # attributed per operator, with a root span on the source
+            # vertex) before finish() reads the clock.
+            self._sampled_route(source_name, 0, element)
+            return
         self._route(source_name, 0, element)
 
     def push_many(
@@ -429,26 +500,48 @@ class JobRuntime(ExecutionBackend):
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         pending: List[Record] = []
         count = 0
+        route = self._route if self._tracer is None else self._sampled_route
         for element in elements:
             count += 1
             if isinstance(element, Record):
                 pending.append(element)
                 if batch_size is not None and len(pending) >= batch_size:
-                    self._route(source_name, 0, RecordBatch(pending))
+                    route(source_name, 0, RecordBatch(pending))
                     pending = []
             elif isinstance(element, RecordBatch):
                 pending.extend(element.records)
                 if batch_size is not None and len(pending) >= batch_size:
-                    self._route(source_name, 0, RecordBatch(pending))
+                    route(source_name, 0, RecordBatch(pending))
                     pending = []
             else:
                 if pending:
-                    self._route(source_name, 0, RecordBatch(pending))
+                    route(source_name, 0, RecordBatch(pending))
                     pending = []
-                self._route(source_name, 0, element)
+                route(source_name, 0, element)
         if pending:
-            self._route(source_name, 0, RecordBatch(pending))
+            route(source_name, 0, RecordBatch(pending))
         return count
+
+    def _sampled_route(
+        self, source_name: str, from_index: int, element: StreamElement
+    ) -> None:
+        """:meth:`_route` behind the trace-sampling gate (observe mode)."""
+        tracer = self._tracer
+        if not tracer.maybe_start():
+            self._route(source_name, from_index, element)
+            return
+        self._active_tracer = tracer
+        tracer.enter(source_name)
+        try:
+            self._route(source_name, from_index, element)
+        finally:
+            total_ns = tracer.exit()
+            self._active_tracer = None
+            timestamp = getattr(element, "timestamp", None)
+            if timestamp is None and isinstance(element, RecordBatch):
+                records = element.records
+                timestamp = records[0].timestamp if records else None
+            tracer.finish(timestamp, total_ns=total_ns)
 
     def close(self) -> None:
         """Close all operator instances (flushes pending output)."""

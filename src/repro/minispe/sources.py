@@ -10,9 +10,12 @@ sends them to the SUT, Figure 5).
 
 from __future__ import annotations
 
+import logging
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.minispe.record import Record, RecordBatch, StreamElement, Watermark
+
+logger = logging.getLogger("repro.minispe.sources")
 
 
 def records_from(
@@ -123,6 +126,12 @@ class ReplayableSource:
         """Yield logged elements starting at ``offset``."""
         if offset < 0:
             raise ValueError(f"offset must be non-negative, got {offset}")
+        logger.debug(
+            "replaying source %s from offset %d (%d elements)",
+            self.name,
+            offset,
+            len(self.log) - offset,
+        )
         yield from self.log[offset:]
 
     @property

@@ -1,0 +1,122 @@
+"""Structured control-plane event log: ring buffer + JSONL export.
+
+Every control-plane transition the engine makes — query create/delete,
+changelog sequence advance, slice create/expire, checkpoint/restore,
+fault injection, backpressure stall — is appended as one JSON-able dict
+with a monotonically increasing ``seq``, so a run's full control history
+can be replayed from the export (the acceptance check for ISSUE 4's
+event log).  The buffer is a bounded ring: soak runs keep the newest
+``capacity`` events and count what they overwrote.
+
+Workers ship their events to the coordinator incrementally through
+:meth:`EventLog.take_new` (a drain cursor riding the ack frames); the
+coordinator re-sequences them into its own log, tagging the source
+shard, so one merged, ordered history exists per run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+DEFAULT_CAPACITY = 65_536
+
+
+class EventLog:
+    """An append-only ring of structured control-plane events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Dict] = deque(maxlen=capacity)
+        self._next_seq = 0
+        self._ship_cursor = -1
+
+    def emit(self, kind: str, t_ms: Optional[int] = None, **fields) -> Dict:
+        """Append one event; returns the stored dict (with its seq)."""
+        event = {"seq": self._next_seq, "kind": kind, "t_ms": t_ms}
+        event.update(fields)
+        self._next_seq += 1
+        self._events.append(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the log's lifetime (including overwritten)."""
+        return self._next_seq
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the ring bound."""
+        return self._next_seq - len(self._events)
+
+    def events(self) -> List[Dict]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def tail(self, n: int) -> List[Dict]:
+        """The newest ``n`` retained events, oldest first."""
+        if n <= 0:
+            return []
+        return list(self._events)[-n:]
+
+    def of_kind(self, *kinds: str) -> List[Dict]:
+        """Retained events whose kind is one of ``kinds``, in order."""
+        wanted = set(kinds)
+        return [event for event in self._events if event["kind"] in wanted]
+
+    # -- shipping (cross-process piggyback) --------------------------------
+
+    def take_new(self, limit: Optional[int] = None) -> List[Dict]:
+        """Drain events not yet shipped (up to ``limit``), advancing the
+        cursor; the worker calls this when building an ack payload."""
+        fresh = [
+            event for event in self._events if event["seq"] > self._ship_cursor
+        ]
+        if limit is not None:
+            fresh = fresh[:limit]
+        if fresh:
+            self._ship_cursor = fresh[-1]["seq"]
+        return fresh
+
+    def absorb(self, events: Iterable[Dict], **labels) -> int:
+        """Re-emit foreign events into this log (coordinator-side merge).
+
+        Each absorbed event gets a fresh local ``seq`` (arrival order)
+        and keeps its origin's sequence as ``src_seq``; ``labels``
+        (typically ``shard=N``) tag the source.  Returns the count.
+        """
+        count = 0
+        for event in events:
+            fields = {
+                k: v for k, v in event.items() if k not in ("seq", "kind", "t_ms")
+            }
+            fields["src_seq"] = event["seq"]
+            fields.update(labels)
+            self.emit(event["kind"], t_ms=event.get("t_ms"), **fields)
+            count += 1
+        return count
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The retained events as one JSON object per line."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self._events
+        )
+
+    def write_jsonl(self, path) -> int:
+        """Write the retained events to ``path``; returns the count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as handle:
+            if text:
+                handle.write(text + "\n")
+        return len(self._events)

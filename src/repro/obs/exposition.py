@@ -1,0 +1,74 @@
+"""Prometheus-style text exposition for registry snapshots.
+
+Renders the JSON-able snapshots of
+:class:`repro.obs.registry.MetricsRegistry` in the Prometheus text
+format (``metric{label="value"} 123``) so a run's final metrics drop
+into any Prometheus-compatible toolchain.  Counters expose a
+``_total``-suffixed sample, gauges expose their value, histograms
+expose ``_count`` / ``_sum`` and quantile-labelled samples (a summary,
+which matches the reservoir percentiles we actually have).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    return _NAME_OK.sub("_", name)
+
+
+def _labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_sanitize(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(merged.items())
+    )
+    return f"{{{body}}}"
+
+
+def render_prometheus(snapshot: Dict[str, dict]) -> str:
+    """Render one registry snapshot as Prometheus exposition text."""
+    lines = []
+    seen_types = set()
+    for entry in sorted(
+        snapshot.values(),
+        key=lambda e: (e["name"], sorted(e["labels"].items())),
+    ):
+        name = _sanitize(entry["name"])
+        kind = entry["type"]
+        if kind == "counter":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name}_total counter")
+                seen_types.add(name)
+            lines.append(
+                f"{name}_total{_labels(entry['labels'])} {entry['value']}"
+            )
+        elif kind == "gauge":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            lines.append(f"{name}{_labels(entry['labels'])} {entry['value']}")
+        else:  # histogram snapshot -> summary exposition
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} summary")
+                seen_types.add(name)
+            for key, value in entry.items():
+                if key.startswith("p") and key[1:].replace(".", "").isdigit():
+                    quantile = float(key[1:]) / 100.0
+                    lines.append(
+                        f"{name}{_labels(entry['labels'], {'quantile': f'{quantile:g}'})}"
+                        f" {value}"
+                    )
+            lines.append(
+                f"{name}_count{_labels(entry['labels'])} {entry['count']}"
+            )
+            lines.append(f"{name}_sum{_labels(entry['labels'])} {entry['sum']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,278 @@
+"""Hierarchical, label-scoped metrics registry (ISSUE 4 tentpole).
+
+Built on the dependency-free primitives in :mod:`repro.minispe.metrics`:
+a metric here is a ``(name, labels)`` pair, where labels identify the
+scope it was recorded in — ``operator="join:A~B"``, ``shard="2"``,
+``query="q17"`` and so on.  :class:`MetricsRegistry` hands out live
+:class:`~repro.minispe.metrics.Counter` / ``Gauge`` / ``Histogram``
+objects (lazily created, cached per key) so hot paths pay one dict hit
+at *instrumentation-site setup* and plain attribute arithmetic at record
+time.
+
+Snapshots are plain JSON-able dicts so they cross process boundaries as
+pickled ack payloads and land in JSONL/Prometheus exports unchanged:
+
+* counters snapshot to their value;
+* gauges snapshot to their value plus a ``merge`` hint (``sum`` for
+  additive state like live slices, ``max`` for global facts like the
+  query-set width that every shard reports identically);
+* histograms snapshot to count/sum/min/max/percentiles plus a small
+  deterministic :meth:`~repro.minispe.metrics.Histogram.reservoir`, so
+  merged percentiles can be re-estimated from the union of reservoirs.
+
+:func:`merge_snapshots` combines per-shard snapshots into cluster
+totals; :func:`relabel_snapshot` stamps a snapshot with extra labels
+(the coordinator tags each worker's snapshot with ``shard=N`` before
+merging, keeping per-shard stats addressable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.minispe.metrics import Counter, Gauge, Histogram
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+"""(metric name, sorted ``(label, value)`` pairs)."""
+
+HISTOGRAM_PERCENTILES = (50.0, 90.0, 99.0)
+"""Percentiles materialised into every histogram snapshot."""
+
+RESERVOIR_SIZE = 64
+"""Order-statistic sketch size shipped per histogram snapshot."""
+
+
+def _key(name: str, labels: Dict[str, str]) -> MetricKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+def render_key(name: str, labels: Dict[str, str]) -> str:
+    """Stable flat string for a metric: ``name{a=1,b=2}``."""
+    if not labels:
+        return name
+    body = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{body}}}"
+
+
+class MetricsScope:
+    """A registry view with a fixed set of base labels.
+
+    Scopes nest — ``registry.scope(shard="2").scope(operator="agg:A")``
+    — and every metric created through a scope carries the accumulated
+    labels, which is how engine/operator/query/shard hierarchies are
+    expressed without a tree structure in the hot path.
+    """
+
+    __slots__ = ("_registry", "_labels")
+
+    def __init__(self, registry: "MetricsRegistry", labels: Dict[str, str]) -> None:
+        self._registry = registry
+        self._labels = labels
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        """The labels this scope stamps on every metric."""
+        return dict(self._labels)
+
+    def scope(self, **labels: str) -> "MetricsScope":
+        """A child scope with these labels added."""
+        merged = dict(self._labels)
+        merged.update({k: str(v) for k, v in labels.items()})
+        return MetricsScope(self._registry, merged)
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create a counter in this scope."""
+        return self._registry.counter(name, **{**self._labels, **labels})
+
+    def gauge(self, name: str, merge: str = "sum", **labels: str) -> Gauge:
+        """Get or create a gauge in this scope."""
+        return self._registry.gauge(name, merge=merge, **{**self._labels, **labels})
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create a histogram in this scope."""
+        return self._registry.histogram(name, **{**self._labels, **labels})
+
+
+class MetricsRegistry:
+    """Label-scoped counters, gauges, and histograms with snapshots."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._gauge_merge: Dict[MetricKey, str] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def scope(self, **labels: str) -> MetricsScope:
+        """A scope stamping ``labels`` on every metric made through it."""
+        return MetricsScope(self, {k: str(v) for k, v in labels.items()})
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter ``name`` with these labels."""
+        key = _key(name, {k: str(v) for k, v in labels.items()})
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[key] = counter
+        return counter
+
+    def gauge(self, name: str, merge: str = "sum", **labels: str) -> Gauge:
+        """Get or create the gauge ``name``.
+
+        ``merge`` declares cross-snapshot semantics: ``sum`` for
+        additive quantities (state sizes split across shards), ``max``
+        for globally replicated facts (registry width, active queries),
+        ``last`` for whoever-wrote-last values.
+        """
+        if merge not in ("sum", "max", "last"):
+            raise ValueError(f"unknown gauge merge policy {merge!r}")
+        key = _key(name, {k: str(v) for k, v in labels.items()})
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[key] = gauge
+            self._gauge_merge[key] = merge
+        return gauge
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the histogram ``name`` with these labels."""
+        key = _key(name, {k: str(v) for k, v in labels.items()})
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(name)
+            self._histograms[key] = histogram
+        return histogram
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-able flat view: rendered key → metric entry."""
+        view: Dict[str, dict] = {}
+        for (name, labels), counter in self._counters.items():
+            view[render_key(name, dict(labels))] = {
+                "name": name,
+                "labels": dict(labels),
+                "type": "counter",
+                "value": counter.value,
+            }
+        for key, gauge in self._gauges.items():
+            name, labels = key
+            view[render_key(name, dict(labels))] = {
+                "name": name,
+                "labels": dict(labels),
+                "type": "gauge",
+                "merge": self._gauge_merge[key],
+                "value": gauge.value,
+            }
+        for (name, labels), histogram in self._histograms.items():
+            entry = {
+                "name": name,
+                "labels": dict(labels),
+                "type": "histogram",
+                "count": histogram.count,
+                "sum": histogram.mean() * histogram.count,
+                "min": histogram.minimum(),
+                "max": histogram.maximum(),
+                "reservoir": histogram.reservoir(RESERVOIR_SIZE),
+            }
+            quantiles = histogram.quantiles(HISTOGRAM_PERCENTILES)
+            for p, value in zip(HISTOGRAM_PERCENTILES, quantiles):
+                entry[f"p{p:g}"] = value
+            view[render_key(name, dict(labels))] = entry
+        return view
+
+
+def relabel_snapshot(snapshot: Dict[str, dict], **labels: str) -> Dict[str, dict]:
+    """A copy of ``snapshot`` with extra labels stamped on every entry."""
+    extra = {k: str(v) for k, v in labels.items()}
+    out: Dict[str, dict] = {}
+    for entry in snapshot.values():
+        merged = dict(entry["labels"])
+        merged.update(extra)
+        copy = dict(entry)
+        copy["labels"] = merged
+        out[render_key(entry["name"], merged)] = copy
+    return out
+
+
+def _merged_histogram(entries: List[dict]) -> dict:
+    first = entries[0]
+    reservoir: List[float] = []
+    count = 0
+    total = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    for entry in entries:
+        count += entry["count"]
+        total += entry["sum"]
+        if entry["count"]:
+            minimum = (
+                entry["min"] if minimum is None else min(minimum, entry["min"])
+            )
+            maximum = (
+                entry["max"] if maximum is None else max(maximum, entry["max"])
+            )
+        reservoir.extend(entry.get("reservoir", ()))
+    reservoir.sort()
+    merged = {
+        "name": first["name"],
+        "labels": dict(first["labels"]),
+        "type": "histogram",
+        "count": count,
+        "sum": total,
+        "min": minimum if minimum is not None else 0.0,
+        "max": maximum if maximum is not None else 0.0,
+        "reservoir": reservoir[: RESERVOIR_SIZE * 2],
+    }
+    sketch = Histogram("merged")
+    for value in reservoir:
+        sketch.record(value)
+    for p, value in zip(
+        HISTOGRAM_PERCENTILES, sketch.quantiles(HISTOGRAM_PERCENTILES)
+    ):
+        merged[f"p{p:g}"] = value
+    return merged
+
+
+def merge_snapshots(
+    snapshots: Iterable[Dict[str, dict]],
+    drop_labels: Tuple[str, ...] = (),
+) -> Dict[str, dict]:
+    """Combine several snapshots into one.
+
+    Counters sum; gauges follow their ``merge`` hint; histograms merge
+    count/sum/min/max and re-estimate percentiles from the reservoir
+    union.  ``drop_labels`` removes labels before grouping — merging
+    per-shard snapshots with ``drop_labels=("shard",)`` yields cluster
+    totals.
+    """
+    grouped: Dict[str, List[dict]] = {}
+    for snapshot in snapshots:
+        for entry in snapshot.values():
+            labels = {
+                k: v for k, v in entry["labels"].items() if k not in drop_labels
+            }
+            grouped.setdefault(
+                render_key(entry["name"], labels), []
+            ).append({**entry, "labels": labels})
+    merged: Dict[str, dict] = {}
+    for key, entries in grouped.items():
+        kind = entries[0]["type"]
+        if kind == "counter":
+            merged[key] = {
+                **entries[0],
+                "value": sum(entry["value"] for entry in entries),
+            }
+        elif kind == "gauge":
+            policy = entries[0].get("merge", "sum")
+            if policy == "max":
+                value = max(entry["value"] for entry in entries)
+            elif policy == "last":
+                value = entries[-1]["value"]
+            else:
+                value = sum(entry["value"] for entry in entries)
+            merged[key] = {**entries[0], "value": value}
+        else:
+            merged[key] = _merged_histogram(entries)
+    return merged

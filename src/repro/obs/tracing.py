@@ -1,0 +1,237 @@
+"""Sampled span tracing of the tuple lifecycle (ISSUE 4 tentpole).
+
+The paper's latency markers (§3.4) give one end-to-end number per
+sampled tuple; this module extends them into a *breakdown*: when a
+source push is sampled, every operator the element (and everything it
+triggers) flows through is timed as a span, and the per-operator
+**exclusive** times are accumulated — source→selection→join/agg→router→
+sink stage by stage.
+
+The substrate makes this exact rather than statistical: the in-process
+runtime executes synchronously and depth-first, so a downstream
+operator's ``process`` runs *inside* its upstream's collector call.
+Spans therefore nest perfectly on a stack, and
+
+    exclusive(parent) = inclusive(parent) − Σ inclusive(direct children)
+
+attributes routing/fan-out cost to the emitting stage.  Summing all
+exclusive times per sampled push equals the push's wall time minus only
+the source-level routing prologue, which is why the acceptance check
+("stage sums within 5% of end-to-end") holds by construction.
+
+Tracing state is coordinator- or worker-local and never touches record
+payloads, keys, or routing: observe-on runs are byte-identical to
+observe-off runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+MAX_TRACES = 512
+"""Per-tuple breakdown entries retained (stage totals are unbounded)."""
+
+
+class TraceCollector:
+    """Exclusive-time span stack + per-stage aggregates.
+
+    One collector per runtime.  ``maybe_start``/``finish`` bracket a
+    sampled source push; ``enter``/``exit`` bracket each operator
+    delivery while a trace is live (the runtime only calls them when
+    :attr:`active` is set, so unsampled pushes pay one attribute check).
+    """
+
+    __slots__ = (
+        "sample_every",
+        "active",
+        "stage_totals",
+        "e2e_count",
+        "e2e_total_ns",
+        "traces",
+        "_pushes",
+        "_stack",
+        "_stage_self",
+        "_tuple_start_ns",
+        "_max_traces",
+    )
+
+    def __init__(self, sample_every: int = 32, max_traces: int = MAX_TRACES) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.active = False
+        self.stage_totals: Dict[str, List[int]] = {}
+        """stage -> [span count, exclusive ns total]."""
+        self.e2e_count = 0
+        self.e2e_total_ns = 0
+        self.traces: List[Dict] = []
+        self._pushes = 0
+        self._stack: List[List] = []  # [stage, start_ns, child_inclusive_ns]
+        self._stage_self: Dict[str, int] = {}
+        self._tuple_start_ns = 0
+        self._max_traces = max_traces
+
+    # -- per-push lifecycle ------------------------------------------------
+
+    def maybe_start(self) -> bool:
+        """Sampling decision for one source push; True = trace it."""
+        self._pushes += 1
+        if self._pushes % self.sample_every:
+            return False
+        self.active = True
+        self._stage_self = {}
+        self._stack.clear()
+        self._tuple_start_ns = time.perf_counter_ns()
+        return True
+
+    def enter(self, stage: str) -> None:
+        """Open a span for one operator delivery."""
+        self._stack.append([stage, time.perf_counter_ns(), 0])
+
+    def exit(self) -> int:
+        """Close the innermost span, crediting exclusive time.
+
+        Returns the span's inclusive nanoseconds — the root span's
+        return value is the push's end-to-end time (see :meth:`finish`).
+        """
+        stage, start_ns, child_ns = self._stack.pop()
+        inclusive = time.perf_counter_ns() - start_ns
+        self._stage_self[stage] = (
+            self._stage_self.get(stage, 0) + inclusive - child_ns
+        )
+        if self._stack:
+            self._stack[-1][2] += inclusive
+        return inclusive
+
+    def finish(
+        self, timestamp: Optional[int] = None, total_ns: Optional[int] = None
+    ) -> Dict:
+        """End the sampled push; fold its breakdown into the aggregates.
+
+        ``total_ns`` should be the root span's inclusive time: exclusive
+        stage times then telescope to it *exactly* (tracer bookkeeping
+        outside the root span is not part of the tuple's processing).
+        Without it, the wall time since :meth:`maybe_start` is used,
+        which additionally counts the tracer's own entry/exit overhead.
+        """
+        if total_ns is None:
+            total_ns = time.perf_counter_ns() - self._tuple_start_ns
+        self.active = False
+        self._stack.clear()
+        stages = self._stage_self
+        self._stage_self = {}
+        for stage, self_ns in stages.items():
+            slot = self.stage_totals.get(stage)
+            if slot is None:
+                self.stage_totals[stage] = [1, self_ns]
+            else:
+                slot[0] += 1
+                slot[1] += self_ns
+        self.e2e_count += 1
+        self.e2e_total_ns += total_ns
+        trace = {
+            "timestamp": timestamp,
+            "total_ns": total_ns,
+            "stages": stages,
+        }
+        if len(self.traces) < self._max_traces:
+            self.traces.append(trace)
+        return trace
+
+    # -- reporting ---------------------------------------------------------
+
+    def breakdown(self) -> Dict:
+        """Aggregate per-stage exclusive totals vs end-to-end wall time.
+
+        ``coverage`` is Σ stage exclusive / Σ end-to-end — the fraction
+        of sampled wall time attributed to a specific operator (the
+        remainder is source-level routing + tracer bookkeeping).
+        """
+        stage_sum = sum(total for _, total in self.stage_totals.values())
+        return {
+            "sampled": self.e2e_count,
+            "e2e_total_ns": self.e2e_total_ns,
+            "e2e_mean_ns": (
+                self.e2e_total_ns / self.e2e_count if self.e2e_count else 0.0
+            ),
+            "stage_sum_ns": stage_sum,
+            "coverage": (
+                stage_sum / self.e2e_total_ns if self.e2e_total_ns else 0.0
+            ),
+            "stages": {
+                stage: {
+                    "count": count,
+                    "total_ns": total,
+                    "mean_ns": total / count if count else 0.0,
+                }
+                for stage, (count, total) in sorted(self.stage_totals.items())
+            },
+        }
+
+    # -- cross-process shipping --------------------------------------------
+
+    def snapshot(self, drain_traces: bool = False) -> Dict:
+        """A picklable cumulative view; optionally drains the trace list
+        (workers drain so repeated shipments don't duplicate entries)."""
+        traces = self.traces
+        if drain_traces:
+            self.traces = []
+        else:
+            traces = list(traces)
+        return {
+            "stage_totals": {
+                stage: list(slot) for stage, slot in self.stage_totals.items()
+            },
+            "e2e_count": self.e2e_count,
+            "e2e_total_ns": self.e2e_total_ns,
+            "traces": traces,
+        }
+
+
+def merge_trace_snapshots(snapshots) -> Dict:
+    """Combine worker trace snapshots into one cumulative view."""
+    merged: Dict = {
+        "stage_totals": {},
+        "e2e_count": 0,
+        "e2e_total_ns": 0,
+        "traces": [],
+    }
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for stage, (count, total) in snapshot.get("stage_totals", {}).items():
+            slot = merged["stage_totals"].get(stage)
+            if slot is None:
+                merged["stage_totals"][stage] = [count, total]
+            else:
+                slot[0] += count
+                slot[1] += total
+        merged["e2e_count"] += snapshot.get("e2e_count", 0)
+        merged["e2e_total_ns"] += snapshot.get("e2e_total_ns", 0)
+        merged["traces"].extend(snapshot.get("traces", ()))
+    merged["traces"] = merged["traces"][:MAX_TRACES]
+    return merged
+
+
+def breakdown_from_snapshot(snapshot: Dict) -> Dict:
+    """The :meth:`TraceCollector.breakdown` view of a (merged) snapshot."""
+    stage_totals = snapshot.get("stage_totals", {})
+    e2e_count = snapshot.get("e2e_count", 0)
+    e2e_total = snapshot.get("e2e_total_ns", 0)
+    stage_sum = sum(total for _, total in stage_totals.values())
+    return {
+        "sampled": e2e_count,
+        "e2e_total_ns": e2e_total,
+        "e2e_mean_ns": e2e_total / e2e_count if e2e_count else 0.0,
+        "stage_sum_ns": stage_sum,
+        "coverage": stage_sum / e2e_total if e2e_total else 0.0,
+        "stages": {
+            stage: {
+                "count": count,
+                "total_ns": total,
+                "mean_ns": total / count if count else 0.0,
+            }
+            for stage, (count, total) in sorted(stage_totals.items())
+        },
+    }

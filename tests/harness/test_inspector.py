@@ -1,0 +1,110 @@
+"""Pipeline inspector rendering (ISSUE 4 tentpole, presentation layer)."""
+
+from repro.harness.inspector import (
+    render_breakdown,
+    render_dashboard,
+    render_events,
+    render_operator_state,
+    render_shard_balance,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _trace_snapshot():
+    return {
+        "stage_totals": {
+            "join:A~B": [10, 6_000_000],
+            "select:A": [10, 3_000_000],
+            "router:join:A~B": [10, 1_000_000],
+        },
+        "e2e_count": 10,
+        "e2e_total_ns": 10_000_000,
+        "traces": [],
+    }
+
+
+class TestBreakdown:
+    def test_ranked_with_shares(self):
+        lines = render_breakdown(_trace_snapshot())
+        assert "10 sampled pushes" in lines[0]
+        assert "100.0% attributed" in lines[0]
+        # Ranked by exclusive total: join first, router last.
+        assert lines[1].lstrip().startswith("join:A~B")
+        assert lines[-1].lstrip().startswith("router:join:A~B")
+        assert "60.0%" in lines[1]
+        assert "#" in lines[1]
+
+    def test_empty_trace(self):
+        lines = render_breakdown(
+            {"stage_totals": {}, "e2e_count": 0, "e2e_total_ns": 0}
+        )
+        assert lines[-1] == "  (no sampled traces)"
+
+
+class TestOperatorState:
+    def test_groups_by_operator_and_shard(self):
+        registry = MetricsRegistry()
+        registry.gauge("tuples_stored", operator="join:A~B", shard="0").set(370)
+        registry.gauge("tuples_stored", operator="join:A~B", shard="1").set(290)
+        registry.gauge("slices", operator="agg:A").set(4)
+        registry.gauge("not_a_state_gauge", operator="agg:A").set(9)
+        lines = render_operator_state(registry.snapshot())
+        text = "\n".join(lines)
+        assert "join:A~B [shard 0]: tuples_stored=370" in text
+        assert "join:A~B [shard 1]: tuples_stored=290" in text
+        assert "agg:A: slices=4" in text
+        assert "not_a_state_gauge" not in text
+
+    def test_empty_registry(self):
+        assert render_operator_state({}) == []
+
+
+class TestShardBalance:
+    def test_bars_and_skew(self):
+        registry = MetricsRegistry()
+        registry.gauge("shard_records", shard="0").set(400)
+        registry.gauge("shard_records", shard="1").set(100)
+        registry.gauge("straggler_skew", merge="max").set(1.6)
+        lines = render_shard_balance(registry.snapshot())
+        assert "straggler skew 1.60x" in lines[0]
+        assert "shard 0:" in lines[1] and "400" in lines[1]
+        # Bars scale with the peak shard.
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_absent_without_process_backend(self):
+        assert render_shard_balance(MetricsRegistry().snapshot()) == []
+
+
+class TestEvents:
+    def test_tail_lines(self):
+        events = [
+            {"seq": 0, "kind": "changelog", "t_ms": 0, "sequence": 1},
+            {"seq": 1, "kind": "checkpoint", "t_ms": None, "size_bytes": 42},
+        ]
+        lines = render_events(events, limit=1)
+        assert lines[0] == "events (last 1 of 2)"
+        assert lines[1] == "  [    1] checkpoint: size_bytes=42"
+
+    def test_empty(self):
+        assert render_events([]) == []
+
+
+class TestDashboard:
+    def test_sections_joined(self):
+        registry = MetricsRegistry()
+        registry.gauge("slices", operator="agg:A").set(4)
+        snapshot = {
+            "registry": registry.snapshot(),
+            "trace": _trace_snapshot(),
+        }
+        text = render_dashboard(
+            snapshot,
+            events=[{"seq": 0, "kind": "changelog", "t_ms": 0}],
+            title="sc1 inline",
+        )
+        assert text.startswith("== sc1 inline ==")
+        assert "latency breakdown" in text
+        assert "operator state" in text
+        assert "events (last 1 of 1)" in text
+        # Empty sections (shard balance on the inline backend) vanish.
+        assert "shard balance" not in text

@@ -1,0 +1,226 @@
+"""Telemetry must be invisible in the output (ISSUE 4 acceptance).
+
+Observe mode samples spans, fills gauges, and ships worker deltas on
+ack frames — but never touches record payloads, keys, routing, or
+ordering.  SC1/SC2 runs with ``observe=True`` must therefore be
+byte-equal to observe-off runs on BOTH backends, while still producing
+a non-trivial telemetry snapshot: per-operator latency breakdown
+inline, per-shard operator stats and straggler skew on the process
+backend, and an ordered control-plane event log that survives a worker
+SIGKILL + recovery.
+"""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.core.qos import QoSMonitor
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.obs.tracing import breakdown_from_snapshot
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.driver import AStreamAdapter, Driver, DriverConfig
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule, sc2_schedule
+
+STREAMS = ("A", "B")
+CONFIG = dict(input_rate_tps=100.0, duration_s=6.0, step_ms=250)
+
+
+def _sc1():
+    return sc1_schedule(
+        QueryGenerator(streams=STREAMS, seed=41), 1, 4, kind="join"
+    )
+
+
+def _sc2():
+    return sc2_schedule(
+        QueryGenerator(streams=STREAMS, seed=41), 2, 3, 2, kind="agg"
+    )
+
+
+def _canonical(engine):
+    return {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.canonical_results(query_id)
+        ]
+        for query_id in sorted(engine.result_counts())
+    }
+
+
+def _run(schedule, workers=None, observe=False):
+    """Drive one scenario; returns (outputs, obs snapshot or None)."""
+    qos = QoSMonitor(sample_every=32)
+    config = EngineConfig(
+        streams=STREAMS,
+        parallelism=1,
+        observe=observe,
+        obs_sample_every=8,
+    )
+    if workers is None:
+        engine = AStreamEngine(
+            config,
+            cluster=SimulatedCluster(ClusterSpec(nodes=4)),
+            on_deliver=qos.on_deliver,
+        )
+    else:
+        engine = ProcessAStreamEngine(
+            config, on_deliver=qos.on_deliver, workers=workers
+        )
+    Driver(
+        AStreamAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(batch_size=7, **CONFIG),
+        qos=qos,
+    ).run()
+    outputs = _canonical(engine)
+    snapshot = engine.obs_snapshot() if observe else None
+    engine.shutdown()
+    return outputs, snapshot
+
+
+class TestObserveInvisible:
+    @pytest.mark.parametrize("scenario", [_sc1, _sc2], ids=["sc1", "sc2"])
+    @pytest.mark.parametrize("workers", [None, 2], ids=["inline", "process"])
+    def test_outputs_byte_equal_observe_on_vs_off(self, scenario, workers):
+        schedule = scenario()
+        reference, _ = _run(schedule, workers=workers, observe=False)
+        assert reference and any(reference.values())
+        observed, snapshot = _run(schedule, workers=workers, observe=True)
+        assert observed == reference
+        # The run was actually observed, not silently disabled.
+        assert snapshot["events_total"] > 0
+        breakdown = breakdown_from_snapshot(snapshot["trace"])
+        assert breakdown["sampled"] > 0
+
+
+class TestInlineSnapshot:
+    def test_breakdown_attributes_all_sampled_time(self):
+        _, snapshot = _run(_sc1(), observe=True)
+        breakdown = breakdown_from_snapshot(snapshot["trace"])
+        # Acceptance: stage sums within 5% of end-to-end; by
+        # construction they telescope exactly.
+        assert breakdown["coverage"] == pytest.approx(1.0)
+        assert any(
+            stage.startswith("join:") or stage.startswith("agg:")
+            for stage in breakdown["stages"]
+        )
+
+
+class TestProcessSnapshot:
+    def test_per_shard_stats_and_straggler_skew(self):
+        _, snapshot = _run(_sc1(), workers=4, observe=True)
+        registry = snapshot["registry"]
+
+        # Per-shard operator state stays addressable after the merge.
+        shards_seen = {
+            entry["labels"]["shard"]
+            for entry in registry.values()
+            if "shard" in entry["labels"] and "operator" in entry["labels"]
+        }
+        assert shards_seen == {"0", "1", "2", "3"}
+
+        # Shard balance gauges: one record count per shard, plus skew.
+        records = {
+            entry["labels"]["shard"]: entry["value"]
+            for entry in registry.values()
+            if entry["name"] == "shard_records"
+        }
+        assert set(records) == {"0", "1", "2", "3"}
+        assert sum(records.values()) > 0
+        assert registry["straggler_skew"]["value"] >= 1.0
+
+        # The raw per-shard snapshots ride along for the inspector.
+        assert set(snapshot["shards"]) == {"0", "1", "2", "3"}
+
+        # Worker traces merge with exact attribution.
+        breakdown = breakdown_from_snapshot(snapshot["trace"])
+        assert breakdown["sampled"] > 0
+        assert breakdown["coverage"] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the event log stays ordered through SIGKILL + recovery
+# ---------------------------------------------------------------------------
+
+CHAOS_STEPS = 24
+CHAOS_STEP_MS = 250
+
+CHAOS_SCHEDULE = sc1_schedule(
+    QueryGenerator(streams=STREAMS, seed=91), 1, 4, kind="agg"
+)
+
+
+def _chaos_run(workers=None, kill_at_step=None, observe=False):
+    config = EngineConfig(
+        streams=STREAMS, parallelism=1, log_inputs=True, observe=observe
+    )
+    if workers is None:
+        engine = AStreamEngine(config)
+    else:
+        engine = ProcessAStreamEngine(config, workers=workers)
+    data = DataGenerator(seed=5)
+    events = sorted(CHAOS_SCHEDULE.requests, key=lambda event: event.at_ms)
+    index = 0
+    for step in range(CHAOS_STEPS):
+        now = step * CHAOS_STEP_MS
+        while index < len(events) and events[index].at_ms <= now:
+            event = events[index]
+            index += 1
+            if event.kind == "create":
+                engine.submit(event.query, now_ms=now)
+            else:
+                engine.stop(event.query_id, now_ms=now)
+        engine.tick(now)
+        for stream in STREAMS:
+            for offset in range(25):
+                engine.push(stream, now + offset * 10, data.next_tuple())
+        engine.watermark(now)
+        if step % 8 == 7:
+            engine.checkpoint()
+        if kill_at_step is not None and step == kill_at_step:
+            engine.kill_worker(0)
+            engine.recover()
+    engine.watermark(CHAOS_STEPS * CHAOS_STEP_MS + 10_000)
+    if hasattr(engine, "drain"):
+        engine.drain()
+    outputs = _canonical(engine)
+    log = engine.obs.events.events() if observe else None
+    engine.shutdown()
+    return outputs, log
+
+
+class TestChaosEventLog:
+    def test_event_log_ordered_through_kill_and_recover(self):
+        oracle, _ = _chaos_run()
+        faulted, log = _chaos_run(workers=2, kill_at_step=10, observe=True)
+        assert faulted == oracle  # telemetry doesn't break exactly-once
+
+        # Sequence numbers are strictly increasing (one merged history).
+        seqs = [event["seq"] for event in log]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+        kinds = [event["kind"] for event in log]
+        assert "changelog" in kinds
+
+        # The checkpoint that the recovery restored from precedes the
+        # restore event in the log, and the replay actually happened.
+        checkpoint_seq = next(
+            e["seq"] for e in log if e["kind"] == "checkpoint"
+        )
+        restore = next(e for e in log if e["kind"] == "restore")
+        assert checkpoint_seq < restore["seq"]
+        assert restore["replayed_elements"] > 0
+
+        # Worker events absorbed into the coordinator log carry their
+        # source shard and origin sequence.
+        absorbed = [event for event in log if "shard" in event]
+        assert absorbed
+        assert all("src_seq" in event for event in absorbed)
+
+        # Workers keep shipping telemetry after the pool was rebuilt:
+        # some absorbed event arrives after the restore.
+        assert any(
+            event["seq"] > restore["seq"] for event in absorbed
+        )

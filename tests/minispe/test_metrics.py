@@ -59,6 +59,60 @@ class TestHistogram:
     def test_percentile_bounds(self):
         with pytest.raises(ValueError):
             Histogram().percentile(101)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-1)
+
+    def test_single_sample_boundaries(self):
+        # Nearest-rank at the reservoir boundaries: one sample answers
+        # every percentile, including p=0 and p=100 (ISSUE 4 satellite).
+        histogram = Histogram()
+        histogram.record(7.5)
+        for p in (0, 0.1, 50, 99.9, 100):
+            assert histogram.percentile(p) == 7.5
+
+    def test_fractional_percentiles_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 11):
+            histogram.record(value)
+        assert histogram.percentile(0.1) == 1  # ceil(0.001*10) = rank 1
+        assert histogram.percentile(10) == 1
+        assert histogram.percentile(10.1) == 2
+        assert histogram.percentile(99.9) == 10
+
+    def test_quantiles_bulk_matches_percentile(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(value)
+        ps = (0, 25, 50, 90, 99, 100)
+        assert histogram.quantiles(ps) == [
+            histogram.percentile(p) for p in ps
+        ]
+
+    def test_quantiles_empty(self):
+        assert Histogram().quantiles((50, 99)) == [0.0, 0.0]
+
+    def test_reservoir_small_returns_all_sorted(self):
+        histogram = Histogram()
+        for value in (3, 1, 2):
+            histogram.record(value)
+        assert histogram.reservoir(size=64) == [1, 2, 3]
+
+    def test_reservoir_strided_keeps_extremes_ordered(self):
+        histogram = Histogram()
+        for value in range(1000):
+            histogram.record(value)
+        reservoir = histogram.reservoir(size=64)
+        assert len(reservoir) == 64
+        assert reservoir == sorted(reservoir)
+        assert reservoir[0] == 0
+        assert reservoir[-1] == 999
+
+    def test_sort_cache_invalidation(self):
+        histogram = Histogram()
+        histogram.record(5)
+        assert histogram.percentile(50) == 5
+        histogram.record(1)  # must invalidate the cached sort
+        assert histogram.percentile(0) == 1
 
     def test_max_samples_drops(self):
         histogram = Histogram(max_samples=2)

@@ -1,0 +1,109 @@
+"""EventLog: ring bounds, ship cursor, coordinator-side absorb (ISSUE 4)."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+
+
+class TestEmit:
+    def test_seq_monotonic(self):
+        log = EventLog()
+        events = [log.emit("tick", t_ms=i) for i in range(5)]
+        assert [event["seq"] for event in events] == [0, 1, 2, 3, 4]
+        assert [event["seq"] for event in log.events()] == [0, 1, 2, 3, 4]
+
+    def test_fields_stored(self):
+        log = EventLog()
+        event = log.emit("checkpoint", t_ms=1000, size_bytes=42)
+        assert event["kind"] == "checkpoint"
+        assert event["t_ms"] == 1000
+        assert event["size_bytes"] == 42
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestRing:
+    def test_ring_keeps_newest(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("tick", t_ms=i)
+        assert len(log) == 3
+        assert [event["t_ms"] for event in log.events()] == [7, 8, 9]
+        assert log.total_emitted == 10
+        assert log.dropped == 7
+
+    def test_tail_and_of_kind(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert [event["kind"] for event in log.tail(2)] == ["b", "a"]
+        assert log.tail(0) == []
+        assert [event["seq"] for event in log.of_kind("a")] == [0, 2]
+
+
+class TestShipping:
+    def test_take_new_drains_once(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        first = log.take_new()
+        assert [event["kind"] for event in first] == ["a", "b"]
+        assert log.take_new() == []
+        log.emit("c")
+        assert [event["kind"] for event in log.take_new()] == ["c"]
+
+    def test_take_new_limit_resumes(self):
+        # Regular acks cap the payload; the remainder ships on the next
+        # ack without loss or duplication.
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", t_ms=i)
+        assert [e["t_ms"] for e in log.take_new(limit=2)] == [0, 1]
+        assert [e["t_ms"] for e in log.take_new(limit=2)] == [2, 3]
+        assert [e["t_ms"] for e in log.take_new()] == [4]
+
+    def test_absorb_relabels_and_resequences(self):
+        worker = EventLog()
+        worker.emit("slice_create", t_ms=100, operator="agg:A", count=2)
+        coordinator = EventLog()
+        coordinator.emit("changelog", t_ms=0)
+        absorbed = coordinator.absorb(worker.take_new(), shard="1")
+        assert absorbed == 1
+        event = coordinator.events()[-1]
+        assert event["kind"] == "slice_create"
+        assert event["seq"] == 1  # local arrival order
+        assert event["src_seq"] == 0  # origin sequence preserved
+        assert event["shard"] == "1"
+        assert event["operator"] == "agg:A"
+        assert event["t_ms"] == 100
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        log.emit("query_create", t_ms=5, query="q1")
+        log.emit("query_delete", t_ms=9, query="q1")
+        lines = log.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [event["kind"] for event in parsed] == [
+            "query_create",
+            "query_delete",
+        ]
+        assert parsed[0]["query"] == "q1"
+
+    def test_write_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("a")
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 1
+        assert json.loads(path.read_text().strip())["kind"] == "a"
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert EventLog().write_jsonl(path) == 0
+        assert path.read_text() == ""

@@ -1,0 +1,172 @@
+"""MetricsRegistry: scoping, snapshots, cross-shard merging (ISSUE 4)."""
+
+import pytest
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.registry import (
+    MetricsRegistry,
+    merge_snapshots,
+    relabel_snapshot,
+    render_key,
+)
+
+
+class TestRenderKey:
+    def test_no_labels(self):
+        assert render_key("records", {}) == "records"
+
+    def test_labels_sorted(self):
+        assert (
+            render_key("records", {"shard": "2", "operator": "agg:A"})
+            == "records{operator=agg:A,shard=2}"
+        )
+
+
+class TestScoping:
+    def test_scope_labels_stamped(self):
+        registry = MetricsRegistry()
+        registry.scope(operator="join:A~B").counter("pairs").inc(3)
+        snapshot = registry.snapshot()
+        entry = snapshot["pairs{operator=join:A~B}"]
+        assert entry["value"] == 3
+        assert entry["labels"] == {"operator": "join:A~B"}
+
+    def test_nested_scopes_accumulate(self):
+        registry = MetricsRegistry()
+        scope = registry.scope(shard="1").scope(operator="agg:A")
+        assert scope.labels == {"shard": "1", "operator": "agg:A"}
+        scope.gauge("slices").set(4)
+        assert "slices{operator=agg:A,shard=1}" in registry.snapshot()
+
+    def test_same_key_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c", operator="x").inc()
+        registry.counter("c", operator="x").inc()
+        registry.counter("c", operator="y").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["c{operator=x}"]["value"] == 2
+        assert snapshot["c{operator=y}"]["value"] == 1
+
+    def test_gauge_merge_policy_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.gauge("g", merge="median")
+
+
+class TestSnapshot:
+    def test_histogram_snapshot_fields(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_ms")
+        for value in range(1, 101):
+            histogram.record(value)
+        entry = registry.snapshot()["latency_ms"]
+        assert entry["type"] == "histogram"
+        assert entry["count"] == 100
+        assert entry["min"] == 1 and entry["max"] == 100
+        assert entry["p50"] == 50 and entry["p99"] == 99
+        assert entry["sum"] == pytest.approx(5050)
+        assert entry["reservoir"] == sorted(entry["reservoir"])
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").record(1.5)
+        json.dumps(registry.snapshot())
+
+
+class TestRelabel:
+    def test_adds_labels_and_rekeys(self):
+        registry = MetricsRegistry()
+        registry.counter("records", operator="select:A").inc(5)
+        relabeled = relabel_snapshot(registry.snapshot(), shard="3")
+        key = "records{operator=select:A,shard=3}"
+        assert key in relabeled
+        assert relabeled[key]["labels"]["shard"] == "3"
+        # The original snapshot is not mutated.
+        assert "records{operator=select:A}" in registry.snapshot()
+
+
+class TestMerge:
+    def _shard_snapshot(self, count, slices, width):
+        registry = MetricsRegistry()
+        registry.counter("records").inc(count)
+        registry.gauge("slices", merge="sum").set(slices)
+        registry.gauge("bitset_width", merge="max").set(width)
+        registry.gauge("last_watermark", merge="last").set(count)
+        for value in range(count):
+            registry.histogram("latency").record(value)
+        return registry.snapshot()
+
+    def test_counters_sum(self):
+        merged = merge_snapshots(
+            [self._shard_snapshot(10, 1, 4), self._shard_snapshot(32, 2, 4)]
+        )
+        assert merged["records"]["value"] == 42
+
+    def test_gauge_merge_hints(self):
+        merged = merge_snapshots(
+            [self._shard_snapshot(10, 3, 4), self._shard_snapshot(20, 5, 7)]
+        )
+        assert merged["slices"]["value"] == 8  # sum
+        assert merged["bitset_width"]["value"] == 7  # max
+        assert merged["last_watermark"]["value"] == 20  # last wins
+
+    def test_histograms_merge_counts_and_extremes(self):
+        merged = merge_snapshots(
+            [self._shard_snapshot(10, 1, 1), self._shard_snapshot(100, 1, 1)]
+        )
+        entry = merged["latency"]
+        assert entry["count"] == 110
+        assert entry["min"] == 0
+        assert entry["max"] == 99
+        assert 40 <= entry["p50"] <= 60  # re-estimated from reservoirs
+
+    def test_disjoint_keys_pass_through(self):
+        a = MetricsRegistry()
+        a.counter("only_a").inc()
+        b = MetricsRegistry()
+        b.counter("only_b").inc(2)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["only_a"]["value"] == 1
+        assert merged["only_b"]["value"] == 2
+
+    def test_per_shard_addressability_after_relabel_merge(self):
+        # The coordinator pattern: relabel each shard then merge — keys
+        # stay distinct, so per-shard operator stats remain readable.
+        shards = [self._shard_snapshot(10, 1, 4), self._shard_snapshot(20, 2, 4)]
+        merged = merge_snapshots(
+            [
+                relabel_snapshot(snapshot, shard=str(index))
+                for index, snapshot in enumerate(shards)
+            ]
+        )
+        assert merged["records{shard=0}"]["value"] == 10
+        assert merged["records{shard=1}"]["value"] == 20
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("records", operator="select:A").inc(5)
+        registry.gauge("slices").set(3)
+        registry.histogram("latency_ms").record(10)
+        text = render_prometheus(registry.snapshot())
+        assert '# TYPE records_total counter' in text
+        assert 'records_total{operator="select:A"} 5' in text
+        assert "# TYPE slices gauge" in text
+        assert "slices 3" in text.splitlines()
+        assert "# TYPE latency_ms summary" in text
+        assert 'latency_ms{quantile="0.5"} 10' in text
+        assert "latency_ms_count 1" in text
+
+    def test_sanitizes_names(self):
+        registry = MetricsRegistry()
+        registry.counter("join:A~B/pairs").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "join:A_B_pairs_total" in text
+
+    def test_empty_snapshot(self):
+        assert render_prometheus({}) == ""
