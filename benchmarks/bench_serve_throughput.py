@@ -1,0 +1,166 @@
+"""Serving-layer throughput over loopback: control ops and ingest TPS.
+
+ISSUE 5 satellite 2: measure the networked control plane's
+create/delete rate and the data plane's framed ingest throughput
+against both hosted backends, and compare the wire ingest path to
+direct in-process ``push_many`` on the same workload.  The
+``serve_ingest_ratio_inline`` ratio (wire / direct) is machine
+normalised — framing, JSON, and loopback all slow down together with
+the host — and is gated by ``check_perf_regression.py --serve``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.harness.report import FigureResult
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.querygen import QueryGenerator
+
+STREAMS = ("A", "B")
+BATCH_TUPLES = 64
+GATE_PAIRS = 3
+
+
+def _ingest_workload(batches: int):
+    """Deterministic (timestamp, tuple) micro-batches for stream A."""
+    generator = DataGenerator(seed=17)
+    return [
+        [
+            (batch * BATCH_TUPLES + i, generator.next_tuple())
+            for i in range(BATCH_TUPLES)
+        ]
+        for batch in range(batches)
+    ]
+
+
+def measure_control_rate(backend: str, pairs: int, workers: int = 2) -> float:
+    """Create/delete pairs per second through the wire control plane."""
+    with ServerThread(
+        ServeConfig(backend=backend, workers=workers, clock="manual")
+    ) as host:
+        client = ServeClient("127.0.0.1", host.port, client_id="bench-ctl")
+        generator = QueryGenerator(streams=STREAMS, seed=23)
+        queries = [generator.selection_query() for _ in range(pairs)]
+        started = time.perf_counter()
+        for query in queries:
+            created = client.create_query(query=query)
+            assert created.status == "admit"
+            client.delete_query(created.query_id)
+        elapsed = time.perf_counter() - started
+        client.close()
+    return (pairs * 2) / elapsed if elapsed else 0.0
+
+
+def measure_wire_ingest(backend: str, batches: int, workers: int = 2) -> float:
+    """Framed loopback ingest TPS (push frames against one live query)."""
+    workload = _ingest_workload(batches)
+    with ServerThread(
+        ServeConfig(backend=backend, workers=workers, clock="manual")
+    ) as host:
+        client = ServeClient("127.0.0.1", host.port, client_id="bench-ingest")
+        created = client.create_query(
+            sql="SELECT * FROM A WHERE A.F0 > 500", at_ms=0
+        )
+        assert created.status == "admit"
+        started = time.perf_counter()
+        for events in workload:
+            client.push("A", events)
+        client.drain()
+        elapsed = time.perf_counter() - started
+        client.close()
+    return (batches * BATCH_TUPLES) / elapsed if elapsed else 0.0
+
+
+def measure_direct_ingest(batches: int) -> float:
+    """The same ingest workload via direct in-process ``push_many``."""
+    workload = _ingest_workload(batches)
+    engine = AStreamEngine(EngineConfig(streams=STREAMS))
+    from repro.core.sql import parse_query
+
+    engine.submit(parse_query("SELECT * FROM A WHERE A.F0 > 500"), 0)
+    engine.flush_session(0)
+    started = time.perf_counter()
+    for events in workload:
+        engine.push_many("A", events)
+    engine.drain()
+    elapsed = time.perf_counter() - started
+    engine.shutdown()
+    return (batches * BATCH_TUPLES) / elapsed if elapsed else 0.0
+
+
+def measure_gate_metrics(
+    batches: int = 400, pairs: int = 200
+) -> Dict[str, float]:
+    """The metrics ``check_perf_regression.py --serve`` gates/reports.
+
+    Direct and wire ingest runs are interleaved in pairs and the gated
+    metric is the median per-pair ratio, so shared-host drift hits both
+    sides of a pair about equally.
+    """
+    measure_wire_ingest("inline", batches // 4)  # warm-up, discarded
+    ratio_pairs = [
+        (measure_direct_ingest(batches), measure_wire_ingest("inline", batches))
+        for _ in range(GATE_PAIRS)
+    ]
+    ratios = sorted(wire / direct for direct, wire in ratio_pairs if direct)
+    median_ratio = ratios[len(ratios) // 2] if ratios else 0.0
+    return {
+        "serve_ingest_ratio_inline": median_ratio,
+        "serve_ingest_tps_inline": max(wire for _, wire in ratio_pairs),
+        "direct_ingest_tps_inline": max(direct for direct, _ in ratio_pairs),
+        "serve_control_ops_per_sec_inline": measure_control_rate(
+            "inline", pairs
+        ),
+    }
+
+
+def bench_serve_throughput(benchmark, quick, record_figure):
+    batches = 200 if quick else 1_000
+    pairs = 150 if quick else 600
+
+    def run_all():
+        rows = {}
+        for backend in ("inline", "process"):
+            rows[backend] = {
+                "control_ops_per_sec": measure_control_rate(backend, pairs),
+                "ingest_tps": measure_wire_ingest(backend, batches),
+            }
+        rows["in-process"] = {
+            "control_ops_per_sec": None,
+            "ingest_tps": measure_direct_ingest(batches),
+        }
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    result = FigureResult(
+        figure_id="ServeTP",
+        title="Serving-layer throughput over loopback",
+        columns=("backend", "control_ops_per_sec", "ingest_tps"),
+        paper_expectation=(
+            "The shared control plane sustains hundreds of ad-hoc "
+            "create/delete ops per second (§1's serving setting); the "
+            "framed wire ingest path trades a constant per-tuple "
+            "encode/decode cost against network reach."
+        ),
+    )
+    for backend, metrics in rows.items():
+        result.add(
+            backend=backend,
+            control_ops_per_sec=(
+                round(metrics["control_ops_per_sec"], 1)
+                if metrics["control_ops_per_sec"] is not None
+                else "-"
+            ),
+            ingest_tps=round(metrics["ingest_tps"], 1),
+        )
+    record_figure(result)
+
+    # The acceptance bar: >= 200 control ops/sec over loopback.
+    assert rows["inline"]["control_ops_per_sec"] >= 200
+    assert rows["inline"]["ingest_tps"] > 0
+    assert rows["process"]["ingest_tps"] > 0

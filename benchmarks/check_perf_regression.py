@@ -14,9 +14,17 @@ Usage::
     python benchmarks/check_perf_regression.py            # gate (CI)
     python benchmarks/check_perf_regression.py --update   # re-baseline
     python benchmarks/check_perf_regression.py --observe-overhead
+    python benchmarks/check_perf_regression.py --serve    # serving layer
 
 The gate fails when a gated metric drops more than ``TOLERANCE`` (20 %)
 below its committed baseline value.
+
+``--serve`` gates the serving layer (ISSUE 5): the framed loopback
+ingest TPS relative to direct in-process ``push_many`` on the same
+workload (``serve_ingest_ratio_inline``, machine-normalised the same
+way as the batched-speedup ratio), against its own committed baseline
+(``benchmarks/baselines/serve_baseline.csv``); the wire control-plane
+rate rides along ungated and is floor-checked at 200 ops/sec.
 
 ``--observe-overhead`` gates the telemetry subsystem (ISSUE 4) instead:
 the same SC1 workload is run in interleaved pairs with ``observe`` off
@@ -36,9 +44,13 @@ from pathlib import Path
 from repro.harness.runner import RunnerConfig, run_scenario
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "perf_baseline.csv"
+SERVE_BASELINE_PATH = Path(__file__).parent / "baselines" / "serve_baseline.csv"
 TOLERANCE = 0.20
 REPEATS = 4
 GATED_METRICS = ("batched_speedup_sc1_agg",)
+SERVE_GATED_METRICS = ("serve_ingest_ratio_inline",)
+SERVE_CONTROL_FLOOR_OPS = 200.0
+"""Absolute floor on wire control-plane ops/sec (the ISSUE 5 bar)."""
 OBSERVE_FLOOR = 0.90
 """Minimum observe-on / observe-off service-throughput ratio."""
 
@@ -115,6 +127,15 @@ def measure_observe_overhead() -> dict:
     }
 
 
+def measure_serve() -> dict:
+    """The serving-layer gate metrics (ISSUE 5 satellite 2)."""
+    try:
+        from bench_serve_throughput import measure_gate_metrics
+    except ImportError:  # imported as a package (pytest, tooling)
+        from benchmarks.bench_serve_throughput import measure_gate_metrics
+    return measure_gate_metrics()
+
+
 def load_baseline(path: Path = BASELINE_PATH) -> dict:
     """Read the committed baseline metrics CSV."""
     with path.open(newline="") as handle:
@@ -134,10 +155,10 @@ def write_baseline(metrics: dict, path: Path = BASELINE_PATH) -> None:
             writer.writerow((metric, f"{value:.4f}"))
 
 
-def check(measured: dict, baseline: dict) -> list:
+def check(measured: dict, baseline: dict, gated=GATED_METRICS) -> list:
     """Return failure strings for gated metrics below tolerance."""
     failures = []
-    for metric in GATED_METRICS:
+    for metric in gated:
         floor = baseline[metric] * (1.0 - TOLERANCE)
         if measured[metric] < floor:
             failures.append(
@@ -154,12 +175,49 @@ def main(argv=None) -> int:
     parser.add_argument("--update", action="store_true",
                         help="write the measured metrics as the new "
                              "committed baseline instead of gating")
+    parser.add_argument("--serve", action="store_true",
+                        help="gate the serving layer's loopback ingest "
+                             "ratio and control-plane rate instead of "
+                             "the core baseline metrics")
     parser.add_argument("--observe-overhead", action="store_true",
                         help="gate the telemetry overhead (observe-on "
                              "service throughput must stay within 10%% "
                              "of observe-off) instead of the baseline "
                              "metrics")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        measured = measure_serve()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        control_rate = measured["serve_control_ops_per_sec_inline"]
+        if control_rate < SERVE_CONTROL_FLOOR_OPS:
+            print(
+                f"REGRESSION: wire control plane sustained only "
+                f"{control_rate:.0f} ops/s "
+                f"(floor {SERVE_CONTROL_FLOOR_OPS:.0f})",
+                file=sys.stderr,
+            )
+            return 1
+        if args.update:
+            write_baseline(measured, SERVE_BASELINE_PATH)
+            print(f"serve baseline updated: {SERVE_BASELINE_PATH}")
+            return 0
+        baseline = load_baseline(SERVE_BASELINE_PATH)
+        failures = check(measured, baseline, gated=SERVE_GATED_METRICS)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(
+                "serve perf gate OK ("
+                + ", ".join(
+                    f"{metric} {measured[metric]:.3f} vs baseline "
+                    f"{baseline[metric]:.3f}"
+                    for metric in SERVE_GATED_METRICS
+                )
+                + f"; control {control_rate:,.0f} ops/s)"
+            )
+        return 1 if failures else 0
 
     if args.observe_overhead:
         measured = measure_observe_overhead()

@@ -7,6 +7,7 @@ Usage::
     python -m repro figures --only fig10 fig17
     python -m repro figures --full            # paper-scale query counts
     python -m repro sql "SELECT * FROM A, B RANGE 3 WHERE A.KEY = B.KEY"
+    python -m repro serve --port 4650 --backend process --workers 4
 """
 
 from __future__ import annotations
@@ -113,6 +114,51 @@ def main(argv: List[str] = None) -> int:
         help="print the parsed query as JSON (repro.core.serde format)",
     )
 
+    serve = commands.add_parser(
+        "serve", help="host the engine as a networked stream service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=4650,
+        help="frame-protocol TCP port (0 = ephemeral; default 4650)",
+    )
+    serve.add_argument(
+        "--backend", choices=("inline", "process"), default="inline",
+        help="hosted engine: in-process or sharded worker pool",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for the process backend",
+    )
+    serve.add_argument(
+        "--streams", nargs="+", default=["A", "B"], metavar="NAME",
+        help="input stream names (default: A B)",
+    )
+    serve.add_argument(
+        "--max-join-arity", type=int, default=1,
+        help="largest n-ary join the engine accepts",
+    )
+    serve.add_argument(
+        "--token", default=None,
+        help="require this shared-secret token from clients",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus /metrics over HTTP on this port",
+    )
+    serve.add_argument(
+        "--observe", action="store_true",
+        help="enable the engine telemetry subsystem",
+    )
+    serve.add_argument(
+        "--clock", choices=("wall", "manual"), default="wall",
+        help="control-plane clock (manual = client-driven, deterministic)",
+    )
+    serve.add_argument(
+        "--max-active-queries", type=int, default=None,
+        help="admission cap on concurrently live queries",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -120,7 +166,57 @@ def main(argv: List[str] = None) -> int:
         return _cmd_figures(args)
     if args.command == "summary":
         return _cmd_summary(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_sql(args)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import logging
+
+    from repro.serve import AStreamServer, ServeConfig
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        streams=tuple(args.streams),
+        max_join_arity=args.max_join_arity,
+        auth_token=args.token,
+        metrics_port=args.metrics_port,
+        observe=args.observe,
+        clock=args.clock,
+        max_active_queries=args.max_active_queries,
+    )
+
+    async def run() -> int:
+        server = AStreamServer(config)
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        if server.metrics_port is not None:
+            print(
+                f"metrics on http://{config.host}:{server.metrics_port}"
+                "/metrics",
+                flush=True,
+            )
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_summary(_args) -> int:

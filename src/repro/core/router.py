@@ -85,6 +85,10 @@ class QueryChannels:
         self.on_deliver = on_deliver
         self._results: Dict[str, List[QueryOutput]] = {}
         self._counts: Dict[str, int] = {}
+        self._taps: Dict[str, List[Callable[[str, int, Any], None]]] = {}
+        """Per-query subscription taps (the serving layer's streaming
+        seam): each registered callable sees every delivery for its
+        query as ``(query_id, timestamp, value)``, before retention."""
 
     def open_channel(self, query_id: str) -> None:
         """Create the channel for a newly deployed query."""
@@ -105,8 +109,37 @@ class QueryChannels:
             self._results.setdefault(query_id, []).append(
                 QueryOutput(timestamp=timestamp, value=value)
             )
+        if self._taps:
+            for tap in self._taps.get(query_id, ()):
+                tap(query_id, timestamp, value)
         if self.on_deliver is not None:
             self.on_deliver(query_id, timestamp)
+
+    def add_tap(
+        self, query_id: str, tap: Callable[[str, int, Any], None]
+    ) -> None:
+        """Register a streaming tap for one query's deliveries.
+
+        Taps see ``(query_id, timestamp, value)`` synchronously on every
+        delivery; the serving layer uses them to fan results out to live
+        subscriptions without re-reading retained channels.  The hot
+        path pays one truthiness check while no taps exist.
+        """
+        self._taps.setdefault(query_id, []).append(tap)
+
+    def remove_tap(
+        self, query_id: str, tap: Callable[[str, int, Any], None]
+    ) -> None:
+        """Unregister a previously added tap (no-op when absent)."""
+        taps = self._taps.get(query_id)
+        if not taps:
+            return
+        try:
+            taps.remove(tap)
+        except ValueError:
+            return
+        if not taps:
+            del self._taps[query_id]
 
     def results(self, query_id: str) -> List[QueryOutput]:
         """All results delivered to ``query_id`` so far."""

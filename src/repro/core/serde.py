@@ -1,4 +1,4 @@
-"""JSON (de)serialization for queries and workload schedules.
+"""JSON (de)serialization for queries, results, and workload schedules.
 
 Lets workloads live as data: a reviewer can export the exact ad-hoc
 schedule an experiment ran (`schedule_to_dict`), commit it as JSON, and
@@ -9,6 +9,14 @@ Supported predicate forms are the paper's generated ones
 (:class:`FieldPredicate`, :class:`TruePredicate`) plus the SQL
 front-end's conjunction; black-box callables are rejected with a clear
 error (code is not data).
+
+The serving layer (:mod:`repro.serve`) reuses these functions for its
+wire frames: queries travel as :func:`query_to_dict` payloads, and
+per-query results (selection tuples, join pairs, windowed aggregates)
+travel as :func:`output_to_dict` payloads.  Both directions roundtrip
+**exactly** — a reconstructed result compares equal to (and ``repr``-s
+identically to) the in-process original, which is what lets the wire
+tests assert byte-equality against the in-process oracle.
 """
 
 from __future__ import annotations
@@ -202,6 +210,89 @@ def query_from_dict(document: Dict[str, Any]) -> Query:
             query_id=document["query_id"],
         )
     raise SerdeError(f"unknown query type {kind!r}")
+
+
+# -- result values (wire frames) ----------------------------------------------------
+
+def value_to_dict(value: Any) -> Dict[str, Any]:
+    """Serialise one result payload for the wire.
+
+    Covers every value a query channel can deliver: raw
+    :class:`~repro.workloads.datagen.DataTuple` rows (selection
+    results), :class:`~repro.core.shared_join.JoinedTuple` match pairs
+    (parts flatten for cascades), and
+    :class:`~repro.core.shared_aggregation.AggregationResult` windowed
+    aggregates.  Anything else is rejected — results must stay data.
+    """
+    from repro.core.shared_aggregation import AggregationResult
+    from repro.core.shared_join import JoinedTuple
+    from repro.workloads.datagen import DataTuple
+
+    if isinstance(value, DataTuple):
+        return {"type": "tuple", "key": value.key, "fields": list(value.fields)}
+    if isinstance(value, JoinedTuple):
+        return {
+            "type": "joined",
+            "key": value.key,
+            "timestamp": value.timestamp,
+            "parts": [value_to_dict(part) for part in value.parts],
+        }
+    if isinstance(value, AggregationResult):
+        return {
+            "type": "agg",
+            "key": value.key,
+            "window": [value.window.start, value.window.end],
+            "value": value.value,
+        }
+    raise SerdeError(
+        f"result value {value!r} ({type(value).__name__}) is not serialisable"
+    )
+
+
+def value_from_dict(document: Dict[str, Any]) -> Any:
+    """Inverse of :func:`value_to_dict` (exact roundtrip)."""
+    from repro.core.shared_aggregation import AggregationResult
+    from repro.core.shared_join import JoinedTuple
+    from repro.minispe.windows import Window
+    from repro.workloads.datagen import DataTuple
+
+    kind = document.get("type")
+    if kind == "tuple":
+        return DataTuple(key=document["key"], fields=tuple(document["fields"]))
+    if kind == "joined":
+        return JoinedTuple(
+            key=document["key"],
+            parts=tuple(
+                value_from_dict(part) for part in document["parts"]
+            ),
+            timestamp=document["timestamp"],
+        )
+    if kind == "agg":
+        start, end = document["window"]
+        return AggregationResult(
+            key=document["key"],
+            window=Window(start=start, end=end),
+            value=document["value"],
+        )
+    raise SerdeError(f"unknown result value type {kind!r}")
+
+
+def output_to_dict(output) -> Dict[str, Any]:
+    """Serialise one :class:`~repro.core.router.QueryOutput`."""
+    return {
+        "timestamp": output.timestamp,
+        "value": value_to_dict(output.value),
+    }
+
+
+def output_from_dict(document: Dict[str, Any]):
+    """Inverse of :func:`output_to_dict`."""
+    from repro.core.router import QueryOutput
+
+    return QueryOutput(
+        timestamp=document["timestamp"],
+        value=value_from_dict(document["value"]),
+    )
 
 
 # -- schedules -----------------------------------------------------------------------

@@ -1,0 +1,836 @@
+"""Client SDKs for the stream service: sync sockets and asyncio.
+
+Both clients speak the frame protocol of :mod:`repro.serve.protocol`
+and wrap the driver's :class:`~repro.workloads.driver.RetryPolicy` into
+a transport-level resilience loop:
+
+* **reconnect** — a dropped connection (or an ack timeout) triggers a
+  fresh dial with seeded exponential backoff;
+* **resubscribe** — subscriptions the client holds are re-issued after
+  every reconnect (the server's re-subscribe is idempotent, so nothing
+  double-delivers);
+* **idempotent resubmission** — every control request carries a client
+  sequence number; after a reconnect the unacknowledged request is
+  re-sent verbatim and the server either applies it or replays the
+  cached reply, so a create/delete lands exactly once no matter how
+  many times the wire fails under it.
+
+:class:`ServeClient` is the blocking flavour (tests, benchmarks, simple
+scripts); :class:`AsyncServeClient` is the asyncio flavour with a
+background reader task that routes streamed ``result`` frames into
+per-query queues while request/reply traffic proceeds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.query import Query
+from repro.core.router import QueryOutput
+from repro.core.serde import output_from_dict, query_to_dict
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_events,
+    read_frame,
+    read_frame_sock,
+    write_frame,
+    write_frame_sock,
+)
+from repro.workloads.driver import RetryPolicy
+
+
+class ServeError(RuntimeError):
+    """A server-side error reply (carries the protocol error code)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        """The protocol error code (e.g. ``unknown_query``)."""
+
+
+class ConnectionLost(ConnectionError):
+    """The transport died mid-exchange (the retry loop's signal)."""
+
+
+@dataclass
+class ControlResult:
+    """Outcome of one acknowledged control request."""
+
+    status: str
+    """``admit`` / ``defer`` / ``reject`` / ``ok`` / ``not_subscribed``."""
+    query_id: Optional[str] = None
+    sequence: Optional[int] = None
+    """Changelog sequence at which the request took effect (None while
+    the server's batched flush has not applied it yet)."""
+    raw: Optional[Dict[str, Any]] = None
+    """The full reply frame, for fields the dataclass does not lift."""
+
+
+def _decode_reply(frame: Dict[str, Any]) -> ControlResult:
+    """Lift an ack frame into a :class:`ControlResult`."""
+    return ControlResult(
+        status=str(frame.get("status", "ok")),
+        query_id=frame.get("query_id"),
+        sequence=frame.get("sequence"),
+        raw=frame,
+    )
+
+
+class _SessionCore:
+    """Client state shared by both SDK flavours."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str,
+        token: Optional[str],
+        retry: Optional[RetryPolicy],
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.token = token
+        self.retry = retry or RetryPolicy()
+        self.rng = random.Random(self.retry.seed)
+        self.seq = 0
+        self.credits = 0
+        self.server_info: Dict[str, Any] = {}
+        self.subscriptions: Dict[str, bool] = {}
+        """query_id → from_start flag, replayed after reconnects."""
+        self.results: Dict[str, Deque[Tuple[QueryOutput, int]]] = {}
+        """query_id → queued ``(output, dropped_before_it)`` pairs."""
+        self.events: Deque[Dict[str, Any]] = deque()
+        """Out-of-band ``query_event`` frames, oldest first."""
+        self.reconnects = 0
+
+    def next_seq(self) -> int:
+        """Allocate the next client sequence number."""
+        self.seq += 1
+        return self.seq
+
+    def hello_frame(self) -> Dict[str, Any]:
+        """The handshake frame for a (re)connect."""
+        frame: Dict[str, Any] = {
+            "t": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "client_id": self.client_id,
+        }
+        if self.token is not None:
+            frame["token"] = self.token
+        return frame
+
+    def absorb(self, frame: Dict[str, Any]) -> None:
+        """File one streamed (non-reply) frame into client-side queues."""
+        kind = frame.get("t")
+        if kind == "result":
+            queue = self.results.setdefault(frame["query_id"], deque())
+            dropped = int(frame.get("dropped", 0))
+            outputs = frame["outputs"]
+            for index, document in enumerate(outputs):
+                queue.append(
+                    (output_from_dict(document),
+                     dropped if index == 0 else 0)
+                )
+            if dropped and not outputs:
+                # Shedding with nothing left to deliver still must
+                # surface: file a gap-only marker.
+                queue.append((None, dropped))  # type: ignore[arg-type]
+        elif kind == "query_event":
+            self.events.append(frame)
+        # pong and stray acks are dropped silently.
+
+    def take_results(self, query_id: str) -> Tuple[List[QueryOutput], int]:
+        """Drain queued streamed results for a query; ``(outputs, shed)``."""
+        queue = self.results.get(query_id)
+        if not queue:
+            return [], 0
+        outputs: List[QueryOutput] = []
+        shed = 0
+        while queue:
+            output, dropped = queue.popleft()
+            shed += dropped
+            if output is not None:
+                outputs.append(output)
+        return outputs, shed
+
+
+def _control_frame(
+    kind: str, seq: int, **fields: Any
+) -> Dict[str, Any]:
+    """Assemble one sequenced control frame (Nones omitted)."""
+    frame: Dict[str, Any] = {"t": kind, "seq": seq}
+    for key, value in fields.items():
+        if value is not None:
+            frame[key] = value
+    return frame
+
+
+class ServeClient:
+    """Blocking client for the stream service (sockets + retries)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str = "client",
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        connect_timeout_s: float = 5.0,
+    ) -> None:
+        self._core = _SessionCore(host, port, client_id, token, retry)
+        self._connect_timeout_s = connect_timeout_s
+        self._sock: Optional[socket.socket] = None
+        self.connect()
+
+    # -- connection management ---------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        """Times the transport was re-dialled after the first connect."""
+        return self._core.reconnects
+
+    @property
+    def server_info(self) -> Dict[str, Any]:
+        """The server's handshake self-description."""
+        return self._core.server_info
+
+    def connect(self) -> None:
+        """Dial, handshake, and resubscribe (used for reconnects too)."""
+        self.close_transport()
+        sock = socket.create_connection(
+            (self._core.host, self._core.port),
+            timeout=self._connect_timeout_s,
+        )
+        sock.settimeout(self._core.retry.ack_timeout_ms / 1_000.0)
+        write_frame_sock(sock, self._core.hello_frame())
+        reply = read_frame_sock(sock)
+        if reply is None:
+            sock.close()
+            raise ConnectionLost("server closed during handshake")
+        if reply.get("t") == "error":
+            sock.close()
+            raise ServeError(reply["code"], reply["message"])
+        self._core.server_info = reply.get("server", {})
+        self._core.credits = int(reply.get("credits", 0))
+        self._sock = sock
+        for query_id, from_start in list(self._core.subscriptions.items()):
+            self._request(
+                _control_frame(
+                    "subscribe",
+                    self._core.next_seq(),
+                    query_id=query_id,
+                    from_start=from_start,
+                )
+            )
+
+    def close_transport(self) -> None:
+        """Drop the socket without touching session state."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the client for good."""
+        self.close_transport()
+
+    def __enter__(self) -> "ServeClient":
+        """Context-manager entry (the constructor already connected)."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the transport."""
+        self.close()
+
+    def _reconnect(self, attempt: int) -> None:
+        delay_ms = self._core.retry.backoff_ms(attempt, self._core.rng)
+        time.sleep(delay_ms / 1_000.0)
+        self._core.reconnects += 1
+        self.connect()
+
+    # -- the retry loop ----------------------------------------------------
+
+    def _exchange_once(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One send + read-until-reply exchange on the live socket."""
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            write_frame_sock(self._sock, frame)
+            while True:
+                reply = read_frame_sock(self._sock)
+                if reply is None:
+                    raise ConnectionLost("server closed the connection")
+                kind = reply.get("t")
+                if kind == "error":
+                    if reply.get("seq") in (None, frame.get("seq")):
+                        raise ServeError(reply["code"], reply["message"])
+                    continue
+                if kind in ("ack", "results") and (
+                    "seq" not in frame or reply.get("seq") == frame["seq"]
+                ):
+                    return reply
+                if kind == "push_ack" and frame.get("t") == "push":
+                    return reply
+                if kind == "pong" and frame.get("t") == "ping":
+                    return reply
+                self._core.absorb(reply)
+        except (OSError, socket.timeout) as error:
+            raise ConnectionLost(str(error)) from error
+
+    def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and return its reply, retrying per policy.
+
+        The same frame — same client ``seq`` — is re-sent verbatim after
+        every reconnect, so the server's idempotency cache guarantees a
+        control request applies exactly once.
+        """
+        policy = self._core.retry
+        last: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._exchange_once(frame)
+            except ConnectionLost as error:
+                last = error
+                if attempt >= policy.max_attempts:
+                    break
+                try:
+                    self._reconnect(attempt)
+                except (OSError, ConnectionLost) as redial_error:
+                    last = redial_error
+        raise ConnectionLost(
+            f"request {frame.get('t')} failed after "
+            f"{policy.max_attempts} attempts: {last}"
+        )
+
+    # -- control plane -----------------------------------------------------
+
+    def create_query(
+        self,
+        query: Optional[Query] = None,
+        sql: Optional[str] = None,
+        at_ms: Optional[int] = None,
+    ) -> ControlResult:
+        """Create one ad-hoc query (a :class:`Query` or SQL text)."""
+        if (query is None) == (sql is None):
+            raise ValueError("pass exactly one of query= or sql=")
+        frame = _control_frame(
+            "create_query",
+            self._core.next_seq(),
+            query=query_to_dict(query) if query is not None else None,
+            sql=sql,
+            at_ms=at_ms,
+        )
+        return _decode_reply(self._request(frame))
+
+    def delete_query(
+        self, query_id: str, at_ms: Optional[int] = None
+    ) -> ControlResult:
+        """Delete one live query."""
+        frame = _control_frame(
+            "delete_query",
+            self._core.next_seq(),
+            query_id=query_id,
+            at_ms=at_ms,
+        )
+        return _decode_reply(self._request(frame))
+
+    # -- data plane --------------------------------------------------------
+
+    def push(self, stream: str, events: List[Tuple[int, Any]]) -> int:
+        """Push one event micro-batch; returns the accepted count."""
+        frame = {
+            "t": "push",
+            "stream": stream,
+            "events": encode_events(events),
+        }
+        reply = self._request(frame)
+        self._core.credits = int(reply.get("credits", self._core.credits))
+        return int(reply.get("accepted", 0))
+
+    def watermark(
+        self, timestamp: int, stream: Optional[str] = None
+    ) -> None:
+        """Advance the server's event time (fires due windows)."""
+        frame: Dict[str, Any] = {"t": "watermark", "timestamp": timestamp}
+        if stream is not None:
+            frame["stream"] = stream
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            write_frame_sock(self._sock, frame)
+        except OSError as error:
+            raise ConnectionLost(str(error)) from error
+
+    # -- results -----------------------------------------------------------
+
+    def subscribe(
+        self, query_id: str, from_start: bool = True
+    ) -> ControlResult:
+        """Start streaming a query's results to this client."""
+        self._core.subscriptions[query_id] = from_start
+        frame = _control_frame(
+            "subscribe",
+            self._core.next_seq(),
+            query_id=query_id,
+            from_start=from_start,
+        )
+        return _decode_reply(self._request(frame))
+
+    def unsubscribe(self, query_id: str) -> ControlResult:
+        """Stop streaming a query's results."""
+        self._core.subscriptions.pop(query_id, None)
+        frame = _control_frame(
+            "unsubscribe", self._core.next_seq(), query_id=query_id
+        )
+        return _decode_reply(self._request(frame))
+
+    def take_results(
+        self, query_id: str, wait_ms: int = 0
+    ) -> Tuple[List[QueryOutput], int]:
+        """Drain streamed results received so far: ``(outputs, shed)``.
+
+        ``wait_ms`` > 0 keeps reading the socket until at least one
+        result for ``query_id`` is queued or the wait elapses.
+        """
+        deadline = time.monotonic() + wait_ms / 1_000.0
+        while wait_ms > 0 and not self._core.results.get(query_id):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or self._sock is None:
+                break
+            self._sock.settimeout(max(remaining, 0.01))
+            try:
+                frame = read_frame_sock(self._sock)
+            except socket.timeout:
+                break
+            except OSError as error:
+                raise ConnectionLost(str(error)) from error
+            finally:
+                self._sock.settimeout(
+                    self._core.retry.ack_timeout_ms / 1_000.0
+                )
+            if frame is None:
+                raise ConnectionLost("server closed the connection")
+            self._core.absorb(frame)
+        return self._core.take_results(query_id)
+
+    def fetch_results(self, query_id: str) -> List[QueryOutput]:
+        """Pull a query's full retained result set (canonical order)."""
+        frame = _control_frame(
+            "fetch_results", self._core.next_seq(), query_id=query_id
+        )
+        reply = self._request(frame)
+        return [output_from_dict(doc) for doc in reply.get("outputs", [])]
+
+    def take_events(self) -> List[Dict[str, Any]]:
+        """Drain out-of-band ``query_event`` notifications."""
+        events = list(self._core.events)
+        self._core.events.clear()
+        return events
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe."""
+        return self._request({"t": "ping"}).get("t") == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's live stats block."""
+        reply = self._request(_control_frame("stats", self._core.next_seq()))
+        return reply.get("stats", {})
+
+    def obs_snapshot(self) -> Dict[str, Any]:
+        """The server's telemetry snapshot + recent events."""
+        reply = self._request(
+            _control_frame("obs_snapshot", self._core.next_seq())
+        )
+        return {
+            "snapshot": reply.get("snapshot", {}),
+            "events": reply.get("events", []),
+        }
+
+    def chaos_kill_worker(self, shard: int = 0) -> ControlResult:
+        """SIGKILL one shard worker (process backend chaos hook)."""
+        frame = _control_frame(
+            "chaos", self._core.next_seq(), op="kill_worker", shard=shard
+        )
+        return _decode_reply(self._request(frame))
+
+    def drain(self, checkpoint: Optional[bool] = None) -> ControlResult:
+        """Settle all in-flight work server-side (optionally checkpoint)."""
+        frame = _control_frame(
+            "drain", self._core.next_seq(), checkpoint=checkpoint
+        )
+        return _decode_reply(self._request(frame))
+
+    def shutdown(self) -> ControlResult:
+        """Ask the server to drain, checkpoint, and exit."""
+        frame = _control_frame("shutdown", self._core.next_seq())
+        return _decode_reply(self._request(frame))
+
+
+class AsyncServeClient:
+    """Asyncio client: background reader + per-query result queues."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str = "client",
+        token: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._core = _SessionCore(host, port, client_id, token, retry)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._replies: Dict[int, asyncio.Future] = {}
+        self._untagged: Deque[asyncio.Future] = deque()
+        """Futures for un-sequenced exchanges (push_ack/pong), FIFO."""
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self.shed: Dict[str, int] = {}
+        """query_id → results the server reported shedding."""
+        self._closed = False
+
+    # -- connection management ---------------------------------------------
+
+    @property
+    def reconnects(self) -> int:
+        """Times the transport was re-dialled after the first connect."""
+        return self._core.reconnects
+
+    @property
+    def server_info(self) -> Dict[str, Any]:
+        """The server's handshake self-description."""
+        return self._core.server_info
+
+    async def connect(self) -> "AsyncServeClient":
+        """Dial, handshake, start the reader, resubscribe."""
+        await self._teardown_transport()
+        reader, writer = await asyncio.open_connection(
+            self._core.host, self._core.port
+        )
+        write_frame(writer, self._core.hello_frame())
+        await writer.drain()
+        reply = await read_frame(reader)
+        if reply is None:
+            writer.close()
+            raise ConnectionLost("server closed during handshake")
+        if reply.get("t") == "error":
+            writer.close()
+            raise ServeError(reply["code"], reply["message"])
+        self._core.server_info = reply.get("server", {})
+        self._core.credits = int(reply.get("credits", 0))
+        self._reader, self._writer = reader, writer
+        self._reader_task = asyncio.create_task(self._read_loop(reader))
+        for query_id, from_start in list(self._core.subscriptions.items()):
+            await self._request(
+                _control_frame(
+                    "subscribe",
+                    self._core.next_seq(),
+                    query_id=query_id,
+                    from_start=from_start,
+                )
+            )
+        return self
+
+    async def close(self) -> None:
+        """Close the client for good."""
+        self._closed = True
+        await self._teardown_transport()
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        """Async context-manager entry: connect."""
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        """Async context-manager exit: close."""
+        await self.close()
+
+    async def _teardown_transport(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_waiters(ConnectionLost("transport closed"))
+
+    def _fail_waiters(self, error: Exception) -> None:
+        for future in list(self._replies.values()):
+            if not future.done():
+                future.set_exception(error)
+        self._replies.clear()
+        while self._untagged:
+            future = self._untagged.popleft()
+            if not future.done():
+                future.set_exception(error)
+
+    # -- reader ------------------------------------------------------------
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    raise ConnectionLost("server closed the connection")
+                self._route(frame)
+        except asyncio.CancelledError:
+            raise
+        except (ProtocolError, ConnectionError, OSError) as error:
+            self._fail_waiters(ConnectionLost(str(error)))
+
+    def _route(self, frame: Dict[str, Any]) -> None:
+        kind = frame.get("t")
+        if kind in ("ack", "results"):
+            future = self._replies.pop(frame.get("seq"), None)
+            if future is not None and not future.done():
+                future.set_result(frame)
+            return
+        if kind == "error":
+            seq = frame.get("seq")
+            future = self._replies.pop(seq, None) if seq is not None else None
+            if future is None and self._untagged:
+                future = self._untagged.popleft()
+            if future is not None and not future.done():
+                future.set_exception(
+                    ServeError(frame["code"], frame["message"])
+                )
+            return
+        if kind in ("push_ack", "pong"):
+            if self._untagged:
+                future = self._untagged.popleft()
+                if not future.done():
+                    future.set_result(frame)
+            return
+        if kind == "result":
+            queue = self._queues.setdefault(
+                frame["query_id"], asyncio.Queue()
+            )
+            for document in frame["outputs"]:
+                queue.put_nowait(output_from_dict(document))
+            dropped = int(frame.get("dropped", 0))
+            if dropped:
+                self.shed[frame["query_id"]] = (
+                    self.shed.get(frame["query_id"], 0) + dropped
+                )
+            return
+        if kind == "query_event":
+            self._core.events.append(frame)
+
+    # -- the retry loop ----------------------------------------------------
+
+    async def _send(self, frame: Dict[str, Any]) -> None:
+        if self._writer is None:
+            raise ConnectionLost("not connected")
+        try:
+            write_frame(self._writer, frame)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            raise ConnectionLost(str(error)) from error
+
+    async def _exchange_once(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        seq = frame.get("seq")
+        if seq is not None:
+            self._replies[seq] = future
+        else:
+            self._untagged.append(future)
+        try:
+            await self._send(frame)
+            return await asyncio.wait_for(
+                future, timeout=self._core.retry.ack_timeout_ms / 1_000.0
+            )
+        except asyncio.TimeoutError as error:
+            raise ConnectionLost("ack timeout") from error
+        finally:
+            if seq is not None:
+                self._replies.pop(seq, None)
+            elif future in self._untagged:
+                self._untagged.remove(future)
+
+    async def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send + await reply with reconnect/backoff/resubmit per policy."""
+        policy = self._core.retry
+        last: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return await self._exchange_once(frame)
+            except ConnectionLost as error:
+                last = error
+                if self._closed or attempt >= policy.max_attempts:
+                    break
+                delay_ms = policy.backoff_ms(attempt, self._core.rng)
+                await asyncio.sleep(delay_ms / 1_000.0)
+                try:
+                    self._core.reconnects += 1
+                    await self.connect()
+                except (OSError, ConnectionLost, ServeError) as redial:
+                    last = redial
+        raise ConnectionLost(
+            f"request {frame.get('t')} failed after "
+            f"{policy.max_attempts} attempts: {last}"
+        )
+
+    # -- API (mirrors ServeClient) -----------------------------------------
+
+    async def create_query(
+        self,
+        query: Optional[Query] = None,
+        sql: Optional[str] = None,
+        at_ms: Optional[int] = None,
+    ) -> ControlResult:
+        """Create one ad-hoc query (a :class:`Query` or SQL text)."""
+        if (query is None) == (sql is None):
+            raise ValueError("pass exactly one of query= or sql=")
+        frame = _control_frame(
+            "create_query",
+            self._core.next_seq(),
+            query=query_to_dict(query) if query is not None else None,
+            sql=sql,
+            at_ms=at_ms,
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def delete_query(
+        self, query_id: str, at_ms: Optional[int] = None
+    ) -> ControlResult:
+        """Delete one live query."""
+        frame = _control_frame(
+            "delete_query",
+            self._core.next_seq(),
+            query_id=query_id,
+            at_ms=at_ms,
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def push(self, stream: str, events: List[Tuple[int, Any]]) -> int:
+        """Push one event micro-batch; returns the accepted count."""
+        frame = {
+            "t": "push",
+            "stream": stream,
+            "events": encode_events(events),
+        }
+        reply = await self._request(frame)
+        self._core.credits = int(reply.get("credits", self._core.credits))
+        return int(reply.get("accepted", 0))
+
+    async def watermark(
+        self, timestamp: int, stream: Optional[str] = None
+    ) -> None:
+        """Advance the server's event time (fires due windows)."""
+        frame: Dict[str, Any] = {"t": "watermark", "timestamp": timestamp}
+        if stream is not None:
+            frame["stream"] = stream
+        await self._send(frame)
+
+    async def subscribe(
+        self, query_id: str, from_start: bool = True
+    ) -> ControlResult:
+        """Start streaming a query's results to this client."""
+        self._core.subscriptions[query_id] = from_start
+        self._queues.setdefault(query_id, asyncio.Queue())
+        frame = _control_frame(
+            "subscribe",
+            self._core.next_seq(),
+            query_id=query_id,
+            from_start=from_start,
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def unsubscribe(self, query_id: str) -> ControlResult:
+        """Stop streaming a query's results."""
+        self._core.subscriptions.pop(query_id, None)
+        frame = _control_frame(
+            "unsubscribe", self._core.next_seq(), query_id=query_id
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def next_result(
+        self, query_id: str, timeout_s: Optional[float] = None
+    ) -> Optional[QueryOutput]:
+        """The next streamed result for a query (None on timeout)."""
+        queue = self._queues.setdefault(query_id, asyncio.Queue())
+        try:
+            if timeout_s is None:
+                return await queue.get()
+            return await asyncio.wait_for(queue.get(), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return None
+
+    def pending_results(self, query_id: str) -> int:
+        """Streamed results queued locally for a query."""
+        queue = self._queues.get(query_id)
+        return queue.qsize() if queue is not None else 0
+
+    async def fetch_results(self, query_id: str) -> List[QueryOutput]:
+        """Pull a query's full retained result set (canonical order)."""
+        frame = _control_frame(
+            "fetch_results", self._core.next_seq(), query_id=query_id
+        )
+        reply = await self._request(frame)
+        return [output_from_dict(doc) for doc in reply.get("outputs", [])]
+
+    def take_events(self) -> List[Dict[str, Any]]:
+        """Drain out-of-band ``query_event`` notifications."""
+        events = list(self._core.events)
+        self._core.events.clear()
+        return events
+
+    async def ping(self) -> bool:
+        """Round-trip liveness probe."""
+        return (await self._request({"t": "ping"})).get("t") == "pong"
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's live stats block."""
+        reply = await self._request(
+            _control_frame("stats", self._core.next_seq())
+        )
+        return reply.get("stats", {})
+
+    async def obs_snapshot(self) -> Dict[str, Any]:
+        """The server's telemetry snapshot + recent events."""
+        reply = await self._request(
+            _control_frame("obs_snapshot", self._core.next_seq())
+        )
+        return {
+            "snapshot": reply.get("snapshot", {}),
+            "events": reply.get("events", []),
+        }
+
+    async def chaos_kill_worker(self, shard: int = 0) -> ControlResult:
+        """SIGKILL one shard worker (process backend chaos hook)."""
+        frame = _control_frame(
+            "chaos", self._core.next_seq(), op="kill_worker", shard=shard
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def drain(self, checkpoint: Optional[bool] = None) -> ControlResult:
+        """Settle all in-flight work server-side (optionally checkpoint)."""
+        frame = _control_frame(
+            "drain", self._core.next_seq(), checkpoint=checkpoint
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def shutdown(self) -> ControlResult:
+        """Ask the server to drain, checkpoint, and exit."""
+        frame = _control_frame("shutdown", self._core.next_seq())
+        return _decode_reply(await self._request(frame))

@@ -1,0 +1,80 @@
+"""The engine gate: a thread-safe, supervised seam around one engine.
+
+Every serving-layer touch of the engine — control plane, data plane,
+the metrics endpoint, a background flusher — goes through one
+:class:`EngineGate`.  It provides the two guarantees the library engine
+does not:
+
+* **serialisation** — an RLock makes engine access safe from the
+  asyncio loop *and* foreign threads (the sync client example runs the
+  server on a side thread; the HTTP metrics handler snapshots while
+  control frames apply);
+* **supervision** — a shard worker dying under the process backend
+  (chaos ``kill_worker``, OOM, a real crash) surfaces as
+  :class:`~repro.minispe.parallel.ShardWorkerError` on the next engine
+  call.  The gate catches it, drives the engine's checkpoint-restore +
+  input-log-replay recovery (:meth:`AStreamEngine.recover`), and
+  retries the failed call once — so live client sessions see a latency
+  blip, not an error, mirroring the fault supervisor's recovery loop
+  (:class:`repro.faults.supervisor.Supervisor`) inside the server.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.core.engine import AStreamEngine, RecoveryInfo
+from repro.minispe.parallel import ShardWorkerError
+
+logger = logging.getLogger("repro.serve.gate")
+
+
+class EngineGate:
+    """Serialised, recovery-supervised access to one engine."""
+
+    def __init__(
+        self,
+        engine: AStreamEngine,
+        max_recoveries: int = 8,
+        on_recovery: Optional[Callable[[RecoveryInfo], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.max_recoveries = max_recoveries
+        self.on_recovery = on_recovery
+        self.recoveries: List[RecoveryInfo] = []
+        self._lock = threading.RLock()
+
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run one engine operation under the gate.
+
+        On :class:`ShardWorkerError` the engine is recovered (checkpoint
+        restore + input-log replay rebuilds the worker pool) and the
+        operation retried once; a second failure — or exhausting the
+        recovery budget — propagates.
+        """
+        with self._lock:
+            try:
+                return fn(*args, **kwargs)
+            except ShardWorkerError as error:
+                self._recover(error)
+                return fn(*args, **kwargs)
+
+    def locked(self):
+        """The gate's lock, for multi-call atomic sections."""
+        return self._lock
+
+    def _recover(self, error: ShardWorkerError) -> None:
+        if len(self.recoveries) >= self.max_recoveries:
+            raise error
+        logger.warning("engine call failed (%s); recovering", error)
+        info = self.engine.recover()
+        self.recoveries.append(info)
+        if self.on_recovery is not None:
+            self.on_recovery(info)
+        logger.info(
+            "engine recovered: checkpoint %s, %d elements replayed",
+            info.checkpoint_id,
+            info.replayed_elements,
+        )

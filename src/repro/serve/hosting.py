@@ -1,0 +1,101 @@
+"""Run an :class:`AStreamServer` on a background event-loop thread.
+
+The server is asyncio-native, but benchmarks, examples, and tests want
+to drive it from plain blocking code with :class:`ServeClient`.
+:class:`ServerThread` owns a private event loop on a daemon thread,
+boots the server there, and exposes just enough control surface —
+``port``, ``run(coro)`` for loop-side calls, ``stop()``/``join()`` —
+to host a server inside any synchronous program::
+
+    with ServerThread(ServeConfig(backend="process")) as host:
+        client = ServeClient("127.0.0.1", host.port)
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Coroutine, Optional
+
+from repro.serve.server import AStreamServer, ServeConfig
+
+
+class ServerThread:
+    """One server hosted on a dedicated event-loop thread."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        start_timeout_s: float = 30.0,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.server = AStreamServer(self.config)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._main, name="astream-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(start_timeout_s):
+            raise RuntimeError("server failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            )
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            try:
+                await self.server.start()
+            except BaseException as error:  # surface to the creator
+                self._startup_error = error
+                raise
+            finally:
+                self._ready.set()
+            await self.server.serve_forever()
+
+        try:
+            self._loop.run_until_complete(boot())
+        except Exception:
+            pass
+        finally:
+            self._loop.close()
+
+    @property
+    def port(self) -> int:
+        """The server's bound frame-protocol port."""
+        return self.server.port
+
+    def run(self, coro: Coroutine) -> Any:
+        """Run a coroutine on the server's loop (thread-safe), await it."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(60)
+
+    def stop(self) -> None:
+        """Gracefully stop the server and wait for the thread to exit."""
+        if self._thread.is_alive():
+            try:
+                self.run(self.server.stop())
+            except Exception:
+                pass
+        self.join(10)
+
+    def join(self, timeout_s: float = 10.0) -> None:
+        """Wait for the hosting thread to finish."""
+        self._thread.join(timeout_s)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the hosting thread is running."""
+        return self._thread.is_alive()
+
+    def __enter__(self) -> "ServerThread":
+        """Context-manager entry: the server is already running."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: stop the server."""
+        self.stop()

@@ -1,0 +1,102 @@
+"""A dependency-free HTTP endpoint for Prometheus scraping.
+
+Serves exactly two paths from the running server's telemetry:
+
+* ``GET /metrics`` — the serve-layer registry (sessions, frame and
+  ingest counters, admission outcomes, subscription backlog) merged
+  with the engine's registry when the engine observes, rendered through
+  :func:`repro.obs.exposition.render_prometheus`;
+* ``GET /healthz`` — a one-line liveness body.
+
+The handler speaks just enough HTTP/1.0 for a scraper (request line +
+headers in, fixed response out, connection closed) — no routes, no
+framework, no dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+_MAX_REQUEST_BYTES = 16_384
+
+
+class MetricsHttpServer:
+    """Serves ``/metrics`` and ``/healthz`` for one stream server."""
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render = render
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting scrapes."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves an ephemeral request)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("metrics server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readuntil(b"\r\n")
+            if len(request) > _MAX_REQUEST_BYTES:
+                raise ValueError("request line too long")
+            parts = request.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # Drain headers until the blank line (scrapers send a few).
+            while True:
+                line = await reader.readuntil(b"\r\n")
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if path.split("?")[0] == "/metrics":
+                body = self.render()
+                status = "200 OK"
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path.split("?")[0] == "/healthz":
+                body = "ok\n"
+                status = "200 OK"
+                content_type = "text/plain; charset=utf-8"
+            else:
+                body = "not found\n"
+                status = "404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (asyncio.IncompleteReadError, ValueError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -1,0 +1,257 @@
+"""The wire protocol of the serving layer: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object with a ``t`` (type) field.
+JSON keeps the protocol debuggable with ``nc``/``jq`` and — because
+Python's ``json`` roundtrips ints and floats exactly — preserves the
+byte-equality guarantees the integration tests assert; the codec seam
+(:func:`encode_frame` / :func:`decode_frame`) is the single place a
+binary encoding (msgpack) would plug in.
+
+Frame catalogue (client → server unless noted)::
+
+    hello         {t, client_id, token?, protocol}
+    hello_ack     {t, session_id, credits, server{...}}          (reply)
+    create_query  {t, seq, query? | sql?, at_ms?}
+    delete_query  {t, seq, query_id, at_ms?}
+    ack           {t, seq, status, ...}                          (reply)
+    push          {t, stream, events: [[ts, key, [f0..f4]], ..]}
+    push_ack      {t, credits, accepted}                         (reply)
+    watermark     {t, timestamp, stream?}
+    subscribe     {t, seq, query_id, from_start?}
+    unsubscribe   {t, seq, query_id}
+    result        {t, query_id, outputs, dropped}               (pushed)
+    query_event   {t, event, query_id, sequence}                (pushed)
+    fetch_results {t, seq, query_id}
+    results       {t, seq, query_id, outputs}                    (reply)
+    stats         {t, seq}
+    obs_snapshot  {t, seq}
+    chaos         {t, seq, op, shard?}
+    drain         {t, seq, checkpoint?}
+    shutdown      {t, seq}
+    ping          {t} / pong {t}                            (both ways)
+    error         {t, seq?, code, message}                       (reply)
+
+Control frames carry a client-chosen ``seq`` that the server echoes in
+its reply and uses for idempotent deduplication: re-sending a frame
+with an already-applied ``seq`` (after a reconnect) replays the cached
+response instead of re-applying the command.
+
+Malformed input — oversized length prefixes, undecodable bytes, frames
+missing required fields — raises :class:`ProtocolError`, which servers
+answer with an ``error`` frame on the *same* connection; a framing
+error never kills the session (the length prefix keeps the stream in
+sync even when a payload is garbage).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+PROTOCOL_VERSION = 1
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+"""Upper bound on one frame's JSON payload (8 MiB)."""
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+
+class ProtocolError(Exception):
+    """A malformed or invalid frame (answered, never fatal)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+# Required fields per frame type (value = field must be present).
+FRAME_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "hello": ("client_id",),
+    "hello_ack": ("session_id", "credits"),
+    "create_query": ("seq",),
+    "delete_query": ("seq", "query_id"),
+    "ack": ("seq", "status"),
+    "push": ("stream", "events"),
+    "push_ack": ("credits", "accepted"),
+    "watermark": ("timestamp",),
+    "subscribe": ("seq", "query_id"),
+    "unsubscribe": ("seq", "query_id"),
+    "result": ("query_id", "outputs"),
+    "query_event": ("event", "query_id"),
+    "fetch_results": ("seq", "query_id"),
+    "results": ("seq", "query_id", "outputs"),
+    "stats": ("seq",),
+    "obs_snapshot": ("seq",),
+    "chaos": ("seq", "op"),
+    "drain": ("seq",),
+    "shutdown": ("seq",),
+    "ping": (),
+    "pong": (),
+    "error": ("code", "message"),
+}
+
+
+def validate_frame(frame: Any) -> Dict[str, Any]:
+    """Check the decoded object is a known frame with required fields."""
+    if not isinstance(frame, dict):
+        raise ProtocolError("bad_frame", "frame payload is not an object")
+    kind = frame.get("t")
+    required = FRAME_SCHEMAS.get(kind)
+    if required is None:
+        raise ProtocolError("unknown_frame", f"unknown frame type {kind!r}")
+    missing = [name for name in required if name not in frame]
+    if missing:
+        raise ProtocolError(
+            "missing_field",
+            f"frame {kind!r} is missing field(s): {', '.join(missing)}",
+        )
+    return frame
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialise one frame: length prefix + compact JSON payload."""
+    payload = json.dumps(
+        frame, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame_too_large",
+            f"encoded frame is {len(payload)} bytes "
+            f"(limit {MAX_FRAME_BYTES})",
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, Any]:
+    """Parse and validate one frame payload (without the prefix)."""
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError("bad_json", f"undecodable frame: {error}") from None
+    return validate_frame(frame)
+
+
+def error_frame(
+    code: str, message: str, seq: Optional[int] = None
+) -> Dict[str, Any]:
+    """Build the standard ``error`` reply for a protocol violation."""
+    frame: Dict[str, Any] = {"t": "error", "code": code, "message": message}
+    if seq is not None:
+        frame["seq"] = seq
+    return frame
+
+
+# -- asyncio transport ---------------------------------------------------------------
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF.
+
+    An oversized declared length is drained (the prefix keeps the
+    stream in sync) and reported as a :class:`ProtocolError`, so the
+    caller can answer with an ``error`` frame and keep the connection.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        remaining = length
+        while remaining:
+            chunk = await reader.read(min(remaining, 1 << 16))
+            if not chunk:
+                return None
+            remaining -= len(chunk)
+        raise ProtocolError(
+            "frame_too_large",
+            f"declared frame length {length} exceeds limit {max_bytes}",
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return decode_frame(payload)
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+    """Queue one frame on an asyncio stream (caller drains)."""
+    writer.write(encode_frame(frame))
+
+
+# -- blocking-socket transport (sync client) -----------------------------------------
+
+def recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes from a blocking socket.
+
+    Raises :class:`ConnectionError` on EOF mid-read so callers share
+    one reconnect path for every flavour of dropped connection.
+    """
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(
+    sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
+) -> Dict[str, Any]:
+    """Blocking-socket counterpart of :func:`read_frame`."""
+    (length,) = _HEADER.unpack(recv_exactly(sock, HEADER_BYTES))
+    if length > max_bytes:
+        recv_exactly(sock, length)
+        raise ProtocolError(
+            "frame_too_large",
+            f"declared frame length {length} exceeds limit {max_bytes}",
+        )
+    return decode_frame(recv_exactly(sock, length))
+
+
+def write_frame_sock(sock: socket.socket, frame: Dict[str, Any]) -> None:
+    """Blocking-socket counterpart of :func:`write_frame`."""
+    sock.sendall(encode_frame(frame))
+
+
+# -- data-plane payload helpers ------------------------------------------------------
+
+def encode_events(events: List[Tuple[int, Any]]) -> List[list]:
+    """Pack ``(timestamp, DataTuple)`` pairs into the push-frame form.
+
+    The wire shape is ``[timestamp, key, [f0..f4]]`` per event — flat
+    lists rather than tagged objects, because ingestion is the
+    high-volume path and the five-field workload tuple is the only
+    payload the engine accepts.
+    """
+    return [
+        [timestamp, value.key, list(value.fields)]
+        for timestamp, value in events
+    ]
+
+
+def decode_events(rows: List[list]) -> List[Tuple[int, Any]]:
+    """Inverse of :func:`encode_events`; validates row shape."""
+    from repro.workloads.datagen import DataTuple
+
+    events: List[Tuple[int, Any]] = []
+    try:
+        for row in rows:
+            timestamp, key, fields = row
+            events.append(
+                (int(timestamp), DataTuple(key=key, fields=tuple(fields)))
+            )
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            "bad_event", f"malformed push event row: {error}"
+        ) from None
+    return events

@@ -1,0 +1,970 @@
+"""The networked multi-tenant stream service (control + data planes).
+
+:class:`AStreamServer` puts a front door on the engine: many
+independent clients connect over TCP, create and delete ad-hoc queries
+at runtime, feed events, and stream their queries' results back — the
+paper's serving setting (hundreds of ad-hoc queries per second from
+many users, §1) exercised over a real wire instead of direct Python
+calls.
+
+One server process hosts one engine — the in-process
+:class:`~repro.core.engine.AStreamEngine` or the process-sharded
+:class:`~repro.core.parallel_engine.ProcessAStreamEngine` — behind an
+:class:`~repro.serve.gate.EngineGate` that serialises access and
+supervises worker recovery.  The asyncio loop is the control plane's
+single-writer: every session's frames apply in arrival order, so
+changelog sequence numbers give clients an exact global order of query
+lifecycle events.
+
+Plane by plane:
+
+* **control** — authenticated sessions submit ``create_query`` /
+  ``delete_query`` (a serde document or SQL text), gated through the
+  existing :class:`~repro.core.admission.AdmissionController` and QoS
+  monitor; acks carry the changelog sequence at which the request took
+  effect, so a client knows *exactly* when its query is live;
+* **data** — ``push`` frames carry event micro-batches into the
+  engine's :meth:`push_many` batch path, paced by per-session ingest
+  credits (the same credit discipline the shard pool uses for worker
+  IPC);
+* **results** — subscriptions fan deliveries out through the
+  :class:`~repro.serve.subscriptions.SubscriptionHub` with bounded
+  buffers and visible slow-consumer shedding;
+* **ops** — ``GET /metrics`` (Prometheus) on a sidecar HTTP listener,
+  ``obs_snapshot`` over the wire (the pipeline inspector attaches to a
+  live server with it), and graceful drain/shutdown that checkpoints
+  the engine before exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import logging
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.admission import AdmissionController, AdmissionDecision, AdmissionPolicy
+from repro.core.changelog import Changelog
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.core.qos import QoSMonitor, QoSThresholds
+from repro.core.serde import SerdeError, output_to_dict, query_from_dict
+from repro.core.sql import SqlError, parse_query
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.minispe.parallel import ShardWorkerError
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.serve.gate import EngineGate
+from repro.serve.httpmetrics import MetricsHttpServer
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_events,
+    error_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.state import (
+    DEFAULT_INGEST_CREDITS,
+    SessionRegistry,
+    SessionState,
+)
+from repro.serve.subscriptions import DEFAULT_BUFFER_OUTPUTS, SubscriptionHub
+
+logger = logging.getLogger("repro.serve.server")
+
+
+@dataclass
+class ServeConfig:
+    """One server deployment's knobs."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    """TCP port for the frame protocol (0 = ephemeral)."""
+    auth_token: Optional[str] = None
+    """Shared-secret session auth; ``None`` accepts any client."""
+    backend: str = "inline"
+    """``inline`` or ``process`` (sharded worker pool)."""
+    workers: int = 2
+    """Worker processes for the process backend."""
+    streams: Tuple[str, ...] = ("A", "B")
+    max_join_arity: int = 1
+    changelog_batch_size: int = 100
+    changelog_timeout_ms: int = 50
+    flush_on_submit: bool = True
+    """Flush the shared session right after each control request, so the
+    ack can carry the changelog sequence synchronously.  ``False``
+    restores the paper's batched changelogs: acks return without a
+    sequence and a ``query_event`` frame announces liveness when the
+    batch/timeout flush happens."""
+    log_inputs: bool = True
+    """Keep the input log so the server can checkpoint/recover."""
+    checkpoint_on_drain: bool = True
+    observe: bool = False
+    """Enable the engine's telemetry subsystem (obs_snapshot carries the
+    full registry/trace/events picture when on)."""
+    obs_sample_every: int = 32
+    metrics_port: Optional[int] = None
+    """HTTP ``/metrics`` sidecar port (None disables, 0 = ephemeral)."""
+    max_active_queries: Optional[int] = None
+    max_deferred: int = 1_000
+    max_deployment_latency_ms: Optional[float] = None
+    """QoS threshold: deferring admissions above this deployment
+    latency (None disables the check)."""
+    subscriber_buffer: int = DEFAULT_BUFFER_OUTPUTS
+    result_frame_outputs: int = 512
+    """Max outputs per streamed ``result`` frame."""
+    ingest_credits: int = DEFAULT_INGEST_CREDITS
+    tick_interval_ms: int = 20
+    """Background tick cadence: session timeout flushes, deferred
+    admission retries, subscription flushing."""
+    clock: str = "wall"
+    """``wall`` stamps control requests with server uptime;``manual``
+    advances only on client-supplied ``at_ms``/watermarks, keeping runs
+    deterministic for equivalence testing."""
+    write_buffer_limit: int = 4 * 1024 * 1024
+    """Per-connection transport backlog above which subscription
+    flushing skips the connection (results keep buffering — and
+    eventually shedding — in the hub instead of in kernel memory)."""
+    engine_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("inline", "process"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.clock not in ("wall", "manual"):
+            raise ValueError(f"unknown clock mode {self.clock!r}")
+
+
+def build_engine(
+    config: ServeConfig, qos: Optional[QoSMonitor] = None
+) -> AStreamEngine:
+    """Construct the hosted engine for a serve config."""
+    engine_config = EngineConfig(
+        streams=config.streams,
+        max_join_arity=config.max_join_arity,
+        parallelism=1,
+        changelog_batch_size=config.changelog_batch_size,
+        changelog_timeout_ms=config.changelog_timeout_ms,
+        retain_results=True,
+        log_inputs=config.log_inputs,
+        observe=config.observe,
+        obs_sample_every=config.obs_sample_every,
+        **config.engine_overrides,
+    )
+    if config.backend == "process":
+        # Delivery sampling stays off: QoS latency over IPC would tax
+        # the very throughput the server exists to provide; the poll
+        # flusher reads merged channels instead.
+        return ProcessAStreamEngine(
+            engine_config,
+            cluster=SimulatedCluster(ClusterSpec(nodes=1), mode="process"),
+            workers=config.workers,
+            deliver_sample_every=0,
+        )
+    return AStreamEngine(
+        engine_config,
+        cluster=SimulatedCluster(ClusterSpec(nodes=1)),
+        on_deliver=qos.on_deliver if qos is not None else None,
+    )
+
+
+class AStreamServer:
+    """The asyncio TCP server fronting one shared-stream engine."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine: Optional[AStreamEngine] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = MetricsRegistry()
+        self.qos = QoSMonitor(
+            now_fn=self.now_ms,
+            thresholds=QoSThresholds(
+                max_deployment_latency_ms=(
+                    self.config.max_deployment_latency_ms
+                ),
+            ),
+        )
+        self.engine = engine if engine is not None else build_engine(
+            self.config, qos=self.qos
+        )
+        self.gate = EngineGate(self.engine, on_recovery=self._on_recovery)
+        self.admission = AdmissionController(
+            self.engine,
+            self.qos,
+            AdmissionPolicy(
+                max_active_queries=self.config.max_active_queries,
+                defer_on_qos_violation=(
+                    self.config.max_deployment_latency_ms is not None
+                ),
+                max_deferred=self.config.max_deferred,
+            ),
+        )
+        self.sessions = SessionRegistry()
+        self.hub = SubscriptionHub(
+            self.engine,
+            tap_mode=not isinstance(self.engine, ProcessAStreamEngine),
+            buffer_capacity=self.config.subscriber_buffer,
+        )
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+        self._awaiting_flush: Dict[str, List[Tuple[SessionState, str]]] = {}
+        """query_id → (session, kind) pairs waiting for the changelog
+        flush that makes the request effective (batched-flush mode)."""
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_http: Optional[MetricsHttpServer] = None
+        self._ticker_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._started_monotonic = time.monotonic()
+        self._manual_now_ms = 0
+        self._last_sequence = 0
+        self._shutdown_checkpoint: Optional[int] = None
+        self._closed = False
+
+    # -- clock -------------------------------------------------------------
+
+    def now_ms(self) -> int:
+        """The server's control-plane clock (see ``ServeConfig.clock``)."""
+        if self.config.clock == "manual":
+            return self._manual_now_ms
+        return int((time.monotonic() - self._started_monotonic) * 1_000)
+
+    def _observe_time(self, at_ms: Optional[int]) -> int:
+        """Fold a client-supplied timestamp into the clock; return now."""
+        if at_ms is not None:
+            self._manual_now_ms = max(self._manual_now_ms, int(at_ms))
+            return int(at_ms)
+        return self.now_ms()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind listeners and start the background ticker."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if self.config.metrics_port is not None:
+            self._metrics_http = MetricsHttpServer(
+                self.render_metrics,
+                host=self.config.host,
+                port=self.config.metrics_port,
+            )
+            await self._metrics_http.start()
+        self._ticker_task = asyncio.create_task(self._ticker())
+        logger.info(
+            "serving %s backend on %s:%d (metrics: %s)",
+            self.config.backend,
+            self.config.host,
+            self.port,
+            self._metrics_http.port if self._metrics_http else "off",
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound frame-protocol port."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not running")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound HTTP metrics port (None when disabled)."""
+        return self._metrics_http.port if self._metrics_http else None
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` (or a ``shutdown`` frame)."""
+        if self._stopping is None:
+            raise RuntimeError("call start() first")
+        await self._stopping.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful teardown: drain, checkpoint, close, release.
+
+        ``drain`` settles in-flight work and (with ``log_inputs``)
+        takes a final checkpoint before the engine shuts down, so a
+        restarted server could recover the query population.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._ticker_task is not None:
+            self._ticker_task.cancel()
+            try:
+                await self._ticker_task
+            except asyncio.CancelledError:
+                pass
+        if drain:
+            try:
+                self._drain_engine(checkpoint=self.config.log_inputs)
+                await self._flush_subscriptions(force=True)
+            except ShardWorkerError:
+                logger.warning("drain failed during shutdown", exc_info=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._metrics_http is not None:
+            await self._metrics_http.stop()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self.engine.shutdown()
+        if self._stopping is not None:
+            self._stopping.set()
+        logger.info("server stopped (final checkpoint: %s)",
+                    self._shutdown_checkpoint)
+
+    def _drain_engine(self, checkpoint: bool) -> None:
+        self.gate.call(self.engine.drain)
+        self.hub.poll()
+        if checkpoint and self.config.log_inputs:
+            self._shutdown_checkpoint = self.gate.call(self.engine.checkpoint)
+
+    def _on_recovery(self, info) -> None:
+        # Replay may have applied changelogs past what this loop saw.
+        self._last_sequence = max(
+            self._last_sequence, self.engine.session._next_sequence - 1
+        )
+        self.registry.counter("serve_recoveries").inc()
+        logger.info(
+            "supervised recovery: checkpoint %s, replayed %d",
+            info.checkpoint_id,
+            info.replayed_elements,
+        )
+
+    # -- background ticker -------------------------------------------------
+
+    async def _ticker(self) -> None:
+        interval = self.config.tick_interval_ms / 1_000.0
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                now = self.now_ms()
+                changelog = self.gate.call(self.engine.tick, now)
+                if changelog is not None:
+                    self._note_changelogs([changelog])
+                    await self._announce_flushed([changelog])
+                if self.admission.deferred_count:
+                    with self.gate.locked():
+                        admitted = self.admission.retry_deferred(now)
+                        if admitted and self.config.flush_on_submit:
+                            flushed = self.engine.flush_session(now)
+                    if admitted:
+                        self._note_changelogs(flushed)
+                        await self._announce_flushed(flushed)
+                if not self.hub.tap_mode:
+                    with self.gate.locked():
+                        self.hub.poll()
+                await self._flush_subscriptions()
+            except asyncio.CancelledError:
+                raise
+            except ShardWorkerError:
+                logger.warning("tick hit a dead worker; next op recovers",
+                               exc_info=True)
+            except Exception:
+                logger.exception("ticker iteration failed")
+
+    def _note_changelogs(self, changelogs: List[Changelog]) -> None:
+        for changelog in changelogs:
+            self._last_sequence = max(self._last_sequence, changelog.sequence)
+
+    async def _announce_flushed(self, changelogs: List[Changelog]) -> None:
+        """Resolve batched-mode waiters with their changelog sequence."""
+        if not self._awaiting_flush:
+            return
+        for changelog in changelogs:
+            effects = [
+                (activation.query.query_id, "live")
+                for activation in changelog.created
+            ] + [
+                (deactivation.query_id, "stopped")
+                for deactivation in changelog.deleted
+            ]
+            for query_id, event in effects:
+                waiters = self._awaiting_flush.pop(query_id, ())
+                for session, _kind in waiters:
+                    if event == "live":
+                        session.owned_queries[query_id] = "live"
+                    else:
+                        session.owned_queries[query_id] = "stopped"
+                    await self._send_to(
+                        session,
+                        {
+                            "t": "query_event",
+                            "event": event,
+                            "query_id": query_id,
+                            "sequence": changelog.sequence,
+                        },
+                    )
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Optional[SessionState] = None
+        try:
+            session = await self._handshake(reader, writer)
+            if session is None:
+                return
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as error:
+                    # Malformed frame: answer, count, keep the session.
+                    self.registry.counter("serve_protocol_errors").inc()
+                    write_frame(
+                        writer, error_frame(error.code, error.message)
+                    )
+                    await writer.drain()
+                    continue
+                if frame is None:
+                    break
+                session.frames_in += 1
+                self.registry.counter("serve_frames_in").inc()
+                try:
+                    await self._dispatch(session, writer, frame)
+                except ProtocolError as error:
+                    self.registry.counter("serve_protocol_errors").inc()
+                    write_frame(
+                        writer,
+                        error_frame(error.code, error.message,
+                                    seq=frame.get("seq")),
+                    )
+                    await writer.drain()
+                if self._closed:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if session is not None:
+                self.sessions.detach(session)
+                self._writers.pop(session.client_id, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[SessionState]:
+        try:
+            frame = await read_frame(reader)
+        except ProtocolError as error:
+            write_frame(writer, error_frame(error.code, error.message))
+            await writer.drain()
+            return None
+        if frame is None:
+            return None
+        if frame.get("t") != "hello":
+            write_frame(
+                writer,
+                error_frame("handshake_required",
+                            "first frame must be hello"),
+            )
+            await writer.drain()
+            return None
+        expected = self.config.auth_token
+        if expected is not None:
+            supplied = frame.get("token") or ""
+            if not hmac.compare_digest(str(supplied), expected):
+                self.registry.counter("serve_auth_failures").inc()
+                write_frame(
+                    writer,
+                    error_frame("auth_failed", "invalid auth token"),
+                )
+                await writer.drain()
+                return None
+        client_id = str(frame["client_id"]) or f"anon-{uuid.uuid4().hex[:8]}"
+        session = self.sessions.attach(
+            client_id, credits=self.config.ingest_credits
+        )
+        self._writers[client_id] = writer
+        write_frame(
+            writer,
+            {
+                "t": "hello_ack",
+                "session_id": session.session_id,
+                "credits": session.credits,
+                "server": {
+                    "protocol": PROTOCOL_VERSION,
+                    "backend": self.config.backend,
+                    "streams": list(self.config.streams),
+                    "max_join_arity": self.config.max_join_arity,
+                    "workers": (
+                        self.config.workers
+                        if self.config.backend == "process"
+                        else 1
+                    ),
+                },
+            },
+        )
+        await writer.drain()
+        return session
+
+    async def _send_to(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> bool:
+        """Best-effort frame delivery to a session's live connection."""
+        writer = self._writers.get(session.client_id)
+        if writer is None or writer.is_closing():
+            return False
+        try:
+            write_frame(writer, frame)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        self.registry.counter("serve_frames_out").inc()
+        return True
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(
+        self,
+        session: SessionState,
+        writer: asyncio.StreamWriter,
+        frame: Dict[str, Any],
+    ) -> None:
+        kind = frame["t"]
+        if kind == "ping":
+            write_frame(writer, {"t": "pong"})
+            await writer.drain()
+            return
+        if kind == "push":
+            await self._handle_push(session, writer, frame)
+            return
+        if kind == "watermark":
+            self._handle_watermark(frame)
+            return
+        seq = frame.get("seq")
+        if seq is not None:
+            cached = session.replay(seq)
+            if cached is not None:
+                self.registry.counter("serve_idempotent_replays").inc()
+                write_frame(writer, cached)
+                await writer.drain()
+                return
+        handler = {
+            "create_query": self._handle_create,
+            "delete_query": self._handle_delete,
+            "subscribe": self._handle_subscribe,
+            "unsubscribe": self._handle_unsubscribe,
+            "fetch_results": self._handle_fetch_results,
+            "stats": self._handle_stats,
+            "obs_snapshot": self._handle_obs_snapshot,
+            "chaos": self._handle_chaos,
+            "drain": self._handle_drain,
+            "shutdown": self._handle_shutdown,
+        }.get(kind)
+        if handler is None:
+            raise ProtocolError(
+                "unexpected_frame", f"server does not accept {kind!r} frames"
+            )
+        reply = handler(session, frame)
+        if asyncio.iscoroutine(reply):
+            reply = await reply
+        if reply is not None:
+            session.remember(seq, reply)
+            write_frame(writer, reply)
+            await writer.drain()
+            self.registry.counter("serve_frames_out").inc()
+
+    # -- control plane -----------------------------------------------------
+
+    def _parse_query_payload(self, frame: Dict[str, Any]):
+        if "query" in frame:
+            try:
+                return query_from_dict(frame["query"])
+            except (SerdeError, KeyError, TypeError, ValueError) as error:
+                raise ProtocolError(
+                    "bad_query", f"undecodable query document: {error}"
+                ) from None
+        if "sql" in frame:
+            try:
+                return parse_query(frame["sql"])
+            except SqlError as error:
+                raise ProtocolError("bad_sql", str(error)) from None
+        raise ProtocolError(
+            "missing_field", "create_query needs a query document or sql text"
+        )
+
+    def _handle_create(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        query = self._parse_query_payload(frame)
+        now = self._observe_time(frame.get("at_ms"))
+        with self.gate.locked():
+            try:
+                decision = self.admission.submit(query, now)
+            except ShardWorkerError as error:
+                # The submit reached the session before the dead worker
+                # surfaced; recovery + flush makes it effective exactly
+                # once (the marker is in the replayed input log).
+                self.gate._recover(error)
+                decision = AdmissionDecision.ADMIT
+            except ValueError as error:
+                raise ProtocolError("bad_query", str(error)) from None
+            flushed: List[Changelog] = []
+            if (
+                decision is AdmissionDecision.ADMIT
+                and self.config.flush_on_submit
+            ):
+                flushed = self.gate.call(self.engine.flush_session, now)
+        self._note_changelogs(flushed)
+        reply: Dict[str, Any] = {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": decision.value,
+            "query_id": query.query_id,
+        }
+        if decision is AdmissionDecision.ADMIT:
+            self.registry.counter("serve_queries_created").inc()
+            sequence = _sequence_of(flushed, query.query_id, "created")
+            if sequence is None and query.query_id in self.engine.session.registry:
+                # A supervised recovery replayed the changelog marker
+                # before the explicit flush ran; the query is live but
+                # its activation rode the replay, not this flush.
+                sequence = self._last_sequence
+            if sequence is not None:
+                session.owned_queries[query.query_id] = "live"
+                reply["sequence"] = sequence
+            else:
+                session.owned_queries[query.query_id] = "pending"
+                self._awaiting_flush.setdefault(query.query_id, []).append(
+                    (session, "create")
+                )
+        elif decision is AdmissionDecision.DEFER:
+            self.registry.counter("serve_admission_deferred").inc()
+            session.owned_queries[query.query_id] = "pending"
+            self._awaiting_flush.setdefault(query.query_id, []).append(
+                (session, "create")
+            )
+        else:
+            self.registry.counter("serve_admission_rejected").inc()
+        return reply
+
+    def _handle_delete(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        query_id = str(frame["query_id"])
+        now = self._observe_time(frame.get("at_ms"))
+        with self.gate.locked():
+            parked = any(
+                request.query.query_id == query_id
+                for request in self.admission.deferred
+            )
+            if not parked and query_id not in self.engine.session.registry:
+                raise ProtocolError(
+                    "unknown_query", f"no live query {query_id!r}"
+                )
+            try:
+                self.admission.stop(query_id, now)
+            except ShardWorkerError as error:
+                self.gate._recover(error)
+            flushed: List[Changelog] = []
+            if self.config.flush_on_submit:
+                flushed = self.gate.call(self.engine.flush_session, now)
+        self._note_changelogs(flushed)
+        self.registry.counter("serve_queries_deleted").inc()
+        reply: Dict[str, Any] = {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "query_id": query_id,
+        }
+        sequence = _sequence_of(flushed, query_id, "deleted")
+        if sequence is None and query_id not in self.engine.session.registry:
+            sequence = self._last_sequence
+        if sequence is not None:
+            session.owned_queries[query_id] = "stopped"
+            reply["sequence"] = sequence
+        else:
+            self._awaiting_flush.setdefault(query_id, []).append(
+                (session, "delete")
+            )
+        return reply
+
+    # -- data plane --------------------------------------------------------
+
+    async def _handle_push(
+        self,
+        session: SessionState,
+        writer: asyncio.StreamWriter,
+        frame: Dict[str, Any],
+    ) -> None:
+        if session.credits <= 0:
+            raise ProtocolError(
+                "no_credits",
+                "push received with zero ingest credits; await push_ack",
+            )
+        stream = frame["stream"]
+        if stream not in self.config.streams:
+            raise ProtocolError("unknown_stream", f"unknown stream {stream!r}")
+        events = decode_events(frame["events"])
+        session.credits -= 1
+        try:
+            accepted = (
+                self.gate.call(self.engine.push_many, stream, events)
+                if events
+                else 0
+            )
+        finally:
+            session.credits += 1
+        session.tuples_in += accepted
+        self.registry.counter("serve_push_frames").inc()
+        self.registry.counter("serve_tuples_ingested").inc(accepted)
+        write_frame(
+            writer,
+            {"t": "push_ack", "credits": session.credits,
+             "accepted": accepted},
+        )
+        await writer.drain()
+
+    def _handle_watermark(self, frame: Dict[str, Any]) -> None:
+        timestamp = int(frame["timestamp"])
+        self._observe_time(timestamp)
+        stream = frame.get("stream")
+        if stream is not None and stream not in self.config.streams:
+            raise ProtocolError("unknown_stream", f"unknown stream {stream!r}")
+        try:
+            self.gate.call(self.engine.watermark, timestamp, stream)
+        except KeyError as error:
+            raise ProtocolError("unknown_stream", str(error)) from None
+
+    # -- results -----------------------------------------------------------
+
+    def _handle_subscribe(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        query_id = str(frame["query_id"])
+        with self.gate.locked():
+            subscription = self.hub.subscribe(
+                session, query_id, from_start=bool(frame.get("from_start", True))
+            )
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "query_id": query_id,
+            "backlog": subscription.pending,
+        }
+
+    def _handle_unsubscribe(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        query_id = str(frame["query_id"])
+        existed = self.hub.unsubscribe(session, query_id)
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok" if existed else "not_subscribed",
+            "query_id": query_id,
+        }
+
+    def _handle_fetch_results(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        query_id = str(frame["query_id"])
+        outputs = self.gate.call(self.engine.canonical_results, query_id)
+        return {
+            "t": "results",
+            "seq": frame["seq"],
+            "query_id": query_id,
+            "outputs": [output_to_dict(output) for output in outputs],
+        }
+
+    async def _flush_subscriptions(self, force: bool = False) -> None:
+        """Ship buffered subscription results as ``result`` frames.
+
+        Connections whose transport backlog exceeds the write-buffer
+        limit are skipped (unless forced): their results stay in the
+        hub's bounded buffers, where overflow sheds visibly instead of
+        ballooning kernel memory.
+        """
+        limit = self.config.result_frame_outputs
+        for session in self.sessions.sessions():
+            if not session.subscriptions:
+                continue
+            writer = self._writers.get(session.client_id)
+            if writer is None or writer.is_closing():
+                continue
+            if (
+                not force
+                and writer.transport.get_write_buffer_size()
+                > self.config.write_buffer_limit
+            ):
+                continue
+            for subscription in list(session.subscriptions.values()):
+                while subscription.pending:
+                    batch, dropped = subscription.take(limit)
+                    frame = {
+                        "t": "result",
+                        "query_id": subscription.query_id,
+                        "outputs": [
+                            output_to_dict(output) for output in batch
+                        ],
+                        "dropped": dropped,
+                    }
+                    if dropped:
+                        self.registry.counter("serve_results_shed").inc(
+                            dropped
+                        )
+                    self.registry.counter("serve_results_streamed").inc(
+                        len(batch)
+                    )
+                    if not await self._send_to(session, frame):
+                        break
+                    if not force:
+                        break  # one frame per sub per tick keeps ticks short
+
+    # -- ops surface -------------------------------------------------------
+
+    def _handle_stats(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        with self.gate.locked():
+            active = self.engine.active_query_count
+            counts = self.engine.result_counts()
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "stats": {
+                "backend": self.config.backend,
+                "active_queries": active,
+                "changelog_sequence": self._last_sequence,
+                "result_counts": counts,
+                "sessions_connected": self.sessions.connected_count,
+                "subscriptions": self.hub.subscription_count,
+                "results_shed": self.hub.dropped_total,
+                "recoveries": len(self.gate.recoveries),
+                "deferred": self.admission.deferred_count,
+                "now_ms": self.now_ms(),
+            },
+        }
+
+    def _handle_obs_snapshot(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if self.engine.obs is None:
+            snapshot: Dict[str, Any] = {"registry": self.registry.snapshot()}
+            events: List[Dict[str, Any]] = []
+        else:
+            snapshot = self.gate.call(self.engine.obs_snapshot)
+            snapshot["registry"] = {
+                **snapshot.get("registry", {}),
+                **self.registry.snapshot(),
+            }
+            events = self.engine.obs.events.tail(64)
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "snapshot": snapshot,
+            "events": events,
+        }
+
+    def _handle_chaos(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        op = frame.get("op")
+        if op != "kill_worker":
+            raise ProtocolError("bad_chaos", f"unknown chaos op {op!r}")
+        if not isinstance(self.engine, ProcessAStreamEngine):
+            raise ProtocolError(
+                "unsupported", "kill_worker needs the process backend"
+            )
+        shard = int(frame.get("shard", 0))
+        with self.gate.locked():
+            self.engine.kill_worker(shard)
+        self.registry.counter("serve_chaos_kills").inc()
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "shard": shard,
+        }
+
+    async def _handle_drain(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        checkpoint = bool(frame.get("checkpoint", self.config.checkpoint_on_drain))
+        with self.gate.locked():
+            self._drain_engine(checkpoint=checkpoint)
+        await self._flush_subscriptions(force=True)
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "checkpoint": self._shutdown_checkpoint if checkpoint else None,
+        }
+
+    async def _handle_shutdown(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        reply = {"t": "ack", "seq": frame["seq"], "status": "ok"}
+        writer = self._writers.get(session.client_id)
+        if writer is not None:
+            session.remember(frame["seq"], reply)
+            write_frame(writer, reply)
+            await writer.drain()
+        asyncio.get_running_loop().create_task(self.stop(drain=True))
+        return None
+
+    # -- metrics -----------------------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        registry = self.registry
+        registry.gauge("serve_sessions_connected", merge="max").set(
+            self.sessions.connected_count
+        )
+        registry.gauge("serve_subscriptions", merge="max").set(
+            self.hub.subscription_count
+        )
+        registry.gauge("serve_pending_outputs", merge="max").set(
+            self.hub.pending_outputs
+        )
+        registry.gauge("serve_active_queries", merge="max").set(
+            self.engine.active_query_count
+        )
+        registry.gauge("serve_changelog_sequence", merge="max").set(
+            self._last_sequence
+        )
+
+    def render_metrics(self) -> str:
+        """The Prometheus exposition body for ``GET /metrics``."""
+        self._refresh_gauges()
+        snapshot = dict(self.registry.snapshot())
+        if self.engine.obs is not None:
+            try:
+                engine_snapshot = self.gate.call(self.engine.obs_snapshot)
+                snapshot = {
+                    **engine_snapshot.get("registry", {}),
+                    **snapshot,
+                }
+            except ShardWorkerError:
+                logger.warning("metrics scrape skipped engine snapshot",
+                               exc_info=True)
+        return render_prometheus(snapshot)
+
+
+def _sequence_of(
+    changelogs: List[Changelog], query_id: str, direction: str
+) -> Optional[int]:
+    """The sequence of the changelog applying ``query_id`` (if flushed)."""
+    for changelog in changelogs:
+        if direction == "created":
+            if any(
+                activation.query.query_id == query_id
+                for activation in changelog.created
+            ):
+                return changelog.sequence
+        else:
+            if any(
+                deactivation.query_id == query_id
+                for deactivation in changelog.deleted
+            ):
+                return changelog.sequence
+    return None

@@ -1,0 +1,21 @@
+"""Shared fixtures for the serving-layer tests: a threaded server."""
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+
+
+@pytest.fixture
+def make_server():
+    """Factory fixture: boot servers, tear them all down at test end."""
+    handles = []
+
+    def factory(**overrides):
+        config = ServeConfig(**{"clock": "manual", **overrides})
+        handle = ServerThread(config)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.stop()

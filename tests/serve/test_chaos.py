@@ -1,0 +1,77 @@
+"""A SIGKILLed worker under a live server must be invisible to clients.
+
+The serve-smoke scenario: drive SC1 through the client SDK against the
+process backend, kill a shard worker mid-run with the ``chaos`` frame,
+and assert the session survives, results stay byte-identical to a
+fault-free in-process run, and drain/shutdown still exit cleanly.
+"""
+
+from repro.serve import ServeClient
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule
+
+from tests.serve.test_equivalence import (
+    EVENTS,
+    STEP_MS,
+    STREAMS,
+    _canonical,
+    _steps,
+    run_in_process,
+)
+
+SCHEDULE = sc1_schedule(
+    QueryGenerator(streams=STREAMS, seed=53), 1, 3, kind="agg"
+)
+KILL_AT_STEP = len(EVENTS) // 2
+
+
+class TestServeChaos:
+    def test_worker_kill_mid_run_recovers_and_matches(self, make_server):
+        reference = run_in_process(SCHEDULE)
+        assert reference and any(reference.values())
+
+        handle = make_server(backend="process", workers=2)
+        client = ServeClient("127.0.0.1", handle.port, client_id="chaos")
+        requests = _steps(SCHEDULE)
+        query_ids = []
+        for index, (step_start, batches) in enumerate(EVENTS):
+            if index == KILL_AT_STEP:
+                assert client.chaos_kill_worker(0).status == "ok"
+            for request in requests.get(step_start, ()):
+                if request.kind == "create":
+                    result = client.create_query(
+                        query=request.query, at_ms=request.at_ms
+                    )
+                    assert result.status == "admit"
+                    query_ids.append(request.query.query_id)
+                else:
+                    assert (
+                        client.delete_query(
+                            request.query_id, at_ms=request.at_ms
+                        ).status
+                        == "ok"
+                    )
+            for stream, events in batches.items():
+                assert client.push(stream, events) == len(events)
+            client.watermark(step_start + STEP_MS)
+
+        drained = client.drain(checkpoint=True)
+        assert drained.status == "ok"
+        assert drained.raw["checkpoint"] is not None
+
+        stats = client.stats()
+        assert stats["recoveries"] >= 1, "the kill must have been supervised"
+        assert stats["sessions_connected"] == 1
+
+        fetched = _canonical(
+            {
+                query_id: client.fetch_results(query_id)
+                for query_id in query_ids
+            }
+        )
+        assert fetched == reference
+
+        assert client.shutdown().status == "ok"
+        handle._thread.join(20)
+        assert not handle._thread.is_alive()
+        client.close()

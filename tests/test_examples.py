@@ -20,6 +20,7 @@ _EXPECTED_MARKERS = {
     "complex_pipeline.py": ["cx-2way", "cx-4way (added ad-hoc", "slice-pair joins"],
     "sql_console.py": ["[admit ]", "queries live on one shared topology", "admission:"],
     "auction_analytics.py": ["hottest auctions", "meeting the reserve", "active queries at shutdown: 2"],
+    "serve_quickstart.py": ["admitted over the wire", "streamed results:", "drained with checkpoint", "clean shutdown"],
 }
 
 
