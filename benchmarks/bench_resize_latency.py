@@ -1,0 +1,95 @@
+"""Resize-latency microbenchmark: how long does a live migration pause?
+
+A resize pauses ingest twice per migration phase: once while the old
+shards export their aligned state (``begin_resize``) and once per shard
+restore (``migration_step``); everything in between overlaps live
+ingest through the migration buffers.  This benchmark drives a standing
+SC1 aggregation population on the process backend, bounces the pool
+between 2 and 4 workers, and reports the distribution of those pauses
+from the engine's ``migration_pauses_ms`` window — the p95 is the gate
+metric for ``check_perf_regression.py --resize``.
+
+Usage::
+
+    python benchmarks/bench_resize_latency.py
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule
+
+STREAMS = ("A", "B")
+ROUNDS = 6
+"""Resize bounces (2→4→2→...); each contributes export+restore pauses."""
+RECORDS_PER_ROUND = 400
+"""Per-stream records pushed between resizes (standing state to ship)."""
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    return ordered[int(fraction * (len(ordered) - 1))]
+
+
+def measure_gate_metrics(rounds: int = ROUNDS) -> dict:
+    """Bounce a loaded pool between 2 and 4 workers; pause stats in ms."""
+    engine = ProcessAStreamEngine(
+        EngineConfig(streams=STREAMS, parallelism=1, log_inputs=True),
+        workers=2,
+    )
+    try:
+        schedule = sc1_schedule(
+            QueryGenerator(streams=STREAMS, seed=83), 1, 6, kind="agg"
+        )
+        for request in schedule.sorted():
+            if request.kind == "create":
+                engine.submit(request.query, now_ms=0)
+        data = DataGenerator(seed=5)
+        now = 0
+        # Warm-up round: first-touch costs (imports in workers, fork
+        # warmup) should not pollute the gated distribution.
+        for _ in range(2):
+            _push_round(engine, data, now)
+            now += 10_000
+        engine.resize(4)
+        engine.resize(2)
+        engine.migration_pauses_ms.clear()
+        for round_index in range(rounds):
+            _push_round(engine, data, now)
+            now += 10_000
+            engine.resize(4 if round_index % 2 == 0 else 2)
+        pauses = list(engine.migration_pauses_ms)
+        engine.drain()
+        counters = engine.migration_counters()
+        return {
+            "resize_pause_p95_ms": _percentile(pauses, 0.95),
+            "resize_pause_p50_ms": _percentile(pauses, 0.50),
+            "resize_pause_max_ms": max(pauses) if pauses else 0.0,
+            "resize_pause_samples": float(len(pauses)),
+            "resize_migrations": float(counters["migrations"]),
+        }
+    finally:
+        engine.shutdown()
+
+
+def _push_round(engine, data, start_ms: int) -> None:
+    for stream in STREAMS:
+        for offset in range(RECORDS_PER_ROUND):
+            engine.push(stream, start_ms + offset * 10, data.next_tuple())
+    engine.watermark(start_ms + RECORDS_PER_ROUND * 10)
+
+
+def main() -> int:
+    metrics = measure_gate_metrics()
+    for metric, value in metrics.items():
+        print(f"{metric} = {value:,.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,16 @@ and on, and the median on/off service-throughput ratio must stay at or
 above ``OBSERVE_FLOOR`` (telemetry may cost at most 10 % service_tps).
 The observe-off path is already covered by the default gate — telemetry
 off leaves the data path with one ``is None`` check per delivery.
+
+``--resize`` gates elasticity (ISSUE 6): the p95 ingest pause of a live
+worker-pool migration (``benchmarks/bench_resize_latency.py``) must not
+*exceed* its committed baseline by more than ``RESIZE_TOLERANCE`` — the
+direction is inverted relative to the throughput gates, because here
+the regression is a pause getting longer (e.g. a change that silently
+turns the incremental migration back into a stop-the-world drain).
+Absolute milliseconds vary across runner hardware, so the tolerance is
+wide (100 %): the gate exists to catch order-of-magnitude regressions,
+not scheduler jitter.
 """
 
 from __future__ import annotations
@@ -45,7 +55,11 @@ from repro.harness.runner import RunnerConfig, run_scenario
 
 BASELINE_PATH = Path(__file__).parent / "baselines" / "perf_baseline.csv"
 SERVE_BASELINE_PATH = Path(__file__).parent / "baselines" / "serve_baseline.csv"
+RESIZE_BASELINE_PATH = Path(__file__).parent / "baselines" / "resize_baseline.csv"
 TOLERANCE = 0.20
+RESIZE_TOLERANCE = 1.00
+"""Migration pauses may grow at most this fraction over baseline."""
+RESIZE_GATED_METRICS = ("resize_pause_p95_ms",)
 REPEATS = 4
 GATED_METRICS = ("batched_speedup_sc1_agg",)
 SERVE_GATED_METRICS = ("serve_ingest_ratio_inline",)
@@ -136,6 +150,15 @@ def measure_serve() -> dict:
     return measure_gate_metrics()
 
 
+def measure_resize() -> dict:
+    """The elasticity gate metrics (ISSUE 6 satellite 6)."""
+    try:
+        from bench_resize_latency import measure_gate_metrics
+    except ImportError:  # imported as a package (pytest, tooling)
+        from benchmarks.bench_resize_latency import measure_gate_metrics
+    return measure_gate_metrics()
+
+
 def load_baseline(path: Path = BASELINE_PATH) -> dict:
     """Read the committed baseline metrics CSV."""
     with path.open(newline="") as handle:
@@ -169,6 +192,25 @@ def check(measured: dict, baseline: dict, gated=GATED_METRICS) -> list:
     return failures
 
 
+def check_ceiling(
+    measured: dict,
+    baseline: dict,
+    gated=RESIZE_GATED_METRICS,
+    tolerance: float = RESIZE_TOLERANCE,
+) -> list:
+    """Inverted gate: fail when a latency metric *exceeds* baseline."""
+    failures = []
+    for metric in gated:
+        ceiling = baseline[metric] * (1.0 + tolerance)
+        if measured[metric] > ceiling:
+            failures.append(
+                f"{metric}: measured {measured[metric]:.3f} > ceiling "
+                f"{ceiling:.3f} (baseline {baseline[metric]:.3f} "
+                f"+ {tolerance:.0%})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     """Gate (default) or re-baseline (``--update``) the perf metrics."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -184,7 +226,35 @@ def main(argv=None) -> int:
                              "service throughput must stay within 10%% "
                              "of observe-off) instead of the baseline "
                              "metrics")
+    parser.add_argument("--resize", action="store_true",
+                        help="gate the live-migration ingest pause (p95 "
+                             "must not exceed its committed baseline) "
+                             "instead of the baseline metrics")
     args = parser.parse_args(argv)
+
+    if args.resize:
+        measured = measure_resize()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        if args.update:
+            write_baseline(measured, RESIZE_BASELINE_PATH)
+            print(f"resize baseline updated: {RESIZE_BASELINE_PATH}")
+            return 0
+        baseline = load_baseline(RESIZE_BASELINE_PATH)
+        failures = check_ceiling(measured, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(
+                "resize latency gate OK ("
+                + ", ".join(
+                    f"{metric} {measured[metric]:.3f}ms vs baseline "
+                    f"{baseline[metric]:.3f}ms"
+                    for metric in RESIZE_GATED_METRICS
+                )
+                + ")"
+            )
+        return 1 if failures else 0
 
     if args.serve:
         measured = measure_serve()

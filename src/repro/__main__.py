@@ -158,6 +158,26 @@ def main(argv: List[str] = None) -> int:
         "--max-active-queries", type=int, default=None,
         help="admission cap on concurrently live queries",
     )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="worker liveness probe cadence (process backend)",
+    )
+    serve.add_argument(
+        "--ack-deadline", type=float, default=None, metavar="SECONDS",
+        help="kill + report a worker with no ack progress for this long",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="resize the worker pool from backpressure/skew metrics",
+    )
+    serve.add_argument(
+        "--min-workers", type=int, default=1,
+        help="autoscaler floor (default 1)",
+    )
+    serve.add_argument(
+        "--max-workers", type=int, default=8,
+        help="autoscaler ceiling (default 8)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -193,6 +213,11 @@ def _cmd_serve(args) -> int:
         observe=args.observe,
         clock=args.clock,
         max_active_queries=args.max_active_queries,
+        heartbeat_interval_s=args.heartbeat_interval,
+        ack_deadline_s=args.ack_deadline,
+        autoscale=args.autoscale,
+        autoscale_min_workers=args.min_workers,
+        autoscale_max_workers=args.max_workers,
     )
 
     async def run() -> int:

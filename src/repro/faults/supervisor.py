@@ -107,6 +107,10 @@ class Supervisor:
         self.checkpoints_taken = 0
         self.checkpoint_failures = 0
         self.shedding_escalations = 0
+        self.worker_failures_detected = 0
+        """Dead/wedged shard workers surfaced by the pool's liveness
+        monitor (heartbeat probing) and recovered here, with MTTR
+        accounted like any other supervised recovery."""
         self._last_checkpoint_ms = 0
         self._violation_streak = 0
         config = getattr(engine, "config", None)
@@ -130,9 +134,32 @@ class Supervisor:
             failures = self.injector.unhandled_failures()
             if failures:
                 event = self._recover(now_ms, failures)
+        if event is None:
+            event = self._probe_workers(now_ms)
         self._maybe_checkpoint(now_ms)
         self._check_qos(now_ms)
         return event
+
+    def _probe_workers(self, now_ms: int) -> Optional[RecoveryEvent]:
+        """Escalate proactively detected worker deaths into recovery.
+
+        The process backend's pool monitor (``heartbeat_interval_s``)
+        detects idle deaths and ack-deadline wedges between data-path
+        calls; draining them here bounds detection latency by the
+        supervision heartbeat instead of the next failed send.
+        """
+        poll = getattr(self.engine, "poll_worker_failures", None)
+        if poll is None:
+            return None
+        failures = poll()
+        if not failures:
+            return None
+        self.worker_failures_detected += len(failures)
+        cause = "; ".join(
+            f"worker_death: shard {failure.shard} ({failure.reason})"
+            for failure in failures
+        )
+        return self._recover(now_ms, [], cause=cause)
 
     def notify_failure(self, now_ms: int, error: BaseException) -> RecoveryEvent:
         """A data-path call raised (e.g. an injected operator exception):

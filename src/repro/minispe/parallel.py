@@ -49,7 +49,9 @@ import logging
 import os
 import pickle
 import signal
+import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.minispe.checkpoint import pack_shard_states, unpack_shard_states
@@ -95,6 +97,24 @@ class ShardWorkerError(RuntimeError):
     def __init__(self, shard: int, message: str) -> None:
         super().__init__(f"shard {shard}: {message}")
         self.shard = shard
+
+
+@dataclass
+class WorkerFailure:
+    """One proactively detected worker death or wedge.
+
+    Produced by the pool's liveness monitor (heartbeat probing), drained
+    by supervision code via :meth:`ProcessShardPool.poll_failures`.
+    ``reason`` is ``"exit"`` (process died while idle or mid-work) or
+    ``"ack_deadline"`` (alive but wedged: outstanding frames made no
+    progress within the deadline; the monitor SIGKILLs it so recovery
+    can proceed).
+    """
+
+    shard: int
+    reason: str
+    detected_at: float
+    pid: Optional[int]
 
 
 class ShardProgram:
@@ -183,7 +203,7 @@ class _WorkerHandle:
     """Coordinator-side bookkeeping for one worker process."""
 
     __slots__ = ("process", "conn", "buffer", "buffered_records",
-                 "outstanding", "alive")
+                 "outstanding", "alive", "last_progress")
 
     def __init__(self, process, conn) -> None:
         self.process = process
@@ -192,6 +212,8 @@ class _WorkerHandle:
         self.buffered_records = 0
         self.outstanding = 0
         self.alive = True
+        self.last_progress = time.monotonic()
+        """Last send or ack on this pipe (ack-deadline probing)."""
 
 
 class ProcessShardPool:
@@ -212,6 +234,8 @@ class ProcessShardPool:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         on_obs: Optional[Callable[[int, dict], None]] = None,
         on_stall: Optional[Callable[[int, int], None]] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        ack_deadline_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -231,30 +255,128 @@ class ProcessShardPool:
         self.on_stall = on_stall
         """Invoked as ``on_stall(shard, waited_ns)`` after a send blocked
         on the credit window (backpressure visibility)."""
+        self.heartbeat_interval_s = heartbeat_interval_s
+        """Liveness probe period; ``None`` disables the monitor thread.
+
+        Without the monitor a worker that dies while *idle* is only
+        discovered on the next send; with it, detection latency is
+        bounded by the probe period (the idle-death satellite fix)."""
+        self.ack_deadline_s = ack_deadline_s
+        """Wedge escalation: a worker with outstanding frames but no
+        pipe progress for this long is SIGKILLed so the coordinator's
+        blocked ``recv`` fails over into normal recovery.  ``None``
+        disables the deadline (heartbeats still detect process exits)."""
         self.op_count = 0
         """Ops submitted since the pool started (collect-staleness check)."""
         self.stall_counts: List[int] = [0] * workers
         """Sends that found the credit window full, per shard."""
         self._closed = False
-        context = multiprocessing.get_context("fork")
-        self._handles: List[_WorkerHandle] = []
-        for shard in range(workers):
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, program_factory, shard, workers),
+        self._program_factory = program_factory
+        self._context = multiprocessing.get_context("fork")
+        self._failures: List[WorkerFailure] = []
+        self._failures_lock = threading.Lock()
+        self._monitor_stop = threading.Event()
+        self._monitor_quiesced = False
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._handles: List[_WorkerHandle] = [
+            self._spawn_handle(shard, workers) for shard in range(workers)
+        ]
+        if heartbeat_interval_s is not None:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop,
+                name="shard-pool-monitor",
                 daemon=True,
-                name=f"shard-worker-{shard}",
             )
-            process.start()
-            child_conn.close()
-            self._handles.append(_WorkerHandle(process, parent_conn))
-            logger.debug(
-                "started shard worker %d/%d (pid %s)",
-                shard,
-                workers,
-                process.pid,
+            self._monitor_thread.start()
+
+    def _spawn_handle(self, shard: int, shard_count: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._program_factory, shard, shard_count),
+            daemon=True,
+            name=f"shard-worker-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        logger.debug(
+            "started shard worker %d/%d (pid %s)",
+            shard,
+            shard_count,
+            process.pid,
+        )
+        return _WorkerHandle(process, parent_conn)
+
+    # -- liveness monitoring -----------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.heartbeat_interval_s):
+            if self._closed or self._monitor_quiesced:
+                continue
+            self._probe_once()
+
+    def _probe_once(self) -> None:
+        """One heartbeat round: detect exits, escalate wedged workers."""
+        now = time.monotonic()
+        for shard, handle in enumerate(list(self._handles)):
+            if not handle.alive:
+                continue
+            process = handle.process
+            if not process.is_alive():
+                handle.alive = False
+                self._record_failure(shard, "exit", process.pid)
+                continue
+            deadline = self.ack_deadline_s
+            if (
+                deadline is not None
+                and handle.outstanding > 0
+                and now - handle.last_progress > deadline
+            ):
+                # select() on the pipe fd never consumes data, so this
+                # probe is safe alongside a coordinator blocked in recv.
+                try:
+                    has_ack = handle.conn.poll(0)
+                except OSError:
+                    has_ack = False
+                if has_ack:
+                    continue
+                logger.warning(
+                    "shard worker %d (pid %s) missed ack deadline "
+                    "(%.3fs); killing it",
+                    shard,
+                    process.pid,
+                    deadline,
+                )
+                try:
+                    if process.pid is not None:
+                        os.kill(process.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                handle.alive = False
+                self._record_failure(shard, "ack_deadline", process.pid)
+
+    def _record_failure(
+        self, shard: int, reason: str, pid: Optional[int]
+    ) -> None:
+        logger.warning(
+            "shard worker %d (pid %s) failed: %s", shard, pid, reason
+        )
+        with self._failures_lock:
+            self._failures.append(
+                WorkerFailure(
+                    shard=shard,
+                    reason=reason,
+                    detected_at=time.monotonic(),
+                    pid=pid,
+                )
             )
+
+    def poll_failures(self) -> List[WorkerFailure]:
+        """Drain proactively detected worker failures (may be empty)."""
+        with self._failures_lock:
+            failures = self._failures
+            self._failures = []
+        return failures
 
     # -- submission --------------------------------------------------------
 
@@ -359,6 +481,7 @@ class ProcessShardPool:
             handle.alive = False
             raise ShardWorkerError(shard, f"send failed: {exc}") from exc
         handle.outstanding += 1
+        handle.last_progress = time.monotonic()
 
     def _drain_one_ack(self, shard: int) -> List[Any]:
         handle = self._handles[shard]
@@ -368,6 +491,7 @@ class ProcessShardPool:
             handle.alive = False
             raise ShardWorkerError(shard, f"worker died: {exc}") from exc
         handle.outstanding -= 1
+        handle.last_progress = time.monotonic()
         replies, deliveries, obs, error = pickle.loads(payload)
         if self.on_deliver is not None:
             for query_id, timestamp in deliveries:
@@ -379,6 +503,77 @@ class ProcessShardPool:
         return replies
 
     # -- lifecycle ---------------------------------------------------------
+
+    def resize(self, new_workers: int) -> None:
+        """Replace the worker set with ``new_workers`` fresh shards.
+
+        Transport-level only: the caller is responsible for having
+        drained and exported shard state first, and for restoring the
+        re-split state into the new workers afterwards (see
+        :meth:`ShardedRuntime.begin_resize`).  The pool object survives
+        — delivery/telemetry callbacks, op counting, and the liveness
+        monitor carry over to the new worker set.
+        """
+        if new_workers < 1:
+            raise ValueError(f"need at least one worker, got {new_workers}")
+        if self._closed:
+            raise RuntimeError("cannot resize a closed pool")
+        self._monitor_quiesced = True
+        try:
+            old_handles = self._handles
+            for shard, handle in enumerate(old_handles):
+                self._close_handle(shard, handle)
+            self.workers = new_workers
+            self.stall_counts = [0] * new_workers
+            self._handles = [
+                self._spawn_handle(shard, new_workers)
+                for shard in range(new_workers)
+            ]
+        finally:
+            self._monitor_quiesced = False
+
+    def _close_handle(
+        self, shard: int, handle: _WorkerHandle, join_timeout: float = 5.0
+    ) -> None:
+        """Gracefully retire one worker: close op, drain acks, join."""
+        if handle.alive:
+            try:
+                frame = handle.buffer + [("close",)]
+                handle.buffer = []
+                handle.buffered_records = 0
+                handle.conn.send_bytes(
+                    pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                outstanding = handle.outstanding + 1
+                while outstanding:
+                    payload = handle.conn.recv_bytes()
+                    outstanding -= 1
+                    _replies, deliveries, obs, _error = pickle.loads(payload)
+                    if self.on_deliver is not None:
+                        for query_id, timestamp in deliveries:
+                            self.on_deliver(query_id, timestamp)
+                    if obs is not None and self.on_obs is not None:
+                        self.on_obs(shard, obs)
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        handle.alive = False
+        handle.outstanding = 0
+        if handle.process.is_alive():
+            handle.process.join(timeout=join_timeout)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=join_timeout)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+
+    def _stop_monitor(self) -> None:
+        self._monitor_stop.set()
+        thread = self._monitor_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2)
+        self._monitor_thread = None
 
     def kill(self, shard: int) -> None:
         """SIGKILL one worker (chaos testing); its shard state is lost.
@@ -409,6 +604,7 @@ class ProcessShardPool:
         if self._closed:
             return
         self._closed = True
+        self._stop_monitor()
         for shard, handle in enumerate(self._handles):
             if not handle.alive:
                 continue
@@ -424,6 +620,7 @@ class ProcessShardPool:
     def terminate(self, join_timeout: float = 2.0) -> None:
         """Hard shutdown: kill and join every worker, close pipes."""
         self._closed = True
+        self._stop_monitor()
         for handle in self._handles:
             if handle.process.is_alive():
                 handle.process.terminate()
@@ -449,16 +646,42 @@ class ShardedRuntime(ExecutionBackend):
     Control elements (watermarks, changelog markers, checkpoint
     barriers) are broadcast to every shard in FIFO op order, preserving
     the alignment semantics of the in-process path.
+
+    Elastic resize (ISSUE 6): :meth:`begin_resize` exports every shard's
+    state, re-splits it through the injected ``repartitioner`` (key-aware
+    code lives above this substrate — see ``repro.core.migration``),
+    replaces the worker set, and marks every new shard *pending*.
+    Ingest continues: ops destined for a pending shard are buffered in
+    FIFO order and replayed — after the shard's re-split state and the
+    caller-supplied replay prefix (watermark re-injection) — when
+    :meth:`migration_step` restores it.  Synchronous collectives finish
+    the migration first, so snapshots, result merges, and drains always
+    observe a fully consistent pool.
     """
 
-    def __init__(self, pool: ProcessShardPool) -> None:
+    def __init__(
+        self,
+        pool: ProcessShardPool,
+        repartitioner: Optional[Callable[[List[Any], int], List[Any]]] = None,
+    ) -> None:
         self.pool = pool
         self._shards = pool.workers
+        self.repartitioner = repartitioner
+        """Re-splits per-shard state payloads for a new shard count."""
+        self._pending: List[int] = []
+        self._pending_states: Dict[int, Any] = {}
+        self._buffers: Dict[int, List[Tuple[Op, int]]] = {}
+        self._replay_prefix: List[Tuple[str, StreamElement]] = []
+        self.migrations_completed = 0
+        self.migration_records_buffered = 0
 
     # -- data path ---------------------------------------------------------
 
     def push(self, source_name: str, element: StreamElement) -> None:
         """Route one element: records to their key shard, control to all."""
+        if self._pending_states:
+            self._push_migrating(source_name, element)
+            return
         pool = self.pool
         if isinstance(element, Record):
             shard = stable_hash(element.key) % self._shards
@@ -489,12 +712,111 @@ class ShardedRuntime(ExecutionBackend):
         else:
             pool.broadcast(("push", source_name, element))
 
+    def _push_migrating(self, source_name: str, element: StreamElement) -> None:
+        """Route while a migration is in flight: buffer pending shards."""
+        if isinstance(element, Record):
+            shard = stable_hash(element.key) % self._shards
+            self._submit(shard, ("push", source_name, element))
+        elif isinstance(element, RecordBatch):
+            buckets: Dict[int, List[Record]] = {}
+            for record in element.records:
+                buckets.setdefault(
+                    stable_hash(record.key) % self._shards, []
+                ).append(record)
+            for index, bucket in buckets.items():
+                self._submit(
+                    index,
+                    ("batch", source_name, bucket),
+                    records=len(bucket),
+                )
+        else:
+            for shard in range(self._shards):
+                self._submit(shard, ("push", source_name, element))
+
+    def _submit(self, shard: int, op: Op, records: int = 1) -> None:
+        if shard in self._pending_states:
+            self._buffers[shard].append((op, records))
+            self.migration_records_buffered += records
+        else:
+            self.pool.submit(shard, op, records=records)
+
+    # -- elastic resize ----------------------------------------------------
+
+    @property
+    def migration_active(self) -> bool:
+        """True while any shard still awaits its re-split state."""
+        return bool(self._pending_states)
+
+    def begin_resize(
+        self,
+        new_workers: int,
+        replay_prefix: Optional[List[Tuple[str, StreamElement]]] = None,
+    ) -> None:
+        """Export, re-split, and swap the worker set without losing state.
+
+        ``replay_prefix`` is pushed to each shard right after its state
+        restore and before any buffered ops — the engine passes its
+        per-stream watermark re-injection here, mirroring what
+        checkpoint recovery does, because watermark progress is not part
+        of operator snapshots.
+        """
+        if self.repartitioner is None:
+            raise RuntimeError("runtime has no repartitioner; cannot resize")
+        self.finish_migration()
+        donor_states = self.pool.sync(("export",))
+        new_states = self.repartitioner(donor_states, new_workers)
+        self.pool.resize(new_workers)
+        self._shards = new_workers
+        self._pending = list(range(new_workers))
+        self._pending_states = dict(enumerate(new_states))
+        self._buffers = {shard: [] for shard in range(new_workers)}
+        self._replay_prefix = list(replay_prefix or [])
+        # Results moved between shards: poke the op counter so cached
+        # coordinator-side merges are recognised as stale.
+        self.pool.op_count += 1
+
+    def migration_step(self) -> bool:
+        """Restore one pending shard and replay its buffered ops.
+
+        Returns True when a shard was migrated, False when no migration
+        is in flight.  Incremental stepping keeps each ingest pause
+        bounded by one shard's state size instead of the whole pool's.
+        """
+        if not self._pending:
+            return False
+        shard = self._pending.pop(0)
+        state = self._pending_states.pop(shard)
+        self.pool.sync_one(shard, ("restore", state))
+        for source_name, element in self._replay_prefix:
+            self.pool.submit(shard, ("push", source_name, element))
+        for op, records in self._buffers.pop(shard):
+            self.pool.submit(shard, op, records=records)
+        if not self._pending:
+            self._replay_prefix = []
+            self.migrations_completed += 1
+        return True
+
+    def finish_migration(self) -> None:
+        """Drive any in-flight migration to completion."""
+        while self.migration_step():
+            pass
+
     def close(self) -> None:
         """Flush everything and shut the worker pool down."""
+        self.finish_migration()
         self.pool.close()
 
     def terminate(self) -> None:
-        """Hard-stop the pool (used when recovery replaces the runtime)."""
+        """Hard-stop the pool (used when recovery replaces the runtime).
+
+        An in-flight migration is abandoned: buffered ops are dropped
+        because the records also live in the coordinator's input log,
+        which recovery replays.
+        """
+        self._pending = []
+        self._pending_states = {}
+        self._buffers = {}
+        self._replay_prefix = []
         self.pool.terminate()
 
     # -- checkpointing -----------------------------------------------------
@@ -508,20 +830,31 @@ class ShardedRuntime(ExecutionBackend):
         snapshot.  Returns ``None`` if any shard has no completed
         snapshot for ``checkpoint_id``.
         """
+        self.finish_migration()
         states = self.pool.sync(("snapshot", checkpoint_id))
         if any(state is None or state.get("runtime") is None for state in states):
             return None
         return pack_shard_states(states)
 
     def restore_checkpoint(self, snapshot: Dict) -> None:
-        """Ship each shard's state back to its (fresh) worker."""
+        """Ship each shard's state back to its (fresh) worker.
+
+        A snapshot taken at a different shard count is re-split through
+        the repartitioner (when configured), so recovery after a resize
+        — or into a resized pool — restores the same keyed state under
+        the new hash modulus.
+        """
+        self.finish_migration()
         states = unpack_shard_states(snapshot)
         if states is None:
             raise ValueError("not a sharded checkpoint snapshot")
         if len(states) != self._shards:
-            raise ValueError(
-                f"snapshot has {len(states)} shards, pool has {self._shards}"
-            )
+            if self.repartitioner is None:
+                raise ValueError(
+                    f"snapshot has {len(states)} shards, pool has "
+                    f"{self._shards}"
+                )
+            states = self.repartitioner(states, self._shards)
         for shard, state in enumerate(states):
             self.pool.sync_one(shard, ("restore", state))
 
@@ -529,6 +862,7 @@ class ShardedRuntime(ExecutionBackend):
 
     def records_processed(self) -> Dict[str, int]:
         """Records processed per vertex, summed across shards."""
+        self.finish_migration()
         totals: Dict[str, int] = {}
         for stats in self.pool.sync(("stats",)):
             for vertex, count in stats.get("records_processed", {}).items():
@@ -537,12 +871,15 @@ class ShardedRuntime(ExecutionBackend):
 
     def collect_channels(self) -> List[dict]:
         """Every shard's ``QueryChannels`` snapshot (for result merging)."""
+        self.finish_migration()
         return self.pool.sync(("collect",))
 
     def collect_stats(self) -> List[dict]:
         """Every shard's raw stats reply."""
+        self.finish_migration()
         return self.pool.sync(("stats",))
 
     def drain(self) -> None:
         """Block until every shard applied everything submitted so far."""
+        self.finish_migration()
         self.pool.drain()

@@ -34,8 +34,31 @@ def _labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
     return f"{{{body}}}"
 
 
-def render_prometheus(snapshot: Dict[str, dict]) -> str:
-    """Render one registry snapshot as Prometheus exposition text."""
+HELP_TEXT: Dict[str, str] = {
+    "serve_dead_letter_depth": "Pushes parked after recovery+retry both failed",
+    "serve_dead_lettered": "Records dead-lettered since server start",
+    "serve_recoveries": "Engine recoveries performed by the serving gate",
+    "serve_worker_failures": "Worker deaths surfaced by liveness probing",
+    "migrations": "Live shard-pool resizes started",
+    "migration_pause_ms": "Ingest pause per migration phase (export/step)",
+    "worker_failures": "Proactively detected worker deaths, by reason",
+    "mttr_ms": "Supervised mean-time-to-recovery distribution",
+}
+"""# HELP text for degradation-visibility metrics (ISSUE 6): operators
+should be able to *see* recoveries, migrations, and dead-letters in the
+exposition, not infer them from throughput dips."""
+
+
+def render_prometheus(
+    snapshot: Dict[str, dict], help_text: Dict[str, str] = None
+) -> str:
+    """Render one registry snapshot as Prometheus exposition text.
+
+    ``help_text`` (defaulting to :data:`HELP_TEXT`) adds ``# HELP``
+    comments for known metric names.
+    """
+    if help_text is None:
+        help_text = HELP_TEXT
     lines = []
     seen_types = set()
     for entry in sorted(
@@ -46,6 +69,10 @@ def render_prometheus(snapshot: Dict[str, dict]) -> str:
         kind = entry["type"]
         if kind == "counter":
             if name not in seen_types:
+                if entry["name"] in help_text:
+                    lines.append(
+                        f"# HELP {name}_total {help_text[entry['name']]}"
+                    )
                 lines.append(f"# TYPE {name}_total counter")
                 seen_types.add(name)
             lines.append(
@@ -53,11 +80,15 @@ def render_prometheus(snapshot: Dict[str, dict]) -> str:
             )
         elif kind == "gauge":
             if name not in seen_types:
+                if entry["name"] in help_text:
+                    lines.append(f"# HELP {name} {help_text[entry['name']]}")
                 lines.append(f"# TYPE {name} gauge")
                 seen_types.add(name)
             lines.append(f"{name}{_labels(entry['labels'])} {entry['value']}")
         else:  # histogram snapshot -> summary exposition
             if name not in seen_types:
+                if entry["name"] in help_text:
+                    lines.append(f"# HELP {name} {help_text[entry['name']]}")
                 lines.append(f"# TYPE {name} summary")
                 seen_types.add(name)
             for key, value in entry.items():

@@ -15,6 +15,11 @@ and talk to it with :class:`ServeClient` (blocking) or
 :class:`AsyncServeClient` (asyncio).
 """
 
+from repro.serve.autoscale import (
+    AutoscaleDecision,
+    AutoscalePolicy,
+    Autoscaler,
+)
 from repro.serve.client import (
     AsyncServeClient,
     ConnectionLost,
@@ -40,6 +45,9 @@ from repro.serve.subscriptions import Subscription, SubscriptionHub
 __all__ = [
     "AStreamServer",
     "AsyncServeClient",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "Autoscaler",
     "ConnectionLost",
     "ControlResult",
     "EngineGate",

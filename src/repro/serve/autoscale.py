@@ -1,0 +1,119 @@
+"""Metric-driven worker autoscaling for the serving layer (ISSUE 6).
+
+The autoscaler closes the loop the paper leaves open ("new resources
+can be added; however, elastic scaling is out of the scope of this
+paper", §3.4): the server's ticker feeds it the process pool's
+backpressure-stall counters and the ``straggler_skew`` estimate from
+cross-worker telemetry, and it answers with a target worker count.  The
+server then starts a live migration (:meth:`ProcessAStreamEngine.
+begin_resize`) whose per-shard steps the ticker drives incrementally.
+
+Pure decision logic — no engine access, no clocks of its own — so the
+policy is unit-testable and deterministic given the same observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class AutoscaleDecision:
+    """One scale-up/down verdict, for stats frames and tests."""
+
+    at_ms: int
+    workers: int
+    target: int
+    reason: str
+
+
+@dataclass
+class AutoscalePolicy:
+    """Operator-configured scaling behaviour."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    evaluate_every_ms: int = 1_000
+    """Observation window; decisions are rate-based over this window."""
+    cooldown_ms: int = 5_000
+    """Quiet period after any resize before the next decision."""
+    scale_up_stall_rate: float = 2.0
+    """Credit-window stalls/sec across the pool that trigger scale-up
+    (the feed is blocking on slow workers — more shards spread load)."""
+    scale_up_skew: float = 3.0
+    """``straggler_skew`` (max/mean shard input) that triggers scale-up:
+    re-sharding to a different modulus redistributes hot key ranges."""
+    scale_down_stall_rate: float = 0.05
+    """Stalls/sec below which the pool is considered over-provisioned."""
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+
+
+class Autoscaler:
+    """Stall-rate + skew driven worker-count controller."""
+
+    def __init__(self, policy: Optional[AutoscalePolicy] = None) -> None:
+        self.policy = policy or AutoscalePolicy()
+        self.decisions: List[AutoscaleDecision] = []
+        self._last_eval_ms: Optional[int] = None
+        self._last_stall_total = 0
+        self._cooldown_until_ms = 0
+
+    def evaluate(
+        self,
+        now_ms: int,
+        workers: int,
+        stall_total: int,
+        skew: Optional[float] = None,
+    ) -> Optional[int]:
+        """Return a new target worker count, or None to hold steady.
+
+        ``stall_total`` is the pool's cumulative credit-window stall
+        count (monotonic; resets to 0 after a resize are handled).
+        ``skew`` is the latest ``straggler_skew`` estimate when
+        cross-worker telemetry is on, else None.
+        """
+        policy = self.policy
+        if self._last_eval_ms is None:
+            self._last_eval_ms = now_ms
+            self._last_stall_total = stall_total
+            return None
+        elapsed_ms = now_ms - self._last_eval_ms
+        if elapsed_ms < policy.evaluate_every_ms:
+            return None
+        delta = stall_total - self._last_stall_total
+        if delta < 0:  # pool was resized; counters restarted
+            delta = stall_total
+        stall_rate = delta / (elapsed_ms / 1_000.0)
+        self._last_eval_ms = now_ms
+        self._last_stall_total = stall_total
+        if now_ms < self._cooldown_until_ms:
+            return None
+        target = workers
+        reason = ""
+        if stall_rate >= policy.scale_up_stall_rate:
+            target = min(policy.max_workers, max(workers + 1, workers * 2))
+            reason = f"stall_rate={stall_rate:.2f}/s"
+        elif skew is not None and skew >= policy.scale_up_skew:
+            target = min(policy.max_workers, max(workers + 1, workers * 2))
+            reason = f"straggler_skew={skew:.2f}"
+        elif (
+            stall_rate <= policy.scale_down_stall_rate
+            and workers > policy.min_workers
+        ):
+            target = max(policy.min_workers, workers // 2)
+            reason = f"idle (stall_rate={stall_rate:.2f}/s)"
+        if target == workers:
+            return None
+        self._cooldown_until_ms = now_ms + policy.cooldown_ms
+        self.decisions.append(
+            AutoscaleDecision(
+                at_ms=now_ms, workers=workers, target=target, reason=reason
+            )
+        )
+        return target

@@ -465,6 +465,19 @@ class ServeClient:
         )
         return _decode_reply(self._request(frame))
 
+    def resize(self, workers: int) -> ControlResult:
+        """Start a live worker-pool resize (process backend).
+
+        Returns once the migration has begun; the server's ticker
+        completes the per-shard restores while ingest keeps flowing.
+        The reply's ``raw["migration_active"]`` reports whether shards
+        are still pending.
+        """
+        frame = _control_frame(
+            "resize", self._core.next_seq(), workers=workers
+        )
+        return _decode_reply(self._request(frame))
+
     def drain(self, checkpoint: Optional[bool] = None) -> ControlResult:
         """Settle all in-flight work server-side (optionally checkpoint)."""
         frame = _control_frame(
@@ -820,6 +833,13 @@ class AsyncServeClient:
         """SIGKILL one shard worker (process backend chaos hook)."""
         frame = _control_frame(
             "chaos", self._core.next_seq(), op="kill_worker", shard=shard
+        )
+        return _decode_reply(await self._request(frame))
+
+    async def resize(self, workers: int) -> ControlResult:
+        """Start a live worker-pool resize (process backend)."""
+        frame = _control_frame(
+            "resize", self._core.next_seq(), workers=workers
         )
         return _decode_reply(await self._request(frame))
 

@@ -43,10 +43,17 @@ import hmac
 import logging
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.core.admission import AdmissionController, AdmissionDecision, AdmissionPolicy
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    PlacementPolicy,
+    QueryPlacer,
+)
 from repro.core.changelog import Changelog
 from repro.core.engine import AStreamEngine, EngineConfig
 from repro.core.parallel_engine import ProcessAStreamEngine
@@ -56,6 +63,7 @@ from repro.core.sql import SqlError, parse_query
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 from repro.minispe.parallel import ShardWorkerError
 from repro.obs import MetricsRegistry, render_prometheus
+from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.gate import EngineGate
 from repro.serve.httpmetrics import MetricsHttpServer
 from repro.serve.protocol import (
@@ -128,6 +136,29 @@ class ServeConfig:
     """Per-connection transport backlog above which subscription
     flushing skips the connection (results keep buffering — and
     eventually shedding — in the hub instead of in kernel memory)."""
+    heartbeat_interval_s: Optional[float] = None
+    """Process-backend worker liveness probe cadence (None disables the
+    pool monitor; deaths then surface on the next data-path send)."""
+    ack_deadline_s: Optional[float] = None
+    """Process-backend wedge detector: a worker with outstanding frames
+    and no ack progress for this long is killed and reported."""
+    autoscale: bool = False
+    """Let the ticker resize the worker pool from backpressure-stall
+    rates and straggler skew (process backend only)."""
+    autoscale_min_workers: int = 1
+    autoscale_max_workers: int = 8
+    autoscale_interval_ms: int = 1_000
+    autoscale_cooldown_ms: int = 5_000
+    autoscale_stall_rate: float = 2.0
+    """Pool stalls/sec that trigger a scale-up."""
+    autoscale_skew: float = 3.0
+    """``straggler_skew`` estimate that triggers a scale-up."""
+    dead_letter_limit: int = 256
+    """Push batches parked after recovery+retry both failed; oldest are
+    evicted beyond this depth (0 disables dead-lettering)."""
+    placement_groups: int = 1
+    """Shard groups for admission-time placement (affinity co-location
+    + expensive-query isolation); 1 keeps everything co-located."""
     engine_overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -135,6 +166,10 @@ class ServeConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.clock not in ("wall", "manual"):
             raise ValueError(f"unknown clock mode {self.clock!r}")
+        if self.autoscale and self.backend != "process":
+            raise ValueError("autoscale needs the process backend")
+        if self.placement_groups < 1:
+            raise ValueError("placement_groups must be >= 1")
 
 
 def build_engine(
@@ -162,6 +197,8 @@ def build_engine(
             cluster=SimulatedCluster(ClusterSpec(nodes=1), mode="process"),
             workers=config.workers,
             deliver_sample_every=0,
+            heartbeat_interval_s=config.heartbeat_interval_s,
+            ack_deadline_s=config.ack_deadline_s,
         )
     return AStreamEngine(
         engine_config,
@@ -192,6 +229,9 @@ class AStreamServer:
             self.config, qos=self.qos
         )
         self.gate = EngineGate(self.engine, on_recovery=self._on_recovery)
+        self.placer = QueryPlacer(
+            PlacementPolicy(shard_groups=self.config.placement_groups)
+        )
         self.admission = AdmissionController(
             self.engine,
             self.qos,
@@ -202,7 +242,26 @@ class AStreamServer:
                 ),
                 max_deferred=self.config.max_deferred,
             ),
+            placer=self.placer,
         )
+        self.dead_letters: Deque[Tuple[str, list]] = deque(
+            maxlen=max(1, self.config.dead_letter_limit)
+        )
+        self._dead_lettered_total = 0
+        self._autoscaler: Optional[Autoscaler] = None
+        if self.config.autoscale and isinstance(
+            self.engine, ProcessAStreamEngine
+        ):
+            self._autoscaler = Autoscaler(
+                AutoscalePolicy(
+                    min_workers=self.config.autoscale_min_workers,
+                    max_workers=self.config.autoscale_max_workers,
+                    evaluate_every_ms=self.config.autoscale_interval_ms,
+                    cooldown_ms=self.config.autoscale_cooldown_ms,
+                    scale_up_stall_rate=self.config.autoscale_stall_rate,
+                    scale_up_skew=self.config.autoscale_skew,
+                )
+            )
         self.sessions = SessionRegistry()
         self.hub = SubscriptionHub(
             self.engine,
@@ -353,6 +412,7 @@ class AStreamServer:
                     if admitted:
                         self._note_changelogs(flushed)
                         await self._announce_flushed(flushed)
+                self._elasticity_tick(now)
                 if not self.hub.tap_mode:
                     with self.gate.locked():
                         self.hub.poll()
@@ -364,6 +424,74 @@ class AStreamServer:
                                exc_info=True)
             except Exception:
                 logger.exception("ticker iteration failed")
+
+    def _elasticity_tick(self, now: int) -> None:
+        """Per-tick elasticity duties (process backend only): drive one
+        in-flight migration step, drain liveness-detected worker deaths
+        into a gate-bookkept recovery, retry dead-lettered pushes, and
+        consult the autoscaler."""
+        engine = self.engine
+        if not isinstance(engine, ProcessAStreamEngine):
+            return
+        with self.gate.locked():
+            if engine.migration_active:
+                # One shard per tick keeps ticks short; the remaining
+                # shards keep buffering their ops in order.
+                engine.migration_step()
+            failures = engine.poll_worker_failures()
+            if failures:
+                self.registry.counter("serve_worker_failures").inc(
+                    len(failures)
+                )
+                if (
+                    not engine.migration_active
+                    and engine.alive_workers < engine.workers
+                ):
+                    # Proactive recovery: the idle death was found by the
+                    # heartbeat probe, not by a failed send — recover now
+                    # so detection latency bounds repair latency.
+                    first = failures[0]
+                    try:
+                        self.gate._recover(
+                            ShardWorkerError(
+                                first.shard, f"liveness probe: {first.reason}"
+                            )
+                        )
+                    except ShardWorkerError:
+                        logger.warning(
+                            "proactive recovery failed", exc_info=True
+                        )
+            if self.dead_letters:
+                self._retry_dead_letters()
+            if self._autoscaler is not None and not engine.migration_active:
+                target = self._autoscaler.evaluate(
+                    now_ms=now,
+                    workers=engine.workers,
+                    stall_total=sum(engine.runtime.pool.stall_counts),
+                    skew=engine.straggler_skew_estimate(),
+                )
+                if target is not None:
+                    logger.info(
+                        "autoscaling %d -> %d workers (%s)",
+                        engine.workers,
+                        target,
+                        self._autoscaler.decisions[-1].reason,
+                    )
+                    self.gate.call(engine.begin_resize, target)
+                    self.registry.counter("serve_autoscale_resizes").inc()
+
+    def _retry_dead_letters(self) -> None:
+        """Re-ingest parked pushes FIFO; stop at the first failure."""
+        while self.dead_letters:
+            stream, events = self.dead_letters[0]
+            try:
+                self.gate.call(self.engine.push_many, stream, events)
+            except ShardWorkerError:
+                return
+            self.dead_letters.popleft()
+            self.registry.counter("serve_dead_letters_replayed").inc(
+                len(events)
+            )
 
     def _note_changelogs(self, changelogs: List[Changelog]) -> None:
         for changelog in changelogs:
@@ -494,8 +622,8 @@ class AStreamServer:
                     "streams": list(self.config.streams),
                     "max_join_arity": self.config.max_join_arity,
                     "workers": (
-                        self.config.workers
-                        if self.config.backend == "process"
+                        self.engine.workers
+                        if isinstance(self.engine, ProcessAStreamEngine)
                         else 1
                     ),
                 },
@@ -555,6 +683,7 @@ class AStreamServer:
             "stats": self._handle_stats,
             "obs_snapshot": self._handle_obs_snapshot,
             "chaos": self._handle_chaos,
+            "resize": self._handle_resize,
             "drain": self._handle_drain,
             "shutdown": self._handle_shutdown,
         }.get(kind)
@@ -704,22 +833,35 @@ class AStreamServer:
             raise ProtocolError("unknown_stream", f"unknown stream {stream!r}")
         events = decode_events(frame["events"])
         session.credits -= 1
+        dead_lettered = 0
         try:
-            accepted = (
-                self.gate.call(self.engine.push_many, stream, events)
-                if events
-                else 0
-            )
+            try:
+                accepted = (
+                    self.gate.call(self.engine.push_many, stream, events)
+                    if events
+                    else 0
+                )
+            except ShardWorkerError:
+                if not self.config.dead_letter_limit:
+                    raise
+                # Recovery + retry both failed inside the gate: park the
+                # batch instead of dropping it or killing the session.
+                # The ticker re-ingests FIFO once the engine is healthy.
+                self.dead_letters.append((stream, events))
+                self._dead_lettered_total += len(events)
+                self.registry.counter("serve_dead_lettered").inc(len(events))
+                accepted = 0
+                dead_lettered = len(events)
         finally:
             session.credits += 1
         session.tuples_in += accepted
         self.registry.counter("serve_push_frames").inc()
         self.registry.counter("serve_tuples_ingested").inc(accepted)
-        write_frame(
-            writer,
-            {"t": "push_ack", "credits": session.credits,
-             "accepted": accepted},
-        )
+        ack = {"t": "push_ack", "credits": session.credits,
+               "accepted": accepted}
+        if dead_lettered:
+            ack["dead_lettered"] = dead_lettered
+        write_frame(writer, ack)
         await writer.drain()
 
     def _handle_watermark(self, frame: Dict[str, Any]) -> None:
@@ -827,22 +969,49 @@ class AStreamServer:
         with self.gate.locked():
             active = self.engine.active_query_count
             counts = self.engine.result_counts()
+        stats: Dict[str, Any] = {
+            "backend": self.config.backend,
+            "active_queries": active,
+            "changelog_sequence": self._last_sequence,
+            "result_counts": counts,
+            "sessions_connected": self.sessions.connected_count,
+            "subscriptions": self.hub.subscription_count,
+            "results_shed": self.hub.dropped_total,
+            "recoveries": len(self.gate.recoveries),
+            "deferred": self.admission.deferred_count,
+            "now_ms": self.now_ms(),
+            "dead_letter_depth": len(self.dead_letters),
+            "dead_lettered_total": self._dead_lettered_total,
+            "placements": {
+                query_id: {
+                    "group": group,
+                    "affinity": affinity,
+                    "expensive": expensive,
+                }
+                for query_id, (group, affinity, expensive)
+                in self.placer.placements().items()
+            },
+            "placement_group_loads": self.placer.group_loads,
+        }
+        if isinstance(self.engine, ProcessAStreamEngine):
+            stats["workers"] = self.engine.workers
+            stats["alive_workers"] = self.engine.alive_workers
+            stats.update(self.engine.migration_counters())
+            if self._autoscaler is not None:
+                stats["autoscale_decisions"] = [
+                    {
+                        "at_ms": decision.at_ms,
+                        "workers": decision.workers,
+                        "target": decision.target,
+                        "reason": decision.reason,
+                    }
+                    for decision in self._autoscaler.decisions
+                ]
         return {
             "t": "ack",
             "seq": frame["seq"],
             "status": "ok",
-            "stats": {
-                "backend": self.config.backend,
-                "active_queries": active,
-                "changelog_sequence": self._last_sequence,
-                "result_counts": counts,
-                "sessions_connected": self.sessions.connected_count,
-                "subscriptions": self.hub.subscription_count,
-                "results_shed": self.hub.dropped_total,
-                "recoveries": len(self.gate.recoveries),
-                "deferred": self.admission.deferred_count,
-                "now_ms": self.now_ms(),
-            },
+            "stats": stats,
         }
 
     def _handle_obs_snapshot(
@@ -885,6 +1054,31 @@ class AStreamServer:
             "seq": frame["seq"],
             "status": "ok",
             "shard": shard,
+        }
+
+    def _handle_resize(
+        self, session: SessionState, frame: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        if not isinstance(self.engine, ProcessAStreamEngine):
+            raise ProtocolError(
+                "unsupported", "resize needs the process backend"
+            )
+        workers = int(frame.get("workers", 0))
+        if workers < 1:
+            raise ProtocolError(
+                "bad_resize", f"need at least one worker, got {workers}"
+            )
+        # Start the live migration under the gate; the ticker drives the
+        # per-shard restore steps so ingest keeps flowing meanwhile.
+        with self.gate.locked():
+            self.gate.call(self.engine.begin_resize, workers)
+        self.registry.counter("serve_resizes").inc()
+        return {
+            "t": "ack",
+            "seq": frame["seq"],
+            "status": "ok",
+            "workers": workers,
+            "migration_active": self.engine.migration_active,
         }
 
     async def _handle_drain(
@@ -932,6 +1126,23 @@ class AStreamServer:
         registry.gauge("serve_changelog_sequence", merge="max").set(
             self._last_sequence
         )
+        registry.gauge("serve_dead_letter_depth", merge="max").set(
+            len(self.dead_letters)
+        )
+        if isinstance(self.engine, ProcessAStreamEngine):
+            registry.gauge("serve_workers", merge="max").set(
+                self.engine.workers
+            )
+            registry.gauge("serve_alive_workers", merge="max").set(
+                self.engine.alive_workers
+            )
+            counters = self.engine.migration_counters()
+            registry.gauge("serve_migrations", merge="max").set(
+                counters["migrations"]
+            )
+            registry.gauge("serve_migration_active", merge="max").set(
+                int(counters["migration_active"])
+            )
 
     def render_metrics(self) -> str:
         """The Prometheus exposition body for ``GET /metrics``."""

@@ -1,0 +1,171 @@
+"""Live resize and kill-during-migration over the wire (ISSUE 6).
+
+The serve layer exposes the elastic pool: a ``resize`` frame begins a
+live migration whose per-shard restores the server's ticker drives
+while clients keep pushing.  Results must stay byte-identical to the
+in-process oracle through 2→4 and 4→2 resizes, through a SIGKILL that
+lands while the migration is still in flight, and through a kill raced
+against a checkpointing drain — with the server resyncing changelog
+sequences after recovery and the idempotency cache replaying acks for
+re-sent control frames verbatim.
+"""
+
+from repro.serve import ServeClient
+from repro.serve.client import _control_frame
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import sc1_schedule
+
+from tests.serve.test_equivalence import (
+    EVENTS,
+    STEP_MS,
+    STREAMS,
+    _canonical,
+    _steps,
+    run_in_process,
+)
+
+RESIZE_SCHEDULE = sc1_schedule(
+    QueryGenerator(streams=STREAMS, seed=59), 1, 3, kind="agg"
+)
+CHAOS_SCHEDULE = sc1_schedule(
+    QueryGenerator(streams=STREAMS, seed=67), 1, 3, kind="agg"
+)
+UP_AT = len(EVENTS) // 3
+DOWN_AT = (2 * len(EVENTS)) // 3
+
+
+def _drive(client, schedule, actions=None):
+    """Run one scheduled load through the SDK; returns the query ids.
+
+    ``actions`` maps step index → callable fired before that step's
+    control/data traffic (resize, chaos kill, ...).
+    """
+    requests = _steps(schedule)
+    query_ids = []
+    for index, (step_start, batches) in enumerate(EVENTS):
+        if actions and index in actions:
+            actions[index]()
+        for request in requests.get(step_start, ()):
+            if request.kind == "create":
+                result = client.create_query(
+                    query=request.query, at_ms=request.at_ms
+                )
+                assert result.status == "admit"
+                query_ids.append(request.query.query_id)
+            else:
+                assert (
+                    client.delete_query(
+                        request.query_id, at_ms=request.at_ms
+                    ).status
+                    == "ok"
+                )
+        for stream, events in batches.items():
+            assert client.push(stream, events) == len(events)
+        client.watermark(step_start + STEP_MS)
+    return query_ids
+
+
+class TestServeResize:
+    def test_resize_up_and_down_over_wire_matches_oracle(self, make_server):
+        reference = run_in_process(RESIZE_SCHEDULE)
+        assert reference and any(reference.values())
+
+        handle = make_server(backend="process", workers=2)
+        client = ServeClient("127.0.0.1", handle.port, client_id="resize")
+        assert client.server_info["workers"] == 2
+
+        def resize_to(workers):
+            def action():
+                result = client.resize(workers)
+                assert result.status == "ok"
+                assert result.raw["workers"] == workers
+
+            return action
+
+        query_ids = _drive(
+            client,
+            RESIZE_SCHEDULE,
+            actions={UP_AT: resize_to(4), DOWN_AT: resize_to(2)},
+        )
+        assert client.drain(checkpoint=True).status == "ok"
+
+        stats = client.stats()
+        assert stats["workers"] == 2
+        assert stats["alive_workers"] == 2
+        assert stats["migrations"] >= 2
+        assert stats["migration_active"] is False
+        assert stats["sessions_connected"] == 1
+
+        fetched = _canonical(
+            {qid: client.fetch_results(qid) for qid in query_ids}
+        )
+        assert fetched == reference
+        assert client.shutdown().status == "ok"
+        client.close()
+
+    def test_resize_rejected_on_inline_backend(self, make_server):
+        handle = make_server(backend="inline")
+        client = ServeClient("127.0.0.1", handle.port, client_id="noresize")
+        try:
+            client.resize(4)
+        except Exception as error:
+            assert "unsupported" in str(error)
+        else:
+            raise AssertionError("inline resize must be rejected")
+        finally:
+            client.close()
+
+
+class TestServeKillDuringMigration:
+    def test_kill_mid_migration_and_during_drain(self, make_server):
+        reference = run_in_process(CHAOS_SCHEDULE)
+        assert reference and any(reference.values())
+
+        handle = make_server(backend="process", workers=2)
+        client = ServeClient("127.0.0.1", handle.port, client_id="chaosmig")
+
+        def resize_then_kill():
+            # Begin the migration and kill a worker before the ticker
+            # can finish restoring shards: recovery must fall back to
+            # the last checkpoint + input-log replay and re-repartition.
+            result = client.resize(4)
+            assert result.status == "ok"
+            assert client.chaos_kill_worker(0).status == "ok"
+
+        query_ids = _drive(
+            client, CHAOS_SCHEDULE, actions={len(EVENTS) // 2: resize_then_kill}
+        )
+
+        # Kill again while a checkpointing drain is in flight from this
+        # session's perspective: the kill lands first, the drain's gate
+        # call recovers, and the ack still carries a checkpoint id.
+        assert client.chaos_kill_worker(0).status == "ok"
+        drain_frame = _control_frame(
+            "drain", client._core.next_seq(), checkpoint=True
+        )
+        first_ack = client._request(drain_frame)
+        assert first_ack["status"] == "ok"
+        assert first_ack["checkpoint"] is not None
+
+        # Idempotent acks: re-sending the identical frame (same client
+        # seq) must replay the cached reply, not drain twice.
+        replayed = client._request(drain_frame)
+        assert replayed == first_ack
+
+        stats = client.stats()
+        assert stats["recoveries"] >= 1, "kills must have been supervised"
+        assert stats["migration_active"] is False
+        assert stats["alive_workers"] == stats["workers"]
+        assert stats["sessions_connected"] == 1
+        # The recovery resynced the server's changelog cursor to the
+        # replayed session's sequence.
+        assert stats["changelog_sequence"] >= len(query_ids)
+
+        fetched = _canonical(
+            {qid: client.fetch_results(qid) for qid in query_ids}
+        )
+        assert fetched == reference
+        assert client.shutdown().status == "ok"
+        handle._thread.join(20)
+        assert not handle._thread.is_alive()
+        client.close()

@@ -47,7 +47,7 @@ _FIELD_FILLERS = {
     "client_id": "c", "session_id": "s", "credits": 1, "seq": 1,
     "query_id": "q", "stream": "A", "events": [], "timestamp": 0,
     "status": "ok", "outputs": [], "event": "live", "op": "kill_worker",
-    "code": "bad", "message": "msg", "accepted": 0,
+    "code": "bad", "message": "msg", "accepted": 0, "workers": 2,
 }
 
 
