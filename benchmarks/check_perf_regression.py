@@ -24,7 +24,14 @@ ingest TPS relative to direct in-process ``push_many`` on the same
 workload (``serve_ingest_ratio_inline``, machine-normalised the same
 way as the batched-speedup ratio), against its own committed baseline
 (``benchmarks/baselines/serve_baseline.csv``); the wire control-plane
-rate rides along ungated and is floor-checked at 200 ops/sec.
+rate rides along ungated and is floor-checked at 200 ops/sec.  The
+binary columnar codec (ISSUE 7) adds a second gated ratio,
+``serve_ingest_ratio_binary_inline`` (pipelined binary wire / direct),
+with an *absolute* floor of 0.5 on top of the baseline gate.
+
+``--fused`` gates operator-chain fusion (ISSUE 7): the fused stateless
+map→filter→map→key_by chain in ``bench_micro_minispe.py`` must move
+records at least 1.3x faster than the same chain unfused.
 
 ``--observe-overhead`` gates the telemetry subsystem (ISSUE 4) instead:
 the same SC1 workload is run in interleaved pairs with ``observe`` off
@@ -62,11 +69,20 @@ RESIZE_TOLERANCE = 1.00
 RESIZE_GATED_METRICS = ("resize_pause_p95_ms",)
 REPEATS = 4
 GATED_METRICS = ("batched_speedup_sc1_agg",)
-SERVE_GATED_METRICS = ("serve_ingest_ratio_inline",)
+SERVE_GATED_METRICS = (
+    "serve_ingest_ratio_inline",
+    "serve_ingest_ratio_binary_inline",
+)
 SERVE_CONTROL_FLOOR_OPS = 200.0
 """Absolute floor on wire control-plane ops/sec (the ISSUE 5 bar)."""
+SERVE_BINARY_RATIO_FLOOR = 0.5
+"""Absolute floor on binary pipelined wire / direct ingest (the ISSUE 7
+bar): machine-independent, on top of the relative baseline gate."""
 OBSERVE_FLOOR = 0.90
 """Minimum observe-on / observe-off service-throughput ratio."""
+FUSED_SPEEDUP_FLOOR = 1.3
+"""Absolute floor on fused / unfused stateless-chain throughput (the
+ISSUE 7 fusion bar)."""
 
 
 def _service_tps(batch_size: int, observe: bool = False) -> float:
@@ -159,6 +175,15 @@ def measure_resize() -> dict:
     return measure_gate_metrics()
 
 
+def measure_fused() -> dict:
+    """The operator-fusion gate metrics (ISSUE 7)."""
+    try:
+        from bench_micro_minispe import measure_fused_speedup
+    except ImportError:  # imported as a package (pytest, tooling)
+        from benchmarks.bench_micro_minispe import measure_fused_speedup
+    return measure_fused_speedup()
+
+
 def load_baseline(path: Path = BASELINE_PATH) -> dict:
     """Read the committed baseline metrics CSV."""
     with path.open(newline="") as handle:
@@ -179,14 +204,33 @@ def write_baseline(metrics: dict, path: Path = BASELINE_PATH) -> None:
 
 
 def check(measured: dict, baseline: dict, gated=GATED_METRICS) -> list:
-    """Return failure strings for gated metrics below tolerance."""
+    """Return failure strings for gated metrics below tolerance.
+
+    A gated metric absent from the committed baseline is reported as
+    its own actionable failure (re-run with ``--update`` after a codec
+    or workload change adds a metric) instead of surfacing as a bare
+    ``KeyError`` half-way through the gate.
+    """
     failures = []
     for metric in gated:
-        floor = baseline[metric] * (1.0 - TOLERANCE)
+        base = baseline.get(metric)
+        if base is None:
+            failures.append(
+                f"{metric}: missing from committed baseline — re-run "
+                f"check_perf_regression.py with --update to record it"
+            )
+            continue
+        if metric not in measured:
+            failures.append(
+                f"{metric}: gated but not measured — the bench no "
+                f"longer reports it"
+            )
+            continue
+        floor = base * (1.0 - TOLERANCE)
         if measured[metric] < floor:
             failures.append(
                 f"{metric}: measured {measured[metric]:.3f} < floor "
-                f"{floor:.3f} (baseline {baseline[metric]:.3f} "
+                f"{floor:.3f} (baseline {base:.3f} "
                 f"- {TOLERANCE:.0%})"
             )
     return failures
@@ -201,11 +245,18 @@ def check_ceiling(
     """Inverted gate: fail when a latency metric *exceeds* baseline."""
     failures = []
     for metric in gated:
-        ceiling = baseline[metric] * (1.0 + tolerance)
+        base = baseline.get(metric)
+        if base is None:
+            failures.append(
+                f"{metric}: missing from committed baseline — re-run "
+                f"check_perf_regression.py with --update to record it"
+            )
+            continue
+        ceiling = base * (1.0 + tolerance)
         if measured[metric] > ceiling:
             failures.append(
                 f"{metric}: measured {measured[metric]:.3f} > ceiling "
-                f"{ceiling:.3f} (baseline {baseline[metric]:.3f} "
+                f"{ceiling:.3f} (baseline {base:.3f} "
                 f"+ {tolerance:.0%})"
             )
     return failures
@@ -230,7 +281,29 @@ def main(argv=None) -> int:
                         help="gate the live-migration ingest pause (p95 "
                              "must not exceed its committed baseline) "
                              "instead of the baseline metrics")
+    parser.add_argument("--fused", action="store_true",
+                        help="gate operator-chain fusion: the fused "
+                             "stateless chain must move records at "
+                             "least 1.3x faster than the unfused one")
     args = parser.parse_args(argv)
+
+    if args.fused:
+        measured = measure_fused()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        speedup = measured["fused_pipeline_speedup"]
+        if speedup < FUSED_SPEEDUP_FLOOR:
+            print(
+                f"REGRESSION: fused chain is only {speedup:.3f}x the "
+                f"unfused chain (floor {FUSED_SPEEDUP_FLOOR:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"fusion gate OK ({speedup:.3f}x >= "
+            f"{FUSED_SPEEDUP_FLOOR:.1f}x unfused throughput)"
+        )
+        return 0
 
     if args.resize:
         measured = measure_resize()
@@ -266,6 +339,15 @@ def main(argv=None) -> int:
                 f"REGRESSION: wire control plane sustained only "
                 f"{control_rate:.0f} ops/s "
                 f"(floor {SERVE_CONTROL_FLOOR_OPS:.0f})",
+                file=sys.stderr,
+            )
+            return 1
+        binary_ratio = measured["serve_ingest_ratio_binary_inline"]
+        if binary_ratio < SERVE_BINARY_RATIO_FLOOR:
+            print(
+                f"REGRESSION: binary pipelined wire ingest is only "
+                f"{binary_ratio:.3f}x direct push_many "
+                f"(absolute floor {SERVE_BINARY_RATIO_FLOOR:.1f})",
                 file=sys.stderr,
             )
             return 1

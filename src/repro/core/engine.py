@@ -496,6 +496,18 @@ class AStreamEngine:
             )
             for timestamp, value in tuples
         ]
+        return self.push_records(stream, records)
+
+    def push_records(self, stream: str, records: List[Record]) -> int:
+        """Inject a micro-batch of pre-built :class:`Record` objects.
+
+        The zero-rebuild ingest seam: the serving layer's columnar
+        decoder materialises records straight from wire columns and
+        hands them here, skipping the ``(timestamp, value)`` pair
+        round-trip that :meth:`push_many` exists to unpack.  Semantics
+        (atomic input-log entry, un-log on mid-batch fault) are
+        identical to :meth:`push_many`.
+        """
         if not records:
             return 0
         element = records[0] if len(records) == 1 else RecordBatch(records)
@@ -509,6 +521,32 @@ class AStreamEngine:
             self._input_log.pop()
             raise
         return len(records)
+
+    def push_batch(self, stream: str, batch: RecordBatch) -> int:
+        """Inject one pre-assembled :class:`RecordBatch`.
+
+        The columnar wire-ingest seam: the serving layer's binary
+        decoder produces columnar batches whose row objects materialise
+        lazily, and this method injects the batch *without touching the
+        rows* — a columnar-aware first operator (shared selection) then
+        builds objects only for rows some query wants.  Input-log and
+        fault semantics match :meth:`push_many`: the batch is one atomic
+        log entry, un-logged if a fault kills the push mid-flight, and
+        recovery replays the batch element whole.
+        """
+        count = len(batch)
+        if not count:
+            return 0
+        if not self.config.log_inputs:
+            self.runtime.push(f"source:{stream}", batch)
+            return count
+        self._input_log.append(("element", (stream, batch)))
+        try:
+            self.runtime.push(f"source:{stream}", batch)
+        except BaseException:
+            self._input_log.pop()
+            raise
+        return count
 
     def watermark(self, timestamp: int, stream: Optional[str] = None) -> None:
         """Advance event time (fires due windows).
@@ -680,6 +718,9 @@ class AStreamEngine:
                     f"source:{stream}",
                     records[0] if len(records) == 1 else RecordBatch(records),
                 )
+            elif kind == "element":
+                stream, element = payload
+                self.runtime.push(f"source:{stream}", element)
             elif kind == "watermark":
                 targets, element = payload
                 for stream in targets:

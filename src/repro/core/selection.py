@@ -20,10 +20,21 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
+import operator as _compare
+
 from repro.core.changelog import Changelog
-from repro.core.query import Predicate
+from repro.core.query import Comparison, FieldPredicate, Predicate, TruePredicate
 from repro.minispe.operators import Operator
 from repro.minispe.record import ChangelogMarker, Record
+
+_COMPARE_FNS = {
+    Comparison.LT: _compare.lt,
+    Comparison.GT: _compare.gt,
+    Comparison.EQ: _compare.eq,
+    Comparison.LE: _compare.le,
+    Comparison.GE: _compare.ge,
+}
+"""Comparison → C-level compare function, for the columnar fast path."""
 
 QS_TAG = "qs"
 """Record tag holding the query-set bits."""
@@ -202,6 +213,81 @@ class SharedSelectionOperator(Operator):
             new_tags[QS_TAG] = bits
             new_tags[EPOCH_TAG] = view.sequence
             out.append(Record(timestamp, value, record.key, new_tags))
+        self.predicate_evaluations += evaluations
+        self.records_dropped += dropped
+        if self.profile:
+            self.profile_ns += time.perf_counter_ns() - started
+        self.output_batch(out)
+
+    def process_columnar(self, batch) -> None:
+        """Columnar tagging: predicates run straight on the batch's
+        parallel field columns, and a row's value object is built only
+        when some query actually wants the row.
+
+        This is the wire-ingest fast path — the binary codec decodes
+        frames into columnar :class:`~repro.minispe.record.RecordBatch`
+        objects, and for selective queries most rows die here having
+        never existed as Python objects.  Black-box (UDF) predicates
+        need the row value, so any view holding one falls back to the
+        row-at-a-time path; semantics (epoch views by event time,
+        counters, sharing stats, output order) are identical either way.
+        """
+        for view in self._views:
+            for predicate, _ in view.predicates:
+                if type(predicate) not in (FieldPredicate, TruePredicate):
+                    self.process_batch(batch.records)
+                    return
+        started = time.perf_counter_ns() if self.profile else 0
+        timestamps = batch.timestamps()
+        keys = batch.keys()
+        fields = batch.field_columns()
+        view_for = self._view_for
+        stats = self.sharing_stats
+        row_value = batch.row_value
+        evaluations = 0
+        dropped = 0
+        out: List[Record] = []
+        append = out.append
+        view = None
+        view_low = view_high = 0
+        sequence = 0
+        compiled: List[Tuple[Any, Any, Any, int]] = []
+        for row, timestamp in enumerate(timestamps):
+            if view is None or not (view_low <= timestamp < view_high):
+                view = view_for(timestamp)
+                view_low, view_high = self._view_span(view)
+                sequence = view.sequence
+                # (column, compare, constant, slots) per distinct
+                # predicate; column None = TruePredicate (always passes).
+                compiled = [
+                    (
+                        fields[predicate.field_index],
+                        _COMPARE_FNS[predicate.op],
+                        predicate.constant,
+                        slots_mask,
+                    )
+                    if type(predicate) is FieldPredicate
+                    else (None, None, None, slots_mask)
+                    for predicate, slots_mask in view.predicates
+                ]
+            bits = 0
+            for column, compare, constant, slots_mask in compiled:
+                evaluations += 1
+                if column is None or compare(column[row], constant):
+                    bits |= slots_mask
+            if bits == 0:
+                dropped += 1
+                continue
+            if stats is not None:
+                stats.observe(bits)
+            append(
+                Record(
+                    timestamp,
+                    row_value(row),
+                    keys[row],
+                    {QS_TAG: bits, EPOCH_TAG: sequence},
+                )
+            )
         self.predicate_evaluations += evaluations
         self.records_dropped += dropped
         if self.profile:

@@ -1,0 +1,281 @@
+"""Operator-chain fusion: collapse stateless chains into one stage.
+
+A chain of stateless record-at-a-time operators (map → filter → map …)
+connected by FORWARD edges costs, per record, one runtime dispatch per
+operator: collector call, routing, isinstance chain, hook checks, and a
+fresh ``Record`` (plus a tags-dict copy) at every hop.  For the hot path
+those per-hop overheads dwarf the user functions themselves.
+
+:func:`fuse_chains` rewrites a :class:`JobGraph` at build time: every
+maximal chain of :attr:`~repro.minispe.graph.Vertex.fusible` vertices
+becomes a single vertex running a :class:`FusedOperator`.  The fused
+operator compiles the chain into one nested closure — each sub-operator
+contributes a *step* ``(timestamp, value, key, tags) -> emit(...)`` via
+:meth:`~repro.minispe.operators.Operator.fuse_step` — so a record
+traverses the whole chain as plain positional arguments and exactly one
+output ``Record`` (with a single tags copy) is built at the sink.
+
+Fusion is transparent to the rest of the system:
+
+* **Semantics** — fused output is record-for-record identical to the
+  unfused chain (fusible operators are stateless and default-forward
+  control elements, so collapsing forwards into one hop changes nothing).
+* **Checkpointing** — :meth:`FusedOperator.snapshot` nests per-sub
+  snapshots keyed by position and name; fusible operators are stateless
+  so these are ``None``, but the shape survives a future stateful step.
+* **Telemetry** — under a live trace the runtime calls
+  :meth:`FusedOperator.process_batch_traced`, which executes the chain
+  *stage-wise* with one nested span per sub-operator, so breakdowns
+  still attribute time to ``map``/``filter``/… rather than one opaque
+  fused stage.
+* **Backends** — the rewrite happens before deployment, so the fused
+  graph runs unchanged on the in-process runtime and (built inside each
+  worker from the program factory) on the sharded process backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.minispe.graph import Edge, JobGraph, Partitioning, Vertex
+from repro.minispe.operators import Operator, OperatorContext
+from repro.minispe.record import Record, RecordBatch
+
+
+class FusedOperator(Operator):
+    """A chain of fusible operators executing as one runtime stage.
+
+    ``operators`` run in pipeline order.  When every sub-operator
+    implements :meth:`~repro.minispe.operators.Operator.fuse_step`, the
+    chain is compiled into one nested closure; otherwise the operator
+    falls back to stage-wise execution (each sub's ``process_batch``
+    feeding the next through a capturing collector), which is still one
+    runtime stage — just without the per-record closure fast path.
+    """
+
+    def __init__(
+        self, operators: List[Operator], name: Optional[str] = None
+    ) -> None:
+        if not operators:
+            raise ValueError("FusedOperator needs at least one sub-operator")
+        super().__init__(
+            name or "fused[" + "+".join(op.name for op in operators) + "]"
+        )
+        self.operators = list(operators)
+        self._out: List[Record] = []
+        self._compiled = all(op.fusible for op in self.operators)
+        if self._compiled:
+            step: Callable[[int, Any, Any, dict], None] = self._emit
+            for op in reversed(self.operators):
+                step = op.fuse_step(step)
+            self._head = step
+        else:
+            self._head = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, context: OperatorContext) -> None:
+        super().open(context)
+        for op in self.operators:
+            op.open(
+                OperatorContext(
+                    op.name,
+                    context.instance_index,
+                    context.parallelism,
+                    context.metrics,
+                )
+            )
+
+    def close(self) -> None:
+        for op in self.operators:
+            op.close()
+
+    # -- compiled fast path ------------------------------------------------
+
+    def _emit(self, timestamp: int, value: Any, key: Any, tags: dict) -> None:
+        # Terminal sink of the compiled chain: the chain's single Record
+        # allocation and single defensive tags copy happen here.
+        self._out.append(Record(timestamp, value, key, dict(tags)))
+
+    def process(self, record: Record) -> None:
+        if self._head is None:
+            self._run_stagewise([record], None)
+            return
+        out: List[Record] = []
+        self._out = out
+        self._head(record.timestamp, record.value, record.key, record.tags)
+        self.output_batch(out)
+
+    def process_batch(self, records: List[Record]) -> None:
+        if self._head is None:
+            self._run_stagewise(records, None)
+            return
+        out: List[Record] = []
+        self._out = out
+        head = self._head
+        for record in records:
+            head(record.timestamp, record.value, record.key, record.tags)
+        self.output_batch(out)
+
+    # -- traced / stage-wise path ------------------------------------------
+
+    def process_traced(self, record: Record, tracer) -> None:
+        """Per-record delivery under a live trace (runtime hook)."""
+        self._run_stagewise([record], tracer)
+
+    def process_batch_traced(self, records: List[Record], tracer) -> None:
+        """Batch delivery under a live trace (runtime hook).
+
+        Runs the chain stage-wise with one nested span per sub-operator,
+        so trace breakdowns keep attributing time to the original
+        operators instead of one opaque fused stage.
+        """
+        self._run_stagewise(records, tracer)
+
+    def _run_stagewise(self, records: List[Record], tracer) -> None:
+        current = records
+        for op in self.operators:
+            out: List[Record] = []
+
+            def capture(element, _append=out.append, _extend=out.extend):
+                if type(element) is RecordBatch:
+                    _extend(element.records)
+                else:
+                    _append(element)
+
+            previous = op._collector
+            op.set_collector(capture)
+            if tracer is not None:
+                tracer.enter(op.name)
+            try:
+                op.process_batch(current)
+            finally:
+                if tracer is not None:
+                    tracer.exit()
+                op.set_collector(previous)
+            current = out
+            if not current:
+                return
+        self.output_batch(current)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> Any:
+        state = {
+            f"{index}:{op.name}": op.snapshot()
+            for index, op in enumerate(self.operators)
+        }
+        return state if any(value is not None for value in state.values()) else None
+
+    def restore(self, snapshot: Any) -> None:
+        if snapshot is None:
+            return
+        for index, op in enumerate(self.operators):
+            op.restore(snapshot.get(f"{index}:{op.name}"))
+
+
+def fuse_chains(graph: JobGraph) -> JobGraph:
+    """Rewrite ``graph``, collapsing fusible chains into fused vertices.
+
+    A *chain* is a maximal run of vertices where every member has
+    ``fusible=True``, consecutive members are connected by a single
+    FORWARD edge feeding input 0, interior members have in/out-degree 1,
+    and all members share one parallelism.  Each chain of length ≥ 2
+    becomes one vertex named ``fused[a+b+…]`` whose factory builds a
+    :class:`FusedOperator` from the members' factories; the head's
+    in-edges and the tail's out-edges re-attach to it.  The input graph
+    is not modified; the rewritten graph validates before it is returned.
+    """
+    chains = _find_chains(graph)
+    member_of: Dict[str, str] = {}
+    head_of: Dict[str, List[str]] = {}
+    for chain in chains:
+        fused_name = "fused[" + "+".join(chain) + "]"
+        head_of[chain[0]] = chain
+        for member in chain:
+            member_of[member] = fused_name
+
+    fused = JobGraph(graph.name)
+    for name, vertex in graph.vertices.items():
+        chain = head_of.get(name)
+        if chain is not None:
+            fused_name = member_of[name]
+            factories = [graph.vertices[member].operator_factory for member in chain]
+            fused._add_vertex(
+                Vertex(
+                    fused_name,
+                    _fused_factory(factories, fused_name),
+                    parallelism=vertex.parallelism,
+                )
+            )
+        elif name not in member_of:
+            fused._add_vertex(
+                Vertex(
+                    vertex.name,
+                    vertex.operator_factory,
+                    vertex.parallelism,
+                    is_source=vertex.is_source,
+                    fusible=vertex.fusible,
+                )
+            )
+    for edge in graph.edges:
+        source = member_of.get(edge.source, edge.source)
+        target = member_of.get(edge.target, edge.target)
+        if source == target:
+            continue  # intra-chain edge, absorbed into the fused vertex
+        fused.edges.append(
+            Edge(source, target, edge.partitioning, edge.input_index)
+        )
+    fused.validate()
+    return fused
+
+
+def _fused_factory(
+    factories: List[Callable[[], Operator]], fused_name: str
+) -> Callable[[], FusedOperator]:
+    def build() -> FusedOperator:
+        return FusedOperator(
+            [factory() for factory in factories], name=fused_name
+        )
+
+    return build
+
+
+def _find_chains(graph: JobGraph) -> List[List[str]]:
+    """Maximal fusible chains, each as a list of vertex names in order."""
+    assigned: set = set()
+    chains: List[List[str]] = []
+    for name in graph.topological_order():
+        if name in assigned:
+            continue
+        vertex = graph.vertices[name]
+        if not _chainable(vertex):
+            continue
+        chain = [name]
+        while True:
+            outs = graph.out_edges(chain[-1])
+            if len(outs) != 1:
+                break
+            edge = outs[0]
+            if (
+                edge.partitioning is not Partitioning.FORWARD
+                or edge.input_index != 0
+                or edge.target in assigned
+            ):
+                break
+            nxt = graph.vertices[edge.target]
+            if (
+                not _chainable(nxt)
+                or nxt.parallelism != vertex.parallelism
+                or len(graph.in_edges(edge.target)) != 1
+            ):
+                break
+            chain.append(edge.target)
+        if len(chain) >= 2:
+            assigned.update(chain)
+            chains.append(chain)
+    return chains
+
+
+def _chainable(vertex: Vertex) -> bool:
+    return vertex.fusible and not vertex.is_source

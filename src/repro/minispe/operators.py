@@ -55,6 +55,15 @@ class OperatorContext:
 class Operator:
     """Base class for one-input operators."""
 
+    fusible = False
+    """True when this operator may be fused into an operator chain.
+
+    A fusible operator must be *stateless* (``snapshot`` returns None),
+    must not override the control-element hooks (``on_watermark`` /
+    ``on_marker`` default-forward), and must implement :meth:`fuse_step`.
+    The built-in ``Map``/``Filter``/``KeyBy``/``FlatMap`` qualify.
+    """
+
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
         self._collector: Optional[Callable[[StreamElement], None]] = None
@@ -95,6 +104,26 @@ class Operator:
     def on_marker(self, marker: ChangelogMarker) -> None:
         """Handle a changelog marker.  Default: forward it."""
         self.output(marker)
+
+    # -- fusion ------------------------------------------------------------
+
+    def fuse_step(
+        self,
+        downstream: Callable[[int, Any, Any, dict], None],
+    ) -> Callable[[int, Any, Any, dict], None]:
+        """Return this operator's per-row step for a fused chain.
+
+        The step receives ``(timestamp, value, key, tags)`` for one input
+        row and calls ``downstream`` zero or more times with the rows it
+        emits.  Steps never copy ``tags`` — the fused chain's terminal
+        sink makes the single defensive copy when it builds the output
+        :class:`Record` — and they never see control elements (fusible
+        operators default-forward those).  Only operators with
+        ``fusible = True`` implement this.
+        """
+        raise NotImplementedError(
+            f"operator {self.name!r} does not support fusion"
+        )
 
     # -- checkpointing -----------------------------------------------------
 
@@ -181,9 +210,19 @@ class TwoInputOperator(Operator):
 class MapOperator(Operator):
     """Apply ``fn`` to each record value, preserving timestamp and key."""
 
+    fusible = True
+
     def __init__(self, fn: Callable[[Any], Any], name: str = "map") -> None:
         super().__init__(name)
         self._fn = fn
+
+    def fuse_step(self, downstream):
+        fn = self._fn
+
+        def step(timestamp, value, key, tags):
+            downstream(timestamp, fn(value), key, tags)
+
+        return step
 
     def process(self, record: Record) -> None:
         self.output(
@@ -208,9 +247,20 @@ class MapOperator(Operator):
 class FilterOperator(Operator):
     """Keep only records whose value satisfies ``predicate``."""
 
+    fusible = True
+
     def __init__(self, predicate: Callable[[Any], bool], name: str = "filter") -> None:
         super().__init__(name)
         self._predicate = predicate
+
+    def fuse_step(self, downstream):
+        predicate = self._predicate
+
+        def step(timestamp, value, key, tags):
+            if predicate(value):
+                downstream(timestamp, value, key, tags)
+
+        return step
 
     def process(self, record: Record) -> None:
         if self._predicate(record.value):
@@ -224,9 +274,19 @@ class FilterOperator(Operator):
 class KeyByOperator(Operator):
     """Re-key records with ``key_fn`` (the shuffle happens on the edge)."""
 
+    fusible = True
+
     def __init__(self, key_fn: Callable[[Any], Any], name: str = "key_by") -> None:
         super().__init__(name)
         self._key_fn = key_fn
+
+    def fuse_step(self, downstream):
+        key_fn = self._key_fn
+
+        def step(timestamp, value, key, tags):
+            downstream(timestamp, value, key_fn(value), tags)
+
+        return step
 
     def process(self, record: Record) -> None:
         self.output(
@@ -251,9 +311,20 @@ class KeyByOperator(Operator):
 class FlatMapOperator(Operator):
     """Apply ``fn`` returning an iterable of values; emit one record each."""
 
+    fusible = True
+
     def __init__(self, fn: Callable[[Any], List[Any]], name: str = "flat_map") -> None:
         super().__init__(name)
         self._fn = fn
+
+    def fuse_step(self, downstream):
+        fn = self._fn
+
+        def step(timestamp, value, key, tags):
+            for out_value in fn(value):
+                downstream(timestamp, out_value, key, tags)
+
+        return step
 
     def process(self, record: Record) -> None:
         for value in self._fn(record.value):

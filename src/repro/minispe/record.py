@@ -104,22 +104,103 @@ class RecordBatch(StreamElement):
     event-time semantics, marker alignment, and barrier alignment are
     identical to the per-record path.
 
+    A batch may alternatively be *columnar*: built from parallel arrays
+    (:meth:`from_columns`, the binary wire codec's zero-copy decode
+    target).  Columnar batches defer building their ``Record`` objects —
+    ``records`` materialises them on first touch, so every existing
+    consumer works unchanged, while columnar-aware operators read the
+    parallel arrays directly via :meth:`timestamps` / :meth:`keys` /
+    :meth:`field_columns` and never pay per-row materialisation for rows
+    they drop.
+
     Treat ``records`` as immutable once the batch has been emitted; the
     runtime may deliver the same list object to several broadcast targets.
     """
 
-    __slots__ = ("records",)
+    __slots__ = ("_records", "_columns")
 
     def __init__(self, records: list) -> None:
-        self.records = records
+        self._records = records
+        self._columns = None
+
+    @classmethod
+    def from_columns(cls, timestamps, keys, fields, builder) -> "RecordBatch":
+        """Build a columnar batch from parallel arrays.
+
+        ``timestamps``/``keys`` are row-aligned sequences; ``fields`` is a
+        tuple of per-field column sequences; ``builder(key, field_tuple)``
+        constructs one row's value object on materialisation.  Any
+        indexable sequence works — the wire codec passes ``memoryview``
+        casts straight off the frame buffer (zero copy).
+        """
+        batch = cls.__new__(cls)
+        batch._records = None
+        batch._columns = (timestamps, keys, tuple(fields), builder)
+        return batch
+
+    @property
+    def records(self) -> list:
+        """The batch's records (materialised on demand when columnar)."""
+        records = self._records
+        if records is None:
+            records = self._materialize()
+            self._records = records
+        return records
+
+    @property
+    def is_columnar(self) -> bool:
+        """True while parallel arrays back this batch (records may or
+        may not have been materialised from them yet)."""
+        return self._columns is not None
+
+    def timestamps(self):
+        """The row-aligned timestamp column."""
+        if self._columns is not None:
+            return self._columns[0]
+        return [record.timestamp for record in self._records]
+
+    def keys(self):
+        """The row-aligned partitioning-key column."""
+        if self._columns is not None:
+            return self._columns[1]
+        return [record.key for record in self._records]
+
+    def field_columns(self):
+        """Per-field value columns, or ``None`` for row-built batches
+        (whose values need not expose a uniform ``fields`` sequence)."""
+        if self._columns is not None:
+            return self._columns[2]
+        return None
+
+    def row_value(self, row: int):
+        """Materialise one row's value object (columnar batches only).
+
+        Columnar consumers that drop most rows use this to pay value
+        construction only for survivors.
+        """
+        _, keys, fields, builder = self._columns
+        return builder(keys[row], tuple(column[row] for column in fields))
+
+    def _materialize(self) -> list:
+        timestamps, keys, fields, builder = self._columns
+        records = []
+        append = records.append
+        for timestamp, key, field_tuple in zip(timestamps, keys, zip(*fields)):
+            append(Record(timestamp, builder(key, field_tuple), key))
+        return records
 
     @property
     def timestamp(self) -> int:
         """Event time of the first record (batches are arrival-ordered)."""
-        return self.records[0].timestamp if self.records else -1
+        if self._columns is not None:
+            timestamps = self._columns[0]
+            return timestamps[0] if len(timestamps) else -1
+        return self._records[0].timestamp if self._records else -1
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self._columns[0])
 
     def __iter__(self):
         return iter(self.records)
@@ -129,8 +210,15 @@ class RecordBatch(StreamElement):
             return NotImplemented
         return self.records == other.records
 
+    def __reduce__(self):
+        # Columns may be memoryview casts into a network buffer; a batch
+        # crossing a process boundary (shard workers, checkpoints)
+        # materialises into plain records first.
+        return (RecordBatch, (self.records,))
+
     def __repr__(self) -> str:
-        return f"RecordBatch({len(self.records)} records)"
+        kind = "columnar, " if self._columns is not None else ""
+        return f"RecordBatch({kind}{len(self)} records)"
 
 
 @dataclass(frozen=True)

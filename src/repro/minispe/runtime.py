@@ -203,6 +203,9 @@ class DeployedInstance:
         "inputs",
         "records_processed",
         "is_two_input",
+        "process_columnar",
+        "process_traced",
+        "process_batch_traced",
         "batch_sizes",
         "_runtime",
     )
@@ -223,6 +226,16 @@ class DeployedInstance:
         # Hoisted out of the delivery hot path: one isinstance at deploy
         # time instead of one per delivered element.
         self.is_two_input = isinstance(operator, TwoInputOperator)
+        # Columnar fast path, hoisted the same way: operators that can
+        # consume a columnar RecordBatch directly expose
+        # ``process_columnar(batch)``; everyone else gets materialised
+        # record lists exactly as before.
+        self.process_columnar = getattr(operator, "process_columnar", None)
+        # Trace-aware dispatch, hoisted too: fused operators expose
+        # ``process_traced`` / ``process_batch_traced`` so a live trace
+        # still sees per-sub-operator spans instead of one opaque stage.
+        self.process_traced = getattr(operator, "process_traced", None)
+        self.process_batch_traced = getattr(operator, "process_batch_traced", None)
         # Observability: a per-vertex batch-size histogram, installed at
         # deploy time when the runtime carries an obs hub (None keeps
         # the unobserved hot path at a single falsy check).
@@ -257,6 +270,8 @@ class DeployedInstance:
                             self.operator.process_left(element)
                         else:
                             self.operator.process_right(element)
+                    elif self.process_traced is not None:
+                        self.process_traced(element, tracer)
                     else:
                         self.operator.process(element)
                 finally:
@@ -269,7 +284,7 @@ class DeployedInstance:
             else:
                 self.operator.process(element)
         elif isinstance(element, RecordBatch):
-            self.deliver_batch(channel, element.records)
+            self.deliver_batch(channel, element)
         elif isinstance(element, Watermark):
             aligned = self.inputs.advance_watermark(channel, element.timestamp)
             if aligned is not None:
@@ -298,8 +313,14 @@ class DeployedInstance:
         else:
             handler(element)
 
-    def deliver_batch(self, channel: ChannelId, records: List[Record]) -> None:
+    def deliver_batch(self, channel: ChannelId, records) -> None:
         """Feed a micro-batch arriving on ``channel`` into the operator.
+
+        ``records`` is a record list or a whole :class:`RecordBatch`.  A
+        *columnar* batch reaching a columnar-aware operator is handed
+        over intact via ``process_columnar`` — per-row materialisation
+        never happens on this path; every other combination materialises
+        to the record list exactly as before.
 
         With a fault-injection deliver hook installed, records are handed
         to the operator one at a time so the hook fires (and may raise)
@@ -307,10 +328,19 @@ class DeployedInstance:
         without hooks the whole sub-batch goes through the operator's
         vectorized ``process_batch``.
         """
+        runtime = self._runtime
+        batch = records if type(records) is RecordBatch else None
+        if batch is not None and (
+            not batch.is_columnar
+            or self.process_columnar is None
+            or self.is_two_input
+            or (runtime is not None and runtime._deliver_hook is not None)
+        ):
+            records = batch.records
+            batch = None
         if not records:
             return
         operator = self.operator
-        runtime = self._runtime
         if self.batch_sizes is not None:
             self.batch_sizes.record(len(records))
         if runtime is not None and runtime._deliver_hook is not None:
@@ -335,15 +365,21 @@ class DeployedInstance:
         if tracer is not None:
             tracer.enter(self.vertex.name)
             try:
-                if self.is_two_input:
+                if batch is not None:
+                    self.process_columnar(batch)
+                elif self.is_two_input:
                     if self.inputs.input_index[channel] == 0:
                         operator.process_left_batch(records)
                     else:
                         operator.process_right_batch(records)
+                elif self.process_batch_traced is not None:
+                    self.process_batch_traced(records, tracer)
                 else:
                     operator.process_batch(records)
             finally:
                 tracer.exit()
+        elif batch is not None:
+            self.process_columnar(batch)
         elif self.is_two_input:
             if self.inputs.input_index[channel] == 0:
                 operator.process_left_batch(records)
@@ -570,23 +606,29 @@ class JobRuntime(ExecutionBackend):
                         edge, edge_idx, channel, targets, from_index, element
                     )
             elif isinstance(element, RecordBatch):
-                records = element.records
                 if self._channel_hook is not None:
                     # The channel hook fires per record *inside* the batch
                     # (drop/duplicate/delay each record independently), so
                     # fault plans are batch-size agnostic.
                     hook = self._channel_hook
                     effective: List[Record] = []
-                    for record in records:
+                    for record in element.records:
                         copies = hook(edge, from_index, record)
                         if copies == 1:
                             effective.append(record)
                         elif copies > 1:
                             effective.extend([record] * copies)
-                    records = effective
-                if records:
+                    if effective:
+                        self._route_batch(
+                            edge, edge_idx, channel, targets, from_index,
+                            effective,
+                        )
+                elif len(element):
+                    # No hook: the batch object travels intact, so a
+                    # columnar batch stays columnar all the way to the
+                    # consuming operator.
                     self._route_batch(
-                        edge, edge_idx, channel, targets, from_index, records
+                        edge, edge_idx, channel, targets, from_index, element
                     )
             else:
                 # Control elements are broadcast on every edge.
@@ -630,10 +672,15 @@ class JobRuntime(ExecutionBackend):
         channel: ChannelId,
         targets: List[DeployedInstance],
         from_index: int,
-        records: List[Record],
+        records,
     ) -> None:
         """Partition a whole micro-batch into per-target sub-batches in
         one pass and deliver each sub-batch with one operator dispatch.
+
+        ``records`` is a record list or an intact :class:`RecordBatch`;
+        single-target partitionings pass it through whole (columnar
+        batches survive), multi-target hash/rebalance must look at every
+        record and materialise first.
 
         Per-channel record order is preserved (records for one target
         keep their relative order), which is the same ordering guarantee
@@ -655,6 +702,8 @@ class JobRuntime(ExecutionBackend):
                 )
             targets[0].deliver_batch(channel, records)
             return
+        if type(records) is RecordBatch:
+            records = records.records
         buckets: List[Optional[List[Record]]] = [None] * width
         if partitioning is Partitioning.HASH:
             for record in records:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import random
 import socket
+import struct
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -35,9 +36,13 @@ from repro.core.query import Query
 from repro.core.router import QueryOutput
 from repro.core.serde import output_from_dict, query_to_dict
 from repro.serve.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
     PROTOCOL_VERSION,
     ProtocolError,
     encode_events,
+    encode_frame,
+    encode_push_binary,
     read_frame,
     read_frame_sock,
     write_frame,
@@ -93,6 +98,7 @@ class _SessionCore:
         client_id: str,
         token: Optional[str],
         retry: Optional[RetryPolicy],
+        codec: str = CODEC_BINARY,
     ) -> None:
         self.host = host
         self.port = port
@@ -100,6 +106,12 @@ class _SessionCore:
         self.token = token
         self.retry = retry or RetryPolicy()
         self.rng = random.Random(self.retry.seed)
+        if codec not in (CODEC_BINARY, CODEC_JSON):
+            raise ValueError(f"unknown codec {codec!r}")
+        self.codec_preference = codec
+        self.codec = CODEC_JSON
+        """The codec the *server* granted at the last handshake; stays
+        JSON against servers that never heard of codec negotiation."""
         self.seq = 0
         self.credits = 0
         self.server_info: Dict[str, Any] = {}
@@ -122,10 +134,22 @@ class _SessionCore:
             "t": "hello",
             "protocol": PROTOCOL_VERSION,
             "client_id": self.client_id,
+            "codecs": (
+                [CODEC_BINARY, CODEC_JSON]
+                if self.codec_preference == CODEC_BINARY
+                else [CODEC_JSON]
+            ),
         }
         if self.token is not None:
             frame["token"] = self.token
         return frame
+
+    def adopt_codec(self, reply: Dict[str, Any]) -> None:
+        """Record the codec the server granted in its ``hello_ack``."""
+        granted = reply.get("codec", CODEC_JSON)
+        self.codec = (
+            granted if granted in (CODEC_BINARY, CODEC_JSON) else CODEC_JSON
+        )
 
     def absorb(self, frame: Dict[str, Any]) -> None:
         """File one streamed (non-reply) frame into client-side queues."""
@@ -134,9 +158,10 @@ class _SessionCore:
             queue = self.results.setdefault(frame["query_id"], deque())
             dropped = int(frame.get("dropped", 0))
             outputs = frame["outputs"]
+            decoded = frame.get("_decoded", False)
             for index, document in enumerate(outputs):
                 queue.append(
-                    (output_from_dict(document),
+                    (document if decoded else output_from_dict(document),
                      dropped if index == 0 else 0)
                 )
             if dropped and not outputs:
@@ -184,10 +209,20 @@ class ServeClient:
         token: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         connect_timeout_s: float = 5.0,
+        codec: str = CODEC_BINARY,
+        coalesce_tuples: int = 512,
     ) -> None:
-        self._core = _SessionCore(host, port, client_id, token, retry)
+        self._core = _SessionCore(host, port, client_id, token, retry,
+                                  codec=codec)
         self._connect_timeout_s = connect_timeout_s
         self._sock: Optional[socket.socket] = None
+        self._coalesce = max(1, coalesce_tuples)
+        """Tuples buffered by :meth:`push_nowait` before a frame ships."""
+        self._ingest_buffer: List[Tuple[int, Any]] = []
+        self._ingest_stream: Optional[str] = None
+        self._in_flight = 0
+        """Pipelined push frames sent but not yet acknowledged."""
+        self._ingest_accepted = 0
         self.connect()
 
     # -- connection management ---------------------------------------------
@@ -201,6 +236,11 @@ class ServeClient:
     def server_info(self) -> Dict[str, Any]:
         """The server's handshake self-description."""
         return self._core.server_info
+
+    @property
+    def codec(self) -> str:
+        """The wire codec the server granted (``json``/``binary``)."""
+        return self._core.codec
 
     def connect(self) -> None:
         """Dial, handshake, and resubscribe (used for reconnects too)."""
@@ -220,7 +260,11 @@ class ServeClient:
             raise ServeError(reply["code"], reply["message"])
         self._core.server_info = reply.get("server", {})
         self._core.credits = int(reply.get("credits", 0))
+        self._core.adopt_codec(reply)
         self._sock = sock
+        # Pipelined frames in flight died with the old connection; the
+        # coalescing buffer (never sent) survives and flushes later.
+        self._in_flight = 0
         for query_id, from_start in list(self._core.subscriptions.items()):
             self._request(
                 _control_frame(
@@ -260,12 +304,25 @@ class ServeClient:
 
     # -- the retry loop ----------------------------------------------------
 
-    def _exchange_once(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """One send + read-until-reply exchange on the live socket."""
+    def _exchange_once(
+        self, frame: Dict[str, Any], raw: Optional[bytes] = None
+    ) -> Dict[str, Any]:
+        """One send + read-until-reply exchange on the live socket.
+
+        ``raw`` carries a pre-encoded wire image (the binary push path);
+        ``frame`` is still used for reply matching.
+        """
+        if self._in_flight or self._ingest_buffer:
+            # Order barrier: pipelined ingest fully lands before any
+            # other frame leaves the client.
+            self._drain_ingest()
         if self._sock is None:
             raise ConnectionLost("not connected")
         try:
-            write_frame_sock(self._sock, frame)
+            if raw is not None:
+                self._sock.sendall(raw)
+            else:
+                write_frame_sock(self._sock, frame)
             while True:
                 reply = read_frame_sock(self._sock)
                 if reply is None:
@@ -287,7 +344,9 @@ class ServeClient:
         except (OSError, socket.timeout) as error:
             raise ConnectionLost(str(error)) from error
 
-    def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    def _request(
+        self, frame: Dict[str, Any], raw: Optional[bytes] = None
+    ) -> Dict[str, Any]:
         """Send one frame and return its reply, retrying per policy.
 
         The same frame — same client ``seq`` — is re-sent verbatim after
@@ -298,7 +357,7 @@ class ServeClient:
         last: Optional[Exception] = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
-                return self._exchange_once(frame)
+                return self._exchange_once(frame, raw)
             except ConnectionLost as error:
                 last = error
                 if attempt >= policy.max_attempts:
@@ -347,20 +406,117 @@ class ServeClient:
     # -- data plane --------------------------------------------------------
 
     def push(self, stream: str, events: List[Tuple[int, Any]]) -> int:
-        """Push one event micro-batch; returns the accepted count."""
-        frame = {
-            "t": "push",
-            "stream": stream,
-            "events": encode_events(events),
-        }
-        reply = self._request(frame)
+        """Push one event micro-batch; returns the accepted count.
+
+        On a binary-negotiated session the batch ships as columnar
+        int64 arrays; events the columns cannot carry (a non-standard
+        payload type, an int64 overflow) fall back to the JSON form.
+        """
+        raw = self._encode_push_wire(stream, events)
+        reply = self._request({"t": "push"}, raw)
         self._core.credits = int(reply.get("credits", self._core.credits))
         return int(reply.get("accepted", 0))
+
+    def _encode_push_wire(
+        self, stream: str, events: List[Tuple[int, Any]]
+    ) -> bytes:
+        """The wire image of one push frame in the session codec."""
+        if self._core.codec == CODEC_BINARY:
+            try:
+                return encode_push_binary(stream, events)
+            except (ProtocolError, struct.error, TypeError,
+                    AttributeError, ValueError):
+                pass
+        return encode_frame(
+            {"t": "push", "stream": stream, "events": encode_events(events)}
+        )
+
+    def push_nowait(self, stream: str, events: List[Tuple[int, Any]]) -> None:
+        """Buffer events for pipelined ingest (the high-throughput path).
+
+        Events coalesce into frames of ``coalesce_tuples`` tuples that
+        ship without waiting for their acks — up to the server's credit
+        grant may be in flight at once, so frame encode, server-side
+        ingest, and ack reads overlap instead of alternating.  A stream
+        switch flushes the buffer (per-stream order is preserved); call
+        :meth:`flush_ingest` to force everything out and collect the
+        accepted count.  Unlike :meth:`push`, delivery is at-most-once:
+        frames in flight when the transport dies are **not** replayed
+        after the reconnect.
+        """
+        if self._ingest_stream is not None and stream != self._ingest_stream:
+            self._flush_ingest_frame()
+        self._ingest_stream = stream
+        self._ingest_buffer.extend(events)
+        if len(self._ingest_buffer) >= self._coalesce:
+            self._flush_ingest_frame()
+
+    def flush_ingest(self) -> int:
+        """Flush buffered events and drain every outstanding ack.
+
+        Returns the tuple count the server accepted since the previous
+        flush (acks harvested opportunistically along the way included).
+        """
+        self._drain_ingest()
+        accepted = self._ingest_accepted
+        self._ingest_accepted = 0
+        return accepted
+
+    def _drain_ingest(self) -> None:
+        self._flush_ingest_frame()
+        while self._in_flight:
+            self._read_ingest_ack()
+
+    def _flush_ingest_frame(self) -> None:
+        if not self._ingest_buffer:
+            return
+        stream, events = self._ingest_stream, self._ingest_buffer
+        self._ingest_buffer = []
+        self._ingest_stream = None
+        raw = self._encode_push_wire(stream, events)
+        if self._sock is None:
+            raise ConnectionLost("not connected")
+        try:
+            self._sock.sendall(raw)
+        except OSError as error:
+            self._in_flight = 0
+            raise ConnectionLost(str(error)) from error
+        self._in_flight += 1
+        window = max(1, self._core.credits)
+        while self._in_flight >= window:
+            self._read_ingest_ack()
+
+    def _read_ingest_ack(self) -> None:
+        if self._sock is None:
+            self._in_flight = 0
+            raise ConnectionLost("not connected")
+        try:
+            reply = read_frame_sock(self._sock)
+        except (OSError, socket.timeout) as error:
+            self._in_flight = 0
+            raise ConnectionLost(str(error)) from error
+        if reply is None:
+            self._in_flight = 0
+            raise ConnectionLost("server closed the connection")
+        kind = reply.get("t")
+        if kind == "push_ack":
+            self._in_flight -= 1
+            self._ingest_accepted += int(reply.get("accepted", 0))
+            self._core.credits = int(
+                reply.get("credits", self._core.credits)
+            )
+        elif kind == "error":
+            self._in_flight = max(0, self._in_flight - 1)
+            raise ServeError(reply["code"], reply["message"])
+        else:
+            self._core.absorb(reply)
 
     def watermark(
         self, timestamp: int, stream: Optional[str] = None
     ) -> None:
         """Advance the server's event time (fires due windows)."""
+        if self._in_flight or self._ingest_buffer:
+            self._drain_ingest()
         frame: Dict[str, Any] = {"t": "watermark", "timestamp": timestamp}
         if stream is not None:
             frame["stream"] = stream
@@ -501,8 +657,10 @@ class AsyncServeClient:
         client_id: str = "client",
         token: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        codec: str = CODEC_BINARY,
     ) -> None:
-        self._core = _SessionCore(host, port, client_id, token, retry)
+        self._core = _SessionCore(host, port, client_id, token, retry,
+                                  codec=codec)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -526,6 +684,11 @@ class AsyncServeClient:
         """The server's handshake self-description."""
         return self._core.server_info
 
+    @property
+    def codec(self) -> str:
+        """The wire codec the server granted (``json``/``binary``)."""
+        return self._core.codec
+
     async def connect(self) -> "AsyncServeClient":
         """Dial, handshake, start the reader, resubscribe."""
         await self._teardown_transport()
@@ -543,6 +706,7 @@ class AsyncServeClient:
             raise ServeError(reply["code"], reply["message"])
         self._core.server_info = reply.get("server", {})
         self._core.credits = int(reply.get("credits", 0))
+        self._core.adopt_codec(reply)
         self._reader, self._writer = reader, writer
         self._reader_task = asyncio.create_task(self._read_loop(reader))
         for query_id, from_start in list(self._core.subscriptions.items()):
@@ -637,8 +801,11 @@ class AsyncServeClient:
             queue = self._queues.setdefault(
                 frame["query_id"], asyncio.Queue()
             )
+            decoded = frame.get("_decoded", False)
             for document in frame["outputs"]:
-                queue.put_nowait(output_from_dict(document))
+                queue.put_nowait(
+                    document if decoded else output_from_dict(document)
+                )
             dropped = int(frame.get("dropped", 0))
             if dropped:
                 self.shed[frame["query_id"]] = (
@@ -650,16 +817,23 @@ class AsyncServeClient:
 
     # -- the retry loop ----------------------------------------------------
 
-    async def _send(self, frame: Dict[str, Any]) -> None:
+    async def _send(
+        self, frame: Dict[str, Any], raw: Optional[bytes] = None
+    ) -> None:
         if self._writer is None:
             raise ConnectionLost("not connected")
         try:
-            write_frame(self._writer, frame)
+            if raw is not None:
+                self._writer.write(raw)
+            else:
+                write_frame(self._writer, frame)
             await self._writer.drain()
         except (ConnectionError, OSError) as error:
             raise ConnectionLost(str(error)) from error
 
-    async def _exchange_once(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    async def _exchange_once(
+        self, frame: Dict[str, Any], raw: Optional[bytes] = None
+    ) -> Dict[str, Any]:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         seq = frame.get("seq")
@@ -668,7 +842,7 @@ class AsyncServeClient:
         else:
             self._untagged.append(future)
         try:
-            await self._send(frame)
+            await self._send(frame, raw)
             return await asyncio.wait_for(
                 future, timeout=self._core.retry.ack_timeout_ms / 1_000.0
             )
@@ -680,13 +854,15 @@ class AsyncServeClient:
             elif future in self._untagged:
                 self._untagged.remove(future)
 
-    async def _request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    async def _request(
+        self, frame: Dict[str, Any], raw: Optional[bytes] = None
+    ) -> Dict[str, Any]:
         """Send + await reply with reconnect/backoff/resubmit per policy."""
         policy = self._core.retry
         last: Optional[Exception] = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
-                return await self._exchange_once(frame)
+                return await self._exchange_once(frame, raw)
             except ConnectionLost as error:
                 last = error
                 if self._closed or attempt >= policy.max_attempts:
@@ -736,13 +912,27 @@ class AsyncServeClient:
         return _decode_reply(await self._request(frame))
 
     async def push(self, stream: str, events: List[Tuple[int, Any]]) -> int:
-        """Push one event micro-batch; returns the accepted count."""
-        frame = {
-            "t": "push",
-            "stream": stream,
-            "events": encode_events(events),
-        }
-        reply = await self._request(frame)
+        """Push one event micro-batch; returns the accepted count.
+
+        Columnar-encoded on binary sessions, with the same JSON
+        fallback as :meth:`ServeClient.push`.
+        """
+        raw: Optional[bytes] = None
+        if self._core.codec == CODEC_BINARY:
+            try:
+                raw = encode_push_binary(stream, events)
+            except (ProtocolError, struct.error, TypeError,
+                    AttributeError, ValueError):
+                raw = None
+        if raw is not None:
+            frame: Dict[str, Any] = {"t": "push"}
+        else:
+            frame = {
+                "t": "push",
+                "stream": stream,
+                "events": encode_events(events),
+            }
+        reply = await self._request(frame, raw)
         self._core.credits = int(reply.get("credits", self._core.credits))
         return int(reply.get("accepted", 0))
 

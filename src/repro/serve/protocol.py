@@ -1,12 +1,28 @@
-"""The wire protocol of the serving layer: length-prefixed JSON frames.
+"""The wire protocol of the serving layer: length-prefixed frames.
 
-One frame is a 4-byte big-endian payload length followed by that many
-bytes of UTF-8 JSON encoding a single object with a ``t`` (type) field.
-JSON keeps the protocol debuggable with ``nc``/``jq`` and — because
-Python's ``json`` roundtrips ints and floats exactly — preserves the
-byte-equality guarantees the integration tests assert; the codec seam
-(:func:`encode_frame` / :func:`decode_frame`) is the single place a
-binary encoding (msgpack) would plug in.
+One frame is a 4-byte big-endian header followed by the payload.  The
+header's low 31 bits are the payload length; the high bit selects the
+payload codec:
+
+* **clear** — UTF-8 JSON encoding a single object with a ``t`` (type)
+  field.  JSON keeps the protocol debuggable with ``nc``/``jq`` and —
+  because Python's ``json`` roundtrips ints and floats exactly —
+  preserves the byte-equality guarantees the integration tests assert.
+* **set** — a struct-packed *binary columnar* payload, used only for
+  the two high-volume data-plane frames (``push`` and ``result``).
+  Events travel as parallel little-endian int64 columns (``ts``,
+  ``key``, ``f0..f4``) rather than per-event JSON lists, and are
+  decoded zero-copy via ``memoryview.cast`` on little-endian hosts.
+  See :func:`encode_push_binary` / :func:`encode_result_binary` for
+  the exact layouts.
+
+Because ``MAX_FRAME_BYTES`` is far below 2**31, a JSON frame can never
+set the high bit, so both codecs interleave safely on one connection.
+Which codec a peer *sends* is negotiated in the handshake: the client
+offers ``codecs`` in its ``hello`` and the server picks one, echoing
+``codec`` in the ``hello_ack``.  Old peers simply omit the fields and
+everything stays JSON.  Decoding is negotiation-independent — a binary
+frame is identified by its header bit alone.
 
 Frame catalogue (client → server unless noted)::
 
@@ -51,14 +67,24 @@ import asyncio
 import json
 import socket
 import struct
+import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 8 * 1024 * 1024
-"""Upper bound on one frame's JSON payload (8 MiB)."""
+"""Upper bound on one frame's payload (8 MiB, either codec)."""
 
 _HEADER = struct.Struct(">I")
 HEADER_BYTES = _HEADER.size
+
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+SUPPORTED_CODECS = (CODEC_BINARY, CODEC_JSON)
+"""Codecs this build speaks, in server preference order."""
+
+BINARY_FLAG = 0x8000_0000
+"""High header bit: the payload is binary columnar, not JSON."""
+_LENGTH_MASK = 0x7FFF_FFFF
 
 
 class ProtocolError(Exception):
@@ -163,7 +189,9 @@ async def read_frame(
         header = await reader.readexactly(HEADER_BYTES)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
-    (length,) = _HEADER.unpack(header)
+    (raw,) = _HEADER.unpack(header)
+    binary = bool(raw & BINARY_FLAG)
+    length = raw & _LENGTH_MASK
     if length > max_bytes:
         remaining = length
         while remaining:
@@ -179,6 +207,8 @@ async def read_frame(
         payload = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionResetError):
         return None
+    if binary:
+        return decode_binary_payload(payload)
     return decode_frame(payload)
 
 
@@ -210,14 +240,19 @@ def read_frame_sock(
     sock: socket.socket, max_bytes: int = MAX_FRAME_BYTES
 ) -> Dict[str, Any]:
     """Blocking-socket counterpart of :func:`read_frame`."""
-    (length,) = _HEADER.unpack(recv_exactly(sock, HEADER_BYTES))
+    (raw,) = _HEADER.unpack(recv_exactly(sock, HEADER_BYTES))
+    binary = bool(raw & BINARY_FLAG)
+    length = raw & _LENGTH_MASK
     if length > max_bytes:
         recv_exactly(sock, length)
         raise ProtocolError(
             "frame_too_large",
             f"declared frame length {length} exceeds limit {max_bytes}",
         )
-    return decode_frame(recv_exactly(sock, length))
+    payload = recv_exactly(sock, length)
+    if binary:
+        return decode_binary_payload(payload)
+    return decode_frame(payload)
 
 
 def write_frame_sock(sock: socket.socket, frame: Dict[str, Any]) -> None:
@@ -257,3 +292,399 @@ def decode_events(rows: List[list]) -> List[Tuple[int, Any]]:
             "bad_event", f"malformed push event row: {error}"
         ) from None
     return events
+
+
+# -- binary columnar codec -----------------------------------------------------------
+#
+# Binary payload layouts (all multi-byte header fields big-endian, all
+# column data little-endian int64):
+#
+#   push:    u8 kind=1 | u16 stream_len | stream utf-8
+#            | u32 n | ts[n] | key[n] | f0[n] .. f4[n]
+#   result:  u8 kind=2 | u16 query_id_len | query_id utf-8
+#            | u32 dropped | u8 value_kind | u8 arity | u32 n | columns
+#
+# ``value_kind`` selects the column set of a result frame:
+#   0 DataTuple           ts | key | f0..f4
+#   1 AggregationResult   ts | key | win_start | win_end | value
+#   2 JoinedTuple         ts | key | join_ts
+#                         | per part (arity×): pkey | pf0..pf4
+#
+# A result batch that mixes value kinds, carries non-int payloads, or
+# overflows int64 is *not* expressible here — the sender falls back to
+# a JSON ``result`` frame for that batch, which is always legal.
+
+_BIN_PUSH = 1
+_BIN_RESULT = 2
+
+_VK_TUPLE = 0
+_VK_AGG = 1
+_VK_JOINED = 2
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_LITTLE_ENDIAN_HOST = sys.byteorder == "little"
+
+
+def negotiate_codec(offered: Any, supported: Tuple[str, ...] = SUPPORTED_CODECS) -> str:
+    """Server-side codec pick: first offered codec we support.
+
+    ``offered`` is the client hello's ``codecs`` list (absent or
+    malformed → JSON, the compatibility default).
+    """
+    if isinstance(offered, (list, tuple)):
+        for codec in offered:
+            if codec in supported:
+                return str(codec)
+    return CODEC_JSON
+
+
+def _pack_i64(values: List[int]) -> bytes:
+    """One little-endian int64 column (raises ``struct.error`` on overflow)."""
+    return struct.pack(f"<{len(values)}q", *values)
+
+
+def _frame_bytes(payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame_too_large",
+            f"encoded binary frame is {len(payload)} bytes "
+            f"(limit {MAX_FRAME_BYTES})",
+        )
+    return _HEADER.pack(BINARY_FLAG | len(payload)) + payload
+
+
+def encode_push_binary(stream: str, events: List[Tuple[int, Any]]) -> bytes:
+    """Encode one push frame (header included) as binary columns.
+
+    Raises ``struct.error`` / ``TypeError`` / ``AttributeError`` when
+    the events don't fit the columnar contract (non-int values, int64
+    overflow, wrong arity) — callers catch those and fall back to JSON.
+    """
+    name = stream.encode("utf-8")
+    n = len(events)
+    if n:
+        # Transpose in C: one zip for (ts, value) pairs, one for the
+        # field columns.  strict=True keeps the old per-row arity check
+        # (a 4-field payload must fall back to JSON, not truncate).
+        ts, values = zip(*events)
+        f0, f1, f2, f3, f4 = zip(
+            *(value.fields for value in values), strict=True
+        )
+        keys = tuple(value.key for value in values)
+        cols = (ts, keys, f0, f1, f2, f3, f4)
+    else:
+        cols = ((),) * 7
+    column = struct.Struct(f"<{n}q").pack
+    payload = b"".join(
+        (struct.pack(">BH", _BIN_PUSH, len(name)), name, _U32.pack(n))
+        + tuple(column(*col) for col in cols)
+    )
+    return _frame_bytes(payload)
+
+
+def encode_result_binary(
+    query_id: str, outputs: List[Any], dropped: int = 0
+) -> Optional[bytes]:
+    """Encode one ``result`` frame (header included) as binary columns.
+
+    Returns ``None`` when the batch is not expressible in columnar form
+    (mixed value kinds, non-int payloads, int64 overflow) — the caller
+    then ships the batch as a JSON frame instead.
+    """
+    try:
+        return _encode_result_binary(query_id, outputs, dropped)
+    except (struct.error, TypeError, AttributeError, ValueError):
+        return None
+
+
+def _encode_result_binary(
+    query_id: str, outputs: List[Any], dropped: int
+) -> Optional[bytes]:
+    from repro.core.shared_aggregation import AggregationResult
+    from repro.core.shared_join import JoinedTuple
+    from repro.workloads.datagen import DataTuple
+
+    qid = query_id.encode("utf-8")
+    n = len(outputs)
+    ts = [output.timestamp for output in outputs]
+    arity = 0
+    if n == 0:
+        value_kind = _VK_TUPLE
+        columns: List[List[int]] = []
+    else:
+        first = type(outputs[0].value)
+        if any(type(output.value) is not first for output in outputs):
+            return None
+        if first is DataTuple:
+            value_kind = _VK_TUPLE
+            columns = [[output.value.key for output in outputs]]
+            columns += [
+                [output.value.fields[i] for output in outputs]
+                for i in range(5)
+            ]
+        elif first is AggregationResult:
+            value_kind = _VK_AGG
+            values = [output.value.value for output in outputs]
+            if any(type(value) is not int for value in values):
+                return None
+            columns = [
+                [output.value.key for output in outputs],
+                [output.value.window.start for output in outputs],
+                [output.value.window.end for output in outputs],
+                values,
+            ]
+        elif first is JoinedTuple:
+            value_kind = _VK_JOINED
+            arity = len(outputs[0].value.parts)
+            if arity == 0 or arity > 255:
+                return None
+            if any(len(output.value.parts) != arity for output in outputs):
+                return None
+            if any(
+                type(part) is not DataTuple
+                for output in outputs
+                for part in output.value.parts
+            ):
+                return None
+            columns = [
+                [output.value.key for output in outputs],
+                [output.value.timestamp for output in outputs],
+            ]
+            for p in range(arity):
+                columns.append(
+                    [output.value.parts[p].key for output in outputs]
+                )
+                columns += [
+                    [output.value.parts[p].fields[i] for output in outputs]
+                    for i in range(5)
+                ]
+        else:
+            return None
+    payload = b"".join(
+        [
+            struct.pack(">BH", _BIN_RESULT, len(qid)),
+            qid,
+            _U32.pack(dropped),
+            struct.pack(">BB", value_kind, arity),
+            _U32.pack(n),
+            _pack_i64(ts),
+        ]
+        + [_pack_i64(col) for col in columns]
+    )
+    return _frame_bytes(payload)
+
+
+def _read_i64_column(view: memoryview, offset: int, count: int):
+    """One int64 column from ``view`` — zero-copy on little-endian hosts."""
+    end = offset + 8 * count
+    if end > len(view):
+        raise ProtocolError("bad_binary", "binary frame truncated mid-column")
+    column = view[offset:end]
+    if _LITTLE_ENDIAN_HOST:
+        return column.cast("q"), end
+    return struct.unpack(f"<{count}q", column), end
+
+
+def _read_name(view: memoryview, offset: int) -> Tuple[str, int]:
+    if offset + 2 > len(view):
+        raise ProtocolError("bad_binary", "binary frame truncated in header")
+    (length,) = _U16.unpack_from(view, offset)
+    offset += 2
+    if offset + length > len(view):
+        raise ProtocolError("bad_binary", "binary frame truncated in name")
+    try:
+        name = bytes(view[offset : offset + length]).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(
+            "bad_binary", f"undecodable name in binary frame: {error}"
+        ) from None
+    return name, offset + length
+
+
+def _read_u32(view: memoryview, offset: int) -> Tuple[int, int]:
+    if offset + 4 > len(view):
+        raise ProtocolError("bad_binary", "binary frame truncated in header")
+    (value,) = _U32.unpack_from(view, offset)
+    return value, offset + 4
+
+
+def decode_binary_payload(payload: bytes) -> Dict[str, Any]:
+    """Decode one binary payload into its frame-dict equivalent.
+
+    The returned frame carries already-decoded payload objects — a
+    *columnar* :class:`~repro.minispe.record.RecordBatch` under
+    ``batch`` for ``push`` (columns aliasing the frame buffer, fed
+    straight to :meth:`AStreamEngine.push_batch`; row objects
+    materialise lazily, and columnar-aware operators may never build
+    them), :class:`~repro.core.router.QueryOutput` objects for
+    ``result`` — and is marked ``_decoded`` so handlers skip the JSON
+    payload codec.
+    """
+    view = memoryview(payload)
+    if len(view) < 1:
+        raise ProtocolError("bad_binary", "empty binary frame")
+    kind = view[0]
+    if kind == _BIN_PUSH:
+        return _decode_push_binary(view)
+    if kind == _BIN_RESULT:
+        return _decode_result_binary(view)
+    raise ProtocolError("bad_binary", f"unknown binary frame kind {kind}")
+
+
+_DATA_TUPLE_BUILDER = None
+"""Lazily-built ``(key, fields) -> DataTuple`` row materialiser shared
+by every decoded columnar batch (closure over the workload type)."""
+
+
+def _tuple_builder():
+    from repro.workloads.datagen import DataTuple
+
+    new = object.__new__
+    set_attr = object.__setattr__
+
+    def build(key, fields):
+        # The wire layout already guarantees the arity that the frozen
+        # dataclass __post_init__ would re-check, so construction
+        # bypasses __init__ entirely (it is the decode hot path's
+        # dominant cost otherwise).
+        value = new(DataTuple)
+        set_attr(value, "key", key)
+        set_attr(value, "fields", fields)
+        return value
+
+    return build
+
+
+def _decode_push_binary(view: memoryview) -> Dict[str, Any]:
+    from repro.minispe.record import RecordBatch
+
+    global _DATA_TUPLE_BUILDER
+
+    stream, offset = _read_name(view, 1)
+    count, offset = _read_u32(view, offset)
+    if len(view) != offset + 7 * 8 * count:
+        raise ProtocolError(
+            "bad_binary",
+            f"push frame length {len(view)} does not match "
+            f"{count} declared events",
+        )
+    ts, offset = _read_i64_column(view, offset, count)
+    keys, offset = _read_i64_column(view, offset, count)
+    fields = []
+    for _ in range(5):
+        column, offset = _read_i64_column(view, offset, count)
+        fields.append(column)
+    builder = _DATA_TUPLE_BUILDER
+    if builder is None:
+        builder = _DATA_TUPLE_BUILDER = _tuple_builder()
+    # Zero-copy hand-off: the columns alias the frame buffer and ride
+    # into the engine as a columnar RecordBatch — rows materialise only
+    # where an operator actually needs them as objects.
+    batch = RecordBatch.from_columns(ts, keys, fields, builder)
+    return {"t": "push", "stream": stream, "batch": batch,
+            "_decoded": True}
+
+
+def _decode_result_binary(view: memoryview) -> Dict[str, Any]:
+    from repro.core.router import QueryOutput
+    from repro.core.shared_aggregation import AggregationResult
+    from repro.core.shared_join import JoinedTuple
+    from repro.minispe.windows import Window
+    from repro.workloads.datagen import DataTuple
+
+    query_id, offset = _read_name(view, 1)
+    dropped, offset = _read_u32(view, offset)
+    if offset + 2 > len(view):
+        raise ProtocolError("bad_binary", "binary frame truncated in header")
+    value_kind = view[offset]
+    arity = view[offset + 1]
+    offset += 2
+    count, offset = _read_u32(view, offset)
+    if value_kind == _VK_TUPLE:
+        column_count = 7
+    elif value_kind == _VK_AGG:
+        column_count = 5
+    elif value_kind == _VK_JOINED:
+        column_count = 3 + 6 * arity
+    else:
+        raise ProtocolError(
+            "bad_binary", f"unknown result value kind {value_kind}"
+        )
+    if len(view) != offset + column_count * 8 * count:
+        raise ProtocolError(
+            "bad_binary",
+            f"result frame length {len(view)} does not match "
+            f"{count} declared outputs",
+        )
+    ts, offset = _read_i64_column(view, offset, count)
+    outputs: List[Any] = []
+    if value_kind == _VK_TUPLE:
+        keys, offset = _read_i64_column(view, offset, count)
+        fields = []
+        for _ in range(5):
+            column, offset = _read_i64_column(view, offset, count)
+            fields.append(column)
+        f0, f1, f2, f3, f4 = fields
+        outputs = [
+            QueryOutput(
+                timestamp=ts[i],
+                value=DataTuple(
+                    key=keys[i],
+                    fields=(f0[i], f1[i], f2[i], f3[i], f4[i]),
+                ),
+            )
+            for i in range(count)
+        ]
+    elif value_kind == _VK_AGG:
+        keys, offset = _read_i64_column(view, offset, count)
+        starts, offset = _read_i64_column(view, offset, count)
+        ends, offset = _read_i64_column(view, offset, count)
+        values, offset = _read_i64_column(view, offset, count)
+        outputs = [
+            QueryOutput(
+                timestamp=ts[i],
+                value=AggregationResult(
+                    key=keys[i],
+                    window=Window(starts[i], ends[i]),
+                    value=values[i],
+                ),
+            )
+            for i in range(count)
+        ]
+    else:
+        keys, offset = _read_i64_column(view, offset, count)
+        join_ts, offset = _read_i64_column(view, offset, count)
+        part_columns = []
+        for _ in range(arity):
+            pkey, offset = _read_i64_column(view, offset, count)
+            pfields = []
+            for _ in range(5):
+                column, offset = _read_i64_column(view, offset, count)
+                pfields.append(column)
+            part_columns.append((pkey, pfields))
+        outputs = [
+            QueryOutput(
+                timestamp=ts[i],
+                value=JoinedTuple(
+                    key=keys[i],
+                    parts=tuple(
+                        DataTuple(
+                            key=pkey[i],
+                            fields=(pf[0][i], pf[1][i], pf[2][i],
+                                    pf[3][i], pf[4][i]),
+                        )
+                        for pkey, pf in part_columns
+                    ),
+                    timestamp=join_ts[i],
+                ),
+            )
+            for i in range(count)
+        ]
+    return {
+        "t": "result",
+        "query_id": query_id,
+        "outputs": outputs,
+        "dropped": dropped,
+        "_decoded": True,
+    }

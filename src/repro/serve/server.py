@@ -62,15 +62,20 @@ from repro.core.serde import SerdeError, output_to_dict, query_from_dict
 from repro.core.sql import SqlError, parse_query
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 from repro.minispe.parallel import ShardWorkerError
+from repro.minispe.record import RecordBatch
 from repro.obs import MetricsRegistry, render_prometheus
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.gate import EngineGate
 from repro.serve.httpmetrics import MetricsHttpServer
 from repro.serve.protocol import (
+    CODEC_BINARY,
     PROTOCOL_VERSION,
+    SUPPORTED_CODECS,
     ProtocolError,
     decode_events,
+    encode_result_binary,
     error_frame,
+    negotiate_codec,
     read_frame,
     write_frame,
 )
@@ -159,11 +164,20 @@ class ServeConfig:
     placement_groups: int = 1
     """Shard groups for admission-time placement (affinity co-location
     + expensive-query isolation); 1 keeps everything co-located."""
+    codecs: Tuple[str, ...] = SUPPORTED_CODECS
+    """Wire codecs this server negotiates, in preference-filter order;
+    ``("json",)`` pins every session to JSON (the old-server shape the
+    client fallback tests simulate)."""
     engine_overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.backend not in ("inline", "process"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        for codec in self.codecs:
+            if codec not in SUPPORTED_CODECS:
+                raise ValueError(f"unknown codec {codec!r}")
+        if "json" not in self.codecs:
+            raise ValueError("the json codec cannot be disabled")
         if self.clock not in ("wall", "manual"):
             raise ValueError(f"unknown clock mode {self.clock!r}")
         if self.autoscale and self.backend != "process":
@@ -484,8 +498,16 @@ class AStreamServer:
         """Re-ingest parked pushes FIFO; stop at the first failure."""
         while self.dead_letters:
             stream, events = self.dead_letters[0]
+            # Binary pushes park as columnar RecordBatches, JSON pushes
+            # as (timestamp, value) pairs — re-ingest each through the
+            # seam it arrived on.
+            ingest = (
+                self.engine.push_batch
+                if isinstance(events, RecordBatch)
+                else self.engine.push_many
+            )
             try:
-                self.gate.call(self.engine.push_many, stream, events)
+                self.gate.call(ingest, stream, events)
             except ShardWorkerError:
                 return
             self.dead_letters.popleft()
@@ -609,6 +631,9 @@ class AStreamServer:
         session = self.sessions.attach(
             client_id, credits=self.config.ingest_credits
         )
+        session.codec = negotiate_codec(
+            frame.get("codecs"), self.config.codecs
+        )
         self._writers[client_id] = writer
         write_frame(
             writer,
@@ -616,6 +641,7 @@ class AStreamServer:
                 "t": "hello_ack",
                 "session_id": session.session_id,
                 "credits": session.credits,
+                "codec": session.codec,
                 "server": {
                     "protocol": PROTOCOL_VERSION,
                     "backend": self.config.backend,
@@ -646,6 +672,42 @@ class AStreamServer:
             return False
         self.registry.counter("serve_frames_out").inc()
         return True
+
+    async def _send_result(
+        self,
+        session: SessionState,
+        query_id: str,
+        outputs: List[Any],
+        dropped: int,
+    ) -> bool:
+        """Ship one ``result`` frame in the session's negotiated codec.
+
+        Binary sessions get the columnar encoding when the batch fits it
+        (homogeneous int64-sized values); anything else falls back to a
+        JSON frame, which every client accepts regardless of codec.
+        """
+        if session.codec == CODEC_BINARY:
+            data = encode_result_binary(query_id, outputs, dropped)
+            if data is not None:
+                writer = self._writers.get(session.client_id)
+                if writer is None or writer.is_closing():
+                    return False
+                try:
+                    writer.write(data)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return False
+                self.registry.counter("serve_frames_out").inc()
+                return True
+        return await self._send_to(
+            session,
+            {
+                "t": "result",
+                "query_id": query_id,
+                "outputs": [output_to_dict(output) for output in outputs],
+                "dropped": dropped,
+            },
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -831,15 +893,22 @@ class AStreamServer:
         stream = frame["stream"]
         if stream not in self.config.streams:
             raise ProtocolError("unknown_stream", f"unknown stream {stream!r}")
-        events = decode_events(frame["events"])
+        # Binary push frames arrive as columnar RecordBatches (columns
+        # aliasing the frame buffer, rows unbuilt); JSON frames still
+        # need the row codec and the pair-to-record rebuild in
+        # push_many.
+        if frame.get("_decoded"):
+            events = frame["batch"]
+            ingest = self.engine.push_batch
+        else:
+            events = decode_events(frame["events"])
+            ingest = self.engine.push_many
         session.credits -= 1
         dead_lettered = 0
         try:
             try:
                 accepted = (
-                    self.gate.call(self.engine.push_many, stream, events)
-                    if events
-                    else 0
+                    self.gate.call(ingest, stream, events) if events else 0
                 )
             except ShardWorkerError:
                 if not self.config.dead_letter_limit:
@@ -941,14 +1010,6 @@ class AStreamServer:
             for subscription in list(session.subscriptions.values()):
                 while subscription.pending:
                     batch, dropped = subscription.take(limit)
-                    frame = {
-                        "t": "result",
-                        "query_id": subscription.query_id,
-                        "outputs": [
-                            output_to_dict(output) for output in batch
-                        ],
-                        "dropped": dropped,
-                    }
                     if dropped:
                         self.registry.counter("serve_results_shed").inc(
                             dropped
@@ -956,7 +1017,9 @@ class AStreamServer:
                     self.registry.counter("serve_results_streamed").inc(
                         len(batch)
                     )
-                    if not await self._send_to(session, frame):
+                    if not await self._send_result(
+                        session, subscription.query_id, batch, dropped
+                    ):
                         break
                     if not force:
                         break  # one frame per sub per tick keeps ticks short

@@ -43,6 +43,9 @@ class SessionState:
     """query_id → live :class:`~repro.serve.subscriptions.Subscription`."""
     credits: int = DEFAULT_INGEST_CREDITS
     connected: bool = True
+    codec: str = "json"
+    """Wire codec negotiated at the last handshake (``json``/``binary``);
+    governs how ``result`` frames are encoded for this session."""
     frames_in: int = 0
     tuples_in: int = 0
 

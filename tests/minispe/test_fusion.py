@@ -1,0 +1,477 @@
+"""Tests for operator-chain fusion (ISSUE 7).
+
+Covers the graph rewrite (:func:`fuse_chains` boundaries), the compiled
+closure's record-for-record equivalence with the unfused chain —
+including a Hypothesis property over random stateless chains — plus the
+transparency guarantees: sub-operator trace spans, checkpoint/recovery,
+and fault-injected (chaos) kill/recover over a fused graph.
+"""
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minispe.checkpoint import CheckpointCoordinator
+from repro.minispe.fuse import FusedOperator, fuse_chains
+from repro.minispe.graph import JobGraph, Partitioning
+from repro.minispe.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyByOperator,
+    MapOperator,
+    Operator,
+)
+from repro.minispe.record import Record, RecordBatch, Watermark
+from repro.minispe.runtime import JobRuntime
+from repro.minispe.sinks import CollectSink
+from repro.minispe.window_operators import WindowedAggregateOperator
+from repro.minispe.windows import TumblingWindows
+from repro.obs import Observability
+from repro.obs.tracing import TraceCollector
+
+
+def _chain_graph(sink_holder: List[CollectSink], fused: bool) -> JobGraph:
+    def make_sink():
+        sink = CollectSink()
+        sink_holder.append(sink)
+        return sink
+
+    graph = (
+        JobGraph("fusion_test")
+        .add_source("src")
+        .add_operator("map1", lambda: MapOperator(lambda v: v + 1, "map1"), fusible=True)
+        .add_operator(
+            "filter1",
+            lambda: FilterOperator(lambda v: v % 2 == 0, "filter1"),
+            fusible=True,
+        )
+        .add_operator(
+            "key_by", lambda: KeyByOperator(lambda v: v % 3, "key_by"), fusible=True
+        )
+        .add_operator("sink", make_sink)
+        .connect("src", "map1")
+        .connect("map1", "filter1")
+        .connect("filter1", "key_by")
+        .connect("key_by", "sink", Partitioning.HASH)
+    )
+    return fuse_chains(graph) if fused else graph
+
+
+class TestFuseChainsRewrite:
+    def test_chain_collapses_to_one_vertex(self):
+        graph = _chain_graph([], fused=True)
+        assert "fused[map1+filter1+key_by]" in graph.vertices
+        assert "map1" not in graph.vertices
+        edges = {(e.source, e.target) for e in graph.edges}
+        assert ("src", "fused[map1+filter1+key_by]") in edges
+        assert ("fused[map1+filter1+key_by]", "sink") in edges
+        assert len(graph.vertices) == 3
+
+    def test_input_graph_not_modified(self):
+        sinks: List[CollectSink] = []
+        graph = _chain_graph(sinks, fused=False)
+        before = (dict(graph.vertices), list(graph.edges))
+        fuse_chains(graph)
+        assert (graph.vertices, graph.edges) == before
+
+    def test_non_fusible_vertex_breaks_chain(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("m1", lambda: MapOperator(lambda v: v), fusible=True)
+            .add_operator("stateful", lambda: MapOperator(lambda v: v))
+            .add_operator("m2", lambda: MapOperator(lambda v: v), fusible=True)
+            .add_operator("m3", lambda: MapOperator(lambda v: v), fusible=True)
+            .connect("src", "m1")
+            .connect("m1", "stateful")
+            .connect("stateful", "m2")
+            .connect("m2", "m3")
+        )
+        fused = fuse_chains(graph)
+        # m1 alone cannot fuse; m2+m3 can.
+        assert "m1" in fused.vertices
+        assert "stateful" in fused.vertices
+        assert "fused[m2+m3]" in fused.vertices
+
+    def test_hash_edge_breaks_chain(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("m1", lambda: MapOperator(lambda v: v), fusible=True)
+            .add_operator("m2", lambda: MapOperator(lambda v: v), fusible=True)
+            .connect("src", "m1")
+            .connect("m1", "m2", Partitioning.HASH)
+        )
+        fused = fuse_chains(graph)
+        assert set(fused.vertices) == {"src", "m1", "m2"}
+
+    def test_fanout_breaks_chain(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("m1", lambda: MapOperator(lambda v: v), fusible=True)
+            .add_operator("m2", lambda: MapOperator(lambda v: v), fusible=True)
+            .add_operator("m3", lambda: MapOperator(lambda v: v), fusible=True)
+            .connect("src", "m1")
+            .connect("m1", "m2")
+            .connect("m1", "m3")
+        )
+        fused = fuse_chains(graph)
+        assert set(fused.vertices) == {"src", "m1", "m2", "m3"}
+
+    def test_parallelism_mismatch_breaks_chain(self):
+        graph = (
+            JobGraph()
+            .add_source("src")
+            .add_operator("m1", lambda: MapOperator(lambda v: v), 1, fusible=True)
+            .add_operator("m2", lambda: MapOperator(lambda v: v), 2, fusible=True)
+            .connect("src", "m1")
+            .connect("m1", "m2", Partitioning.REBALANCE)
+        )
+        fused = fuse_chains(graph)
+        assert set(fused.vertices) == {"src", "m1", "m2"}
+
+
+class TestFusedEquivalence:
+    def _run(self, fused: bool, elements) -> List[Record]:
+        sinks: List[CollectSink] = []
+        runtime = JobRuntime(_chain_graph(sinks, fused))
+        for element in elements:
+            runtime.push("src", element)
+        runtime.push("src", Watermark(10_000))
+        return [r for sink in sinks for r in sink.collected]
+
+    def test_per_record_equivalence(self):
+        records = [Record(i, i, i % 5) for i in range(50)]
+        assert self._run(False, records) == self._run(True, records)
+
+    def test_batched_equivalence(self):
+        batches = [
+            RecordBatch([Record(b * 10 + i, b * 10 + i, i) for i in range(8)])
+            for b in range(6)
+        ]
+        unfused = self._run(False, batches)
+        fused = self._run(True, batches)
+        assert unfused == fused
+        # keys are re-keyed by the chain's key_by in both modes
+        assert all(r.key == r.value % 3 for r in fused)
+
+    def test_flat_map_fans_out_in_chain(self):
+        def graph(fused):
+            sinks: List[CollectSink] = []
+
+            def make_sink():
+                sink = CollectSink()
+                sinks.append(sink)
+                return sink
+
+            g = (
+                JobGraph()
+                .add_source("src")
+                .add_operator(
+                    "fm",
+                    lambda: FlatMapOperator(lambda v: [v, -v], "fm"),
+                    fusible=True,
+                )
+                .add_operator(
+                    "f", lambda: FilterOperator(lambda v: v > 0, "f"), fusible=True
+                )
+                .add_operator("sink", make_sink)
+                .connect("src", "fm")
+                .connect("fm", "f")
+                .connect("f", "sink")
+            )
+            return (fuse_chains(g) if fused else g), sinks
+
+        outs = []
+        for fused in (False, True):
+            g, sinks = graph(fused)
+            runtime = JobRuntime(g)
+            runtime.push("src", RecordBatch([Record(i, i + 1) for i in range(10)]))
+            outs.append([r for sink in sinks for r in sink.collected])
+        assert outs[0] == outs[1]
+        assert len(outs[0]) == 10  # negatives filtered
+
+    OP_SPECS = st.lists(
+        st.sampled_from(["inc", "double", "mod_filter", "pos_filter", "fan", "rekey"]),
+        min_size=1,
+        max_size=5,
+    )
+
+    @staticmethod
+    def _op_for(spec: str, index: int) -> Operator:
+        name = f"{spec}{index}"
+        if spec == "inc":
+            return MapOperator(lambda v: v + 1, name)
+        if spec == "double":
+            return MapOperator(lambda v: v * 2, name)
+        if spec == "mod_filter":
+            return FilterOperator(lambda v: v % 3 != 0, name)
+        if spec == "pos_filter":
+            return FilterOperator(lambda v: v > 0, name)
+        if spec == "fan":
+            return FlatMapOperator(lambda v: [v, v + 10], name)
+        return KeyByOperator(lambda v: v % 4, name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        specs=OP_SPECS,
+        values=st.lists(st.integers(-50, 50), min_size=0, max_size=30),
+    )
+    def test_property_fused_equals_unfused(self, specs, values):
+        """Any stateless chain produces identical output fused or not."""
+        results = []
+        for fused in (False, True):
+            sinks: List[CollectSink] = []
+
+            def make_sink():
+                sink = CollectSink()
+                sinks.append(sink)
+                return sink
+
+            graph = JobGraph().add_source("src")
+            previous = "src"
+            for index, spec in enumerate(specs):
+                name = f"op{index}"
+                graph.add_operator(
+                    name,
+                    lambda spec=spec, index=index: self._op_for(spec, index),
+                    fusible=True,
+                )
+                graph.connect(previous, name)
+                previous = name
+            graph.add_operator("sink", make_sink)
+            graph.connect(previous, "sink")
+            if fused:
+                graph = fuse_chains(graph)
+                if len(specs) > 1:
+                    assert any(name.startswith("fused[") for name in graph.vertices)
+            runtime = JobRuntime(graph)
+            runtime.push(
+                "src",
+                RecordBatch([Record(i, v, i % 2) for i, v in enumerate(values)]),
+            )
+            results.append([r for sink in sinks for r in sink.collected])
+        assert results[0] == results[1]
+        for unfused_record, fused_record in zip(results[0], results[1]):
+            assert unfused_record.key == fused_record.key
+            assert unfused_record.tags == fused_record.tags
+
+
+class TestFusedOperatorUnit:
+    def test_name_and_compiled(self):
+        op = FusedOperator([MapOperator(lambda v: v, "a"), MapOperator(lambda v: v, "b")])
+        assert op.name == "fused[a+b]"
+        assert not op.fusible  # no re-fusion
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            FusedOperator([])
+
+    def test_stagewise_fallback_without_fuse_step(self):
+        class PlainDouble(Operator):
+            def process(self, record):
+                self.output(Record(record.timestamp, record.value * 2, record.key))
+
+        op = FusedOperator([MapOperator(lambda v: v + 1, "m"), PlainDouble("d")])
+        out: List[Record] = []
+        op.set_collector(
+            lambda e: out.extend(e.records) if isinstance(e, RecordBatch) else out.append(e)
+        )
+        op.process_batch([Record(0, 1), Record(1, 2)])
+        assert [r.value for r in out] == [4, 6]
+
+    def test_traced_batch_reports_sub_operator_spans(self):
+        op = FusedOperator(
+            [
+                MapOperator(lambda v: v + 1, "map1"),
+                FilterOperator(lambda v: v % 2 == 0, "filter1"),
+            ]
+        )
+        out: List[Record] = []
+        op.set_collector(
+            lambda e: out.extend(e.records) if isinstance(e, RecordBatch) else out.append(e)
+        )
+        tracer = TraceCollector(sample_every=1)
+        assert tracer.maybe_start()
+        op.process_batch_traced([Record(i, i) for i in range(10)], tracer)
+        tracer.finish()
+        stages = tracer.breakdown()["stages"]
+        assert "map1" in stages and "filter1" in stages
+        assert [r.value for r in out] == [2, 4, 6, 8, 10]
+
+    def test_runtime_trace_breaks_down_fused_stage(self):
+        """End to end: a sampled push through a fused graph attributes
+        spans to the sub-operators, not one opaque fused stage."""
+        obs = Observability(sample_every=1)
+        sinks: List[CollectSink] = []
+        runtime = JobRuntime(_chain_graph(sinks, fused=True), obs=obs)
+        for i in range(8):
+            runtime.push("src", Record(i, i))
+        runtime.push("src", RecordBatch([Record(10 + i, i) for i in range(8)]))
+        stages = obs.tracer.breakdown()["stages"]
+        assert {"map1", "filter1", "key_by"} <= set(stages)
+
+    def test_snapshot_round_trip(self):
+        class Counting(Operator):
+            fusible = True
+
+            def __init__(self):
+                super().__init__("counting")
+                self.count = 0
+
+            def fuse_step(self, downstream):
+                def step(timestamp, value, key, tags):
+                    self.count += 1
+                    downstream(timestamp, value, key, tags)
+
+                return step
+
+            def snapshot(self):
+                return self.count
+
+            def restore(self, snapshot):
+                self.count = snapshot or 0
+
+        op = FusedOperator([MapOperator(lambda v: v, "m"), Counting()])
+        op.set_collector(lambda e: None)
+        op.process_batch([Record(0, 0), Record(1, 1)])
+        state = op.snapshot()
+        assert state["1:counting"] == 2
+        restored = FusedOperator([MapOperator(lambda v: v, "m"), Counting()])
+        restored.restore(state)
+        assert restored.operators[1].count == 2
+
+    def test_stateless_chain_snapshot_is_none(self):
+        op = FusedOperator([MapOperator(lambda v: v, "m")])
+        assert op.snapshot() is None
+
+
+def _stateful_fused_job(sink_holder: List[CollectSink]):
+    """Fused stateless chain feeding a keyed windowed aggregate."""
+
+    def make_agg():
+        return WindowedAggregateOperator(
+            TumblingWindows(1_000),
+            init=lambda: 0,
+            add=lambda acc, value: acc + value,
+            merge=lambda a, b: a + b,
+        )
+
+    def make_sink():
+        sink = CollectSink()
+        sink_holder.append(sink)
+        return sink
+
+    def build():
+        graph = (
+            JobGraph("fused_chaos")
+            .add_source("src")
+            .add_operator(
+                "map1", lambda: MapOperator(lambda v: v + 1, "map1"), fusible=True
+            )
+            .add_operator(
+                "filter1",
+                lambda: FilterOperator(lambda v: v % 7 != 0, "filter1"),
+                fusible=True,
+            )
+            .add_operator(
+                "key_by",
+                lambda: KeyByOperator(lambda v: v % 2, "key_by"),
+                fusible=True,
+            )
+            .add_operator("agg", make_agg, parallelism=2)
+            .add_operator("sink", make_sink)
+            .connect("src", "map1")
+            .connect("map1", "filter1")
+            .connect("filter1", "key_by")
+            .connect("key_by", "agg", Partitioning.HASH)
+            .connect("agg", "sink", Partitioning.REBALANCE)
+        )
+        return JobRuntime(fuse_chains(graph))
+
+    return build
+
+
+class TestFusedChaos:
+    def test_checkpoint_recovery_through_fused_chain(self):
+        """Kill after a checkpoint mid-window; recovery must produce the
+        same window results as an uninterrupted run."""
+        baseline_sinks: List[CollectSink] = []
+        build = _stateful_fused_job(baseline_sinks)
+        baseline = build()
+        for i in range(40):
+            baseline.push("src", Record(i * 50, i, i % 2))
+        baseline.push("src", Watermark(10_000))
+        expected = sorted(
+            (r.timestamp, r.key, r.value)
+            for sink in baseline_sinks
+            for r in sink.collected
+        )
+
+        sinks: List[CollectSink] = []
+        build = _stateful_fused_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        for i in range(25):
+            coordinator.push("src", Record(i * 50, i, i % 2))
+        coordinator.trigger_checkpoint()
+        for i in range(25, 40):
+            coordinator.push("src", Record(i * 50, i, i % 2))
+        # "kill": throw away the live runtime, restore + replay
+        sinks.clear()
+        recovered = coordinator.recover()
+        recovered.push("src", Watermark(10_000))
+        actual = sorted(
+            (r.timestamp, r.key, r.value)
+            for sink in sinks
+            for r in sink.collected
+        )
+        assert actual == expected
+
+    def test_injected_fault_mid_batch_then_recover(self):
+        """A deliver-hook fault inside the fused stage (seeded chaos)
+        aborts the push; recovery replays to the exact same output."""
+        sinks: List[CollectSink] = []
+        build = _stateful_fused_job(sinks)
+        coordinator = CheckpointCoordinator(build(), runtime_factory=build)
+        for i in range(10):
+            coordinator.push("src", Record(i * 50, i, i % 2))
+        coordinator.trigger_checkpoint()
+
+        failures = {"remaining": 1}
+
+        def deliver_hook(vertex, index, record):
+            if "fused[" in vertex and record.value == 14 and failures["remaining"]:
+                failures["remaining"] -= 1
+                raise RuntimeError("injected fused-stage fault")
+
+        coordinator.runtime.set_fault_hooks(deliver_hook=deliver_hook)
+        with pytest.raises(RuntimeError, match="injected fused-stage fault"):
+            coordinator.push(
+                "src", RecordBatch([Record(500 + i, 12 + i, i % 2) for i in range(6)])
+            )
+        sinks.clear()
+        recovered = coordinator.recover()
+        recovered.push("src", Watermark(10_000))
+        recovered_out = sorted(
+            (r.timestamp, r.key, r.value)
+            for sink in sinks
+            for r in sink.collected
+        )
+
+        # The uninterrupted reference run over the same logged inputs.
+        ref_sinks: List[CollectSink] = []
+        ref = _stateful_fused_job(ref_sinks)()
+        for i in range(10):
+            ref.push("src", Record(i * 50, i, i % 2))
+        ref.push(
+            "src", RecordBatch([Record(500 + i, 12 + i, i % 2) for i in range(6)])
+        )
+        ref.push("src", Watermark(10_000))
+        expected = sorted(
+            (r.timestamp, r.key, r.value)
+            for sink in ref_sinks
+            for r in sink.collected
+        )
+        assert recovered_out == expected

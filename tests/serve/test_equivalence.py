@@ -92,10 +92,15 @@ def run_in_process(schedule):
     return _canonical(fetched)
 
 
-def run_over_wire(schedule, make_server, backend, workers=2, subscribe=False):
+def run_over_wire(
+    schedule, make_server, backend, workers=2, subscribe=False, codec="binary"
+):
     """The same schedule through the client SDK against a live server."""
     handle = make_server(backend=backend, workers=workers)
-    client = ServeClient("127.0.0.1", handle.port, client_id="equiv")
+    client = ServeClient(
+        "127.0.0.1", handle.port, client_id="equiv", codec=codec
+    )
+    assert client.codec == codec
     requests = _steps(schedule)
     query_ids = []
     streamed = {}
@@ -149,22 +154,26 @@ def run_over_wire(schedule, make_server, backend, workers=2, subscribe=False):
 
 
 class TestWireEquivalence:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
     @pytest.mark.parametrize(
         "schedule", [SC1, SC2], ids=["sc1-join", "sc2-agg"]
     )
-    def test_inline_backend_byte_equal(self, make_server, schedule):
+    def test_inline_backend_byte_equal(self, make_server, schedule, codec):
         reference = run_in_process(schedule)
         assert reference and any(reference.values())
-        over_wire, _ = run_over_wire(schedule, make_server, backend="inline")
+        over_wire, _ = run_over_wire(
+            schedule, make_server, backend="inline", codec=codec
+        )
         assert over_wire == reference
 
+    @pytest.mark.parametrize("codec", ["json", "binary"])
     @pytest.mark.parametrize(
         "schedule", [SC1, SC2], ids=["sc1-join", "sc2-agg"]
     )
-    def test_process_backend_byte_equal(self, make_server, schedule):
+    def test_process_backend_byte_equal(self, make_server, schedule, codec):
         reference = run_in_process(schedule)
         over_wire, _ = run_over_wire(
-            schedule, make_server, backend="process", workers=2
+            schedule, make_server, backend="process", workers=2, codec=codec
         )
         assert over_wire == reference
 
