@@ -33,6 +33,16 @@ with an *absolute* floor of 0.5 on top of the baseline gate.
 map→filter→map→key_by chain in ``bench_micro_minispe.py`` must move
 records at least 1.3x faster than the same chain unfused.
 
+``--sharing`` gates the semantic-overlap optimizer (ISSUE 8): on the
+500-query ~30%-pairwise-overlap workload of
+``bench_ablation_predicate_dedup.py``, service TPS with
+``share_overlapping`` on must be at least ``SHARING_RATIO_FLOOR``
+(1.3x) the TPS with it off — an absolute, machine-independent floor —
+and the measured ratio is additionally gated against its committed
+baseline (``benchmarks/baselines/sharing_baseline.csv``) with the
+standard tolerance.  The bench itself raises if the sharing-on run's
+outputs differ from sharing-off (the rewrite must be exact).
+
 ``--observe-overhead`` gates the telemetry subsystem (ISSUE 4) instead:
 the same SC1 workload is run in interleaved pairs with ``observe`` off
 and on, and the median on/off service-throughput ratio must stay at or
@@ -63,6 +73,7 @@ from repro.harness.runner import RunnerConfig, run_scenario
 BASELINE_PATH = Path(__file__).parent / "baselines" / "perf_baseline.csv"
 SERVE_BASELINE_PATH = Path(__file__).parent / "baselines" / "serve_baseline.csv"
 RESIZE_BASELINE_PATH = Path(__file__).parent / "baselines" / "resize_baseline.csv"
+SHARING_BASELINE_PATH = Path(__file__).parent / "baselines" / "sharing_baseline.csv"
 TOLERANCE = 0.20
 RESIZE_TOLERANCE = 1.00
 """Migration pauses may grow at most this fraction over baseline."""
@@ -83,6 +94,10 @@ OBSERVE_FLOOR = 0.90
 FUSED_SPEEDUP_FLOOR = 1.3
 """Absolute floor on fused / unfused stateless-chain throughput (the
 ISSUE 7 fusion bar)."""
+SHARING_GATED_METRICS = ("sharing_tps_ratio_500q_overlap",)
+SHARING_RATIO_FLOOR = 1.3
+"""Absolute floor on sharing-on / sharing-off service TPS on the
+500-query ~30%-overlap workload (the ISSUE 8 bar)."""
 
 
 def _service_tps(batch_size: int, observe: bool = False) -> float:
@@ -182,6 +197,17 @@ def measure_fused() -> dict:
     except ImportError:  # imported as a package (pytest, tooling)
         from benchmarks.bench_micro_minispe import measure_fused_speedup
     return measure_fused_speedup()
+
+
+def measure_sharing() -> dict:
+    """The semantic-overlap optimizer gate metrics (ISSUE 8)."""
+    try:
+        from bench_ablation_predicate_dedup import measure_sharing_metrics
+    except ImportError:  # imported as a package (pytest, tooling)
+        from benchmarks.bench_ablation_predicate_dedup import (
+            measure_sharing_metrics,
+        )
+    return measure_sharing_metrics()
 
 
 def load_baseline(path: Path = BASELINE_PATH) -> dict:
@@ -285,7 +311,47 @@ def main(argv=None) -> int:
                         help="gate operator-chain fusion: the fused "
                              "stateless chain must move records at "
                              "least 1.3x faster than the unfused one")
+    parser.add_argument("--sharing", action="store_true",
+                        help="gate the semantic-overlap optimizer: "
+                             "sharing-on service TPS must be at least "
+                             "1.3x sharing-off on the 500-query "
+                             "~30%%-overlap workload, and within "
+                             "tolerance of its committed baseline")
     args = parser.parse_args(argv)
+
+    if args.sharing:
+        measured = measure_sharing()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        ratio = measured["sharing_tps_ratio_500q_overlap"]
+        if ratio < SHARING_RATIO_FLOOR:
+            print(
+                f"REGRESSION: sharing-on service TPS is only "
+                f"{ratio:.3f}x sharing-off "
+                f"(absolute floor {SHARING_RATIO_FLOOR:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.update:
+            write_baseline(measured, SHARING_BASELINE_PATH)
+            print(f"sharing baseline updated: {SHARING_BASELINE_PATH}")
+            return 0
+        baseline = load_baseline(SHARING_BASELINE_PATH)
+        failures = check(measured, baseline, gated=SHARING_GATED_METRICS)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(
+                "sharing gate OK ("
+                + ", ".join(
+                    f"{metric} {measured[metric]:.3f} vs baseline "
+                    f"{baseline[metric]:.3f}"
+                    for metric in SHARING_GATED_METRICS
+                )
+                + f"; overlap fraction "
+                f"{measured['sharing_overlap_fraction']:.2f})"
+            )
+        return 1 if failures else 0
 
     if args.fused:
         measured = measure_fused()

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.engine import AStreamEngine
+from repro.core.planner import sharing_affinity_key
 from repro.core.qos import QoSMonitor
 from repro.core.query import Query
 
@@ -123,9 +124,17 @@ class QueryPlacer:
         )
 
     def place(self, query: Query) -> Placement:
-        """Pick the group for one admitted query and record it."""
-        stages = query.stages()
-        affinity_key = stages[-1].operator if stages else "sink"
+        """Pick the group for one admitted query and record it.
+
+        The affinity key comes from the semantic-overlap planner: the
+        final plan stage plus the anchor fields of the query's
+        normalized predicates, so queries the selection optimizer can
+        merge into one covering group land on the same shard group
+        (their covering scan, stabbing index, and downstream state are
+        literally shared).  Unconstrained and UDF predicates keep the
+        bare stage key.
+        """
+        affinity_key = sharing_affinity_key(query)
         expensive = self._is_expensive(query)
         if expensive:
             group = self._least_loaded(self._expensive_counts)

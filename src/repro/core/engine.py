@@ -77,6 +77,12 @@ class EngineConfig:
     dedup_predicates: bool = True
     """Evaluate predicates shared by several queries once (selection-level
     sharing; ablation switch)."""
+    share_overlapping: bool = True
+    """Rewrite *overlapping* (non-identical) selection predicates onto
+    shared covering groups with per-query residual filters — the §7
+    semantic-overlap optimizer (ISSUE 8).  Exact: outputs are
+    byte-identical either way.  Requires ``dedup_predicates``; disable
+    for the sharing ablation."""
     log_inputs: bool = False
     """Keep an input log so :meth:`AStreamEngine.checkpoint` /
     :meth:`AStreamEngine.recover` provide exactly-once fault tolerance
@@ -271,6 +277,7 @@ class AStreamEngine:
                         s,
                         profile=config.profile,
                         dedup_predicates=config.dedup_predicates,
+                        share_overlapping=config.share_overlapping,
                         sharing_stats=self._sharing_stats.get(s),
                     ),
                 ),
@@ -898,6 +905,19 @@ class AStreamEngine:
                 scope.gauge("active_query_count", merge="max").set(
                     op.active_query_count
                 )
+                sharing = op.sharing_group_stats()
+                scope.gauge("sharing_groups", merge="max").set(
+                    sharing["groups"]
+                )
+                scope.gauge("sharing_grouped_slots", merge="max").set(
+                    sharing["grouped_slots"]
+                )
+                scope.gauge("sharing_cover_skips").set(
+                    sharing["cover_skips"]
+                )
+                scope.gauge("sharing_residual_checks").set(
+                    sharing["residual_checks"]
+                )
         for join_key, operators in self._joins.items():
             scope = registry.scope(operator=join_key)
             for op in operators:
@@ -992,6 +1012,50 @@ class AStreamEngine:
                 )
         report.sort(key=lambda row: -row[3])
         return report[:limit]
+
+    def sharing_summary(self) -> Dict[str, Dict]:
+        """Per-stream shape and counters of the semantic-overlap optimizer.
+
+        Unlike :meth:`sharing_report` (runtime qs-bitset sampling), this
+        reflects the *planner's* rewrite: how many covering groups the
+        current epoch runs, how many query slots they absorb, and how
+        much work the cover checks and residual filters did.  Always
+        available; with ``share_overlapping=False`` every stream reports
+        zero groups.
+        """
+        summary: Dict[str, Dict] = {}
+        for stream, operators in sorted(self._selections.items()):
+            merged = {
+                "groups": 0,
+                "grouped_slots": 0,
+                "direct_predicates": 0,
+                "folded_unsatisfiable_slots": 0,
+                "group_evaluations": 0,
+                "cover_skips": 0,
+                "index_probes": 0,
+                "residual_checks": 0,
+            }
+            for op in operators:
+                stats = op.sharing_group_stats()
+                # Shape is replicated across parallel instances (every
+                # instance sees the full slot table): merge with max;
+                # counters are additive work: merge with sum.
+                for key in (
+                    "groups",
+                    "grouped_slots",
+                    "direct_predicates",
+                    "folded_unsatisfiable_slots",
+                ):
+                    merged[key] = max(merged[key], stats[key])
+                for key in (
+                    "group_evaluations",
+                    "cover_skips",
+                    "index_probes",
+                    "residual_checks",
+                ):
+                    merged[key] += stats[key]
+            summary[stream] = merged
+        return summary
 
     def selection_operators(self, stream: str) -> List[SharedSelectionOperator]:
         """Live shared-selection instances for a stream."""

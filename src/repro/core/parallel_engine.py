@@ -136,6 +136,7 @@ class AStreamShardProgram(ShardProgram):
             return {
                 "records_processed": self.engine.runtime.records_processed(),
                 "component_stats": self.engine.component_stats(),
+                "sharing_summary": self.engine.sharing_summary(),
             }
         if kind == "drain":
             return True
@@ -301,6 +302,7 @@ class ProcessAStreamEngine(AStreamEngine):
         self._merged_at_op_count = -1
         self._shut_down = False
         self._final_component_stats: Optional[Dict[str, float]] = None
+        self._final_sharing_summary: Optional[Dict[str, Dict]] = None
         # Observe mode: latest full per-shard telemetry (replace
         # semantics — registries/stage totals are cumulative on the
         # worker) plus incrementally absorbed events and drained traces.
@@ -445,6 +447,37 @@ class ProcessAStreamEngine(AStreamEngine):
                 totals[name] = totals.get(name, 0) + value
         return totals
 
+    _SHARING_SHAPE_KEYS = (
+        "groups",
+        "grouped_slots",
+        "direct_predicates",
+        "folded_unsatisfiable_slots",
+    )
+
+    def sharing_summary(self) -> Dict[str, Dict]:
+        """Semantic-overlap optimizer summary merged across shards.
+
+        Every shard compiles the identical slot table, so plan *shape*
+        (group/slot counts) is replicated and merges with ``max``;
+        evaluation counters measure per-shard work and merge with
+        ``sum`` — the same convention the obs gauges use.
+        """
+        if self._final_sharing_summary is not None:
+            return {
+                stream: dict(entry)
+                for stream, entry in self._final_sharing_summary.items()
+            }
+        merged: Dict[str, Dict] = {}
+        for stats in self.runtime.collect_stats():
+            for stream, entry in stats.get("sharing_summary", {}).items():
+                into = merged.setdefault(stream, dict.fromkeys(entry, 0))
+                for key, value in entry.items():
+                    if key in self._SHARING_SHAPE_KEYS:
+                        into[key] = max(into[key], value)
+                    else:
+                        into[key] += value
+        return merged
+
     # -- telemetry (merged from shards) -------------------------------------
 
     def _pull_shard_obs(self) -> None:
@@ -539,6 +572,7 @@ class ProcessAStreamEngine(AStreamEngine):
             return
         self._refresh_results()
         self._final_component_stats = self.component_stats()
+        self._final_sharing_summary = self.sharing_summary()
         if self.config.profile:
             try:
                 self.worker_profiles()

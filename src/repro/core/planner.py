@@ -1,0 +1,610 @@
+"""Semantic-overlap multi-query planner (§7 future work, ISSUE 8).
+
+AStream's conclusion sketches a cost-based optimizer that groups
+*similar* — not only identical — queries.  This module supplies the
+machinery: incoming predicates (from serde docs and SQL alike) are
+normalized into a canonical **interval form** (conjunction flattening +
+constant folding over ``FieldPredicate``/``Comparison``), compared for
+**subsumption** (``x >= 50`` ⊑ ``x >= 25``) and **overlap** (ranges that
+share tuples), and rewritten onto **shared sub-plans**: one covering
+scan per overlap group plus per-query residual refinement.
+
+The rewrite is *exact*, not approximate.  A group's covering predicate
+is the hull of its members, so ``cover(t) ∧ member(t) ≡ member(t)`` for
+every member — the qs-bitsets the shared selection emits are
+byte-identical to evaluating every predicate independently.  Sharing
+changes only the work needed to compute them:
+
+* **cover check** — one hull comparison rejects tuples outside the whole
+  group (the "covering scan");
+* **interval stabbing index** — member intervals on the group's anchor
+  field are cut into segments with precomputed slot bitsets, so one
+  ``bisect`` resolves *all* single-field members at once;
+* **residual filters** — members with constraints on further fields
+  (flattened conjunctions) are refined per query with cheap bound
+  checks.
+
+Interval endpoints live in a totally ordered *key space* that encodes
+open/closed bounds without epsilon hacks: the value ``v`` probes at key
+``(v, 0)``, an interval maps to the half-open key range
+``[start_key, end_key)`` with ``start_key = (low, 0)`` when the low
+bound is inclusive and ``(low, 1)`` when exclusive (and symmetrically
+``end_key = (high, 1)`` inclusive / ``(high, 0)`` exclusive).  Interval
+membership, emptiness, overlap, and the stabbing segmentation all reduce
+to tuple comparisons in that space.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.query import (
+    Comparison,
+    FieldPredicate,
+    Predicate,
+    Query,
+    TruePredicate,
+)
+
+_INF = float("inf")
+
+_Key = Tuple[float, int]
+"""A point in the bound-encoding key space (see module docstring)."""
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One field's admissible value range ``low .. high`` with bound kinds."""
+
+    low: float = -_INF
+    low_inclusive: bool = False
+    high: float = _INF
+    high_inclusive: bool = False
+
+    @property
+    def start_key(self) -> _Key:
+        """First key-space point inside the interval."""
+        return (self.low, 0 if self.low_inclusive else 1)
+
+    @property
+    def end_key(self) -> _Key:
+        """First key-space point past the interval."""
+        return (self.high, 1 if self.high_inclusive else 0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no value can satisfy the interval."""
+        return self.start_key >= self.end_key
+
+    @property
+    def is_full(self) -> bool:
+        """True when every value satisfies the interval (no bounds)."""
+        return self.low == -_INF and self.high == _INF
+
+    def contains_value(self, value: Any) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.start_key <= (value, 0) < self.end_key
+
+    def contains(self, other: "Interval") -> bool:
+        """Region containment: every value of ``other`` is in ``self``."""
+        if other.is_empty:
+            return True
+        return (
+            self.start_key <= other.start_key
+            and other.end_key <= self.end_key
+        )
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The conjunction of both bounds (may be empty)."""
+        low, low_inc = max(
+            (self.low, not self.low_inclusive),
+            (other.low, not other.low_inclusive),
+        )
+        high, high_inc = min(
+            (self.high, self.high_inclusive),
+            (other.high, other.high_inclusive),
+        )
+        return Interval(low, not low_inc, high, bool(high_inc))
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when some value satisfies both intervals."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.start_key < other.end_key
+            and other.start_key < self.end_key
+        )
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both (the covering bound)."""
+        low, low_inc = min(
+            (self.low, not self.low_inclusive),
+            (other.low, not other.low_inclusive),
+        )
+        high, high_inc = max(
+            (self.high, self.high_inclusive),
+            (other.high, other.high_inclusive),
+        )
+        return Interval(low, not low_inc, high, bool(high_inc))
+
+    def __str__(self) -> str:
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return f"{left}{self.low}, {self.high}{right}"
+
+
+_OP_INTERVALS = {
+    Comparison.LT: lambda c: Interval(high=c, high_inclusive=False),
+    Comparison.LE: lambda c: Interval(high=c, high_inclusive=True),
+    Comparison.GT: lambda c: Interval(low=c, low_inclusive=False),
+    Comparison.GE: lambda c: Interval(low=c, low_inclusive=True),
+    Comparison.EQ: lambda c: Interval(c, True, c, True),
+}
+
+
+# ---------------------------------------------------------------------------
+# Normal form
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NormalizedPredicate:
+    """Canonical conjunction-of-intervals form of a value predicate.
+
+    ``constraints`` maps each constrained field (sorted, deduplicated —
+    repeated conjuncts over one field are folded by intersection) to its
+    interval.  An empty constraint tuple with ``satisfiable=True`` is
+    the normalized ``TruePredicate``; ``satisfiable=False`` marks a
+    contradiction folded to constant false (e.g. ``x > 5 AND x < 3``).
+    """
+
+    constraints: Tuple[Tuple[int, Interval], ...] = ()
+    satisfiable: bool = True
+
+    @property
+    def canonical_key(self) -> Tuple:
+        """Representation-independent identity: equal regions, equal keys.
+
+        The same query written as a serde doc, as SQL, or with its
+        conjuncts permuted lands on the same key — this is what makes
+        sharing groups representation-independent.
+        """
+        if not self.satisfiable:
+            return ("unsat",)
+        return tuple(
+            (f, iv.low, iv.low_inclusive, iv.high, iv.high_inclusive)
+            for f, iv in self.constraints
+        )
+
+    @property
+    def anchor_field(self) -> Optional[int]:
+        """The lowest constrained field index (None when unconstrained)."""
+        return self.constraints[0][0] if self.constraints else None
+
+    def interval_for(self, field_index: int) -> Interval:
+        """The constraint on one field (full interval when absent)."""
+        for f, interval in self.constraints:
+            if f == field_index:
+                return interval
+        return Interval()
+
+    def evaluate(self, value: Any) -> bool:
+        """Semantics of the normal form (must match the source predicate)."""
+        if not self.satisfiable:
+            return False
+        for f, interval in self.constraints:
+            if not interval.contains_value(value.fields[f]):
+                return False
+        return True
+
+    def __str__(self) -> str:
+        if not self.satisfiable:
+            return "false"
+        if not self.constraints:
+            return "true"
+        return " AND ".join(
+            f"fields[{f}] in {iv}" for f, iv in self.constraints
+        )
+
+
+def _conjuncts_of(predicate: Predicate) -> Optional[List[FieldPredicate]]:
+    """Flatten a predicate into field-comparison conjuncts, or None."""
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, FieldPredicate):
+        return [predicate]
+    conjuncts = getattr(predicate, "conjuncts", None)
+    if conjuncts is None:
+        return None  # black-box UDF or unknown type: not normalizable
+    flat: List[FieldPredicate] = []
+    for part in conjuncts:
+        sub = _conjuncts_of(part)
+        if sub is None:
+            return None
+        flat.extend(sub)
+    return flat
+
+
+def normalize(predicate: Predicate) -> Optional[NormalizedPredicate]:
+    """Canonicalize a predicate, or None for black-box (UDF) predicates.
+
+    Conjunctions are flattened, per-field bounds intersected (constant
+    folding), and contradictions collapse to the unsatisfiable form.
+    """
+    conjuncts = _conjuncts_of(predicate)
+    if conjuncts is None:
+        return None
+    by_field: Dict[int, Interval] = {}
+    for conjunct in conjuncts:
+        interval = _OP_INTERVALS[conjunct.op](conjunct.constant)
+        current = by_field.get(conjunct.field_index)
+        by_field[conjunct.field_index] = (
+            interval if current is None else current.intersect(interval)
+        )
+    constraints = []
+    for field_index in sorted(by_field):
+        interval = by_field[field_index]
+        if interval.is_empty:
+            return NormalizedPredicate(constraints=(), satisfiable=False)
+        if not interval.is_full:
+            constraints.append((field_index, interval))
+    return NormalizedPredicate(constraints=tuple(constraints))
+
+
+def subsumes(p: NormalizedPredicate, q: NormalizedPredicate) -> bool:
+    """True when ``p`` contains ``q``: every tuple matching q matches p."""
+    if not q.satisfiable:
+        return True
+    if not p.satisfiable:
+        return False
+    for field_index, p_interval in p.constraints:
+        if not p_interval.contains(q.interval_for(field_index)):
+            return False
+    return True
+
+
+def overlaps(p: NormalizedPredicate, q: NormalizedPredicate) -> bool:
+    """True when some tuple satisfies both predicates."""
+    if not (p.satisfiable and q.satisfiable):
+        return False
+    for field_index, p_interval in p.constraints:
+        if not p_interval.overlaps(q.interval_for(field_index)):
+            return False
+    return True
+
+
+def covering(members: Sequence[NormalizedPredicate]) -> NormalizedPredicate:
+    """The per-field hull of ``members`` — subsumes every one of them.
+
+    A field appears in the cover only when *every* member constrains it
+    (a member without the constraint admits the whole axis, so the hull
+    there is unbounded).
+    """
+    live = [m for m in members if m.satisfiable]
+    if not live:
+        return NormalizedPredicate(constraints=(), satisfiable=False)
+    shared_fields = set(f for f, _ in live[0].constraints)
+    for member in live[1:]:
+        shared_fields &= set(f for f, _ in member.constraints)
+    constraints = []
+    for field_index in sorted(shared_fields):
+        hull = live[0].interval_for(field_index)
+        for member in live[1:]:
+            hull = hull.hull(member.interval_for(field_index))
+        if not hull.is_full:
+            constraints.append((field_index, hull))
+    return NormalizedPredicate(constraints=tuple(constraints))
+
+
+# ---------------------------------------------------------------------------
+# Compiled sharing groups
+# ---------------------------------------------------------------------------
+
+
+_Residual = Tuple[Tuple[Tuple[int, float, bool, float, bool], ...], int]
+"""(per-field bound checks, slots-bitset) for one residual member."""
+
+
+class SharingGroup:
+    """One overlap component compiled for per-tuple evaluation.
+
+    Evaluation order per tuple: hull cover check (reject the whole group
+    with two comparisons), then one stabbing-index probe resolving every
+    single-field member, then the residual filters of multi-field
+    members.  Counters feed the sharing statistics exported via
+    ``repro.obs``.
+    """
+
+    __slots__ = (
+        "field_index",
+        "slots_mask",
+        "member_count",
+        "residual_count",
+        "cover",
+        "_hull_start",
+        "_hull_end",
+        "_cuts",
+        "_segment_masks",
+        "_residuals",
+        "evaluations",
+        "cover_skips",
+        "index_probes",
+        "residual_checks",
+    )
+
+    def __init__(
+        self,
+        field_index: int,
+        single_members: Sequence[Tuple[Interval, int]],
+        residual_members: Sequence[Tuple[NormalizedPredicate, int]],
+    ) -> None:
+        self.field_index = field_index
+        self.evaluations = 0
+        self.cover_skips = 0
+        self.index_probes = 0
+        self.residual_checks = 0
+        self.member_count = len(single_members) + len(residual_members)
+        self.residual_count = len(residual_members)
+
+        anchor_intervals = [interval for interval, _ in single_members]
+        anchor_intervals.extend(
+            norm.interval_for(field_index) for norm, _ in residual_members
+        )
+        hull = anchor_intervals[0]
+        for interval in anchor_intervals[1:]:
+            hull = hull.hull(interval)
+        self.cover = hull
+        self._hull_start = hull.start_key
+        self._hull_end = hull.end_key
+
+        # Stabbing index over the single-field members: sweep the bound
+        # keys in order, toggling each member's slot bits on at its
+        # start key and off at its end key; the running bitset at cut i
+        # is exactly the members containing the key segment
+        # [cuts[i], cuts[i+1]).
+        toggles: Dict[_Key, int] = {}
+        mask = 0
+        for interval, slots in single_members:
+            toggles[interval.start_key] = toggles.get(interval.start_key, 0) ^ slots
+            toggles[interval.end_key] = toggles.get(interval.end_key, 0) ^ slots
+            mask |= slots
+        cuts = sorted(toggles)
+        segment_masks = []
+        running = 0
+        for cut in cuts:
+            running ^= toggles[cut]
+            segment_masks.append(running)
+        self._cuts = cuts
+        self._segment_masks = segment_masks
+
+        residuals: List[_Residual] = []
+        for norm, slots in residual_members:
+            checks = tuple(
+                (f, iv.low, iv.low_inclusive, iv.high, iv.high_inclusive)
+                for f, iv in norm.constraints
+            )
+            residuals.append((checks, slots))
+            mask |= slots
+        self._residuals = residuals
+        self.slots_mask = mask
+
+    def evaluate(self, value: Any) -> int:
+        """Slot bits of every member the tuple satisfies."""
+        self.evaluations += 1
+        fields = value.fields
+        probe = (fields[self.field_index], 0)
+        if not (self._hull_start <= probe < self._hull_end):
+            self.cover_skips += 1
+            return 0
+        index = bisect_right(self._cuts, probe) - 1
+        bits = self._segment_masks[index] if index >= 0 else 0
+        self.index_probes += 1
+        for checks, slots in self._residuals:
+            self.residual_checks += 1
+            self.evaluations += 1
+            for f, low, low_inc, high, high_inc in checks:
+                v = fields[f]
+                if not ((low, 0 if low_inc else 1) <= (v, 0) < (high, 1 if high_inc else 0)):
+                    break
+            else:
+                bits |= slots
+        return bits
+
+    def bind_columns(self, columns: Sequence[Sequence[Any]]):
+        """Row-index evaluator over parallel field columns (columnar path)."""
+        anchor_column = columns[self.field_index]
+        hull_start = self._hull_start
+        hull_end = self._hull_end
+        cuts = self._cuts
+        segment_masks = self._segment_masks
+        residuals = self._residuals
+
+        def probe_row(row: int) -> int:
+            self.evaluations += 1
+            probe = (anchor_column[row], 0)
+            if not (hull_start <= probe < hull_end):
+                self.cover_skips += 1
+                return 0
+            index = bisect_right(cuts, probe) - 1
+            bits = segment_masks[index] if index >= 0 else 0
+            self.index_probes += 1
+            for checks, slots in residuals:
+                self.residual_checks += 1
+                self.evaluations += 1
+                for f, low, low_inc, high, high_inc in checks:
+                    v = columns[f][row]
+                    if not (
+                        (low, 0 if low_inc else 1)
+                        <= (v, 0)
+                        < (high, 1 if high_inc else 0)
+                    ):
+                        break
+                else:
+                    bits |= slots
+            return bits
+
+        return probe_row
+
+    def describe(self) -> Dict[str, Any]:
+        """Reportable shape + counters for stats frames and gauges."""
+        return {
+            "field": self.field_index,
+            "members": self.member_count,
+            "residuals": self.residual_count,
+            "cover": str(self.cover),
+            "segments": len(self._cuts),
+            "evaluations": self.evaluations,
+            "cover_skips": self.cover_skips,
+            "residual_checks": self.residual_checks,
+        }
+
+
+@dataclass
+class SelectionPlan:
+    """The compiled evaluation plan of one epoch view.
+
+    ``direct`` holds (predicate, slots) pairs evaluated one by one as
+    before the optimizer existed — black-box UDFs, ``TruePredicate``,
+    and overlap components of size one.  ``groups`` holds the shared
+    sub-plans.  ``folded_slots`` are slots whose predicates folded to
+    constant false and need no evaluation at all.
+    """
+
+    direct: List[Tuple[Predicate, int]] = field(default_factory=list)
+    groups: List[SharingGroup] = field(default_factory=list)
+    folded_slots: int = 0
+
+    @property
+    def grouped_slots(self) -> int:
+        """How many query slots evaluate through shared groups."""
+        total = 0
+        for group in self.groups:
+            total += bin(group.slots_mask).count("1")
+        return total
+
+    def describe(self) -> Dict[str, Any]:
+        """Reportable plan shape for stats frames and gauges."""
+        return {
+            "direct_predicates": len(self.direct),
+            "groups": [group.describe() for group in self.groups],
+            "grouped_slots": self.grouped_slots,
+            "folded_unsatisfiable_slots": bin(self.folded_slots).count("1"),
+        }
+
+
+def compile_selection_plan(
+    pairs: Sequence[Tuple[Predicate, int]],
+    share_overlapping: bool = True,
+) -> SelectionPlan:
+    """Rewrite deduplicated (predicate, slots) pairs into a shared plan.
+
+    Deterministic: the same pairs (and they are derived from the sorted
+    slot table) compile to the same plan on every backend and after
+    every recovery, which is what keeps sharded and restored runs
+    byte-equal to the inline oracle.
+    """
+    plan = SelectionPlan()
+    if not share_overlapping:
+        plan.direct = list(pairs)
+        return plan
+
+    # anchor field -> [(normalized, original, slots)]
+    clusters: Dict[int, List[Tuple[NormalizedPredicate, Predicate, int]]] = {}
+    for predicate, slots in pairs:
+        normalized = normalize(predicate)
+        if normalized is None:  # black-box UDF: evaluate as-is
+            plan.direct.append((predicate, slots))
+            continue
+        if not normalized.satisfiable:  # constant-folded to false
+            plan.folded_slots |= slots
+            continue
+        anchor = normalized.anchor_field
+        if anchor is None:  # TruePredicate: constant true
+            plan.direct.append((predicate, slots))
+            continue
+        clusters.setdefault(anchor, []).append((normalized, predicate, slots))
+
+    for anchor in sorted(clusters):
+        members = clusters[anchor]
+        # Sweep the anchor intervals into overlap-connected components:
+        # sorted by start key, a member joins the open component while
+        # its interval begins before the component's furthest end.
+        members.sort(
+            key=lambda entry: (
+                entry[0].interval_for(anchor).start_key,
+                entry[0].interval_for(anchor).end_key,
+                entry[2],
+            )
+        )
+        component: List[Tuple[NormalizedPredicate, Predicate, int]] = []
+        max_end: Optional[_Key] = None
+        for entry in members:
+            interval = entry[0].interval_for(anchor)
+            if max_end is not None and interval.start_key < max_end:
+                component.append(entry)
+                max_end = max(max_end, interval.end_key)
+                continue
+            _flush_component(plan, anchor, component)
+            component = [entry]
+            max_end = interval.end_key
+        _flush_component(plan, anchor, component)
+    return plan
+
+
+def _flush_component(
+    plan: SelectionPlan,
+    anchor: int,
+    component: List[Tuple[NormalizedPredicate, Predicate, int]],
+) -> None:
+    """Emit one overlap component: direct when alone, grouped otherwise."""
+    if not component:
+        return
+    if len(component) == 1:
+        _, predicate, slots = component[0]
+        plan.direct.append((predicate, slots))
+        return
+    singles: List[Tuple[Interval, int]] = []
+    residuals: List[Tuple[NormalizedPredicate, int]] = []
+    for normalized, _, slots in component:
+        if len(normalized.constraints) == 1:
+            singles.append((normalized.interval_for(anchor), slots))
+        else:
+            residuals.append((normalized, slots))
+    plan.groups.append(SharingGroup(anchor, singles, residuals))
+
+
+# ---------------------------------------------------------------------------
+# Placement affinity
+# ---------------------------------------------------------------------------
+
+
+def sharing_affinity_key(query: Query) -> str:
+    """Admission-time sharing-affinity label for the placer.
+
+    Queries whose selection predicates anchor on the same field of the
+    same output stage are the ones the selection optimizer can merge
+    into one covering group, so the placer co-locates them.  Queries
+    with no value constraints (or UDF predicates) keep the bare stage
+    key — the pre-optimizer behaviour.
+    """
+    stages = query.stages()
+    stage = stages[-1].operator if stages else "sink"
+    anchors = []
+    for stream in query.streams:
+        try:
+            normalized = normalize(query.predicate_for(stream))
+        except KeyError:
+            continue
+        if normalized is None or normalized.anchor_field is None:
+            continue
+        anchors.append(f"f{normalized.anchor_field}")
+    if not anchors:
+        return stage
+    return f"{stage}|{'+'.join(anchors)}"

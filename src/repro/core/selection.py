@@ -11,6 +11,14 @@ carries the event time of the query change, and a tuple is tagged with
 the query view of the epoch *its own timestamp* falls into — even when
 bounded out-of-orderness delivers it after a newer changelog.  The
 operator therefore keeps a short history of epoch views.
+
+Each epoch view's predicate table is compiled through the semantic-
+overlap planner (:mod:`repro.core.planner`): value-identical predicates
+dedup to one entry (as before), and *overlapping* — not identical —
+predicates are rewritten onto shared sub-plans (covering check +
+interval stabbing index + per-query residual filters).  The rewrite is
+exact, so the emitted qs-bitsets are byte-identical with the optimizer
+on or off.
 """
 
 from __future__ import annotations
@@ -18,11 +26,16 @@ from __future__ import annotations
 import time
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import operator as _compare
 
 from repro.core.changelog import Changelog
+from repro.core.planner import (
+    SelectionPlan,
+    compile_selection_plan,
+    normalize,
+)
 from repro.core.query import Comparison, FieldPredicate, Predicate, TruePredicate
 from repro.minispe.operators import Operator
 from repro.minispe.record import ChangelogMarker, Record
@@ -49,14 +62,19 @@ class _EpochView:
 
     ``predicates`` maps each *distinct* predicate to the bitset of slots
     that use it: queries sharing a predicate are evaluated once and
-    their bits OR-ed in together (the sharing-statistics optimisation
-    the paper's future work sketches — grouping similar queries).
+    their bits OR-ed in together.  ``plan`` is the compiled evaluation
+    plan over those pairs — overlapping predicates merged into covering
+    groups with residual filters (the §7 sharing optimizer); it is a
+    derived cache, never snapshotted.
     """
 
     start_ms: int
     sequence: int
     predicates: List[Tuple[Predicate, int]]
     """(predicate, slots-bitset) pairs, one entry per distinct predicate."""
+    plan: SelectionPlan
+    columnar_ok: bool
+    """True when every direct predicate can run on field columns."""
 
 
 class SharedSelectionOperator(Operator):
@@ -75,6 +93,7 @@ class SharedSelectionOperator(Operator):
         stream: str,
         profile: bool = False,
         dedup_predicates: bool = True,
+        share_overlapping: bool = True,
         sharing_stats=None,
     ) -> None:
         super().__init__(f"shared_select:{stream}")
@@ -87,17 +106,49 @@ class SharedSelectionOperator(Operator):
 
         This is the paper's future-work sharing optimisation at the
         selection stage; disable for the ablation benchmark."""
+        self.share_overlapping = share_overlapping
+        """Rewrite overlapping (non-identical) predicates onto shared
+        covering groups with residual filters (ISSUE 8); disable to fall
+        back to identical-only dedup."""
         self._slot_predicates: Dict[int, Predicate] = {}
-        self._views: List[_EpochView] = [
-            _EpochView(start_ms=0, sequence=0, predicates=[])
-        ]
+        self._views: List[_EpochView] = [self._make_view(0, 0, [])]
         self._view_starts: List[int] = [0]
         self.profile = profile
-        self.predicate_evaluations = 0
+        self._evaluations = 0
+        self._retired_group_stats = {
+            "evaluations": 0,
+            "cover_skips": 0,
+            "index_probes": 0,
+            "residual_checks": 0,
+        }
         self.records_dropped = 0
         self.profile_ns = 0
 
     # -- changelog handling ----------------------------------------------------
+
+    def _make_view(
+        self,
+        start_ms: int,
+        sequence: int,
+        predicates: List[Tuple[Predicate, int]],
+    ) -> _EpochView:
+        """Compile one epoch's predicate table into an evaluation plan."""
+        plan = compile_selection_plan(
+            predicates,
+            share_overlapping=self.share_overlapping and self.dedup_predicates,
+        )
+        columnar_ok = all(
+            type(predicate) in (FieldPredicate, TruePredicate)
+            or normalize(predicate) is not None
+            for predicate, _ in plan.direct
+        )
+        return _EpochView(
+            start_ms=start_ms,
+            sequence=sequence,
+            predicates=predicates,
+            plan=plan,
+            columnar_ok=columnar_ok,
+        )
 
     def on_marker(self, marker: ChangelogMarker) -> None:
         self._apply_changelog(marker.changelog, marker.timestamp)
@@ -118,10 +169,8 @@ class SharedSelectionOperator(Operator):
                 # slot's previous meaning here; deletion above handled the
                 # reuse case, so nothing to add.
                 self._slot_predicates.pop(activation.slot, None)
-        view = _EpochView(
-            start_ms=timestamp_ms,
-            sequence=changelog.sequence,
-            predicates=self._group_predicates(),
+        view = self._make_view(
+            timestamp_ms, changelog.sequence, self._group_predicates()
         )
         self._views.append(view)
         self._view_starts.append(timestamp_ms)
@@ -156,12 +205,17 @@ class SharedSelectionOperator(Operator):
     def process(self, record: Record) -> None:
         started = time.perf_counter_ns() if self.profile else 0
         view = self._view_for(record.timestamp)
+        plan = view.plan
         bits = 0
+        evaluations = 0
         value = record.value
-        for predicate, slots_mask in view.predicates:
-            self.predicate_evaluations += 1
+        for predicate, slots_mask in plan.direct:
+            evaluations += 1
             if predicate.evaluate(value):
                 bits |= slots_mask
+        for group in plan.groups:
+            bits |= group.evaluate(value)
+        self._evaluations += evaluations
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
         if bits == 0:
@@ -193,17 +247,23 @@ class SharedSelectionOperator(Operator):
         out: List[Record] = []
         view = None
         view_low = view_high = 0  # timestamp range the cached view covers
+        direct: List[Tuple[Predicate, int]] = []
+        groups = []
         for record in records:
             timestamp = record.timestamp
             if view is None or not (view_low <= timestamp < view_high):
                 view = view_for(timestamp)
                 view_low, view_high = self._view_span(view)
+                direct = view.plan.direct
+                groups = view.plan.groups
             bits = 0
             value = record.value
-            for predicate, slots_mask in view.predicates:
+            for predicate, slots_mask in direct:
                 evaluations += 1
                 if predicate.evaluate(value):
                     bits |= slots_mask
+            for group in groups:
+                bits |= group.evaluate(value)
             if bits == 0:
                 dropped += 1
                 continue
@@ -213,11 +273,58 @@ class SharedSelectionOperator(Operator):
             new_tags[QS_TAG] = bits
             new_tags[EPOCH_TAG] = view.sequence
             out.append(Record(timestamp, value, record.key, new_tags))
-        self.predicate_evaluations += evaluations
+        self._evaluations += evaluations
         self.records_dropped += dropped
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
         self.output_batch(out)
+
+    def _bind_columnar(self, plan: SelectionPlan, fields):
+        """Compile one plan against a batch's field columns.
+
+        Returns ``(compiled, conj_probes, group_probes)``: ``compiled``
+        is the classic (column, compare, constant, slots) tuple list
+        over the direct predicates, ``conj_probes`` row-index evaluators
+        of normalizable non-field direct predicates (flattened
+        conjunctions), ``group_probes`` those of the sharing groups.
+        ``None`` means a black-box predicate needs the row value —
+        caller falls back to the row path.
+        """
+        compiled: List[Tuple[Any, Any, Any, int]] = []
+        conj_probes = []
+        group_probes = []
+        for predicate, slots_mask in plan.direct:
+            kind = type(predicate)
+            if kind is FieldPredicate:
+                compiled.append(
+                    (
+                        fields[predicate.field_index],
+                        _COMPARE_FNS[predicate.op],
+                        predicate.constant,
+                        slots_mask,
+                    )
+                )
+            elif kind is TruePredicate:
+                compiled.append((None, None, None, slots_mask))
+            else:
+                normalized = normalize(predicate)
+                if normalized is None:
+                    return None
+                checks = tuple(
+                    (f, iv.start_key, iv.end_key)
+                    for f, iv in normalized.constraints
+                )
+
+                def probe_row(row: int, _checks=checks, _mask=slots_mask) -> int:
+                    for f, start_key, end_key in _checks:
+                        if not (start_key <= (fields[f][row], 0) < end_key):
+                            return 0
+                    return _mask
+
+                conj_probes.append(probe_row)
+        for group in plan.groups:
+            group_probes.append(group.bind_columns(fields))
+        return compiled, conj_probes, group_probes
 
     def process_columnar(self, batch) -> None:
         """Columnar tagging: predicates run straight on the batch's
@@ -227,16 +334,17 @@ class SharedSelectionOperator(Operator):
         This is the wire-ingest fast path — the binary codec decodes
         frames into columnar :class:`~repro.minispe.record.RecordBatch`
         objects, and for selective queries most rows die here having
-        never existed as Python objects.  Black-box (UDF) predicates
-        need the row value, so any view holding one falls back to the
-        row-at-a-time path; semantics (epoch views by event time,
-        counters, sharing stats, output order) are identical either way.
+        never existed as Python objects.  Sharing groups probe their
+        stabbing index on the anchor column directly (the covering scan
+        of ISSUE 8).  Black-box (UDF) predicates need the row value, so
+        any view holding one falls back to the row-at-a-time path;
+        semantics (epoch views by event time, counters, sharing stats,
+        output order) are identical either way.
         """
         for view in self._views:
-            for predicate, _ in view.predicates:
-                if type(predicate) not in (FieldPredicate, TruePredicate):
-                    self.process_batch(batch.records)
-                    return
+            if not view.columnar_ok:
+                self.process_batch(batch.records)
+                return
         started = time.perf_counter_ns() if self.profile else 0
         timestamps = batch.timestamps()
         keys = batch.keys()
@@ -252,29 +360,35 @@ class SharedSelectionOperator(Operator):
         view_low = view_high = 0
         sequence = 0
         compiled: List[Tuple[Any, Any, Any, int]] = []
+        conj_probes = []
+        group_probes = []
         for row, timestamp in enumerate(timestamps):
             if view is None or not (view_low <= timestamp < view_high):
                 view = view_for(timestamp)
                 view_low, view_high = self._view_span(view)
                 sequence = view.sequence
-                # (column, compare, constant, slots) per distinct
-                # predicate; column None = TruePredicate (always passes).
-                compiled = [
-                    (
-                        fields[predicate.field_index],
-                        _COMPARE_FNS[predicate.op],
-                        predicate.constant,
-                        slots_mask,
-                    )
-                    if type(predicate) is FieldPredicate
-                    else (None, None, None, slots_mask)
-                    for predicate, slots_mask in view.predicates
-                ]
+                bound = self._bind_columnar(view.plan, fields)
+                if bound is None:
+                    # A UDF arrived via a mid-batch epoch: replay the
+                    # remaining rows through the row path.
+                    self._evaluations += evaluations
+                    self.records_dropped += dropped
+                    if self.profile:
+                        self.profile_ns += time.perf_counter_ns() - started
+                    self.output_batch(out)
+                    self.process_batch(batch.records[row:])
+                    return
+                compiled, conj_probes, group_probes = bound
             bits = 0
             for column, compare, constant, slots_mask in compiled:
                 evaluations += 1
                 if column is None or compare(column[row], constant):
                     bits |= slots_mask
+            for probe in conj_probes:
+                evaluations += 1
+                bits |= probe(row)
+            for probe in group_probes:
+                bits |= probe(row)
             if bits == 0:
                 dropped += 1
                 continue
@@ -288,7 +402,7 @@ class SharedSelectionOperator(Operator):
                     {QS_TAG: bits, EPOCH_TAG: sequence},
                 )
             )
-        self.predicate_evaluations += evaluations
+        self._evaluations += evaluations
         self.records_dropped += dropped
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
@@ -316,6 +430,16 @@ class SharedSelectionOperator(Operator):
         self.prune_views_before(watermark.timestamp - self.VIEW_RETENTION_MS)
         self.output(watermark)
 
+    def _retire_views(self, views: List[_EpochView]) -> None:
+        """Fold dropped views' group counters into the lifetime totals."""
+        retired = self._retired_group_stats
+        for view in views:
+            for group in view.plan.groups:
+                retired["evaluations"] += group.evaluations
+                retired["cover_skips"] += group.cover_skips
+                retired["index_probes"] += group.index_probes
+                retired["residual_checks"] += group.residual_checks
+
     def prune_views_before(self, timestamp_ms: int) -> int:
         """Drop epoch views fully superseded before ``timestamp_ms``.
 
@@ -326,6 +450,7 @@ class SharedSelectionOperator(Operator):
         keep_from = max(0, bisect_right(self._view_starts, timestamp_ms) - 1)
         dropped = keep_from
         if dropped:
+            self._retire_views(self._views[:keep_from])
             self._views = self._views[keep_from:]
             self._view_starts = self._view_starts[keep_from:]
         return dropped
@@ -333,9 +458,52 @@ class SharedSelectionOperator(Operator):
     # -- introspection -----------------------------------------------------------
 
     @property
+    def predicate_evaluations(self) -> int:
+        """Predicate-evaluation units spent, over the operator lifetime.
+
+        Direct predicates count one per tuple as before; a sharing group
+        counts one per covering probe (however many members it resolves)
+        plus one per residual filter checked — the actual work done, so
+        the ablation benches read sharing wins straight off this counter.
+        """
+        total = self._evaluations + self._retired_group_stats["evaluations"]
+        for view in self._views:
+            for group in view.plan.groups:
+                total += group.evaluations
+        return total
+
+    @property
     def active_query_count(self) -> int:
         """Queries currently watching this stream."""
         return len(self._slot_predicates)
+
+    def sharing_group_stats(self) -> Dict[str, Any]:
+        """Sharing-optimizer shape and lifetime counters for this stream.
+
+        Structure (group/member/segment counts) describes the *current*
+        epoch view; counters aggregate over the operator lifetime,
+        including pruned views.
+        """
+        plan = self._views[-1].plan
+        lifetime = dict(self._retired_group_stats)
+        for view in self._views:
+            for group in view.plan.groups:
+                lifetime["evaluations"] += group.evaluations
+                lifetime["cover_skips"] += group.cover_skips
+                lifetime["index_probes"] += group.index_probes
+                lifetime["residual_checks"] += group.residual_checks
+        return {
+            "groups": len(plan.groups),
+            "grouped_slots": plan.grouped_slots,
+            "direct_predicates": len(plan.direct),
+            "folded_unsatisfiable_slots": bin(plan.folded_slots).count("1"),
+            "group_members": [group.member_count for group in plan.groups],
+            "group_evaluations": lifetime["evaluations"],
+            "cover_skips": lifetime["cover_skips"],
+            "index_probes": lifetime["index_probes"],
+            "residual_checks": lifetime["residual_checks"],
+            "plan": plan.describe(),
+        }
 
     def snapshot(self) -> Any:
         return {
@@ -347,9 +515,10 @@ class SharedSelectionOperator(Operator):
         }
 
     def restore(self, snapshot: Any) -> None:
+        self._retire_views(self._views)
         self._slot_predicates = dict(snapshot["slot_predicates"])
         self._views = [
-            _EpochView(start_ms=start, sequence=sequence, predicates=list(preds))
+            self._make_view(start, sequence, list(preds))
             for start, sequence, preds in snapshot["views"]
         ]
         self._view_starts = [view.start_ms for view in self._views]

@@ -35,6 +35,10 @@ _STATE_GAUGES = (
     "session_windows",
     "fan_out",
     "active_query_count",
+    "sharing_groups",
+    "sharing_grouped_slots",
+    "sharing_cover_skips",
+    "sharing_residual_checks",
 )
 
 

@@ -1032,9 +1032,11 @@ class AStreamServer:
         with self.gate.locked():
             active = self.engine.active_query_count
             counts = self.engine.result_counts()
+            sharing = self.engine.sharing_summary()
         stats: Dict[str, Any] = {
             "backend": self.config.backend,
             "active_queries": active,
+            "sharing": sharing,
             "changelog_sequence": self._last_sequence,
             "result_counts": counts,
             "sessions_connected": self.sessions.connected_count,

@@ -1,0 +1,120 @@
+"""Hypothesis property suite for the normalization/subsumption algebra.
+
+The ISSUE 8 contracts, stated as universally quantified properties and
+hammered with random predicates and tuples:
+
+* ``normalize(p)`` is semantics-preserving: the normal form accepts
+  exactly the tuples the source predicate accepts;
+* ``subsumes(p, q)`` is sound: whenever it holds, ``q(t) ⇒ p(t)``;
+* ``overlaps`` is sound in the negative: predicates declared disjoint
+  never both accept a tuple;
+* the compiled sharing plan (covering groups ∨ residuals ∨ direct
+  entries) is extensionally equal to evaluating every per-query
+  predicate independently — the optimizer is a pure rewrite.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.planner import (
+    compile_selection_plan,
+    covering,
+    normalize,
+    overlaps,
+    subsumes,
+)
+from repro.core.query import Comparison, FieldPredicate, TruePredicate
+from repro.core.sql import ConjunctionPredicate
+from tests.conftest import make_tuple
+
+# Constants and field values share one small domain so boundary hits
+# (v == constant, equal constants across predicates) are common.
+_constants = st.one_of(
+    st.integers(min_value=0, max_value=20),
+    st.integers(min_value=0, max_value=40).map(lambda n: n / 2),
+)
+_field_predicates = st.builds(
+    FieldPredicate,
+    field_index=st.integers(min_value=0, max_value=4),
+    op=st.sampled_from(list(Comparison)),
+    constant=_constants,
+)
+_conjunctions = st.lists(_field_predicates, min_size=1, max_size=4).map(
+    lambda conjuncts: ConjunctionPredicate(tuple(conjuncts))
+)
+_predicates = st.one_of(
+    st.just(TruePredicate()), _field_predicates, _conjunctions
+)
+_tuples = st.lists(
+    st.one_of(
+        st.integers(min_value=-2, max_value=22),
+        st.integers(min_value=-4, max_value=44).map(lambda n: n / 2),
+    ),
+    min_size=5,
+    max_size=5,
+).map(lambda fields: make_tuple(key=1, fields=fields))
+
+
+@settings(max_examples=300, deadline=None)
+@given(predicate=_predicates, record=_tuples)
+def test_normalize_preserves_semantics(predicate, record):
+    normalized = normalize(predicate)
+    assert normalized is not None
+    assert normalized.evaluate(record) == predicate.evaluate(record)
+
+
+@settings(max_examples=300, deadline=None)
+@given(p=_predicates, q=_predicates, record=_tuples)
+def test_subsumption_implies_implication(p, q, record):
+    norm_p, norm_q = normalize(p), normalize(q)
+    if subsumes(norm_p, norm_q) and q.evaluate(record):
+        assert p.evaluate(record)
+
+
+@settings(max_examples=300, deadline=None)
+@given(p=_predicates, q=_predicates, record=_tuples)
+def test_disjoint_predicates_never_both_match(p, q, record):
+    if not overlaps(normalize(p), normalize(q)):
+        assert not (p.evaluate(record) and q.evaluate(record))
+
+
+@settings(max_examples=200, deadline=None)
+@given(members=st.lists(_predicates, min_size=1, max_size=5), record=_tuples)
+def test_covering_subsumes_and_admits_every_member(members, record):
+    normalized = [normalize(member) for member in members]
+    cover = covering(normalized)
+    for norm in normalized:
+        assert subsumes(cover, norm)
+    # Pointwise: a tuple matching any member matches the cover.
+    if any(member.evaluate(record) for member in members):
+        assert cover.evaluate(record)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    predicates=st.lists(_predicates, min_size=1, max_size=8),
+    record=_tuples,
+)
+def test_compiled_plan_is_exact_rewrite(predicates, record):
+    """cover ∨ residuals ∨ direct ≡ the original per-query predicates."""
+    pairs = [
+        (predicate, 1 << slot) for slot, predicate in enumerate(predicates)
+    ]
+    plan = compile_selection_plan(pairs)
+    expected = 0
+    for predicate, mask in pairs:
+        if predicate.evaluate(record):
+            expected |= mask
+    actual = 0
+    for predicate, mask in plan.direct:
+        if predicate.evaluate(record):
+            actual |= mask
+    for group in plan.groups:
+        actual |= group.evaluate(record)
+    assert actual == expected
+    # Folded slots are exactly the unsatisfiable ones: never matched.
+    assert plan.folded_slots & expected == 0
+
+    # The columnar binding of every group agrees with row evaluation.
+    columns = [[record.fields[f]] for f in range(5)]
+    for group in plan.groups:
+        assert group.bind_columns(columns)(0) == group.evaluate(record)

@@ -1,0 +1,209 @@
+"""The semantic-overlap optimizer must be invisible in the output (ISSUE 8).
+
+The sharing rewrite (covering groups + stabbing index + residual
+filters) is a pure optimisation: SC1/SC2 scenario runs and an
+overlap-churn scenario — staggered creates and deletes of overlapping,
+subsumed, and duplicate interval predicates mid-stream — must produce
+byte-identical per-query outputs with the optimizer on and off, on the
+inline and the process backends, and through a SIGKILLed worker
+followed by checkpoint-restore + replay recovery.
+"""
+
+import pytest
+
+from repro.core.engine import AStreamEngine, EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.core.query import AggregationQuery, Comparison, FieldPredicate, WindowSpec
+from repro.core.sql import ConjunctionPredicate
+from repro.minispe.cluster import ClusterSpec, SimulatedCluster
+from repro.workloads.datagen import DataGenerator
+from repro.workloads.driver import AStreamAdapter, Driver, DriverConfig
+from repro.workloads.querygen import QueryGenerator
+from repro.workloads.scenarios import (
+    ScheduledRequest,
+    WorkloadSchedule,
+    sc1_schedule,
+    sc2_schedule,
+)
+
+STREAMS = ("A", "B")
+CONFIG = dict(input_rate_tps=100.0, duration_s=8.0, step_ms=250)
+
+
+def _sc1():
+    return sc1_schedule(QueryGenerator(streams=STREAMS, seed=33), 1, 4, kind="join")
+
+
+def _sc2():
+    return sc2_schedule(QueryGenerator(streams=STREAMS, seed=33), 2, 3, 2, kind="agg")
+
+
+def _interval_query(index: int, low: float, stream: str = "A") -> AggregationQuery:
+    return AggregationQuery(
+        stream=stream,
+        predicate=ConjunctionPredicate(
+            (
+                FieldPredicate(0, Comparison.GE, low),
+                FieldPredicate(0, Comparison.LE, low + 15),
+            )
+        ),
+        window_spec=WindowSpec.tumbling(1_000),
+        query_id=f"churn-{index}",
+    )
+
+
+def _churn_schedule() -> WorkloadSchedule:
+    """Overlapping / subsumed / duplicate predicates churning mid-stream.
+
+    Lows step by 5 over [0, 80], so consecutive queries overlap heavily;
+    every 4th query repeats the previous low (value-identical predicate)
+    and every 5th is fully subsumed ([low+5, low+10] inside [low,
+    low+15]).  A third of the population is deleted mid-run, so sharing
+    groups split and re-form across several changelog epochs.
+    """
+    requests = []
+    for index in range(17):
+        low = (index * 5) % 81
+        if index % 4 == 3:
+            low = ((index - 1) * 5) % 81  # duplicate of the previous one
+        query = _interval_query(index, low)
+        if index % 5 == 4:
+            query = AggregationQuery(
+                stream="A",
+                predicate=ConjunctionPredicate(
+                    (
+                        FieldPredicate(0, Comparison.GE, low + 5),
+                        FieldPredicate(0, Comparison.LE, low + 10),
+                    )
+                ),
+                window_spec=WindowSpec.tumbling(1_000),
+                query_id=f"churn-{index}",
+            )
+        requests.append(
+            ScheduledRequest(at_ms=(index % 6) * 700, kind="create", query=query)
+        )
+        if index % 3 == 0:
+            requests.append(
+                ScheduledRequest(
+                    at_ms=4_200 + index * 150,
+                    kind="delete",
+                    query_id=f"churn-{index}",
+                )
+            )
+    return WorkloadSchedule(name="overlap-churn", requests=requests)
+
+
+CHURN_SCHEDULE = _churn_schedule()
+
+
+def _canonical(engine):
+    return {
+        query_id: [
+            (output.timestamp, repr(output.value))
+            for output in engine.canonical_results(query_id)
+        ]
+        for query_id in sorted(engine.result_counts())
+    }
+
+
+def _run(schedule, share: bool, workers=None):
+    config = EngineConfig(streams=STREAMS, parallelism=1, share_overlapping=share)
+    if workers is None:
+        engine = AStreamEngine(
+            config, cluster=SimulatedCluster(ClusterSpec(nodes=4))
+        )
+    else:
+        engine = ProcessAStreamEngine(config, workers=workers)
+    Driver(
+        AStreamAdapter(engine),
+        schedule,
+        STREAMS,
+        DriverConfig(batch_size=7, **CONFIG),
+    ).run()
+    outputs = _canonical(engine)
+    engine.shutdown()
+    return outputs
+
+
+class TestSharingEquivalence:
+    @pytest.mark.parametrize(
+        "scenario",
+        [_sc1, _sc2, lambda: CHURN_SCHEDULE],
+        ids=["sc1", "sc2", "overlap-churn"],
+    )
+    def test_optimizer_is_byte_equal_on_both_backends(self, scenario):
+        schedule = scenario()
+        oracle = _run(schedule, share=False)
+        assert oracle and any(oracle.values())
+        inline_on = _run(schedule, share=True)
+        assert inline_on == oracle, "inline sharing-on diverged"
+        process_on = _run(schedule, share=True, workers=2)
+        assert process_on == oracle, "process sharing-on diverged"
+
+
+# ---------------------------------------------------------------------------
+# Chaos: SIGKILL a worker mid-churn with the optimizer on
+# ---------------------------------------------------------------------------
+
+CHAOS_STEPS = 24
+CHAOS_STEP_MS = 250
+
+
+def _chaos_run(share: bool, workers=None, kill_at_step=None):
+    """Manually drive the churn schedule so the kill lands at an exact
+    point in the element sequence; every run sees the identical
+    interleaving of submissions, records, watermarks, and checkpoint
+    barriers."""
+    config = EngineConfig(
+        streams=STREAMS,
+        parallelism=1,
+        log_inputs=True,
+        share_overlapping=share,
+    )
+    if workers is None:
+        engine = AStreamEngine(config)
+    else:
+        engine = ProcessAStreamEngine(config, workers=workers)
+    data = DataGenerator(seed=5)
+    events = sorted(CHURN_SCHEDULE.requests, key=lambda event: event.at_ms)
+    index = 0
+    recovery = None
+    for step in range(CHAOS_STEPS):
+        now = step * CHAOS_STEP_MS
+        while index < len(events) and events[index].at_ms <= now:
+            event = events[index]
+            index += 1
+            if event.kind == "create":
+                engine.submit(event.query, now_ms=now)
+            else:
+                engine.stop(event.query_id, now_ms=now)
+        engine.tick(now)
+        for stream in STREAMS:
+            for offset in range(25):
+                engine.push(stream, now + offset * 10, data.next_tuple())
+        engine.watermark(now)
+        if step % 8 == 7:
+            engine.checkpoint()
+        if kill_at_step is not None and step == kill_at_step:
+            engine.kill_worker(0)
+            assert engine.alive_workers == workers - 1
+            recovery = engine.recover()
+            assert engine.alive_workers == workers
+    engine.watermark(CHAOS_STEPS * CHAOS_STEP_MS + 10_000)
+    if hasattr(engine, "drain"):
+        engine.drain()
+    outputs = _canonical(engine)
+    engine.shutdown()
+    return outputs, recovery
+
+
+class TestSharingKillRecovery:
+    def test_kill_and_recover_stays_byte_equal_with_sharing_on(self):
+        oracle, _ = _chaos_run(share=False)
+        assert oracle and any(oracle.values())
+        clean, _ = _chaos_run(share=True, workers=2)
+        assert clean == oracle, "sharing-on clean process run diverged"
+        faulted, recovery = _chaos_run(share=True, workers=2, kill_at_step=10)
+        assert recovery is not None
+        assert recovery.replayed_elements > 0
+        assert faulted == oracle, "sharing-on kill+recover diverged"
