@@ -101,6 +101,79 @@ def measure_wire_ingest(
     return (batches * BATCH_TUPLES) / elapsed if elapsed else 0.0
 
 
+def _percentile(values, p: float) -> float:
+    """Nearest-rank percentile of a non-empty sample."""
+    ranked = sorted(values)
+    if not ranked:
+        return 0.0
+    rank = max(1, int(round(p / 100.0 * len(ranked))))
+    return ranked[min(rank, len(ranked)) - 1]
+
+
+def measure_wire_latency(
+    backend: str,
+    pushes: int,
+    workers: int = 2,
+    codec: str = "json",
+) -> Dict[str, float]:
+    """Wire-to-delivery latency percentiles from traced push frames.
+
+    Every push carries a trace context (``trace_sample_every=1``); the
+    server closes each span after force-flushing the subscription, so
+    the client-side ``wire_latencies_ms`` samples measure the full
+    client→server→engine→subscriber path, and the ack's span breakdown
+    telescopes to the same number exactly.
+    """
+    generator = DataGenerator(seed=29)
+    with ServerThread(
+        ServeConfig(
+            backend=backend,
+            workers=workers,
+            clock="manual",
+            codecs=("binary", "json") if codec == "binary" else ("json",),
+        )
+    ) as host:
+        client = ServeClient(
+            "127.0.0.1",
+            host.port,
+            client_id="bench-lat",
+            codec=codec,
+            trace_sample_every=1,
+        )
+        created = client.create_query(
+            sql="SELECT * FROM A WHERE A.F0 > 0", at_ms=0
+        )
+        assert created.status == "admit"
+        client.subscribe(created.query_id)
+        for i in range(pushes):
+            client.push("A", [(i, generator.next_tuple())])
+        latencies = list(client.wire_latencies_ms)
+        client.close()
+    assert len(latencies) == pushes
+    return {
+        "e2e_p50_ms": _percentile(latencies, 50),
+        "e2e_p95_ms": _percentile(latencies, 95),
+        "e2e_p99_ms": _percentile(latencies, 99),
+    }
+
+
+def measure_latency_metrics(pushes: int = 300) -> Dict[str, float]:
+    """The metrics ``check_perf_regression.py --latency`` gates/reports.
+
+    The gated numbers are the inline-backend p95s per codec — absolute
+    loopback milliseconds, so the gate tolerance is wide (it catches a
+    path that turned from microseconds into milliseconds, not jitter);
+    the p50/p99 columns ride along as ungated context.
+    """
+    measure_wire_latency("inline", pushes // 4)  # warm-up, discarded
+    out: Dict[str, float] = {}
+    for codec in ("json", "binary"):
+        stats = measure_wire_latency("inline", pushes, codec=codec)
+        for name, value in stats.items():
+            out[f"serve_{name}_{codec}_inline"] = value
+    return out
+
+
 def measure_direct_ingest(batches: int) -> float:
     """The same ingest workload via direct in-process ``push_many``."""
     workload = _ingest_workload(batches)
@@ -168,17 +241,22 @@ def bench_serve_throughput(benchmark, quick, record_figure):
     def run_all():
         rows = {}
         for backend in ("inline", "process"):
+            latency = measure_wire_latency(backend, max(50, batches // 4))
             rows[backend] = {
                 "control_ops_per_sec": measure_control_rate(backend, pairs),
                 "ingest_tps": measure_wire_ingest(backend, batches),
                 "ingest_tps_binary": measure_wire_ingest(
                     backend, batches, codec="binary", pipelined=True
                 ),
+                **latency,
             }
         rows["in-process"] = {
             "control_ops_per_sec": None,
             "ingest_tps": measure_direct_ingest(batches),
             "ingest_tps_binary": None,
+            "e2e_p50_ms": None,
+            "e2e_p95_ms": None,
+            "e2e_p99_ms": None,
         }
         return rows
 
@@ -192,13 +270,18 @@ def bench_serve_throughput(benchmark, quick, record_figure):
             "control_ops_per_sec",
             "ingest_tps",
             "ingest_tps_binary",
+            "e2e_p50_ms",
+            "e2e_p95_ms",
+            "e2e_p99_ms",
         ),
         paper_expectation=(
             "The shared control plane sustains hundreds of ad-hoc "
             "create/delete ops per second (§1's serving setting); the "
             "JSON wire ingest path trades a constant per-tuple "
             "encode/decode cost against network reach, while the "
-            "pipelined binary columnar path closes most of that gap."
+            "pipelined binary columnar path closes most of that gap. "
+            "Traced pushes put exact wire-to-delivery percentiles "
+            "alongside the throughput numbers."
         ),
     )
     for backend, metrics in rows.items():
@@ -213,6 +296,21 @@ def bench_serve_throughput(benchmark, quick, record_figure):
             ingest_tps_binary=(
                 round(metrics["ingest_tps_binary"], 1)
                 if metrics["ingest_tps_binary"] is not None
+                else "-"
+            ),
+            e2e_p50_ms=(
+                round(metrics["e2e_p50_ms"], 3)
+                if metrics["e2e_p50_ms"] is not None
+                else "-"
+            ),
+            e2e_p95_ms=(
+                round(metrics["e2e_p95_ms"], 3)
+                if metrics["e2e_p95_ms"] is not None
+                else "-"
+            ),
+            e2e_p99_ms=(
+                round(metrics["e2e_p99_ms"], 3)
+                if metrics["e2e_p99_ms"] is not None
                 else "-"
             ),
         )

@@ -43,6 +43,18 @@ baseline (``benchmarks/baselines/sharing_baseline.csv``) with the
 standard tolerance.  The bench itself raises if the sharing-on run's
 outputs differ from sharing-off (the rewrite must be exact).
 
+``--latency`` gates the wire-to-delivery latency plane (ISSUE 9): the
+inline-backend p95 of traced push frames (client→server→engine→
+subscriber, closed by the span telescoping at delivery) per codec,
+from ``bench_serve_throughput.measure_latency_metrics``.  Like
+``--resize`` this is an inverted (ceiling) gate with a wide tolerance
+(100 %): absolute loopback milliseconds vary across hosts, and the gate
+exists to catch a latency path that grew an order of magnitude — a lost
+force-flush, an accidental sleep — not scheduler jitter.  The metrics
+live in ``serve_baseline.csv`` next to the throughput ratios;
+``--latency --update`` merges them into that file without touching the
+``--serve`` metrics.
+
 ``--observe-overhead`` gates the telemetry subsystem (ISSUE 4) instead:
 the same SC1 workload is run in interleaved pairs with ``observe`` off
 and on, and the median on/off service-throughput ratio must stay at or
@@ -83,6 +95,13 @@ GATED_METRICS = ("batched_speedup_sc1_agg",)
 SERVE_GATED_METRICS = (
     "serve_ingest_ratio_inline",
     "serve_ingest_ratio_binary_inline",
+)
+LATENCY_TOLERANCE = 1.00
+"""Traced-push p95 latency may grow at most this fraction over
+baseline (absolute loopback ms: wide on purpose, like --resize)."""
+LATENCY_GATED_METRICS = (
+    "serve_e2e_p95_ms_json_inline",
+    "serve_e2e_p95_ms_binary_inline",
 )
 SERVE_CONTROL_FLOOR_OPS = 200.0
 """Absolute floor on wire control-plane ops/sec (the ISSUE 5 bar)."""
@@ -181,6 +200,15 @@ def measure_serve() -> dict:
     return measure_gate_metrics()
 
 
+def measure_latency() -> dict:
+    """The wire-latency gate metrics (ISSUE 9)."""
+    try:
+        from bench_serve_throughput import measure_latency_metrics
+    except ImportError:  # imported as a package (pytest, tooling)
+        from benchmarks.bench_serve_throughput import measure_latency_metrics
+    return measure_latency_metrics()
+
+
 def measure_resize() -> dict:
     """The elasticity gate metrics (ISSUE 6 satellite 6)."""
     try:
@@ -227,6 +255,18 @@ def write_baseline(metrics: dict, path: Path = BASELINE_PATH) -> None:
         writer.writerow(("metric", "value"))
         for metric, value in metrics.items():
             writer.writerow((metric, f"{value:.4f}"))
+
+
+def merge_baseline(metrics: dict, path: Path) -> None:
+    """Update ``metrics`` in a baseline CSV, keeping its other rows.
+
+    The serve baseline holds metrics from two gate modes (``--serve``
+    throughput ratios and ``--latency`` percentiles); re-baselining one
+    mode must not drop the other's rows.
+    """
+    existing = load_baseline(path) if path.exists() else {}
+    existing.update(metrics)
+    write_baseline(existing, path)
 
 
 def check(measured: dict, baseline: dict, gated=GATED_METRICS) -> list:
@@ -307,6 +347,11 @@ def main(argv=None) -> int:
                         help="gate the live-migration ingest pause (p95 "
                              "must not exceed its committed baseline) "
                              "instead of the baseline metrics")
+    parser.add_argument("--latency", action="store_true",
+                        help="gate the wire-to-delivery p95 of traced "
+                             "pushes (ceiling gate vs the committed "
+                             "serve baseline) instead of the baseline "
+                             "metrics")
     parser.add_argument("--fused", action="store_true",
                         help="gate operator-chain fusion: the fused "
                              "stateless chain must move records at "
@@ -371,6 +416,35 @@ def main(argv=None) -> int:
         )
         return 0
 
+    if args.latency:
+        measured = measure_latency()
+        for metric, value in measured.items():
+            print(f"{metric} = {value:,.3f}")
+        if args.update:
+            merge_baseline(measured, SERVE_BASELINE_PATH)
+            print(f"latency baseline updated: {SERVE_BASELINE_PATH}")
+            return 0
+        baseline = load_baseline(SERVE_BASELINE_PATH)
+        failures = check_ceiling(
+            measured,
+            baseline,
+            gated=LATENCY_GATED_METRICS,
+            tolerance=LATENCY_TOLERANCE,
+        )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if not failures:
+            print(
+                "wire latency gate OK ("
+                + ", ".join(
+                    f"{metric} {measured[metric]:.3f}ms vs baseline "
+                    f"{baseline[metric]:.3f}ms"
+                    for metric in LATENCY_GATED_METRICS
+                )
+                + ")"
+            )
+        return 1 if failures else 0
+
     if args.resize:
         measured = measure_resize()
         for metric, value in measured.items():
@@ -418,7 +492,7 @@ def main(argv=None) -> int:
             )
             return 1
         if args.update:
-            write_baseline(measured, SERVE_BASELINE_PATH)
+            merge_baseline(measured, SERVE_BASELINE_PATH)
             print(f"serve baseline updated: {SERVE_BASELINE_PATH}")
             return 0
         baseline = load_baseline(SERVE_BASELINE_PATH)

@@ -178,6 +178,15 @@ def main(argv: List[str] = None) -> int:
         "--max-workers", type=int, default=8,
         help="autoscaler ceiling (default 8)",
     )
+    serve.add_argument(
+        "--slo-target-ms", type=float, default=None, metavar="MS",
+        help="server-wide wire-latency SLO for queries with no own target",
+    )
+    serve.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="write flight-recorder dumps here on supervised recoveries "
+        "(default: $ASTREAM_FLIGHT_DIR)",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -218,6 +227,8 @@ def _cmd_serve(args) -> int:
         autoscale=args.autoscale,
         autoscale_min_workers=args.min_workers,
         autoscale_max_workers=args.max_workers,
+        slo_target_ms=args.slo_target_ms,
+        flight_dir=args.flight_dir,
     )
 
     async def run() -> int:

@@ -52,6 +52,7 @@ from repro.minispe.record import (
 )
 from repro.minispe.runtime import JobRuntime
 from repro.obs import Observability
+from repro.obs.cost import attribute_costs, slots_of
 
 logger = logging.getLogger("repro.core.engine")
 
@@ -224,6 +225,12 @@ class AStreamEngine:
         self._input_log_base = 0
         self._next_checkpoint_id = 1
         self._checkpoints: List[EngineCheckpoint] = []
+        # Data-path CPU meter for per-query cost attribution.  Metered
+        # only under observe/profile so the plain hot path keeps zero
+        # clock reads; two perf_counter_ns calls per (batched) push is
+        # well inside the >= 0.90x observe-overhead budget.
+        self._meter_cpu = self.obs is not None or self.config.profile
+        self._ingest_cpu_ns = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -463,6 +470,17 @@ class AStreamEngine:
 
     # -- data path -----------------------------------------------------------------
 
+    def _run_push(self, source: str, element) -> None:
+        """``runtime.push`` with the optional data-path CPU meter."""
+        if not self._meter_cpu:
+            self.runtime.push(source, element)
+            return
+        started = time.perf_counter_ns()
+        try:
+            self.runtime.push(source, element)
+        finally:
+            self._ingest_cpu_ns += time.perf_counter_ns() - started
+
     def push(
         self, stream: str, timestamp: int, value: Any, key: Any = None
     ) -> None:
@@ -471,11 +489,11 @@ class AStreamEngine:
             key = getattr(value, "key", None)
         record = Record(timestamp=timestamp, value=value, key=key)
         if not self.config.log_inputs:
-            self.runtime.push(f"source:{stream}", record)
+            self._run_push(f"source:{stream}", record)
             return
         self._input_log.append(("record", (stream, record)))
         try:
-            self.runtime.push(f"source:{stream}", record)
+            self._run_push(f"source:{stream}", record)
         except BaseException:
             # An injected (or real) fault killed this push mid-flight: the
             # element must not be replayed by recovery, because the caller
@@ -484,7 +502,9 @@ class AStreamEngine:
             self._input_log.pop()
             raise
 
-    def push_many(self, stream: str, tuples: List[Tuple[int, Any]]) -> int:
+    def push_many(
+        self, stream: str, tuples: List[Tuple[int, Any]], trace=None
+    ) -> int:
         """Inject a micro-batch of ``(timestamp, value)`` tuples.
 
         The batch traverses the dataflow as one :class:`RecordBatch`, so
@@ -503,9 +523,11 @@ class AStreamEngine:
             )
             for timestamp, value in tuples
         ]
-        return self.push_records(stream, records)
+        return self.push_records(stream, records, trace=trace)
 
-    def push_records(self, stream: str, records: List[Record]) -> int:
+    def push_records(
+        self, stream: str, records: List[Record], trace=None
+    ) -> int:
         """Inject a micro-batch of pre-built :class:`Record` objects.
 
         The zero-rebuild ingest seam: the serving layer's columnar
@@ -517,13 +539,21 @@ class AStreamEngine:
         """
         if not records:
             return 0
-        element = records[0] if len(records) == 1 else RecordBatch(records)
+        if trace is not None:
+            # A wire-traced push always travels as a batch so the trace
+            # context has somewhere to ride; force-sample the tracer so
+            # the per-operator breakdown lines up with the wire span.
+            element = RecordBatch(records, trace=trace)
+            if self.obs is not None:
+                self.obs.tracer.force_next()
+        else:
+            element = records[0] if len(records) == 1 else RecordBatch(records)
         if not self.config.log_inputs:
-            self.runtime.push(f"source:{stream}", element)
+            self._run_push(f"source:{stream}", element)
             return len(records)
         self._input_log.append(("batch", (stream, records)))
         try:
-            self.runtime.push(f"source:{stream}", element)
+            self._run_push(f"source:{stream}", element)
         except BaseException:
             self._input_log.pop()
             raise
@@ -544,12 +574,14 @@ class AStreamEngine:
         count = len(batch)
         if not count:
             return 0
+        if batch.trace is not None and self.obs is not None:
+            self.obs.tracer.force_next()
         if not self.config.log_inputs:
-            self.runtime.push(f"source:{stream}", batch)
+            self._run_push(f"source:{stream}", batch)
             return count
         self._input_log.append(("element", (stream, batch)))
         try:
-            self.runtime.push(f"source:{stream}", batch)
+            self._run_push(f"source:{stream}", batch)
         except BaseException:
             self._input_log.pop()
             raise
@@ -583,7 +615,7 @@ class AStreamEngine:
                 self._stream_watermarks[target] = max(
                     self._stream_watermarks.get(target, -1), timestamp
                 )
-                self.runtime.push(f"source:{target}", watermark)
+                self._run_push(f"source:{target}", watermark)
         except BaseException:
             # A window fire triggered by this watermark hit an injected
             # fault: un-log it so the post-recovery retry is not a
@@ -1056,6 +1088,103 @@ class AStreamEngine:
                     merged[key] += stats[key]
             summary[stream] = merged
         return summary
+
+    # -- cost attribution ----------------------------------------------------
+
+    def cost_profile(self) -> Dict:
+        """Per-query work-unit weights for CPU cost attribution.
+
+        Each entry names the queries a unit of selection work served:
+        direct predicates carry the slot set sharing the (deduplicated)
+        predicate, covering groups carry the group's member mask — so
+        shared covering-evaluation cost is split across members, per the
+        Shared Arrangements accounting argument.  ``engine_cpu_ns`` is
+        the measured data-path CPU (observe/profile runs only).  Feed
+        the result to :func:`repro.obs.cost.attribute_costs`.
+        """
+        return self._resolve_cost_profile(self._raw_cost_profile())
+
+    def _raw_cost_profile(self) -> Dict:
+        """The slot-mask-keyed cost profile, before query resolution.
+
+        Shard workers ship this form over IPC: their session registries
+        are never driven (submits happen coordinator-side, deployments
+        ride changelog markers straight into the operators), so only the
+        coordinator can map slots back to query ids.
+        """
+        streams: Dict[str, List[Dict]] = {}
+        unattributed = 0.0
+        for stream, operators in sorted(self._selections.items()):
+            entries: List[Dict] = []
+            for op in operators:
+                profile = op.cost_profile()
+                unattributed += profile.get("unattributed", 0.0)
+                for kind in ("direct", "groups"):
+                    for unit in profile.get(kind, ()):
+                        work = unit["evaluations"]
+                        if not work:
+                            continue
+                        entries.append(
+                            {
+                                "kind": kind,
+                                "slots": unit["slots"],
+                                "evaluations": work,
+                            }
+                        )
+            streams[stream] = entries
+        return {
+            "streams": streams,
+            "unattributed_evaluations": unattributed,
+            "engine_cpu_ns": self._ingest_cpu_ns,
+        }
+
+    def _resolve_cost_profile(self, raw: Dict) -> Dict:
+        """Map a raw profile's slot masks to live query ids.
+
+        Work whose slots no longer resolve (the queries were deleted
+        mid-epoch) moves to the unattributed bucket.
+        """
+        registry = self.session.registry
+
+        def queries_for(mask: int) -> List[str]:
+            out = []
+            for slot in slots_of(mask):
+                entry = registry.by_slot(slot)
+                if entry is not None:
+                    out.append(entry.query.query_id)
+            return out
+
+        streams: Dict[str, List[Dict]] = {}
+        unattributed = float(raw.get("unattributed_evaluations", 0) or 0)
+        for stream, entries in raw.get("streams", {}).items():
+            resolved: List[Dict] = []
+            for entry in entries:
+                if "slots" not in entry:
+                    resolved.append(entry)
+                    continue
+                members = queries_for(entry["slots"])
+                if not members:
+                    unattributed += entry["evaluations"]
+                    continue
+                resolved.append(
+                    {
+                        "kind": entry["kind"],
+                        "queries": members,
+                        "evaluations": entry["evaluations"],
+                    }
+                )
+            streams[stream] = resolved
+        return {
+            "streams": streams,
+            "unattributed_evaluations": unattributed,
+            "engine_cpu_ns": raw.get("engine_cpu_ns", 0),
+        }
+
+    def cost_attribution(self) -> Dict:
+        """Measured engine CPU split across queries (shared work split
+        over group members); shares sum to the metered total exactly."""
+        profile = self.cost_profile()
+        return attribute_costs(profile.get("engine_cpu_ns", 0), profile)
 
     def selection_operators(self, stream: str) -> List[SharedSelectionOperator]:
         """Live shared-selection instances for a stream."""

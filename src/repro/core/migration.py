@@ -187,6 +187,48 @@ def _split_join_state(donors: List[dict], new_count: int) -> List[dict]:
     return outputs
 
 
+_SELECT_COUNTER_KEYS = (
+    "evaluations",
+    "cover_skips",
+    "index_probes",
+    "residual_checks",
+)
+
+
+def _split_select_state(donors: List[dict], new_count: int) -> List[dict]:
+    """Control-replicated selection state with conserved work counters.
+
+    The predicate table is identical on every shard (structure copies
+    from donor 0), but the lifetime evaluation counters measure each
+    shard's own work and merge by *sum* in ``sharing_summary()`` — so
+    the donors' totals land on new shard 0 and the other destinations
+    start at zero, keeping the merged total exactly what it was.
+
+    States without counters (older exports, synthetic fixtures) are
+    replicated verbatim.
+    """
+    if not any(
+        "evaluations" in donor or "group_stats" in donor for donor in donors
+    ):
+        return [copy.deepcopy(donors[0]) for _ in range(new_count)]
+    total_evaluations = sum(d.get("evaluations", 0) for d in donors)
+    totals = {
+        key: sum(d.get("group_stats", {}).get(key, 0) for d in donors)
+        for key in _SELECT_COUNTER_KEYS
+    }
+    outputs: List[dict] = []
+    for dest in range(new_count):
+        state = copy.deepcopy(donors[0])
+        if dest == 0:
+            state["evaluations"] = total_evaluations
+            state["group_stats"] = dict(totals)
+        else:
+            state["evaluations"] = 0
+            state["group_stats"] = dict.fromkeys(_SELECT_COUNTER_KEYS, 0)
+        outputs.append(state)
+    return outputs
+
+
 def _empty_channels() -> dict:
     return {"counts": {}, "results": {}}
 
@@ -222,6 +264,11 @@ def repartition_shard_states(
                 )
             elif vertex.startswith("join:"):
                 split = _split_join_state(
+                    [runtime[vertex][instance] for runtime in donor_runtimes],
+                    new_count,
+                )
+            elif vertex.startswith("select:"):
+                split = _split_select_state(
                     [runtime[vertex][instance] for runtime in donor_runtimes],
                     new_count,
                 )

@@ -41,6 +41,7 @@ from repro.minispe.parallel import (
     ShardedRuntime,
 )
 from repro.minispe.record import CheckpointBarrier, Record, RecordBatch, Watermark
+from repro.obs.cost import merge_cost_profiles
 from repro.obs.registry import merge_snapshots, relabel_snapshot
 from repro.obs.tracing import merge_trace_snapshots
 
@@ -75,6 +76,7 @@ class AStreamShardProgram(ShardProgram):
         self._sample_every = max(0, deliver_sample_every)
         self._deliver_seen = 0
         self._deliveries: List[Tuple[str, int]] = []
+        self._wire_spans: List[dict] = []
         self.engine = AStreamEngine(
             worker_config,
             cluster=SimulatedCluster(
@@ -111,12 +113,34 @@ class AStreamShardProgram(ShardProgram):
         """
         kind = op[0]
         if kind == "push":
-            self.engine.runtime.push(op[1], op[2])
+            self.engine._run_push(op[1], op[2])
             return None
         if kind == "batch":
             records: List[Record] = op[2]
+            trace = op[3] if len(op) > 3 else None
+            if trace is not None:
+                # Traced batch: keep it a RecordBatch (even singleton),
+                # force-sample the worker tracer so the per-operator
+                # breakdown lines up with the wire span, and stamp the
+                # shard-local wall span as trace detail.
+                element = RecordBatch(records, trace=trace)
+                if self.engine.obs is not None:
+                    self.engine.obs.tracer.force_next()
+                started = time.monotonic_ns()
+                self.engine._run_push(op[1], element)
+                if self.engine.obs is not None:
+                    self._wire_spans.append(
+                        {
+                            "id": trace[0],
+                            "shard": self.shard_index,
+                            "start_ns": started,
+                            "span_ns": time.monotonic_ns() - started,
+                            "records": len(records),
+                        }
+                    )
+                return None
             element = records[0] if len(records) == 1 else RecordBatch(records)
-            self.engine.runtime.push(op[1], element)
+            self.engine._run_push(op[1], element)
             return None
         if kind == "snapshot":
             return {
@@ -140,6 +164,8 @@ class AStreamShardProgram(ShardProgram):
             }
         if kind == "drain":
             return True
+        if kind == "cost":
+            return self.engine._raw_cost_profile()
         if kind == "obs":
             # The telemetry payload itself rides the ack (take_obs with
             # unlimited=True, since this is a synchronous op); the reply
@@ -209,6 +235,10 @@ class AStreamShardProgram(ShardProgram):
         )
         if events:
             payload["events"] = events
+        if self._wire_spans:
+            spans = self._wire_spans[:ACK_OBS_EVENT_CAP]
+            del self._wire_spans[: len(spans)]
+            payload["wire_spans"] = spans
         if unlimited:
             self.engine._refresh_obs_gauges()
             payload["registry"] = obs.registry.snapshot()
@@ -310,6 +340,8 @@ class ProcessAStreamEngine(AStreamEngine):
         self._shard_trace: Dict[int, dict] = {}
         self._worker_profiles: Dict[int, str] = {}
         self._final_obs_snapshot: Optional[Dict] = None
+        self._final_cost_profile: Optional[Dict] = None
+        self._wire_spans: List[dict] = []
         super().__init__(
             config,
             cluster or SimulatedCluster(mode="process"),
@@ -369,6 +401,10 @@ class ProcessAStreamEngine(AStreamEngine):
         registry = payload.get("registry")
         if registry is not None:
             self._shard_registry[shard] = registry
+        wire_spans = payload.get("wire_spans")
+        if wire_spans:
+            self._wire_spans.extend(wire_spans)
+            del self._wire_spans[:-512]
         trace = payload.get("trace")
         if trace is not None:
             previous = self._shard_trace.get(shard)
@@ -478,6 +514,28 @@ class ProcessAStreamEngine(AStreamEngine):
                         into[key] += value
         return merged
 
+    def cost_profile(self) -> Dict:
+        """Per-query cost weights merged across all shard engines.
+
+        Workers ship *raw* (slot-mask-keyed) profiles — their session
+        registries are never driven, so only the coordinator can map
+        slots to query ids.  The coordinator merges them with
+        :func:`repro.obs.cost.merge_cost_profiles` (counters sum, keyed
+        by stream + member set — the sharing_summary() convention) and
+        resolves the masks against its own registry.
+        """
+        if self._final_cost_profile is not None:
+            return self._final_cost_profile
+        merged = merge_cost_profiles(self.runtime.pool.sync(("cost",)))
+        return self._resolve_cost_profile(merged)
+
+    def take_wire_spans(self) -> List[dict]:
+        """Drain per-shard wall spans of traced batches (observe mode:
+        they ride the ack piggybacks as wire-trace detail)."""
+        spans = self._wire_spans
+        self._wire_spans = []
+        return spans
+
     # -- telemetry (merged from shards) -------------------------------------
 
     def _pull_shard_obs(self) -> None:
@@ -573,6 +631,10 @@ class ProcessAStreamEngine(AStreamEngine):
         self._refresh_results()
         self._final_component_stats = self.component_stats()
         self._final_sharing_summary = self.sharing_summary()
+        try:
+            self._final_cost_profile = self.cost_profile()
+        except ShardWorkerError:
+            logger.warning("final cost-profile collection failed", exc_info=True)
         if self.config.profile:
             try:
                 self.worker_profiles()

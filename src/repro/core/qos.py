@@ -33,6 +33,10 @@ class QoSThresholds:
     max_event_time_latency_ms: Optional[float] = None
     max_deployment_latency_ms: Optional[float] = None
     min_query_throughput: Optional[float] = None
+    max_slo_burn_rate: Optional[float] = None
+    """Per-query SLO error-budget burn rate (violating fraction over the
+    allowed fraction) above which the query is flagged; the serving
+    layer uses the same threshold to apply subscription pressure."""
 
 
 class QoSMonitor:
@@ -62,6 +66,8 @@ class QoSMonitor:
         """Timestamped samples ``(now_ms, lag_ms)`` for timeline figures."""
         self.per_query_latency: Dict[str, Histogram] = {}
         self.per_query_delivered: Dict[str, int] = {}
+        self.per_query_burn: Dict[str, float] = {}
+        """Latest SLO burn rate reported per query (serving layer)."""
         self._since_sample = 0
 
     # -- wiring ---------------------------------------------------------------
@@ -83,6 +89,10 @@ class QoSMonitor:
                 per_query = Histogram(f"latency:{query_id}")
                 self.per_query_latency[query_id] = per_query
             per_query.record(lag)
+
+    def observe_burn(self, query_id: str, burn_rate: float) -> None:
+        """Record the latest SLO error-budget burn rate for a query."""
+        self.per_query_burn[query_id] = burn_rate
 
     # -- reporting ----------------------------------------------------------------
 
@@ -135,5 +145,17 @@ class QoSMonitor:
             if starved:
                 problems.append(
                     f"{len(starved)} queries below the minimum result rate"
+                )
+        if limits.max_slo_burn_rate is not None:
+            burning = [
+                query_id
+                for query_id, burn in self.per_query_burn.items()
+                if burn >= limits.max_slo_burn_rate
+            ]
+            for query_id in sorted(burning):
+                problems.append(
+                    f"slo_burn: query {query_id} burning error budget at "
+                    f"{self.per_query_burn[query_id]:.2f}x "
+                    f"(limit {limits.max_slo_burn_rate:.2f}x)"
                 )
         return problems

@@ -505,20 +505,86 @@ class SharedSelectionOperator(Operator):
             "plan": plan.describe(),
         }
 
+    def cost_profile(self) -> Dict[str, Any]:
+        """Work units by slot membership, for per-query cost attribution.
+
+        Direct-predicate evaluations (``self._evaluations``, one per
+        tuple per direct entry) are split equally across the current
+        plan's direct entries — exact within an epoch, since every
+        direct predicate runs once per tuple.  Each live covering group
+        reports its own probe + residual counters against its member
+        mask (``SharingGroup.slots_mask``).  Work from retired epoch
+        views is reported as ``unattributed`` — its member masks are
+        gone with the views.
+        """
+        plan = self._views[-1].plan
+        direct: List[Dict[str, Any]] = []
+        if plan.direct and self._evaluations:
+            per_entry = self._evaluations / len(plan.direct)
+            direct = [
+                {"slots": slots_mask, "evaluations": per_entry}
+                for _, slots_mask in plan.direct
+            ]
+        groups: List[Dict[str, Any]] = []
+        group_work: Dict[int, float] = {}
+        for view in self._views:
+            for group in view.plan.groups:
+                work = float(group.evaluations + group.residual_checks)
+                if work:
+                    group_work[group.slots_mask] = (
+                        group_work.get(group.slots_mask, 0.0) + work
+                    )
+        groups = [
+            {"slots": mask, "evaluations": work}
+            for mask, work in sorted(group_work.items())
+        ]
+        retired = self._retired_group_stats
+        return {
+            "direct": direct,
+            "groups": groups,
+            "unattributed": float(
+                retired["evaluations"] + retired["residual_checks"]
+            ),
+        }
+
     def snapshot(self) -> Any:
+        # Lifetime work counters travel with the state: a migrated shard
+        # must not forget the evaluations it already charged (the
+        # cross-shard sharing_summary() merge sums them), and a
+        # checkpoint-restore must roll them back to checkpoint time so
+        # input-log replay re-accumulates exactly once.
+        lifetime = dict(self._retired_group_stats)
+        for view in self._views:
+            for group in view.plan.groups:
+                lifetime["evaluations"] += group.evaluations
+                lifetime["cover_skips"] += group.cover_skips
+                lifetime["index_probes"] += group.index_probes
+                lifetime["residual_checks"] += group.residual_checks
         return {
             "slot_predicates": dict(self._slot_predicates),
             "views": [
                 (view.start_ms, view.sequence, list(view.predicates))
                 for view in self._views
             ],
+            "evaluations": self._evaluations,
+            "group_stats": lifetime,
         }
 
     def restore(self, snapshot: Any) -> None:
-        self._retire_views(self._views)
         self._slot_predicates = dict(snapshot["slot_predicates"])
         self._views = [
             self._make_view(start, sequence, list(preds))
             for start, sequence, preds in snapshot["views"]
         ]
         self._view_starts = [view.start_ms for view in self._views]
+        # Freshly compiled views start their group counters at zero; the
+        # snapshot's lifetime totals seed the retired bucket, replacing
+        # (not adding to) whatever this operator counted before restore.
+        self._evaluations = snapshot.get("evaluations", 0)
+        self._retired_group_stats = {
+            "evaluations": 0,
+            "cover_skips": 0,
+            "index_probes": 0,
+            "residual_checks": 0,
+        }
+        self._retired_group_stats.update(snapshot.get("group_stats", {}))

@@ -127,6 +127,84 @@ def render_shard_balance(registry: Dict[str, dict]) -> List[str]:
     return lines
 
 
+def render_latency_slo(
+    slo_summary: Optional[Dict],
+    wire_snapshot: Optional[Dict] = None,
+    limit: int = 10,
+) -> List[str]:
+    """Wire-latency / SLO panel: per-query percentiles, targets, burn.
+
+    ``slo_summary`` is :meth:`repro.obs.slo.SLOTracker.summary` (or the
+    ``slo`` block of a serve ``stats`` frame); ``wire_snapshot`` is a
+    :meth:`repro.obs.tracing.WireTraceBook.snapshot`, rendered as the
+    wire-stage breakdown header when present.
+    """
+    if not slo_summary or not slo_summary.get("queries"):
+        return []
+    lines: List[str] = []
+    if wire_snapshot and wire_snapshot.get("e2e_count"):
+        count = wire_snapshot["e2e_count"]
+        mean_ns = wire_snapshot["e2e_total_ns"] / count
+        stages = ", ".join(
+            f"{stage} {_fmt_ns(total / max(1, n))}"
+            for stage, (n, total) in sorted(
+                wire_snapshot.get("stage_totals", {}).items(),
+                key=lambda item: -item[1][1],
+            )
+        )
+        lines.append(
+            f"wire latency ({count} traced pushes, mean e2e "
+            f"{_fmt_ns(mean_ns)}; {stages})"
+        )
+    header = (
+        f"latency SLOs (objective {slo_summary.get('objective', 0):.2%}, "
+        f"{slo_summary.get('observed_total', 0)} observed, "
+        f"{slo_summary.get('violations_total', 0)} violations, "
+        f"max burn {slo_summary.get('max_burn_rate', 0.0):.2f}x)"
+    )
+    lines.append(header)
+    queries = slo_summary["queries"]
+    ranked = sorted(
+        queries.items(),
+        key=lambda item: (-item[1].get("burn_rate", 0.0), item[0]),
+    )
+    for query_id, info in ranked[:limit]:
+        target = info.get("target_ms")
+        target_txt = f"slo {target:g}ms" if target is not None else "no slo"
+        burn = info.get("burn_rate", 0.0)
+        flame = " BURNING" if burn >= 1.0 else ""
+        lines.append(
+            f"  {query_id:<20} p50 {info.get('p50', 0.0):>8.2f}ms  "
+            f"p95 {info.get('p95', 0.0):>8.2f}ms  "
+            f"p99 {info.get('p99', 0.0):>8.2f}ms  "
+            f"{target_txt:>12}  burn {burn:>5.2f}x{flame}"
+        )
+    if len(queries) > limit:
+        lines.append(f"  ... and {len(queries) - limit} more queries")
+    return lines
+
+
+def render_cost_attribution(attribution: Optional[Dict], limit: int = 8) -> List[str]:
+    """Per-query CPU shares (shared work split across group members)."""
+    if not attribution or not attribution.get("queries"):
+        return []
+    total = attribution.get("total_ns", 0) or 1
+    lines = [
+        f"cost attribution ({_fmt_ns(total)} engine CPU, "
+        f"{_fmt_ns(attribution.get('unattributed_ns', 0))} unattributed)"
+    ]
+    ranked = sorted(
+        attribution["queries"].items(), key=lambda item: (-item[1], item[0])
+    )
+    for query_id, ns in ranked[:limit]:
+        share = ns / total
+        bar = "#" * max(1, round(share * 24)) if ns else ""
+        lines.append(
+            f"  {query_id:<20} {_fmt_ns(ns):>9} {share:>6.1%} {bar}"
+        )
+    return lines
+
+
 def render_events(events: List[Dict], limit: int = 12) -> List[str]:
     """The tail of the structured event log, one line per event."""
     if not events:
@@ -153,6 +231,10 @@ def render_dashboard(
     sections = [
         [f"== {title} =="],
         render_breakdown(snapshot.get("trace", {})),
+        render_latency_slo(
+            snapshot.get("slo"), snapshot.get("wire_trace")
+        ),
+        render_cost_attribution(snapshot.get("cost")),
         render_shard_balance(registry),
         render_operator_state(registry),
         render_events(events or []),

@@ -218,6 +218,12 @@ def run_scenario(
         # (and the event log) survive the worker pool.
         metrics.obs_snapshot = engine.obs_snapshot()
         metrics.obs_events = engine.obs.events.to_jsonl()
+        # Per-query CPU cost attribution (shared covering work split
+        # across members) feeds the inspector's cost panel.
+        try:
+            metrics.obs_snapshot["cost"] = engine.cost_attribution()
+        except Exception:
+            pass
     if config.backend == "process":
         # Stop the worker pool now; merged results and cached component
         # stats stay readable on the engine, and sweeps don't pile up

@@ -687,12 +687,16 @@ class ShardedRuntime(ExecutionBackend):
             shard = stable_hash(element.key) % self._shards
             pool.submit(shard, ("push", source_name, element))
         elif isinstance(element, RecordBatch):
+            # A wire trace context rides as an optional 4th op element so
+            # untraced frames keep the 3-tuple shape (and its pickles).
+            trace = element.trace
             if self._shards == 1:
-                pool.submit(
-                    0,
-                    ("batch", source_name, element.records),
-                    records=len(element.records),
+                op = (
+                    ("batch", source_name, element.records)
+                    if trace is None
+                    else ("batch", source_name, element.records, trace)
                 )
+                pool.submit(0, op, records=len(element.records))
                 return
             buckets: List[Optional[List[Record]]] = [None] * self._shards
             for record in element.records:
@@ -704,11 +708,12 @@ class ShardedRuntime(ExecutionBackend):
                     bucket.append(record)
             for index, bucket in enumerate(buckets):
                 if bucket is not None:
-                    pool.submit(
-                        index,
-                        ("batch", source_name, bucket),
-                        records=len(bucket),
+                    op = (
+                        ("batch", source_name, bucket)
+                        if trace is None
+                        else ("batch", source_name, bucket, trace)
                     )
+                    pool.submit(index, op, records=len(bucket))
         else:
             pool.broadcast(("push", source_name, element))
 
@@ -718,17 +723,19 @@ class ShardedRuntime(ExecutionBackend):
             shard = stable_hash(element.key) % self._shards
             self._submit(shard, ("push", source_name, element))
         elif isinstance(element, RecordBatch):
+            trace = element.trace
             buckets: Dict[int, List[Record]] = {}
             for record in element.records:
                 buckets.setdefault(
                     stable_hash(record.key) % self._shards, []
                 ).append(record)
             for index, bucket in buckets.items():
-                self._submit(
-                    index,
-                    ("batch", source_name, bucket),
-                    records=len(bucket),
+                op = (
+                    ("batch", source_name, bucket)
+                    if trace is None
+                    else ("batch", source_name, bucket, trace)
                 )
+                self._submit(index, op, records=len(bucket))
         else:
             for shard in range(self._shards):
                 self._submit(shard, ("push", source_name, element))

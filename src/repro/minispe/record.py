@@ -115,13 +115,20 @@ class RecordBatch(StreamElement):
 
     Treat ``records`` as immutable once the batch has been emitted; the
     runtime may deliver the same list object to several broadcast targets.
+
+    A batch may carry a wire trace context in ``trace`` — an opaque
+    ``(trace_id, ingest_ns)`` pair stamped by a client push.  The trace
+    rides the batch across process boundaries but is metadata only: it
+    never affects routing, equality, or results (byte-equality between
+    traced and untraced runs is part of the serve test matrix).
     """
 
-    __slots__ = ("_records", "_columns")
+    __slots__ = ("_records", "_columns", "trace")
 
-    def __init__(self, records: list) -> None:
+    def __init__(self, records: list, trace=None) -> None:
         self._records = records
         self._columns = None
+        self.trace = trace
 
     @classmethod
     def from_columns(cls, timestamps, keys, fields, builder) -> "RecordBatch":
@@ -136,6 +143,7 @@ class RecordBatch(StreamElement):
         batch = cls.__new__(cls)
         batch._records = None
         batch._columns = (timestamps, keys, tuple(fields), builder)
+        batch.trace = None
         return batch
 
     @property
@@ -214,7 +222,9 @@ class RecordBatch(StreamElement):
         # Columns may be memoryview casts into a network buffer; a batch
         # crossing a process boundary (shard workers, checkpoints)
         # materialises into plain records first.
-        return (RecordBatch, (self.records,))
+        if self.trace is None:
+            return (RecordBatch, (self.records,))
+        return (RecordBatch, (self.records, self.trace))
 
     def __repr__(self) -> str:
         kind = "columnar, " if self._columns is not None else ""

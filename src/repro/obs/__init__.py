@@ -41,8 +41,10 @@ from repro.obs.registry import (
 )
 from repro.obs.tracing import (
     TraceCollector,
+    WireTraceBook,
     breakdown_from_snapshot,
     merge_trace_snapshots,
+    new_trace_id,
 )
 
 __all__ = [
@@ -51,12 +53,15 @@ __all__ = [
     "MetricsScope",
     "Observability",
     "TraceCollector",
+    "WireTraceBook",
     "breakdown_from_snapshot",
     "merge_snapshots",
     "merge_trace_snapshots",
+    "new_trace_id",
     "relabel_snapshot",
     "render_key",
     "render_prometheus",
+    "write_flight_record",
     "write_obs_artifacts",
 ]
 
@@ -131,4 +136,42 @@ def write_obs_artifacts(
     events_path = out / f"obs_{prefix}_events.jsonl"
     events_path.write_text(events_jsonl + ("\n" if events_jsonl else ""))
     paths["events"] = str(events_path)
+    return paths
+
+
+def write_flight_record(
+    out_dir,
+    prefix: str,
+    info: Optional[Dict] = None,
+    snapshot: Optional[Dict] = None,
+    wire_traces: Optional[Dict] = None,
+    events_jsonl: str = "",
+) -> Dict[str, str]:
+    """Dump a post-incident flight record.
+
+    Written automatically when the serving gate performs a recovery: one
+    ``flight_<prefix>.json`` holding the recovery info, the telemetry
+    snapshot (when observe is on), and the wire-trace tail — the last
+    traced pushes leading up to the incident — plus a companion
+    ``flight_<prefix>_events.jsonl`` with the merged event log.  Returns
+    the written paths keyed by artifact kind.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: Dict[str, str] = {}
+    record = {
+        "kind": "flight_record",
+        "info": info or {},
+        "snapshot": snapshot or {},
+        "wire_traces": wire_traces or {},
+    }
+    record_path = out / f"flight_{prefix}.json"
+    record_path.write_text(
+        json.dumps(record, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    paths["record"] = str(record_path)
+    if events_jsonl:
+        events_path = out / f"flight_{prefix}_events.jsonl"
+        events_path.write_text(events_jsonl + "\n")
+        paths["events"] = str(events_path)
     return paths

@@ -28,10 +28,21 @@ def _labels(labels: Dict[str, str], extra: Dict[str, str] = None) -> str:
     if not merged:
         return ""
     body = ",".join(
-        f'{_sanitize(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        f'{_sanitize(k)}="{_escape_label_value(v)}"'
         for k, v in sorted(merged.items())
     )
     return f"{{{body}}}"
+
+
+def _escape_label_value(value) -> str:
+    # Text-format spec: label values escape backslash, double-quote, and
+    # line feed (backslash first so the other escapes stay single).
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 HELP_TEXT: Dict[str, str] = {
@@ -43,6 +54,16 @@ HELP_TEXT: Dict[str, str] = {
     "migration_pause_ms": "Ingest pause per migration phase (export/step)",
     "worker_failures": "Proactively detected worker deaths, by reason",
     "mttr_ms": "Supervised mean-time-to-recovery distribution",
+    "serve_wire_e2e_ms": "Wire-to-delivery latency of trace-stamped pushes",
+    "serve_traced_pushes": "Push frames carrying a wire trace context",
+    "serve_trace_stage_ns": "Cumulative wire-span self time, by stage",
+    "query_latency_ms": "Per-query wire-to-delivery latency distribution",
+    "tenant_latency_ms": "Per-tenant wire-to-delivery latency distribution",
+    "slo_burn_rate": "Error-budget burn over the sliding SLO window",
+    "slo_violations": "Deliveries that exceeded their declared SLO target",
+    "slo_pressure_active": "Subscriptions shedding early due to SLO burn",
+    "query_cost_ns": "Attributed engine CPU per query (shared work split)",
+    "engine_cpu_ns": "Measured engine CPU consumed by the data path",
 }
 """# HELP text for degradation-visibility metrics (ISSUE 6): operators
 should be able to *see* recoveries, migrations, and dead-letters in the

@@ -26,11 +26,21 @@ observe-off runs.
 
 from __future__ import annotations
 
+import random
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
 
 MAX_TRACES = 512
 """Per-tuple breakdown entries retained (stage totals are unbounded)."""
+
+MAX_WIRE_TRACES = 256
+"""Closed wire-to-delivery trace records retained in the book's tail."""
+
+
+def new_trace_id() -> int:
+    """A fresh 63-bit wire trace id (fits a signed int64 everywhere)."""
+    return random.getrandbits(63) | 1
 
 
 class TraceCollector:
@@ -54,6 +64,7 @@ class TraceCollector:
         "_stage_self",
         "_tuple_start_ns",
         "_max_traces",
+        "_force_next",
     )
 
     def __init__(self, sample_every: int = 32, max_traces: int = MAX_TRACES) -> None:
@@ -71,13 +82,25 @@ class TraceCollector:
         self._stage_self: Dict[str, int] = {}
         self._tuple_start_ns = 0
         self._max_traces = max_traces
+        self._force_next = False
 
     # -- per-push lifecycle ------------------------------------------------
+
+    def force_next(self) -> None:
+        """Make the next :meth:`maybe_start` sample regardless of cadence.
+
+        Wire-traced pushes carry an explicit sample bit; forcing keeps the
+        per-operator breakdown aligned with the wire span instead of
+        leaving it to the 1-in-N modulus.
+        """
+        self._force_next = True
 
     def maybe_start(self) -> bool:
         """Sampling decision for one source push; True = trace it."""
         self._pushes += 1
-        if self._pushes % self.sample_every:
+        if self._force_next:
+            self._force_next = False
+        elif self._pushes % self.sample_every:
             return False
         self.active = True
         self._stage_self = {}
@@ -212,6 +235,105 @@ def merge_trace_snapshots(snapshots) -> Dict:
         merged["traces"].extend(snapshot.get("traces", ()))
     merged["traces"] = merged["traces"][:MAX_TRACES]
     return merged
+
+
+class WireTraceBook:
+    """Wire-to-delivery span accounting for trace-stamped push frames.
+
+    A traced push carries a boundary-stamp chain — monotonic clock reads
+    taken at each hand-off (client encode, server receipt, pre-ingest,
+    post-ingest, post-delivery).  Each wire stage's self-time is the
+    difference of two adjacent stamps, so the stage times telescope to
+    the end-to-end span *exactly*, by arithmetic identity — there is no
+    sampling error to tolerate.  The per-operator breakdown produced by
+    :class:`TraceCollector` then nests inside the ``shard`` stage.
+
+    The book keeps unbounded per-stage aggregates (same shape as a
+    collector snapshot, so :func:`breakdown_from_snapshot` renders both)
+    plus a bounded tail of closed trace records for the flight recorder.
+    """
+
+    __slots__ = ("stage_totals", "e2e_count", "e2e_total_ns", "_tail", "_by_id")
+
+    def __init__(self, max_tail: int = MAX_WIRE_TRACES) -> None:
+        self.stage_totals: Dict[str, List[int]] = {}
+        self.e2e_count = 0
+        self.e2e_total_ns = 0
+        self._tail: deque = deque(maxlen=max_tail)
+        self._by_id: Dict[int, Dict] = {}
+
+    def close(
+        self,
+        trace_id: int,
+        boundaries: Sequence[Tuple[str, int]],
+        queries: Sequence[str] = (),
+    ) -> Dict:
+        """Fold one completed boundary chain into the book.
+
+        ``boundaries`` is the ordered stamp chain ``[(label, t_ns), ...]``
+        where entry *i*'s label names the stage that *ends* at stamp *i*
+        (the first label is conventionally ``"ingest"`` and carries no
+        span).  Returns the closed trace record.
+        """
+        spans: List[Tuple[str, int]] = []
+        for (_, prev_ns), (stage, t_ns) in zip(boundaries, boundaries[1:]):
+            span_ns = t_ns - prev_ns
+            spans.append((stage, span_ns))
+            slot = self.stage_totals.get(stage)
+            if slot is None:
+                self.stage_totals[stage] = [1, span_ns]
+            else:
+                slot[0] += 1
+                slot[1] += span_ns
+        e2e_ns = boundaries[-1][1] - boundaries[0][1] if len(boundaries) > 1 else 0
+        self.e2e_count += 1
+        self.e2e_total_ns += e2e_ns
+        record = {
+            "id": trace_id,
+            "e2e_ns": e2e_ns,
+            "spans": spans,
+            "queries": list(queries),
+        }
+        evicted = None
+        if self._tail.maxlen and len(self._tail) == self._tail.maxlen:
+            evicted = self._tail[0]
+        self._tail.append(record)
+        if evicted is not None:
+            self._by_id.pop(evicted["id"], None)
+        self._by_id[trace_id] = record
+        return record
+
+    def attach_detail(self, trace_id: int, detail) -> bool:
+        """Hang backend-specific detail (e.g. per-shard worker spans) off
+        a closed trace still present in the tail."""
+        record = self._by_id.get(trace_id)
+        if record is None:
+            return False
+        record.setdefault("detail", []).append(detail)
+        return True
+
+    def tail(self) -> List[Dict]:
+        """The most recent closed traces (bounded by ``max_tail``)."""
+        return list(self._tail)
+
+    def snapshot(self) -> Dict:
+        """Same shape as a :class:`TraceCollector` snapshot, so the
+        merge/breakdown helpers apply to wire spans unchanged."""
+        return {
+            "stage_totals": {
+                stage: list(slot) for stage, slot in self.stage_totals.items()
+            },
+            "e2e_count": self.e2e_count,
+            "e2e_total_ns": self.e2e_total_ns,
+            "traces": [
+                {
+                    "timestamp": rec["id"],
+                    "total_ns": rec["e2e_ns"],
+                    "stages": dict(rec["spans"]),
+                }
+                for rec in self._tail
+            ],
+        }
 
 
 def breakdown_from_snapshot(snapshot: Dict) -> Dict:

@@ -46,6 +46,10 @@ class AutoscalePolicy:
     re-sharding to a different modulus redistributes hot key ranges."""
     scale_down_stall_rate: float = 0.05
     """Stalls/sec below which the pool is considered over-provisioned."""
+    scale_up_burn_rate: float = 2.0
+    """Worst per-query SLO error-budget burn rate that triggers
+    scale-up: tail latency is eating the budget faster than the
+    objective allows even though the pool is not stalling yet."""
 
     def __post_init__(self) -> None:
         if self.min_workers < 1:
@@ -70,13 +74,16 @@ class Autoscaler:
         workers: int,
         stall_total: int,
         skew: Optional[float] = None,
+        burn_rate: Optional[float] = None,
     ) -> Optional[int]:
         """Return a new target worker count, or None to hold steady.
 
         ``stall_total`` is the pool's cumulative credit-window stall
         count (monotonic; resets to 0 after a resize are handled).
         ``skew`` is the latest ``straggler_skew`` estimate when
-        cross-worker telemetry is on, else None.
+        cross-worker telemetry is on, else None.  ``burn_rate`` is the
+        worst per-query SLO error-budget burn rate when the server
+        tracks wire latency SLOs, else None.
         """
         policy = self.policy
         if self._last_eval_ms is None:
@@ -102,6 +109,9 @@ class Autoscaler:
         elif skew is not None and skew >= policy.scale_up_skew:
             target = min(policy.max_workers, max(workers + 1, workers * 2))
             reason = f"straggler_skew={skew:.2f}"
+        elif burn_rate is not None and burn_rate >= policy.scale_up_burn_rate:
+            target = min(policy.max_workers, workers + 1)
+            reason = f"slo_burn={burn_rate:.2f}"
         elif (
             stall_rate <= policy.scale_down_stall_rate
             and workers > policy.min_workers

@@ -35,6 +35,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.core.query import Query
 from repro.core.router import QueryOutput
 from repro.core.serde import output_from_dict, query_to_dict
+from repro.obs.tracing import new_trace_id
 from repro.serve.protocol import (
     CODEC_BINARY,
     CODEC_JSON,
@@ -211,6 +212,7 @@ class ServeClient:
         connect_timeout_s: float = 5.0,
         codec: str = CODEC_BINARY,
         coalesce_tuples: int = 512,
+        trace_sample_every: int = 0,
     ) -> None:
         self._core = _SessionCore(host, port, client_id, token, retry,
                                   codec=codec)
@@ -223,6 +225,17 @@ class ServeClient:
         self._in_flight = 0
         """Pipelined push frames sent but not yet acknowledged."""
         self._ingest_accepted = 0
+        self._trace_every = max(0, trace_sample_every)
+        """Stamp every Nth :meth:`push` with a wire trace context
+        (0 disables tracing; 1 traces every push).  The server closes
+        each trace at subscriber delivery and piggybacks the span
+        breakdown on the push ack — harvested into
+        :attr:`trace_summaries` / :attr:`wire_latencies_ms`."""
+        self._push_seq = 0
+        self.trace_summaries: deque = deque(maxlen=256)
+        """Closed wire traces returned on push acks, newest last."""
+        self.wire_latencies_ms: List[float] = []
+        """End-to-end latency (ms) of every closed wire trace."""
         self.connect()
 
     # -- connection management ---------------------------------------------
@@ -378,8 +391,14 @@ class ServeClient:
         query: Optional[Query] = None,
         sql: Optional[str] = None,
         at_ms: Optional[int] = None,
+        slo_ms: Optional[float] = None,
     ) -> ControlResult:
-        """Create one ad-hoc query (a :class:`Query` or SQL text)."""
+        """Create one ad-hoc query (a :class:`Query` or SQL text).
+
+        ``slo_ms`` declares a wire-to-delivery latency SLO target for
+        the query; the server tracks its burn rate and feeds it to the
+        autoscaler and QoS shedding.
+        """
         if (query is None) == (sql is None):
             raise ValueError("pass exactly one of query= or sql=")
         frame = _control_frame(
@@ -388,6 +407,7 @@ class ServeClient:
             query=query_to_dict(query) if query is not None else None,
             sql=sql,
             at_ms=at_ms,
+            slo_ms=slo_ms,
         )
         return _decode_reply(self._request(frame))
 
@@ -411,25 +431,43 @@ class ServeClient:
         On a binary-negotiated session the batch ships as columnar
         int64 arrays; events the columns cannot carry (a non-standard
         payload type, an int64 overflow) fall back to the JSON form.
+        With ``trace_sample_every`` set, every Nth push is stamped with
+        a wire trace context; the closed trace comes back on the ack.
         """
-        raw = self._encode_push_wire(stream, events)
+        trace = None
+        if self._trace_every:
+            self._push_seq += 1
+            if self._push_seq % self._trace_every == 0:
+                trace = (new_trace_id(), time.monotonic_ns())
+        raw = self._encode_push_wire(stream, events, trace)
         reply = self._request({"t": "push"}, raw)
         self._core.credits = int(reply.get("credits", self._core.credits))
+        summary = reply.get("trace")
+        if summary:
+            self.trace_summaries.append(summary)
+            e2e_ns = summary.get("e2e_ns")
+            if e2e_ns is not None:
+                self.wire_latencies_ms.append(e2e_ns / 1e6)
         return int(reply.get("accepted", 0))
 
     def _encode_push_wire(
-        self, stream: str, events: List[Tuple[int, Any]]
+        self,
+        stream: str,
+        events: List[Tuple[int, Any]],
+        trace: Optional[Tuple[int, int]] = None,
     ) -> bytes:
         """The wire image of one push frame in the session codec."""
         if self._core.codec == CODEC_BINARY:
             try:
-                return encode_push_binary(stream, events)
+                return encode_push_binary(stream, events, trace=trace)
             except (ProtocolError, struct.error, TypeError,
                     AttributeError, ValueError):
                 pass
-        return encode_frame(
-            {"t": "push", "stream": stream, "events": encode_events(events)}
-        )
+        frame = {"t": "push", "stream": stream,
+                 "events": encode_events(events)}
+        if trace is not None:
+            frame["trace"] = {"id": trace[0], "ingest_ns": trace[1]}
+        return encode_frame(frame)
 
     def push_nowait(self, stream: str, events: List[Tuple[int, Any]]) -> None:
         """Buffer events for pipelined ingest (the high-throughput path).
@@ -658,9 +696,16 @@ class AsyncServeClient:
         token: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         codec: str = CODEC_BINARY,
+        trace_sample_every: int = 0,
     ) -> None:
         self._core = _SessionCore(host, port, client_id, token, retry,
                                   codec=codec)
+        self._trace_every = max(0, trace_sample_every)
+        self._push_seq = 0
+        self.trace_summaries: deque = deque(maxlen=256)
+        """Closed wire traces returned on push acks, newest last."""
+        self.wire_latencies_ms: List[float] = []
+        """End-to-end latency (ms) of every closed wire trace."""
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -886,6 +931,7 @@ class AsyncServeClient:
         query: Optional[Query] = None,
         sql: Optional[str] = None,
         at_ms: Optional[int] = None,
+        slo_ms: Optional[float] = None,
     ) -> ControlResult:
         """Create one ad-hoc query (a :class:`Query` or SQL text)."""
         if (query is None) == (sql is None):
@@ -896,6 +942,7 @@ class AsyncServeClient:
             query=query_to_dict(query) if query is not None else None,
             sql=sql,
             at_ms=at_ms,
+            slo_ms=slo_ms,
         )
         return _decode_reply(await self._request(frame))
 
@@ -915,12 +962,19 @@ class AsyncServeClient:
         """Push one event micro-batch; returns the accepted count.
 
         Columnar-encoded on binary sessions, with the same JSON
-        fallback as :meth:`ServeClient.push`.
+        fallback as :meth:`ServeClient.push`.  ``trace_sample_every``
+        stamps every Nth push with a wire trace context, exactly as the
+        blocking client does.
         """
+        trace: Optional[Tuple[int, int]] = None
+        if self._trace_every:
+            self._push_seq += 1
+            if self._push_seq % self._trace_every == 0:
+                trace = (new_trace_id(), time.monotonic_ns())
         raw: Optional[bytes] = None
         if self._core.codec == CODEC_BINARY:
             try:
-                raw = encode_push_binary(stream, events)
+                raw = encode_push_binary(stream, events, trace=trace)
             except (ProtocolError, struct.error, TypeError,
                     AttributeError, ValueError):
                 raw = None
@@ -932,8 +986,16 @@ class AsyncServeClient:
                 "stream": stream,
                 "events": encode_events(events),
             }
+            if trace is not None:
+                frame["trace"] = {"id": trace[0], "ingest_ns": trace[1]}
         reply = await self._request(frame, raw)
         self._core.credits = int(reply.get("credits", self._core.credits))
+        summary = reply.get("trace")
+        if summary:
+            self.trace_summaries.append(summary)
+            e2e_ns = summary.get("e2e_ns")
+            if e2e_ns is not None:
+                self.wire_latencies_ms.append(e2e_ns / 1e6)
         return int(reply.get("accepted", 0))
 
     async def watermark(

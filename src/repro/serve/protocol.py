@@ -303,6 +303,14 @@ def decode_events(rows: List[list]) -> List[Tuple[int, Any]]:
 #            | u32 n | ts[n] | key[n] | f0[n] .. f4[n]
 #   result:  u8 kind=2 | u16 query_id_len | query_id utf-8
 #            | u32 dropped | u8 value_kind | u8 arity | u32 n | columns
+#   push (traced):
+#            u8 kind=3 | u64 trace_id | u64 ingest_ns
+#            | <same body as kind 1 after the kind byte>
+#
+# Kind 3 exists so trace-stamped pushes ride a *separate* frame kind:
+# untraced pushes stay byte-identical to the kind-1 layout (the wire
+# byte-equality tests pin that), and old peers reject kind 3 cleanly as
+# an unknown frame rather than mis-parsing 16 extra header bytes.
 #
 # ``value_kind`` selects the column set of a result frame:
 #   0 DataTuple           ts | key | f0..f4
@@ -316,6 +324,7 @@ def decode_events(rows: List[list]) -> List[Tuple[int, Any]]:
 
 _BIN_PUSH = 1
 _BIN_RESULT = 2
+_BIN_PUSH_TRACED = 3
 
 _VK_TUPLE = 0
 _VK_AGG = 1
@@ -323,6 +332,7 @@ _VK_JOINED = 2
 
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
+_TRACE_HDR = struct.Struct(">QQ")
 _LITTLE_ENDIAN_HOST = sys.byteorder == "little"
 
 
@@ -354,8 +364,16 @@ def _frame_bytes(payload: bytes) -> bytes:
     return _HEADER.pack(BINARY_FLAG | len(payload)) + payload
 
 
-def encode_push_binary(stream: str, events: List[Tuple[int, Any]]) -> bytes:
+def encode_push_binary(
+    stream: str,
+    events: List[Tuple[int, Any]],
+    trace: Optional[Tuple[int, int]] = None,
+) -> bytes:
     """Encode one push frame (header included) as binary columns.
+
+    ``trace`` is an optional ``(trace_id, ingest_ns)`` wire trace
+    context; with it the frame uses kind 3 (trace header + identical
+    body), without it the kind-1 layout is byte-for-byte unchanged.
 
     Raises ``struct.error`` / ``TypeError`` / ``AttributeError`` when
     the events don't fit the columnar contract (non-int values, int64
@@ -376,9 +394,16 @@ def encode_push_binary(stream: str, events: List[Tuple[int, Any]]) -> bytes:
     else:
         cols = ((),) * 7
     column = struct.Struct(f"<{n}q").pack
+    if trace is None:
+        header = (struct.pack(">BH", _BIN_PUSH, len(name)),)
+    else:
+        header = (
+            bytes((_BIN_PUSH_TRACED,)),
+            _TRACE_HDR.pack(trace[0], trace[1]),
+            _U16.pack(len(name)),
+        )
     payload = b"".join(
-        (struct.pack(">BH", _BIN_PUSH, len(name)), name, _U32.pack(n))
-        + tuple(column(*col) for col in cols)
+        header + (name, _U32.pack(n)) + tuple(column(*col) for col in cols)
     )
     return _frame_bytes(payload)
 
@@ -529,6 +554,8 @@ def decode_binary_payload(payload: bytes) -> Dict[str, Any]:
         return _decode_push_binary(view)
     if kind == _BIN_RESULT:
         return _decode_result_binary(view)
+    if kind == _BIN_PUSH_TRACED:
+        return _decode_push_binary(view, traced=True)
     raise ProtocolError("bad_binary", f"unknown binary frame kind {kind}")
 
 
@@ -556,12 +583,23 @@ def _tuple_builder():
     return build
 
 
-def _decode_push_binary(view: memoryview) -> Dict[str, Any]:
+def _decode_push_binary(
+    view: memoryview, traced: bool = False
+) -> Dict[str, Any]:
     from repro.minispe.record import RecordBatch
 
     global _DATA_TUPLE_BUILDER
 
-    stream, offset = _read_name(view, 1)
+    trace = None
+    offset = 1
+    if traced:
+        if len(view) < 1 + _TRACE_HDR.size:
+            raise ProtocolError(
+                "bad_binary", "traced push frame truncated in trace header"
+            )
+        trace = _TRACE_HDR.unpack_from(view, 1)
+        offset = 1 + _TRACE_HDR.size
+    stream, offset = _read_name(view, offset)
     count, offset = _read_u32(view, offset)
     if len(view) != offset + 7 * 8 * count:
         raise ProtocolError(
@@ -582,8 +620,12 @@ def _decode_push_binary(view: memoryview) -> Dict[str, Any]:
     # into the engine as a columnar RecordBatch — rows materialise only
     # where an operator actually needs them as objects.
     batch = RecordBatch.from_columns(ts, keys, fields, builder)
-    return {"t": "push", "stream": stream, "batch": batch,
-            "_decoded": True}
+    frame = {"t": "push", "stream": stream, "batch": batch,
+             "_decoded": True}
+    if trace is not None:
+        batch.trace = trace
+        frame["trace"] = {"id": trace[0], "ingest_ns": trace[1]}
+    return frame
 
 
 def _decode_result_binary(view: memoryview) -> Dict[str, Any]:

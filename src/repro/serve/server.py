@@ -40,7 +40,9 @@ from __future__ import annotations
 
 import asyncio
 import hmac
+import json
 import logging
+import os
 import time
 import uuid
 from collections import deque
@@ -63,7 +65,10 @@ from repro.core.sql import SqlError, parse_query
 from repro.minispe.cluster import ClusterSpec, SimulatedCluster
 from repro.minispe.parallel import ShardWorkerError
 from repro.minispe.record import RecordBatch
-from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs import MetricsRegistry, render_prometheus, write_flight_record
+from repro.obs.cost import cost_summary
+from repro.obs.slo import SLOTracker
+from repro.obs.tracing import WireTraceBook, breakdown_from_snapshot
 from repro.serve.autoscale import Autoscaler, AutoscalePolicy
 from repro.serve.gate import EngineGate
 from repro.serve.httpmetrics import MetricsHttpServer
@@ -168,6 +173,22 @@ class ServeConfig:
     """Wire codecs this server negotiates, in preference-filter order;
     ``("json",)`` pins every session to JSON (the old-server shape the
     client fallback tests simulate)."""
+    slo_target_ms: Optional[float] = None
+    """Default wire-to-delivery latency SLO for every created query
+    (``create_query`` frames override per query with ``slo_ms``).
+    None tracks latency without a target (burn rates read 0)."""
+    slo_objective: float = 0.99
+    """The SLO objective: the fraction of traced deliveries that must
+    land under the target before the error budget starts burning."""
+    slo_burn_pressure: float = 2.0
+    """Burn rate at/above which subscription pressure (halved buffers)
+    is applied to the offending query; also the QoS violation line."""
+    trace_tail: int = 256
+    """Closed wire-trace records kept for flight-recorder dumps."""
+    flight_dir: Optional[str] = None
+    """Directory for flight-recorder dumps written when the gate
+    performs a recovery (``ASTREAM_FLIGHT_DIR`` is the env fallback;
+    both unset disables the recorder)."""
     engine_overrides: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -184,6 +205,10 @@ class ServeConfig:
             raise ValueError("autoscale needs the process backend")
         if self.placement_groups < 1:
             raise ValueError("placement_groups must be >= 1")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError("slo_objective must be in (0, 1)")
+        if self.flight_dir is None:
+            self.flight_dir = os.environ.get("ASTREAM_FLIGHT_DIR") or None
 
 
 def build_engine(
@@ -237,8 +262,15 @@ class AStreamServer:
                 max_deployment_latency_ms=(
                     self.config.max_deployment_latency_ms
                 ),
+                max_slo_burn_rate=self.config.slo_burn_pressure,
             ),
         )
+        self.wire_traces = WireTraceBook(max_tail=self.config.trace_tail)
+        self.slo = SLOTracker(objective=self.config.slo_objective)
+        self._query_owner: Dict[str, str] = {}
+        """query_id → owning client_id: the tenant axis for SLO rollups."""
+        self._pressured: set = set()
+        """Queries currently under SLO-burn subscription pressure."""
         self.engine = engine if engine is not None else build_engine(
             self.config, qos=self.qos
         )
@@ -405,6 +437,46 @@ class AStreamServer:
             info.checkpoint_id,
             info.replayed_elements,
         )
+        if self.config.flight_dir:
+            # Post-incident forensics must never turn a successful
+            # recovery into a failure — best-effort only.
+            try:
+                self._dump_flight_record(info)
+            except Exception:
+                logger.warning("flight-recorder dump failed", exc_info=True)
+
+    def _dump_flight_record(self, info) -> None:
+        """Write the pre-incident picture next to a completed recovery."""
+        incident = len(self.gate.recoveries)
+        snapshot: Optional[Dict[str, Any]] = None
+        events_jsonl = ""
+        if self.engine.obs is not None:
+            try:
+                snapshot = self.engine.obs_snapshot()
+            except ShardWorkerError:
+                snapshot = None
+            events_jsonl = "\n".join(
+                json.dumps(event, sort_keys=True, default=str)
+                for event in self.engine.obs.events.tail(256)
+            )
+        paths = write_flight_record(
+            self.config.flight_dir,
+            f"recovery_{incident}",
+            info={
+                "incident": incident,
+                "checkpoint_id": info.checkpoint_id,
+                "replayed_elements": info.replayed_elements,
+                "now_ms": self.now_ms(),
+                "slo": self.slo.summary(),
+            },
+            snapshot=snapshot,
+            wire_traces={
+                "summary": self.wire_traces.snapshot(),
+                "tail": self.wire_traces.tail(),
+            },
+            events_jsonl=events_jsonl,
+        )
+        logger.info("flight record written: %s", sorted(paths.values()))
 
     # -- background ticker -------------------------------------------------
 
@@ -483,6 +555,7 @@ class AStreamServer:
                     workers=engine.workers,
                     stall_total=sum(engine.runtime.pool.stall_counts),
                     skew=engine.straggler_skew_estimate(),
+                    burn_rate=self.slo.max_burn_rate(),
                 )
                 if target is not None:
                     logger.info(
@@ -785,6 +858,17 @@ class AStreamServer:
         self, session: SessionState, frame: Dict[str, Any]
     ) -> Dict[str, Any]:
         query = self._parse_query_payload(frame)
+        slo_ms = frame.get("slo_ms", self.config.slo_target_ms)
+        if slo_ms is not None:
+            try:
+                slo_ms = float(slo_ms)
+                if slo_ms <= 0:
+                    raise ValueError
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    "bad_slo", f"slo_ms must be a positive number, "
+                    f"got {frame.get('slo_ms')!r}"
+                ) from None
         now = self._observe_time(frame.get("at_ms"))
         with self.gate.locked():
             try:
@@ -810,6 +894,13 @@ class AStreamServer:
             "status": decision.value,
             "query_id": query.query_id,
         }
+        if decision is not AdmissionDecision.REJECT:
+            self._query_owner[query.query_id] = session.client_id
+            self.slo.declare(
+                query.query_id, slo_ms, tenant=session.client_id
+            )
+            if slo_ms is not None:
+                reply["slo_ms"] = slo_ms
         if decision is AdmissionDecision.ADMIT:
             self.registry.counter("serve_queries_created").inc()
             sequence = _sequence_of(flushed, query.query_id, "created")
@@ -859,6 +950,12 @@ class AStreamServer:
                 flushed = self.gate.call(self.engine.flush_session, now)
         self._note_changelogs(flushed)
         self.registry.counter("serve_queries_deleted").inc()
+        self._query_owner.pop(query_id, None)
+        self.slo.forget(query_id)
+        self.qos.per_query_burn.pop(query_id, None)
+        if query_id in self._pressured:
+            self._pressured.discard(query_id)
+            self.hub.set_pressure(query_id, False)
         reply: Dict[str, Any] = {
             "t": "ack",
             "seq": frame["seq"],
@@ -893,6 +990,8 @@ class AStreamServer:
         stream = frame["stream"]
         if stream not in self.config.streams:
             raise ProtocolError("unknown_stream", f"unknown stream {stream!r}")
+        trace = self._extract_trace(frame)
+        t_client = time.monotonic_ns() if trace is not None else 0
         # Binary push frames arrive as columnar RecordBatches (columns
         # aliasing the frame buffer, rows unbuilt); JSON frames still
         # need the row codec and the pair-to-record rebuild in
@@ -905,11 +1004,18 @@ class AStreamServer:
             ingest = self.engine.push_many
         session.credits -= 1
         dead_lettered = 0
+        t_server = time.monotonic_ns() if trace is not None else 0
         try:
             try:
-                accepted = (
-                    self.gate.call(ingest, stream, events) if events else 0
-                )
+                if not events:
+                    accepted = 0
+                elif trace is not None and not frame.get("_decoded"):
+                    # JSON path: thread the context through push_many's
+                    # trace seam (the binary decoder already stamped
+                    # the batch itself).
+                    accepted = self.gate.call(ingest, stream, events, trace)
+                else:
+                    accepted = self.gate.call(ingest, stream, events)
             except ShardWorkerError:
                 if not self.config.dead_letter_limit:
                     raise
@@ -923,15 +1029,108 @@ class AStreamServer:
                 dead_lettered = len(events)
         finally:
             session.credits += 1
+        t_shard = time.monotonic_ns() if trace is not None else 0
         session.tuples_in += accepted
         self.registry.counter("serve_push_frames").inc()
         self.registry.counter("serve_tuples_ingested").inc(accepted)
-        ack = {"t": "push_ack", "credits": session.credits,
-               "accepted": accepted}
+        ack: Dict[str, Any] = {"t": "push_ack", "credits": session.credits,
+                               "accepted": accepted}
         if dead_lettered:
             ack["dead_lettered"] = dead_lettered
+        if trace is not None:
+            # Close the wire span at delivery: poll the merged channels
+            # (poll backend) and force-flush subscriptions so results
+            # this push produced are on the wire before the final stamp.
+            # gate.call, not gate.locked(): the traced push may have
+            # landed on a live shard while another shard sits dead, so
+            # the cross-shard poll needs the gate's recovery supervision.
+            if not self.hub.tap_mode:
+                self.gate.call(self.hub.poll)
+            delivered = await self._flush_subscriptions(force=True)
+            t_deliver = time.monotonic_ns()
+            record = self.wire_traces.close(
+                trace[0],
+                (
+                    ("ingest", trace[1]),
+                    ("client", t_client),
+                    ("server", t_server),
+                    ("shard", t_shard),
+                    ("subscription", t_deliver),
+                ),
+                queries=sorted(delivered),
+            )
+            self._account_wire_trace(trace, record, delivered)
+            ack["trace"] = {
+                "id": trace[0],
+                "e2e_ns": record["e2e_ns"],
+                "spans": [[stage, span] for stage, span in record["spans"]],
+                "queries": record["queries"],
+            }
         write_frame(writer, ack)
         await writer.drain()
+
+    def _extract_trace(
+        self, frame: Dict[str, Any]
+    ) -> Optional[Tuple[int, int]]:
+        """The push frame's trace context ``(id, ingest_ns)``, if any."""
+        context = frame.get("trace")
+        if context is None:
+            return None
+        try:
+            return (int(context["id"]), int(context["ingest_ns"]))
+        except (KeyError, TypeError, ValueError):
+            raise ProtocolError(
+                "bad_trace", "trace needs integer id and ingest_ns fields"
+            ) from None
+
+    def _account_wire_trace(
+        self,
+        trace: Tuple[int, int],
+        record: Dict[str, Any],
+        delivered: Dict[str, int],
+    ) -> None:
+        """Fold one closed wire trace into the SLO/QoS/metrics surfaces."""
+        registry = self.registry
+        registry.counter("serve_traced_pushes").inc()
+        e2e_ms = record["e2e_ns"] / 1e6
+        registry.histogram("serve_wire_e2e_ms").record(e2e_ms)
+        for stage, span_ns in record["spans"]:
+            registry.counter("serve_trace_stage_ns", stage=stage).inc(
+                max(0, span_ns)
+            )
+        if isinstance(self.engine, ProcessAStreamEngine):
+            detail = [
+                span
+                for span in self.engine.take_wire_spans()
+                if span.get("id") == trace[0]
+            ]
+            if detail:
+                self.wire_traces.attach_detail(trace[0], detail)
+        for query_id in delivered:
+            tenant = self._query_owner.get(query_id)
+            self.slo.observe(query_id, e2e_ms, tenant=tenant)
+            registry.histogram("query_latency_ms", query=query_id).record(
+                e2e_ms
+            )
+            if tenant is not None:
+                registry.histogram(
+                    "tenant_latency_ms", tenant=tenant
+                ).record(e2e_ms)
+            self.qos.observe_burn(query_id, self.slo.burn_rate(query_id))
+        if delivered:
+            self._apply_slo_pressure()
+
+    def _apply_slo_pressure(self) -> None:
+        """Reconcile subscription pressure with the burning-query set."""
+        burning = set(
+            self.slo.burning_queries(self.config.slo_burn_pressure)
+        )
+        for query_id in burning - self._pressured:
+            self.hub.set_pressure(query_id, True)
+            self.registry.counter("serve_slo_pressure_applied").inc()
+        for query_id in self._pressured - burning:
+            self.hub.set_pressure(query_id, False)
+        self._pressured = burning
 
     def _handle_watermark(self, frame: Dict[str, Any]) -> None:
         timestamp = int(frame["timestamp"])
@@ -986,15 +1185,22 @@ class AStreamServer:
             "outputs": [output_to_dict(output) for output in outputs],
         }
 
-    async def _flush_subscriptions(self, force: bool = False) -> None:
+    async def _flush_subscriptions(
+        self, force: bool = False
+    ) -> Dict[str, int]:
         """Ship buffered subscription results as ``result`` frames.
 
         Connections whose transport backlog exceeds the write-buffer
         limit are skipped (unless forced): their results stay in the
         hub's bounded buffers, where overflow sheds visibly instead of
         ballooning kernel memory.
+
+        Returns per-query delivered-output counts for this flush — the
+        traced-push path closes its wire span against exactly the
+        queries whose results went out before the closing stamp.
         """
         limit = self.config.result_frame_outputs
+        delivered: Dict[str, int] = {}
         for session in self.sessions.sessions():
             if not session.subscriptions:
                 continue
@@ -1021,8 +1227,14 @@ class AStreamServer:
                         session, subscription.query_id, batch, dropped
                     ):
                         break
+                    if batch:
+                        delivered[subscription.query_id] = (
+                            delivered.get(subscription.query_id, 0)
+                            + len(batch)
+                        )
                     if not force:
                         break  # one frame per sub per tick keeps ticks short
+        return delivered
 
     # -- ops surface -------------------------------------------------------
 
@@ -1033,6 +1245,10 @@ class AStreamServer:
             active = self.engine.active_query_count
             counts = self.engine.result_counts()
             sharing = self.engine.sharing_summary()
+            try:
+                cost = self.engine.cost_attribution()
+            except ShardWorkerError:
+                cost = None
         stats: Dict[str, Any] = {
             "backend": self.config.backend,
             "active_queries": active,
@@ -1057,7 +1273,23 @@ class AStreamServer:
                 in self.placer.placements().items()
             },
             "placement_group_loads": self.placer.group_loads,
+            "slo": self.slo.summary(),
+            "slo_pressure": sorted(self._pressured),
+            "wire_latency": {
+                "traced_pushes": self.wire_traces.e2e_count,
+                "e2e_total_ns": self.wire_traces.e2e_total_ns,
+                "breakdown": breakdown_from_snapshot(
+                    self.wire_traces.snapshot()
+                ),
+            },
         }
+        if cost is not None:
+            stats["cost"] = {
+                "total_ns": cost["total_ns"],
+                "unattributed_ns": cost["unattributed_ns"],
+                "queries": cost["queries"],
+                "top": cost_summary(cost),
+            }
         if isinstance(self.engine, ProcessAStreamEngine):
             stats["workers"] = self.engine.workers
             stats["alive_workers"] = self.engine.alive_workers
@@ -1092,6 +1324,12 @@ class AStreamServer:
                 **self.registry.snapshot(),
             }
             events = self.engine.obs.events.tail(64)
+        snapshot["slo"] = self.slo.summary()
+        snapshot["wire_trace"] = self.wire_traces.snapshot()
+        try:
+            snapshot["cost"] = self.gate.call(self.engine.cost_attribution)
+        except ShardWorkerError:
+            pass
         return {
             "t": "ack",
             "seq": frame["seq"],
@@ -1193,6 +1431,15 @@ class AStreamServer:
         )
         registry.gauge("serve_dead_letter_depth", merge="max").set(
             len(self.dead_letters)
+        )
+        registry.gauge("slo_burn_rate", merge="max").set(
+            self.slo.max_burn_rate()
+        )
+        registry.gauge("slo_pressure_active", merge="max").set(
+            len(self._pressured)
+        )
+        registry.gauge("slo_violations", merge="max").set(
+            self.slo.violations_total
         )
         if isinstance(self.engine, ProcessAStreamEngine):
             registry.gauge("serve_workers", merge="max").set(

@@ -59,12 +59,17 @@ class Subscription:
         self.dropped_total = 0
         self._dropped_unreported = 0
         self.delivered_total = 0
+        self.pressure = False
+        """SLO-burn shedding: while set, the effective buffer capacity
+        is halved so backlog (and thus tail latency) stops compounding
+        for a query already burning its error budget."""
         self.sent: Dict[Tuple[int, str], int] = {}
         """Poll-mode multiset cursor: canonical key → count handed over."""
 
     def offer(self, output: QueryOutput) -> None:
         """Buffer one result, shedding the oldest when full."""
-        if len(self.buffer) >= self.capacity:
+        capacity = self.capacity // 2 if self.pressure else self.capacity
+        while len(self.buffer) >= max(1, capacity):
             self.buffer.popleft()
             self.dropped_total += 1
             self._dropped_unreported += 1
@@ -213,6 +218,19 @@ class SubscriptionHub:
                 sent[key] = seen
                 new += 1
         return new
+
+    # -- shedding ----------------------------------------------------------
+
+    def set_pressure(self, query_id: str, active: bool) -> int:
+        """Apply/lift SLO-burn pressure on a query's subscriptions.
+
+        Returns how many subscriptions changed state."""
+        changed = 0
+        for subscription in self._by_query.get(query_id, ()):
+            if subscription.pressure != active:
+                subscription.pressure = active
+                changed += 1
+        return changed
 
     # -- introspection -----------------------------------------------------
 

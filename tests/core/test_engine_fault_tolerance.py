@@ -142,5 +142,8 @@ class TestCheckpointRecover:
         engine.recover()
         engine.push("A", 200, field_tuple(key=1))
         stats = engine.component_stats()
-        # Only the post-recovery instance's work is counted.
-        assert stats["predicate_evaluations"] == 1
+        # Lifetime work counters travel through the checkpoint seam
+        # (cost attribution and sharing_summary() must not forget work
+        # across recovery/migration): the pre-checkpoint evaluation is
+        # restored, the post-recovery push adds one more.
+        assert stats["predicate_evaluations"] == 2

@@ -1,0 +1,99 @@
+"""sharing_summary() must merge coherently across a live resize.
+
+ISSUE 9 satellite: the cross-shard merge (shape keys max, work counters
+sum) has to stay *monotone* while the worker pool is mid-migration —
+shard state moving between workers must neither double-count the
+evaluation counters (exported state replayed into a restored shard) nor
+lose them (a counter reset by the re-split).  The oracle is an identical
+run without the resize: deterministic workload, so the final counters
+must match exactly.
+"""
+
+from repro.core.engine import EngineConfig
+from repro.core.parallel_engine import ProcessAStreamEngine
+from repro.core.sql import parse_query
+from repro.workloads.datagen import DataGenerator
+
+STREAMS = ("A", "B")
+STEPS = 12
+STEP_MS = 100
+RECORDS_PER_STEP = 20
+
+# Nested bounds: the planner folds these into one covering group with
+# residual filters, so group_evaluations / cover_skips / residual_checks
+# all do real work on every push.
+SQLS = (
+    "SELECT * FROM A WHERE A.F0 > 100",
+    "SELECT * FROM A WHERE A.F0 > 400",
+    "SELECT * FROM A WHERE A.F0 > 700",
+)
+
+COUNTER_KEYS = (
+    "group_evaluations",
+    "cover_skips",
+    "index_probes",
+    "residual_checks",
+)
+SHAPE_KEYS = ("groups", "grouped_slots", "direct_predicates")
+
+
+def _run(resize_at=None, workers=2, target=4):
+    """Drive the workload; returns (per-step summaries, final summary)."""
+    engine = ProcessAStreamEngine(
+        EngineConfig(streams=STREAMS, parallelism=1, log_inputs=True),
+        workers=workers,
+    )
+    for sql in SQLS:
+        engine.submit(parse_query(sql), 0)
+    engine.flush_session(0)
+    generator = DataGenerator(seed=43)
+    summaries = []
+    for step in range(STEPS):
+        now = step * STEP_MS
+        if step == resize_at:
+            engine.begin_resize(target)
+            assert engine.migration_active
+        for offset in range(RECORDS_PER_STEP):
+            engine.push("A", now + offset, generator.next_tuple())
+        engine.watermark(now)
+        if engine.migration_active:
+            engine.migration_step()
+        engine.drain()
+        summaries.append(engine.sharing_summary())
+    assert not engine.migration_active
+    final = engine.sharing_summary()
+    engine.shutdown()
+    return summaries, final
+
+
+class TestSharingSummaryAcrossResize:
+    def test_counters_monotone_and_shape_stable_through_resize(self):
+        summaries, final = _run(resize_at=4)
+        assert final["A"]["groups"] >= 1
+        assert final["A"]["grouped_slots"] == len(SQLS)
+        for prev, curr in zip(summaries, summaries[1:]):
+            for key in COUNTER_KEYS:
+                assert curr["A"][key] >= prev["A"][key], (
+                    f"{key} went backwards across a migration step: "
+                    f"{prev['A'][key]} -> {curr['A'][key]}"
+                )
+            for key in SHAPE_KEYS:
+                assert curr["A"][key] == summaries[0]["A"][key]
+        # Work happened on both sides of the resize.
+        assert summaries[3]["A"]["group_evaluations"] > 0
+        assert (
+            final["A"]["group_evaluations"]
+            > summaries[4]["A"]["group_evaluations"]
+        )
+
+    def test_resized_run_counters_match_steady_run_exactly(self):
+        _, with_resize = _run(resize_at=4)
+        _, steady = _run(resize_at=None)
+        assert with_resize["A"] == steady["A"], (
+            "migration double-counted or dropped sharing work counters"
+        )
+
+    def test_scale_down_also_conserves_counters(self):
+        _, shrunk = _run(resize_at=5, workers=4, target=2)
+        _, steady = _run(resize_at=None, workers=4)
+        assert shrunk["A"] == steady["A"]

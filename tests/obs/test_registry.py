@@ -170,3 +170,26 @@ class TestPrometheus:
 
     def test_empty_snapshot(self):
         assert render_prometheus({}) == ""
+
+    def test_label_values_escaped(self):
+        # Query ids come straight from user SQL, so label values can
+        # carry quotes, backslashes, and newlines — the text format
+        # requires all three escaped (backslash first).
+        registry = MetricsRegistry()
+        registry.counter(
+            "results", query='q"1"\\raw\nnext'
+        ).inc()
+        text = render_prometheus(registry.snapshot())
+        assert 'query="q\\"1\\"\\\\raw\\nnext"' in text
+        assert "\n" not in text.split("results_total{", 1)[1].split("}")[0]
+
+    def test_help_text_for_known_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_traced_pushes").inc()
+        registry.histogram("query_latency_ms", query="q1").record(2)
+        text = render_prometheus(registry.snapshot())
+        assert (
+            "# HELP serve_traced_pushes_total "
+            "Push frames carrying a wire trace context" in text
+        )
+        assert "# HELP query_latency_ms " in text

@@ -1,0 +1,164 @@
+"""Unit tests for per-query/per-tenant latency SLOs (ISSUE 9).
+
+Burn-rate arithmetic, declaration validation, the summary shape the
+``stats`` frame and inspector consume, and the associative cross-shard
+snapshot merge (counts sum, targets max, reservoirs concatenate).
+"""
+
+import pytest
+
+from repro.obs.slo import (
+    SLOTracker,
+    merge_slo_snapshots,
+    summary_from_snapshot,
+)
+
+
+class TestDeclaration:
+    def test_declare_validates_target(self):
+        tracker = SLOTracker()
+        with pytest.raises(ValueError):
+            tracker.declare("q1", 0.0)
+        with pytest.raises(ValueError):
+            tracker.declare("q1", -5.0)
+        tracker.declare("q1", 10.0, tenant="alice")
+        assert tracker.target("q1") == 10.0
+
+    def test_observe_only_declaration_has_no_burn(self):
+        tracker = SLOTracker()
+        tracker.declare("q1", None, tenant="alice")
+        for _ in range(10):
+            tracker.observe("q1", 999.0)
+        assert tracker.burn_rate("q1") == 0.0
+        assert tracker.max_burn_rate() == 0.0
+        entry = tracker.summary()["queries"]["q1"]
+        assert entry["target_ms"] is None
+        assert "burn_rate" not in entry
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            SLOTracker(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(objective=0.0)
+        with pytest.raises(ValueError):
+            SLOTracker(window=0)
+
+
+class TestBurnRate:
+    def test_all_meeting_target_burns_zero(self):
+        tracker = SLOTracker(objective=0.99)
+        tracker.declare("q1", 100.0)
+        for _ in range(50):
+            tracker.observe("q1", 10.0)
+        assert tracker.burn_rate("q1") == 0.0
+        assert tracker.violations_total == 0
+
+    def test_burn_is_violating_fraction_over_error_budget(self):
+        tracker = SLOTracker(objective=0.9)  # 10% error budget
+        tracker.declare("q1", 100.0)
+        for i in range(20):
+            # Every 5th delivery violates: 20% violating, budget 10%.
+            tracker.observe("q1", 200.0 if i % 5 == 0 else 10.0)
+        assert tracker.burn_rate("q1") == pytest.approx(0.2 / 0.1)
+        assert tracker.violations_total == 4
+
+    def test_burn_windows_slide(self):
+        tracker = SLOTracker(objective=0.9, window=4)
+        tracker.declare("q1", 100.0)
+        for _ in range(4):
+            tracker.observe("q1", 500.0)  # saturate: burn = 1/0.1
+        assert tracker.burn_rate("q1") == pytest.approx(10.0)
+        for _ in range(4):
+            tracker.observe("q1", 1.0)  # window forgets the violations
+        assert tracker.burn_rate("q1") == 0.0
+
+    def test_max_burn_and_burning_queries(self):
+        tracker = SLOTracker(objective=0.9)
+        tracker.declare("hot", 1.0)
+        tracker.declare("cold", 1_000.0)
+        for _ in range(8):
+            tracker.observe("hot", 50.0)
+            tracker.observe("cold", 50.0)
+        assert tracker.max_burn_rate() == pytest.approx(10.0)
+        assert tracker.burning_queries(1.0) == ["hot"]
+        assert tracker.burning_queries(100.0) == []
+
+    def test_forget_drops_query_state_keeps_tenant_aggregate(self):
+        tracker = SLOTracker()
+        tracker.declare("q1", 1.0, tenant="alice")
+        tracker.observe("q1", 50.0)
+        tracker.forget("q1")
+        assert tracker.target("q1") is None
+        assert tracker.burn_rate("q1") == 0.0
+        summary = tracker.summary()
+        assert "q1" not in summary["queries"]
+        assert summary["tenants"]["alice"]["count"] == 1
+
+
+class TestSummary:
+    def test_percentiles_and_tenant_rollup(self):
+        tracker = SLOTracker()
+        tracker.declare("q1", 100.0, tenant="alice")
+        tracker.declare("q2", 100.0, tenant="alice")
+        for v in range(1, 101):
+            tracker.observe("q1", float(v))
+        tracker.observe("q2", 5.0)
+        summary = tracker.summary()
+        q1 = summary["queries"]["q1"]
+        assert q1["count"] == 100
+        assert q1["p50"] == pytest.approx(50.0, abs=2.0)
+        assert q1["p99"] == pytest.approx(99.0, abs=2.0)
+        assert summary["tenants"]["alice"]["count"] == 101
+        assert summary["observed_total"] == 101
+
+
+class TestSnapshotMerge:
+    def _shard(self, latencies, target=100.0):
+        tracker = SLOTracker(objective=0.9)
+        tracker.declare("q1", target, tenant="alice")
+        for latency in latencies:
+            tracker.observe("q1", latency)
+        return tracker.snapshot()
+
+    def test_merge_sums_counts_and_concatenates_reservoirs(self):
+        merged = merge_slo_snapshots(
+            [self._shard([10.0, 20.0]), self._shard([30.0, 200.0]), None, {}]
+        )
+        entry = merged["queries"]["q1"]
+        assert entry["count"] == 4
+        assert sorted(entry["reservoir"]) == [10.0, 20.0, 30.0, 200.0]
+        assert entry["target_ms"] == 100.0
+        assert len(entry["recent"]) == 4
+        assert merged["observed_total"] == 4
+        assert merged["violations_total"] == 1
+        assert merged["tenants"]["alice"]["count"] == 4
+
+    def test_merge_takes_max_target(self):
+        merged = merge_slo_snapshots(
+            [self._shard([1.0], target=50.0), self._shard([1.0], target=80.0)]
+        )
+        assert merged["queries"]["q1"]["target_ms"] == 80.0
+
+    def test_summary_from_merged_snapshot_recomputes_burn(self):
+        merged = merge_slo_snapshots(
+            [self._shard([10.0] * 3 + [500.0]), self._shard([10.0] * 4)]
+        )
+        summary = summary_from_snapshot(merged)
+        entry = summary["queries"]["q1"]
+        assert entry["count"] == 8
+        # 1 violation in 8 recent samples over a 10% budget.
+        assert entry["burn_rate"] == pytest.approx((1 / 8) / 0.1)
+        assert summary["max_burn_rate"] == entry["burn_rate"]
+        assert summary["tenants"]["alice"]["count"] == 8
+
+    def test_merge_is_associative(self):
+        a, b, c = (
+            self._shard([10.0, 300.0]),
+            self._shard([20.0]),
+            self._shard([400.0, 30.0]),
+        )
+        left = merge_slo_snapshots([merge_slo_snapshots([a, b]), c])
+        right = merge_slo_snapshots([a, merge_slo_snapshots([b, c])])
+        left["queries"]["q1"]["reservoir"].sort()
+        right["queries"]["q1"]["reservoir"].sort()
+        assert left == right

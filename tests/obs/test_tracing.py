@@ -1,11 +1,19 @@
-"""TraceCollector: span nesting, exclusive math, merge (ISSUE 4)."""
+"""TraceCollector: span nesting, exclusive math, merge (ISSUE 4).
+
+WireTraceBook (ISSUE 9): boundary-stamp chains for trace-stamped push
+frames — spans telescope to the end-to-end time exactly, the tail is
+bounded for the flight recorder, and snapshots share the collector's
+shape so the same breakdown renderer applies.
+"""
 
 import pytest
 
 from repro.obs.tracing import (
     TraceCollector,
+    WireTraceBook,
     breakdown_from_snapshot,
     merge_trace_snapshots,
+    new_trace_id,
 )
 
 
@@ -149,3 +157,75 @@ class TestSnapshots:
         assert breakdown["sampled"] == 4
         assert breakdown["coverage"] == 1.0
         assert breakdown["stages"]["join:A~B"]["count"] == 4
+
+
+def _chain(t0, *spans):
+    """Boundary stamps from an origin and per-stage span lengths."""
+    boundaries = [("ingest", t0)]
+    now = t0
+    for stage, span_ns in spans:
+        now += span_ns
+        boundaries.append((stage, now))
+    return boundaries
+
+
+class TestWireTraceBook:
+    def test_spans_telescope_exactly(self):
+        book = WireTraceBook()
+        record = book.close(
+            7,
+            _chain(1_000, ("client", 10), ("server", 20), ("shard", 300),
+                   ("subscription", 40)),
+            queries=["q1"],
+        )
+        assert record["spans"] == [
+            ("client", 10), ("server", 20), ("shard", 300),
+            ("subscription", 40),
+        ]
+        assert record["e2e_ns"] == 370
+        assert sum(ns for _, ns in record["spans"]) == record["e2e_ns"]
+        assert record["queries"] == ["q1"]
+        assert book.e2e_count == 1
+        assert book.stage_totals["shard"] == [1, 300]
+
+    def test_force_next_overrides_cadence(self):
+        tracer = TraceCollector(sample_every=100)
+        assert not tracer.maybe_start()
+        tracer.force_next()
+        assert tracer.maybe_start()
+        tracer.finish(total_ns=0)
+        assert not tracer.maybe_start()
+
+    def test_tail_bounded_with_id_index_eviction(self):
+        book = WireTraceBook(max_tail=2)
+        for trace_id in (1, 2, 3):
+            book.close(trace_id, _chain(0, ("client", trace_id)))
+        assert [rec["id"] for rec in book.tail()] == [2, 3]
+        # Aggregates keep counting past the tail.
+        assert book.e2e_count == 3
+        # Evicted ids can no longer take detail; live ones can.
+        assert not book.attach_detail(1, {"shard": 0})
+        assert book.attach_detail(3, {"shard": 0})
+        assert book.tail()[-1]["detail"] == [{"shard": 0}]
+
+    def test_snapshot_renders_via_breakdown(self):
+        book = WireTraceBook()
+        for trace_id in (1, 2):
+            book.close(
+                trace_id,
+                _chain(0, ("client", 100), ("server", 50), ("shard", 850)),
+            )
+        breakdown = breakdown_from_snapshot(book.snapshot())
+        assert breakdown["sampled"] == 2
+        assert breakdown["coverage"] == 1.0
+        assert breakdown["stages"]["shard"]["mean_ns"] == 850
+        snapshot = book.snapshot()
+        assert snapshot["traces"][0]["stages"] == {
+            "client": 100, "server": 50, "shard": 850,
+        }
+
+    def test_trace_ids_are_odd_int64(self):
+        for _ in range(32):
+            trace_id = new_trace_id()
+            assert 0 < trace_id < 2**63
+            assert trace_id & 1
