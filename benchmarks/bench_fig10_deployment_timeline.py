@@ -22,3 +22,12 @@ def bench_fig10(benchmark, quick, record_figure):
     # AStream: one-off topology deployment, then bounded by the timeout.
     assert astream[0] > 5
     assert max(astream[2:]) <= 1.5
+    # Arrangements axis (ISSUE 10): a warm attach answers strictly
+    # earlier than the cold deploy for every late query — backfilled
+    # pre-creation windows vs waiting out a window of fresh data.
+    cold = [row["latency_s"] for row in result.rows
+            if row["sut"] == "astream-cold-attach"]
+    warm = [row["latency_s"] for row in result.rows
+            if row["sut"] == "astream-warm-attach"]
+    assert cold and len(cold) == len(warm)
+    assert all(w < c for w, c in zip(warm, cold))

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import logging
 import pickle
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -41,6 +43,7 @@ from repro.core.session import QueryRequest, SharedSession
 from repro.core.statistics import SharingStatistics
 from repro.core.shared_aggregation import SharedAggregationOperator
 from repro.core.shared_join import SharedJoinOperator
+from repro.minispe.checkpoint import incremental_delta
 from repro.minispe.cluster import SimulatedCluster
 from repro.minispe.graph import JobGraph, Partitioning
 from repro.minispe.record import (
@@ -101,6 +104,30 @@ class EngineConfig:
     """Trace every Nth source push when ``observe`` is on."""
     obs_event_capacity: int = 65_536
     """Event-log ring size when ``observe`` is on."""
+    state_backend: str = "memory"
+    """Physical backend for the shared aggregations' keyed state:
+    ``"memory"`` keeps accumulator maps as plain dicts; ``"lsm"`` spills
+    them through per-operator append-only segment stores
+    (:mod:`repro.store`) so keyed state can exceed RAM and checkpoints
+    become incremental segment manifests.  Outputs are byte-identical
+    across backends."""
+    state_dir: Optional[str] = None
+    """Root directory for lsm spill files.  ``None`` (the default) lets
+    the engine create a temporary root it removes at shutdown; the
+    process backend injects the coordinator's root into workers so
+    checkpointed segments stay adoptable across kill/recover."""
+    state_memtable_entries: int = 16_384
+    """Buffered writes per spill store before a segment flush (lsm)."""
+    shared_arrangements: bool = False
+    """Maintain a multi-version :class:`repro.store.Arrangement` in each
+    shared aggregation and *warm-attach* newly created queries: windows
+    that predate a query's creation are backfilled from arranged history
+    at deployment time instead of waiting a full window of fresh data.
+    Off by default — backfill adds results a cold deployment never
+    produces, so the byte-equality gates run without it."""
+    arrangement_retention_ms: Optional[int] = None
+    """How far behind the watermark arrangements keep exact deltas;
+    ``None`` derives twice the longest active window."""
 
     def __post_init__(self) -> None:
         if len(self.streams) < 1:
@@ -108,6 +135,11 @@ class EngineConfig:
         if self.max_join_arity < 1:
             raise ValueError(
                 f"max_join_arity must be >= 1, got {self.max_join_arity}"
+            )
+        if self.state_backend not in ("memory", "lsm"):
+            raise ValueError(
+                f"unknown state backend {self.state_backend!r} "
+                "(expected 'memory' or 'lsm')"
             )
 
     @property
@@ -203,6 +235,19 @@ class AStreamEngine:
         self._aggregations: Dict[str, List[SharedAggregationOperator]] = {}
         self._routers: Dict[str, List[RouterOperator]] = {}
         self._stage_names: set = set()
+        # Spill root for the lsm backend.  Created before the graph so
+        # operator factories can place their stores under it; owned (and
+        # removed at shutdown) only when the caller did not name one —
+        # worker processes receive the coordinator's root and never
+        # clean it.
+        self._state_root: Optional[str] = None
+        self._owns_state_root = False
+        if self.config.state_backend == "lsm":
+            if self.config.state_dir is not None:
+                self._state_root = self.config.state_dir
+            else:
+                self._state_root = tempfile.mkdtemp(prefix="astream-state-")
+                self._owns_state_root = True
         self.obs: Optional[Observability] = (
             Observability(
                 sample_every=self.config.obs_sample_every,
@@ -245,6 +290,20 @@ class AStreamEngine:
         construction and again by :meth:`recover` to redeploy.
         """
         return JobRuntime(self.graph, obs=self.obs)
+
+    def _make_aggregation(self, operator_key: str) -> SharedAggregationOperator:
+        """Construct one shared-aggregation instance with the configured
+        storage plane (state backend, spill root, arrangements)."""
+        config = self.config
+        return SharedAggregationOperator(
+            operator_key,
+            profile=config.profile,
+            state_backend=config.state_backend,
+            state_dir=self._state_root,
+            memtable_entries=config.state_memtable_entries,
+            arrangements=config.shared_arrangements,
+            arrangement_retention_ms=config.arrangement_retention_ms,
+        )
 
     def _build_graph(self) -> JobGraph:
         config = self.config
@@ -300,7 +359,7 @@ class AStreamEngine:
                 lambda k=agg_key: register(
                     self._aggregations,
                     k,
-                    SharedAggregationOperator(k, profile=config.profile),
+                    self._make_aggregation(k),
                 ),
                 parallelism=parallelism,
             )
@@ -349,7 +408,7 @@ class AStreamEngine:
                     lambda k=cascade_agg_key: register(
                         self._aggregations,
                         k,
-                        SharedAggregationOperator(k, profile=config.profile),
+                        self._make_aggregation(k),
                     ),
                     parallelism=parallelism,
                 )
@@ -667,15 +726,22 @@ class AStreamEngine:
         if self.obs is not None:
             duration_ms = (time.perf_counter_ns() - started_ns) / 1e6
             size_bytes = len(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+            delta_segments, delta_bytes = incremental_delta(state)
             registry = self.obs.registry
             registry.counter("checkpoints").inc()
             registry.histogram("checkpoint_duration_ms").record(duration_ms)
             registry.histogram("checkpoint_size_bytes").record(size_bytes)
+            if delta_segments:
+                registry.histogram("checkpoint_delta_bytes").record(
+                    delta_bytes
+                )
             self.obs.events.emit(
                 "checkpoint",
                 checkpoint_id=checkpoint_id,
                 log_offset=log_offset,
                 size_bytes=size_bytes,
+                delta_segments=delta_segments,
+                delta_bytes=delta_bytes,
                 duration_ms=duration_ms,
             )
             logger.info(
@@ -985,6 +1051,34 @@ class AStreamEngine:
                     op.late_records_dropped
                 )
                 scope.gauge("bitset_ops").set(op.bitset_ops)
+                store_stats = op.state_store_stats()
+                if store_stats is not None:
+                    scope.gauge("spilled_bytes").set(
+                        store_stats["spilled_bytes"]
+                    )
+                    scope.gauge("spill_segments").set(store_stats["segments"])
+                    scope.gauge("spill_memtable_entries").set(
+                        store_stats["memtable_entries"]
+                    )
+                    scope.gauge("spill_flushes").set(store_stats["flushes"])
+                arr_stats = op.arrangement_stats()
+                if arr_stats is not None:
+                    scope.gauge("arrangement_count", merge="max").set(1)
+                    scope.gauge("reader_leases").set(
+                        arr_stats["reader_leases"]
+                    )
+                    scope.gauge("arranged_deltas").set(
+                        arr_stats["arranged_deltas"]
+                    )
+                    scope.gauge("arranged_keys").set(
+                        arr_stats["arranged_keys"]
+                    )
+                    scope.gauge("compaction_debt").set(
+                        arr_stats["compaction_debt"]
+                    )
+                    scope.gauge("backfilled_windows").set(
+                        arr_stats["backfilled_windows"]
+                    )
         for router_key, operators in self._routers.items():
             scope = registry.scope(operator=f"router:{router_key}")
             for op in operators:
@@ -1198,6 +1292,54 @@ class AStreamEngine:
         """Live shared-aggregation instances for a stage."""
         return self._aggregations.get(agg_key, [])
 
+    def state_summary(self) -> Dict[str, Any]:
+        """Storage-plane rollup across the live shared aggregations.
+
+        Aggregates the spill-store stats (lsm backend) and the
+        arrangement gauges (shared arrangements) of every in-process
+        aggregation instance — the numbers the serve layer and the
+        inspector panel surface.
+        """
+        summary: Dict[str, Any] = {
+            "state_backend": self.config.state_backend,
+            "shared_arrangements": self.config.shared_arrangements,
+            "spilled_bytes": 0,
+            "spill_segments": 0,
+            "spill_entries": 0,
+            "spill_flushes": 0,
+            "spill_compactions": 0,
+            "arrangement_count": 0,
+            "reader_leases": 0,
+            "arranged_deltas": 0,
+            "arranged_keys": 0,
+            "compaction_debt": 0,
+            "backfilled_windows": 0,
+            "backfilled_results": 0,
+        }
+        for operators in self._aggregations.values():
+            for op in operators:
+                store_stats = op.state_store_stats()
+                if store_stats is not None:
+                    summary["spilled_bytes"] += store_stats["spilled_bytes"]
+                    summary["spill_segments"] += store_stats["segments"]
+                    summary["spill_entries"] += store_stats["entries"]
+                    summary["spill_flushes"] += store_stats["flushes"]
+                    summary["spill_compactions"] += store_stats["compactions"]
+                arr_stats = op.arrangement_stats()
+                if arr_stats is not None:
+                    summary["arrangement_count"] += 1
+                    summary["reader_leases"] += arr_stats["reader_leases"]
+                    summary["arranged_deltas"] += arr_stats["arranged_deltas"]
+                    summary["arranged_keys"] += arr_stats["arranged_keys"]
+                    summary["compaction_debt"] += arr_stats["compaction_debt"]
+                    summary["backfilled_windows"] += arr_stats[
+                        "backfilled_windows"
+                    ]
+                    summary["backfilled_results"] += arr_stats[
+                        "backfilled_results"
+                    ]
+        return summary
+
     def describe(self) -> str:
         """Human-readable topology and query-population summary."""
         lines = [
@@ -1231,6 +1373,9 @@ class AStreamEngine:
         return "\n".join(lines)
 
     def shutdown(self) -> None:
-        """Release cluster slots and close operators."""
+        """Release cluster slots, close operators, drop owned spill files."""
         self.runtime.close()
         self.cluster.release(self.JOB_NAME)
+        if self._owns_state_root and self._state_root is not None:
+            shutil.rmtree(self._state_root, ignore_errors=True)
+            self._state_root = None

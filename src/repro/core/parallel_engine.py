@@ -161,6 +161,7 @@ class AStreamShardProgram(ShardProgram):
                 "records_processed": self.engine.runtime.records_processed(),
                 "component_stats": self.engine.component_stats(),
                 "sharing_summary": self.engine.sharing_summary(),
+                "state_summary": self.engine.state_summary(),
             }
         if kind == "drain":
             return True
@@ -355,10 +356,19 @@ class ProcessAStreamEngine(AStreamEngine):
         previous = getattr(self, "runtime", None)
         if isinstance(previous, ShardedRuntime):
             previous.terminate()
+        factory_config = self.config
+        if self.config.state_backend == "lsm":
+            # Workers spill under the coordinator's state root (each
+            # store takes a unique subdirectory), so checkpoint
+            # manifests reference paths that survive worker death and
+            # the coordinator can clean the whole tree at shutdown.
+            factory_config = dataclasses.replace(
+                self.config, state_dir=self._state_root
+            )
         pool = ProcessShardPool(
             self.workers,
             AStreamShardFactory(
-                self.config,
+                factory_config,
                 deliver_sample_every=(
                     self._deliver_sample_every
                     if self._pool_on_deliver is not None
@@ -512,6 +522,26 @@ class ProcessAStreamEngine(AStreamEngine):
                         into[key] = max(into[key], value)
                     else:
                         into[key] += value
+        return merged
+
+    def state_summary(self) -> Dict[str, Any]:
+        """Storage-plane rollup summed across all shard engines.
+
+        The coordinator holds no aggregation operators of its own; the
+        gauges (spilled bytes, arrangement sizes, backfill counters) are
+        additive per-shard work and merge with ``sum``, while the
+        backend/arrangements flags are configuration facts replicated on
+        every shard.
+        """
+        merged: Dict[str, Any] = {
+            "state_backend": self.config.state_backend,
+            "shared_arrangements": self.config.shared_arrangements,
+        }
+        for stats in self.runtime.collect_stats():
+            for key, value in stats.get("state_summary", {}).items():
+                if key in ("state_backend", "shared_arrangements"):
+                    continue
+                merged[key] = merged.get(key, 0) + value
         return merged
 
     def cost_profile(self) -> Dict:

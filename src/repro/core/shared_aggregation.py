@@ -16,10 +16,27 @@ Session windows are supported here (the paper: "time- and session-based
 windows", §3.1.3): tuples are still tagged and routed once, and the
 operator keeps per-query per-key session accumulators merged on the gap
 rule, fired when the watermark passes a session's end.
+
+Two storage-plane extensions ride on this operator (ROADMAP item 2):
+
+* **state backends** — with ``state_backend="lsm"`` the per-slice
+  accumulator maps live behind :class:`repro.store.SpilledSliceStore`
+  views over one spill-to-disk LSM store per instance, so keyed state
+  can exceed RAM; snapshots then carry an incremental *manifest*
+  (immutable segment paths + per-slice key lists) instead of the
+  accumulator values themselves;
+* **shared arrangements** — with ``arrangements=True`` every selected
+  delta is additionally inserted into a multi-version
+  :class:`repro.store.Arrangement` whose compaction frontier follows
+  the watermark (bounded by per-query reader leases), and a newly
+  created time-window query *attaches* at the frontier: windows that
+  predate its creation are folded straight out of the arranged history
+  and emitted at deployment time, skipping the cold warm-up wait.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -31,6 +48,9 @@ from repro.core.slicing import SliceIndex, SliceManager
 from repro.minispe.operators import Operator
 from repro.minispe.record import ChangelogMarker, Record, Watermark
 from repro.minispe.windows import Window
+from repro.store.arrangement import Arrangement, ReaderLease
+from repro.store.lsm import materialize_checkpoint
+from repro.store.spill import SpilledSliceStore, SpillingStoreHost
 
 
 @dataclass(frozen=True)
@@ -55,10 +75,30 @@ class _SessionState:
 class SharedAggregationOperator(Operator):
     """Ad-hoc shared windowed aggregation over one tagged stream."""
 
-    def __init__(self, operator_key: str, profile: bool = False) -> None:
+    def __init__(
+        self,
+        operator_key: str,
+        profile: bool = False,
+        state_backend: str = "memory",
+        state_dir: Optional[str] = None,
+        memtable_entries: int = 16_384,
+        arrangements: bool = False,
+        arrangement_retention_ms: Optional[int] = None,
+        backfill_windows: int = 1,
+    ) -> None:
         super().__init__(operator_key)
         self.operator_key = operator_key
         self.profile = profile
+        self.state_backend = state_backend
+        self._memtable_entries = memtable_entries
+        self._state_dir = state_dir
+        self._store_host: Optional[SpillingStoreHost] = None
+        if state_backend == "lsm":
+            self._store_host = SpillingStoreHost(
+                state_dir,
+                memtable_entries=memtable_entries,
+                prefix=operator_key.replace(":", "_").replace("~", "-") + "-",
+            )
 
         self._slicer = SliceManager()
         self._slices = SliceIndex()
@@ -69,6 +109,17 @@ class SharedAggregationOperator(Operator):
         # Session-window state, per slot.
         self._session_specs: Dict[int, Tuple[WindowSpec, AggregationSpec]] = {}
         self._session_state: Dict[Tuple[int, Any], _SessionState] = {}
+
+        # Shared arrangement (attach-without-warm-up; off by default so
+        # the byte-equality gates see identical outputs either way).
+        self._arrangement: Optional[Arrangement] = (
+            Arrangement(operator_key) if arrangements else None
+        )
+        self._arrangement_retention_ms = arrangement_retention_ms
+        self._backfill_windows = backfill_windows
+        self._arr_leases: Dict[int, ReaderLease] = {}
+        self.backfilled_windows = 0
+        self.backfilled_results = 0
 
         self.bitset_ops = 0
         self.partial_updates = 0
@@ -115,6 +166,9 @@ class SharedAggregationOperator(Operator):
             self._slicer.unregister_query(slot)
             self._specs.pop(slot, None)
             self._subscribed &= ~(1 << slot)
+            lease = self._arr_leases.pop(slot, None)
+            if lease is not None and self._arrangement is not None:
+                self._arrangement.release_lease(lease)
             if slot in self._session_specs:
                 del self._session_specs[slot]
                 stale = [key for key in self._session_state if key[0] == slot]
@@ -134,8 +188,21 @@ class SharedAggregationOperator(Operator):
                 )
                 self._specs[activation.slot] = agg_spec
                 self._subscribed |= 1 << activation.slot
+                if self._arrangement is not None:
+                    self._arr_leases[activation.slot] = (
+                        self._arrangement.acquire_lease(
+                            activation.query.query_id,
+                            floor=activation.created_at_ms,
+                        )
+                    )
         self._slicer.on_epoch(changelog.sequence, marker.timestamp)
         self.output(marker)
+        # Warm attach: the marker has now passed the router (which just
+        # learned the new slot->query bindings), so backfilled results
+        # emitted here are routable.
+        if self._arrangement is not None:
+            for activation in changelog.created:
+                self._attach_backfill(activation)
 
     def _window_for(self, activation) -> Optional[WindowSpec]:
         for stage in activation.query.stages():
@@ -146,6 +213,59 @@ class SharedAggregationOperator(Operator):
                 return activation.query.window
         return None
 
+    # -- warm attach (shared arrangements) -------------------------------------
+
+    def _attach_backfill(self, activation) -> None:
+        """Emit pre-creation windows for a newly attached query.
+
+        Window anchoring means a cold query's first window is
+        ``[created_at, created_at + length)`` — it must wait a full
+        window of fresh data before producing anything.  With the
+        arrangement on, the windows *ending before* creation are
+        computable from history already arranged between the compaction
+        frontier and the watermark, filtered by the query's own
+        predicate, so the query's first results appear at deployment
+        time instead.
+
+        Only plain per-stream aggregation queries backfill: the
+        arrangement holds this operator's selected input deltas, which
+        for a cascade stage (``agg:A~B``) are join outputs whose history
+        only covers previously-subscribed join queries.
+        """
+        spec = self._window_for(activation)
+        if spec is None or spec.is_session:
+            return
+        if getattr(activation.query, "aggregation_window", None) is not None:
+            return
+        agg_spec: AggregationSpec = activation.query.aggregation
+        predicate = getattr(activation.query, "predicate", None)
+        accept = None
+        if predicate is not None:
+            accept = predicate.evaluate
+        created = activation.created_at_ms
+        coverage = self._arrangement.coverage_start
+        windows: List[Tuple[int, int]] = []
+        fire_index = 1
+        while len(windows) < self._backfill_windows:
+            start = created - fire_index * spec.slide_ms
+            end = start + spec.length_ms
+            fire_index += 1
+            if start < coverage:
+                break
+            if end - 1 > self._last_watermark_ms:
+                continue  # tail of the window hasn't arrived yet
+            windows.append((start, end))
+        slot = activation.slot
+        for start, end in reversed(windows):  # emit oldest-first
+            merged = self._arrangement.fold_range(
+                start, end, agg_spec.initial, agg_spec.add, accept=accept
+            )
+            window = Window(start, end)
+            self.backfilled_windows += 1
+            for key in sorted(merged, key=repr):
+                self.backfilled_results += 1
+                self._emit(slot, key, window, agg_spec.finish(merged[key]))
+
     # -- data path -----------------------------------------------------------
 
     def process(self, record: Record) -> None:
@@ -155,6 +275,10 @@ class SharedAggregationOperator(Operator):
         if not relevant:
             return
         started = time.perf_counter_ns() if self.profile else 0
+        if self._arrangement is not None:
+            self._arrangement.insert(
+                record.timestamp, record.key, record.value
+            )
         time_window_bits = relevant & ~self._session_bits()
         if time_window_bits:
             self._fold_time_windows(record, time_window_bits)
@@ -177,10 +301,13 @@ class SharedAggregationOperator(Operator):
         session_mask = subscribed & session_bits
         fold_time = self._fold_time_windows
         fold_sessions = self._fold_sessions
+        arrangement = self._arrangement
         bitset_ops = 0
         for record in records:
             query_set = record.tags.get(QS_TAG, 0)
             bitset_ops += 1
+            if arrangement is not None and query_set & subscribed:
+                arrangement.insert(record.timestamp, record.key, record.value)
             time_window_bits = query_set & time_mask
             if time_window_bits:
                 fold_time(record, time_window_bits)
@@ -205,7 +332,12 @@ class SharedAggregationOperator(Operator):
         start, end, epoch = self._slicer.slice_bounds(record.timestamp)
         slice_ = self._slices.get_or_create(start, end, epoch)
         if slice_.store is None:
-            slice_.store = {}  # slot -> key -> accumulator
+            # slot -> key -> accumulator; a dict-shaped spill view when
+            # the lsm backend is active, a plain dict otherwise.
+            if self._store_host is not None:
+                slice_.store = self._store_host.make_slice_store(start)
+            else:
+                slice_.store = {}
         store: Dict[int, Dict[Any, Any]] = slice_.store
         slot = 0
         value = record.value
@@ -272,16 +404,45 @@ class SharedAggregationOperator(Operator):
             self._fire_time_window(slot, start, end)
         self._fire_sessions(watermark.timestamp)
         horizon = watermark.timestamp - self._slicer.max_retention_ms
-        self._slices.expire_before(horizon)
+        expired = self._slices.expire_before(horizon)
+        if self._store_host is not None:
+            # Tombstone expired slices so compaction reclaims the disk.
+            for slice_ in expired:
+                if isinstance(slice_.store, SpilledSliceStore):
+                    slice_.store.drop()
         # Bound metadata growth (see SharedJoinOperator._expire).
         if self._slicer.prune_before(horizon):
             oldest_epoch = self._slicer.timeline.epoch_for(horizon)[0]
             self._changelogs.prune_memo_before(oldest_epoch)
+        if self._arrangement is not None:
+            self._advance_arrangement(watermark.timestamp)
         if self.obs is not None:
             self._emit_slice_events(watermark.timestamp)
         if self.profile:
             self.profile_ns += time.perf_counter_ns() - started
         self.output(watermark)
+
+    def _advance_arrangement(self, watermark_ms: int) -> None:
+        """Move reader-lease floors and the compaction frontier.
+
+        Each subscribed slot's lease floor tracks the start of its next
+        unfired window — the oldest history that slot could still need.
+        The frontier target trails the watermark by the retention bound
+        (explicit, or twice the longest active window so a late attacher
+        can always backfill at least one full window).
+        """
+        for slot, lease in self._arr_leases.items():
+            query = self._slicer.query(slot)
+            if query is None:
+                continue
+            next_start, _next_end = query.spec.windows_for(
+                query.created_at_ms, query.next_fire_index
+            )
+            lease.advance(next_start)
+        retention = self._arrangement_retention_ms
+        if retention is None:
+            retention = max(2 * self._slicer.max_retention_ms, 1_000)
+        self._arrangement.advance_frontier(watermark_ms - retention)
 
     def _fire_time_window(self, slot: int, start: int, end: int) -> None:
         spec = self._specs.get(slot)
@@ -343,29 +504,237 @@ class SharedAggregationOperator(Operator):
         """Slices currently retained."""
         return len(self._slices)
 
-    def snapshot(self) -> Any:
-        import copy
+    def state_store_stats(self) -> Optional[Dict[str, Any]]:
+        """Spill-store stats (segments, spilled bytes); None on memory."""
+        if self._store_host is None:
+            return None
+        return self._store_host.stats()
 
-        return copy.deepcopy(
-            {
-                "slicer": self._slicer,
-                "slices": self._slices,
-                "changelogs": self._changelogs,
-                "specs": self._specs,
-                "subscribed": self._subscribed,
-                "session_specs": self._session_specs,
-                "session_state": self._session_state,
-            }
-        )
+    def arrangement_stats(self) -> Optional[Dict[str, Any]]:
+        """Arrangement gauges (+ backfill counters); None when off."""
+        if self._arrangement is None:
+            return None
+        stats = self._arrangement.stats()
+        stats["backfilled_windows"] = self.backfilled_windows
+        stats["backfilled_results"] = self.backfilled_results
+        return stats
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def snapshot(self) -> Any:
+        if self._store_host is None:
+            state = copy.deepcopy(
+                {
+                    "slicer": self._slicer,
+                    "slices": self._slices,
+                    "changelogs": self._changelogs,
+                    "specs": self._specs,
+                    "subscribed": self._subscribed,
+                    "session_specs": self._session_specs,
+                    "session_state": self._session_state,
+                }
+            )
+            self._snapshot_arrangement(state)
+            return state
+        # lsm: metadata plus an incremental segment manifest.  The
+        # accumulator values stay in their immutable on-disk segments;
+        # the payload carries segment *paths* (and the per-slice key
+        # lists needed to rebuild the views), so checkpoint cost scales
+        # with the delta written since the last barrier, not with total
+        # state size.
+        store = self._store_host.store
+        for slice_ in self._slices:
+            if isinstance(slice_.store, SpilledSliceStore):
+                slice_.store.spill_hot()
+        if store.stats()["segments"] > _COMPACT_SEGMENTS:
+            store.compact()  # background-free compaction at the barrier
+        state: Dict[str, Any] = {
+            "state_backend": "lsm",
+            "slicer": copy.deepcopy(self._slicer),
+            "changelogs": copy.deepcopy(self._changelogs),
+            "specs": copy.deepcopy(self._specs),
+            "subscribed": self._subscribed,
+            "session_specs": copy.deepcopy(self._session_specs),
+            "session_state": copy.deepcopy(self._session_state),
+            "slices_meta": [
+                (
+                    slice_.start,
+                    slice_.end,
+                    slice_.epoch,
+                    slice_.store.key_manifest()
+                    if isinstance(slice_.store, SpilledSliceStore)
+                    else None,
+                )
+                for slice_ in self._slices
+            ],
+            "created_total": self._slices.created_total,
+            "expired_total": self._slices.expired_total,
+            "expiry_horizon": self._slices._expiry_horizon_ms,
+            "store_checkpoint": store.checkpoint(),
+        }
+        self._snapshot_arrangement(state)
+        return state
+
+    def _snapshot_arrangement(self, state: Dict[str, Any]) -> None:
+        if self._arrangement is None:
+            return
+        state["arrangement"] = copy.deepcopy(self._arrangement)
+        state["arrangement_leases"] = {
+            slot: lease.lease_id for slot, lease in self._arr_leases.items()
+        }
 
     def restore(self, snapshot: Any) -> None:
-        import copy
+        """Restore from either snapshot shape, on either backend.
 
+        Memory-backend snapshots are the materialised dict shape; lsm
+        snapshots are manifests.  Elastic resize and recovery may cross
+        the two (a memory donor restored into an lsm instance, or an lsm
+        checkpoint inspected by a memory one), so both are accepted and
+        converted as needed.
+        """
+        is_manifest = (
+            isinstance(snapshot, dict)
+            and snapshot.get("state_backend") == "lsm"
+        )
+        if is_manifest and self._store_host is not None:
+            self._restore_manifest(snapshot)
+        else:
+            if is_manifest:
+                snapshot = materialize_agg_snapshot(snapshot)
+            self._restore_materialized(snapshot)
+        self._relink_arrangement(snapshot)
+
+    def _restore_materialized(self, snapshot: Any) -> None:
         state = copy.deepcopy(snapshot)
         self._slicer = state["slicer"]
-        self._slices = state["slices"]
         self._changelogs = state["changelogs"]
         self._specs = state["specs"]
         self._subscribed = state["subscribed"]
         self._session_specs = state["session_specs"]
         self._session_state = state["session_state"]
+        slices: SliceIndex = state["slices"]
+        if self._store_host is None:
+            self._slices = slices
+            return
+        # Re-spill the materialised accumulators into this instance's
+        # own store (resize/recovery hand materialised donors around).
+        self._store_host.store.clear()
+        rebuilt = SliceIndex()
+        for slice_ in slices:
+            new_slice = rebuilt.get_or_create(
+                slice_.start, slice_.end, slice_.epoch
+            )
+            if not slice_.store:
+                continue
+            spill = self._store_host.make_slice_store(slice_.start)
+            for slot, per_key in slice_.store.items():
+                view = spill.setdefault(slot)
+                for key, acc in per_key.items():
+                    view[key] = acc
+            new_slice.store = spill
+        rebuilt.created_total = slices.created_total
+        rebuilt.expired_total = slices.expired_total
+        rebuilt._expiry_horizon_ms = slices._expiry_horizon_ms
+        self._slices = rebuilt
+
+    def _restore_manifest(self, snapshot: Dict[str, Any]) -> None:
+        """lsm manifest -> lsm instance: adopt segments by path."""
+        self._slicer = copy.deepcopy(snapshot["slicer"])
+        self._changelogs = copy.deepcopy(snapshot["changelogs"])
+        self._specs = copy.deepcopy(snapshot["specs"])
+        self._subscribed = snapshot["subscribed"]
+        self._session_specs = copy.deepcopy(snapshot["session_specs"])
+        self._session_state = copy.deepcopy(snapshot["session_state"])
+        self._store_host.store.restore(snapshot["store_checkpoint"])
+        rebuilt = SliceIndex()
+        for start, end, epoch, manifest in snapshot["slices_meta"]:
+            slice_ = rebuilt.get_or_create(start, end, epoch)
+            if manifest:
+                spill = self._store_host.make_slice_store(start)
+                spill.adopt_keys(manifest)
+                slice_.store = spill
+        rebuilt.created_total = snapshot["created_total"]
+        rebuilt.expired_total = snapshot["expired_total"]
+        rebuilt._expiry_horizon_ms = snapshot["expiry_horizon"]
+        self._slices = rebuilt
+
+    def _relink_arrangement(self, snapshot: Any) -> None:
+        if self._arrangement is None:
+            return
+        payload = (
+            snapshot.get("arrangement") if isinstance(snapshot, dict) else None
+        )
+        if payload is None:
+            # Snapshot predates arrangements (or they were off on the
+            # donor): start fresh and re-lease the live slots so
+            # frontier control resumes immediately.
+            self._arrangement = Arrangement(self.operator_key)
+            self._arr_leases = {}
+            for slot in self._specs:
+                query = self._slicer.query(slot)
+                floor = query.created_at_ms if query is not None else None
+                self._arr_leases[slot] = self._arrangement.acquire_lease(
+                    f"slot-{slot}", floor=floor
+                )
+            return
+        self._arrangement = copy.deepcopy(payload)
+        self._arr_leases = {}
+        for slot, lease_id in snapshot.get("arrangement_leases", {}).items():
+            lease = self._arrangement._leases.get(lease_id)
+            if lease is not None:
+                self._arr_leases[slot] = lease
+
+    def close(self) -> None:
+        """Release the spill store (its directory, if operator-owned)."""
+        if self._store_host is not None:
+            self._store_host.close()
+
+
+# Compact the spill store at a checkpoint barrier once it holds more than
+# this many segments: read amplification stays bounded while most
+# checkpoints still ship only the delta segments.
+_COMPACT_SEGMENTS = 8
+
+
+def materialize_agg_snapshot(snapshot: Any) -> Any:
+    """Expand an lsm-manifest snapshot into the materialised dict shape.
+
+    Migration splits donor state key-by-key, and a memory-backend
+    instance restoring an lsm checkpoint needs plain values; both paths
+    call this.  Materialised snapshots pass through unchanged.
+    """
+    if not (
+        isinstance(snapshot, dict) and snapshot.get("state_backend") == "lsm"
+    ):
+        return snapshot
+    materialized = materialize_checkpoint(snapshot["store_checkpoint"])
+    slices = SliceIndex()
+    for start, end, epoch, manifest in snapshot["slices_meta"]:
+        slice_ = slices.get_or_create(start, end, epoch)
+        if manifest:
+            slice_.store = {
+                slot: {
+                    key: materialized[(start, slot, key)]
+                    for key in keys
+                    if (start, slot, key) in materialized
+                }
+                for slot, keys in manifest.items()
+            }
+    slices.created_total = snapshot["created_total"]
+    slices.expired_total = snapshot["expired_total"]
+    slices._expiry_horizon_ms = snapshot["expiry_horizon"]
+    out: Dict[str, Any] = {
+        "slicer": copy.deepcopy(snapshot["slicer"]),
+        "slices": slices,
+        "changelogs": copy.deepcopy(snapshot["changelogs"]),
+        "specs": copy.deepcopy(snapshot["specs"]),
+        "subscribed": snapshot["subscribed"],
+        "session_specs": copy.deepcopy(snapshot["session_specs"]),
+        "session_state": copy.deepcopy(snapshot["session_state"]),
+    }
+    if "arrangement" in snapshot:
+        out["arrangement"] = copy.deepcopy(snapshot["arrangement"])
+        out["arrangement_leases"] = dict(
+            snapshot.get("arrangement_leases", {})
+        )
+    return out

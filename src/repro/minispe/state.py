@@ -8,14 +8,39 @@ Two kinds of state mirror Flink's model:
   set of active queries inside a shared operator).
 
 Both support :meth:`snapshot` / :meth:`restore` used by the checkpoint
-coordinator.  Snapshots are deep copies so later mutation of live state
-cannot corrupt a completed checkpoint.
+coordinator.  Snapshots are copy-on-write: immutable values (tuples of
+scalars, numbers, strings) are shared with the live map — they cannot be
+mutated in place, so sharing is safe — and only mutable values pay a
+deep copy.  Later mutation of live state therefore still cannot corrupt
+a completed checkpoint, at a fraction of the old whole-map
+``copy.deepcopy`` cost (benchmarked in ``bench_ablation_storage.py``).
+
+:class:`KeyedState` sits on the pluggable
+:class:`repro.store.StateStore` interface: the default backend is the
+in-memory dict; passing an :class:`repro.store.LSMStateStore` (or
+``store=make_state_store("lsm")``) spills values to disk so keyed state
+can exceed RAM.
 """
 
 from __future__ import annotations
 
 import copy
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.store.backend import MemoryStateStore, StateStore
+
+_IMMUTABLE_SCALARS = (int, float, str, bytes, bool, frozenset, type(None))
+
+
+def _copy_value(value: Any) -> Any:
+    """Copy-on-write snapshot copy: share immutables, deep-copy the rest."""
+    if isinstance(value, _IMMUTABLE_SCALARS):
+        return value
+    if type(value) is tuple:
+        if all(isinstance(item, _IMMUTABLE_SCALARS) for item in value):
+            return value
+        return tuple(_copy_value(item) for item in value)
+    return copy.deepcopy(value)
 
 
 class KeyedState:
@@ -25,54 +50,97 @@ class KeyedState:
 
         state = KeyedState(default_factory=list)
         state.get(key).append(tuple_)
+
+    ``store`` selects the physical backend (in-memory dict by default);
+    any :class:`repro.store.StateStore` works, including the
+    spill-to-disk LSM store.
     """
 
-    def __init__(self, default_factory: Optional[Callable[[], Any]] = None) -> None:
-        self._entries: Dict[Any, Any] = {}
+    def __init__(
+        self,
+        default_factory: Optional[Callable[[], Any]] = None,
+        store: Optional[StateStore] = None,
+    ) -> None:
+        self._store: StateStore = store if store is not None else MemoryStateStore()
         self._default_factory = default_factory
 
+    @property
+    def store(self) -> StateStore:
+        """The physical backend this state sits on."""
+        return self._store
+
     def get(self, key: Any) -> Any:
-        """Return the state for ``key``, creating it via the factory if absent."""
-        if key not in self._entries:
+        """Return the state for ``key``, creating it via the factory if absent.
+
+        This is the *read-modify* accessor: with a ``default_factory``
+        the created entry is inserted so callers can mutate it in place.
+        Use :meth:`peek` on read-only paths — probing here permanently
+        materialises an entry per probed key.
+        """
+        value = self._store.get(key, _MISSING)
+        if value is _MISSING:
             if self._default_factory is None:
                 return None
-            self._entries[key] = self._default_factory()
-        return self._entries[key]
+            value = self._default_factory()
+            self._store.put(key, value)
+        return value
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        """Return the state for ``key`` without creating it.
+
+        The read-only sibling of :meth:`get`: absent keys return
+        ``default`` and the map is left untouched, so probes do not
+        inflate state size or snapshot cost.
+        """
+        return self._store.get(key, default)
 
     def put(self, key: Any, value: Any) -> None:
         """Set the state for ``key``."""
-        self._entries[key] = value
+        self._store.put(key, value)
 
     def contains(self, key: Any) -> bool:
         """Return True if state exists for ``key``."""
-        return key in self._entries
+        return key in self._store
 
     def remove(self, key: Any) -> None:
         """Drop the state for ``key`` (no-op if absent)."""
-        self._entries.pop(key, None)
+        self._store.delete(key)
 
     def clear(self) -> None:
         """Drop all per-key state."""
-        self._entries.clear()
+        self._store.clear()
 
     def keys(self) -> Iterator[Any]:
         """Iterate over keys that currently hold state."""
-        return iter(list(self._entries.keys()))
+        return self._store.keys()
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Iterate over ``(key, state)`` pairs."""
-        return iter(list(self._entries.items()))
+        return self._store.items()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._store)
 
     def snapshot(self) -> Dict[Any, Any]:
-        """Return a deep copy of all entries for checkpointing."""
-        return copy.deepcopy(self._entries)
+        """Copy-on-write snapshot of all entries for checkpointing.
+
+        Immutable values are shared (they cannot change under the
+        checkpoint); mutable values are deep-copied.
+        """
+        return {key: _copy_value(value) for key, value in self._store.items()}
 
     def restore(self, snapshot: Dict[Any, Any]) -> None:
-        """Replace the entries with a deep copy of ``snapshot``."""
-        self._entries = copy.deepcopy(snapshot)
+        """Replace the entries from ``snapshot`` (copy-on-write copies)."""
+        self._store.clear()
+        for key, value in snapshot.items():
+            self._store.put(key, _copy_value(value))
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
 
 
 class OperatorState:

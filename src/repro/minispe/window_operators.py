@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.minispe.operators import Operator, TwoInputOperator
 from repro.minispe.record import Record, Watermark
+from repro.minispe.state import KeyedState
 from repro.minispe.windows import (
     EventTimeTrigger,
     Trigger,
@@ -53,6 +54,7 @@ class WindowedAggregateOperator(Operator):
         finish: Callable[[Any], Any] = lambda acc: acc,
         trigger: Optional[Trigger] = None,
         name: str = "window_agg",
+        state: Optional[KeyedState] = None,
     ) -> None:
         super().__init__(name)
         self._assigner = assigner
@@ -64,24 +66,27 @@ class WindowedAggregateOperator(Operator):
         if assigner.is_session() and merge is None:
             raise ValueError("session windows require a merge function")
         # (key, window) -> accumulator; for sessions windows get merged.
-        self._accumulators: Dict[Tuple[Any, Window], Any] = {}
+        # Backed by KeyedState so the physical store is pluggable (pass
+        # state=KeyedState(store=make_state_store("lsm")) to spill).
+        self._accumulators: KeyedState = state or KeyedState()
 
     def process(self, record: Record) -> None:
         for window in self._assigner.assign(record.timestamp):
             if self._assigner.is_session():
                 window = self._merge_session(record.key, window)
             state_key = (record.key, window)
-            acc = self._accumulators.get(state_key)
+            acc = self._accumulators.peek(state_key)
             if acc is None:
                 acc = self._init()
-            self._accumulators[state_key] = self._add(acc, record.value)
+            self._accumulators.put(state_key, self._add(acc, record.value))
             if self._trigger.on_element(record, window):
                 self._fire(state_key)
 
     def process_batch(self, records: List[Record]) -> None:
         assigner_assign = self._assigner.assign
         is_session = self._assigner.is_session()
-        accumulators = self._accumulators
+        peek = self._accumulators.peek
+        put = self._accumulators.put
         init = self._init
         add = self._add
         on_element = self._trigger.on_element
@@ -92,10 +97,10 @@ class WindowedAggregateOperator(Operator):
                 if is_session:
                     window = self._merge_session(key, window)
                 state_key = (key, window)
-                acc = accumulators.get(state_key)
+                acc = peek(state_key)
                 if acc is None:
                     acc = init()
-                accumulators[state_key] = add(acc, value)
+                put(state_key, add(acc, value))
                 if on_element(record, window):
                     self._fire(state_key)
 
@@ -103,7 +108,7 @@ class WindowedAggregateOperator(Operator):
         """Merge ``proto`` with this key's overlapping session windows."""
         overlapping = [
             window
-            for (existing_key, window) in self._accumulators
+            for (existing_key, window) in self._accumulators.keys()
             if existing_key == key and window.intersects(proto)
         ]
         if not overlapping:
@@ -111,14 +116,17 @@ class WindowedAggregateOperator(Operator):
         merged = merge_session_windows(overlapping + [proto])[0]
         acc = self._init()
         for window in overlapping:
-            acc = self._merge(acc, self._accumulators.pop((key, window)))
-        self._accumulators[(key, merged)] = acc
+            acc = self._merge(
+                acc, self._accumulators.peek((key, window))
+            )
+            self._accumulators.remove((key, window))
+        self._accumulators.put((key, merged), acc)
         return merged
 
     def on_watermark(self, watermark: Watermark) -> None:
         ready = [
             state_key
-            for state_key in self._accumulators
+            for state_key in self._accumulators.keys()
             if self._trigger.on_watermark(watermark, state_key[1])
         ]
         # Deterministic emission order: by window, then key representation.
@@ -128,9 +136,10 @@ class WindowedAggregateOperator(Operator):
 
     def _fire(self, state_key: Tuple[Any, Window]) -> None:
         key, window = state_key
-        acc = self._accumulators.pop(state_key, None)
+        acc = self._accumulators.peek(state_key)
         if acc is None:
             return
+        self._accumulators.remove(state_key)
         self.output(
             Record(
                 timestamp=window.max_timestamp(),
@@ -140,10 +149,10 @@ class WindowedAggregateOperator(Operator):
         )
 
     def snapshot(self) -> Any:
-        return dict(self._accumulators)
+        return self._accumulators.snapshot()
 
     def restore(self, snapshot: Any) -> None:
-        self._accumulators = dict(snapshot)
+        self._accumulators.restore(dict(snapshot))
 
     def pending_windows(self) -> int:
         """Number of (key, window) accumulators currently buffered."""

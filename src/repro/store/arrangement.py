@@ -1,0 +1,355 @@
+"""Shared arrangements: multi-version compacting keyed indexes.
+
+An :class:`Arrangement` stores, per key, a sorted run of
+``(time, delta)`` entries plus a *compacted prefix* — a single combined
+value summarising every delta older than the **compaction frontier**.
+Any number of readers hold :class:`ReaderLease`\\ s whose floors bound
+how far the frontier may advance, so a reader that still needs history
+keeps it alive while everyone else's deltas consolidate ("Shared
+Arrangements", McSherry et al.; PAPERS.md).
+
+The shared aggregation operator maintains one arrangement per instance
+over its selected input stream: every delta that arrives is inserted
+once, regardless of how many queries consume it, and the slicing
+watermark drives the frontier.  The payoff is *attach without warm-up*:
+a newly created ad-hoc query reads the deltas already arranged between
+the frontier and the watermark and immediately emits results for window
+spans that predate its own creation — the fig10/fig11 deployment-latency
+story — instead of waiting a full window length for fresh data.
+
+The structure is deliberately plain picklable data (dicts, lists,
+tuples): it rides operator snapshots through checkpoints, kill/recover,
+and elastic migration unchanged, and its per-key runs split by key hash
+exactly like the slice stores do.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Arrangement", "ArrangementManager", "ReaderLease"]
+
+
+class ReaderLease:
+    """One reader's hold on arrangement history.
+
+    ``floor`` is the oldest time the reader may still read; the
+    arrangement never compacts past the minimum floor across live
+    leases.  Advance the floor as the reader's needs move forward;
+    release the lease when done.
+    """
+
+    __slots__ = ("lease_id", "name", "floor")
+
+    def __init__(self, lease_id: int, name: str, floor: int) -> None:
+        self.lease_id = lease_id
+        self.name = name
+        self.floor = floor
+
+    def advance(self, floor: int) -> None:
+        """Raise the floor (monotonic; lowering is a no-op)."""
+        if floor > self.floor:
+            self.floor = floor
+
+    def __repr__(self) -> str:
+        return f"ReaderLease({self.name!r}, floor={self.floor})"
+
+
+class Arrangement:
+    """A multi-version keyed index with lease-bounded compaction."""
+
+    def __init__(
+        self,
+        name: str,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> None:
+        self.name = name
+        self._combine = combine
+        # key -> sorted [(time, delta), ...] newer than the frontier.
+        self._runs: Dict[Any, List[Tuple[int, Any]]] = {}
+        # key -> (delta count, combined value | None) at/under the frontier.
+        self._compacted: Dict[Any, Tuple[int, Any]] = {}
+        self.frontier = 0
+        self._target_frontier = 0
+        self._leases: Dict[int, ReaderLease] = {}
+        self._next_lease_id = 1
+        self.inserts = 0
+        self.compacted_deltas = 0
+        self.compactions = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, time_ms: int, key: Any, delta: Any) -> None:
+        """Record one delta for ``key`` at ``time_ms``."""
+        self.inserts += 1
+        if time_ms < self.frontier:
+            # Behind the frontier: fold straight into the compacted
+            # prefix so the arrangement stays lossless for readers of
+            # the consolidated history.
+            self._fold_compacted(key, delta)
+            return
+        run = self._runs.get(key)
+        if run is None:
+            self._runs[key] = [(time_ms, delta)]
+        elif not run or time_ms >= run[-1][0]:
+            run.append((time_ms, delta))
+        else:
+            insort(run, (time_ms, delta))
+
+    def _fold_compacted(self, key: Any, delta: Any) -> None:
+        count, combined = self._compacted.get(key, (0, None))
+        if combined is None or self._combine is None:
+            combined = delta
+        else:
+            combined = self._combine(combined, delta)
+        self._compacted[key] = (count + 1, combined)
+        self.compacted_deltas += 1
+
+    # -- leases ------------------------------------------------------------
+
+    def acquire_lease(
+        self, name: str, floor: Optional[int] = None
+    ) -> ReaderLease:
+        """Register a reader; its floor defaults to the current frontier."""
+        lease = ReaderLease(
+            self._next_lease_id,
+            name,
+            self.frontier if floor is None else floor,
+        )
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def release_lease(self, lease: ReaderLease) -> None:
+        """Drop a reader's hold (idempotent)."""
+        self._leases.pop(lease.lease_id, None)
+
+    @property
+    def reader_leases(self) -> int:
+        """Number of live reader leases."""
+        return len(self._leases)
+
+    def lease_floor(self) -> Optional[int]:
+        """The oldest floor across live leases (None without leases)."""
+        if not self._leases:
+            return None
+        return min(lease.floor for lease in self._leases.values())
+
+    # -- compaction --------------------------------------------------------
+
+    def advance_frontier(self, target: int) -> int:
+        """Compact deltas older than ``min(target, lease floor)``.
+
+        Returns the number of deltas consolidated.  The frontier is
+        monotonic; requests behind it are no-ops.  ``target`` is
+        remembered either way so :meth:`compaction_debt` can report how
+        much history leases are pinning.
+        """
+        if target > self._target_frontier:
+            self._target_frontier = target
+        floor = self.lease_floor()
+        effective = target if floor is None else min(target, floor)
+        if effective <= self.frontier:
+            return 0
+        self.frontier = effective
+        moved = 0
+        for key in list(self._runs):
+            run = self._runs[key]
+            cut = bisect_left(run, (effective, _NEG_INF))
+            if not cut:
+                continue
+            for _time, delta in run[:cut]:
+                self._fold_compacted(key, delta)
+                moved += 1
+            del run[:cut]
+            if not run:
+                del self._runs[key]
+        if moved:
+            self.compactions += 1
+        return moved
+
+    def compaction_debt(self) -> int:
+        """Deltas older than the *requested* frontier still uncompacted.
+
+        Non-zero debt means reader leases are holding history back — the
+        gauge operators export so pinned state is visible.
+        """
+        target = self._target_frontier
+        if target <= self.frontier:
+            return 0
+        debt = 0
+        for run in self._runs.values():
+            debt += bisect_left(run, (target, _NEG_INF))
+        return debt
+
+    # -- reads -------------------------------------------------------------
+
+    def read(
+        self, key: Any, since: Optional[int] = None
+    ) -> Tuple[Optional[Tuple[int, Any]], List[Tuple[int, Any]]]:
+        """One key's history: ``(compacted prefix, post-frontier deltas)``.
+
+        The prefix is ``(delta count, combined value)`` or None if the
+        key has no consolidated history.  ``since`` (>= the frontier)
+        trims the delta list to entries at or after it.
+        """
+        prefix = self._compacted.get(key)
+        run = self._runs.get(key, [])
+        if since is not None and since > self.frontier:
+            run = run[bisect_left(run, (since, _NEG_INF)) :]
+        return prefix, list(run)
+
+    def scan(
+        self, start: int, end: int
+    ) -> Iterator[Tuple[Any, int, Any]]:
+        """All ``(key, time, delta)`` entries with time in ``[start, end)``."""
+        for key, run in self._runs.items():
+            lo = bisect_left(run, (start, _NEG_INF))
+            for time_ms, delta in run[lo:]:
+                if time_ms >= end:
+                    break
+                yield key, time_ms, delta
+
+    def fold_range(
+        self,
+        start: int,
+        end: int,
+        initial: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        accept: Optional[Callable[[Any], bool]] = None,
+    ) -> Dict[Any, Any]:
+        """Fold deltas in ``[start, end)`` into per-key accumulators.
+
+        ``accept`` filters deltas (a late-attaching query's predicate);
+        this is the attach path: a window entirely covered by arranged
+        history is computed here without any operator warm-up.
+        """
+        out: Dict[Any, Any] = {}
+        for key, _time_ms, delta in self.scan(start, end):
+            if accept is not None and not accept(delta):
+                continue
+            acc = out.get(key)
+            if acc is None:
+                acc = initial()
+            out[key] = add(acc, delta)
+        return out
+
+    @property
+    def coverage_start(self) -> int:
+        """Oldest time with exact (un-consolidated) delta history."""
+        return self.frontier
+
+    @property
+    def arranged_deltas(self) -> int:
+        """Deltas currently held above the frontier."""
+        return sum(len(run) for run in self._runs.values())
+
+    @property
+    def arranged_keys(self) -> int:
+        """Distinct keys with any arranged history."""
+        return len(self._runs.keys() | self._compacted.keys())
+
+    # -- migration ---------------------------------------------------------
+
+    def split_by(
+        self, owner_of: Callable[[Any], int], new_count: int
+    ) -> List["Arrangement"]:
+        """Partition keyed history into ``new_count`` arrangements.
+
+        Control state (frontier, leases, counters) replicates; runs and
+        compacted prefixes split by key — the same discipline as the
+        slice stores in :mod:`repro.core.migration`.
+        """
+        parts = [Arrangement(self.name, self._combine) for _ in range(new_count)]
+        for part in parts:
+            part.frontier = self.frontier
+            part._target_frontier = self._target_frontier
+            part._next_lease_id = self._next_lease_id
+            for lease in self._leases.values():
+                part._leases[lease.lease_id] = ReaderLease(
+                    lease.lease_id, lease.name, lease.floor
+                )
+        for key, run in self._runs.items():
+            parts[owner_of(key)]._runs[key] = list(run)
+        for key, prefix in self._compacted.items():
+            parts[owner_of(key)]._compacted[key] = prefix
+        return parts
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-arrangement gauges (frontier, sizes, debt, counters)."""
+        return {
+            "name": self.name,
+            "frontier": self.frontier,
+            "reader_leases": self.reader_leases,
+            "arranged_deltas": self.arranged_deltas,
+            "arranged_keys": self.arranged_keys,
+            "compaction_debt": self.compaction_debt(),
+            "inserts": self.inserts,
+            "compacted_deltas": self.compacted_deltas,
+        }
+
+
+class _NegInf:
+    """Sorts before any delta payload at the same timestamp."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+
+_NEG_INF = _NegInf()
+
+
+class ArrangementManager:
+    """Registry of named arrangements (one per key-space)."""
+
+    def __init__(self) -> None:
+        self._arrangements: Dict[str, Arrangement] = {}
+
+    def get_or_create(
+        self,
+        name: str,
+        combine: Optional[Callable[[Any, Any], Any]] = None,
+    ) -> Arrangement:
+        """The arrangement registered under ``name``, created if new."""
+        arrangement = self._arrangements.get(name)
+        if arrangement is None:
+            arrangement = Arrangement(name, combine)
+            self._arrangements[name] = arrangement
+        return arrangement
+
+    def get(self, name: str) -> Optional[Arrangement]:
+        """The arrangement registered under ``name``, if any."""
+        return self._arrangements.get(name)
+
+    def __len__(self) -> int:
+        return len(self._arrangements)
+
+    def __iter__(self) -> Iterator[Arrangement]:
+        return iter(self._arrangements.values())
+
+    def stats(self) -> Dict[str, Any]:
+        """Fleet-level rollup for serve stats and obs gauges."""
+        total = {
+            "arrangement_count": len(self._arrangements),
+            "reader_leases": 0,
+            "arranged_deltas": 0,
+            "arranged_keys": 0,
+            "compaction_debt": 0,
+            "inserts": 0,
+            "compacted_deltas": 0,
+        }
+        for arrangement in self._arrangements.values():
+            stats = arrangement.stats()
+            total["reader_leases"] += stats["reader_leases"]
+            total["arranged_deltas"] += stats["arranged_deltas"]
+            total["arranged_keys"] += stats["arranged_keys"]
+            total["compaction_debt"] += stats["compaction_debt"]
+            total["inserts"] += stats["inserts"]
+            total["compacted_deltas"] += stats["compacted_deltas"]
+        return total

@@ -1,0 +1,171 @@
+"""The pluggable :class:`StateStore` interface and the in-memory default.
+
+A state store is a flat keyed map with explicit lifecycle hooks the
+checkpoint plane drives: ``flush`` persists buffered writes, ``compact``
+reorganises storage at checkpoint barriers (the substrate has no
+background threads), ``checkpoint`` returns a picklable payload that
+:meth:`restore` accepts — for the in-memory backend the payload carries
+the entries themselves; for the LSM backend it carries a *manifest* of
+immutable on-disk segments, which is what makes engine checkpoints
+incremental (only segments newer than the previous checkpoint are new
+data).
+
+Keys may be any hashable picklable object; values any picklable object.
+The store treats values as opaque — copy-on-write concerns live in the
+callers (:class:`repro.minispe.state.KeyedState`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+STATE_BACKENDS = ("memory", "lsm")
+"""Backends selectable via ``EngineConfig.state_backend``."""
+
+
+class StateStore:
+    """Abstract keyed store with checkpoint/restore support."""
+
+    backend = "abstract"
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value for ``key`` or ``default``."""
+        raise NotImplementedError
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        raise NotImplementedError
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` (no-op if absent)."""
+        raise NotImplementedError
+
+    def __contains__(self, key: Any) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over live keys."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over live ``(key, value)`` pairs."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Persist buffered writes (no-op for memory)."""
+
+    def compact(self) -> None:
+        """Reorganise storage; called at checkpoint barriers."""
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Picklable payload from which :meth:`restore` rebuilds state."""
+        raise NotImplementedError
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Replace contents from a :meth:`checkpoint` payload.
+
+        Implementations accept payloads from *either* backend so state
+        can migrate between memory and lsm deployments.
+        """
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Introspection counters (backend, sizes, spill activity)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (file handles, owned directories)."""
+
+
+def _restore_entries(store: StateStore, payload: Dict[str, Any]) -> None:
+    """Cross-backend restore: materialise a payload into ``store``."""
+    backend = payload.get("backend")
+    store.clear()
+    if backend == "memory":
+        for key, value in payload["entries"].items():
+            store.put(key, value)
+    elif backend == "lsm":
+        from repro.store.lsm import materialize_checkpoint
+
+        for key, value in materialize_checkpoint(payload).items():
+            store.put(key, value)
+    else:
+        raise ValueError(f"unknown state payload backend {backend!r}")
+
+
+class MemoryStateStore(StateStore):
+    """The default dict-backed store (state must fit in RAM)."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._entries: Dict[Any, Any] = {}
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._entries.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._entries.pop(key, None)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(list(self._entries.keys()))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        return iter(list(self._entries.items()))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {"backend": "memory", "entries": dict(self._entries)}
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        if payload.get("backend") == "memory":
+            self._entries = dict(payload["entries"])
+        else:
+            _restore_entries(self, payload)
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "entries": len(self._entries),
+            "spilled_bytes": 0,
+            "segments": 0,
+        }
+
+
+def make_state_store(
+    backend: str = "memory",
+    *,
+    directory: Optional[str] = None,
+    memtable_entries: int = 16_384,
+    wal: bool = False,
+) -> StateStore:
+    """Build a state store for ``backend`` ("memory" or "lsm")."""
+    if backend == "memory":
+        return MemoryStateStore()
+    if backend == "lsm":
+        from repro.store.lsm import LSMStateStore
+
+        return LSMStateStore(
+            directory, memtable_entries=memtable_entries, wal=wal
+        )
+    raise ValueError(
+        f"unknown state backend {backend!r} (expected one of {STATE_BACKENDS})"
+    )

@@ -1,0 +1,683 @@
+"""Out-of-core LSM-style state store (spill-to-disk backend).
+
+Layout (all files live in one directory per store instance):
+
+* **memtable** — a plain dict of raw (hashable) keys to live values;
+  the hot path never serialises.  A put/delete beyond
+  ``memtable_entries`` triggers a flush.
+* **segments** — append-only immutable files written at flush time.
+  Entries are sorted by the pickled key bytes; each entry is
+  ``[klen u32][vlen u32][key bytes][value bytes]`` with
+  ``vlen == 0xFFFFFFFF`` marking a tombstone.  A sparse index (one
+  ``(key bytes, offset)`` probe every ``sparse_every`` entries) is kept
+  in memory and persisted to a ``.idx`` sidecar; a missing sidecar is
+  rebuilt by scanning the segment.
+* **MANIFEST** — the authoritative list of live segment paths plus the
+  flush counter, replaced atomically (`os.replace`) after every flush or
+  compaction.
+* **WAL** (optional, ``wal=True``) — a length-prefixed redo log of
+  puts/deletes since the last flush, replayed on reopen so an unclosed
+  ("crashed") store loses nothing.  The engine integration runs with
+  ``wal=False``: there the input log + replay provides exactly-once, the
+  same division of labour as Flink over RocksDB.
+
+Reads check the memtable, then a bounded LRU **read cache** (the block
+cache of this design: without it every update of a flushed hot key
+would pay a disk seek), then segments newest-first via the sparse
+index (binary search + a bounded forward scan).  ``compact()`` — called
+at checkpoint barriers, never from a background thread — merges all
+segments newest-wins and drops tombstones.  ``checkpoint()`` flushes and
+returns a *manifest payload* (segment paths, not contents); segments
+referenced by a checkpoint are pinned and never unlinked by compaction,
+and adopted segments from a restored payload are never unlinked at all
+(they belong to the store that wrote them).
+
+The live-key directory (``_live``) stays in memory and maps every raw
+key to its exact ``(segment, offset)`` home, so a spilled read is one
+seek + one entry decode regardless of segment count: values spill, keys
+do not — millions of keys per shard is fine, value bytes are the thing
+that outgrows RAM.  The sparse per-segment index remains for restored
+payloads whose sidecar is missing and as the fallback probe path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import io
+from collections import OrderedDict
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.store.backend import StateStore, _restore_entries
+
+_HEADER = struct.Struct("<II")
+_TOMBSTONE_LEN = 0xFFFFFFFF
+_MANIFEST = "MANIFEST"
+_WAL = "wal.log"
+_PROTO = 4
+
+
+class _Tombstone:
+    """Singleton deletion marker (picklable, identity-compared)."""
+
+    _instance: Optional["_Tombstone"] = None
+
+    def __new__(cls) -> "_Tombstone":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+def _encode(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=_PROTO)
+
+
+def _decode(raw: bytes) -> Any:
+    return pickle.loads(raw)
+
+
+class _Segment:
+    """One immutable sorted segment file with a sparse in-memory index."""
+
+    def __init__(
+        self,
+        path: str,
+        sparse_every: int = 64,
+        preloaded: Optional[Tuple[int, List[Tuple[bytes, int]]]] = None,
+    ) -> None:
+        self.path = path
+        self.name = os.path.basename(path)
+        self._sparse_every = sparse_every
+        self._file: Optional[io.BufferedReader] = None
+        self.count = 0
+        self.size_bytes = 0
+        self.sparse: List[Tuple[bytes, int]] = []
+        if preloaded is not None:
+            # Fresh from _write_segment: the writer already knows the
+            # index, so skip the rescan of the file it just wrote.
+            self.size_bytes = os.path.getsize(self.path)
+            self.count, self.sparse = preloaded
+        else:
+            self._load_index()
+
+    # -- index -------------------------------------------------------------
+
+    @property
+    def _idx_path(self) -> str:
+        return self.path + ".idx"
+
+    def _load_index(self) -> None:
+        self.size_bytes = os.path.getsize(self.path)
+        try:
+            with open(self._idx_path, "rb") as handle:
+                sidecar = pickle.load(handle)
+            self.count = sidecar["count"]
+            self.sparse = sidecar["sparse"]
+        except (OSError, pickle.UnpicklingError, KeyError, EOFError):
+            self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        self.count = 0
+        self.sparse = []
+        for key_bytes, _value, offset in self._iter_raw():
+            if self.count % self._sparse_every == 0:
+                self.sparse.append((key_bytes, offset))
+            self.count += 1
+
+    def write_index(self) -> None:
+        with open(self._idx_path, "wb") as handle:
+            pickle.dump(
+                {"count": self.count, "sparse": self.sparse},
+                handle,
+                protocol=_PROTO,
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def _handle(self) -> io.BufferedReader:
+        if self._file is None:
+            self._file = open(self.path, "rb")
+        return self._file
+
+    def _iter_raw(self) -> Iterator[Tuple[bytes, Optional[bytes], int]]:
+        """Yield ``(key bytes, value bytes | None, entry offset)``."""
+        handle = open(self.path, "rb")
+        try:
+            offset = 0
+            while True:
+                header = handle.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return
+                klen, vlen = _HEADER.unpack(header)
+                key_bytes = handle.read(klen)
+                if vlen == _TOMBSTONE_LEN:
+                    value = None
+                    entry_len = _HEADER.size + klen
+                else:
+                    value = handle.read(vlen)
+                    entry_len = _HEADER.size + klen + vlen
+                yield key_bytes, value, offset
+                offset += entry_len
+        finally:
+            handle.close()
+
+    def iter_entries(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """All ``(key bytes, value bytes | None)`` pairs in key order."""
+        for key_bytes, value, _offset in self._iter_raw():
+            yield key_bytes, value
+
+    def get(self, key_bytes: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Return ``(found, value bytes | None-for-tombstone)``."""
+        if not self.sparse:
+            return False, None
+        lo, hi = 0, len(self.sparse)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.sparse[mid][0] <= key_bytes:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return False, None
+        _probe_key, offset = self.sparse[lo - 1]
+        handle = self._handle()
+        handle.seek(offset)
+        for _ in range(self._sparse_every):
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return False, None
+            klen, vlen = _HEADER.unpack(header)
+            entry_key = handle.read(klen)
+            if entry_key == key_bytes:
+                if vlen == _TOMBSTONE_LEN:
+                    return True, None
+                return True, handle.read(vlen)
+            if entry_key > key_bytes:
+                return False, None
+            if vlen != _TOMBSTONE_LEN:
+                handle.seek(vlen, os.SEEK_CUR)
+        return False, None
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def _write_segment(
+    path: str,
+    entries: List[Tuple[bytes, Optional[bytes]]],
+    sparse_every: int = 64,
+) -> Tuple[_Segment, List[int]]:
+    """Write sorted ``(key bytes, value bytes | None)`` entries to disk.
+
+    Returns the segment plus each entry's value location — ``(value
+    byte offset, value length)``, None for tombstones — aligned with
+    ``entries``, so callers can record exact read locations.
+    """
+    locations: List[Optional[Tuple[int, int]]] = []
+    sparse: List[Tuple[bytes, int]] = []
+    offset = 0
+    with open(path, "wb") as handle:
+        for position, (key_bytes, value_bytes) in enumerate(entries):
+            if position % sparse_every == 0:
+                sparse.append((key_bytes, offset))
+            if value_bytes is None:
+                locations.append(None)
+                handle.write(_HEADER.pack(len(key_bytes), _TOMBSTONE_LEN))
+                handle.write(key_bytes)
+                offset += _HEADER.size + len(key_bytes)
+            else:
+                locations.append(
+                    (offset + _HEADER.size + len(key_bytes), len(value_bytes))
+                )
+                handle.write(_HEADER.pack(len(key_bytes), len(value_bytes)))
+                handle.write(key_bytes)
+                handle.write(value_bytes)
+                offset += _HEADER.size + len(key_bytes) + len(value_bytes)
+    segment = _Segment(
+        path, sparse_every=sparse_every, preloaded=(len(entries), sparse)
+    )
+    segment.write_index()
+    return segment, locations
+
+
+class LSMStateStore(StateStore):
+    """Spill-to-disk keyed store; see the module docstring for layout."""
+
+    backend = "lsm"
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        memtable_entries: int = 16_384,
+        wal: bool = False,
+        sparse_every: int = 64,
+    ) -> None:
+        if memtable_entries < 1:
+            raise ValueError(
+                f"memtable_entries must be >= 1, got {memtable_entries}"
+            )
+        self._owns_dir = directory is None
+        self._dir = directory or tempfile.mkdtemp(prefix="lsm-")
+        os.makedirs(self._dir, exist_ok=True)
+        self._memtable_entries = memtable_entries
+        # Decoded values recently read back from segments; capped at the
+        # memtable size so total resident entries stay O(2x the cap).
+        self._read_cache: OrderedDict = OrderedDict()
+        self._sparse_every = sparse_every
+        self._wal_enabled = wal
+        self._wal_file: Optional[io.BufferedWriter] = None
+        self._memtable: Dict[Any, Any] = {}
+        # key -> (segment, value offset, value len) of its newest
+        # on-disk entry, or None while the key only exists in the
+        # memtable: one seek + one read + one decode per spilled get.
+        self._live: Dict[Any, Optional[Tuple[_Segment, int, int]]] = {}
+        self._segments: List[_Segment] = []  # oldest -> newest
+        self._counter = 0
+        self._pinned: set = set()  # segment paths referenced by checkpoints
+        self._checkpointed: set = set()  # paths shipped in any checkpoint
+        self.flushes = 0
+        self.compactions = 0
+        self.cache_hits = 0
+        self.segment_reads = 0
+        self._open_existing()
+
+    # -- open / manifest ---------------------------------------------------
+
+    @property
+    def directory(self) -> str:
+        """The on-disk directory of this store."""
+        return self._dir
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self._dir, _MANIFEST)
+
+    def _wal_path(self) -> str:
+        return os.path.join(self._dir, _WAL)
+
+    def _open_existing(self) -> None:
+        manifest_path = self._manifest_path()
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "rb") as handle:
+                manifest = pickle.load(handle)
+            self._counter = manifest["counter"]
+            for path in manifest["segments"]:
+                self._segments.append(
+                    _Segment(path, sparse_every=self._sparse_every)
+                )
+            self._rebuild_live()
+        if self._wal_enabled:
+            self._replay_wal()
+            self._wal_file = open(self._wal_path(), "ab")
+
+    def _write_manifest(self) -> None:
+        payload = pickle.dumps(
+            {
+                "counter": self._counter,
+                "segments": [segment.path for segment in self._segments],
+            },
+            protocol=_PROTO,
+        )
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp, self._manifest_path())
+
+    def _rebuild_live(self) -> None:
+        """Rebuild the key directory by scanning segments oldest-first."""
+        self._live.clear()
+        for segment in self._segments:
+            for key_bytes, value, offset in segment._iter_raw():
+                key = _decode(key_bytes)
+                if value is None:
+                    self._live.pop(key, None)
+                else:
+                    self._live[key] = (
+                        segment,
+                        offset + _HEADER.size + len(key_bytes),
+                        len(value),
+                    )
+
+    # -- WAL ---------------------------------------------------------------
+
+    def _replay_wal(self) -> None:
+        path = self._wal_path()
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            while True:
+                header = handle.read(4)
+                if len(header) < 4:
+                    break
+                (length,) = struct.unpack("<I", header)
+                payload = handle.read(length)
+                if len(payload) < length:
+                    break  # torn tail from a crash mid-append
+                try:
+                    key, value = pickle.loads(payload)
+                except (pickle.UnpicklingError, EOFError):
+                    break
+                self._apply(key, value, log=False)
+
+    def _wal_append(self, key: Any, value: Any) -> None:
+        payload = pickle.dumps((key, value), protocol=_PROTO)
+        self._wal_file.write(struct.pack("<I", len(payload)))
+        self._wal_file.write(payload)
+        self._wal_file.flush()
+
+    def _reset_wal(self) -> None:
+        if not self._wal_enabled:
+            return
+        if self._wal_file is not None:
+            self._wal_file.close()
+        self._wal_file = open(self._wal_path(), "wb")
+
+    # -- core ops ----------------------------------------------------------
+
+    def _apply(self, key: Any, value: Any, log: bool = True) -> None:
+        if log and self._wal_enabled and self._wal_file is not None:
+            self._wal_append(key, value)
+        self._memtable[key] = value
+        self._read_cache.pop(key, None)
+        if value is TOMBSTONE or isinstance(value, _Tombstone):
+            self._live.pop(key, None)
+        else:
+            self._live.setdefault(key, None)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        value = self._memtable.get(key, _MISSING)
+        if value is not _MISSING:
+            if isinstance(value, _Tombstone):
+                return default
+            return value
+        if key not in self._live:
+            return default
+        cached = self._read_cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            self._read_cache.move_to_end(key)
+            self.cache_hits += 1
+            return cached
+        location = self._live.get(key, _MISSING)
+        if location is _MISSING:
+            # Never stored (or deleted): the directory answers absent
+            # reads in O(1) instead of probing every segment.
+            return default
+        if location is not None:
+            segment, offset, length = location
+            handle = segment._handle()
+            handle.seek(offset)
+            value = _decode(handle.read(length))
+            self.segment_reads += 1
+            self._read_cache[key] = value
+            while len(self._read_cache) > self._memtable_entries:
+                self._read_cache.popitem(last=False)
+            return value
+        # Directory says the key only lives in the memtable, yet the
+        # memtable missed — the safety net for inconsistent hand-built
+        # payloads: probe newest segment first.
+        key_bytes = _encode(key)
+        for segment in reversed(self._segments):
+            found, value_bytes = segment.get(key_bytes)
+            if found:
+                self.segment_reads += 1
+                if value_bytes is None:
+                    return default
+                value = _decode(value_bytes)
+                self._read_cache[key] = value
+                while len(self._read_cache) > self._memtable_entries:
+                    self._read_cache.popitem(last=False)
+                return value
+        return default
+
+    def put(self, key: Any, value: Any) -> None:
+        if self._wal_file is not None:
+            self._wal_append(key, value)
+        self._memtable[key] = value
+        if self._read_cache:
+            self._read_cache.pop(key, None)
+        self._live.setdefault(key, None)
+        if len(self._memtable) >= self._memtable_entries:
+            self.flush()
+
+    def delete(self, key: Any) -> None:
+        if key not in self._live and key not in self._memtable:
+            return
+        self._apply(key, TOMBSTONE)
+        if len(self._memtable) >= self._memtable_entries:
+            self.flush()
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._live
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(list(self._live))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for key in list(self._live):
+            yield key, self.get(key)
+
+    def clear(self) -> None:
+        self._memtable.clear()
+        self._read_cache.clear()
+        self._live.clear()
+        for segment in self._segments:
+            segment.close()
+            self._unlink_if_owned(segment)
+        self._segments = []
+        self._reset_wal()
+        self._write_manifest()
+
+    # -- flush / compaction ------------------------------------------------
+
+    def _next_segment_path(self) -> str:
+        self._counter += 1
+        return os.path.join(
+            self._dir, f"seg-{os.getpid()}-{self._counter:06d}.seg"
+        )
+
+    def flush(self) -> None:
+        """Spill the memtable into a new sorted segment."""
+        if not self._memtable:
+            return
+        rows = sorted(
+            (
+                (
+                    _encode(key),
+                    key,
+                    None
+                    if isinstance(value, _Tombstone)
+                    else _encode(value),
+                )
+                for key, value in self._memtable.items()
+            ),
+            key=lambda row: row[0],
+        )
+        entries = [(key_bytes, value) for key_bytes, _key, value in rows]
+        segment, locations = _write_segment(
+            self._next_segment_path(), entries, self._sparse_every
+        )
+        for (_key_bytes, key, _value), location in zip(rows, locations):
+            if location is not None:
+                self._live[key] = (segment, location[0], location[1])
+        self._segments.append(segment)
+        self._memtable.clear()
+        self._reset_wal()
+        self._write_manifest()
+        self.flushes += 1
+
+    def _unlink_if_owned(self, segment: _Segment) -> None:
+        """Unlink a dropped segment's files, unless pinned or adopted."""
+        if os.path.dirname(segment.path) != self._dir:
+            return  # adopted from a restored payload; not ours to delete
+        if segment.path in self._pinned:
+            return
+        for path in (segment.path, segment.path + ".idx"):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def compact(self) -> None:
+        """Merge all segments newest-wins, dropping tombstones.
+
+        Background-free by design: the engine calls this at checkpoint
+        barriers.  A single segment with no buffered writes is already
+        compact.
+        """
+        self.flush()
+        if len(self._segments) <= 1:
+            return
+        merged: List[Tuple[bytes, Optional[bytes]]] = []
+        # Heap of (key_bytes, -segment_position, value): the smallest
+        # key wins; among equal keys the newest segment wins.
+        def stream(position: int, segment: _Segment):
+            for key_bytes, value in segment.iter_entries():
+                yield key_bytes, -position, value
+
+        streams = [
+            stream(position, segment)
+            for position, segment in enumerate(self._segments)
+        ]
+        previous: Optional[bytes] = None
+        for key_bytes, _neg_position, value in heapq.merge(*streams):
+            if key_bytes == previous:
+                continue  # an older segment's entry for the same key
+            previous = key_bytes
+            if value is None:
+                continue  # tombstone: drop on full compaction
+            merged.append((key_bytes, value))
+        segment, locations = _write_segment(
+            self._next_segment_path(), merged, self._sparse_every
+        )
+        for (key_bytes, _value), location in zip(merged, locations):
+            self._live[_decode(key_bytes)] = (
+                segment,
+                location[0],
+                location[1],
+            )
+        old_segments = self._segments
+        self._segments = [segment]
+        self._write_manifest()
+        for old in old_segments:
+            old.close()
+            self._unlink_if_owned(old)
+        self.compactions += 1
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Flush and return an incremental manifest payload.
+
+        ``segments`` lists every live segment (what a restore needs);
+        ``new_segments`` only those not shipped by a previous checkpoint
+        of this store — the incremental delta, whose on-disk bytes are
+        reported as ``new_bytes``.  The listed files are pinned: later
+        compactions will not unlink them.
+        """
+        self.flush()
+        paths = [segment.path for segment in self._segments]
+        sizes = {
+            segment.path: segment.size_bytes for segment in self._segments
+        }
+        new = [path for path in paths if path not in self._checkpointed]
+        self._checkpointed.update(paths)
+        self._pinned.update(paths)
+        return {
+            "backend": "lsm",
+            "dir": self._dir,
+            "segments": list(paths),
+            "new_segments": new,
+            "bytes": sum(sizes.values()),
+            "new_bytes": sum(sizes[path] for path in new),
+            "entries": len(self._live),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        if payload.get("backend") != "lsm":
+            _restore_entries(self, payload)
+            return
+        for segment in self._segments:
+            segment.close()
+            self._unlink_if_owned(segment)
+        self._memtable.clear()
+        self._read_cache.clear()
+        self._segments = [
+            _Segment(path, sparse_every=self._sparse_every)
+            for path in payload["segments"]
+        ]
+        self._reset_wal()
+        self._write_manifest()
+        self._rebuild_live()
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "entries": len(self._live),
+            "memtable_entries": len(self._memtable),
+            "segments": len(self._segments),
+            "spilled_bytes": sum(
+                segment.size_bytes for segment in self._segments
+            ),
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+        }
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.close()
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+        if self._owns_dir:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def materialize_checkpoint(payload: Dict[str, Any]) -> Dict[Any, Any]:
+    """Load every live entry of an LSM checkpoint payload into a dict.
+
+    Used by cross-backend restore and by elastic migration, which must
+    re-split spilled keyed state by hash without a live store instance.
+    Segments are scanned oldest-first so newer entries win and
+    tombstones erase.
+    """
+    if payload.get("backend") == "memory":
+        return dict(payload["entries"])
+    if payload.get("backend") != "lsm":
+        raise ValueError(f"not a state payload: {payload!r}")
+    entries: Dict[Any, Any] = {}
+    for path in payload["segments"]:
+        segment = _Segment(path)
+        try:
+            for key_bytes, value in segment.iter_entries():
+                key = _decode(key_bytes)
+                if value is None:
+                    entries.pop(key, None)
+                else:
+                    entries[key] = _decode(value)
+        finally:
+            segment.close()
+    return entries

@@ -1,0 +1,249 @@
+"""Dict-shaped slice-store views over one shared spill store.
+
+The shared aggregation operator keeps, per window slice, a store shaped
+``{slot: {key: accumulator}}``.  With the lsm backend the *values* must
+be able to exceed RAM, but the operator's fold/fire/migrate code paths
+only use a narrow mapping protocol (``setdefault``/``get``/``items``/
+truthiness).  :class:`SpilledSliceStore` mimics exactly that protocol
+while routing every accumulator through one per-operator
+:class:`~repro.store.lsm.LSMStateStore` under the composite key
+``(slice start, slot, key)``:
+
+* one physical store per operator instance keeps file counts bounded
+  (a slice is a view, not a directory);
+* per-view key registries stay in memory — keys are small, values are
+  the thing that spills (same trade RocksDB-backed engines make with
+  their bloom/index blocks);
+* each view front-runs the store with a bounded write-back buffer: the
+  *current* slice's accumulators are updated as plain dict entries and
+  only pushed down (pickled) when the buffer exceeds the memtable cap or
+  at an explicit barrier — snapshot and migration call
+  :meth:`SpilledSliceStore.spill_hot` so every checkpoint still captures
+  the full state;
+* dropping an expired slice tombstones its keys so the LSM's compaction
+  reclaims the space at the next checkpoint barrier.
+
+Slice starts are unique among live slices (the slice index is keyed by
+start, and the expiry horizon is monotonic), so the composite key cannot
+collide across a slice's lifetime.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.store.lsm import LSMStateStore
+
+__all__ = ["SpillingStoreHost", "SpilledSliceStore"]
+
+
+_ABSENT = object()
+
+
+class _SlotView:
+    """The ``{key: accumulator}`` mapping of one (slice, slot).
+
+    Writes land in ``_hot`` — a plain dict write-back buffer — and only
+    reach the LSM store when the buffer exceeds ``limit`` or
+    :meth:`spill` is called at a barrier, so the per-record fold path
+    costs a dict update, not a pickle.
+    """
+
+    __slots__ = ("_store", "_slice_start", "_slot", "_keys", "_hot", "_limit")
+
+    def __init__(
+        self,
+        store: LSMStateStore,
+        slice_start: int,
+        slot: int,
+        limit: int = 16_384,
+    ) -> None:
+        self._store = store
+        self._slice_start = slice_start
+        self._slot = slot
+        self._keys: set = set()
+        self._hot: dict = {}
+        self._limit = limit
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        value = self._hot.get(key, _ABSENT)
+        if value is not _ABSENT:
+            return value
+        if key not in self._keys:
+            return default
+        return self._store.get((self._slice_start, self._slot, key), default)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._hot[key] = value
+        self._keys.add(key)
+        if len(self._hot) > self._limit:
+            self.spill()
+
+    def spill(self) -> int:
+        """Push the write-back buffer down into the LSM store.
+
+        Returns how many buffered accumulators were written.  Called on
+        buffer overflow and at snapshot/migration barriers, so a store
+        checkpoint taken right after always holds the complete view.
+        """
+        spilled = len(self._hot)
+        start, slot = self._slice_start, self._slot
+        for key, value in self._hot.items():
+            self._store.put((start, slot, key), value)
+        self._hot.clear()
+        return spilled
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(list(self._keys))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for key in list(self._keys):
+            value = self._hot.get(key, _ABSENT)
+            if value is _ABSENT:
+                value = self._store.get(
+                    (self._slice_start, self._slot, key)
+                )
+            yield key, value
+
+    def drop(self) -> int:
+        """Tombstone every entry; returns how many were dropped.
+
+        Buffered-only keys never reached the store, so their deletes
+        are O(1) no-ops; stored keys get tombstones for compaction to
+        reclaim.
+        """
+        dropped = len(self._keys)
+        for key in self._keys:
+            self._store.delete((self._slice_start, self._slot, key))
+        self._keys.clear()
+        self._hot.clear()
+        return dropped
+
+
+class SpilledSliceStore:
+    """A ``{slot: per-key map}`` facade attached to ``Slice.store``."""
+
+    __slots__ = ("_store", "_slice_start", "_views", "_buffer_entries")
+
+    def __init__(
+        self,
+        store: LSMStateStore,
+        slice_start: int,
+        buffer_entries: int = 16_384,
+    ) -> None:
+        self._store = store
+        self._slice_start = slice_start
+        self._views: Dict[int, _SlotView] = {}
+        self._buffer_entries = buffer_entries
+
+    @property
+    def slice_start(self) -> int:
+        """The slice's start time — the composite-key prefix."""
+        return self._slice_start
+
+    def setdefault(self, slot: int, _default: Any = None) -> _SlotView:
+        """The slot's per-key view, created empty if absent."""
+        view = self._views.get(slot)
+        if view is None:
+            view = _SlotView(
+                self._store, self._slice_start, slot, self._buffer_entries
+            )
+            self._views[slot] = view
+        return view
+
+    def get(self, slot: int, default: Any = None) -> Any:
+        """The slot's per-key view, or ``default`` if absent."""
+        return self._views.get(slot, default)
+
+    def items(self) -> Iterator[Tuple[int, _SlotView]]:
+        """``(slot, view)`` pairs in slot order (firing determinism)."""
+        return iter(sorted(self._views.items()))
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._views
+
+    def __bool__(self) -> bool:
+        return any(view for view in self._views.values())
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def drop(self) -> int:
+        """Tombstone the whole slice's spilled state (on expiry)."""
+        dropped = 0
+        for view in self._views.values():
+            dropped += view.drop()
+        self._views.clear()
+        return dropped
+
+    def spill_hot(self) -> int:
+        """Push every slot view's write-back buffer into the store.
+
+        The barrier the operator runs before ``store.checkpoint()`` (and
+        before handing state to a migration), so on-disk segments hold
+        the complete slice.  Returns the number of entries written.
+        """
+        return sum(view.spill() for view in self._views.values())
+
+    def key_manifest(self) -> Dict[int, List[Any]]:
+        """``{slot: [keys]}`` — the metadata an operator snapshot keeps
+        so a restore can rebuild the views without scanning segments."""
+        return {
+            slot: list(view._keys)
+            for slot, view in self._views.items()
+            if view
+        }
+
+    def adopt_keys(self, manifest: Dict[int, List[Any]]) -> None:
+        """Rebuild views from a snapshot's key manifest (restore path)."""
+        for slot, keys in manifest.items():
+            view = self.setdefault(slot)
+            view._keys.update(keys)
+
+
+class SpillingStoreHost:
+    """Owns one operator instance's LSM store and builds slice views.
+
+    The host creates a unique subdirectory under the engine's state root
+    so parallel instances (and respawned recovery instances) never
+    collide; the root's owner — engine or coordinator — removes the tree
+    at shutdown.
+    """
+
+    def __init__(
+        self,
+        state_dir: Optional[str],
+        memtable_entries: int = 16_384,
+        prefix: str = "op-",
+    ) -> None:
+        directory = None
+        if state_dir is not None:
+            directory = tempfile.mkdtemp(dir=state_dir, prefix=prefix)
+        self._buffer_entries = memtable_entries
+        self.store = LSMStateStore(
+            directory, memtable_entries=memtable_entries, wal=False
+        )
+
+    def make_slice_store(self, slice_start: int) -> SpilledSliceStore:
+        """A dict-shaped spill view for the slice at ``slice_start``."""
+        return SpilledSliceStore(
+            self.store, slice_start, self._buffer_entries
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The underlying store's stats (segments, spilled bytes)."""
+        return self.store.stats()
+
+    def close(self) -> None:
+        """Close the store (removing its directory only if host-owned)."""
+        self.store.close()

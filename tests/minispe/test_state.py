@@ -1,6 +1,8 @@
 """Tests for keyed and operator state backends."""
 
 from repro.minispe.state import KeyedState, OperatorState
+from repro.store.backend import make_state_store
+from repro.store.lsm import LSMStateStore
 
 
 class TestKeyedState:
@@ -58,6 +60,53 @@ class TestKeyedState:
         state.get("k").append(2)
         assert snapshot["k"] == [1]
         assert state.get("k") == [1, 2]
+
+    def test_peek_does_not_create_state(self):
+        state = KeyedState(default_factory=list)
+        assert state.peek("ghost") is None
+        assert state.peek("ghost", "d") == "d"
+        assert len(state) == 0 and not state.contains("ghost")
+        state.get("ghost")  # the read-modify accessor DOES create
+        assert state.contains("ghost")
+        state.put("k", 7)
+        assert state.peek("k") == 7
+
+    def test_snapshot_shares_immutable_values(self):
+        state = KeyedState()
+        scalar_tuple = (1, "a", 2.5, None)
+        nested = ("outer", [1, 2])
+        state.put("shared", scalar_tuple)
+        state.put("copied", nested)
+        state.put("n", 7)
+        snapshot = state.snapshot()
+        # All-immutable tuples and scalars are shared, not copied...
+        assert snapshot["shared"] is scalar_tuple
+        assert snapshot["n"] == 7
+        # ...while anything mutable (even inside a tuple) is deep-copied.
+        assert snapshot["copied"] is not nested
+        assert snapshot["copied"][1] is not nested[1]
+        nested[1].append(3)
+        assert snapshot["copied"] == ("outer", [1, 2])
+
+    def test_keyed_state_over_lsm_store(self):
+        store = make_state_store("lsm", memtable_entries=4)
+        state = KeyedState(default_factory=list, store=store)
+        assert state.store is store
+        for i in range(12):  # crosses the memtable cap → spills
+            state.put(i, [i])
+        assert isinstance(store, LSMStateStore)
+        assert store.stats()["segments"] > 0
+        assert len(state) == 12
+        assert state.peek(3) == [3]
+        snapshot = state.snapshot()
+        state.get(3).append(99)
+        assert snapshot[3] == [3]
+        fresh = KeyedState(store=make_state_store("lsm"))
+        fresh.restore(snapshot)
+        assert fresh.peek(3) == [3]
+        assert len(fresh) == 12
+        fresh.store.close()
+        store.close()
 
 
 class TestOperatorState:

@@ -1,0 +1,174 @@
+"""Property tests for shared arrangements (ISSUE 10 satellite).
+
+The arrangement contract a warm attach relies on: after any insert
+history and any frontier advance, a late reader at frontier ``F`` sees
+*exactly* the post-``F`` deltas (in time order) plus a compacted prefix
+that losslessly folds everything older.  Hypothesis generates the
+histories; a dict/list reference model generates the truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store.arrangement import Arrangement, ArrangementManager
+
+KEYS = st.integers(min_value=0, max_value=7)
+TIMES = st.integers(min_value=0, max_value=10_000)
+DELTAS = st.integers(min_value=-50, max_value=50)
+INSERTS = st.lists(st.tuples(TIMES, KEYS, DELTAS), max_size=80)
+
+
+def _build(inserts):
+    arrangement = Arrangement("t", combine=lambda a, b: a + b)
+    for time_ms, key, delta in inserts:
+        arrangement.insert(time_ms, key, delta)
+    return arrangement
+
+
+class TestFrontierCompaction:
+    @given(inserts=INSERTS, frontier=TIMES)
+    @settings(max_examples=100, deadline=None)
+    def test_late_reader_sees_post_frontier_deltas_plus_prefix(
+        self, inserts, frontier
+    ):
+        arrangement = _build(inserts)
+        moved = arrangement.advance_frontier(frontier)
+        assert arrangement.frontier == max(0, frontier)
+        assert moved == sum(1 for t, _k, _d in inserts if t < frontier)
+        for key in {k for _t, k, _d in inserts}:
+            pre = [(t, d) for t, k, d in inserts if k == key and t < frontier]
+            post = [
+                (t, d) for t, k, d in inserts if k == key and t >= frontier
+            ]
+            prefix, run = arrangement.read(key)
+            # Equal-time deltas carry no order contract; compare as a
+            # time-sorted multiset and check run times are monotonic.
+            assert sorted(run) == sorted(post)
+            assert all(a[0] <= b[0] for a, b in zip(run, run[1:]))
+            if pre:
+                count, combined = prefix
+                assert count == len(pre)
+                assert combined == sum(d for _t, d in pre)
+            else:
+                assert prefix is None
+
+    @given(inserts=INSERTS, frontier=TIMES)
+    @settings(max_examples=60, deadline=None)
+    def test_post_frontier_inserts_behind_frontier_fold_into_prefix(
+        self, inserts, frontier
+    ):
+        """A straggler older than the frontier lands in the prefix, not a run."""
+        arrangement = _build(inserts)
+        arrangement.advance_frontier(frontier)
+        if frontier <= 0:
+            return
+        key = 99  # untouched by the generated history
+        arrangement.insert(frontier - 1, key, 5)
+        prefix, run = arrangement.read(key)
+        assert run == []
+        assert prefix == (1, 5)
+
+    @given(inserts=INSERTS, bounds=st.tuples(TIMES, TIMES))
+    @settings(max_examples=100, deadline=None)
+    def test_fold_range_matches_reference_fold(self, inserts, bounds):
+        start, end = min(bounds), max(bounds)
+        arrangement = _build(inserts)
+        folded = arrangement.fold_range(
+            start, end, initial=int, add=lambda acc, d: acc + d
+        )
+        reference = {}
+        for time_ms, key, delta in inserts:
+            if start <= time_ms < end:
+                reference[key] = reference.get(key, 0) + delta
+        assert folded == reference
+
+    @given(inserts=INSERTS, bounds=st.tuples(TIMES, TIMES))
+    @settings(max_examples=60, deadline=None)
+    def test_fold_range_accept_filters_deltas(self, inserts, bounds):
+        start, end = min(bounds), max(bounds)
+        arrangement = _build(inserts)
+        folded = arrangement.fold_range(
+            start,
+            end,
+            initial=int,
+            add=lambda acc, d: acc + d,
+            accept=lambda d: d > 0,
+        )
+        reference = {}
+        for time_ms, key, delta in inserts:
+            if start <= time_ms < end and delta > 0:
+                reference[key] = reference.get(key, 0) + delta
+        assert folded == reference
+
+
+class TestLeases:
+    @given(inserts=INSERTS, floor=TIMES, target=TIMES)
+    @settings(max_examples=100, deadline=None)
+    def test_lease_floor_bounds_the_frontier(self, inserts, floor, target):
+        arrangement = _build(inserts)
+        lease = arrangement.acquire_lease("reader", floor=floor)
+        arrangement.advance_frontier(target)
+        assert arrangement.frontier == max(0, min(target, floor))
+        debt = sum(
+            1
+            for t, _k, _d in inserts
+            if arrangement.frontier <= t < target
+        )
+        assert arrangement.compaction_debt() == debt
+        # Releasing the lease lets the remembered target apply in full.
+        arrangement.release_lease(lease)
+        arrangement.advance_frontier(target)
+        assert arrangement.frontier == max(0, target)
+        assert arrangement.compaction_debt() == 0
+
+    def test_lease_floor_is_monotonic(self):
+        arrangement = Arrangement("t")
+        lease = arrangement.acquire_lease("reader", floor=100)
+        lease.advance(50)  # backwards: ignored
+        assert lease.floor == 100
+        lease.advance(200)
+        assert lease.floor == 200
+        arrangement.release_lease(lease)
+        arrangement.release_lease(lease)  # idempotent
+        assert arrangement.reader_leases == 0
+
+
+class TestSplit:
+    @given(inserts=INSERTS, frontier=TIMES, parts=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions_history_losslessly(
+        self, inserts, frontier, parts
+    ):
+        arrangement = _build(inserts)
+        arrangement.acquire_lease("reader", floor=frontier)
+        arrangement.advance_frontier(frontier)
+        owner = lambda key: key % parts
+        splits = arrangement.split_by(owner, parts)
+        assert len(splits) == parts
+        for part in splits:
+            assert part.frontier == arrangement.frontier
+            assert part.reader_leases == arrangement.reader_leases
+        for key in {k for _t, k, _d in inserts}:
+            expected = arrangement.read(key)
+            for index, part in enumerate(splits):
+                if index == owner(key):
+                    assert part.read(key) == expected
+                else:
+                    assert part.read(key) == (None, [])
+        merged_deltas = sum(part.arranged_deltas for part in splits)
+        assert merged_deltas == arrangement.arranged_deltas
+
+
+class TestManager:
+    def test_manager_creates_once_and_rolls_up(self):
+        manager = ArrangementManager()
+        a = manager.get_or_create("agg:clicks")
+        assert manager.get_or_create("agg:clicks") is a
+        b = manager.get_or_create("agg:views")
+        a.insert(10, "k", 1)
+        b.insert(20, "k", 2)
+        assert len(manager) == 2
+        assert {arr.name for arr in manager} == {"agg:clicks", "agg:views"}
+        rollup = manager.stats()
+        assert rollup["arrangement_count"] == 2
+        assert rollup["arranged_deltas"] == 2
+        assert manager.get("agg:missing") is None

@@ -1,0 +1,151 @@
+"""Unit tests for the dict-shaped spill views over one LSM store.
+
+The shared aggregation operator only uses a narrow mapping protocol on
+its per-slice stores; these tests pin that protocol on the spilled
+implementation — including the drop-on-expiry tombstoning and the
+key-manifest adopt path the lsm snapshot/restore seam depends on.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.store.lsm import LSMStateStore
+from repro.store.spill import SpilledSliceStore, SpillingStoreHost
+
+
+@pytest.fixture()
+def state_dir():
+    directory = tempfile.mkdtemp(prefix="spill-test-")
+    yield directory
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_slot_view_mapping_protocol(state_dir):
+    host = SpillingStoreHost(state_dir, memtable_entries=4)
+    store = host.make_slice_store(1_000)
+    assert store.slice_start == 1_000
+    assert not store
+    view = store.setdefault(3)
+    assert store.setdefault(3) is view
+    assert not view
+    view["user-1"] = 10
+    view["user-2"] = 20
+    view["user-1"] = 11  # overwrite
+    assert view.get("user-1") == 11
+    assert view.get("ghost", "d") == "d"
+    assert "user-2" in view and "ghost" not in view
+    assert len(view) == 2 and bool(view)
+    assert sorted(view.keys()) == ["user-1", "user-2"]
+    assert dict(view.items()) == {"user-1": 11, "user-2": 20}
+    assert store.get(3) is view
+    assert store.get(9) is None
+    assert 3 in store and 9 not in store
+    host.close()
+
+
+def test_items_are_slot_ordered_for_firing_determinism(state_dir):
+    host = SpillingStoreHost(state_dir)
+    store = host.make_slice_store(0)
+    for slot in (5, 1, 3):
+        store.setdefault(slot)["k"] = slot
+    assert [slot for slot, _view in store.items()] == [1, 3, 5]
+    host.close()
+
+
+def test_slices_share_one_store_without_collisions(state_dir):
+    host = SpillingStoreHost(state_dir, memtable_entries=2)
+    first = host.make_slice_store(0)
+    second = host.make_slice_store(1_000)
+    first.setdefault(1)["k"] = "early"
+    second.setdefault(1)["k"] = "late"
+    assert first.get(1).get("k") == "early"
+    assert second.get(1).get("k") == "late"
+    assert first.spill_hot() == 1 and second.spill_hot() == 1
+    assert len(host.store) == 2
+    assert first.get(1).get("k") == "early"  # post-spill read-through
+    assert second.get(1).get("k") == "late"
+    host.close()
+
+
+def test_drop_tombstones_and_compaction_reclaims(state_dir):
+    host = SpillingStoreHost(state_dir, memtable_entries=2)
+    store = host.make_slice_store(0)
+    keeper = host.make_slice_store(1_000)
+    for key in range(6):
+        store.setdefault(0)[key] = key * key
+    keeper.setdefault(0)["kept"] = 1
+    store.spill_hot()
+    keeper.spill_hot()
+    host.store.flush()
+    assert store.drop() == 6
+    assert not store and len(store) == 0
+    assert host.store.get((0, 0, 2)) is None
+    host.store.compact()
+    assert len(host.store) == 1  # only the keeper survives
+    assert keeper.get(0).get("kept") == 1
+    stats = host.stats()
+    assert stats["backend"] == "lsm"
+    assert stats["compactions"] == 1
+    host.close()
+
+
+def test_key_manifest_adopt_roundtrip(state_dir):
+    host = SpillingStoreHost(state_dir, memtable_entries=4)
+    store = host.make_slice_store(500)
+    store.setdefault(2)["a"] = (1, 2)
+    store.setdefault(2)["b"] = (3, 4)
+    store.setdefault(7)["c"] = (5, 6)
+    store.setdefault(9)  # empty slot: not in the manifest
+    manifest = store.key_manifest()
+    assert set(manifest) == {2, 7}
+    assert sorted(manifest[2]) == ["a", "b"]
+    store.spill_hot()  # the operator's pre-checkpoint barrier
+    payload = host.store.checkpoint()
+
+    other_dir = tempfile.mkdtemp(prefix="spill-restore-")
+    try:
+        restored_host = SpillingStoreHost(other_dir, memtable_entries=4)
+        restored_host.store.restore(payload)
+        restored = restored_host.make_slice_store(500)
+        restored.adopt_keys(manifest)
+        assert dict(restored.get(2).items()) == {"a": (1, 2), "b": (3, 4)}
+        assert dict(restored.get(7).items()) == {"c": (5, 6)}
+        restored_host.close()
+    finally:
+        host.close()
+        shutil.rmtree(other_dir, ignore_errors=True)
+
+
+def test_host_without_state_dir_owns_a_temp_directory():
+    host = SpillingStoreHost(None)
+    directory = host.store.directory
+    import os
+
+    assert os.path.isdir(directory)
+    host.close()
+    assert not os.path.exists(directory)
+
+
+def test_store_standalone_facade():
+    backing = LSMStateStore(None, memtable_entries=8)
+    store = SpilledSliceStore(backing, 42)
+    store.setdefault(0)["x"] = 1
+    assert store.get(0).get("x") == 1  # served from the write buffer
+    assert backing.get((42, 0, "x")) is None
+    assert store.spill_hot() == 1
+    assert backing.get((42, 0, "x")) == 1
+    backing.close()
+
+
+def test_write_buffer_overflow_spills_on_its_own():
+    backing = LSMStateStore(None, memtable_entries=4)
+    store = SpilledSliceStore(backing, 0, buffer_entries=4)
+    view = store.setdefault(0)
+    for key in range(9):
+        view[key] = key * 2
+    assert len(backing) > 0  # overflow pushed buffered entries down
+    assert dict(view.items()) == {key: key * 2 for key in range(9)}
+    assert view.get(0) == 0 and view.get(8) == 16
+    backing.close()
